@@ -1,0 +1,29 @@
+//! E2–E4 — regenerates Fig. 12 (§6.2): the controlled user study's speed,
+//! learning, and accuracy results over the simulated participant pool.
+
+use rd_study::{analyze, run_study, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::default();
+    let data = run_study(&cfg);
+    println!("=========================================================");
+    println!(" Fig. 12 — controlled user study (simulated participants)");
+    println!("=========================================================\n");
+    println!(
+        "Recruitment funnel: {} submissions, {} rejected (<50% accuracy), {} accepted",
+        data.submissions,
+        data.rejected,
+        data.participants.len()
+    );
+    println!("(paper: 120 submissions, 58 approved, first 25 per group kept)\n");
+    let report = analyze(&data);
+    print!("{}", report.render());
+    println!("\nPaper reference values:");
+    println!("  Result 1: SQL 13.61 [12.37, 16.43], RD 10.11 [8.38, 11.26], ratio 0.70 [0.63, 0.77]");
+    println!("  Result 2: SQL H1 19.3 -> H2 12.3 (ratio 0.70 [0.51, 0.79]);");
+    println!("            RD  H1 10.7 -> H2  7.8 (ratio 0.71 [0.63, 0.79])");
+    println!("  Result 3: RD 92%, SQL 72%, difference 21% [13%, 29%]");
+    assert!(report.speed_ratio.hi < 1.0, "speed CI must exclude 1.0");
+    assert!(report.accuracy_diff.lo > 0.0, "accuracy CI must exclude 0");
+    println!("\nShape checks passed: RD faster (CI < 1.0) and more accurate (CI > 0).");
+}

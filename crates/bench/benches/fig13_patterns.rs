@@ -1,0 +1,70 @@
+//! E8 — regenerates Fig. 13 / Example 10: three logically-equivalent
+//! Datalog programs with three different patterns, their RA forms (where
+//! they exist), and the pattern-isomorphism matrix.
+
+use rd_core::{Catalog, TableSchema};
+use rd_pattern::{pattern_isomorphic, AnyQuery, EquivOptions};
+
+fn main() {
+    let catalog = Catalog::from_schemas([
+        TableSchema::new("R", ["A", "B"]),
+        TableSchema::new("S", ["B"]),
+    ])
+    .unwrap();
+    let programs = [
+        ("13a", "I(x, y) :- R(x, _), S(y).\nQ(x, y) :- R(x, y), not I(x, y)."),
+        ("13d", "I(y) :- R(_, y), not S(y).\nQ(x, y) :- R(x, y), I(y)."),
+        ("13g", "Q(x, y) :- R(x, y), not S(y)."),
+    ];
+    let ra_forms = [
+        ("13b", Some("R - (pi[A](R) x S)")),
+        ("13e", Some("R join (pi[B](R) - S)")),
+        ("13h", None::<&str>),
+    ];
+    println!("==========================================================");
+    println!(" Fig. 13 — three patterns for R(A,B) minus-semijoin S(B)");
+    println!("==========================================================\n");
+    let mut queries = Vec::new();
+    for ((id, dl), (ra_id, ra)) in programs.iter().zip(&ra_forms) {
+        let p = rd_datalog::parse_program(dl, &catalog).unwrap();
+        println!("Datalog ({id}):\n{p}");
+        match ra {
+            Some(text) => {
+                let e = rd_ra::parse(text, &catalog).unwrap();
+                println!("RA      ({ra_id}): {e}");
+                let v = pattern_isomorphic(
+                    &AnyQuery::Datalog(p.clone()),
+                    &AnyQuery::Ra(e),
+                    &catalog,
+                    &EquivOptions::default(),
+                );
+                println!("         pattern-isomorphic to the Datalog form: {}", v.is_isomorphic());
+                assert!(v.is_isomorphic());
+            }
+            None => println!("RA      ({ra_id}): (none — not expressible with 2 references, Lemma 19)"),
+        }
+        // Relational Diagram via the pattern-preserving Datalog -> TRC path.
+        let trc = rd_translate::datalog_to_trc(&p, &catalog).unwrap();
+        let d = rd_diagram::from_trc(&trc, &catalog).unwrap();
+        println!("Diagram : {} tables, {} joins, {} partitions\n",
+            d.signature().len(),
+            d.cells[0].joins.len(),
+            d.cells[0].root.partition_count());
+        queries.push(AnyQuery::Datalog(p));
+    }
+    println!("Pairwise pattern isomorphism (logically equivalent throughout):");
+    for i in 0..queries.len() {
+        for j in (i + 1)..queries.len() {
+            let v = pattern_isomorphic(&queries[i], &queries[j], &catalog, &EquivOptions::default());
+            println!(
+                "  {} vs {}: {}",
+                programs[i].0,
+                programs[j].0,
+                if v.is_isomorphic() { "same pattern" } else { "different patterns" }
+            );
+            assert!(!v.is_isomorphic(), "the three Fig. 13 patterns must differ");
+        }
+    }
+    println!("\nAs in the paper: all three are logically equivalent yet pairwise");
+    println!("pattern-distinct, and 13g has no 2-reference RA form.");
+}

@@ -1,0 +1,49 @@
+//! E7 — regenerates Fig. 8 / Theorem 14: the representation hierarchy
+//! RA* ⊊rep Datalog* ⊊rep TRC* ≡rep SQL* ≡rep RD*, with the positive
+//! directions demonstrated on witness queries and the two separations
+//! verified by bounded enumeration (Lemmas 19 and 20).
+
+use rd_pattern::equiv::EquivOptions;
+use rd_pattern::hierarchy::{
+    positive_directions, verify_lemma19, verify_lemma20, Lemma19Bounds,
+};
+
+fn main() {
+    println!("==========================================================");
+    println!(" Fig. 8 — representation hierarchy (Theorem 14)");
+    println!("==========================================================\n");
+    println!("Positive directions (pattern-preserving translations):");
+    for row in positive_directions(&EquivOptions::default()) {
+        println!(
+            "  [{}] {:<22} — {}",
+            if row.holds { "ok" } else { "FAIL" },
+            row.direction,
+            row.evidence
+        );
+        assert!(row.holds);
+    }
+    println!("\nSeparations (bounded enumerate-and-refute):");
+    let l19 = verify_lemma19(Lemma19Bounds::default());
+    println!(
+        "  Lemma 19 (RA* !>=rep Datalog*): {} candidate RA* expressions with",
+        l19.candidates
+    );
+    println!(
+        "    signature (R, S); {} refuted by counterexample; {} unrefuted",
+        l19.refuted,
+        l19.unrefuted.len()
+    );
+    assert!(l19.holds(), "unrefuted: {:?}", l19.unrefuted);
+    let l20 = verify_lemma20();
+    println!(
+        "  Lemma 20 (Datalog* !>=rep TRC*): {} candidate Datalog* programs over",
+        l20.candidates
+    );
+    println!(
+        "    (T, R, S); {} refuted by counterexample; {} unrefuted",
+        l20.refuted,
+        l20.unrefuted.len()
+    );
+    assert!(l20.holds(), "unrefuted: {:?}", l20.unrefuted);
+    println!("\nResulting hierarchy:  RA*  <rep  Datalog*  <rep  TRC*  ==rep  SQL*  ==rep  RD*");
+}

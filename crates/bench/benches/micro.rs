@@ -1,0 +1,106 @@
+//! E11 — Criterion micro-benchmarks for the engine itself: parsing,
+//! canonicalization, translation, diagram round-trip, evaluation, and
+//! pattern-isomorphism checking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rd_core::{Catalog, DbGenerator, TableSchema};
+use std::hint::black_box;
+
+const DIVISION: &str = "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ \
+                        not (exists r2 in R [ r2.B = s.B and r2.A = r.A ]) ]) ] }";
+
+fn catalog() -> Catalog {
+    Catalog::from_schemas([
+        TableSchema::new("R", ["A", "B"]),
+        TableSchema::new("S", ["B"]),
+    ])
+    .unwrap()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let cat = catalog();
+    c.bench_function("parse_trc_division", |b| {
+        b.iter(|| rd_trc::parse_query(black_box(DIVISION), &cat).unwrap())
+    });
+    let sql = "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE NOT EXISTS \
+               (SELECT * FROM R AS R2 WHERE R2.B = S.B AND R2.A = R.A))";
+    c.bench_function("parse_sql_division", |b| {
+        b.iter(|| rd_sql::parse_sql_unchecked(black_box(sql)).unwrap())
+    });
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let cat = catalog();
+    let q = rd_trc::parse_query(DIVISION, &cat).unwrap();
+    c.bench_function("canonicalize_trc", |b| {
+        b.iter(|| rd_trc::canonicalize(black_box(&q)))
+    });
+    c.bench_function("trc_to_datalog", |b| {
+        b.iter(|| rd_translate::trc_to_datalog(black_box(&q), &cat).unwrap())
+    });
+    let p = rd_translate::trc_to_datalog(&q, &cat).unwrap();
+    c.bench_function("datalog_to_ra", |b| {
+        b.iter(|| rd_translate::datalog_to_ra(black_box(&p), &cat).unwrap())
+    });
+    c.bench_function("trc_to_sql", |b| {
+        b.iter(|| rd_sql::trc_to_sql(black_box(&q)).unwrap())
+    });
+}
+
+fn bench_diagram(c: &mut Criterion) {
+    let cat = catalog();
+    let q = rd_trc::parse_query(DIVISION, &cat).unwrap();
+    c.bench_function("trc_to_diagram_and_back", |b| {
+        b.iter(|| {
+            let d = rd_diagram::from_trc(black_box(&q), &cat).unwrap();
+            rd_diagram::to_trc(&d, &cat).unwrap()
+        })
+    });
+    let d = rd_diagram::from_trc(&q, &cat).unwrap();
+    c.bench_function("diagram_to_dot", |b| b.iter(|| rd_diagram::to_dot(black_box(&d))));
+    c.bench_function("diagram_to_svg", |b| b.iter(|| rd_diagram::to_svg(black_box(&d))));
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let cat = catalog();
+    let q = rd_trc::parse_query(DIVISION, &cat).unwrap();
+    let mut gen = DbGenerator::with_int_domain(cat.clone(), 8, 30, 5);
+    let db = gen.next_db();
+    c.bench_function("eval_trc_division_30rows", |b| {
+        b.iter(|| rd_trc::eval_query(black_box(&q), &db).unwrap())
+    });
+    let p = rd_translate::trc_to_datalog(&q, &cat).unwrap();
+    c.bench_function("eval_datalog_division_30rows", |b| {
+        b.iter(|| rd_datalog::eval_program(black_box(&p), &db).unwrap())
+    });
+    let e = rd_translate::datalog_to_ra(&p, &cat).unwrap();
+    c.bench_function("eval_ra_division_30rows", |b| {
+        b.iter(|| rd_ra::eval(black_box(&e), &db).unwrap())
+    });
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let cat = catalog();
+    let q = rd_trc::parse_query(DIVISION, &cat).unwrap();
+    let sql = rd_sql::ast::SqlUnion::single(rd_sql::trc_to_sql(&q).unwrap());
+    c.bench_function("pattern_isomorphism_trc_vs_sql", |b| {
+        b.iter(|| {
+            rd_pattern::pattern_isomorphic(
+                &rd_pattern::AnyQuery::Trc(q.clone()),
+                &rd_pattern::AnyQuery::Sql(sql.clone()),
+                &cat,
+                &rd_pattern::EquivOptions {
+                    random_rounds: 30,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parse, bench_translate, bench_diagram, bench_eval, bench_patterns
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! # rd-bench — benchmark harnesses
+//!
+//! One `harness = false` bench target per paper table/figure (they print
+//! the regenerated rows; see EXPERIMENTS.md for paper-vs-measured), plus
+//! Criterion micro-benchmarks in `benches/micro.rs`.
+//!
+//! Run everything with `cargo bench --workspace`.

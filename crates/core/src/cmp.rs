@@ -1,0 +1,199 @@
+//! Comparison operators shared by all four languages.
+//!
+//! The paper fixes the operator set θ ∈ {=, ≠, <, ≤, >, ≥} (§2.2). Each
+//! language renders the operators with its own syntax (`<>` in SQL, `≠` in
+//! TRC, `!=` in our ASCII TRC syntax); this module owns the semantics and
+//! the two algebraic involutions used throughout the translations:
+//!
+//! * [`CmpOp::flipped`] — swap the two sides (`a < b` ⇔ `b > a`), used when
+//!   normalizing arrow directions in Relational Diagrams (§3.1 point 3);
+//! * [`CmpOp::negated`] — logical complement (`¬(a < b)` ⇔ `a >= b`), used
+//!   when eliminating unguarded negations (§2.3) and when rewriting `ALL`
+//!   subqueries to `NOT EXISTS` (Fig. 14b).
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A comparison operator θ ∈ {=, ≠, <, ≤, >, ≥}.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` (SQL `<>`, paper `≠`)
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=` (paper `≤`)
+    Le,
+    /// `>`
+    Gt,
+    /// `>=` (paper `≥`)
+    Ge,
+}
+
+impl CmpOp {
+    /// All six operators, in display order.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    /// Evaluates `left θ right` under the total order on [`Value`].
+    pub fn eval(self, left: &Value, right: &Value) -> bool {
+        match self {
+            CmpOp::Eq => left == right,
+            CmpOp::Ne => left != right,
+            CmpOp::Lt => left < right,
+            CmpOp::Le => left <= right,
+            CmpOp::Gt => left > right,
+            CmpOp::Ge => left >= right,
+        }
+    }
+
+    /// The operator obtained by swapping the operands: `a θ b ⇔ b θ' a`.
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical complement: `¬(a θ b) ⇔ a θ' b`.
+    ///
+    /// This is the `O'` of Fig. 14b ("the complement operator of O, for
+    /// example `<` for `>=`").
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// `true` for the symmetric operators `=` and `!=`, which need no
+    /// arrowhead in a Relational Diagram (§3.1 point 3).
+    pub fn is_symmetric(self) -> bool {
+        matches!(self, CmpOp::Eq | CmpOp::Ne)
+    }
+
+    /// ASCII rendering used by the TRC, RA and Datalog printers.
+    pub fn ascii(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// SQL rendering (`<>` instead of `!=`, per the Fig. 3 grammar).
+    pub fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Ne => "<>",
+            other => other.ascii(),
+        }
+    }
+
+    /// Unicode rendering used in diagram labels (`≠`, `≤`, `≥`).
+    pub fn unicode(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+        }
+    }
+
+    /// Parses any of the accepted spellings (`=`, `!=`, `<>`, `≠`, `<`,
+    /// `<=`, `≤`, `>`, `>=`, `≥`).
+    pub fn parse(s: &str) -> Option<CmpOp> {
+        match s {
+            "=" | "==" => Some(CmpOp::Eq),
+            "!=" | "<>" | "≠" => Some(CmpOp::Ne),
+            "<" => Some(CmpOp::Lt),
+            "<=" | "≤" => Some(CmpOp::Le),
+            ">" => Some(CmpOp::Gt),
+            ">=" | "≥" => Some(CmpOp::Ge),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.ascii())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_on_ints() {
+        let (a, b) = (Value::int(1), Value::int(2));
+        assert!(CmpOp::Lt.eval(&a, &b));
+        assert!(CmpOp::Le.eval(&a, &b));
+        assert!(CmpOp::Ne.eval(&a, &b));
+        assert!(!CmpOp::Eq.eval(&a, &b));
+        assert!(!CmpOp::Gt.eval(&a, &b));
+        assert!(!CmpOp::Ge.eval(&a, &b));
+    }
+
+    #[test]
+    fn flip_is_involution_and_swaps_sides() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.flipped().flipped(), op);
+            let (a, b) = (Value::int(3), Value::int(7));
+            assert_eq!(op.eval(&a, &b), op.flipped().eval(&b, &a));
+        }
+    }
+
+    #[test]
+    fn negate_is_involution_and_complements() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.negated().negated(), op);
+            let (a, b) = (Value::int(3), Value::int(7));
+            assert_eq!(op.eval(&a, &b), !op.negated().eval(&a, &b));
+            let (a, b) = (Value::int(5), Value::int(5));
+            assert_eq!(op.eval(&a, &b), !op.negated().eval(&a, &b));
+        }
+    }
+
+    #[test]
+    fn parse_all_spellings() {
+        assert_eq!(CmpOp::parse("<>"), Some(CmpOp::Ne));
+        assert_eq!(CmpOp::parse("≠"), Some(CmpOp::Ne));
+        assert_eq!(CmpOp::parse("!="), Some(CmpOp::Ne));
+        assert_eq!(CmpOp::parse("≥"), Some(CmpOp::Ge));
+        assert_eq!(CmpOp::parse("bogus"), None);
+        for op in CmpOp::ALL {
+            assert_eq!(CmpOp::parse(op.ascii()), Some(op));
+            assert_eq!(CmpOp::parse(op.sql()), Some(op));
+            assert_eq!(CmpOp::parse(op.unicode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        assert!(CmpOp::Eq.is_symmetric());
+        assert!(CmpOp::Ne.is_symmetric());
+        assert!(!CmpOp::Lt.is_symmetric());
+    }
+}

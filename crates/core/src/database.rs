@@ -1,0 +1,346 @@
+//! Tuples, relation instances, and databases.
+
+use crate::error::{CoreError, CoreResult};
+use crate::schema::{Catalog, TableSchema};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A tuple: an ordered list of values. Attribute names live in the schema
+/// (the "set-of-mappings" view of §3.1 is recovered by pairing a tuple with
+/// its [`TableSchema`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tuple(pub Vec<Value>);
+
+impl Tuple {
+    /// Builds a tuple from anything convertible to values.
+    pub fn new<V: Into<Value>, I: IntoIterator<Item = V>>(values: I) -> Self {
+        Tuple(values.into_iter().map(Into::into).collect())
+    }
+
+    /// The tuple's arity.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The value at position `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// Iterates over the values.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.0.iter()
+    }
+
+    /// Concatenates two tuples (used by products/joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+
+    /// Projects the tuple onto the given positions.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&i| self.0[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A relation instance: a schema plus a *set* of tuples.
+///
+/// `BTreeSet` enforces set semantics and gives deterministic iteration,
+/// which keeps query evaluation, printing, and counterexample search
+/// reproducible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    schema: TableSchema,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// An empty instance of `schema`.
+    pub fn empty(schema: TableSchema) -> Self {
+        Relation {
+            schema,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a relation from rows, checking arity.
+    pub fn from_rows<V, R, I>(schema: TableSchema, rows: I) -> CoreResult<Self>
+    where
+        V: Into<Value>,
+        R: IntoIterator<Item = V>,
+        I: IntoIterator<Item = R>,
+    {
+        let mut rel = Relation::empty(schema);
+        for row in rows {
+            rel.insert(Tuple::new(row))?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The relation's name (shorthand for `schema().name()`).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Inserts a tuple, checking arity. Returns `Ok(true)` if it was new.
+    pub fn insert(&mut self, tuple: Tuple) -> CoreResult<bool> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(CoreError::ArityMismatch {
+                table: self.schema.name().to_string(),
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        Ok(self.tuples.insert(tuple))
+    }
+
+    /// Convenience: insert a row of values.
+    pub fn insert_values<V: Into<Value>, I: IntoIterator<Item = V>>(
+        &mut self,
+        row: I,
+    ) -> CoreResult<bool> {
+        self.insert(Tuple::new(row))
+    }
+
+    /// `true` if the tuple is present.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` if the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over tuples in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The underlying tuple set.
+    pub fn tuples(&self) -> &BTreeSet<Tuple> {
+        &self.tuples
+    }
+
+    /// Returns this relation under a new schema name (arity must match).
+    pub fn renamed(&self, new_schema: TableSchema) -> CoreResult<Relation> {
+        if new_schema.arity() != self.schema.arity() {
+            return Err(CoreError::ArityMismatch {
+                table: new_schema.name().to_string(),
+                expected: new_schema.arity(),
+                actual: self.schema.arity(),
+            });
+        }
+        Ok(Relation {
+            schema: new_schema,
+            tuples: self.tuples.clone(),
+        })
+    }
+}
+
+/// A database: a set of relation instances, keyed by table name.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A database with an empty instance for every table in `catalog`.
+    pub fn empty_for(catalog: &Catalog) -> Self {
+        let mut db = Database::new();
+        for schema in catalog.iter() {
+            db.add_relation(Relation::empty(schema.clone()));
+        }
+        db
+    }
+
+    /// Adds (or replaces) a relation.
+    pub fn add_relation(&mut self, relation: Relation) {
+        self.relations
+            .insert(relation.name().to_string(), relation);
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Looks up a relation or returns an error.
+    pub fn require(&self, name: &str) -> CoreResult<&Relation> {
+        self.relation(name)
+            .ok_or_else(|| CoreError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable lookup.
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Iterates over relations in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` if the database stores no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The catalog implied by this database's schemas.
+    pub fn catalog(&self) -> Catalog {
+        let mut c = Catalog::new();
+        for r in self.relations.values() {
+            // Names are unique by construction of the BTreeMap.
+            c.add(r.schema().clone()).expect("unique by map key");
+        }
+        c
+    }
+
+    /// The active domain: every value appearing in any relation, in order.
+    ///
+    /// Extend with query constants before using it for domain-closure
+    /// arguments (the classic safety construction, Ullman \[77\]).
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut dom = BTreeSet::new();
+        for rel in self.relations.values() {
+            for t in rel.iter() {
+                dom.extend(t.iter().cloned());
+            }
+        }
+        dom
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rel in self.relations.values() {
+            writeln!(f, "{}", crate::pretty::render_relation(rel))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        Relation::from_rows(
+            TableSchema::new("R", ["A", "B"]),
+            [[1i64, 2], [1, 3], [2, 2]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn set_semantics_dedups() {
+        let mut r = sample();
+        assert_eq!(r.len(), 3);
+        assert!(!r.insert_values([1i64, 2]).unwrap());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut r = sample();
+        assert!(matches!(
+            r.insert_values([1i64]),
+            Err(CoreError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tuple_ops() {
+        let t = Tuple::new([1i64, 2, 3]);
+        let u = Tuple::new([4i64]);
+        assert_eq!(t.concat(&u), Tuple::new([1i64, 2, 3, 4]));
+        assert_eq!(t.project(&[2, 0]), Tuple::new([3i64, 1]));
+        assert_eq!(t.to_string(), "(1, 2, 3)");
+    }
+
+    #[test]
+    fn active_domain_collects_all_values() {
+        let mut db = Database::new();
+        db.add_relation(sample());
+        db.add_relation(
+            Relation::from_rows(TableSchema::new("S", ["B"]), [[9i64]]).unwrap(),
+        );
+        let dom: Vec<Value> = db.active_domain().into_iter().collect();
+        assert_eq!(
+            dom,
+            vec![Value::int(1), Value::int(2), Value::int(3), Value::int(9)]
+        );
+    }
+
+    #[test]
+    fn database_catalog_roundtrip() {
+        let mut db = Database::new();
+        db.add_relation(sample());
+        let cat = db.catalog();
+        assert_eq!(cat.require("R").unwrap().attrs(), ["A", "B"]);
+    }
+
+    #[test]
+    fn empty_for_catalog() {
+        let cat = Catalog::from_schemas([
+            TableSchema::new("R", ["A"]),
+            TableSchema::new("S", ["B"]),
+        ])
+        .unwrap();
+        let db = Database::empty_for(&cat);
+        assert_eq!(db.len(), 2);
+        assert!(db.require("R").unwrap().is_empty());
+    }
+
+    #[test]
+    fn renamed_relation_keeps_tuples() {
+        let r = sample();
+        let r2 = r.renamed(TableSchema::new("R_1", ["A", "B"])).unwrap();
+        assert_eq!(r2.name(), "R_1");
+        assert_eq!(r2.len(), 3);
+        assert!(r.renamed(TableSchema::new("X", ["A"])).is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Random and exhaustive database generation.
+//!
+//! Pattern isomorphism (Def. 12) reduces to logical equivalence of
+//! dissociated queries, which is undecidable in general (Trakhtenbrot, §4.1
+//! "Complexity of deciding pattern isomorphism"). `rd-pattern` therefore
+//! *refutes* equivalence by searching for a counterexample database. This
+//! module supplies the two search strategies:
+//!
+//! * [`ExhaustiveDbIter`] — every database over a small domain with at most
+//!   `k` tuples per relation (complete for refutation within the bound);
+//! * [`DbGenerator`] — seeded random databases over a larger domain, which
+//!   catches discrepancies the tiny exhaustive domains miss (e.g. ones that
+//!   require three distinct values on an ordered domain).
+
+use crate::database::{Database, Relation, Tuple};
+use crate::schema::Catalog;
+use crate::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded random database generator for differential testing.
+#[derive(Debug)]
+pub struct DbGenerator {
+    catalog: Catalog,
+    domain: Vec<Value>,
+    max_tuples: usize,
+    rng: StdRng,
+}
+
+impl DbGenerator {
+    /// Creates a generator over `domain` producing at most `max_tuples`
+    /// tuples per relation, with a fixed RNG seed for reproducibility.
+    pub fn new(catalog: Catalog, domain: Vec<Value>, max_tuples: usize, seed: u64) -> Self {
+        assert!(!domain.is_empty(), "domain must be non-empty");
+        DbGenerator {
+            catalog,
+            domain,
+            max_tuples,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generator with an integer domain `0..n`.
+    pub fn with_int_domain(catalog: Catalog, n: i64, max_tuples: usize, seed: u64) -> Self {
+        Self::new(
+            catalog,
+            (0..n).map(Value::int).collect(),
+            max_tuples,
+            seed,
+        )
+    }
+
+    /// Draws the next random database.
+    pub fn next_db(&mut self) -> Database {
+        let mut db = Database::new();
+        for schema in self.catalog.iter() {
+            let mut rel = Relation::empty(schema.clone());
+            let n = self.rng.random_range(0..=self.max_tuples);
+            for _ in 0..n {
+                let tuple = Tuple(
+                    (0..schema.arity())
+                        .map(|_| {
+                            let i = self.rng.random_range(0..self.domain.len());
+                            self.domain[i].clone()
+                        })
+                        .collect(),
+                );
+                rel.insert(tuple).expect("generated tuple has schema arity");
+            }
+            db.add_relation(rel);
+        }
+        db
+    }
+}
+
+impl Iterator for DbGenerator {
+    type Item = Database;
+
+    fn next(&mut self) -> Option<Database> {
+        Some(self.next_db())
+    }
+}
+
+/// Exhaustive enumeration of all databases over a finite domain with at
+/// most `max_tuples` tuples per relation.
+///
+/// For each relation of arity `a` over a domain of size `d` there are
+/// `d^a` candidate tuples; we enumerate every subset of size ≤ `max_tuples`
+/// of each candidate set, taking the cartesian product across relations.
+#[derive(Debug)]
+pub struct ExhaustiveDbIter {
+    /// Candidate tuples per relation (aligned with `schemas`).
+    candidates: Vec<Vec<Tuple>>,
+    schemas: Vec<crate::schema::TableSchema>,
+    /// Current subset selector per relation, encoded as a bitmask.
+    state: Vec<u64>,
+    max_tuples: usize,
+    done: bool,
+}
+
+/// Enumerates every database over `domain` for `catalog` with at most
+/// `max_tuples` tuples per relation. Panics if any relation has more than
+/// 63 candidate tuples (keep `|domain|^arity` small; this iterator is for
+/// *tiny* model checking domains).
+pub fn enumerate_databases(
+    catalog: &Catalog,
+    domain: &[Value],
+    max_tuples: usize,
+) -> ExhaustiveDbIter {
+    let mut candidates = Vec::new();
+    let mut schemas = Vec::new();
+    for schema in catalog.iter() {
+        let mut tuples = vec![Tuple(Vec::new())];
+        for _ in 0..schema.arity() {
+            let mut next = Vec::with_capacity(tuples.len() * domain.len());
+            for t in &tuples {
+                for v in domain {
+                    let mut row = t.0.clone();
+                    row.push(v.clone());
+                    next.push(Tuple(row));
+                }
+            }
+            tuples = next;
+        }
+        assert!(
+            tuples.len() <= 63,
+            "relation {} has {} candidate tuples; exhaustive enumeration only supports <= 63",
+            schema.name(),
+            tuples.len()
+        );
+        candidates.push(tuples);
+        schemas.push(schema.clone());
+    }
+    let state = vec![0u64; candidates.len()];
+    ExhaustiveDbIter {
+        candidates,
+        schemas,
+        state,
+        max_tuples,
+        done: false,
+    }
+}
+
+impl ExhaustiveDbIter {
+    fn mask_ok(&self, mask: u64) -> bool {
+        (mask.count_ones() as usize) <= self.max_tuples
+    }
+
+    fn build(&self) -> Database {
+        let mut db = Database::new();
+        for (i, schema) in self.schemas.iter().enumerate() {
+            let mut rel = Relation::empty(schema.clone());
+            let mask = self.state[i];
+            for (j, t) in self.candidates[i].iter().enumerate() {
+                if mask & (1 << j) != 0 {
+                    rel.insert(t.clone()).expect("candidate tuple fits schema");
+                }
+            }
+            db.add_relation(rel);
+        }
+        db
+    }
+
+    /// Advances `state[i]` to the next bitmask with ≤ `max_tuples` bits.
+    /// Returns false on overflow of relation `i`.
+    fn bump(&mut self, i: usize) -> bool {
+        let limit = 1u64 << self.candidates[i].len();
+        loop {
+            self.state[i] += 1;
+            if self.state[i] >= limit {
+                self.state[i] = 0;
+                return false;
+            }
+            if self.mask_ok(self.state[i]) {
+                return true;
+            }
+        }
+    }
+}
+
+impl Iterator for ExhaustiveDbIter {
+    type Item = Database;
+
+    fn next(&mut self) -> Option<Database> {
+        if self.done {
+            return None;
+        }
+        let db = self.build();
+        // Odometer increment across relations.
+        let mut i = 0;
+        loop {
+            if i >= self.state.len() {
+                self.done = true;
+                break;
+            }
+            if self.bump(i) {
+                break;
+            }
+            i += 1;
+        }
+        if self.state.is_empty() {
+            self.done = true;
+        }
+        Some(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+
+    fn tiny_catalog() -> Catalog {
+        Catalog::from_schemas([TableSchema::new("R", ["A"]), TableSchema::new("S", ["A"])])
+            .unwrap()
+    }
+
+    #[test]
+    fn exhaustive_counts_unary_domain2() {
+        // Each unary relation over {0,1} has 4 subsets; 2 relations -> 16 dbs.
+        let cat = tiny_catalog();
+        let dom = [Value::int(0), Value::int(1)];
+        let dbs: Vec<Database> = enumerate_databases(&cat, &dom, 2).collect();
+        assert_eq!(dbs.len(), 16);
+        // First database is entirely empty.
+        assert!(dbs[0].iter().all(Relation::is_empty));
+        // All databases are distinct.
+        for i in 0..dbs.len() {
+            for j in (i + 1)..dbs.len() {
+                assert_ne!(dbs[i], dbs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_respects_max_tuples() {
+        let cat = Catalog::from_schemas([TableSchema::new("R", ["A"])]).unwrap();
+        let dom = [Value::int(0), Value::int(1), Value::int(2)];
+        let dbs: Vec<Database> = enumerate_databases(&cat, &dom, 1).collect();
+        // Subsets of size <= 1 of a 3-element candidate set: empty + 3.
+        assert_eq!(dbs.len(), 4);
+        assert!(dbs.iter().all(|db| db.require("R").unwrap().len() <= 1));
+    }
+
+    #[test]
+    fn exhaustive_binary_relation() {
+        let cat = Catalog::from_schemas([TableSchema::new("R", ["A", "B"])]).unwrap();
+        let dom = [Value::int(0), Value::int(1)];
+        // 4 candidate tuples, all 16 subsets allowed with max_tuples = 4.
+        let dbs: Vec<Database> = enumerate_databases(&cat, &dom, 4).collect();
+        assert_eq!(dbs.len(), 16);
+    }
+
+    #[test]
+    fn random_generation_is_reproducible_and_in_bounds() {
+        let cat = tiny_catalog();
+        let mut g1 = DbGenerator::with_int_domain(cat.clone(), 3, 4, 42);
+        let mut g2 = DbGenerator::with_int_domain(cat, 3, 4, 42);
+        for _ in 0..10 {
+            let a = g1.next_db();
+            let b = g2.next_db();
+            assert_eq!(a, b);
+            for rel in a.iter() {
+                assert!(rel.len() <= 4);
+                for t in rel.iter() {
+                    for v in t.iter() {
+                        assert!(matches!(v, Value::Int(i) if (0..3).contains(i)));
+                    }
+                }
+            }
+        }
+    }
+}

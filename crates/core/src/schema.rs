@@ -1,0 +1,232 @@
+//! Table schemas and catalogs.
+//!
+//! We follow the *named perspective* (§2): a table schema is a table name
+//! plus an ordered list of attribute names. Ordering matters for Datalog's
+//! positional atoms and for the dissociation machinery (a dissociated table
+//! must have "the same schema" as its origin, Def. 10), so we keep
+//! attributes in a `Vec` rather than a set, while still rejecting duplicate
+//! names.
+
+use crate::error::{CoreError, CoreResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The schema of one relation: a name and an ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableSchema {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl TableSchema {
+    /// Creates a schema. Panics on duplicate attribute names — schemas are
+    /// almost always written as literals in code; use
+    /// [`TableSchema::try_new`] for untrusted input.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(name: impl Into<String>, attrs: I) -> Self {
+        Self::try_new(name, attrs).expect("invalid table schema")
+    }
+
+    /// Fallible constructor rejecting duplicate attribute names.
+    pub fn try_new<S: Into<String>, I: IntoIterator<Item = S>>(
+        name: impl Into<String>,
+        attrs: I,
+    ) -> CoreResult<Self> {
+        let name = name.into();
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(CoreError::DuplicateAttribute {
+                    table: name,
+                    attribute: a.clone(),
+                });
+            }
+        }
+        Ok(TableSchema { name, attrs })
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered attribute names.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Position of `attr`, if present.
+    pub fn attr_index(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// `true` if `attr` is an attribute of this schema.
+    pub fn has_attr(&self, attr: &str) -> bool {
+        self.attr_index(attr).is_some()
+    }
+
+    /// Returns a copy of this schema under a different table name. Used by
+    /// dissociation (Def. 10): "every table S'\[i\] has the same schema as
+    /// table S\[i\]".
+    pub fn renamed(&self, new_name: impl Into<String>) -> TableSchema {
+        TableSchema {
+            name: new_name.into(),
+            attrs: self.attrs.clone(),
+        }
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attrs.join(", "))
+    }
+}
+
+/// A catalog: the set of table schemas a query may reference.
+///
+/// Catalogs are the "database schema" of the paper's examples, e.g.
+/// `Sailor(sid, sname, rating, age), Reserves(sid, bid, day), Boat(bid,
+/// bname, color)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableSchema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a catalog from schemas, rejecting duplicates.
+    pub fn from_schemas<I: IntoIterator<Item = TableSchema>>(schemas: I) -> CoreResult<Self> {
+        let mut c = Catalog::new();
+        for s in schemas {
+            c.add(s)?;
+        }
+        Ok(c)
+    }
+
+    /// Adds a schema, rejecting duplicates.
+    pub fn add(&mut self, schema: TableSchema) -> CoreResult<()> {
+        if self.tables.contains_key(schema.name()) {
+            return Err(CoreError::DuplicateTable(schema.name().to_string()));
+        }
+        self.tables.insert(schema.name().to_string(), schema);
+        Ok(())
+    }
+
+    /// Looks up a schema by table name.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(name)
+    }
+
+    /// Looks up a schema or returns an error.
+    pub fn require(&self, name: &str) -> CoreResult<&TableSchema> {
+        self.table(name)
+            .ok_or_else(|| CoreError::UnknownTable(name.to_string()))
+    }
+
+    /// Iterates over all schemas in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` if the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Returns a fresh table name not present in the catalog, derived from
+    /// `base` by appending `_1`, `_2`, … Used when dissociating queries.
+    pub fn fresh_name(&self, base: &str) -> String {
+        if !self.tables.contains_key(base) {
+            return base.to_string();
+        }
+        let mut i = 1usize;
+        loop {
+            let candidate = format!("{base}_{i}");
+            if !self.tables.contains_key(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+}
+
+impl fmt::Display for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for t in self.tables.values() {
+            if !first {
+                writeln!(f)?;
+            }
+            write!(f, "{t}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_basics() {
+        let s = TableSchema::new("Sailor", ["sid", "sname", "rating", "age"]);
+        assert_eq!(s.name(), "Sailor");
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.attr_index("rating"), Some(2));
+        assert!(s.has_attr("sid"));
+        assert!(!s.has_attr("bid"));
+        assert_eq!(s.to_string(), "Sailor(sid, sname, rating, age)");
+    }
+
+    #[test]
+    fn schema_rejects_duplicate_attrs() {
+        let err = TableSchema::try_new("R", ["A", "A"]).unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn renamed_preserves_attrs() {
+        let s = TableSchema::new("R", ["A", "B"]);
+        let r = s.renamed("R_1");
+        assert_eq!(r.name(), "R_1");
+        assert_eq!(r.attrs(), s.attrs());
+    }
+
+    #[test]
+    fn catalog_add_and_lookup() {
+        let mut c = Catalog::new();
+        c.add(TableSchema::new("R", ["A", "B"])).unwrap();
+        c.add(TableSchema::new("S", ["B"])).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.table("R").is_some());
+        assert!(c.require("T").is_err());
+        assert!(matches!(
+            c.add(TableSchema::new("R", ["X"])),
+            Err(CoreError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn fresh_names_avoid_collisions() {
+        let mut c = Catalog::new();
+        c.add(TableSchema::new("R", ["A"])).unwrap();
+        c.add(TableSchema::new("R_1", ["A"])).unwrap();
+        assert_eq!(c.fresh_name("R"), "R_2");
+        assert_eq!(c.fresh_name("S"), "S");
+    }
+}

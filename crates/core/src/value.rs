@@ -1,0 +1,106 @@
+//! Domain values.
+//!
+//! The paper's formalism only needs constants that can be compared with a
+//! total order (§2: "we assume a linear order over the active domain").
+//! Two variants suffice for every query in the paper and in the textbook
+//! corpus: integers and strings. Integers order before strings so that the
+//! derived [`Ord`] is total across variants.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single domain value: an integer or a string.
+///
+/// No `NULL` exists by design: the paper interprets SQL under binary logic
+/// (§2.4), so this engine has no third truth value to propagate.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// An integer constant, e.g. the `5` in `r.B > 5`.
+    Int(i64),
+    /// A string constant, e.g. the `'red'` in `b.color = 'red'`.
+    Str(String),
+}
+
+impl Value {
+    /// Convenience constructor for integer values.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Convenience constructor for string values.
+    pub fn str(v: impl Into<String>) -> Self {
+        Value::Str(v.into())
+    }
+
+    /// Returns `true` if this value is an integer.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+
+    /// Renders the value as a SQL literal (strings quoted with `'`).
+    pub fn sql_literal(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_across_variants() {
+        assert!(Value::int(99) < Value::str("a"));
+        assert!(Value::int(1) < Value::int(2));
+        assert!(Value::str("a") < Value::str("b"));
+    }
+
+    #[test]
+    fn sql_literal_quotes_strings() {
+        assert_eq!(Value::int(5).sql_literal(), "5");
+        assert_eq!(Value::str("red").sql_literal(), "'red'");
+        assert_eq!(Value::str("o'brien").sql_literal(), "'o''brien'");
+    }
+
+    #[test]
+    fn display_matches_trc_notation() {
+        assert_eq!(Value::int(0).to_string(), "0");
+        assert_eq!(Value::str("red").to_string(), "'red'");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(String::from("y")), Value::Str("y".into()));
+    }
+}

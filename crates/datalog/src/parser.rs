@@ -1,0 +1,331 @@
+//! Parser for the Datalog surface syntax.
+//!
+//! ```text
+//! program := rule { rule }
+//! rule    := atom ':-' literal {',' literal} '.'
+//! literal := ['not'] atom | term OP term
+//! atom    := IDENT '(' term {',' term} ')'
+//! term    := '_' | INT | STRING | IDENT
+//! ```
+//!
+//! Identifiers starting with an uppercase letter are predicate names when
+//! followed by `(`, otherwise terms are variables (any identifier) or
+//! constants (numbers / quoted strings).
+
+use crate::ast::{Atom, BuiltIn, DlProgram, DlTerm, Literal, Rule};
+use rd_core::{Catalog, CmpOp, CoreError, CoreResult, Value};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Op(CmpOp),
+    LParen,
+    RParen,
+    Comma,
+    Period,
+    Implies,
+    Underscore,
+    KwNot,
+}
+
+fn lex(input: &str) -> CoreResult<Vec<Tok>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Period);
+                i += 1;
+            }
+            ':' => {
+                if i + 1 < chars.len() && chars[i + 1] == '-' {
+                    toks.push(Tok::Implies);
+                    i += 2;
+                } else {
+                    return Err(CoreError::Invalid("expected ':-'".into()));
+                }
+            }
+            '¬' => {
+                toks.push(Tok::KwNot);
+                i += 1;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(CoreError::Invalid("unterminated string".into()));
+                }
+                i += 1;
+                toks.push(Tok::Str(s));
+            }
+            '=' | '!' | '<' | '>' => {
+                let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+                if let Some(op) = CmpOp::parse(&two) {
+                    toks.push(Tok::Op(op));
+                    i += 2;
+                } else if let Some(op) = CmpOp::parse(&c.to_string()) {
+                    toks.push(Tok::Op(op));
+                    i += 1;
+                } else {
+                    return Err(CoreError::Invalid(format!("unexpected char '{c}'")));
+                }
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                toks.push(Tok::Int(text.parse().map_err(|_| {
+                    CoreError::Invalid(format!("bad integer '{text}'"))
+                })?));
+            }
+            '_' => {
+                // Could be a longer identifier starting with underscore;
+                // a lone `_` is the wildcard.
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                if word == "_" {
+                    toks.push(Tok::Underscore);
+                } else {
+                    toks.push(Tok::Ident(word));
+                }
+            }
+            c if c.is_alphabetic() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                if word.eq_ignore_ascii_case("not") {
+                    toks.push(Tok::KwNot);
+                } else {
+                    toks.push(Tok::Ident(word));
+                }
+            }
+            other => {
+                return Err(CoreError::Invalid(format!(
+                    "unexpected character '{other}' in Datalog input"
+                )))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> CoreResult<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| CoreError::Invalid("unexpected end of Datalog input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> CoreResult<()> {
+        let got = self.next()?;
+        if &got == t {
+            Ok(())
+        } else {
+            Err(CoreError::Invalid(format!("expected {what}, found {got:?}")))
+        }
+    }
+
+    fn program(&mut self) -> CoreResult<DlProgram> {
+        let mut rules = Vec::new();
+        while self.peek().is_some() {
+            rules.push(self.rule()?);
+        }
+        if rules.is_empty() {
+            return Err(CoreError::Invalid("empty Datalog program".into()));
+        }
+        Ok(DlProgram::new(rules))
+    }
+
+    fn rule(&mut self) -> CoreResult<Rule> {
+        let head = self.atom()?;
+        self.expect(&Tok::Implies, "':-'")?;
+        let mut body = vec![self.literal()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.next()?;
+            body.push(self.literal()?);
+        }
+        self.expect(&Tok::Period, "'.' terminating rule")?;
+        Ok(Rule::new(head, body))
+    }
+
+    fn literal(&mut self) -> CoreResult<Literal> {
+        if self.peek() == Some(&Tok::KwNot) {
+            self.next()?;
+            return Ok(Literal::Neg(self.atom()?));
+        }
+        // Relational atom iff IDENT followed by '('.
+        if matches!(self.peek(), Some(Tok::Ident(_))) && self.peek2() == Some(&Tok::LParen) {
+            return Ok(Literal::Pos(self.atom()?));
+        }
+        let left = self.term()?;
+        let op = match self.next()? {
+            Tok::Op(op) => op,
+            other => {
+                return Err(CoreError::Invalid(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let right = self.term()?;
+        Ok(Literal::Cmp(BuiltIn::new(left, op, right)))
+    }
+
+    fn atom(&mut self) -> CoreResult<Atom> {
+        let pred = match self.next()? {
+            Tok::Ident(s) => s,
+            other => {
+                return Err(CoreError::Invalid(format!(
+                    "expected predicate name, found {other:?}"
+                )))
+            }
+        };
+        self.expect(&Tok::LParen, "'('")?;
+        let mut terms = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            terms.push(self.term()?);
+            while self.peek() == Some(&Tok::Comma) {
+                self.next()?;
+                terms.push(self.term()?);
+            }
+        }
+        self.expect(&Tok::RParen, "')'")?;
+        Ok(Atom::new(pred, terms))
+    }
+
+    fn term(&mut self) -> CoreResult<DlTerm> {
+        match self.next()? {
+            Tok::Underscore => Ok(DlTerm::Wildcard),
+            Tok::Int(n) => Ok(DlTerm::Const(Value::int(n))),
+            Tok::Str(s) => Ok(DlTerm::Const(Value::str(s))),
+            Tok::Ident(v) => Ok(DlTerm::Var(v)),
+            other => Err(CoreError::Invalid(format!(
+                "expected term, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Parses a program and validates it: safety, non-recursiveness, EDB
+/// arities against the catalog, and consistent IDB arities.
+pub fn parse_program(input: &str, catalog: &Catalog) -> CoreResult<DlProgram> {
+    let p = parse_program_unchecked(input)?;
+    crate::check::check_program(&p, catalog)?;
+    Ok(p)
+}
+
+/// Parses without validation.
+pub fn parse_program_unchecked(input: &str) -> CoreResult<DlProgram> {
+    let mut parser = Parser {
+        toks: lex(input)?,
+        pos: 0,
+    };
+    let p = parser.program()?;
+    if parser.pos != parser.toks.len() {
+        return Err(CoreError::Invalid("trailing tokens after program".into()));
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rd_core::TableSchema;
+
+    fn catalog() -> Catalog {
+        Catalog::from_schemas([
+            TableSchema::new("R", ["A", "B"]),
+            TableSchema::new("S", ["B"]),
+            TableSchema::new("T", ["A"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_division() {
+        let p = parse_program(
+            "I(x) :- R(x, _), S(y), not R(x, y).\nQ(x) :- R(x, _), not I(x).",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.query, "Q");
+        assert_eq!(p.signature(), vec!["R", "S", "R", "R"]);
+    }
+
+    #[test]
+    fn parses_builtins_and_constants() {
+        let p = parse_program("Q(x) :- R(x, y), y > 5.", &catalog()).unwrap();
+        let r = &p.rules[0];
+        assert_eq!(r.builtins().count(), 1);
+        let p2 = parse_program("Q(x) :- R(x, y), y = 'red'.", &catalog());
+        assert!(p2.is_ok());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let text = "I(x) :- R(x, _), S(y), not R(x, y).\nQ(x) :- R(x, _), not I(x).";
+        let p = parse_program_unchecked(text).unwrap();
+        let printed = p.to_string();
+        let p2 = parse_program_unchecked(&printed).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_program_unchecked("Q(x) :- R(x, y)").is_err()); // no period
+        assert!(parse_program_unchecked("Q(x) R(x).").is_err());
+        assert!(parse_program_unchecked("").is_err());
+    }
+
+    #[test]
+    fn unicode_negation_accepted() {
+        let p = parse_program_unchecked("Q(x) :- R(x, y), ¬ S(y).").unwrap();
+        assert_eq!(p.rules[0].negative().count(), 1);
+    }
+}

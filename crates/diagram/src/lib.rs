@@ -1,0 +1,43 @@
+//! # rd-diagram — Relational Diagrams
+//!
+//! The paper's diagrammatic representation of relational queries (§3, §5):
+//!
+//! * a [model](mod@model) of the canvas: nested **negation boxes** partition
+//!   the canvas (Fig. 5c), tables with their attribute rows sit inside
+//!   partitions, selection predicates are shown in place (`C > 1`), join
+//!   predicates are lines between attributes (with an operator label and
+//!   direction for θ-joins), a gray **output table** collects the result,
+//!   and multiple **union cells** (§5) provide relational completeness;
+//! * [validity](model::Diagram::validate) per Definitions 7 and 16;
+//! * the five-step translations [TRC\* → diagram](translate::from_trc)
+//!   (§3.2) and [diagram → TRC\*](translate::to_trc) (§3.3), whose
+//!   round-trip is the constructive proof of Theorem 8 (unambiguity);
+//! * [renderers](render): Graphviz DOT (cluster per negation box) and a
+//!   self-contained SVG layout (the substitution for the authors'
+//!   STRATISFIMAL LAYOUT tool — see DESIGN.md §4).
+//!
+//! ```
+//! use rd_core::{Catalog, TableSchema};
+//! use rd_trc::parse_query;
+//! use rd_diagram::{from_trc, to_trc};
+//!
+//! let catalog = Catalog::from_schemas([
+//!     TableSchema::new("R", ["A", "B"]),
+//!     TableSchema::new("S", ["B"]),
+//! ]).unwrap();
+//! let q = parse_query(
+//!     "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ s.B = r.B ]) ] }",
+//!     &catalog).unwrap();
+//! let d = from_trc(&q, &catalog).unwrap();
+//! d.validate().unwrap();
+//! let back = to_trc(&d, &catalog).unwrap();   // Theorem 8: unambiguous
+//! assert_eq!(back.branches.len(), 1);
+//! ```
+
+pub mod model;
+pub mod render;
+pub mod translate;
+
+pub use model::{AttrNode, Cell, Diagram, JoinEdge, OutputTable, Partition, TableNode};
+pub use render::{to_dot, to_svg};
+pub use translate::{from_trc, from_trc_union, to_trc};

@@ -1,0 +1,476 @@
+//! The Relational Diagram canvas model and its validity conditions.
+
+use rd_core::{CmpOp, CoreError, CoreResult, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One attribute row of a table node.
+///
+/// An attribute participating in `k` selection predicates is repeated `k`
+/// times (§3.1 point 2); an attribute participating in joins appears once
+/// more without a selection (point 3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrNode {
+    /// The attribute name, e.g. `C`.
+    pub attr: String,
+    /// An in-place selection predicate, e.g. `> 1` for the row `C > 1`.
+    pub selection: Option<(CmpOp, Value)>,
+}
+
+impl AttrNode {
+    /// A plain (join-capable) attribute row.
+    pub fn plain(attr: impl Into<String>) -> Self {
+        AttrNode {
+            attr: attr.into(),
+            selection: None,
+        }
+    }
+
+    /// A selection row, e.g. `C > 1`.
+    pub fn selection(attr: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        AttrNode {
+            attr: attr.into(),
+            selection: Some((op, value.into())),
+        }
+    }
+
+    /// Rendered label, e.g. `C` or `C > 1`.
+    pub fn label(&self) -> String {
+        match &self.selection {
+            Some((op, v)) => format!("{} {} {}", self.attr, op.unicode(), v),
+            None => self.attr.clone(),
+        }
+    }
+}
+
+/// A table displayed in a partition: name plus visible attribute rows
+/// (only attributes used by the query are shown, §3.1 point 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableNode {
+    /// Identifier unique within a cell (used by join edges).
+    pub id: usize,
+    /// Table name (no aliases — §3.1 point 1).
+    pub name: String,
+    /// Visible attribute rows.
+    pub attrs: Vec<AttrNode>,
+}
+
+impl TableNode {
+    /// Index of the first *plain* row for `attr`, if present.
+    pub fn plain_attr(&self, attr: &str) -> Option<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a.attr == attr && a.selection.is_none())
+    }
+}
+
+/// A canvas partition: the region delimited by a negation box (or the
+/// root canvas). Children are the negation boxes directly inside.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Partition {
+    /// Tables placed directly in this partition.
+    pub tables: Vec<TableNode>,
+    /// Nested negation boxes.
+    pub children: Vec<Partition>,
+}
+
+impl Partition {
+    /// Depth-first iteration over partitions, yielding `(partition, depth)`.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Partition, usize)) {
+        fn go<'a>(p: &'a Partition, depth: usize, f: &mut impl FnMut(&'a Partition, usize)) {
+            f(p, depth);
+            for c in &p.children {
+                go(c, depth + 1, f);
+            }
+        }
+        go(self, 0, f);
+    }
+
+    /// Total number of partitions (including this one).
+    pub fn partition_count(&self) -> usize {
+        1 + self.children.iter().map(Partition::partition_count).sum::<usize>()
+    }
+}
+
+/// An endpoint of a join edge: `(table id, attribute row index)`.
+pub type Endpoint = (usize, usize);
+
+/// A join predicate drawn as a line between two attribute rows
+/// (§3.1 point 3). Symmetric operators need no direction; asymmetric ones
+/// read `from θ to`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinEdge {
+    /// Source endpoint (left operand of the predicate).
+    pub from: Endpoint,
+    /// Target endpoint (right operand).
+    pub to: Endpoint,
+    /// Operator label (`=` edges are drawn without a label).
+    pub op: CmpOp,
+}
+
+/// The gray output table (§3.1 point 5). Boolean queries have none.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutputTable {
+    /// Output table name (conventionally `Q`).
+    pub name: String,
+    /// Output attribute names.
+    pub attrs: Vec<String>,
+    /// For each output attribute (by index): the attribute row it connects
+    /// to. Validity requires the endpoint's table to sit in the root
+    /// partition (safety, Def. 7 point 5).
+    pub edges: Vec<(usize, Endpoint)>,
+}
+
+/// One union cell: a Relational Diagram\* (root partition + joins +
+/// optional output table).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    /// The root partition `q₀`.
+    pub root: Partition,
+    /// Join edges between attribute rows.
+    pub joins: Vec<JoinEdge>,
+    /// Output table, if the query is non-Boolean.
+    pub output: Option<OutputTable>,
+}
+
+/// A Relational Diagram: one or more union cells (§5). A single cell is a
+/// Relational Diagram\*.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagram {
+    /// The union cells.
+    pub cells: Vec<Cell>,
+}
+
+impl Diagram {
+    /// Wraps a single cell.
+    pub fn single(cell: Cell) -> Self {
+        Diagram { cells: vec![cell] }
+    }
+
+    /// `true` if this is a Relational Diagram\* (no union cells).
+    pub fn is_star(&self) -> bool {
+        self.cells.len() == 1
+    }
+
+    /// The signature: table names in placement order across cells
+    /// (partition pre-order, matching the TRC quantifier order).
+    pub fn signature(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for cell in &self.cells {
+            cell.root.walk(&mut |p, _| {
+                for t in &p.tables {
+                    out.push(t.name.clone());
+                }
+            });
+        }
+        out
+    }
+
+    /// Validates the diagram per Definition 7 (points 1–5) and the union
+    /// extension of Definition 16 (point 6).
+    ///
+    /// Point 1 (boxes partition the canvas) and point 2 (each table in
+    /// exactly one partition) hold by construction of the tree model; the
+    /// remaining conditions are checked explicitly.
+    pub fn validate(&self) -> CoreResult<()> {
+        if self.cells.is_empty() {
+            return Err(CoreError::Invalid("a diagram needs at least one cell".into()));
+        }
+        for cell in &self.cells {
+            validate_cell(cell)?;
+        }
+        // Def. 16 point 6: all output tables identical in name and attrs.
+        let first = &self.cells[0].output;
+        for cell in &self.cells[1..] {
+            let same = match (first, &cell.output) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.name == b.name && a.attrs == b.attrs,
+                _ => false,
+            };
+            if !same {
+                return Err(CoreError::Invalid(
+                    "union cells must have identical output tables (Def. 16)".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-table bookkeeping collected while validating a cell.
+struct TableInfo {
+    /// Partition path from the root (e.g. `[0]` root, `[0, 2]` third box).
+    path: Vec<usize>,
+}
+
+fn collect_tables(
+    p: &Partition,
+    path: &mut Vec<usize>,
+    out: &mut BTreeMap<usize, TableInfo>,
+) -> CoreResult<()> {
+    for t in &p.tables {
+        if out
+            .insert(
+                t.id,
+                TableInfo {
+                    path: path.clone(),
+                },
+            )
+            .is_some()
+        {
+            return Err(CoreError::Invalid(format!(
+                "table id {} appears in more than one partition (Def. 7 point 2)",
+                t.id
+            )));
+        }
+    }
+    for (i, c) in p.children.iter().enumerate() {
+        path.push(i);
+        collect_tables(c, path, out)?;
+        path.pop();
+    }
+    Ok(())
+}
+
+/// `true` if one path is a prefix of the other (ancestor/descendant).
+fn related(a: &[usize], b: &[usize]) -> bool {
+    let n = a.len().min(b.len());
+    a[..n] == b[..n]
+}
+
+fn leaf_has_table(p: &Partition) -> bool {
+    if p.children.is_empty() {
+        !p.tables.is_empty()
+    } else {
+        p.children.iter().all(leaf_has_table)
+    }
+}
+
+fn find_table<'a>(p: &'a Partition, id: usize) -> Option<&'a TableNode> {
+    p.tables
+        .iter()
+        .find(|t| t.id == id)
+        .or_else(|| p.children.iter().find_map(|c| find_table(c, id)))
+}
+
+fn validate_cell(cell: &Cell) -> CoreResult<()> {
+    // Point 3: each leaf partition contains at least one table — and the
+    // special case of the empty canvas.
+    if cell.root.tables.is_empty() && cell.root.children.is_empty() {
+        return Err(CoreError::Invalid(
+            "an empty canvas is not a valid Relational Diagram (§3.3 step 2)".into(),
+        ));
+    }
+    if !leaf_has_table(&cell.root) {
+        return Err(CoreError::Invalid(
+            "every leaf partition must contain at least one table (Def. 7 point 3)".into(),
+        ));
+    }
+    let mut infos = BTreeMap::new();
+    collect_tables(&cell.root, &mut Vec::new(), &mut infos)?;
+
+    let endpoint_ok = |e: &Endpoint| -> CoreResult<&TableInfo> {
+        let info = infos.get(&e.0).ok_or_else(|| {
+            CoreError::Invalid(format!("join references unknown table id {}", e.0))
+        })?;
+        let table = find_table(&cell.root, e.0).expect("id found above");
+        if e.1 >= table.attrs.len() {
+            return Err(CoreError::Invalid(format!(
+                "join references attribute row {} of table '{}' which has {} rows",
+                e.1,
+                table.name,
+                table.attrs.len()
+            )));
+        }
+        Ok(info)
+    };
+
+    // Point 4: joins only between partitions in an ancestor/descendant
+    // relationship (never siblings).
+    for j in &cell.joins {
+        let a = endpoint_ok(&j.from)?;
+        let b = endpoint_ok(&j.to)?;
+        if !related(&a.path, &b.path) {
+            return Err(CoreError::Invalid(
+                "join connects sibling partitions (Def. 7 point 4)".into(),
+            ));
+        }
+    }
+
+    // Point 5: each output attribute connects to exactly one attribute of
+    // a table in the root partition.
+    if let Some(out) = &cell.output {
+        if out.attrs.is_empty() {
+            return Err(CoreError::Invalid(
+                "output table needs at least one attribute (Def. 7 point 5)".into(),
+            ));
+        }
+        for (i, _attr) in out.attrs.iter().enumerate() {
+            let mut edges = out.edges.iter().filter(|(oi, _)| *oi == i);
+            let Some((_, endpoint)) = edges.next() else {
+                return Err(CoreError::Invalid(format!(
+                    "output attribute #{i} is not connected (Def. 7 point 5)"
+                )));
+            };
+            if edges.next().is_some() {
+                return Err(CoreError::Invalid(format!(
+                    "output attribute #{i} connects to more than one attribute (Def. 7 point 5)"
+                )));
+            }
+            let info = endpoint_ok(endpoint)?;
+            if !info.path.is_empty() {
+                return Err(CoreError::Invalid(
+                    "output attributes must connect to tables in the root partition \
+                     (safety, Def. 7 point 5)"
+                        .into(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 15k: { q(A) | ∃r∈R[q.A=r.A ∧ ¬(∃s∈S[s.B=r.B])] }.
+    pub(crate) fn not_exists_cell() -> Cell {
+        let r = TableNode {
+            id: 0,
+            name: "R".into(),
+            attrs: vec![AttrNode::plain("A"), AttrNode::plain("B")],
+        };
+        let s = TableNode {
+            id: 1,
+            name: "S".into(),
+            attrs: vec![AttrNode::plain("B")],
+        };
+        Cell {
+            root: Partition {
+                tables: vec![r],
+                children: vec![Partition {
+                    tables: vec![s],
+                    children: vec![],
+                }],
+            },
+            joins: vec![JoinEdge {
+                from: (1, 0),
+                to: (0, 1),
+                op: CmpOp::Eq,
+            }],
+            output: Some(OutputTable {
+                name: "Q".into(),
+                attrs: vec!["A".into()],
+                edges: vec![(0, (0, 0))],
+            }),
+        }
+    }
+
+    #[test]
+    fn valid_cell_passes() {
+        Diagram::single(not_exists_cell()).validate().unwrap();
+    }
+
+    #[test]
+    fn empty_canvas_rejected() {
+        let d = Diagram::single(Cell {
+            root: Partition::default(),
+            joins: vec![],
+            output: None,
+        });
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn empty_leaf_partition_rejected() {
+        let mut cell = not_exists_cell();
+        cell.root.children.push(Partition::default());
+        assert!(Diagram::single(cell).validate().is_err());
+    }
+
+    #[test]
+    fn sibling_join_rejected() {
+        // Two sibling boxes with a join between them (Def. 7 point 4).
+        let t1 = TableNode {
+            id: 0,
+            name: "R".into(),
+            attrs: vec![AttrNode::plain("A")],
+        };
+        let t2 = TableNode {
+            id: 1,
+            name: "S".into(),
+            attrs: vec![AttrNode::plain("B")],
+        };
+        let anchor = TableNode {
+            id: 2,
+            name: "T".into(),
+            attrs: vec![AttrNode::plain("A")],
+        };
+        let cell = Cell {
+            root: Partition {
+                tables: vec![anchor],
+                children: vec![
+                    Partition {
+                        tables: vec![t1],
+                        children: vec![],
+                    },
+                    Partition {
+                        tables: vec![t2],
+                        children: vec![],
+                    },
+                ],
+            },
+            joins: vec![JoinEdge {
+                from: (0, 0),
+                to: (1, 0),
+                op: CmpOp::Eq,
+            }],
+            output: None,
+        };
+        let err = Diagram::single(cell).validate().unwrap_err();
+        assert!(err.to_string().contains("sibling"));
+    }
+
+    #[test]
+    fn output_must_connect_to_root() {
+        let mut cell = not_exists_cell();
+        // Point the output at the S table inside the negation box.
+        cell.output.as_mut().unwrap().edges = vec![(0, (1, 0))];
+        assert!(Diagram::single(cell).validate().is_err());
+    }
+
+    #[test]
+    fn output_needs_exactly_one_edge_per_attr() {
+        let mut cell = not_exists_cell();
+        cell.output.as_mut().unwrap().edges = vec![];
+        assert!(Diagram::single(cell.clone()).validate().is_err());
+        cell.output.as_mut().unwrap().edges = vec![(0, (0, 0)), (0, (0, 1))];
+        assert!(Diagram::single(cell).validate().is_err());
+    }
+
+    #[test]
+    fn union_cells_must_share_output_shape() {
+        let a = not_exists_cell();
+        let mut b = not_exists_cell();
+        b.output.as_mut().unwrap().attrs = vec!["Z".into()];
+        let d = Diagram {
+            cells: vec![a, b],
+        };
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_table_ids_rejected() {
+        let mut cell = not_exists_cell();
+        let dup = cell.root.tables[0].clone();
+        cell.root.children[0].tables.push(dup);
+        assert!(Diagram::single(cell).validate().is_err());
+    }
+
+    #[test]
+    fn signature_in_placement_order() {
+        let d = Diagram::single(not_exists_cell());
+        assert_eq!(d.signature(), vec!["R", "S"]);
+    }
+}

@@ -1,0 +1,426 @@
+//! Renderers: Graphviz DOT (clusters as negation boxes) and a
+//! self-contained SVG layout.
+//!
+//! The SVG layout is a deterministic layered heuristic (tables side by
+//! side, nested boxes below, sized bottom-up) standing in for the authors'
+//! ILP-based STRATISFIMAL LAYOUT \[30\]; the paper's formal claims only
+//! require an unambiguous spatial realization (§3.6).
+
+use crate::model::{Diagram, Endpoint, Partition, TableNode};
+use rd_core::CmpOp;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------
+// DOT
+// ---------------------------------------------------------------------
+
+/// Renders the diagram as Graphviz DOT. Negation boxes become dashed
+/// rounded clusters; tables become HTML-like record labels with one port
+/// per attribute row; the output table is gray.
+pub fn to_dot(d: &Diagram) -> String {
+    let mut out = String::new();
+    out.push_str("digraph relational_diagram {\n");
+    out.push_str("  rankdir=LR;\n  compound=true;\n  node [shape=none, fontname=\"Helvetica\"];\n");
+    for (ci, cell) in d.cells.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_cell{ci} {{");
+        if d.cells.len() > 1 {
+            let _ = writeln!(out, "    label=\"union cell {}\"; style=solid;", ci + 1);
+        } else {
+            out.push_str("    style=invis;\n");
+        }
+        let mut box_id = 0usize;
+        render_partition_dot(&cell.root, ci, &mut box_id, 2, &mut out);
+        if let Some(o) = &cell.output {
+            let mut label = format!(
+                "<<TABLE BORDER=\"1\" CELLBORDER=\"1\" CELLSPACING=\"0\" BGCOLOR=\"lightgray\">\
+                 <TR><TD BGCOLOR=\"gray\"><B>{}</B></TD></TR>",
+                escape(&o.name)
+            );
+            for (i, a) in o.attrs.iter().enumerate() {
+                let _ = write!(label, "<TR><TD PORT=\"a{i}\">{}</TD></TR>", escape(a));
+            }
+            label.push_str("</TABLE>>");
+            let _ = writeln!(out, "    out{ci} [label={label}];");
+        }
+        out.push_str("  }\n");
+        // Edges (declared outside clusters; Graphviz routes them through).
+        for j in &cell.joins {
+            let style = if j.op.is_symmetric() {
+                if j.op == CmpOp::Eq {
+                    "dir=none".to_string()
+                } else {
+                    format!("dir=none, label=\"{}\"", j.op.unicode())
+                }
+            } else {
+                format!("label=\"{}\"", j.op.unicode())
+            };
+            let _ = writeln!(
+                out,
+                "  {} -> {} [{}];",
+                port(ci, &j.from),
+                port(ci, &j.to),
+                style
+            );
+        }
+        if let Some(o) = &cell.output {
+            for (i, endpoint) in &o.edges {
+                let _ = writeln!(
+                    out,
+                    "  out{ci}:a{i} -> {} [dir=none, color=gray];",
+                    port(ci, endpoint)
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn port(cell: usize, e: &Endpoint) -> String {
+    format!("c{cell}t{}:r{}", e.0, e.1)
+}
+
+fn render_partition_dot(
+    p: &Partition,
+    cell: usize,
+    box_id: &mut usize,
+    indent: usize,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(indent);
+    for t in &p.tables {
+        let mut label = format!(
+            "<<TABLE BORDER=\"1\" CELLBORDER=\"1\" CELLSPACING=\"0\">\
+             <TR><TD BGCOLOR=\"black\"><FONT COLOR=\"white\"><B>{}</B></FONT></TD></TR>",
+            escape(&t.name)
+        );
+        for (i, row) in t.attrs.iter().enumerate() {
+            let _ = write!(label, "<TR><TD PORT=\"r{i}\">{}</TD></TR>", escape(&row.label()));
+        }
+        label.push_str("</TABLE>>");
+        let _ = writeln!(out, "{pad}c{cell}t{} [label={label}];", t.id);
+    }
+    for child in &p.children {
+        *box_id += 1;
+        let id = *box_id;
+        let _ = writeln!(out, "{pad}subgraph cluster_c{cell}b{id} {{");
+        let _ = writeln!(out, "{pad}  style=\"dashed,rounded\"; label=\"\";");
+        render_partition_dot(child, cell, box_id, indent + 1, out);
+        let _ = writeln!(out, "{pad}}}");
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+// ---------------------------------------------------------------------
+// SVG
+// ---------------------------------------------------------------------
+
+const ROW_H: f64 = 22.0;
+const CHAR_W: f64 = 8.0;
+const PAD: f64 = 14.0;
+const GAP: f64 = 18.0;
+
+/// Computed geometry for one table.
+struct TableGeom {
+    x: f64,
+    y: f64,
+    w: f64,
+}
+
+/// Renders the diagram as a standalone SVG document.
+pub fn to_svg(d: &Diagram) -> String {
+    let mut body = String::new();
+    let mut x_cursor = PAD;
+    let mut max_h: f64 = 0.0;
+    for cell in &d.cells {
+        let mut geoms: BTreeMap<usize, TableGeom> = BTreeMap::new();
+        let (w, h) = measure(&cell.root);
+        let cell_x = x_cursor;
+        draw_partition(&cell.root, cell_x, PAD, &mut geoms, &mut body, true);
+        // Output table to the left margin of the cell (stacked above).
+        let mut extra_h = 0.0;
+        if let Some(o) = &cell.output {
+            let ow = table_width_name(&o.name, o.attrs.iter().map(String::as_str));
+            let oy = PAD + h + GAP;
+            draw_box(
+                cell_x,
+                oy,
+                ow,
+                &o.name,
+                &o.attrs.iter().map(|a| a.clone()).collect::<Vec<_>>(),
+                true,
+                &mut body,
+            );
+            for (i, endpoint) in &o.edges {
+                if let Some(g) = geoms.get(&endpoint.0) {
+                    let y1 = oy + ROW_H * (*i as f64 + 1.5);
+                    let (x2, y2) = row_anchor(g, endpoint.1);
+                    let _ = writeln!(
+                        body,
+                        "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"gray\"/>",
+                        cell_x + ow,
+                        y1,
+                        x2,
+                        y2
+                    );
+                }
+            }
+            extra_h = ROW_H * (o.attrs.len() as f64 + 1.0) + GAP;
+        }
+        // Join edges.
+        for j in &cell.joins {
+            let (Some(a), Some(b)) = (geoms.get(&j.from.0), geoms.get(&j.to.0)) else {
+                continue;
+            };
+            let (x1, y1) = row_anchor(a, j.from.1);
+            let (x2, y2) = row_anchor(b, j.to.1);
+            let _ = writeln!(
+                body,
+                "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" stroke=\"black\"/>"
+            );
+            if j.op != CmpOp::Eq {
+                let (mx, my) = ((x1 + x2) / 2.0, (y1 + y2) / 2.0 - 3.0);
+                let _ = writeln!(
+                    body,
+                    "<text x=\"{mx:.1}\" y=\"{my:.1}\" font-size=\"12\" text-anchor=\"middle\">{}</text>",
+                    escape(j.op.unicode())
+                );
+                if !j.op.is_symmetric() {
+                    // Arrowhead at the target end.
+                    let _ = writeln!(
+                        body,
+                        "<circle cx=\"{x2:.1}\" cy=\"{y2:.1}\" r=\"3\" fill=\"black\"/>"
+                    );
+                }
+            }
+        }
+        x_cursor += w + 2.0 * GAP;
+        max_h = max_h.max(h + extra_h + 2.0 * PAD);
+    }
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+         font-family=\"Helvetica, sans-serif\" font-size=\"13\">\n{}\n</svg>\n",
+        x_cursor + PAD,
+        max_h + PAD,
+        body
+    )
+}
+
+fn table_width(t: &TableNode) -> f64 {
+    table_width_name(&t.name, t.attrs.iter().map(|a| a.label()).collect::<Vec<_>>().iter().map(String::as_str))
+}
+
+fn table_width_name<'a, I: IntoIterator<Item = &'a str>>(name: &str, rows: I) -> f64 {
+    let mut chars = name.len();
+    for r in rows {
+        chars = chars.max(r.len());
+    }
+    (chars as f64) * CHAR_W + 16.0
+}
+
+fn table_height(t: &TableNode) -> f64 {
+    ROW_H * (t.attrs.len() as f64 + 1.0)
+}
+
+/// Bottom-up measurement of a partition's bounding box.
+fn measure(p: &Partition) -> (f64, f64) {
+    let mut w = 0.0f64;
+    let mut h = 0.0f64;
+    for t in &p.tables {
+        w += table_width(t) + GAP;
+        h = h.max(table_height(t));
+    }
+    let mut ch = 0.0f64;
+    let mut cw = 0.0f64;
+    for c in &p.children {
+        let (a, b) = measure(c);
+        cw += a + GAP;
+        ch = ch.max(b);
+    }
+    let width = w.max(cw).max(40.0) + PAD;
+    let height = h + if p.children.is_empty() { 0.0 } else { ch + GAP } + PAD;
+    (width, height)
+}
+
+fn row_anchor(g: &TableGeom, row: usize) -> (f64, f64) {
+    (g.x + g.w, g.y + ROW_H * (row as f64 + 1.5))
+}
+
+fn draw_box(
+    x: f64,
+    y: f64,
+    w: f64,
+    name: &str,
+    rows: &[String],
+    gray: bool,
+    out: &mut String,
+) {
+    let h = ROW_H * (rows.len() as f64 + 1.0);
+    let header_fill = if gray { "#999999" } else { "#222222" };
+    let _ = writeln!(
+        out,
+        "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{h:.1}\" fill=\"white\" stroke=\"black\"/>"
+    );
+    let _ = writeln!(
+        out,
+        "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{ROW_H:.1}\" fill=\"{header_fill}\"/>"
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"white\" text-anchor=\"middle\">{}</text>",
+        x + w / 2.0,
+        y + ROW_H - 6.0,
+        escape(name)
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let ry = y + ROW_H * (i as f64 + 1.0);
+        let _ = writeln!(
+            out,
+            "<line x1=\"{x:.1}\" y1=\"{ry:.1}\" x2=\"{:.1}\" y2=\"{ry:.1}\" stroke=\"black\"/>",
+            x + w
+        );
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            x + w / 2.0,
+            ry + ROW_H - 6.0,
+            escape(r)
+        );
+    }
+}
+
+fn draw_partition(
+    p: &Partition,
+    x: f64,
+    y: f64,
+    geoms: &mut BTreeMap<usize, TableGeom>,
+    out: &mut String,
+    is_root: bool,
+) -> (f64, f64) {
+    let (w, h) = measure(p);
+    if !is_root {
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{h:.1}\" fill=\"none\" \
+             stroke=\"black\" stroke-dasharray=\"6,4\" rx=\"10\"/>"
+        );
+    }
+    let mut tx = x + PAD / 2.0;
+    let ty = y + PAD / 2.0;
+    let mut row_h = 0.0f64;
+    for t in &p.tables {
+        let tw = table_width(t);
+        let rows: Vec<String> = t.attrs.iter().map(|a| a.label()).collect();
+        draw_box(tx, ty, tw, &t.name, &rows, false, out);
+        geoms.insert(
+            t.id,
+            TableGeom {
+                x: tx,
+                y: ty,
+                w: tw,
+            },
+        );
+        row_h = row_h.max(table_height(t));
+        tx += tw + GAP;
+    }
+    let mut cx = x + PAD / 2.0;
+    let cy = ty + row_h + if p.tables.is_empty() { 0.0 } else { GAP };
+    for c in &p.children {
+        let (cw, _) = draw_partition(c, cx, cy, geoms, out, false);
+        cx += cw + GAP;
+    }
+    (w, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::from_trc;
+    use rd_core::{Catalog, TableSchema};
+    use rd_trc::parser::parse_query;
+
+    fn division_diagram() -> Diagram {
+        let catalog = Catalog::from_schemas([
+            TableSchema::new("R", ["A", "B"]),
+            TableSchema::new("S", ["B"]),
+        ])
+        .unwrap();
+        let q = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ \
+             not (exists r2 in R [ r2.B = s.B and r2.A = r.A ]) ]) ] }",
+            &catalog,
+        )
+        .unwrap();
+        from_trc(&q, &catalog).unwrap()
+    }
+
+    #[test]
+    fn dot_contains_clusters_and_tables() {
+        let dot = to_dot(&division_diagram());
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches("style=\"dashed,rounded\"").count(), 2);
+        assert!(dot.contains("<B>R</B>"));
+        assert!(dot.contains("<B>S</B>"));
+        assert!(dot.contains("<B>Q</B>"));
+        assert!(dot.contains("->"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn svg_is_wellformed_enough() {
+        let svg = to_svg(&division_diagram());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count() >= 5, true);
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains(">R<"));
+        assert!(svg.contains(">Q<"));
+    }
+
+    #[test]
+    fn theta_join_label_appears() {
+        let catalog = Catalog::from_schemas([
+            TableSchema::new("R", ["A", "B"]),
+            TableSchema::new("S", ["B"]),
+        ])
+        .unwrap();
+        let q = parse_query(
+            "{ q(A) | exists r in R, s in S [ q.A = r.A and r.B > s.B ] }",
+            &catalog,
+        )
+        .unwrap();
+        let d = from_trc(&q, &catalog).unwrap();
+        let dot = to_dot(&d);
+        assert!(dot.contains("label=\">\""));
+        let svg = to_svg(&d);
+        assert!(svg.contains("&gt;") || svg.contains('>'));
+    }
+
+    #[test]
+    fn union_cells_render_side_by_side() {
+        let catalog = Catalog::from_schemas([
+            TableSchema::new("T", ["A"]),
+            TableSchema::new("U", ["A"]),
+        ])
+        .unwrap();
+        let u = rd_trc::parser::parse_union(
+            "{ q(A) | exists t in T [ q.A = t.A ] } union { q(A) | exists u in U [ q.A = u.A ] }",
+            &catalog,
+        )
+        .unwrap();
+        let d = crate::translate::from_trc_union(&u, &catalog).unwrap();
+        let dot = to_dot(&d);
+        assert!(dot.contains("union cell 1"));
+        assert!(dot.contains("union cell 2"));
+        let svg = to_svg(&d);
+        assert!(svg.contains(">T<"));
+        assert!(svg.contains(">U<"));
+    }
+}

@@ -1,0 +1,567 @@
+//! The five-step translations between TRC\* and Relational Diagrams
+//! (§3.2 and §3.3). Their composition is the identity up to
+//! canonicalization — the constructive proof of Theorem 8.
+
+use crate::model::{
+    AttrNode, Cell, Diagram, Endpoint, JoinEdge, OutputTable, Partition, TableNode,
+};
+use rd_core::{Catalog, CmpOp, CoreError, CoreResult};
+use rd_trc::ast::{Binding, Formula, OutputSpec, Predicate, Term, TrcQuery, TrcUnion};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// TRC* -> Diagram (§3.2)
+// ---------------------------------------------------------------------
+
+/// Translates a TRC\* query (or Boolean sentence) into a single-cell
+/// Relational Diagram (§3.2's five steps).
+pub fn from_trc(q: &TrcQuery, catalog: &Catalog) -> CoreResult<Diagram> {
+    if !rd_trc::check::is_nondisjunctive(q) {
+        return Err(CoreError::Invalid(
+            "only TRC* queries have Relational Diagram* representations; \
+             rewrite disjunctions first (§5)"
+                .into(),
+        ));
+    }
+    q.check(catalog)?;
+    let canon = rd_trc::canon::canonicalize(q);
+    let mut builder = Builder {
+        next_id: 0,
+        var_table: BTreeMap::new(),
+        joins: Vec::new(),
+        pending_preds: Vec::new(),
+    };
+    let (bindings, parts) = split(&canon.formula);
+    let root = builder.partition(&bindings, &parts, canon.output.as_ref())?;
+    // Resolve predicates into attribute rows and join edges.
+    let mut cell = Cell {
+        root,
+        joins: Vec::new(),
+        output: None,
+    };
+    builder.resolve(&mut cell, canon.output.as_ref())?;
+    let d = Diagram::single(cell);
+    d.validate()?;
+    Ok(d)
+}
+
+/// Translates a union of TRC\* queries into a multi-cell diagram (§5).
+pub fn from_trc_union(u: &TrcUnion, catalog: &Catalog) -> CoreResult<Diagram> {
+    let mut cells = Vec::with_capacity(u.branches.len());
+    for q in &u.branches {
+        let d = from_trc(q, catalog)?;
+        cells.extend(d.cells);
+    }
+    let d = Diagram { cells };
+    d.validate()?;
+    Ok(d)
+}
+
+fn split(f: &Formula) -> (Vec<Binding>, Vec<Formula>) {
+    match f {
+        Formula::Exists(b, body) => {
+            let parts = match body.as_ref() {
+                Formula::And(fs) => fs.clone(),
+                other => vec![other.clone()],
+            };
+            (b.clone(), parts)
+        }
+        Formula::And(fs) => (Vec::new(), fs.clone()),
+        other => (Vec::new(), vec![other.clone()]),
+    }
+}
+
+struct Builder {
+    next_id: usize,
+    /// Tuple variable -> table node id.
+    var_table: BTreeMap<String, usize>,
+    joins: Vec<(Predicate, ())>,
+    /// Selection predicates (resolved in the second phase).
+    pending_preds: Vec<Predicate>,
+}
+
+impl Builder {
+    /// Step 1+2: partitions from the negation hierarchy, tables placed in
+    /// their scope's partition. Predicates are collected for phase two.
+    fn partition(
+        &mut self,
+        bindings: &[Binding],
+        parts: &[Formula],
+        output: Option<&OutputSpec>,
+    ) -> CoreResult<Partition> {
+        let mut p = Partition::default();
+        for b in bindings {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.var_table.insert(b.var.clone(), id);
+            p.tables.push(TableNode {
+                id,
+                name: b.table.clone(),
+                attrs: Vec::new(),
+            });
+        }
+        for part in parts {
+            match part {
+                Formula::Pred(pred) => {
+                    let mentions_head = |t: &Term| {
+                        matches!((t, output), (Term::Attr(a), Some(o)) if a.var == o.name)
+                    };
+                    if mentions_head(&pred.left) || mentions_head(&pred.right) {
+                        // Output predicates are handled in `resolve`.
+                        self.pending_preds.push(pred.clone());
+                    } else if pred.is_join() {
+                        self.joins.push((pred.clone(), ()));
+                    } else {
+                        self.pending_preds.push(pred.clone());
+                    }
+                }
+                Formula::Not(inner) => {
+                    let (b2, p2) = split(inner);
+                    let child = self.partition(&b2, &p2, output)?;
+                    p.children.push(child);
+                }
+                other => {
+                    return Err(CoreError::Invalid(format!(
+                        "unexpected canonical part: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    /// Steps 3–5: place selection rows, join edges, and the output table.
+    fn resolve(&mut self, cell: &mut Cell, output: Option<&OutputSpec>) -> CoreResult<()> {
+        // Step 3: selection predicates "attr θ const" become rows.
+        let mut output_defs: Vec<(String, Predicate)> = Vec::new();
+        for pred in std::mem::take(&mut self.pending_preds) {
+            let head = output.map(|o| o.name.as_str());
+            let is_head = |t: &Term| matches!(t, Term::Attr(a) if Some(a.var.as_str()) == head);
+            if is_head(&pred.left) {
+                if let Term::Attr(a) = &pred.left {
+                    output_defs.push((a.attr.clone(), pred.clone()));
+                }
+                continue;
+            }
+            if is_head(&pred.right) {
+                if let Term::Attr(a) = &pred.right {
+                    output_defs.push((a.attr.clone(), pred.flipped()));
+                }
+                continue;
+            }
+            // Selection predicate: normalize to attr-θ-const.
+            let (attr_ref, op, value) = match (&pred.left, &pred.right) {
+                (Term::Attr(a), Term::Const(v)) => (a.clone(), pred.op, v.clone()),
+                (Term::Const(v), Term::Attr(a)) => (a.clone(), pred.op.flipped(), v.clone()),
+                _ => {
+                    return Err(CoreError::Invalid(format!(
+                        "predicate '{pred}' is neither a join nor a selection"
+                    )))
+                }
+            };
+            let id = *self.var_table.get(&attr_ref.var).ok_or_else(|| {
+                CoreError::Invalid(format!("unbound variable '{}'", attr_ref.var))
+            })?;
+            let table = find_table_mut(&mut cell.root, id)
+                .ok_or_else(|| CoreError::Invalid(format!("table id {id} missing")))?;
+            table.attrs.push(AttrNode::selection(attr_ref.attr, op, value));
+        }
+
+        // Step 4: join predicates become edges; plain rows are created on
+        // demand and shared across joins.
+        let joins = std::mem::take(&mut self.joins);
+        for (pred, ()) in joins {
+            let (l, r) = match (&pred.left, &pred.right) {
+                (Term::Attr(l), Term::Attr(r)) => (l.clone(), r.clone()),
+                _ => unreachable!("classified as join"),
+            };
+            let from = self.ensure_row(cell, &l)?;
+            let to = self.ensure_row(cell, &r)?;
+            cell.joins.push(JoinEdge {
+                from,
+                to,
+                op: pred.op,
+            });
+        }
+
+        // Step 5: output table.
+        if let Some(o) = output {
+            let mut edges = Vec::new();
+            for (i, attr) in o.attrs.iter().enumerate() {
+                let def = output_defs
+                    .iter()
+                    .find(|(a, _)| a == attr)
+                    .ok_or_else(|| {
+                        CoreError::Invalid(format!("output attribute '{attr}' undefined"))
+                    })?;
+                let target = match &def.1 {
+                    Predicate {
+                        right: Term::Attr(a),
+                        op: CmpOp::Eq,
+                        ..
+                    } => a.clone(),
+                    other => {
+                        return Err(CoreError::Invalid(format!(
+                            "output predicate '{other}' must be an equality to an attribute"
+                        )))
+                    }
+                };
+                let endpoint = self.ensure_row(cell, &target)?;
+                edges.push((i, endpoint));
+            }
+            cell.output = Some(OutputTable {
+                name: o.name.to_uppercase(),
+                attrs: o.attrs.clone(),
+                edges,
+            });
+        }
+        Ok(())
+    }
+
+    /// Finds (or creates) the plain attribute row for `var.attr`.
+    fn ensure_row(&mut self, cell: &mut Cell, a: &rd_trc::ast::AttrRef) -> CoreResult<Endpoint> {
+        let id = *self
+            .var_table
+            .get(&a.var)
+            .ok_or_else(|| CoreError::Invalid(format!("unbound variable '{}'", a.var)))?;
+        let table = find_table_mut(&mut cell.root, id)
+            .ok_or_else(|| CoreError::Invalid(format!("table id {id} missing")))?;
+        if let Some(idx) = table.plain_attr(&a.attr) {
+            return Ok((id, idx));
+        }
+        table.attrs.push(AttrNode::plain(a.attr.clone()));
+        Ok((id, table.attrs.len() - 1))
+    }
+}
+
+fn find_table_mut(p: &mut Partition, id: usize) -> Option<&mut TableNode> {
+    if let Some(t) = p.tables.iter_mut().find(|t| t.id == id) {
+        return Some(t);
+    }
+    p.children.iter_mut().find_map(|c| find_table_mut(c, id))
+}
+
+// ---------------------------------------------------------------------
+// Diagram -> TRC* (§3.3)
+// ---------------------------------------------------------------------
+
+/// Translates a valid diagram back into TRC\* (one union branch per cell)
+/// — the soundness direction of Theorem 8.
+pub fn to_trc(d: &Diagram, catalog: &Catalog) -> CoreResult<TrcUnion> {
+    d.validate()?;
+    let mut branches = Vec::with_capacity(d.cells.len());
+    for cell in &d.cells {
+        branches.push(cell_to_trc(cell, catalog)?);
+    }
+    let u = TrcUnion::new(branches)?;
+    for b in &u.branches {
+        b.check(catalog)?;
+    }
+    Ok(u)
+}
+
+fn cell_to_trc(cell: &Cell, catalog: &Catalog) -> CoreResult<TrcQuery> {
+    // Step 2: fresh tuple variables per table (lowercase name + occurrence
+    // index, §3.3).
+    let mut var_names: BTreeMap<usize, String> = BTreeMap::new();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    cell.root.walk(&mut |p, _| {
+        for t in &p.tables {
+            let n = counts.entry(t.name.to_lowercase()).or_default();
+            *n += 1;
+            var_names.insert(t.id, format!("{}{}", t.name.to_lowercase(), n));
+        }
+    });
+
+    // Pre-compute each table's partition path for join placement.
+    let mut paths: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    fn record_paths(p: &Partition, path: &mut Vec<usize>, out: &mut BTreeMap<usize, Vec<usize>>) {
+        for t in &p.tables {
+            out.insert(t.id, path.clone());
+        }
+        for (i, c) in p.children.iter().enumerate() {
+            path.push(i);
+            record_paths(c, path, out);
+            path.pop();
+        }
+    }
+    record_paths(&cell.root, &mut Vec::new(), &mut paths);
+
+    // Step 4: each join is placed in the *deeper* of its two partitions
+    // (guaranteeing guardedness).
+    let mut joins_at: BTreeMap<Vec<usize>, Vec<Predicate>> = BTreeMap::new();
+    let term_of = |e: &Endpoint| -> CoreResult<Term> {
+        let table = find_table(&cell.root, e.0)
+            .ok_or_else(|| CoreError::Invalid(format!("unknown table id {}", e.0)))?;
+        let row = &table.attrs[e.1];
+        Ok(Term::attr(var_names[&e.0].clone(), row.attr.clone()))
+    };
+    for j in &cell.joins {
+        let (fp, tp) = (&paths[&j.from.0], &paths[&j.to.0]);
+        let deeper = if fp.len() >= tp.len() { fp } else { tp };
+        joins_at
+            .entry(deeper.clone())
+            .or_default()
+            .push(Predicate::new(term_of(&j.from)?, j.op, term_of(&j.to)?));
+    }
+
+    // Steps 1+3: rebuild the scope tree with selections in place.
+    fn build(
+        p: &Partition,
+        path: &mut Vec<usize>,
+        var_names: &BTreeMap<usize, String>,
+        joins_at: &BTreeMap<Vec<usize>, Vec<Predicate>>,
+    ) -> Formula {
+        let bindings: Vec<Binding> = p
+            .tables
+            .iter()
+            .map(|t| Binding::new(var_names[&t.id].clone(), t.name.clone()))
+            .collect();
+        let mut parts: Vec<Formula> = Vec::new();
+        for t in &p.tables {
+            for row in &t.attrs {
+                if let Some((op, v)) = &row.selection {
+                    parts.push(Formula::Pred(Predicate::new(
+                        Term::attr(var_names[&t.id].clone(), row.attr.clone()),
+                        *op,
+                        Term::Const(v.clone()),
+                    )));
+                }
+            }
+        }
+        if let Some(js) = joins_at.get(path) {
+            parts.extend(js.iter().cloned().map(Formula::Pred));
+        }
+        for (i, c) in p.children.iter().enumerate() {
+            path.push(i);
+            let child = build(c, path, var_names, joins_at);
+            path.pop();
+            parts.push(Formula::not(child));
+        }
+        let body = Formula::and(parts);
+        if bindings.is_empty() {
+            body
+        } else {
+            Formula::exists(bindings, body)
+        }
+    }
+    let formula = build(&cell.root, &mut Vec::new(), &var_names, &joins_at);
+
+    // Step 5: output predicates.
+    let q = match &cell.output {
+        Some(out) => {
+            let mut defs = Vec::with_capacity(out.attrs.len());
+            for (i, attr) in out.attrs.iter().enumerate() {
+                let (_, endpoint) = out
+                    .edges
+                    .iter()
+                    .find(|(oi, _)| *oi == i)
+                    .expect("validated");
+                defs.push(Formula::Pred(Predicate::new(
+                    Term::attr("q", attr.clone()),
+                    CmpOp::Eq,
+                    term_of(endpoint)?,
+                )));
+            }
+            // Merge the output definitions into the root conjunction.
+            let merged = match formula {
+                Formula::Exists(b, body) => {
+                    let mut parts = match *body {
+                        Formula::And(fs) => fs,
+                        single => vec![single],
+                    };
+                    let mut all = defs;
+                    all.append(&mut parts);
+                    Formula::exists(b, Formula::and(all))
+                }
+                other => {
+                    let mut all = defs;
+                    all.push(other);
+                    Formula::and(all)
+                }
+            };
+            TrcQuery::query(
+                OutputSpec::new(cell.output.as_ref().expect("checked").name.to_lowercase(), out.attrs.clone()),
+                merged,
+            )
+        }
+        None => TrcQuery::sentence(formula),
+    };
+    let _ = catalog;
+    Ok(q)
+}
+
+fn find_table<'a>(p: &'a Partition, id: usize) -> Option<&'a TableNode> {
+    p.tables
+        .iter()
+        .find(|t| t.id == id)
+        .or_else(|| p.children.iter().find_map(|c| find_table(c, id)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rd_core::{Database, Relation, TableSchema};
+    use rd_trc::parser::parse_query;
+
+    fn catalog() -> Catalog {
+        Catalog::from_schemas([
+            TableSchema::new("R", ["A", "B", "C"]),
+            TableSchema::new("S", ["A", "B"]),
+            TableSchema::new("T", ["A"]),
+            TableSchema::new("U", ["A"]),
+        ])
+        .unwrap()
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::from_rows(
+                TableSchema::new("R", ["A", "B", "C"]),
+                [[1i64, 10, 2], [2, 10, 2], [3, 30, 5]],
+            )
+            .unwrap(),
+        );
+        db.add_relation(
+            Relation::from_rows(TableSchema::new("S", ["A", "B"]), [[1i64, 10], [2, 20]])
+                .unwrap(),
+        );
+        db.add_relation(
+            Relation::from_rows(TableSchema::new("T", ["A"]), [[1i64], [3]]).unwrap(),
+        );
+        db.add_relation(Relation::from_rows(TableSchema::new("U", ["A"]), [[2i64]]).unwrap());
+        db
+    }
+
+    fn roundtrip(text: &str) {
+        let q = parse_query(text, &catalog()).unwrap();
+        let d = from_trc(&q, &catalog()).unwrap();
+        d.validate().unwrap();
+        assert_eq!(d.signature(), q.signature(), "signature mismatch for {text}");
+        let back = to_trc(&d, &catalog()).unwrap();
+        assert_eq!(back.branches.len(), 1);
+        let b = &back.branches[0];
+        // Semantics preserved (Theorem 8).
+        match (&q.output, &b.output) {
+            (Some(_), Some(_)) => {
+                let x = rd_trc::eval::eval_query(&q, &db()).unwrap();
+                let y = rd_trc::eval::eval_query(b, &db()).unwrap();
+                assert_eq!(x.tuples(), y.tuples(), "semantics changed for {text}\nback: {b}");
+            }
+            (None, None) => {
+                let x = rd_trc::eval::eval_sentence(&q, &db()).unwrap();
+                let y = rd_trc::eval::eval_sentence(b, &db()).unwrap();
+                assert_eq!(x, y, "semantics changed for {text}\nback: {b}");
+            }
+            _ => panic!("query/sentence shape changed"),
+        }
+    }
+
+    #[test]
+    fn roundtrips_simple_join() {
+        roundtrip("{ q(A) | exists r in R, s in S [ q.A = r.A and r.B = s.B ] }");
+    }
+
+    #[test]
+    fn roundtrips_not_exists() {
+        roundtrip(
+            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ s.B = r.B ]) ] }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_division() {
+        roundtrip(
+            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ \
+             not (exists r2 in R [ r2.B = s.B and r2.A = r.A ]) ]) ] }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_fig5_style_query() {
+        // Multiple selections on one attribute, theta joins, double
+        // negation, and deep nesting (Fig. 5 of the paper, adapted).
+        roundtrip(
+            "{ q(A, D) | exists r1 in R, r2 in R, s1 in S [ q.A = r1.A and q.D = r2.C and \
+               r2.C > 1 and r2.C < 3 and r1.A > r2.B and \
+               not (not (exists t1 in T [ t1.A = r1.A ])) and \
+               not (exists s2 in S, t2 in T, u in U [ s2.A = t2.A and s2.B > s1.A and \
+                 not (exists r3 in R [ r3.A != 1 ]) and \
+                 not (exists r4 in R [ r4.B != s2.B ]) ]) ] }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_sentences() {
+        roundtrip("not (exists r in R [ not (exists s in S [ s.B = r.B ]) ])");
+        roundtrip("exists r in R [ r.A = 1 ]");
+    }
+
+    #[test]
+    fn selection_rows_are_repeated_per_predicate() {
+        // r2.C > 1 ∧ r2.C < 3 shows C twice (§3.1 point 2).
+        let q = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and r.C > 1 and r.C < 3 ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let d = from_trc(&q, &catalog()).unwrap();
+        let table = &d.cells[0].root.tables[0];
+        let c_rows: Vec<&AttrNode> =
+            table.attrs.iter().filter(|a| a.attr == "C").collect();
+        assert_eq!(c_rows.len(), 2);
+        assert!(c_rows.iter().all(|a| a.selection.is_some()));
+    }
+
+    #[test]
+    fn join_attr_shown_once_across_joins() {
+        // One attribute in two joins appears once (§3.1 point 3).
+        let q = parse_query(
+            "{ q(A) | exists r in R, s in S, t in T [ q.A = r.A and r.A = s.A and r.A = t.A ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let d = from_trc(&q, &catalog()).unwrap();
+        let table = &d.cells[0].root.tables[0];
+        assert_eq!(table.attrs.iter().filter(|a| a.attr == "A").count(), 1);
+        assert_eq!(d.cells[0].joins.len(), 2);
+    }
+
+    #[test]
+    fn union_cells_from_trc_union() {
+        let u = rd_trc::parser::parse_union(
+            "{ q(A) | exists t in T [ q.A = t.A ] } union { q(A) | exists u in U [ q.A = u.A ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let d = from_trc_union(&u, &catalog()).unwrap();
+        assert_eq!(d.cells.len(), 2);
+        let back = to_trc(&d, &catalog()).unwrap();
+        let x = rd_trc::eval::eval_union(&u, &db()).unwrap();
+        let y = rd_trc::eval::eval_union(&back, &db()).unwrap();
+        assert_eq!(x.tuples(), y.tuples());
+    }
+
+    #[test]
+    fn disjunctive_queries_rejected() {
+        let q = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and (r.B = 1 or r.B = 2) ] }",
+            &catalog(),
+        )
+        .unwrap();
+        assert!(from_trc(&q, &catalog()).is_err());
+    }
+
+    #[test]
+    fn theta_join_direction_preserved() {
+        let q = parse_query(
+            "{ q(A) | exists r in R, s in S [ q.A = r.A and r.B > s.B ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let d = from_trc(&q, &catalog()).unwrap();
+        assert_eq!(d.cells[0].joins.len(), 1);
+        assert_eq!(d.cells[0].joins[0].op, CmpOp::Gt);
+    }
+}

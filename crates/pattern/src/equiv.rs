@@ -1,0 +1,416 @@
+//! Three-valued logical-equivalence engine for (dissociated) queries.
+//!
+//! Equivalence of relational queries is undecidable in general
+//! (Trakhtenbrot; §4.1 of the paper). The engine therefore combines:
+//!
+//! 1. a **prover**: both queries are brought to canonical TRC\* form (when
+//!    they are TRC) and compared modulo variable renaming and conjunct
+//!    order — syntactic isomorphism implies equivalence;
+//! 2. a **refuter**: exhaustive model checking over all databases with a
+//!    tiny domain and bounded relation sizes, plus seeded random databases
+//!    over a larger ordered domain (which catches discrepancies that need
+//!    three distinct values, e.g. around `<`);
+//! 3. otherwise: `ProbablyEquivalent(n)` after `n` agreeing databases —
+//!    the one-sided guarantee the paper describes.
+
+use crate::dissociate::AnyQuery;
+use rd_core::{Catalog, Database, DbGenerator, Value};
+use rd_trc::ast::{Binding, Formula, Predicate, Term, TrcQuery};
+
+/// Options controlling the equivalence search.
+#[derive(Debug, Clone)]
+pub struct EquivOptions {
+    /// Domain for exhaustive enumeration (skipped when the candidate
+    /// tuple space exceeds 63 per relation).
+    pub exhaustive_domain: Vec<Value>,
+    /// Max tuples per relation in exhaustive databases.
+    pub exhaustive_max_tuples: usize,
+    /// Number of random databases.
+    pub random_rounds: usize,
+    /// Domain size for random databases.
+    pub random_domain: i64,
+    /// Max tuples per relation in random databases.
+    pub random_max_tuples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EquivOptions {
+    fn default() -> Self {
+        EquivOptions {
+            exhaustive_domain: vec![Value::int(0), Value::int(1)],
+            exhaustive_max_tuples: 2,
+            random_rounds: 120,
+            random_domain: 4,
+            random_max_tuples: 3,
+            seed: 0xD1A6,
+        }
+    }
+}
+
+/// Outcome of an equivalence check.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// Proven equivalent (syntactic canonical isomorphism).
+    Equivalent,
+    /// Refuted: the two queries differ on this database.
+    NotEquivalent(Box<Database>),
+    /// All tested databases agreed (`n` of them); no proof found.
+    ProbablyEquivalent(usize),
+    /// The queries could not be compared (e.g. different arities).
+    Incomparable(String),
+}
+
+impl Verdict {
+    /// `true` for `Equivalent` or `ProbablyEquivalent`.
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Equivalent | Verdict::ProbablyEquivalent(_))
+    }
+}
+
+/// Decides equivalence of two queries over `catalog` (which must contain
+/// every table either query references).
+pub fn decide_equivalence(
+    q1: &AnyQuery,
+    q2: &AnyQuery,
+    catalog: &Catalog,
+    opts: &EquivOptions,
+) -> Verdict {
+    // Prover: canonical-AST isomorphism for TRC/TRC pairs.
+    if let (AnyQuery::Trc(a), AnyQuery::Trc(b)) = (q1, q2) {
+        if trc_isomorphic(a, b) {
+            return Verdict::Equivalent;
+        }
+    }
+
+    // Restrict model checking to the tables actually referenced.
+    let mut used = Catalog::new();
+    for t in q1.signature().into_iter().chain(q2.signature()) {
+        if used.table(&t).is_none() {
+            match catalog.require(&t) {
+                Ok(s) => used.add(s.clone()).expect("unique"),
+                Err(e) => return Verdict::Incomparable(e.to_string()),
+            }
+        }
+    }
+
+    let mut tested = 0usize;
+    // Refuter 1: exhaustive tiny databases (complete within the bound).
+    let space_small = used.iter().all(|s| {
+        (opts.exhaustive_domain.len() as u64).checked_pow(s.arity() as u32).map_or(false, |n| n <= 63)
+    });
+    // Cap total work: |catalog| relations with up to C(n, <=k) subsets each.
+    if space_small && used.len() <= 3 {
+        for db in rd_core::enumerate_databases(
+            &used,
+            &opts.exhaustive_domain,
+            opts.exhaustive_max_tuples,
+        ) {
+            match agree(q1, q2, &db) {
+                Ok(true) => tested += 1,
+                Ok(false) => return Verdict::NotEquivalent(Box::new(db)),
+                Err(e) => return Verdict::Incomparable(e),
+            }
+        }
+    }
+    // Refuter 2: random databases over an ordered domain.
+    let mut gen = DbGenerator::with_int_domain(
+        used.clone(),
+        opts.random_domain,
+        opts.random_max_tuples,
+        opts.seed,
+    );
+    for _ in 0..opts.random_rounds {
+        let db = gen.next_db();
+        match agree(q1, q2, &db) {
+            Ok(true) => tested += 1,
+            Ok(false) => return Verdict::NotEquivalent(Box::new(db)),
+            Err(e) => return Verdict::Incomparable(e),
+        }
+    }
+    Verdict::ProbablyEquivalent(tested)
+}
+
+fn agree(q1: &AnyQuery, q2: &AnyQuery, db: &Database) -> Result<bool, String> {
+    let a = q1.eval(db).map_err(|e| e.to_string())?;
+    let b = q2.eval(db).map_err(|e| e.to_string())?;
+    Ok(a == b)
+}
+
+// ---------------------------------------------------------------------
+// Canonical isomorphism prover for TRC
+// ---------------------------------------------------------------------
+
+/// `true` if the canonical forms of two TRC queries are isomorphic modulo
+/// tuple-variable renaming and conjunct reordering — a *sound* (not
+/// complete) equivalence proof (§3.3 "Soundness").
+pub fn trc_isomorphic(a: &TrcQuery, b: &TrcQuery) -> bool {
+    let ca = rd_trc::canon::canonicalize(a);
+    let cb = rd_trc::canon::canonicalize(b);
+    if ca.output.as_ref().map(|o| o.attrs.clone()) != cb.output.as_ref().map(|o| o.attrs.clone())
+    {
+        return false;
+    }
+    let mut map = Vec::new();
+    if let (Some(x), Some(y)) = (&ca.output, &cb.output) {
+        map.push((x.name.clone(), y.name.clone()));
+    }
+    iso_formula(&ca.formula, &cb.formula, &mut map)
+}
+
+/// Backtracking isomorphism between canonical formulas: bindings within a
+/// scope may be permuted, conjuncts may be permuted, variables map
+/// bijectively.
+fn iso_formula(a: &Formula, b: &Formula, map: &mut Vec<(String, String)>) -> bool {
+    match (a, b) {
+        (Formula::Pred(p), Formula::Pred(q)) => iso_pred(p, q, map),
+        (Formula::Not(x), Formula::Not(y)) => iso_formula(x, y, map),
+        (Formula::And(xs), Formula::And(ys)) => {
+            xs.len() == ys.len() && iso_multiset(xs, ys, map)
+        }
+        (Formula::Or(xs), Formula::Or(ys)) => xs.len() == ys.len() && iso_multiset(xs, ys, map),
+        (Formula::Exists(ba, fa), Formula::Exists(bb, fb)) => {
+            if ba.len() != bb.len() {
+                return false;
+            }
+            iso_bindings(ba, bb, fa, fb, 0, &mut vec![false; bb.len()], map)
+        }
+        // Allow And([x]) vs x mismatches from degenerate canonical shapes.
+        (Formula::And(xs), y) if xs.len() == 1 => iso_formula(&xs[0], y, map),
+        (x, Formula::And(ys)) if ys.len() == 1 => iso_formula(x, &ys[0], map),
+        _ => false,
+    }
+}
+
+fn iso_bindings(
+    ba: &[Binding],
+    bb: &[Binding],
+    fa: &Formula,
+    fb: &Formula,
+    i: usize,
+    taken: &mut Vec<bool>,
+    map: &mut Vec<(String, String)>,
+) -> bool {
+    if i == ba.len() {
+        return iso_formula(fa, fb, map);
+    }
+    for j in 0..bb.len() {
+        if taken[j] || ba[i].table != bb[j].table {
+            continue;
+        }
+        taken[j] = true;
+        map.push((ba[i].var.clone(), bb[j].var.clone()));
+        if iso_bindings(ba, bb, fa, fb, i + 1, taken, map) {
+            return true;
+        }
+        map.pop();
+        taken[j] = false;
+    }
+    false
+}
+
+/// Backtracking multiset matching of conjunct lists.
+fn iso_multiset(xs: &[Formula], ys: &[Formula], map: &mut Vec<(String, String)>) -> bool {
+    fn go(
+        xs: &[Formula],
+        ys: &[Formula],
+        i: usize,
+        taken: &mut Vec<bool>,
+        map: &mut Vec<(String, String)>,
+    ) -> bool {
+        if i == xs.len() {
+            return true;
+        }
+        for j in 0..ys.len() {
+            if taken[j] {
+                continue;
+            }
+            let snapshot = map.len();
+            taken[j] = true;
+            if iso_formula(&xs[i], &ys[j], map) && go(xs, ys, i + 1, taken, map) {
+                return true;
+            }
+            map.truncate(snapshot);
+            taken[j] = false;
+        }
+        false
+    }
+    go(xs, ys, 0, &mut vec![false; ys.len()], map)
+}
+
+fn iso_pred(p: &Predicate, q: &Predicate, map: &mut Vec<(String, String)>) -> bool {
+    let direct = p.op == q.op
+        && iso_term(&p.left, &q.left, map)
+        && iso_term(&p.right, &q.right, map);
+    if direct {
+        return true;
+    }
+    // Allow the flipped orientation.
+    let fq = q.flipped();
+    p.op == fq.op && iso_term(&p.left, &fq.left, map) && iso_term(&p.right, &fq.right, map)
+}
+
+fn iso_term(a: &Term, b: &Term, map: &mut Vec<(String, String)>) -> bool {
+    match (a, b) {
+        (Term::Const(x), Term::Const(y)) => x == y,
+        (Term::Attr(x), Term::Attr(y)) => {
+            if x.attr != y.attr {
+                return false;
+            }
+            match map.iter().find(|(f, _)| f == &x.var) {
+                Some((_, t)) => t == &y.var,
+                // Variables must be mapped by binding structure already;
+                // free (output) variables map by identity of position.
+                None => map.iter().all(|(_, t)| t != &y.var) && x.var == y.var,
+            }
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rd_core::TableSchema;
+    use rd_trc::parser::parse_query;
+
+    fn catalog() -> Catalog {
+        Catalog::from_schemas([
+            TableSchema::new("R", ["A", "B"]),
+            TableSchema::new("S", ["B"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn alpha_renamed_queries_proved_equivalent() {
+        let a = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ s.B = r.B ]) ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let b = parse_query(
+            "{ q(A) | exists x in R [ not (exists y in S [ y.B = x.B ]) and q.A = x.A ] }",
+            &catalog(),
+        )
+        .unwrap();
+        assert!(trc_isomorphic(&a, &b));
+        assert!(matches!(
+            decide_equivalence(
+                &AnyQuery::Trc(a),
+                &AnyQuery::Trc(b),
+                &catalog(),
+                &EquivOptions::default()
+            ),
+            Verdict::Equivalent
+        ));
+    }
+
+    #[test]
+    fn flipped_predicates_still_isomorphic() {
+        let a = parse_query(
+            "{ q(A) | exists r in R, s in S [ q.A = r.A and r.B = s.B ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let b = parse_query(
+            "{ q(A) | exists r in R, s in S [ q.A = r.A and s.B = r.B ] }",
+            &catalog(),
+        )
+        .unwrap();
+        assert!(trc_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn example6_different_patterns_refuted() {
+        // Q1'(R1,R2): R1(x,_) ∧ R2(x,_)  vs  Q2'(R3,R4): R3(x,y) ∧ R4(_,y)
+        // (the paper's dissociated queries; see Example 6). The engine must
+        // find the counterexample R1(1,2), R2(1,3).
+        let cat = Catalog::from_schemas([
+            TableSchema::new("R1", ["A", "B"]),
+            TableSchema::new("R2", ["A", "B"]),
+        ])
+        .unwrap();
+        let q1 = parse_query(
+            "{ q(A) | exists r1 in R1, r2 in R2 [ q.A = r1.A and r1.A = r2.A ] }",
+            &cat,
+        )
+        .unwrap();
+        let q2 = parse_query(
+            "{ q(A) | exists r1 in R1, r2 in R2 [ q.A = r1.A and r1.B = r2.B ] }",
+            &cat,
+        )
+        .unwrap();
+        let v = decide_equivalence(
+            &AnyQuery::Trc(q1),
+            &AnyQuery::Trc(q2),
+            &cat,
+            &EquivOptions::default(),
+        );
+        assert!(matches!(v, Verdict::NotEquivalent(_)), "got {v:?}");
+    }
+
+    #[test]
+    fn cross_language_probable_equivalence() {
+        // TRC division vs RA division: logically equivalent, syntactically
+        // incomparable -> ProbablyEquivalent.
+        let trc = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ \
+             not (exists r2 in R [ r2.B = s.B and r2.A = r.A ]) ]) ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let ra = rd_ra::parser::parse("pi[A](R) - pi[A]((pi[A](R) x S) - R)", &catalog()).unwrap();
+        let v = decide_equivalence(
+            &AnyQuery::Trc(trc),
+            &AnyQuery::Ra(ra),
+            &catalog(),
+            &EquivOptions::default(),
+        );
+        match v {
+            Verdict::ProbablyEquivalent(n) => assert!(n > 100),
+            other => panic!("expected probable equivalence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inequivalent_cross_language_refuted() {
+        let trc = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ s.B = r.B ]) ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let ra = rd_ra::parser::parse("pi[A](R)", &catalog()).unwrap();
+        let v = decide_equivalence(
+            &AnyQuery::Trc(trc),
+            &AnyQuery::Ra(ra),
+            &catalog(),
+            &EquivOptions::default(),
+        );
+        assert!(matches!(v, Verdict::NotEquivalent(_)));
+    }
+
+    #[test]
+    fn structurally_different_but_equivalent_is_probable_not_proved() {
+        // ¬¬φ vs φ: equivalent but canonically different (double negation
+        // is preserved by design).
+        let a = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and not (not (exists s in S [ s.B = r.B ])) ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let b = parse_query(
+            "{ q(A) | exists r in R, s in S [ q.A = r.A and s.B = r.B ] }",
+            &catalog(),
+        )
+        .unwrap();
+        assert!(!trc_isomorphic(&a, &b));
+        let v = decide_equivalence(
+            &AnyQuery::Trc(a),
+            &AnyQuery::Trc(b),
+            &catalog(),
+            &EquivOptions::default(),
+        );
+        assert!(matches!(v, Verdict::ProbablyEquivalent(_)), "{v:?}");
+    }
+}

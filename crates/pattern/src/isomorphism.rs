@@ -1,0 +1,570 @@
+//! Pattern isomorphism (Def. 12) and similar patterns across schemas
+//! (Def. 15).
+
+use crate::dissociate::{dissociate, AnyQuery, Dissociated};
+use crate::equiv::{decide_equivalence, EquivOptions, Verdict};
+use rd_core::{Catalog, CoreResult, Database};
+use std::collections::BTreeMap;
+
+/// Outcome of a pattern-isomorphism check.
+#[derive(Debug, Clone)]
+pub enum IsoVerdict {
+    /// A pattern-preserving mapping exists: `mapping[i] = j` pairs
+    /// signature position `i` of `q1` with position `j` of `q2`.
+    Isomorphic {
+        /// The permutation π of Def. 12 (position in S1 → position in S2).
+        mapping: Vec<usize>,
+        /// `true` if equivalence was *proved* (not just model-checked).
+        proved: bool,
+    },
+    /// No schema-respecting permutation yields equivalent dissociations;
+    /// a witness counterexample for the last candidate is included.
+    NotIsomorphic {
+        /// Counterexample database for the last refuted permutation (maps
+        /// the dissociated table names of `q1`).
+        witness: Option<Box<Database>>,
+    },
+    /// The check could not be carried out.
+    Incomparable(String),
+}
+
+impl IsoVerdict {
+    /// `true` if a pattern-preserving mapping was found.
+    pub fn is_isomorphic(&self) -> bool {
+        matches!(self, IsoVerdict::Isomorphic { .. })
+    }
+}
+
+/// Decides whether `q1` and `q2` are pattern-isomorphic (Def. 12): their
+/// dissociated queries must be logically equivalent under some permutation
+/// of the dissociated signature that pairs references to the same original
+/// table.
+pub fn pattern_isomorphic(
+    q1: &AnyQuery,
+    q2: &AnyQuery,
+    catalog: &Catalog,
+    opts: &EquivOptions,
+) -> IsoVerdict {
+    let s1 = q1.signature();
+    let s2 = q2.signature();
+    if s1.len() != s2.len() {
+        return IsoVerdict::NotIsomorphic { witness: None };
+    }
+    // Same multiset of table references is necessary.
+    let (mut m1, mut m2) = (s1.clone(), s2.clone());
+    m1.sort();
+    m2.sort();
+    if m1 != m2 {
+        return IsoVerdict::NotIsomorphic { witness: None };
+    }
+    let d1 = match dissociate(q1, catalog, "l") {
+        Ok(d) => d,
+        Err(e) => return IsoVerdict::Incomparable(e.to_string()),
+    };
+    let d2 = match dissociate(q2, catalog, "r") {
+        Ok(d) => d,
+        Err(e) => return IsoVerdict::Incomparable(e.to_string()),
+    };
+    // Candidate permutations: per original table, all pairings of its
+    // positions in S1 with its positions in S2.
+    let mut groups: BTreeMap<&String, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+    for (i, t) in s1.iter().enumerate() {
+        groups.entry(t).or_default().0.push(i);
+    }
+    for (j, t) in s2.iter().enumerate() {
+        groups.entry(t).or_default().1.push(j);
+    }
+    let group_list: Vec<(&Vec<usize>, &Vec<usize>)> =
+        groups.values().map(|(a, b)| (a, b)).collect();
+
+    let mut witness: Option<Box<Database>> = None;
+    let mut assignment: Vec<Option<usize>> = vec![None; s1.len()];
+    let found = try_groups(
+        &group_list,
+        0,
+        &mut assignment,
+        &d1,
+        &d2,
+        catalog,
+        opts,
+        &mut witness,
+    );
+    match found {
+        Some((mapping, proved)) => IsoVerdict::Isomorphic { mapping, proved },
+        None => IsoVerdict::NotIsomorphic { witness },
+    }
+}
+
+/// Depth-first search over per-table permutations; checks equivalence for
+/// each complete permutation.
+#[allow(clippy::too_many_arguments)]
+fn try_groups(
+    groups: &[(&Vec<usize>, &Vec<usize>)],
+    gi: usize,
+    assignment: &mut Vec<Option<usize>>,
+    d1: &Dissociated,
+    d2: &Dissociated,
+    catalog: &Catalog,
+    opts: &EquivOptions,
+    witness: &mut Option<Box<Database>>,
+) -> Option<(Vec<usize>, bool)> {
+    if gi == groups.len() {
+        let mapping: Vec<usize> = assignment.iter().map(|a| a.expect("complete")).collect();
+        return check_permutation(&mapping, d1, d2, catalog, opts, witness);
+    }
+    let (left, right) = groups[gi];
+    permute(left, right, &mut Vec::new(), &mut |pairs| {
+        for (i, j) in pairs {
+            assignment[*i] = Some(*j);
+        }
+        let r = try_groups(groups, gi + 1, assignment, d1, d2, catalog, opts, witness);
+        for (i, _) in pairs {
+            assignment[*i] = None;
+        }
+        r
+    })
+}
+
+/// Enumerates bijections between two equal-length index lists.
+fn permute<R>(
+    left: &[usize],
+    right: &[usize],
+    chosen: &mut Vec<(usize, usize)>,
+    f: &mut impl FnMut(&[(usize, usize)]) -> Option<R>,
+) -> Option<R> {
+    if chosen.len() == left.len() {
+        return f(chosen);
+    }
+    let i = left[chosen.len()];
+    for &j in right {
+        if chosen.iter().any(|(_, cj)| *cj == j) {
+            continue;
+        }
+        chosen.push((i, j));
+        if let Some(r) = permute(left, right, chosen, f) {
+            chosen.pop();
+            return Some(r);
+        }
+        chosen.pop();
+    }
+    None
+}
+
+/// Tests one permutation: rename d2's fresh tables to match d1's under π,
+/// then decide equivalence.
+fn check_permutation(
+    mapping: &[usize],
+    d1: &Dissociated,
+    d2: &Dissociated,
+    catalog: &Catalog,
+    opts: &EquivOptions,
+    witness: &mut Option<Box<Database>>,
+) -> Option<(Vec<usize>, bool)> {
+    // Build q2 with d2's fresh names replaced by d1's (π-aligned) names.
+    let renamed = rename_to_match(d2, d1, mapping).ok()?;
+    let verdict = decide_equivalence(&d1.query, &renamed, &d1.catalog, opts);
+    match verdict {
+        Verdict::Equivalent => Some((mapping.to_vec(), true)),
+        Verdict::ProbablyEquivalent(_) => Some((mapping.to_vec(), false)),
+        Verdict::NotEquivalent(db) => {
+            *witness = Some(db);
+            let _ = catalog;
+            None
+        }
+        Verdict::Incomparable(_) => None,
+    }
+}
+
+/// Renames `d2.query`'s dissociated tables so that position `j = π(i)`
+/// uses `d1`'s fresh name for position `i`.
+fn rename_to_match(d2: &Dissociated, d1: &Dissociated, mapping: &[usize]) -> CoreResult<AnyQuery> {
+    // mapping[i] = j pairs S1[i] with S2[j]; so S2 position j gets name of
+    // S1 position i.
+    let mut name_for_pos2: Vec<String> = vec![String::new(); mapping.len()];
+    for (i, &j) in mapping.iter().enumerate() {
+        name_for_pos2[j] = d1.mapping[i].1.clone();
+    }
+    match &d2.query {
+        AnyQuery::Trc(q) => {
+            let mut q = q.clone();
+            // Rename by fresh-name identity (fresh names are unique).
+            for (j, (_, fresh)) in d2.mapping.iter().enumerate() {
+                q.formula.rename_table(fresh, &name_for_pos2[j]);
+            }
+            Ok(AnyQuery::Trc(q))
+        }
+        AnyQuery::Ra(e) => {
+            let mut e = e.clone();
+            for (j, _) in d2.mapping.iter().enumerate() {
+                e.rename_table_ref(j, &name_for_pos2[j]);
+            }
+            Ok(AnyQuery::Ra(e))
+        }
+        AnyQuery::Datalog(p) => {
+            let mut p = p.clone();
+            for (j, _) in d2.mapping.iter().enumerate() {
+                p.rename_table_ref(j, &name_for_pos2[j]);
+            }
+            Ok(AnyQuery::Datalog(p))
+        }
+        AnyQuery::Sql(u) => {
+            // SQL references were renamed positionally during dissociation;
+            // translate through TRC for the rename (simplest correct path).
+            let trc = rd_sql::translate::sql_to_trc(u, &d2.catalog)?;
+            let mut q = trc.branches[0].clone();
+            for (j, (_, fresh)) in d2.mapping.iter().enumerate() {
+                q.formula.rename_table(fresh, &name_for_pos2[j]);
+            }
+            Ok(AnyQuery::Trc(q))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Similar patterns across schemas (Def. 15)
+// ---------------------------------------------------------------------
+
+/// Decides whether two queries over possibly different schemas use a
+/// *similar pattern* (Def. 15): some bijective schema mapping λ (tables,
+/// attributes, constants) makes λ(q1) pattern-isomorphic to q2.
+///
+/// Both queries must be TRC (translate first if needed). The search is
+/// bounded: tables are paired by arity, attribute bijections are tried
+/// exhaustively per paired table (arity ≤ 6), and constants are paired in
+/// order of first appearance.
+pub fn similar_pattern(
+    q1: &rd_trc::ast::TrcQuery,
+    cat1: &Catalog,
+    q2: &rd_trc::ast::TrcQuery,
+    cat2: &Catalog,
+    opts: &EquivOptions,
+) -> bool {
+    let t1: Vec<String> = dedup(q1.signature());
+    let t2: Vec<String> = dedup(q2.signature());
+    if t1.len() != t2.len() {
+        return false;
+    }
+    // Try every arity-respecting bijection of table names.
+    let mut used = vec![false; t2.len()];
+    try_table_mapping(q1, cat1, q2, cat2, &t1, &t2, 0, &mut Vec::new(), &mut used, opts)
+}
+
+fn dedup(v: Vec<String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for x in v {
+        if !out.contains(&x) {
+            out.push(x);
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_table_mapping(
+    q1: &rd_trc::ast::TrcQuery,
+    cat1: &Catalog,
+    q2: &rd_trc::ast::TrcQuery,
+    cat2: &Catalog,
+    t1: &[String],
+    t2: &[String],
+    i: usize,
+    pairs: &mut Vec<(String, String)>,
+    used: &mut Vec<bool>,
+    opts: &EquivOptions,
+) -> bool {
+    if i == t1.len() {
+        return try_attr_mappings(q1, cat1, q2, cat2, pairs, 0, &mut Vec::new(), opts);
+    }
+    let a1 = cat1.require(&t1[i]).map(|s| s.arity()).unwrap_or(0);
+    for j in 0..t2.len() {
+        if used[j] {
+            continue;
+        }
+        let a2 = cat2.require(&t2[j]).map(|s| s.arity()).unwrap_or(0);
+        if a1 != a2 {
+            continue;
+        }
+        used[j] = true;
+        pairs.push((t1[i].clone(), t2[j].clone()));
+        if try_table_mapping(q1, cat1, q2, cat2, t1, t2, i + 1, pairs, used, opts) {
+            return true;
+        }
+        pairs.pop();
+        used[j] = false;
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_attr_mappings(
+    q1: &rd_trc::ast::TrcQuery,
+    cat1: &Catalog,
+    q2: &rd_trc::ast::TrcQuery,
+    cat2: &Catalog,
+    table_pairs: &[(String, String)],
+    i: usize,
+    attr_maps: &mut Vec<BTreeMap<String, String>>,
+    opts: &EquivOptions,
+) -> bool {
+    if i == table_pairs.len() {
+        return check_schema_mapping(q1, cat1, q2, cat2, table_pairs, attr_maps, opts);
+    }
+    let (from, to) = &table_pairs[i];
+    let Ok(s1) = cat1.require(from) else {
+        return false;
+    };
+    let Ok(s2) = cat2.require(to) else {
+        return false;
+    };
+    let attrs2: Vec<String> = s2.attrs().to_vec();
+    // Heuristic first candidate: positional mapping; then all bijections.
+    let mut perms: Vec<Vec<usize>> = Vec::new();
+    permutations(attrs2.len(), &mut Vec::new(), &mut perms);
+    for perm in perms {
+        let map: BTreeMap<String, String> = s1
+            .attrs()
+            .iter()
+            .zip(perm.iter().map(|&k| attrs2[k].clone()))
+            .map(|(a, b)| (a.clone(), b))
+            .collect();
+        attr_maps.push(map);
+        if try_attr_mappings(q1, cat1, q2, cat2, table_pairs, i + 1, attr_maps, opts) {
+            return true;
+        }
+        attr_maps.pop();
+    }
+    false
+}
+
+fn permutations(n: usize, acc: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if acc.len() == n {
+        out.push(acc.clone());
+        return;
+    }
+    for i in 0..n {
+        if !acc.contains(&i) {
+            acc.push(i);
+            permutations(n, acc, out);
+            acc.pop();
+        }
+    }
+}
+
+fn check_schema_mapping(
+    q1: &rd_trc::ast::TrcQuery,
+    cat1: &Catalog,
+    q2: &rd_trc::ast::TrcQuery,
+    cat2: &Catalog,
+    table_pairs: &[(String, String)],
+    attr_maps: &[BTreeMap<String, String>],
+    opts: &EquivOptions,
+) -> bool {
+    // Apply λ to q1: rename tables and attributes.
+    let mut mapped = q1.clone();
+    let table_of: BTreeMap<&str, usize> = table_pairs
+        .iter()
+        .enumerate()
+        .map(|(i, (f, _))| (f.as_str(), i))
+        .collect();
+    // Build var -> table map before renaming.
+    let var_tables = match rd_trc::check::var_tables(&mapped) {
+        Ok(m) => m,
+        Err(_) => return false,
+    };
+    // Rename attribute references per variable's table.
+    rename_attrs(&mut mapped.formula, &var_tables, table_pairs, attr_maps, &table_of);
+    for (from, to) in table_pairs {
+        mapped.formula.rename_table(from, to);
+    }
+    let _ = cat1;
+    let v = pattern_isomorphic(
+        &AnyQuery::Trc(mapped),
+        &AnyQuery::Trc(q2.clone()),
+        cat2,
+        opts,
+    );
+    v.is_isomorphic()
+}
+
+fn rename_attrs(
+    f: &mut rd_trc::ast::Formula,
+    var_tables: &BTreeMap<String, String>,
+    table_pairs: &[(String, String)],
+    attr_maps: &[BTreeMap<String, String>],
+    table_of: &BTreeMap<&str, usize>,
+) {
+    use rd_trc::ast::{Formula, Term};
+    let fix = |t: &mut Term| {
+        if let Term::Attr(a) = t {
+            if let Some(table) = var_tables.get(&a.var) {
+                if let Some(&idx) = table_of.get(table.as_str()) {
+                    if let Some(new_attr) = attr_maps[idx].get(&a.attr) {
+                        a.attr = new_attr.clone();
+                    }
+                }
+            }
+        }
+        let _ = table_pairs;
+    };
+    match f {
+        Formula::And(fs) | Formula::Or(fs) => {
+            for sub in fs {
+                rename_attrs(sub, var_tables, table_pairs, attr_maps, table_of);
+            }
+        }
+        Formula::Not(sub) => rename_attrs(sub, var_tables, table_pairs, attr_maps, table_of),
+        Formula::Exists(_, body) => {
+            rename_attrs(body, var_tables, table_pairs, attr_maps, table_of)
+        }
+        Formula::Pred(p) => {
+            fix(&mut p.left);
+            fix(&mut p.right);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rd_core::TableSchema;
+    use rd_trc::parser::parse_query;
+
+    fn catalog() -> Catalog {
+        Catalog::from_schemas([
+            TableSchema::new("R", ["A", "B"]),
+            TableSchema::new("S", ["B"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn division_trc_vs_sql_isomorphic() {
+        // Fig. 24a/24b: same pattern across languages.
+        let trc = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ \
+             not (exists r2 in R [ r2.B = s.B and r2.A = r.A ]) ]) ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let sql = rd_sql::parser::parse_sql_unchecked(
+            "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE NOT EXISTS \
+             (SELECT * FROM R AS R2 WHERE R2.B = S.B AND R2.A = R.A))",
+        )
+        .unwrap();
+        let v = pattern_isomorphic(
+            &AnyQuery::Trc(trc),
+            &AnyQuery::Sql(sql),
+            &catalog(),
+            &EquivOptions::default(),
+        );
+        assert!(v.is_isomorphic(), "{v:?}");
+    }
+
+    #[test]
+    fn division_2ref_vs_3ref_not_isomorphic() {
+        // Eq. (14) (2 R refs) vs eq. (15)'s RA form (3 R refs): different
+        // signature lengths — not pattern-isomorphic (Example 18).
+        let trc2 = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ \
+             not (exists r2 in R [ r2.B = s.B and r2.A = r.A ]) ]) ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let ra3 =
+            rd_ra::parser::parse("pi[A](R) - pi[A]((pi[A](R) x S) - R)", &catalog()).unwrap();
+        let v = pattern_isomorphic(
+            &AnyQuery::Trc(trc2),
+            &AnyQuery::Ra(ra3),
+            &catalog(),
+            &EquivOptions::default(),
+        );
+        assert!(!v.is_isomorphic());
+    }
+
+    #[test]
+    fn division_3ref_trc_vs_ra_isomorphic() {
+        // Eq. (17) vs eq. (15): pattern-isomorphic (Example 18, Set 1).
+        let trc3 = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S, r3 in R [ r3.A = r.A and \
+             not (exists r2 in R [ r2.B = s.B and r2.A = r3.A ]) ]) ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let ra3 =
+            rd_ra::parser::parse("pi[A](R) - pi[A]((pi[A](R) x S) - R)", &catalog()).unwrap();
+        let v = pattern_isomorphic(
+            &AnyQuery::Trc(trc3),
+            &AnyQuery::Ra(ra3),
+            &catalog(),
+            &EquivOptions::default(),
+        );
+        assert!(v.is_isomorphic(), "{v:?}");
+    }
+
+    #[test]
+    fn example6_equivalent_but_not_isomorphic() {
+        // Q1(x) :- R(x,_), R(x,_)  vs  Q2(x) :- R(x,y), R(_,y): logically
+        // equivalent, same signature, different pattern.
+        let cat = Catalog::from_schemas([TableSchema::new("R", ["A", "B"])]).unwrap();
+        let q1 = parse_query(
+            "{ q(A) | exists r1 in R, r2 in R [ q.A = r1.A and r1.A = r2.A ] }",
+            &cat,
+        )
+        .unwrap();
+        let q2 = parse_query(
+            "{ q(A) | exists r1 in R, r2 in R [ q.A = r1.A and r1.B = r2.B ] }",
+            &cat,
+        )
+        .unwrap();
+        let v = pattern_isomorphic(
+            &AnyQuery::Trc(q1),
+            &AnyQuery::Trc(q2),
+            &cat,
+            &EquivOptions::default(),
+        );
+        assert!(!v.is_isomorphic());
+        if let IsoVerdict::NotIsomorphic { witness } = v {
+            assert!(witness.is_some(), "expected a counterexample database");
+        }
+    }
+
+    #[test]
+    fn fig2_sailors_vs_suppliers_similar_pattern() {
+        // Example 7: Sailor/Reserves/Boat vs SX/SPX/PX under λ.
+        let cat1 = Catalog::from_schemas([
+            TableSchema::new("Sailor", ["sid", "sname"]),
+            TableSchema::new("Reserves", ["sid", "bid"]),
+            TableSchema::new("Boat", ["bid"]),
+        ])
+        .unwrap();
+        let cat2 = Catalog::from_schemas([
+            TableSchema::new("SX", ["sno", "sname"]),
+            TableSchema::new("SPX", ["sno", "pno"]),
+            TableSchema::new("PX", ["pno"]),
+        ])
+        .unwrap();
+        let q1 = parse_query(
+            "{ q(sname) | exists s in Sailor [ q.sname = s.sname and not (exists b in Boat [ \
+             not (exists r in Reserves [ r.sid = s.sid and r.bid = b.bid ]) ]) ] }",
+            &cat1,
+        )
+        .unwrap();
+        let q2 = parse_query(
+            "{ q(sname) | exists sx in SX [ q.sname = sx.sname and not (exists px in PX [ \
+             not (exists spx in SPX [ spx.sno = sx.sno and spx.pno = px.pno ]) ]) ] }",
+            &cat2,
+        )
+        .unwrap();
+        assert!(similar_pattern(&q1, &cat1, &q2, &cat2, &EquivOptions::default()));
+    }
+
+    #[test]
+    fn dissimilar_patterns_rejected_across_schemas() {
+        let cat1 = Catalog::from_schemas([TableSchema::new("A1", ["x"])]).unwrap();
+        let cat2 = Catalog::from_schemas([TableSchema::new("B1", ["y", "z"])]).unwrap();
+        let q1 = parse_query("{ q(x) | exists a in A1 [ q.x = a.x ] }", &cat1).unwrap();
+        let q2 = parse_query("{ q(y) | exists b in B1 [ q.y = b.y ] }", &cat2).unwrap();
+        // Arity mismatch between the only tables: no λ exists.
+        assert!(!similar_pattern(&q1, &cat1, &q2, &cat2, &EquivOptions::default()));
+    }
+}

@@ -1,0 +1,32 @@
+//! # rd-pattern — relational query patterns (§4)
+//!
+//! The paper's first contribution, implemented:
+//!
+//! * [`AnyQuery`] — a query in any of the four
+//!   languages, with its *signature* (Def. 9: the ordered list of table
+//!   references) and *dissociation* (Def. 10: fresh table names per
+//!   reference, same schemas);
+//! * an [equivalence engine](equiv) — deciding logical equivalence of
+//!   dissociated queries is undecidable in general (Trakhtenbrot, §4.1),
+//!   so the engine is three-valued: syntactic canonical isomorphism
+//!   *proves* equivalence, exhaustive small-domain plus randomized model
+//!   checking *refutes* it with a counterexample database, and otherwise
+//!   the verdict is `ProbablyEquivalent` after N agreeing databases;
+//! * [pattern isomorphism](isomorphism) (Def. 12): a schema-respecting
+//!   permutation of the dissociated signatures under which the dissociated
+//!   queries are logically equivalent;
+//! * [similar patterns across schemas](isomorphism::similar_pattern)
+//!   (Def. 15): a bijective schema mapping composed with pattern
+//!   isomorphism;
+//! * the [representation hierarchy](hierarchy) (Theorem 14): the witness
+//!   queries of Lemmas 19 and 20 together with bounded mechanical
+//!   verification (enumerate-and-refute) of both separations.
+
+pub mod dissociate;
+pub mod equiv;
+pub mod hierarchy;
+pub mod isomorphism;
+
+pub use dissociate::{AnyQuery, Dissociated};
+pub use equiv::{decide_equivalence, EquivOptions, Verdict};
+pub use isomorphism::{pattern_isomorphic, similar_pattern, IsoVerdict};

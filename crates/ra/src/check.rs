@@ -1,0 +1,123 @@
+//! Fragment membership checks for RA expressions.
+
+use crate::ast::RaExpr;
+
+/// `true` if the expression lies in RA\* (Definition 2): no union operator
+/// and all selection conditions are conjunctions of simple predicates.
+/// The derived operators θ-join and natural join are permitted (they are
+/// definable from `× σ`), as is the rename `ρ` required by the named
+/// perspective; the antijoin is **not** (see [`is_ra_star_antijoin`]).
+pub fn is_ra_star(e: &RaExpr) -> bool {
+    match e {
+        RaExpr::Table(_) => true,
+        RaExpr::Project(_, inner) | RaExpr::Rename(_, inner) => is_ra_star(inner),
+        RaExpr::Select(cond, inner) => cond.is_conjunctive() && is_ra_star(inner),
+        RaExpr::Product(l, r) | RaExpr::Join(_, l, r) | RaExpr::NaturalJoin(l, r) | RaExpr::Diff(l, r) => {
+            is_ra_star(l) && is_ra_star(r)
+        }
+        RaExpr::Union(..) | RaExpr::Antijoin(..) => false,
+    }
+}
+
+/// `true` if the expression lies in RA\*⊲ (Appendix G.1): RA\* extended
+/// with the antijoin operator, where antijoin conditions are conjunctions
+/// of *equality* predicates (the paper's definition; see also Example 21's
+/// remark that "antijoins are only defined for equality conditions").
+pub fn is_ra_star_antijoin(e: &RaExpr) -> bool {
+    match e {
+        RaExpr::Table(_) => true,
+        RaExpr::Project(_, inner) | RaExpr::Rename(_, inner) => is_ra_star_antijoin(inner),
+        RaExpr::Select(cond, inner) => cond.is_conjunctive() && is_ra_star_antijoin(inner),
+        RaExpr::Product(l, r)
+        | RaExpr::Join(_, l, r)
+        | RaExpr::NaturalJoin(l, r)
+        | RaExpr::Diff(l, r) => is_ra_star_antijoin(l) && is_ra_star_antijoin(r),
+        RaExpr::Antijoin(cond, l, r) => {
+            cond.0.iter().all(|(_, op, _)| *op == rd_core::CmpOp::Eq)
+                && is_ra_star_antijoin(l)
+                && is_ra_star_antijoin(r)
+        }
+        RaExpr::Union(..) => false,
+    }
+}
+
+/// Counts the operators in an expression (used by the bounded enumerator
+/// in `rd-pattern` and by benchmarks).
+pub fn operator_count(e: &RaExpr) -> usize {
+    match e {
+        RaExpr::Table(_) => 0,
+        RaExpr::Project(_, inner) | RaExpr::Select(_, inner) | RaExpr::Rename(_, inner) => {
+            1 + operator_count(inner)
+        }
+        RaExpr::Product(l, r)
+        | RaExpr::Join(_, l, r)
+        | RaExpr::NaturalJoin(l, r)
+        | RaExpr::Diff(l, r)
+        | RaExpr::Union(l, r)
+        | RaExpr::Antijoin(_, l, r) => 1 + operator_count(l) + operator_count(r),
+    }
+}
+
+/// `true` if the condition tree of every selection is conjunctive (helper
+/// mirroring [`crate::ast::Condition::is_conjunctive`] over whole expressions).
+pub fn selections_conjunctive(e: &RaExpr) -> bool {
+    match e {
+        RaExpr::Table(_) => true,
+        RaExpr::Select(cond, inner) => cond.is_conjunctive() && selections_conjunctive(inner),
+        RaExpr::Project(_, inner) | RaExpr::Rename(_, inner) => selections_conjunctive(inner),
+        RaExpr::Product(l, r)
+        | RaExpr::Join(_, l, r)
+        | RaExpr::NaturalJoin(l, r)
+        | RaExpr::Diff(l, r)
+        | RaExpr::Union(l, r)
+        | RaExpr::Antijoin(_, l, r) => selections_conjunctive(l) && selections_conjunctive(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{JoinCond, RaTerm};
+    use rd_core::CmpOp;
+
+    #[test]
+    fn division_is_ra_star() {
+        let e = crate::parser::parse_unchecked("pi[A](R) - pi[A]((pi[A](R) x S) - R)").unwrap();
+        assert!(is_ra_star(&e));
+        assert!(is_ra_star_antijoin(&e));
+        assert_eq!(operator_count(&e), 6);
+    }
+
+    #[test]
+    fn union_excluded_from_both_fragments() {
+        let e = crate::parser::parse_unchecked("pi[B](R) union S").unwrap();
+        assert!(!is_ra_star(&e));
+        assert!(!is_ra_star_antijoin(&e));
+    }
+
+    #[test]
+    fn disjunctive_selection_excluded() {
+        let e = crate::parser::parse_unchecked("sigma[A=1 or B=2](R)").unwrap();
+        assert!(!is_ra_star(&e));
+        assert!(!is_ra_star_antijoin(&e));
+        assert!(!selections_conjunctive(&e));
+    }
+
+    #[test]
+    fn antijoin_only_in_extended_fragment() {
+        let e = crate::parser::parse_unchecked("R antijoin[B=B] S").unwrap();
+        assert!(!is_ra_star(&e));
+        assert!(is_ra_star_antijoin(&e));
+    }
+
+    #[test]
+    fn inequality_antijoin_excluded_even_from_extension() {
+        let e = RaExpr::antijoin(
+            JoinCond(vec![("A".into(), CmpOp::Lt, "B".into())]),
+            RaExpr::table("R"),
+            RaExpr::table("S"),
+        );
+        assert!(!is_ra_star_antijoin(&e));
+        let _ = RaTerm::attr("A"); // silence unused-import lint in minimal builds
+    }
+}

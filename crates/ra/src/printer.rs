@@ -1,0 +1,114 @@
+//! Printers for RA expressions: a parseable ASCII form and the paper's
+//! Unicode operator notation.
+
+use crate::ast::RaExpr;
+use std::fmt;
+
+/// ASCII rendering; round-trips through [`crate::parser::parse`].
+pub fn to_ascii(e: &RaExpr) -> String {
+    render(e, false)
+}
+
+/// Unicode rendering with `π σ ρ × ⋈ − ∪ ⊲`.
+pub fn to_unicode(e: &RaExpr) -> String {
+    render(e, true)
+}
+
+fn atom(e: &RaExpr, uni: bool) -> String {
+    match e {
+        RaExpr::Table(_) | RaExpr::Project(..) | RaExpr::Select(..) | RaExpr::Rename(..) => {
+            render(e, uni)
+        }
+        _ => format!("({})", render(e, uni)),
+    }
+}
+
+fn render(e: &RaExpr, uni: bool) -> String {
+    match e {
+        RaExpr::Table(t) => t.clone(),
+        RaExpr::Project(attrs, inner) => {
+            let op = if uni { "π" } else { "pi" };
+            format!("{op}[{}]({})", attrs.join(", "), render(inner, uni))
+        }
+        RaExpr::Select(cond, inner) => {
+            let op = if uni { "σ" } else { "sigma" };
+            format!("{op}[{cond}]({})", render(inner, uni))
+        }
+        RaExpr::Rename(renames, inner) => {
+            let op = if uni { "ρ" } else { "rho" };
+            let rs: Vec<String> = renames
+                .iter()
+                .map(|(a, b)| {
+                    if uni {
+                        format!("{a}→{b}")
+                    } else {
+                        format!("{a}->{b}")
+                    }
+                })
+                .collect();
+            format!("{op}[{}]({})", rs.join(", "), render(inner, uni))
+        }
+        RaExpr::Product(l, r) => {
+            let op = if uni { "×" } else { "x" };
+            format!("{} {op} {}", atom(l, uni), atom(r, uni))
+        }
+        RaExpr::Join(cond, l, r) => {
+            let op = if uni { "⋈" } else { "join" };
+            format!("{} {op}[{cond}] {}", atom(l, uni), atom(r, uni))
+        }
+        RaExpr::NaturalJoin(l, r) => {
+            let op = if uni { "⋈" } else { "join" };
+            format!("{} {op} {}", atom(l, uni), atom(r, uni))
+        }
+        RaExpr::Diff(l, r) => format!("{} - {}", atom(l, uni), atom(r, uni)),
+        RaExpr::Union(l, r) => {
+            let op = if uni { "∪" } else { "union" };
+            format!("{} {op} {}", atom(l, uni), atom(r, uni))
+        }
+        RaExpr::Antijoin(cond, l, r) => {
+            let op = if uni { "⊲" } else { "antijoin" };
+            if cond.0.is_empty() {
+                format!("{} {op} {}", atom(l, uni), atom(r, uni))
+            } else {
+                format!("{} {op}[{cond}] {}", atom(l, uni), atom(r, uni))
+            }
+        }
+    }
+}
+
+impl fmt::Display for RaExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_ascii(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{JoinCond, RaExpr};
+
+    #[test]
+    fn renders_division_ascii_and_unicode() {
+        let e = RaExpr::diff(
+            RaExpr::project(["A"], RaExpr::table("R")),
+            RaExpr::project(
+                ["A"],
+                RaExpr::diff(
+                    RaExpr::product(RaExpr::project(["A"], RaExpr::table("R")), RaExpr::table("S")),
+                    RaExpr::table("R"),
+                ),
+            ),
+        );
+        assert_eq!(to_ascii(&e), "pi[A](R) - pi[A]((pi[A](R) x S) - R)");
+        assert_eq!(to_unicode(&e), "π[A](R) - π[A]((π[A](R) × S) - R)");
+    }
+
+    #[test]
+    fn renders_antijoin() {
+        let e = RaExpr::antijoin(JoinCond::eq("B", "B"), RaExpr::table("R"), RaExpr::table("S"));
+        assert_eq!(to_ascii(&e), "R antijoin[B=B] S");
+        assert_eq!(to_unicode(&e), "R ⊲[B=B] S");
+        let nat = RaExpr::antijoin(JoinCond(vec![]), RaExpr::table("R"), RaExpr::table("S"));
+        assert_eq!(to_ascii(&nat), "R antijoin S");
+    }
+}

@@ -1,0 +1,322 @@
+//! Abstract syntax for SQL\* (Fig. 3 grammar plus the §5 extensions).
+
+use rd_core::{CmpOp, Value};
+use std::fmt;
+
+/// A column reference `[T.]A`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Column {
+    /// Optional qualifying table alias.
+    pub table: Option<String>,
+    /// Attribute name.
+    pub attr: String,
+}
+
+impl Column {
+    /// Qualified column `t.a`.
+    pub fn qualified(table: impl Into<String>, attr: impl Into<String>) -> Self {
+        Column {
+            table: Some(table.into()),
+            attr: attr.into(),
+        }
+    }
+
+    /// Unqualified column `a`.
+    pub fn bare(attr: impl Into<String>) -> Self {
+        Column {
+            table: None,
+            attr: attr.into(),
+        }
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.attr),
+            None => write!(f, "{}", self.attr),
+        }
+    }
+}
+
+/// One side of a comparison predicate.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SqlTerm {
+    /// A column reference.
+    Col(Column),
+    /// A literal (string or number; `V` in the grammar).
+    Const(Value),
+}
+
+impl fmt::Display for SqlTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlTerm::Col(c) => write!(f, "{c}"),
+            SqlTerm::Const(v) => write!(f, "{}", v.sql_literal()),
+        }
+    }
+}
+
+/// A table reference in a `FROM` clause: `T [[AS] T]`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableRef {
+    /// Base table name.
+    pub table: String,
+    /// Optional alias; the effective name is [`TableRef::name`].
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// Unaliased reference.
+    pub fn plain(table: impl Into<String>) -> Self {
+        TableRef {
+            table: table.into(),
+            alias: None,
+        }
+    }
+
+    /// Aliased reference `table AS alias`.
+    pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef {
+            table: table.into(),
+            alias: Some(alias.into()),
+        }
+    }
+
+    /// The name this reference is known by in scope.
+    pub fn name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} AS {a}", self.table),
+            None => write!(f, "{}", self.table),
+        }
+    }
+}
+
+/// The select list: `*` or explicit columns.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SelectCols {
+    /// `SELECT *` (only in subqueries).
+    Star,
+    /// Explicit column list.
+    Cols(Vec<Column>),
+}
+
+/// A predicate (the `P` nonterminal), including the §5 `OR` extension.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SqlPredicate {
+    /// Conjunction.
+    And(Vec<SqlPredicate>),
+    /// Disjunction (extension rule `P ::= '(' P OR P ')'`).
+    Or(Vec<SqlPredicate>),
+    /// `NOT (P)`.
+    Not(Box<SqlPredicate>),
+    /// Join or selection predicate `C O C | C O V`.
+    Cmp(SqlTerm, CmpOp, SqlTerm),
+    /// `[NOT] EXISTS (Q)`.
+    Exists {
+        /// `true` for `NOT EXISTS`.
+        negated: bool,
+        /// Subquery.
+        query: Box<SqlQuery>,
+    },
+    /// `C [NOT] IN (Q)`.
+    InSubquery {
+        /// `true` for `NOT IN`.
+        negated: bool,
+        /// Probe column.
+        col: Column,
+        /// Subquery producing one column.
+        query: Box<SqlQuery>,
+    },
+    /// `C O ALL (Q)` / `C O ANY (Q)`.
+    Quantified {
+        /// Probe column.
+        col: Column,
+        /// Comparison operator.
+        op: CmpOp,
+        /// `true` for `ALL`, `false` for `ANY`.
+        all: bool,
+        /// Subquery producing one column.
+        query: Box<SqlQuery>,
+    },
+}
+
+impl SqlPredicate {
+    /// Conjunction that collapses singletons.
+    pub fn and(mut ps: Vec<SqlPredicate>) -> SqlPredicate {
+        if ps.len() == 1 {
+            ps.pop().expect("len checked")
+        } else {
+            SqlPredicate::And(ps)
+        }
+    }
+
+    /// `true` if any `Or` occurs.
+    pub fn contains_or(&self) -> bool {
+        match self {
+            SqlPredicate::Or(_) => true,
+            SqlPredicate::And(ps) => ps.iter().any(SqlPredicate::contains_or),
+            SqlPredicate::Not(p) => p.contains_or(),
+            SqlPredicate::Cmp(..) => false,
+            SqlPredicate::Exists { query, .. }
+            | SqlPredicate::InSubquery { query, .. }
+            | SqlPredicate::Quantified { query, .. } => query.contains_or(),
+        }
+    }
+}
+
+/// A `SELECT … FROM … [WHERE …]` block.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SelectQuery {
+    /// `DISTINCT` present (required on the non-Boolean main query).
+    pub distinct: bool,
+    /// The select list.
+    pub columns: SelectCols,
+    /// `FROM` table references.
+    pub from: Vec<TableRef>,
+    /// Optional `WHERE` predicate.
+    pub where_clause: Option<SqlPredicate>,
+}
+
+/// A SQL\* query (the `Q` nonterminal).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SqlQuery {
+    /// A non-Boolean `SELECT` block (or `SELECT *` subquery).
+    Select(SelectQuery),
+    /// Boolean query `SELECT NOT (P)`.
+    SelectNot(Box<SqlPredicate>),
+    /// Boolean query `SELECT [NOT] EXISTS (Q)`.
+    SelectExists {
+        /// `true` for `SELECT NOT EXISTS`.
+        negated: bool,
+        /// Inner query.
+        query: Box<SqlQuery>,
+    },
+}
+
+impl SqlQuery {
+    /// `true` if this is a Boolean (sentence) query.
+    pub fn is_boolean(&self) -> bool {
+        !matches!(self, SqlQuery::Select(_))
+    }
+
+    /// `true` if any `OR` occurs anywhere in the query.
+    pub fn contains_or(&self) -> bool {
+        match self {
+            SqlQuery::Select(s) => s
+                .where_clause
+                .as_ref()
+                .is_some_and(SqlPredicate::contains_or),
+            SqlQuery::SelectNot(p) => p.contains_or(),
+            SqlQuery::SelectExists { query, .. } => query.contains_or(),
+        }
+    }
+
+    /// The *signature* (Def. 9): ordered table references — every `FROM`
+    /// entry, outer blocks first, in source order.
+    pub fn signature(&self) -> Vec<String> {
+        fn pred(p: &SqlPredicate, out: &mut Vec<String>) {
+            match p {
+                SqlPredicate::And(ps) | SqlPredicate::Or(ps) => {
+                    for q in ps {
+                        pred(q, out);
+                    }
+                }
+                SqlPredicate::Not(inner) => pred(inner, out),
+                SqlPredicate::Cmp(..) => {}
+                SqlPredicate::Exists { query, .. }
+                | SqlPredicate::InSubquery { query, .. }
+                | SqlPredicate::Quantified { query, .. } => walk(query, out),
+            }
+        }
+        fn walk(q: &SqlQuery, out: &mut Vec<String>) {
+            match q {
+                SqlQuery::Select(s) => {
+                    out.extend(s.from.iter().map(|t| t.table.clone()));
+                    if let Some(w) = &s.where_clause {
+                        pred(w, out);
+                    }
+                }
+                SqlQuery::SelectNot(p) => pred(p, out),
+                SqlQuery::SelectExists { query, .. } => walk(query, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// A union of SQL queries (§5 extension: `UNION` between non-Boolean
+/// queries). A single branch is a plain query.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SqlUnion {
+    /// Union branches.
+    pub branches: Vec<SqlQuery>,
+}
+
+impl SqlUnion {
+    /// Wraps a single query.
+    pub fn single(q: SqlQuery) -> Self {
+        SqlUnion { branches: vec![q] }
+    }
+
+    /// `true` if this is a single query.
+    pub fn is_single(&self) -> bool {
+        self.branches.len() == 1
+    }
+
+    /// Concatenated signature across branches.
+    pub fn signature(&self) -> Vec<String> {
+        self.branches.iter().flat_map(SqlQuery::signature).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ref_name_prefers_alias() {
+        assert_eq!(TableRef::plain("R").name(), "R");
+        assert_eq!(TableRef::aliased("R", "R2").name(), "R2");
+        assert_eq!(TableRef::aliased("R", "R2").to_string(), "R AS R2");
+    }
+
+    #[test]
+    fn signature_orders_outer_first() {
+        // SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S)
+        let q = SqlQuery::Select(SelectQuery {
+            distinct: true,
+            columns: SelectCols::Cols(vec![Column::qualified("R", "A")]),
+            from: vec![TableRef::plain("R")],
+            where_clause: Some(SqlPredicate::Exists {
+                negated: true,
+                query: Box::new(SqlQuery::Select(SelectQuery {
+                    distinct: false,
+                    columns: SelectCols::Star,
+                    from: vec![TableRef::plain("S")],
+                    where_clause: None,
+                })),
+            }),
+        });
+        assert_eq!(q.signature(), vec!["R", "S"]);
+        assert!(!q.is_boolean());
+    }
+
+    #[test]
+    fn column_display() {
+        assert_eq!(Column::qualified("R", "A").to_string(), "R.A");
+        assert_eq!(Column::bare("A").to_string(), "A");
+        assert_eq!(
+            SqlTerm::Const(Value::str("red")).to_string(),
+            "'red'"
+        );
+    }
+}

@@ -1,0 +1,536 @@
+//! Canonicalization of SQL\* queries (proof of Theorem 6, part 5; Fig. 14).
+//!
+//! Three rewrites bring any SQL\* query into the canonical form that is in
+//! 1-to-1 correspondence with canonical TRC\*:
+//!
+//! 1. **membership subqueries** `C1 [NOT] IN (SELECT C2 FROM … [WHERE P])`
+//!    become `[NOT] EXISTS (SELECT * FROM … WHERE [P AND] C1 = C2)`
+//!    (Fig. 14a);
+//! 2. **quantified subqueries** `C1 O ALL (Q)` become
+//!    `NOT EXISTS (… C1 O′ C2)` with the complemented operator `O′`, and
+//!    `C1 O ANY (Q)` becomes `EXISTS (… C1 O C2)` (Figs. 14b/14c);
+//! 3. **non-negated existential subqueries are unnested** into the
+//!    enclosing `FROM` clause (Fig. 14d), renaming inner aliases that would
+//!    collide with visible ones.
+//!
+//! Before rewriting, every column reference is fully qualified by scope
+//! resolution (innermost `FROM` first, then enclosing blocks), so the
+//! rewrites cannot change what a bare column refers to. `NOT (C O C)` is
+//! folded into the complemented comparison, mirroring the TRC\* canonical
+//! form.
+
+use crate::ast::{
+    Column, SelectCols, SelectQuery, SqlPredicate, SqlQuery, SqlTerm, SqlUnion,
+};
+use rd_core::{Catalog, CoreError, CoreResult};
+use std::collections::BTreeSet;
+
+/// Canonicalizes every branch of a union (see module docs).
+pub fn canonicalize_sql(u: &SqlUnion, catalog: &Catalog) -> CoreResult<SqlUnion> {
+    let branches = u
+        .branches
+        .iter()
+        .map(|q| canonicalize_query(q, catalog))
+        .collect::<CoreResult<Vec<_>>>()?;
+    Ok(SqlUnion { branches })
+}
+
+/// Canonicalizes a single query.
+pub fn canonicalize_query(q: &SqlQuery, catalog: &Catalog) -> CoreResult<SqlQuery> {
+    let mut q = q.clone();
+    qualify_query(&mut q, catalog, &mut Vec::new())?;
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    collect_names(&q, &mut used);
+    Ok(canon_query(q, &mut used))
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: qualify all bare columns.
+// ---------------------------------------------------------------------
+
+type Scope = Vec<(String, String)>; // (visible name, base table)
+
+fn resolve_bare(attr: &str, scopes: &[Scope], catalog: &Catalog) -> CoreResult<String> {
+    for scope in scopes.iter().rev() {
+        let mut matches = scope.iter().filter_map(|(name, table)| {
+            catalog
+                .table(table)
+                .filter(|s| s.has_attr(attr))
+                .map(|_| name.clone())
+        });
+        if let Some(first) = matches.next() {
+            if matches.next().is_some() {
+                return Err(CoreError::Invalid(format!(
+                    "ambiguous column '{attr}' (qualify it with a table alias)"
+                )));
+            }
+            return Ok(first);
+        }
+    }
+    Err(CoreError::Invalid(format!(
+        "column '{attr}' does not resolve to any visible table"
+    )))
+}
+
+fn qualify_column(c: &mut Column, scopes: &[Scope], catalog: &Catalog) -> CoreResult<()> {
+    if c.table.is_none() {
+        c.table = Some(resolve_bare(&c.attr, scopes, catalog)?);
+    } else {
+        // Validate the qualifier is visible.
+        let t = c.table.as_deref().expect("qualified");
+        if !scopes.iter().rev().any(|s| s.iter().any(|(n, _)| n == t)) {
+            return Err(CoreError::Invalid(format!(
+                "table alias '{t}' not visible for column '{c}'"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn qualify_query(q: &mut SqlQuery, catalog: &Catalog, scopes: &mut Vec<Scope>) -> CoreResult<()> {
+    match q {
+        SqlQuery::Select(s) => {
+            for t in &s.from {
+                catalog.require(&t.table)?;
+            }
+            let scope: Scope = s
+                .from
+                .iter()
+                .map(|t| (t.name().to_string(), t.table.clone()))
+                .collect();
+            // Duplicate visible names within one FROM are ambiguous.
+            for (i, (n, _)) in scope.iter().enumerate() {
+                if scope[..i].iter().any(|(m, _)| m == n) {
+                    return Err(CoreError::Invalid(format!(
+                        "duplicate table name/alias '{n}' in FROM clause"
+                    )));
+                }
+            }
+            scopes.push(scope);
+            if let SelectCols::Cols(cols) = &mut s.columns {
+                for c in cols {
+                    qualify_column(c, scopes, catalog)?;
+                }
+            }
+            if let Some(w) = &mut s.where_clause {
+                qualify_pred(w, catalog, scopes)?;
+            }
+            scopes.pop();
+            Ok(())
+        }
+        SqlQuery::SelectNot(p) => qualify_pred(p, catalog, scopes),
+        SqlQuery::SelectExists { query, .. } => qualify_query(query, catalog, scopes),
+    }
+}
+
+fn qualify_pred(
+    p: &mut SqlPredicate,
+    catalog: &Catalog,
+    scopes: &mut Vec<Scope>,
+) -> CoreResult<()> {
+    match p {
+        SqlPredicate::And(ps) | SqlPredicate::Or(ps) => {
+            for sub in ps {
+                qualify_pred(sub, catalog, scopes)?;
+            }
+            Ok(())
+        }
+        SqlPredicate::Not(inner) => qualify_pred(inner, catalog, scopes),
+        SqlPredicate::Cmp(l, _, r) => {
+            if let SqlTerm::Col(c) = l {
+                qualify_column(c, scopes, catalog)?;
+            }
+            if let SqlTerm::Col(c) = r {
+                qualify_column(c, scopes, catalog)?;
+            }
+            Ok(())
+        }
+        SqlPredicate::Exists { query, .. } => qualify_query(query, catalog, scopes),
+        SqlPredicate::InSubquery { col, query, .. } => {
+            qualify_column(col, scopes, catalog)?;
+            qualify_query(query, catalog, scopes)
+        }
+        SqlPredicate::Quantified { col, query, .. } => {
+            qualify_column(col, scopes, catalog)?;
+            qualify_query(query, catalog, scopes)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: rewrite IN / ALL / ANY, fold NOT(cmp), unnest positive EXISTS.
+// ---------------------------------------------------------------------
+
+fn collect_names(q: &SqlQuery, out: &mut BTreeSet<String>) {
+    fn pred(p: &SqlPredicate, out: &mut BTreeSet<String>) {
+        match p {
+            SqlPredicate::And(ps) | SqlPredicate::Or(ps) => {
+                for s in ps {
+                    pred(s, out);
+                }
+            }
+            SqlPredicate::Not(i) => pred(i, out),
+            SqlPredicate::Cmp(..) => {}
+            SqlPredicate::Exists { query, .. }
+            | SqlPredicate::InSubquery { query, .. }
+            | SqlPredicate::Quantified { query, .. } => collect_names(query, out),
+        }
+    }
+    match q {
+        SqlQuery::Select(s) => {
+            for t in &s.from {
+                out.insert(t.name().to_string());
+            }
+            if let Some(w) = &s.where_clause {
+                pred(w, out);
+            }
+        }
+        SqlQuery::SelectNot(p) => pred(p, out),
+        SqlQuery::SelectExists { query, .. } => collect_names(query, out),
+    }
+}
+
+fn fresh_name(base: &str, used: &mut BTreeSet<String>) -> String {
+    let mut i = 2usize;
+    loop {
+        let candidate = format!("{base}_{i}");
+        if used.insert(candidate.clone()) {
+            return candidate;
+        }
+        i += 1;
+    }
+}
+
+/// Extracts the single output column of a membership/quantified subquery.
+fn single_column(q: &SqlQuery) -> CoreResult<(Column, SelectQuery)> {
+    match q {
+        SqlQuery::Select(s) => match &s.columns {
+            SelectCols::Cols(cols) if cols.len() == 1 => Ok((cols[0].clone(), s.clone())),
+            _ => Err(CoreError::Invalid(
+                "membership/quantified subquery must select exactly one column".into(),
+            )),
+        },
+        _ => Err(CoreError::Invalid(
+            "membership/quantified subquery must be a SELECT block".into(),
+        )),
+    }
+}
+
+fn canon_query(q: SqlQuery, used: &mut BTreeSet<String>) -> SqlQuery {
+    match q {
+        SqlQuery::Select(mut s) => {
+            if let Some(w) = s.where_clause.take() {
+                let w = canon_pred(w, used);
+                // Unnest positive EXISTS conjuncts into this FROM.
+                let mut conjuncts = match w {
+                    SqlPredicate::And(ps) => ps,
+                    other => vec![other],
+                };
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    let mut next = Vec::with_capacity(conjuncts.len());
+                    for c in conjuncts {
+                        match c {
+                            SqlPredicate::Exists {
+                                negated: false,
+                                query,
+                            } => {
+                                if let SqlQuery::Select(mut inner) = *query {
+                                    // Rename colliding inner aliases.
+                                    let visible: BTreeSet<String> =
+                                        s.from.iter().map(|t| t.name().to_string()).collect();
+                                    for tr in &mut inner.from {
+                                        if visible.contains(tr.name()) {
+                                            let fresh = fresh_name(tr.name(), used);
+                                            let old = tr.name().to_string();
+                                            tr.alias = Some(fresh.clone());
+                                            if let Some(w) = &mut inner.where_clause {
+                                                rename_alias(w, &old, &fresh);
+                                            }
+                                        }
+                                    }
+                                    s.from.extend(inner.from);
+                                    if let Some(w) = inner.where_clause {
+                                        let ps = match w {
+                                            SqlPredicate::And(ps) => ps,
+                                            other => vec![other],
+                                        };
+                                        next.extend(ps);
+                                    }
+                                    changed = true;
+                                } else {
+                                    next.push(SqlPredicate::Exists {
+                                        negated: false,
+                                        query,
+                                    });
+                                }
+                            }
+                            other => next.push(other),
+                        }
+                    }
+                    conjuncts = next;
+                }
+                s.where_clause = if conjuncts.is_empty() {
+                    None
+                } else {
+                    Some(SqlPredicate::and(conjuncts))
+                };
+            }
+            SqlQuery::Select(s)
+        }
+        SqlQuery::SelectNot(p) => SqlQuery::SelectNot(Box::new(canon_pred(*p, used))),
+        SqlQuery::SelectExists { negated, query } => SqlQuery::SelectExists {
+            negated,
+            query: Box::new(canon_query(*query, used)),
+        },
+    }
+}
+
+fn canon_pred(p: SqlPredicate, used: &mut BTreeSet<String>) -> SqlPredicate {
+    match p {
+        SqlPredicate::And(ps) => {
+            SqlPredicate::and(ps.into_iter().map(|s| canon_pred(s, used)).collect())
+        }
+        SqlPredicate::Or(ps) => {
+            SqlPredicate::Or(ps.into_iter().map(|s| canon_pred(s, used)).collect())
+        }
+        SqlPredicate::Not(inner) => match *inner {
+            // NOT (C O C) folds into the complemented operator.
+            SqlPredicate::Cmp(l, op, r) => SqlPredicate::Cmp(l, op.negated(), r),
+            // NOT (EXISTS Q) is a negated existential subquery.
+            SqlPredicate::Exists { negated, query } => SqlPredicate::Exists {
+                negated: !negated,
+                query: Box::new(canon_query(*query, used)),
+            },
+            other => SqlPredicate::Not(Box::new(canon_pred(other, used))),
+        },
+        SqlPredicate::Cmp(l, op, r) => SqlPredicate::Cmp(l, op, r),
+        SqlPredicate::Exists { negated, query } => SqlPredicate::Exists {
+            negated,
+            query: Box::new(canon_query(*query, used)),
+        },
+        SqlPredicate::InSubquery {
+            negated,
+            col,
+            query,
+        } => {
+            // Fig. 14a.
+            let (c2, mut inner) = match single_column(&query) {
+                Ok(x) => x,
+                Err(_) => {
+                    // Leave malformed subqueries untouched; translation
+                    // will report the error with context.
+                    return SqlPredicate::InSubquery {
+                        negated,
+                        col,
+                        query,
+                    };
+                }
+            };
+            inner.columns = SelectCols::Star;
+            let eq = SqlPredicate::Cmp(
+                SqlTerm::Col(col),
+                rd_core::CmpOp::Eq,
+                SqlTerm::Col(c2),
+            );
+            inner.where_clause = Some(match inner.where_clause.take() {
+                Some(w) => SqlPredicate::and(vec![w, eq]),
+                None => eq,
+            });
+            canon_pred(
+                SqlPredicate::Exists {
+                    negated,
+                    query: Box::new(SqlQuery::Select(inner)),
+                },
+                used,
+            )
+        }
+        SqlPredicate::Quantified {
+            col,
+            op,
+            all,
+            query,
+        } => {
+            // Figs. 14b/14c.
+            let (c2, mut inner) = match single_column(&query) {
+                Ok(x) => x,
+                Err(_) => {
+                    return SqlPredicate::Quantified {
+                        col,
+                        op,
+                        all,
+                        query,
+                    }
+                }
+            };
+            inner.columns = SelectCols::Star;
+            let cmp_op = if all { op.negated() } else { op };
+            let cmp = SqlPredicate::Cmp(SqlTerm::Col(col), cmp_op, SqlTerm::Col(c2));
+            inner.where_clause = Some(match inner.where_clause.take() {
+                Some(w) => SqlPredicate::and(vec![w, cmp]),
+                None => cmp,
+            });
+            canon_pred(
+                SqlPredicate::Exists {
+                    negated: all,
+                    query: Box::new(SqlQuery::Select(inner)),
+                },
+                used,
+            )
+        }
+    }
+}
+
+/// Rewrites qualified column references from one alias to another.
+fn rename_alias(p: &mut SqlPredicate, from: &str, to: &str) {
+    fn fix_term(t: &mut SqlTerm, from: &str, to: &str) {
+        if let SqlTerm::Col(c) = t {
+            if c.table.as_deref() == Some(from) {
+                c.table = Some(to.to_string());
+            }
+        }
+    }
+    fn fix_query(q: &mut SqlQuery, from: &str, to: &str) {
+        match q {
+            SqlQuery::Select(s) => {
+                // An inner FROM redefining `from` shadows it; stop there.
+                if s.from.iter().any(|t| t.name() == from) {
+                    return;
+                }
+                if let SelectCols::Cols(cols) = &mut s.columns {
+                    for c in cols {
+                        if c.table.as_deref() == Some(from) {
+                            c.table = Some(to.to_string());
+                        }
+                    }
+                }
+                if let Some(w) = &mut s.where_clause {
+                    rename_alias_inner(w, from, to);
+                }
+            }
+            SqlQuery::SelectNot(p) => rename_alias_inner(p, from, to),
+            SqlQuery::SelectExists { query, .. } => fix_query(query, from, to),
+        }
+    }
+    fn rename_alias_inner(p: &mut SqlPredicate, from: &str, to: &str) {
+        match p {
+            SqlPredicate::And(ps) | SqlPredicate::Or(ps) => {
+                for s in ps {
+                    rename_alias_inner(s, from, to);
+                }
+            }
+            SqlPredicate::Not(i) => rename_alias_inner(i, from, to),
+            SqlPredicate::Cmp(l, _, r) => {
+                fix_term(l, from, to);
+                fix_term(r, from, to);
+            }
+            SqlPredicate::Exists { query, .. } => fix_query(query, from, to),
+            SqlPredicate::InSubquery { col, query, .. } => {
+                if col.table.as_deref() == Some(from) {
+                    col.table = Some(to.to_string());
+                }
+                fix_query(query, from, to);
+            }
+            SqlPredicate::Quantified { col, query, .. } => {
+                if col.table.as_deref() == Some(from) {
+                    col.table = Some(to.to_string());
+                }
+                fix_query(query, from, to);
+            }
+        }
+    }
+    rename_alias_inner(p, from, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sql_unchecked;
+    use crate::printer::format_sql;
+    use rd_core::TableSchema;
+
+    fn catalog() -> Catalog {
+        Catalog::from_schemas([
+            TableSchema::new("R", ["A", "B"]),
+            TableSchema::new("S", ["B"]),
+        ])
+        .unwrap()
+    }
+
+    fn canon_text(input: &str) -> String {
+        let u = parse_sql_unchecked(input).unwrap();
+        let c = canonicalize_sql(&u, &catalog()).unwrap();
+        format_sql(&c.branches[0])
+    }
+
+    #[test]
+    fn membership_becomes_exists_fig14a() {
+        let out = canon_text("SELECT DISTINCT R.A FROM R WHERE R.B NOT IN (SELECT S.B FROM S)");
+        assert!(out.contains("NOT EXISTS ("));
+        assert!(out.contains("R.B = S.B"));
+        assert!(!out.contains("IN ("));
+    }
+
+    #[test]
+    fn all_becomes_not_exists_with_complement_fig14b() {
+        // R.B >= ALL (SELECT S.B FROM S)  ≡  NOT EXISTS(... R.B < S.B)
+        let out = canon_text("SELECT DISTINCT R.A FROM R WHERE R.B >= ALL (SELECT S.B FROM S)");
+        assert!(out.contains("NOT EXISTS ("));
+        assert!(out.contains("R.B < S.B"));
+    }
+
+    #[test]
+    fn any_becomes_exists_then_unnests_fig14c_14d() {
+        // ANY: positive existential — unnested into the outer FROM.
+        let out = canon_text("SELECT DISTINCT R.A FROM R WHERE R.B = ANY (SELECT S.B FROM S)");
+        assert!(out.contains("FROM R, S"));
+        assert!(out.contains("R.B = S.B"));
+        assert!(!out.contains("EXISTS"));
+    }
+
+    #[test]
+    fn positive_exists_unnested_with_alias_freshening() {
+        let out = canon_text(
+            "SELECT DISTINCT R.A FROM R WHERE EXISTS (SELECT * FROM R WHERE R.B = 1)",
+        );
+        // The inner R collides with the outer R and gets a fresh alias.
+        assert!(out.contains("FROM R, R AS R_2"), "got:\n{out}");
+        assert!(out.contains("R_2.B = 1"), "got:\n{out}");
+    }
+
+    #[test]
+    fn negated_exists_is_preserved() {
+        let out = canon_text(
+            "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.B = R.B)",
+        );
+        assert!(out.contains("NOT EXISTS ("));
+    }
+
+    #[test]
+    fn bare_columns_are_qualified() {
+        let out = canon_text("SELECT DISTINCT A FROM R WHERE B = 1");
+        assert!(out.contains("SELECT DISTINCT R.A"));
+        assert!(out.contains("R.B = 1"));
+    }
+
+    #[test]
+    fn ambiguous_bare_column_rejected() {
+        let u = parse_sql_unchecked("SELECT DISTINCT B FROM R, S").unwrap();
+        assert!(canonicalize_sql(&u, &catalog()).is_err());
+    }
+
+    #[test]
+    fn not_cmp_folds() {
+        let out = canon_text("SELECT DISTINCT R.A FROM R WHERE NOT (R.B = 1)");
+        assert!(out.contains("R.B <> 1"));
+    }
+
+    #[test]
+    fn correlated_membership_fig15_variants() {
+        // Fig. 15d: R.B in (SELECT S.B FROM S) ≡ join — unnests.
+        let out = canon_text("SELECT DISTINCT R.A FROM R WHERE R.B IN (SELECT S.B FROM S)");
+        assert!(out.contains("FROM R, S"));
+        assert!(out.contains("R.B = S.B"));
+    }
+}

@@ -1,0 +1,114 @@
+//! SQL\* fragment membership (Definition 5).
+//!
+//! A query is in SQL\* iff it (1) parses under the Fig. 3 grammar (no `OR`,
+//! no `UNION`), (2) uses `DISTINCT` on a non-Boolean main query (set
+//! semantics), and (3) has every predicate *guarded* (Definition 3):
+//! every predicate references at least one table within the scope of the
+//! last `NOT`. Guardedness is checked on the 1-to-1 TRC translation, which
+//! is exactly how the paper phrases the condition.
+
+use crate::ast::{SqlQuery, SqlUnion};
+use crate::translate::sql_to_trc;
+use rd_core::Catalog;
+
+/// `true` if the union is a single SQL\* query (Definition 5).
+pub fn is_sql_star(u: &SqlUnion, catalog: &Catalog) -> bool {
+    if !u.is_single() {
+        return false; // UNION is the §5 extension
+    }
+    let q = &u.branches[0];
+    if q.contains_or() {
+        return false;
+    }
+    if let SqlQuery::Select(s) = q {
+        if !s.distinct {
+            return false; // set semantics requires DISTINCT (§2.4)
+        }
+    }
+    match sql_to_trc(u, catalog) {
+        Ok(trc) => trc
+            .branches
+            .iter()
+            .all(rd_trc::check::is_nondisjunctive),
+        Err(_) => false,
+    }
+}
+
+/// Returns the guard violations of a SQL query (via its TRC translation).
+pub fn guard_violations(u: &SqlUnion, catalog: &Catalog) -> Vec<String> {
+    match sql_to_trc(u, catalog) {
+        Ok(trc) => trc
+            .branches
+            .iter()
+            .flat_map(|b| rd_trc::check::guard_violations(b))
+            .map(|p| p.to_string())
+            .collect(),
+        Err(e) => vec![format!("translation error: {e}")],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sql_unchecked;
+    use rd_core::TableSchema;
+
+    fn catalog() -> Catalog {
+        Catalog::from_schemas([
+            TableSchema::new("R", ["A", "B"]),
+            TableSchema::new("S", ["B"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn canonical_division_is_sql_star() {
+        let u = parse_sql_unchecked(
+            "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE NOT EXISTS \
+             (SELECT * FROM R AS R2 WHERE R2.B = S.B AND R2.A = R.A))",
+        )
+        .unwrap();
+        assert!(is_sql_star(&u, &catalog()));
+    }
+
+    #[test]
+    fn or_union_and_missing_distinct_excluded() {
+        let or = parse_sql_unchecked(
+            "SELECT DISTINCT R.A FROM R WHERE R.A = 1 OR R.A = 2",
+        )
+        .unwrap();
+        assert!(!is_sql_star(&or, &catalog()));
+
+        let union = parse_sql_unchecked(
+            "(SELECT DISTINCT R.B FROM R) UNION (SELECT DISTINCT S.B FROM S)",
+        )
+        .unwrap();
+        assert!(!is_sql_star(&union, &catalog()));
+
+        let nodistinct = parse_sql_unchecked("SELECT R.A FROM R").unwrap();
+        assert!(!is_sql_star(&nodistinct, &catalog()));
+    }
+
+    #[test]
+    fn unguarded_predicate_excluded() {
+        // §2.3's hidden disjunction: R.A = 0 inside NOT EXISTS(S …) is
+        // unguarded (R is bound outside the negation).
+        let u = parse_sql_unchecked(
+            "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS \
+             (SELECT * FROM S WHERE R.A = 0 AND S.B = R.B)",
+        )
+        .unwrap();
+        assert!(!is_sql_star(&u, &catalog()));
+        assert_eq!(guard_violations(&u, &catalog()).len(), 1);
+    }
+
+    #[test]
+    fn boolean_queries_can_be_sql_star() {
+        let u = parse_sql_unchecked(
+            "SELECT NOT EXISTS (SELECT * FROM R WHERE NOT EXISTS \
+             (SELECT * FROM S WHERE S.B = R.B))",
+        )
+        .unwrap();
+        assert!(is_sql_star(&u, &catalog()));
+    }
+}

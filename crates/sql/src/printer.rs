@@ -1,0 +1,209 @@
+//! Pretty-printer emitting the paper's formatted SQL style (Fig. 15 etc.):
+//! clauses on their own lines, subqueries indented.
+
+use crate::ast::{SelectCols, SqlPredicate, SqlQuery, SqlUnion};
+use std::fmt;
+
+/// Formats a query with indentation.
+pub fn format_sql(q: &SqlQuery) -> String {
+    let mut out = String::new();
+    fmt_query(q, 0, &mut out);
+    out
+}
+
+/// Formats a union; branches parenthesized when there are several.
+pub fn format_sql_union(u: &SqlUnion) -> String {
+    if u.is_single() {
+        return format_sql(&u.branches[0]);
+    }
+    u.branches
+        .iter()
+        .map(|q| format!("({})", format_sql(q)))
+        .collect::<Vec<_>>()
+        .join("\nUNION\n")
+}
+
+fn pad(indent: usize) -> String {
+    "  ".repeat(indent)
+}
+
+fn fmt_query(q: &SqlQuery, indent: usize, out: &mut String) {
+    match q {
+        SqlQuery::Select(s) => {
+            out.push_str(&pad(indent));
+            out.push_str("SELECT ");
+            if s.distinct {
+                out.push_str("DISTINCT ");
+            }
+            match &s.columns {
+                SelectCols::Star => out.push('*'),
+                SelectCols::Cols(cols) => {
+                    let cs: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+                    out.push_str(&cs.join(", "));
+                }
+            }
+            out.push('\n');
+            out.push_str(&pad(indent));
+            out.push_str("FROM ");
+            let ts: Vec<String> = s.from.iter().map(|t| t.to_string()).collect();
+            out.push_str(&ts.join(", "));
+            if let Some(w) = &s.where_clause {
+                out.push('\n');
+                out.push_str(&pad(indent));
+                out.push_str("WHERE ");
+                fmt_pred(w, indent, out);
+            }
+        }
+        SqlQuery::SelectNot(p) => {
+            out.push_str(&pad(indent));
+            out.push_str("SELECT NOT (");
+            fmt_pred(p, indent, out);
+            out.push(')');
+        }
+        SqlQuery::SelectExists { negated, query } => {
+            out.push_str(&pad(indent));
+            out.push_str("SELECT ");
+            if *negated {
+                out.push_str("NOT ");
+            }
+            out.push_str("EXISTS (\n");
+            fmt_query(query, indent + 1, out);
+            out.push(')');
+        }
+    }
+}
+
+fn fmt_pred(p: &SqlPredicate, indent: usize, out: &mut String) {
+    match p {
+        SqlPredicate::And(ps) => {
+            for (i, sub) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push('\n');
+                    out.push_str(&pad(indent));
+                    out.push_str("  AND ");
+                }
+                let needs_paren = matches!(sub, SqlPredicate::Or(_));
+                if needs_paren {
+                    out.push('(');
+                }
+                fmt_pred(sub, indent, out);
+                if needs_paren {
+                    out.push(')');
+                }
+            }
+        }
+        SqlPredicate::Or(ps) => {
+            for (i, sub) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" OR ");
+                }
+                let needs_paren = matches!(sub, SqlPredicate::And(_) | SqlPredicate::Or(_));
+                if needs_paren {
+                    out.push('(');
+                }
+                fmt_pred(sub, indent, out);
+                if needs_paren {
+                    out.push(')');
+                }
+            }
+        }
+        SqlPredicate::Not(inner) => {
+            out.push_str("NOT (");
+            fmt_pred(inner, indent, out);
+            out.push(')');
+        }
+        SqlPredicate::Cmp(l, op, r) => {
+            out.push_str(&format!("{l} {} {r}", op.sql()));
+        }
+        SqlPredicate::Exists { negated, query } => {
+            if *negated {
+                out.push_str("NOT ");
+            }
+            out.push_str("EXISTS (\n");
+            fmt_query(query, indent + 1, out);
+            out.push(')');
+        }
+        SqlPredicate::InSubquery {
+            negated,
+            col,
+            query,
+        } => {
+            out.push_str(&col.to_string());
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN (\n");
+            fmt_query(query, indent + 1, out);
+            out.push(')');
+        }
+        SqlPredicate::Quantified {
+            col,
+            op,
+            all,
+            query,
+        } => {
+            out.push_str(&format!(
+                "{col} {} {} (\n",
+                op.sql(),
+                if *all { "ALL" } else { "ANY" }
+            ));
+            fmt_query(query, indent + 1, out);
+            out.push(')');
+        }
+    }
+}
+
+impl fmt::Display for SqlQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_sql(self))
+    }
+}
+
+impl fmt::Display for SqlUnion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_sql_union(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sql_unchecked;
+
+    #[test]
+    fn printed_sql_reparses_identically() {
+        let inputs = [
+            "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.B = R.B)",
+            "SELECT DISTINCT R.A FROM R WHERE R.B NOT IN (SELECT S.B FROM S)",
+            "SELECT DISTINCT R.A FROM R WHERE R.B >= ALL (SELECT S.B FROM S)",
+            "SELECT NOT EXISTS (SELECT * FROM R WHERE R.A = 1)",
+            "SELECT NOT (NOT EXISTS (SELECT * FROM R WHERE R.A = 1) AND NOT EXISTS (SELECT * FROM R R2 WHERE R2.A = 2))",
+            "(SELECT DISTINCT R.A FROM R) UNION (SELECT DISTINCT S.A FROM S)",
+            "SELECT DISTINCT R.A FROM R, S, T WHERE R.B > 5 AND (R.A = S.A OR R.A = T.A)",
+        ];
+        for text in inputs {
+            let u = parse_sql_unchecked(text).unwrap();
+            let printed = format_sql_union(&u);
+            let u2 = parse_sql_unchecked(&printed)
+                .unwrap_or_else(|e| panic!("reparse failed for:\n{printed}\n{e}"));
+            assert_eq!(u, u2, "round-trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn layout_matches_paper_style() {
+        let u = parse_sql_unchecked(
+            "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.B = R.B)",
+        )
+        .unwrap();
+        let printed = format_sql(&u.branches[0]);
+        assert!(printed.starts_with("SELECT DISTINCT R.A\nFROM R\nWHERE NOT EXISTS (\n"));
+        assert!(printed.contains("  SELECT *\n  FROM S\n  WHERE S.B = R.B"));
+    }
+
+    #[test]
+    fn ne_prints_as_sql_diamond() {
+        let u = parse_sql_unchecked("SELECT DISTINCT R.A FROM R WHERE R.A <> 1").unwrap();
+        assert!(format_sql(&u.branches[0]).contains("R.A <> 1"));
+    }
+}

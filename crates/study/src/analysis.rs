@@ -1,0 +1,350 @@
+//! The preregistered analysis (§6.2 "Analysis", Appendix O): Results 1–4
+//! plus the exploratory ≥90%-accuracy reanalysis.
+//!
+//! * **Result 1 (speed, Fig. 12a)** — per-participant *median* time per
+//!   condition; the headline statistic is the *median of per-participant
+//!   ratios* RD/SQL (the paper explains why mean-of-ratios would be a
+//!   biased estimator, Appendix O.1).
+//! * **Result 2 (learning, Fig. 12c)** — per-half medians and the median
+//!   of per-participant H2/H1 ratios per condition.
+//! * **Result 3 (accuracy, Fig. 12b)** — per-participant accuracy per
+//!   condition; *mean* of the per-participant differences RD − SQL.
+//! * **Result 4 (per pattern, Table 1 / Fig. 32)** — medians and ratio
+//!   CIs per pattern.
+//!
+//! All intervals are 95% BCa bootstrap CIs.
+
+use crate::design::{Condition, Pattern};
+use crate::simulate::StudyData;
+use crate::stats::{bca_ci, mean, median, Estimate};
+use serde::Serialize;
+
+/// Per-pattern row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct PatternRow {
+    /// P1–P4.
+    pub pattern: &'static str,
+    /// Median per-participant RD time.
+    pub rd: Estimate,
+    /// Median per-participant SQL time.
+    pub sql: Estimate,
+    /// Median of per-participant RD/SQL ratios.
+    pub ratio: Estimate,
+}
+
+/// The full study report.
+#[derive(Debug, Clone, Serialize)]
+pub struct StudyReport {
+    /// Number of analyzed participants.
+    pub n: usize,
+    /// Median of per-participant median times, RD.
+    pub time_rd: Estimate,
+    /// Median of per-participant median times, SQL.
+    pub time_sql: Estimate,
+    /// Result 1: median of per-participant RD/SQL time ratios.
+    pub speed_ratio: Estimate,
+    /// Result 2: (H1, H2) medians per condition, SQL then RD.
+    pub learning_sql: (Estimate, Estimate),
+    /// RD halves.
+    pub learning_rd: (Estimate, Estimate),
+    /// Result 2 inference: median H2/H1 ratio per condition.
+    pub learning_ratio_sql: Estimate,
+    /// RD learning ratio.
+    pub learning_ratio_rd: Estimate,
+    /// Result 3: mean accuracy per condition.
+    pub accuracy_rd: Estimate,
+    /// SQL accuracy.
+    pub accuracy_sql: Estimate,
+    /// Result 3: mean per-participant accuracy difference RD − SQL.
+    pub accuracy_diff: Estimate,
+    /// Result 4 / Table 1.
+    pub per_pattern: Vec<PatternRow>,
+}
+
+fn times_of(
+    data: &StudyData,
+    pick: impl Fn(&crate::simulate::Response) -> bool,
+) -> Vec<Vec<f64>> {
+    data.participants
+        .iter()
+        .map(|p| {
+            p.responses
+                .iter()
+                .filter(|r| pick(r))
+                .map(|r| r.seconds)
+                .collect()
+        })
+        .collect()
+}
+
+fn per_participant_medians(groups: &[Vec<f64>]) -> Vec<f64> {
+    groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| median(g))
+        .collect()
+}
+
+/// Runs the preregistered analysis over (optionally filtered) data.
+pub fn analyze(data: &StudyData) -> StudyReport {
+    analyze_seeded(data, 0xB007)
+}
+
+/// Analysis with an explicit bootstrap seed (CIs are deterministic).
+pub fn analyze_seeded(data: &StudyData, seed: u64) -> StudyReport {
+    const B: usize = 2000;
+    let is = |c: Condition| move |r: &crate::simulate::Response| r.question.condition == c;
+
+    // Result 1: speed.
+    let rd_meds = per_participant_medians(&times_of(data, is(Condition::Rd)));
+    let sql_meds = per_participant_medians(&times_of(data, is(Condition::Sql)));
+    let ratios: Vec<f64> = rd_meds
+        .iter()
+        .zip(&sql_meds)
+        .map(|(r, s)| r / s)
+        .collect();
+    let time_rd = bca_ci(&rd_meds, median, B, seed);
+    let time_sql = bca_ci(&sql_meds, median, B, seed ^ 1);
+    let speed_ratio = bca_ci(&ratios, median, B, seed ^ 2);
+
+    // Result 2: learning.
+    let half = |c: Condition, second: bool| {
+        per_participant_medians(&times_of(data, move |r| {
+            r.question.condition == c && r.question.second_half == second
+        }))
+    };
+    let sql_h1 = half(Condition::Sql, false);
+    let sql_h2 = half(Condition::Sql, true);
+    let rd_h1 = half(Condition::Rd, false);
+    let rd_h2 = half(Condition::Rd, true);
+    let ratio_of = |h2: &[f64], h1: &[f64]| -> Vec<f64> {
+        h2.iter().zip(h1).map(|(b, a)| b / a).collect()
+    };
+    let learning_ratio_sql = bca_ci(&ratio_of(&sql_h2, &sql_h1), median, B, seed ^ 3);
+    let learning_ratio_rd = bca_ci(&ratio_of(&rd_h2, &rd_h1), median, B, seed ^ 4);
+
+    // Result 3: accuracy.
+    let acc = |c: Condition| -> Vec<f64> {
+        data.participants
+            .iter()
+            .map(|p| {
+                let rs: Vec<&crate::simulate::Response> = p
+                    .responses
+                    .iter()
+                    .filter(|r| r.question.condition == c)
+                    .collect();
+                rs.iter().filter(|r| r.correct).count() as f64 / rs.len() as f64
+            })
+            .collect()
+    };
+    let acc_rd = acc(Condition::Rd);
+    let acc_sql = acc(Condition::Sql);
+    let diffs: Vec<f64> = acc_rd.iter().zip(&acc_sql).map(|(r, s)| r - s).collect();
+
+    // Result 4: per pattern.
+    let mut per_pattern = Vec::new();
+    for (i, p) in Pattern::ALL.into_iter().enumerate() {
+        let rd = per_participant_medians(&times_of(data, move |r| {
+            r.question.condition == Condition::Rd && r.question.pattern == p
+        }));
+        let sql = per_participant_medians(&times_of(data, move |r| {
+            r.question.condition == Condition::Sql && r.question.pattern == p
+        }));
+        let ratios: Vec<f64> = rd.iter().zip(&sql).map(|(r, s)| r / s).collect();
+        per_pattern.push(PatternRow {
+            pattern: p.label(),
+            rd: bca_ci(&rd, median, B, seed ^ (10 + i as u64)),
+            sql: bca_ci(&sql, median, B, seed ^ (20 + i as u64)),
+            ratio: bca_ci(&ratios, median, B, seed ^ (30 + i as u64)),
+        });
+    }
+
+    StudyReport {
+        n: data.participants.len(),
+        time_rd,
+        time_sql,
+        speed_ratio,
+        learning_sql: (
+            bca_ci(&sql_h1, median, B, seed ^ 5),
+            bca_ci(&sql_h2, median, B, seed ^ 6),
+        ),
+        learning_rd: (
+            bca_ci(&rd_h1, median, B, seed ^ 7),
+            bca_ci(&rd_h2, median, B, seed ^ 8),
+        ),
+        learning_ratio_sql,
+        learning_ratio_rd,
+        accuracy_rd: bca_ci(&acc_rd, mean, B, seed ^ 9),
+        accuracy_sql: bca_ci(&acc_sql, mean, B, seed ^ 10),
+        accuracy_diff: bca_ci(&diffs, mean, B, seed ^ 11),
+        per_pattern,
+    }
+}
+
+/// Exploratory reanalysis (Appendix O.4): restrict to participants with
+/// accuracy above `threshold` (the paper uses 0.90).
+pub fn filter_by_accuracy(data: &StudyData, threshold: f64) -> StudyData {
+    StudyData {
+        participants: data
+            .participants
+            .iter()
+            .filter(|p| p.accuracy() > threshold)
+            .cloned()
+            .collect(),
+        submissions: data.submissions,
+        rejected: data.rejected,
+    }
+}
+
+impl StudyReport {
+    /// Renders the report in the paper's result style.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Controlled user study, n = {}\n\n", self.n));
+        out.push_str("Result 1 (Speed, Fig. 12a)\n");
+        out.push_str(&format!(
+            "  median time per participant   SQL {}   RD {}\n",
+            self.time_sql.fmt(2),
+            self.time_rd.fmt(2)
+        ));
+        out.push_str(&format!(
+            "  median ratio RD/SQL           {}\n",
+            self.speed_ratio.fmt(2)
+        ));
+        out.push_str(&format!(
+            "  -> CI {} 1.00: {}\n\n",
+            if self.speed_ratio.hi < 1.0 { "excludes" } else { "overlaps" },
+            if self.speed_ratio.hi < 1.0 {
+                "strong evidence that RD is faster"
+            } else {
+                "no evidence of a speed difference"
+            }
+        ));
+        out.push_str("Result 2 (Learning, Fig. 12c)\n");
+        out.push_str(&format!(
+            "  SQL  H1 {}  H2 {}  ratio H2/H1 {}\n",
+            self.learning_sql.0.fmt(1),
+            self.learning_sql.1.fmt(1),
+            self.learning_ratio_sql.fmt(2)
+        ));
+        out.push_str(&format!(
+            "  RD   H1 {}  H2 {}  ratio H2/H1 {}\n\n",
+            self.learning_rd.0.fmt(1),
+            self.learning_rd.1.fmt(1),
+            self.learning_ratio_rd.fmt(2)
+        ));
+        out.push_str("Result 3 (Accuracy, Fig. 12b)\n");
+        out.push_str(&format!(
+            "  mean accuracy   RD {}   SQL {}\n",
+            pct(&self.accuracy_rd),
+            pct(&self.accuracy_sql)
+        ));
+        out.push_str(&format!(
+            "  mean difference RD - SQL: {}\n\n",
+            pct(&self.accuracy_diff)
+        ));
+        out.push_str("Result 4 (Per pattern, Table 1 / Fig. 32)\n");
+        out.push_str("  pattern   RD median              SQL median             ratio RD/SQL\n");
+        for row in &self.per_pattern {
+            out.push_str(&format!(
+                "  {:<8} {:<22} {:<22} {}\n",
+                row.pattern,
+                row.rd.fmt(2),
+                row.sql.fmt(2),
+                row.ratio.fmt(2)
+            ));
+        }
+        out
+    }
+}
+
+fn pct(e: &Estimate) -> String {
+    format!(
+        "{:.0}%, 95% CI [{:.0}%, {:.0}%]",
+        e.value * 100.0,
+        e.lo * 100.0,
+        e.hi * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{run_study, SimConfig};
+
+    fn report() -> StudyReport {
+        analyze(&run_study(&SimConfig::default()))
+    }
+
+    #[test]
+    fn result1_speed_ratio_matches_paper_shape() {
+        let r = report();
+        // Paper: ratio 0.70, CI [0.63, 0.77]. Shape check: RD faster, CI
+        // excludes 1.0, ratio in a sane band.
+        assert!(r.speed_ratio.value > 0.55 && r.speed_ratio.value < 0.85,
+            "ratio {}", r.speed_ratio.value);
+        assert!(r.speed_ratio.hi < 1.0, "CI must exclude 1.0");
+        assert!(r.time_rd.value < r.time_sql.value);
+    }
+
+    #[test]
+    fn result2_learning_in_both_conditions() {
+        let r = report();
+        assert!(r.learning_ratio_sql.value < 0.9);
+        assert!(r.learning_ratio_rd.value < 0.9);
+        assert!(r.learning_sql.1.value < r.learning_sql.0.value);
+        assert!(r.learning_rd.1.value < r.learning_rd.0.value);
+        // RD faster than SQL in both halves (Fig. 12c).
+        assert!(r.learning_rd.0.value < r.learning_sql.0.value);
+        assert!(r.learning_rd.1.value < r.learning_sql.1.value);
+    }
+
+    #[test]
+    fn result3_accuracy_gap_matches_paper_shape() {
+        let r = report();
+        // Paper: difference 21%, CI [13%, 29%] — require a positive gap
+        // whose CI excludes 0.
+        assert!(r.accuracy_diff.value > 0.10, "{}", r.accuracy_diff.value);
+        assert!(r.accuracy_diff.lo > 0.0);
+        assert!(r.accuracy_rd.value > 0.85);
+        assert!(r.accuracy_sql.value < 0.85);
+    }
+
+    #[test]
+    fn result4_every_pattern_ratio_below_one() {
+        let r = report();
+        assert_eq!(r.per_pattern.len(), 4);
+        for row in &r.per_pattern {
+            assert!(
+                row.ratio.hi < 1.0,
+                "pattern {} CI {:?} should be fully below 1.0",
+                row.pattern,
+                row.ratio
+            );
+        }
+    }
+
+    #[test]
+    fn exploratory_filter_keeps_high_accuracy_subset() {
+        let data = run_study(&SimConfig::default());
+        let filtered = filter_by_accuracy(&data, 0.90);
+        assert!(!filtered.participants.is_empty());
+        assert!(filtered.participants.len() < data.participants.len());
+        let r = analyze(&filtered);
+        // Speed effect persists in the subset (Appendix O.4 Figs. 33-35).
+        assert!(r.speed_ratio.hi < 1.0);
+        // Accuracy difference shrinks (Figs. 36-37).
+        let full = analyze(&data);
+        assert!(r.accuracy_diff.value < full.accuracy_diff.value);
+    }
+
+    #[test]
+    fn render_contains_all_results() {
+        let text = report().render();
+        assert!(text.contains("Result 1"));
+        assert!(text.contains("Result 2"));
+        assert!(text.contains("Result 3"));
+        assert!(text.contains("Result 4"));
+        assert!(text.contains("median ratio RD/SQL"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Counterbalancing and randomization (§6.2, Fig. 11).
+//!
+//! Each participant answers 32 questions, one per schema, alternating
+//! between conditions. Group 1 starts with SQL, group 2 with Relational
+//! Diagrams. Within each half (16 questions) and condition (8 questions),
+//! each of the four patterns appears exactly twice — a multiset
+//! permutation of `[P1 P1 P2 P2 P3 P3 P4 P4]`, of which there are
+//! 8!/(2!⁴) = 2520; a full treatment draws four of them independently
+//! (2·2520⁴ treatments, Appendix O.1).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// The two study conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Condition {
+    /// Formatted SQL text.
+    Sql,
+    /// Relational Diagrams.
+    Rd,
+}
+
+/// The four query patterns (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Pattern {
+    /// (1) …who have reserved some boat.
+    Some,
+    /// (2) …who have not reserved any boat.
+    NotAny,
+    /// (3) …who have not reserved all boats.
+    NotAll,
+    /// (4) …who have reserved all boats (double negation).
+    All,
+}
+
+impl Pattern {
+    /// All four patterns in paper order.
+    pub const ALL: [Pattern; 4] = [Pattern::Some, Pattern::NotAny, Pattern::NotAll, Pattern::All];
+
+    /// P1–P4 label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Pattern::Some => "P1",
+            Pattern::NotAny => "P2",
+            Pattern::NotAll => "P3",
+            Pattern::All => "P4",
+        }
+    }
+
+    /// The question text template instantiated by the stimuli module.
+    pub fn question(&self, noun: &str, verb: &str, object: &str) -> String {
+        match self {
+            Pattern::Some => format!("Find {noun} who have {verb} some {object}."),
+            Pattern::NotAny => format!("Find {noun} who have not {verb} any {object}."),
+            Pattern::NotAll => format!("Find {noun} who have not {verb} all {object}."),
+            Pattern::All => format!("Find {noun} who have {verb} all {object}."),
+        }
+    }
+}
+
+/// One question slot in a participant's session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Question {
+    /// 0-based position (0..32); schema index equals position (§6.2: "all
+    /// participants see the j-th question on the j-th schema").
+    pub index: usize,
+    /// Condition shown.
+    pub condition: Condition,
+    /// Pattern asked.
+    pub pattern: Pattern,
+    /// `false` for the first half, `true` for the second.
+    pub second_half: bool,
+}
+
+/// Draws one multiset permutation of the 8-slot pattern sequence
+/// `[P1 P1 P2 P2 P3 P3 P4 P4]`.
+fn pattern_block(rng: &mut StdRng) -> Vec<Pattern> {
+    let mut block = vec![
+        Pattern::Some,
+        Pattern::Some,
+        Pattern::NotAny,
+        Pattern::NotAny,
+        Pattern::NotAll,
+        Pattern::NotAll,
+        Pattern::All,
+        Pattern::All,
+    ];
+    block.shuffle(rng);
+    block
+}
+
+/// Builds the 32-question sequence for one participant.
+///
+/// `group1` participants start with SQL; conditions alternate with every
+/// question. Four independent pattern blocks cover (condition × half).
+pub fn participant_sequence(group1: bool, seed: u64) -> Vec<Question> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Blocks: [cond_even, cond_odd] × [half1, half2].
+    let blocks = [
+        [pattern_block(&mut rng), pattern_block(&mut rng)],
+        [pattern_block(&mut rng), pattern_block(&mut rng)],
+    ];
+    let mut out = Vec::with_capacity(32);
+    let mut cursor = [[0usize; 2]; 2]; // [half][parity]
+    for index in 0..32 {
+        let half = usize::from(index >= 16);
+        let parity = index % 2;
+        let condition = match (group1, parity) {
+            (true, 0) | (false, 1) => Condition::Sql,
+            _ => Condition::Rd,
+        };
+        let pattern = blocks[half][parity][cursor[half][parity]];
+        cursor[half][parity] += 1;
+        out.push(Question {
+            index,
+            condition,
+            pattern,
+            second_half: half == 1,
+        });
+    }
+    out
+}
+
+/// Number of distinct 8-slot pattern blocks: 8!/(2!⁴) = 2520
+/// (Appendix O.1).
+pub fn block_count() -> usize {
+    let fact = |n: u64| (1..=n).product::<u64>();
+    (fact(8) / (fact(2).pow(4))) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn multiset_permutation_count_is_2520() {
+        assert_eq!(block_count(), 2520);
+    }
+
+    #[test]
+    fn sequence_is_counterbalanced() {
+        for (group1, seed) in [(true, 7u64), (false, 8), (true, 99), (false, 1234)] {
+            let seq = participant_sequence(group1, seed);
+            assert_eq!(seq.len(), 32);
+            // Conditions alternate.
+            for w in seq.windows(2) {
+                assert_ne!(w[0].condition, w[1].condition);
+            }
+            // Group 1 starts with SQL, group 2 with RD.
+            assert_eq!(
+                seq[0].condition,
+                if group1 { Condition::Sql } else { Condition::Rd }
+            );
+            // Each (half, condition, pattern) cell appears exactly twice.
+            let mut cells: BTreeMap<(bool, bool, Pattern), usize> = BTreeMap::new();
+            for q in &seq {
+                *cells
+                    .entry((q.second_half, q.condition == Condition::Sql, q.pattern))
+                    .or_default() += 1;
+            }
+            assert_eq!(cells.len(), 16);
+            assert!(cells.values().all(|&c| c == 2), "{cells:?}");
+        }
+    }
+
+    #[test]
+    fn sequences_vary_with_seed() {
+        let a = participant_sequence(true, 1);
+        let b = participant_sequence(true, 2);
+        assert_ne!(
+            a.iter().map(|q| q.pattern).collect::<Vec<_>>(),
+            b.iter().map(|q| q.pattern).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn schema_index_equals_question_position() {
+        let seq = participant_sequence(true, 5);
+        for (i, q) in seq.iter().enumerate() {
+            assert_eq!(q.index, i);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Machine-readable artifact export, mirroring the paper's OSF materials:
+//! the stimulus index (OSF `u8bf9`/`sn83j`), the collected data
+//! (OSF `8vm42`), and the analysis report.
+
+use crate::analysis::StudyReport;
+use crate::simulate::StudyData;
+use crate::stimuli::Stimulus;
+use rd_core::{CoreError, CoreResult};
+
+/// Serializes the stimulus index as JSON (one record per stimulus:
+/// schema, pattern, condition, question text, rendered source).
+pub fn stimuli_json(stimuli: &[Stimulus]) -> CoreResult<String> {
+    serde_json::to_string_pretty(stimuli)
+        .map_err(|e| CoreError::Invalid(format!("stimulus serialization failed: {e}")))
+}
+
+/// Serializes the collected per-response study data as JSON.
+pub fn data_json(data: &StudyData) -> CoreResult<String> {
+    serde_json::to_string_pretty(data)
+        .map_err(|e| CoreError::Invalid(format!("data serialization failed: {e}")))
+}
+
+/// Serializes the analysis report (all estimates and CIs) as JSON.
+pub fn report_json(report: &StudyReport) -> CoreResult<String> {
+    serde_json::to_string_pretty(report)
+        .map_err(|e| CoreError::Invalid(format!("report serialization failed: {e}")))
+}
+
+/// The stimulus index as CSV (like OSF `u8bf9`): one row per stimulus
+/// with schema index, pattern, and condition.
+pub fn stimuli_index_csv(stimuli: &[Stimulus]) -> String {
+    let mut out = String::from("schema_index,pattern,condition,question\n");
+    for s in stimuli {
+        let cond = match s.condition {
+            crate::design::Condition::Sql => "SQL",
+            crate::design::Condition::Rd => "RD",
+        };
+        out.push_str(&format!(
+            "{},{},{},\"{}\"\n",
+            s.schema_index,
+            s.pattern.label(),
+            cond,
+            s.question.replace('"', "\"\"")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{run_study, SimConfig};
+
+    #[test]
+    fn stimuli_json_and_csv_roundtrip_basics() {
+        let stimuli = crate::stimuli::all_stimuli().unwrap();
+        let json = stimuli_json(&stimuli).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 256);
+        let csv = stimuli_index_csv(&stimuli);
+        assert_eq!(csv.lines().count(), 257); // header + 256 rows
+        assert!(csv.contains("P4,RD"));
+    }
+
+    #[test]
+    fn data_and_report_serialize() {
+        let cfg = SimConfig {
+            per_group: 3,
+            ..SimConfig::default()
+        };
+        let data = run_study(&cfg);
+        let json = data_json(&data).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["participants"].as_array().unwrap().len(), 6);
+        let report = crate::analysis::analyze(&data);
+        let rjson = report_json(&report).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&rjson).unwrap();
+        assert!(parsed["speed_ratio"]["value"].as_f64().unwrap() > 0.0);
+    }
+}

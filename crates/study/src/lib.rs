@@ -1,0 +1,38 @@
+//! # rd-study — the controlled user study (§6.2, Appendix O)
+//!
+//! The paper's second applicability study is a preregistered, within-
+//! subjects MTurk experiment: 50 participants × 32 questions, alternating
+//! between Relational Diagrams and formatted SQL, four query patterns on
+//! 32 different schemas, counterbalanced and randomized.
+//!
+//! This crate reproduces the *entire pipeline*:
+//!
+//! * [`schemas`] — the 32 study schemas plus the sailors tutorial schema;
+//! * [`stimuli`] — all 256 stimuli (32 schemas × 4 patterns × 2
+//!   conditions): TRC source, formatted SQL, and the Relational Diagram,
+//!   generated through the workspace's own translators;
+//! * [`design`] — counterbalancing and randomization (Fig. 11): groups,
+//!   per-half multiset permutations (8!/2⁴ = 2520 sequences per half per
+//!   condition, a 2·2520⁴ treatment space);
+//! * [`simulate`] — the substitution for human participants (DESIGN.md
+//!   §4.1): a lognormal response-time model and a Bernoulli accuracy model
+//!   with per-participant random effects, calibrated to the paper's
+//!   published statistics, plus the recruitment funnel (oversample, ≥50%
+//!   accuracy acceptance, first-25-per-group);
+//! * [`stats`] — medians, means, and BCa bootstrap confidence intervals
+//!   (Efron 1987), exactly as preregistered;
+//! * [`analysis`] — Results 1–4 (Fig. 12a/b/c, Table 1/Fig. 32) and the
+//!   exploratory ≥90 %-accuracy reanalysis (Figs. 33–38).
+
+pub mod analysis;
+pub mod design;
+pub mod export;
+pub mod schemas;
+pub mod simulate;
+pub mod stats;
+pub mod stimuli;
+
+pub use analysis::{analyze, StudyReport};
+pub use design::{participant_sequence, Condition, Pattern, Question};
+pub use simulate::{run_study, SimConfig, StudyData};
+pub use stimuli::{all_stimuli, render_stimulus, Stimulus};

@@ -1,0 +1,126 @@
+//! The study schemas: 32 entity–relationship–entity triples "found or
+//! adapted from common textbooks" (§6.2) plus the sailors tutorial schema.
+
+use rd_core::{Catalog, TableSchema};
+use serde::Serialize;
+
+/// One study schema: an entity table with a name attribute, a relationship
+/// table, and a target entity table (the sailors–reserves–boats shape all
+/// four patterns are phrased over).
+#[derive(Debug, Clone, Serialize)]
+pub struct StudySchema {
+    /// Source entity table, its key, and its name attribute.
+    pub entity: (&'static str, &'static str, &'static str),
+    /// Relationship table and its two foreign keys.
+    pub rel: (&'static str, &'static str, &'static str),
+    /// Target entity table and its key.
+    pub target: (&'static str, &'static str),
+    /// Noun used in the question text (e.g. "sailors").
+    pub noun: &'static str,
+    /// Verb phrase (e.g. "reserved").
+    pub verb: &'static str,
+    /// Target noun (e.g. "boats").
+    pub object: &'static str,
+}
+
+impl StudySchema {
+    /// The catalog for this schema.
+    pub fn catalog(&self) -> Catalog {
+        Catalog::from_schemas([
+            TableSchema::new(self.entity.0, [self.entity.1, self.entity.2]),
+            TableSchema::new(self.rel.0, [self.rel.1, self.rel.2]),
+            TableSchema::new(self.target.0, [self.target.1]),
+        ])
+        .unwrap()
+    }
+}
+
+macro_rules! schema {
+    ($e:literal, $ek:literal, $en:literal, $r:literal, $rk1:literal, $rk2:literal,
+     $t:literal, $tk:literal, $noun:literal, $verb:literal, $obj:literal) => {
+        StudySchema {
+            entity: ($e, $ek, $en),
+            rel: ($r, $rk1, $rk2),
+            target: ($t, $tk),
+            noun: $noun,
+            verb: $verb,
+            object: $obj,
+        }
+    };
+}
+
+/// The tutorial schema (sailors; excluded from the 32 study questions,
+/// Appendix O Fig. 31).
+pub fn tutorial() -> StudySchema {
+    schema!("Sailor", "sid", "sname", "Reserves", "sid", "bid", "Boat", "bid",
+        "sailors", "reserved", "boats")
+}
+
+/// The 32 study schemas.
+pub fn study_schemas() -> Vec<StudySchema> {
+    vec![
+        schema!("Student", "sid", "sname", "Takes", "sid", "cid", "Course", "cid", "students", "taken", "courses"),
+        schema!("Actor", "aid", "aname", "PlaysIn", "aid", "mid", "Movie", "mid", "actors", "played in", "movies"),
+        schema!("Supplier", "sno", "sname", "Supplies", "sno", "pno", "Part", "pno", "suppliers", "supplied", "parts"),
+        schema!("Customer", "cid", "cname", "Buys", "cid", "prid", "Product", "prid", "customers", "bought", "products"),
+        schema!("Author", "auid", "auname", "Writes", "auid", "bkid", "Book", "bkid", "authors", "written", "books"),
+        schema!("Chef", "chid", "chname", "Cooks", "chid", "dishid", "Dish", "dishid", "chefs", "cooked", "dishes"),
+        schema!("Doctor", "did", "dname", "Treats", "did", "patid", "Patient", "patid", "doctors", "treated", "patients"),
+        schema!("Pilot", "plid", "plname", "Flies", "plid", "acid", "Aircraft", "acid", "pilots", "flown", "aircraft"),
+        schema!("Teacher", "tid", "tname", "Teaches", "tid", "clid", "Class", "clid", "teachers", "taught", "classes"),
+        schema!("Player", "pid", "pname", "PlaysFor", "pid", "tmid", "Team", "tmid", "players", "played for", "teams"),
+        schema!("Guide", "gid", "gname", "Leads", "gid", "trid", "Tour", "trid", "guides", "led", "tours"),
+        schema!("Member", "mid", "mname", "Attends", "mid", "evid", "Eventt", "evid", "members", "attended", "events"),
+        schema!("Critic", "crid", "crname", "Reviews", "crid", "rsid", "Restaurant", "rsid", "critics", "reviewed", "restaurants"),
+        schema!("Employee", "eid", "ename", "WorksOn", "eid", "prjid", "Project", "prjid", "employees", "worked on", "projects"),
+        schema!("Farmer", "fid", "fname", "Grows", "fid", "crpid", "Crop", "crpid", "farmers", "grown", "crops"),
+        schema!("Artist", "arid", "arname", "Paints", "arid", "cnvid", "Canvas", "cnvid", "artists", "painted", "canvases"),
+        schema!("Lawyer", "lid", "lname", "Handles", "lid", "csid", "CaseFile", "csid", "lawyers", "handled", "cases"),
+        schema!("Musician", "muid", "muname", "Performs", "muid", "sgid", "Song", "sgid", "musicians", "performed", "songs"),
+        schema!("Editor", "edid", "edname", "Edits", "edid", "artid", "Article", "artid", "editors", "edited", "articles"),
+        schema!("Hiker", "hid", "hname", "Climbs", "hid", "mtid", "Mountain", "mtid", "hikers", "climbed", "mountains"),
+        schema!("Barista", "bid2", "bname2", "Brews", "bid2", "cfid", "Coffee", "cfid", "baristas", "brewed", "coffees"),
+        schema!("Vet", "vid", "vname", "Examines", "vid", "anid", "Animal", "anid", "vets", "examined", "animals"),
+        schema!("Coach", "coid", "coname", "Trains", "coid", "athid", "Athlete", "athid", "coaches", "trained", "athletes"),
+        schema!("Librarian", "lbid", "lbname", "Shelves", "lbid", "vlid", "Volume", "vlid", "librarians", "shelved", "volumes"),
+        schema!("Mechanic", "mcid", "mcname", "Repairs", "mcid", "vhid", "Vehicle", "vhid", "mechanics", "repaired", "vehicles"),
+        schema!("Gardener", "gdid", "gdname", "Plants", "gdid", "flid", "Flower", "flid", "gardeners", "planted", "flowers"),
+        schema!("Broker", "brid", "brname", "Trades", "brid", "stid", "Stock", "stid", "brokers", "traded", "stocks"),
+        schema!("Nurse", "nid", "nname", "Assists", "nid", "wdid", "Ward", "wdid", "nurses", "assisted in", "wards"),
+        schema!("Curator", "cuid", "cuname", "Exhibits", "cuid", "pcid", "Piece", "pcid", "curators", "exhibited", "pieces"),
+        schema!("Referee", "rfid", "rfname", "Officiates", "rfid", "gmid", "Game", "gmid", "referees", "officiated", "games"),
+        schema!("Tailor", "tlid", "tlname", "Sews", "tlid", "grmid", "Garment", "grmid", "tailors", "sewn", "garments"),
+        schema!("Scout", "scid", "scname", "Visits", "scid", "cmpid", "Camp", "cmpid", "scouts", "visited", "camps"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn there_are_32_study_schemas_all_valid() {
+        let s = study_schemas();
+        assert_eq!(s.len(), 32);
+        for schema in &s {
+            let cat = schema.catalog();
+            assert_eq!(cat.len(), 3);
+        }
+    }
+
+    #[test]
+    fn table_names_are_globally_unique() {
+        let mut names = BTreeSet::new();
+        for s in study_schemas().iter().chain([tutorial()].iter()) {
+            assert!(names.insert(s.entity.0), "duplicate {}", s.entity.0);
+            assert!(names.insert(s.rel.0), "duplicate {}", s.rel.0);
+            assert!(names.insert(s.target.0), "duplicate {}", s.target.0);
+        }
+    }
+
+    #[test]
+    fn tutorial_is_the_sailors_schema() {
+        assert_eq!(tutorial().entity.0, "Sailor");
+    }
+}

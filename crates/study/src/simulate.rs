@@ -1,0 +1,280 @@
+//! Simulated participants — the substitution for the paper's MTurk pool
+//! (DESIGN.md §4.1).
+//!
+//! Response times follow a lognormal model calibrated to the paper's
+//! per-pattern medians (Fig. 32) with a learning (half) effect matching
+//! Result 2 and per-participant speed/skill random effects. Accuracy is
+//! Bernoulli with condition base rates from Result 3. The recruitment
+//! funnel mirrors Appendix O.1: keep submitting simulated workers, accept
+//! those with ≥ 50% accuracy, and stop at the first 25 accepted starters
+//! per group.
+
+use crate::design::{participant_sequence, Condition, Pattern, Question};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Calibration constants (from the paper's published statistics).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Median seconds per (condition, pattern), first half ≈ Fig. 32
+    /// values scaled by the H1/H2 learning split of Fig. 12c.
+    pub base_seconds_sql: [f64; 4],
+    /// RD per-pattern medians.
+    pub base_seconds_rd: [f64; 4],
+    /// Multiplicative learning effect: H2 time ≈ `learning` × H1 time
+    /// (Result 2 reports ≈ 0.70 for both conditions).
+    pub learning: f64,
+    /// Mean accuracy per condition (Result 3: RD 92%, SQL 72%).
+    pub accuracy_sql: f64,
+    /// RD accuracy.
+    pub accuracy_rd: f64,
+    /// Std-dev of the per-participant log-speed random effect.
+    pub sigma_participant: f64,
+    /// Std-dev of the per-question log-time noise.
+    pub sigma_noise: f64,
+    /// Std-dev of the per-participant accuracy random effect.
+    pub sigma_skill: f64,
+    /// Fraction of careless workers (low-accuracy submissions that the
+    /// >=50% filter rejects; the paper approved only 58 of 120).
+    pub careless_rate: f64,
+    /// Number of accepted participants per group (paper: 25 + 25).
+    pub per_group: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            // SQL bases are the Fig. 32 per-pattern medians; RD bases are
+            // calibrated from Table 1's per-pattern RD/SQL *ratios*
+            // (.64, .83, .66, .71), which are the paper's inferential
+            // statistics (the marginal RD medians land within their CIs).
+            base_seconds_sql: [15.1, 13.3, 14.1, 12.0],
+            base_seconds_rd: [9.66, 11.04, 9.33, 8.52],
+            learning: 0.70,
+            accuracy_sql: 0.72,
+            accuracy_rd: 0.92,
+            sigma_participant: 0.28,
+            sigma_noise: 0.30,
+            sigma_skill: 0.10,
+            careless_rate: 0.45,
+            per_group: 25,
+            seed: 0x5EED_2024,
+        }
+    }
+}
+
+/// One answered question.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Response {
+    /// The question slot.
+    pub question: Question,
+    /// Seconds spent before answering.
+    pub seconds: f64,
+    /// Whether the chosen pattern was correct.
+    pub correct: bool,
+}
+
+/// One accepted participant's session.
+#[derive(Debug, Clone, Serialize)]
+pub struct Participant {
+    /// Participant id (accepted order).
+    pub id: usize,
+    /// `true` if the participant started with SQL (group 1).
+    pub group1: bool,
+    /// The 32 responses.
+    pub responses: Vec<Response>,
+}
+
+impl Participant {
+    /// Overall accuracy (0..=1).
+    pub fn accuracy(&self) -> f64 {
+        self.responses.iter().filter(|r| r.correct).count() as f64 / self.responses.len() as f64
+    }
+}
+
+/// The collected study data plus funnel statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct StudyData {
+    /// Accepted participants (25 per group).
+    pub participants: Vec<Participant>,
+    /// Total simulated submissions (the paper observed 120).
+    pub submissions: usize,
+    /// Submissions rejected for accuracy < 50%.
+    pub rejected: usize,
+}
+
+/// Standard-normal draw via Box–Muller.
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn pattern_idx(p: Pattern) -> usize {
+    match p {
+        Pattern::Some => 0,
+        Pattern::NotAny => 1,
+        Pattern::NotAll => 2,
+        Pattern::All => 3,
+    }
+}
+
+/// Simulates one worker's session.
+fn simulate_worker(cfg: &SimConfig, group1: bool, seed: u64) -> Participant {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sequence = participant_sequence(group1, seed ^ 0xABCD);
+    // Random effects: some workers are fast/slow, careful/careless.
+    let speed = normal(&mut rng) * cfg.sigma_participant;
+    let careless = rng.random_range(0.0..1.0) < cfg.careless_rate;
+    let skill = if careless {
+        // Careless workers hover near chance and fail the 50% filter.
+        rng.random_range(-0.55..-0.35)
+    } else {
+        normal(&mut rng) * cfg.sigma_skill
+    };
+    let mut responses = Vec::with_capacity(32);
+    for q in sequence {
+        let base = match q.condition {
+            Condition::Sql => cfg.base_seconds_sql[pattern_idx(q.pattern)],
+            Condition::Rd => cfg.base_seconds_rd[pattern_idx(q.pattern)],
+        };
+        // Split the overall per-pattern median into H1/H2 around the
+        // learning ratio: H1 = base / sqrt(learning), H2 = H1 * learning.
+        let h1 = base / cfg.learning.sqrt();
+        let half_factor = if q.second_half { cfg.learning } else { 1.0 };
+        let ln_t = (h1 * half_factor).ln() + speed + normal(&mut rng) * cfg.sigma_noise;
+        let seconds = ln_t.exp().clamp(1.0, 120.0);
+        let base_acc = match q.condition {
+            Condition::Sql => cfg.accuracy_sql,
+            Condition::Rd => cfg.accuracy_rd,
+        };
+        let p_correct = (base_acc + skill).clamp(0.05, 0.999);
+        let correct = rng.random_range(0.0..1.0) < p_correct;
+        responses.push(Response {
+            question: q,
+            seconds,
+            correct,
+        });
+    }
+    Participant {
+        id: 0,
+        group1,
+        responses,
+    }
+}
+
+/// Runs the full recruitment funnel and returns the accepted sample.
+pub fn run_study(cfg: &SimConfig) -> StudyData {
+    let mut accepted: Vec<Participant> = Vec::new();
+    let mut submissions = 0usize;
+    let mut rejected = 0usize;
+    let mut counts = [0usize; 2];
+    let mut worker_seed = cfg.seed;
+    while counts[0] < cfg.per_group || counts[1] < cfg.per_group {
+        // Alternate assignment as workers arrive, like the live study.
+        let group1 = if counts[0] < cfg.per_group && counts[1] < cfg.per_group {
+            submissions % 2 == 0
+        } else {
+            counts[0] < cfg.per_group
+        };
+        worker_seed = worker_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut p = simulate_worker(cfg, group1, worker_seed);
+        submissions += 1;
+        // Acceptance: at least 16 of 32 correct (Appendix O.1).
+        if p.responses.iter().filter(|r| r.correct).count() < 16 {
+            rejected += 1;
+            continue;
+        }
+        let g = usize::from(!group1);
+        if counts[g] >= cfg.per_group {
+            continue; // group full; paper kept the first 25 per group
+        }
+        counts[g] += 1;
+        p.id = accepted.len();
+        accepted.push(p);
+    }
+    StudyData {
+        participants: accepted,
+        submissions,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn funnel_produces_balanced_groups() {
+        let data = run_study(&SimConfig::default());
+        assert_eq!(data.participants.len(), 50);
+        let g1 = data.participants.iter().filter(|p| p.group1).count();
+        assert_eq!(g1, 25);
+        assert!(data.submissions >= 50);
+        // Everyone accepted has >= 50% accuracy.
+        assert!(data.participants.iter().all(|p| p.accuracy() >= 0.5));
+    }
+
+    #[test]
+    fn rd_is_faster_and_more_accurate_in_aggregate() {
+        let data = run_study(&SimConfig::default());
+        let mut sql_times = Vec::new();
+        let mut rd_times = Vec::new();
+        let mut sql_correct = 0usize;
+        let mut sql_total = 0usize;
+        let mut rd_correct = 0usize;
+        let mut rd_total = 0usize;
+        for p in &data.participants {
+            for r in &p.responses {
+                match r.question.condition {
+                    Condition::Sql => {
+                        sql_times.push(r.seconds);
+                        sql_total += 1;
+                        sql_correct += r.correct as usize;
+                    }
+                    Condition::Rd => {
+                        rd_times.push(r.seconds);
+                        rd_total += 1;
+                        rd_correct += r.correct as usize;
+                    }
+                }
+            }
+        }
+        let med = |v: &[f64]| crate::stats::median(v);
+        assert!(med(&rd_times) < med(&sql_times));
+        let sql_acc = sql_correct as f64 / sql_total as f64;
+        let rd_acc = rd_correct as f64 / rd_total as f64;
+        assert!(rd_acc > sql_acc + 0.08, "rd {rd_acc} vs sql {sql_acc}");
+    }
+
+    #[test]
+    fn simulation_is_reproducible() {
+        let a = run_study(&SimConfig::default());
+        let b = run_study(&SimConfig::default());
+        assert_eq!(a.submissions, b.submissions);
+        assert_eq!(
+            a.participants[0].responses[0].seconds,
+            b.participants[0].responses[0].seconds
+        );
+    }
+
+    #[test]
+    fn learning_effect_visible() {
+        let data = run_study(&SimConfig::default());
+        let mut h1 = Vec::new();
+        let mut h2 = Vec::new();
+        for p in &data.participants {
+            for r in &p.responses {
+                if r.question.second_half {
+                    h2.push(r.seconds);
+                } else {
+                    h1.push(r.seconds);
+                }
+            }
+        }
+        assert!(crate::stats::median(&h2) < crate::stats::median(&h1));
+    }
+}

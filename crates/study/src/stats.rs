@@ -1,0 +1,234 @@
+//! Statistics for the preregistered analysis: medians, means, and
+//! bias-corrected and accelerated (BCa) bootstrap confidence intervals
+//! (Efron 1987), as used throughout §6.2.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample median (averages the middle pair for even sizes).
+pub fn median(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "median of empty sample");
+    let mut v = data.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Sample mean.
+pub fn mean(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "mean of empty sample");
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26, |error| <= 1.5e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal quantile (Acklam's rational approximation).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "quantile domain");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// A point estimate with its 95% BCa bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct Estimate {
+    /// The statistic on the full sample.
+    pub value: f64,
+    /// Lower CI bound.
+    pub lo: f64,
+    /// Upper CI bound.
+    pub hi: f64,
+}
+
+impl Estimate {
+    /// Formats as `v, 95% CI [lo, hi]` with the given precision.
+    pub fn fmt(&self, digits: usize) -> String {
+        format!(
+            "{:.d$}, 95% CI [{:.d$}, {:.d$}]",
+            self.value,
+            self.lo,
+            self.hi,
+            d = digits
+        )
+    }
+}
+
+/// 95% BCa bootstrap CI for an arbitrary statistic (Efron 1987; the
+/// preregistered analysis of §6.2 uses BCa for every reported interval).
+pub fn bca_ci(
+    data: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    bootstraps: usize,
+    seed: u64,
+) -> Estimate {
+    assert!(data.len() >= 2, "need at least 2 observations");
+    let theta_hat = statistic(data);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = data.len();
+
+    // Bootstrap distribution.
+    let mut boot = Vec::with_capacity(bootstraps);
+    let mut resample = vec![0.0f64; n];
+    for _ in 0..bootstraps {
+        for slot in resample.iter_mut() {
+            *slot = data[rng.random_range(0..n)];
+        }
+        boot.push(statistic(&resample));
+    }
+    boot.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+
+    // Bias correction z0.
+    let below = boot.iter().filter(|&&b| b < theta_hat).count() as f64;
+    let prop = ((below + 0.5) / (bootstraps as f64 + 1.0)).clamp(1e-6, 1.0 - 1e-6);
+    let z0 = normal_quantile(prop);
+
+    // Acceleration via the jackknife.
+    let mut jack = Vec::with_capacity(n);
+    let mut held = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        held.clear();
+        held.extend(data.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, &v)| v));
+        jack.push(statistic(&held));
+    }
+    let jbar = mean(&jack);
+    let (mut num, mut den) = (0.0, 0.0);
+    for j in &jack {
+        let d = jbar - j;
+        num += d * d * d;
+        den += d * d;
+    }
+    let a = if den.abs() < 1e-12 {
+        0.0
+    } else {
+        num / (6.0 * den.powf(1.5))
+    };
+
+    let z_alpha = normal_quantile(0.975);
+    let adj = |z: f64| {
+        let w = z0 + (z0 + z) / (1.0 - a * (z0 + z));
+        normal_cdf(w).clamp(1e-6, 1.0 - 1e-6)
+    };
+    let lo_p = adj(-z_alpha);
+    let hi_p = adj(z_alpha);
+    let pick = |p: f64| {
+        let idx = ((p * bootstraps as f64) as usize).min(bootstraps - 1);
+        boot[idx]
+    };
+    Estimate {
+        value: theta_hat,
+        lo: pick(lo_p),
+        hi: pick(hi_p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mean_basics() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn normal_functions_are_inverse() {
+        for p in [0.025, 0.1, 0.5, 0.9, 0.975] {
+            let z = normal_quantile(p);
+            assert!((normal_cdf(z) - p).abs() < 1e-4, "p={p}");
+        }
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bca_ci_covers_true_median_of_symmetric_data() {
+        // Deterministic symmetric sample around 10.
+        let data: Vec<f64> = (0..40).map(|i| 10.0 + ((i % 9) as f64 - 4.0) * 0.5).collect();
+        let est = bca_ci(&data, median, 1000, 42);
+        assert!(est.lo <= est.value && est.value <= est.hi);
+        assert!((est.value - 10.0).abs() < 0.6);
+        assert!(est.hi - est.lo < 2.0);
+    }
+
+    #[test]
+    fn bca_ci_for_mean_shrinks_with_sample_size() {
+        let small: Vec<f64> = (0..10).map(|i| (i % 5) as f64).collect();
+        let large: Vec<f64> = (0..200).map(|i| (i % 5) as f64).collect();
+        let e_small = bca_ci(&small, mean, 800, 1);
+        let e_large = bca_ci(&large, mean, 800, 1);
+        assert!(e_large.hi - e_large.lo < e_small.hi - e_small.lo);
+    }
+
+    #[test]
+    fn estimate_formatting() {
+        let e = Estimate {
+            value: 0.701,
+            lo: 0.63,
+            hi: 0.77,
+        };
+        assert_eq!(e.fmt(2), "0.70, 95% CI [0.63, 0.77]");
+    }
+}

@@ -1,0 +1,197 @@
+//! Stimulus generation: 32 schemas × 4 patterns × 2 conditions = 256
+//! stimuli (§6.2), each produced through the workspace's own translators —
+//! TRC source, canonical formatted SQL, and the Relational Diagram (DOT
+//! and SVG).
+
+use crate::design::{Condition, Pattern};
+use crate::schemas::{study_schemas, StudySchema};
+use rd_core::CoreResult;
+use rd_trc::ast::TrcQuery;
+use serde::Serialize;
+
+/// One generated stimulus.
+#[derive(Debug, Clone, Serialize)]
+pub struct Stimulus {
+    /// Schema index (0..32).
+    pub schema_index: usize,
+    /// Pattern shown.
+    pub pattern: Pattern,
+    /// Condition shown.
+    pub condition: Condition,
+    /// The question's plain-English text (the four answer options are the
+    /// four pattern texts of this schema).
+    pub question: String,
+    /// The rendered stimulus: formatted SQL or diagram DOT source.
+    pub rendered: String,
+    /// TRC source (ground truth for both renderings).
+    pub trc: String,
+}
+
+/// Builds the TRC query for a pattern over a schema.
+pub fn pattern_trc(schema: &StudySchema, pattern: Pattern) -> String {
+    let (e, ek, en) = schema.entity;
+    let (r, rk1, rk2) = schema.rel;
+    let (t, tk) = schema.target;
+    match pattern {
+        Pattern::Some => format!(
+            "{{ q({en}) | exists e in {e}, r in {r} [ q.{en} = e.{en} and r.{rk1} = e.{ek} ] }}"
+        ),
+        Pattern::NotAny => format!(
+            "{{ q({en}) | exists e in {e} [ q.{en} = e.{en} and \
+             not (exists r in {r} [ r.{rk1} = e.{ek} ]) ] }}"
+        ),
+        Pattern::NotAll => format!(
+            "{{ q({en}) | exists e in {e}, t in {t} [ q.{en} = e.{en} and \
+             not (exists r in {r} [ r.{rk1} = e.{ek} and r.{rk2} = t.{tk} ]) ] }}"
+        ),
+        Pattern::All => format!(
+            "{{ q({en}) | exists e in {e} [ q.{en} = e.{en} and \
+             not (exists t in {t} [ not (exists r in {r} [ r.{rk1} = e.{ek} and r.{rk2} = t.{tk} ]) ]) ] }}"
+        ),
+    }
+}
+
+/// Parses the pattern query against the schema's catalog.
+pub fn pattern_query(schema: &StudySchema, pattern: Pattern) -> CoreResult<TrcQuery> {
+    rd_trc::parser::parse_query(&pattern_trc(schema, pattern), &schema.catalog())
+}
+
+/// Renders one stimulus (SQL text or diagram DOT).
+pub fn render_stimulus(
+    schema: &StudySchema,
+    pattern: Pattern,
+    condition: Condition,
+) -> CoreResult<Stimulus> {
+    let trc = pattern_trc(schema, pattern);
+    let q = pattern_query(schema, pattern)?;
+    let rendered = match condition {
+        Condition::Sql => {
+            let sql = rd_sql::translate::trc_to_sql(&q)?;
+            rd_sql::printer::format_sql(&sql)
+        }
+        Condition::Rd => {
+            let d = rd_diagram::translate::from_trc(&q, &schema.catalog())?;
+            rd_diagram::render::to_dot(&d)
+        }
+    };
+    Ok(Stimulus {
+        schema_index: usize::MAX, // filled by all_stimuli
+        pattern,
+        condition,
+        question: pattern.question(schema.noun, schema.verb, schema.object),
+        rendered,
+        trc,
+    })
+}
+
+/// Generates all 256 stimuli.
+pub fn all_stimuli() -> CoreResult<Vec<Stimulus>> {
+    let schemas = study_schemas();
+    let mut out = Vec::with_capacity(256);
+    for (i, schema) in schemas.iter().enumerate() {
+        for pattern in Pattern::ALL {
+            for condition in [Condition::Sql, Condition::Rd] {
+                let mut s = render_stimulus(schema, pattern, condition)?;
+                s.schema_index = i;
+                out.push(s);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The SVG rendering of a diagram stimulus (for artifact export).
+pub fn stimulus_svg(schema: &StudySchema, pattern: Pattern) -> CoreResult<String> {
+    let q = pattern_query(schema, pattern)?;
+    let d = rd_diagram::translate::from_trc(&q, &schema.catalog())?;
+    Ok(rd_diagram::render::to_svg(&d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemas::tutorial;
+
+    #[test]
+    fn generates_256_stimuli() {
+        let all = all_stimuli().unwrap();
+        assert_eq!(all.len(), 256);
+        assert!(all.iter().all(|s| s.schema_index < 32));
+    }
+
+    #[test]
+    fn all_four_patterns_parse_and_evaluate_on_tutorial_schema() {
+        use rd_core::{Database, Relation, TableSchema, Value};
+        let schema = tutorial();
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::from_rows(
+                TableSchema::new("Sailor", ["sid", "sname"]),
+                vec![
+                    vec![Value::int(1), Value::str("Dustin")],
+                    vec![Value::int(2), Value::str("Lubber")],
+                    vec![Value::int(3), Value::str("Horatio")],
+                ],
+            )
+            .unwrap(),
+        );
+        db.add_relation(
+            Relation::from_rows(
+                TableSchema::new("Reserves", ["sid", "bid"]),
+                [[1i64, 101], [1, 102], [2, 101]],
+            )
+            .unwrap(),
+        );
+        db.add_relation(
+            Relation::from_rows(TableSchema::new("Boat", ["bid"]), [[101i64], [102]]).unwrap(),
+        );
+        let count = |p: Pattern| {
+            let q = pattern_query(&schema, p).unwrap();
+            rd_trc::eval::eval_query(&q, &db).unwrap().len()
+        };
+        assert_eq!(count(Pattern::Some), 2); // Dustin, Lubber
+        assert_eq!(count(Pattern::NotAny), 1); // Horatio
+        assert_eq!(count(Pattern::NotAll), 2); // Lubber, Horatio
+        assert_eq!(count(Pattern::All), 1); // Dustin
+    }
+
+    #[test]
+    fn sql_and_rd_renderings_differ_but_share_trc() {
+        let schema = &study_schemas()[0];
+        let sql = render_stimulus(schema, Pattern::All, Condition::Sql).unwrap();
+        let rd = render_stimulus(schema, Pattern::All, Condition::Rd).unwrap();
+        assert_eq!(sql.trc, rd.trc);
+        assert!(sql.rendered.contains("SELECT DISTINCT"));
+        assert!(sql.rendered.contains("NOT EXISTS"));
+        assert!(rd.rendered.starts_with("digraph"));
+    }
+
+    #[test]
+    fn double_negation_pattern_has_two_nested_boxes() {
+        let schema = &study_schemas()[1];
+        let rd = render_stimulus(schema, Pattern::All, Condition::Rd).unwrap();
+        assert_eq!(rd.rendered.matches("style=\"dashed,rounded\"").count(), 2);
+    }
+
+    #[test]
+    fn svg_export_works_for_all_patterns() {
+        let schema = &study_schemas()[2];
+        for p in Pattern::ALL {
+            let svg = stimulus_svg(schema, p).unwrap();
+            assert!(svg.starts_with("<svg"));
+        }
+    }
+
+    #[test]
+    fn question_texts_match_paper_phrasing() {
+        let s = tutorial();
+        assert_eq!(
+            Pattern::All.question(s.noun, s.verb, s.object),
+            "Find sailors who have reserved all boats."
+        );
+        assert_eq!(
+            Pattern::NotAny.question(s.noun, s.verb, s.object),
+            "Find sailors who have not reserved any boats."
+        );
+    }
+}

@@ -1,0 +1,353 @@
+//! Structural classification of corpus queries into the six
+//! representations of Fig. 10.
+//!
+//! All classifiers are computed, not curated:
+//!
+//! * **Relational Diagrams** — every union branch lies in TRC\*
+//!   (Theorem 14: TRC\* ≡rep RD\*; union cells handle the root union);
+//! * **non-disjunctive fragment** — a single TRC\* branch;
+//! * **QueryVis** — non-disjunctive, nesting depth < 4, no empty
+//!   negation scopes, not a Boolean sentence, no union (§7.2);
+//! * **Datalog** — no disjunction anywhere (body disjunction does not
+//!   exist; §6.1), and the Appendix C part-4 translation preserves the
+//!   number of table references (no safety repair fired); root unions are
+//!   fine (repeated head IDB);
+//! * **QBE** — as Datalog for the non-disjunctive structure (QBE shares
+//!   Datalog's safety conditions) but with antijoin-level pattern power
+//!   (Theorem 21: RA\*⊲ ≡rep Datalog\*) and same-relation disjunction
+//!   allowed;
+//! * **RA** — as QBE minus the antijoin: additionally the eq. (5)
+//!   Datalog→RA translation must not duplicate references (Lemma 19), but
+//!   with predicate-level disjunction allowed (`σ` conditions may use ∨).
+
+use crate::corpus::{corpus, Book, CorpusEntry};
+use rd_core::Catalog;
+use rd_trc::ast::{Formula, TrcQuery, TrcUnion};
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// Which representations can express the query pattern-isomorphically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Classification {
+    /// Relational Diagrams (§3 + §5 union cells).
+    pub relational_diagrams: bool,
+    /// The non-disjunctive fragment (TRC\*).
+    pub nondisjunctive: bool,
+    /// QueryVis \[26\].
+    pub queryvis: bool,
+    /// QBE \[81\].
+    pub qbe: bool,
+    /// Relational algebra (basic operators + ∪ + disjunctive selections).
+    pub ra: bool,
+    /// Datalog¬ (standard, no body disjunction).
+    pub datalog: bool,
+}
+
+/// Classifies one corpus entry.
+pub fn classify(entry: &CorpusEntry) -> Classification {
+    let u = entry.parse();
+    let catalog = entry.book.catalog();
+    classify_union(&u, &catalog)
+}
+
+/// Classifies a parsed union against a catalog.
+pub fn classify_union(u: &TrcUnion, catalog: &Catalog) -> Classification {
+    let branches = &u.branches;
+    let single = branches.len() == 1;
+    let all_star = branches.iter().all(rd_trc::check::is_nondisjunctive);
+
+    let relational_diagrams = all_star; // union cells cover multi-branch
+    let nondisjunctive = single && all_star;
+    let queryvis = nondisjunctive
+        && branches[0].formula.negation_depth() < 4
+        && !branches[0].is_sentence()
+        && no_empty_scopes(&branches[0].formula);
+
+    let mut datalog = true;
+    let mut qbe = true;
+    let mut ra = true;
+    for b in branches {
+        let (d, q, r) = classify_branch(b, catalog);
+        datalog &= d;
+        qbe &= q;
+        ra &= r;
+    }
+    Classification {
+        relational_diagrams,
+        nondisjunctive,
+        queryvis,
+        qbe,
+        ra,
+        datalog,
+    }
+}
+
+/// Returns (datalog, qbe, ra) for one branch.
+fn classify_branch(b: &TrcQuery, catalog: &Catalog) -> (bool, bool, bool) {
+    if b.formula.contains_or() {
+        // Datalog has no body disjunction; splitting rules duplicates
+        // references (§6.1 "Standard Datalog cannot express disjunctions
+        // in the body").
+        let datalog = false;
+        // Predicate-level disjunction (no quantifiers inside the ∨, no
+        // enclosing negation) is a disjunctive selection in RA.
+        let pred_only = or_nodes_pred_only(&b.formula) && b.formula.negation_depth() == 0;
+        let ra = pred_only;
+        // QBE can express disjunction only "within the same relation"
+        // (§6.1): all attributes in the ∨ must belong to one tuple
+        // variable.
+        let qbe = pred_only && or_nodes_single_var(&b.formula);
+        return (datalog, qbe, ra);
+    }
+    // Non-disjunctive branch: run the constructive translations and check
+    // for reference duplication.
+    let n = b.signature().len();
+    match rd_translate::trc_to_datalog(b, catalog) {
+        Ok(program) => {
+            let datalog = program.signature().len() == n;
+            // QBE ≈ RA*⊲: the antijoin translation is pattern-preserving
+            // whenever the Datalog one is (Theorem 21).
+            let qbe = datalog;
+            let ra = datalog
+                && match rd_translate::datalog_to_ra(&program, catalog) {
+                    Ok(expr) => expr.signature().len() == n,
+                    Err(_) => false,
+                };
+            (datalog, qbe, ra)
+        }
+        Err(_) => (false, false, false),
+    }
+}
+
+fn no_empty_scopes(f: &Formula) -> bool {
+    match f {
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(no_empty_scopes),
+        Formula::Not(inner) => {
+            // QueryVis grouping boxes need at least one relation (§7.2).
+            matches!(inner.as_ref(), Formula::Exists(..)) && no_empty_scopes(inner)
+        }
+        Formula::Exists(_, body) => no_empty_scopes(body),
+        Formula::Pred(_) => true,
+    }
+}
+
+fn or_nodes_pred_only(f: &Formula) -> bool {
+    fn pred_only(f: &Formula) -> bool {
+        match f {
+            Formula::Pred(_) => true,
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(pred_only),
+            _ => false,
+        }
+    }
+    match f {
+        Formula::Or(fs) => fs.iter().all(pred_only),
+        Formula::And(fs) => fs.iter().all(or_nodes_pred_only),
+        Formula::Not(inner) => or_nodes_pred_only(inner),
+        Formula::Exists(_, body) => or_nodes_pred_only(body),
+        Formula::Pred(_) => true,
+    }
+}
+
+fn or_nodes_single_var(f: &Formula) -> bool {
+    fn vars_of(f: &Formula, out: &mut BTreeSet<String>) {
+        f.visit_predicates(&mut |p| {
+            for v in p.vars() {
+                out.insert(v.clone());
+            }
+        });
+    }
+    match f {
+        Formula::Or(_) => {
+            let mut vars = BTreeSet::new();
+            vars_of(f, &mut vars);
+            vars.len() <= 1
+        }
+        Formula::And(fs) => fs.iter().all(or_nodes_single_var),
+        Formula::Not(inner) => or_nodes_single_var(inner),
+        Formula::Exists(_, body) => or_nodes_single_var(body),
+        Formula::Pred(_) => true,
+    }
+}
+
+/// The Fig. 10 aggregate: counts of representable queries per language.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10 {
+    /// Total queries (59).
+    pub total: usize,
+    /// Count per representation, in the figure's order.
+    pub relational_diagrams: usize,
+    /// Non-disjunctive fragment count.
+    pub nondisjunctive: usize,
+    /// QueryVis count.
+    pub queryvis: usize,
+    /// QBE count.
+    pub qbe: usize,
+    /// RA count.
+    pub ra: usize,
+    /// Datalog count.
+    pub datalog: usize,
+    /// Per-book breakdown `(book, total, rd, nd, qv, qbe, ra, datalog)`.
+    pub per_book: Vec<(String, usize, [usize; 6])>,
+}
+
+impl Fig10 {
+    /// Renders the figure as paper-style rows.
+    pub fn render(&self) -> String {
+        let pct = |n: usize| format!("{n} ({:.0}%)", 100.0 * n as f64 / self.total as f64);
+        let mut rows = [
+            ("Datalog", self.datalog),
+            ("Relational Algebra", self.ra),
+            ("QBE", self.qbe),
+            ("QueryVis", self.queryvis),
+            ("Non-disjunctive fragment", self.nondisjunctive),
+            ("Relational Diagrams", self.relational_diagrams),
+        ];
+        rows.sort_by_key(|(_, n)| *n);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Fig. 10 — fraction among {} queries from 5 textbooks with\n\
+             pattern-isomorphic representations in the listed languages:\n\n",
+            self.total
+        ));
+        for (name, n) in rows {
+            let bar = "█".repeat(n * 40 / self.total);
+            out.push_str(&format!("{:<26} {:>9}  {bar}\n", name, pct(n)));
+        }
+        out
+    }
+}
+
+/// Classifies the whole corpus and aggregates the Fig. 10 counts.
+pub fn fig10_counts() -> Fig10 {
+    let entries = corpus();
+    let mut fig = Fig10 {
+        total: entries.len(),
+        relational_diagrams: 0,
+        nondisjunctive: 0,
+        queryvis: 0,
+        qbe: 0,
+        ra: 0,
+        datalog: 0,
+        per_book: Vec::new(),
+    };
+    for book in Book::ALL {
+        let mut counts = [0usize; 6];
+        let mut total = 0usize;
+        for e in entries.iter().filter(|e| e.book == book) {
+            total += 1;
+            let c = classify(e);
+            fig.relational_diagrams += c.relational_diagrams as usize;
+            fig.nondisjunctive += c.nondisjunctive as usize;
+            fig.queryvis += c.queryvis as usize;
+            fig.qbe += c.qbe as usize;
+            fig.ra += c.ra as usize;
+            fig.datalog += c.datalog as usize;
+            counts[0] += c.relational_diagrams as usize;
+            counts[1] += c.nondisjunctive as usize;
+            counts[2] += c.queryvis as usize;
+            counts[3] += c.qbe as usize;
+            counts[4] += c.ra as usize;
+            counts[5] += c.datalog as usize;
+        }
+        fig.per_book.push((book.name().to_string(), total, counts));
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_counts_match_the_paper() {
+        let fig = fig10_counts();
+        assert_eq!(fig.total, 59);
+        assert_eq!(fig.relational_diagrams, 56, "RD count");
+        assert_eq!(fig.nondisjunctive, 53, "non-disjunctive fragment count");
+        assert_eq!(fig.queryvis, 53, "QueryVis count");
+        assert_eq!(fig.qbe, 49, "QBE count");
+        assert_eq!(fig.ra, 48, "RA count");
+        assert_eq!(fig.datalog, 47, "Datalog count");
+    }
+
+    #[test]
+    fn division_queries_fail_datalog_qbe_ra() {
+        let entries = corpus();
+        for id in ["q18", "q19", "q22", "q33", "q42", "q50", "q51"] {
+            let e = entries.iter().find(|e| e.id == id).unwrap();
+            let c = classify(e);
+            assert!(c.relational_diagrams, "{id} should be RD-representable");
+            assert!(c.nondisjunctive, "{id} should be in the fragment");
+            assert!(!c.datalog, "{id} should fail Datalog");
+            assert!(!c.qbe, "{id} should fail QBE");
+            assert!(!c.ra, "{id} should fail RA");
+        }
+    }
+
+    #[test]
+    fn antijoin_level_queries_fail_only_ra() {
+        for id in ["q16", "q17"] {
+            let e = corpus().into_iter().find(|e| e.id == id).unwrap();
+            let c = classify(&e);
+            assert!(c.datalog, "{id} should pass Datalog");
+            assert!(c.qbe, "{id} should pass QBE");
+            assert!(!c.ra, "{id} should fail RA (Lemma 19 pattern)");
+        }
+    }
+
+    #[test]
+    fn union_queries_fail_only_fragment_and_queryvis() {
+        for id in ["q23", "q24", "q32"] {
+            let e = corpus().into_iter().find(|e| e.id == id).unwrap();
+            let c = classify(&e);
+            assert!(c.relational_diagrams, "{id}");
+            assert!(!c.nondisjunctive, "{id}");
+            assert!(!c.queryvis, "{id}");
+            assert!(c.qbe, "{id}");
+            assert!(c.ra, "{id}");
+            assert!(c.datalog, "{id}");
+        }
+    }
+
+    #[test]
+    fn same_relation_disjunction_passes_qbe_and_ra_not_datalog() {
+        for id in ["q41", "q49"] {
+            let e = corpus().into_iter().find(|e| e.id == id).unwrap();
+            let c = classify(&e);
+            assert!(!c.relational_diagrams, "{id}");
+            assert!(c.qbe, "{id}");
+            assert!(c.ra, "{id}");
+            assert!(!c.datalog, "{id}");
+        }
+    }
+
+    #[test]
+    fn cross_relation_disjunction_passes_only_ra() {
+        let e = corpus().into_iter().find(|e| e.id == "q25").unwrap();
+        let c = classify(&e);
+        assert!(!c.relational_diagrams);
+        assert!(!c.qbe);
+        assert!(c.ra);
+        assert!(!c.datalog);
+    }
+
+    #[test]
+    fn plain_queries_pass_everywhere() {
+        for id in ["q01", "q09", "q13", "q28", "q38", "q47", "q56", "q59"] {
+            let e = corpus().into_iter().find(|e| e.id == id).unwrap();
+            let c = classify(&e);
+            assert!(
+                c.relational_diagrams && c.nondisjunctive && c.queryvis && c.qbe && c.ra && c.datalog,
+                "{id} should be representable everywhere: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_paper_percentages() {
+        let text = fig10_counts().render();
+        assert!(text.contains("56 (95%)"));
+        assert!(text.contains("53 (90%)"));
+        assert!(text.contains("47 (80%)"));
+    }
+}

@@ -1,0 +1,260 @@
+//! The reconstructed 59-query corpus.
+//!
+//! Queries are stored in the ASCII TRC surface syntax (the paper's §6.1
+//! corpus lists each query in its textbook's original language; TRC is the
+//! hub from which our classifiers compute every other representation).
+
+use crate::schemas;
+use rd_core::Catalog;
+use rd_trc::ast::TrcUnion;
+use serde::Serialize;
+
+/// The five textbooks of §6.1 / Appendix N.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Book {
+    /// Ramakrishnan & Gehrke, *Database Management Systems* ("cow book").
+    Ramakrishnan,
+    /// Silberschatz, Korth & Sudarshan, *Database System Concepts*.
+    Silberschatz,
+    /// Elmasri & Navathe, *Fundamentals of Database Systems*.
+    Elmasri,
+    /// Date, *An Introduction to Database Systems*.
+    Date,
+    /// Connolly & Begg, *Database Systems*.
+    Connolly,
+}
+
+impl Book {
+    /// All five books in paper order.
+    pub const ALL: [Book; 5] = [
+        Book::Ramakrishnan,
+        Book::Silberschatz,
+        Book::Elmasri,
+        Book::Date,
+        Book::Connolly,
+    ];
+
+    /// The book's schema catalog.
+    pub fn catalog(&self) -> Catalog {
+        match self {
+            Book::Ramakrishnan => schemas::sailors(),
+            Book::Silberschatz => schemas::bank(),
+            Book::Elmasri => schemas::company(),
+            Book::Date => schemas::suppliers(),
+            Book::Connolly => schemas::dreamhome(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Book::Ramakrishnan => "Ramakrishnan & Gehrke",
+            Book::Silberschatz => "Silberschatz et al.",
+            Book::Elmasri => "Elmasri & Navathe",
+            Book::Date => "Date",
+            Book::Connolly => "Connolly & Begg",
+        }
+    }
+}
+
+/// One corpus query.
+#[derive(Debug, Clone, Serialize)]
+pub struct CorpusEntry {
+    /// Corpus id, `q01`–`q59`.
+    pub id: &'static str,
+    /// Source textbook.
+    pub book: Book,
+    /// Natural-language description.
+    pub description: &'static str,
+    /// The query in TRC surface syntax (unions use `union`).
+    pub trc: &'static str,
+}
+
+impl CorpusEntry {
+    /// Parses the entry against its book's catalog.
+    pub fn parse(&self) -> TrcUnion {
+        rd_trc::parser::parse_union(self.trc, &self.book.catalog())
+            .unwrap_or_else(|e| panic!("corpus entry {} fails to parse: {e}\n{}", self.id, self.trc))
+    }
+}
+
+macro_rules! entry {
+    ($id:literal, $book:expr, $desc:literal, $trc:literal) => {
+        CorpusEntry {
+            id: $id,
+            book: $book,
+            description: $desc,
+            trc: $trc,
+        }
+    };
+}
+
+/// The full 59-query corpus.
+pub fn corpus() -> Vec<CorpusEntry> {
+    use Book::*;
+    vec![
+        // --- Ramakrishnan & Gehrke (25 queries, sailors schema) -------
+        entry!("q01", Ramakrishnan, "Names of sailors with rating above 7",
+            "{ q(sname) | exists s in Sailors [ q.sname = s.sname and s.rating > 7 ] }"),
+        entry!("q02", Ramakrishnan, "Names of sailors with rating above 7 and age below 30",
+            "{ q(sname) | exists s in Sailors [ q.sname = s.sname and s.rating > 7 and s.age < 30 ] }"),
+        entry!("q03", Ramakrishnan, "Names of sailors who have reserved boat 103",
+            "{ q(sname) | exists s in Sailors, r in Reserves [ q.sname = s.sname and s.sid = r.sid and r.bid = 103 ] }"),
+        entry!("q04", Ramakrishnan, "Names of sailors who have reserved a red boat",
+            "{ q(sname) | exists s in Sailors, r in Reserves, b in Boats [ q.sname = s.sname and s.sid = r.sid and r.bid = b.bid and b.color = 'red' ] }"),
+        entry!("q05", Ramakrishnan, "Colors of boats reserved by Lubber",
+            "{ q(color) | exists s in Sailors, r in Reserves, b in Boats [ q.color = b.color and s.sname = 'Lubber' and s.sid = r.sid and r.bid = b.bid ] }"),
+        entry!("q06", Ramakrishnan, "Names of sailors who have reserved at least one boat",
+            "{ q(sname) | exists s in Sailors, r in Reserves [ q.sname = s.sname and s.sid = r.sid ] }"),
+        entry!("q07", Ramakrishnan, "Names of sailors who reserved a boat on day 8",
+            "{ q(sname) | exists s in Sailors, r in Reserves [ q.sname = s.sname and s.sid = r.sid and r.day = 8 ] }"),
+        entry!("q08", Ramakrishnan, "Ids of boats reserved by a sailor with rating 10",
+            "{ q(bid) | exists s in Sailors, r in Reserves [ q.bid = r.bid and s.sid = r.sid and s.rating = 10 ] }"),
+        entry!("q09", Ramakrishnan, "Ids of boats that are not reserved",
+            "{ q(bid) | exists b in Boats [ q.bid = b.bid and not (exists r in Reserves [ r.bid = b.bid ]) ] }"),
+        entry!("q10", Ramakrishnan, "Ids of sailors who have not reserved boat 103",
+            "{ q(sid) | exists s in Sailors [ q.sid = s.sid and not (exists r in Reserves [ r.sid = s.sid and r.bid = 103 ]) ] }"),
+        entry!("q11", Ramakrishnan, "Ids of sailors without any reservation",
+            "{ q(sid) | exists s in Sailors [ q.sid = s.sid and not (exists r in Reserves [ r.sid = s.sid ]) ] }"),
+        entry!("q12", Ramakrishnan, "Names of sailors who reserved the boat named Interlake",
+            "{ q(sname) | exists s in Sailors, r in Reserves, b in Boats [ q.sname = s.sname and s.sid = r.sid and r.bid = b.bid and b.bname = 'Interlake' ] }"),
+        entry!("q13", Ramakrishnan, "All (sailor id, boat id) reservation pairs",
+            "{ q(sid, bid) | exists r in Reserves [ q.sid = r.sid and q.bid = r.bid ] }"),
+        entry!("q14", Ramakrishnan, "Names of sailors older than the sailor named Bob",
+            "{ q(sname) | exists s in Sailors, s2 in Sailors [ q.sname = s.sname and s2.sname = 'Bob' and s.age > s2.age ] }"),
+        entry!("q15", Ramakrishnan, "Pairs of sailor and boat names connected by a reservation",
+            "{ q(sname, bname) | exists s in Sailors, r in Reserves, b in Boats [ q.sname = s.sname and q.bname = b.bname and s.sid = r.sid and r.bid = b.bid ] }"),
+        entry!("q16", Ramakrishnan, "Names of sailors who have reserved no boat",
+            "{ q(sname) | exists s in Sailors [ q.sname = s.sname and not (exists r in Reserves [ r.sid = s.sid ]) ] }"),
+        entry!("q17", Ramakrishnan, "Names of sailors who have not reserved a red boat",
+            "{ q(sname) | exists s in Sailors [ q.sname = s.sname and not (exists r in Reserves, b in Boats [ r.sid = s.sid and r.bid = b.bid and b.color = 'red' ]) ] }"),
+        entry!("q18", Ramakrishnan, "Names of sailors who have reserved all boats (Q9, §4.3.1)",
+            "{ q(sname) | exists s in Sailors [ q.sname = s.sname and not (exists b in Boats [ not (exists r in Reserves [ r.sid = s.sid and r.bid = b.bid ]) ]) ] }"),
+        entry!("q19", Ramakrishnan, "Names of sailors who have reserved all red boats",
+            "{ q(sname) | exists s in Sailors [ q.sname = s.sname and not (exists b in Boats [ b.color = 'red' and not (exists r in Reserves [ r.sid = s.sid and r.bid = b.bid ]) ]) ] }"),
+        entry!("q20", Ramakrishnan, "Names of sailors with the highest rating",
+            "{ q(sname) | exists s in Sailors [ q.sname = s.sname and not (exists s2 in Sailors [ s2.rating > s.rating ]) ] }"),
+        entry!("q21", Ramakrishnan, "Names of sailors rating no lower than any sailor named Bob",
+            "{ q(sname) | exists s in Sailors [ q.sname = s.sname and not (exists s2 in Sailors [ s2.sname = 'Bob' and s2.rating > s.rating ]) ] }"),
+        entry!("q22", Ramakrishnan, "Ids of boats reserved by all sailors",
+            "{ q(bid) | exists b in Boats [ q.bid = b.bid and not (exists s in Sailors [ not (exists r in Reserves [ r.bid = b.bid and r.sid = s.sid ]) ]) ] }"),
+        entry!("q23", Ramakrishnan, "Names of sailors with rating above 9 or who reserved boat 103",
+            "{ q(sname) | exists s in Sailors [ q.sname = s.sname and s.rating > 9 ] } union \
+             { q(sname) | exists s in Sailors, r in Reserves [ q.sname = s.sname and s.sid = r.sid and r.bid = 103 ] }"),
+        entry!("q24", Ramakrishnan, "Ids of red boats or boats reserved on day 5",
+            "{ q(bid) | exists b in Boats [ q.bid = b.bid and b.color = 'red' ] } union \
+             { q(bid) | exists r in Reserves [ q.bid = r.bid and r.day = 5 ] }"),
+        entry!("q25", Ramakrishnan, "Names of sailors who reserved their own-numbered boat or some boat 103 (mixed-relation disjunction)",
+            "{ q(sname) | exists s in Sailors, r in Reserves, b in Boats [ q.sname = s.sname and (r.sid = s.sid or b.bid = 103) ] }"),
+        // --- Silberschatz et al. (8 queries, bank schema) -------------
+        entry!("q26", Silberschatz, "Customers who have a loan",
+            "{ q(cname) | exists b in Borrower [ q.cname = b.cname ] }"),
+        entry!("q27", Silberschatz, "Loan numbers at Perryridge with amount above 1200",
+            "{ q(lno) | exists l in Loan [ q.lno = l.lno and l.bname = 'Perryridge' and l.amount > 1200 ] }"),
+        entry!("q28", Silberschatz, "Customers with an account but no loan",
+            "{ q(cname) | exists d in Depositor [ q.cname = d.cname and not (exists b in Borrower [ b.cname = d.cname ]) ] }"),
+        entry!("q29", Silberschatz, "Branches with assets above 1000000",
+            "{ q(bname) | exists b in Branch [ q.bname = b.bname and b.assets > 1000000 ] }"),
+        entry!("q30", Silberschatz, "Harrison customers holding an account",
+            "{ q(cname) | exists c in Customer, d in Depositor [ q.cname = c.cname and d.cname = c.cname and c.ccity = 'Harrison' ] }"),
+        entry!("q31", Silberschatz, "Account numbers with balance below 500",
+            "{ q(ano) | exists a in Account [ q.ano = a.ano and a.balance < 500 ] }"),
+        entry!("q32", Silberschatz, "Customers with a loan or an account",
+            "{ q(cname) | exists b in Borrower [ q.cname = b.cname ] } union \
+             { q(cname) | exists d in Depositor [ q.cname = d.cname ] }"),
+        entry!("q33", Silberschatz, "Customers with an account at every Brooklyn branch",
+            "{ q(cname) | exists d in Depositor [ q.cname = d.cname and not (exists br in Branch [ br.bcity = 'Brooklyn' and \
+             not (exists a in Account, d2 in Depositor [ d2.cname = d.cname and d2.ano = a.ano and a.bname = br.bname ]) ]) ] }"),
+        // --- Elmasri & Navathe (9 queries, company schema) ------------
+        entry!("q34", Elmasri, "Employees of department 5 earning above 30000",
+            "{ q(lname) | exists e in Employee [ q.lname = e.lname and e.dno = 5 and e.salary > 30000 ] }"),
+        entry!("q35", Elmasri, "Employees working on project 10",
+            "{ q(lname) | exists e in Employee, w in WorksOn [ q.lname = e.lname and w.essn = e.ssn and w.pno = 10 ] }"),
+        entry!("q36", Elmasri, "Employees working on the ProductX project",
+            "{ q(lname) | exists e in Employee, w in WorksOn, p in Project [ q.lname = e.lname and w.essn = e.ssn and w.pno = p.pnumber and p.pname = 'ProductX' ] }"),
+        entry!("q37", Elmasri, "Departments managed by an employee named Smith",
+            "{ q(dname) | exists d in Department, e in Employee [ q.dname = d.dname and d.mgrssn = e.ssn and e.lname = 'Smith' ] }"),
+        entry!("q38", Elmasri, "Ssns of employees working on no project",
+            "{ q(ssn) | exists e in Employee [ q.ssn = e.ssn and not (exists w in WorksOn [ w.essn = e.ssn ]) ] }"),
+        entry!("q39", Elmasri, "Employees earning more than their department's manager",
+            "{ q(lname) | exists e in Employee, d in Department, m in Employee [ q.lname = e.lname and e.dno = d.dnumber and d.mgrssn = m.ssn and e.salary > m.salary ] }"),
+        entry!("q40", Elmasri, "Projects of the Research department",
+            "{ q(pname) | exists p in Project, d in Department [ q.pname = p.pname and p.dnum = d.dnumber and d.dname = 'Research' ] }"),
+        entry!("q41", Elmasri, "Employees in department 4 or department 5",
+            "{ q(lname) | exists e in Employee [ q.lname = e.lname and (e.dno = 4 or e.dno = 5) ] }"),
+        entry!("q42", Elmasri, "Employees who work on all projects of department 5",
+            "{ q(lname) | exists e in Employee [ q.lname = e.lname and not (exists p in Project [ p.dnum = 5 and \
+             not (exists w in WorksOn [ w.essn = e.ssn and w.pno = p.pnumber ]) ]) ] }"),
+        // --- Date (9 queries, suppliers-and-parts schema) -------------
+        entry!("q43", Date, "Names of suppliers located in London",
+            "{ q(sname) | exists s in S [ q.sname = s.sname and s.city = 'London' ] }"),
+        entry!("q44", Date, "Numbers of suppliers who supply part P2",
+            "{ q(sno) | exists sp in SP [ q.sno = sp.sno and sp.pno = 2 ] }"),
+        entry!("q45", Date, "Numbers of parts supplied by supplier S1",
+            "{ q(pno) | exists sp in SP [ q.pno = sp.pno and sp.sno = 1 ] }"),
+        entry!("q46", Date, "Names of suppliers who supply a red part",
+            "{ q(sname) | exists s in S, sp in SP, p in P [ q.sname = s.sname and sp.sno = s.sno and sp.pno = p.pno and p.color = 'red' ] }"),
+        entry!("q47", Date, "Numbers of suppliers who supply nothing",
+            "{ q(sno) | exists s in S [ q.sno = s.sno and not (exists sp in SP [ sp.sno = s.sno ]) ] }"),
+        entry!("q48", Date, "Supplier-part pairs with quantity above 300",
+            "{ q(sno, pno) | exists sp in SP [ q.sno = sp.sno and q.pno = sp.pno and sp.qty > 300 ] }"),
+        entry!("q49", Date, "Names of parts that are red or blue",
+            "{ q(pname) | exists p in P [ q.pname = p.pname and (p.color = 'red' or p.color = 'blue') ] }"),
+        entry!("q50", Date, "Supplier names for suppliers who supply all parts (8.3.6)",
+            "{ q(sname) | exists s in S [ q.sname = s.sname and not (exists p in P [ \
+             not (exists sp in SP [ sp.sno = s.sno and sp.pno = p.pno ]) ]) ] }"),
+        entry!("q51", Date, "Supplier names for suppliers who supply all red parts",
+            "{ q(sname) | exists s in S [ q.sname = s.sname and not (exists p in P [ p.color = 'red' and \
+             not (exists sp in SP [ sp.sno = s.sno and sp.pno = p.pno ]) ]) ] }"),
+        // --- Connolly & Begg (8 queries, DreamHome schema) ------------
+        entry!("q52", Connolly, "Staff with salary above 25000",
+            "{ q(fName) | exists st in Staff [ q.fName = st.fName and st.salary > 25000 ] }"),
+        entry!("q53", Connolly, "Properties in Glasgow",
+            "{ q(propertyNo) | exists p in PropertyForRent [ q.propertyNo = p.propertyNo and p.pcity = 'Glasgow' ] }"),
+        entry!("q54", Connolly, "Staff working at branch B003",
+            "{ q(fName) | exists st in Staff [ q.fName = st.fName and st.branchNo = 'B003' ] }"),
+        entry!("q55", Connolly, "Clients who viewed property PG4",
+            "{ q(cfName) | exists c in Client, v in Viewing [ q.cfName = c.cfName and v.clientNo = c.clientNo and v.propertyNo = 'PG4' ] }"),
+        entry!("q56", Connolly, "Property numbers never viewed",
+            "{ q(propertyNo) | exists p in PropertyForRent [ q.propertyNo = p.propertyNo and not (exists v in Viewing [ v.propertyNo = p.propertyNo ]) ] }"),
+        entry!("q57", Connolly, "Staff managing a property with rent above 400",
+            "{ q(fName) | exists st in Staff, p in PropertyForRent [ q.fName = st.fName and p.staffNo = st.staffNo and p.rent > 400 ] }"),
+        entry!("q58", Connolly, "Clients with maximum rent above 600",
+            "{ q(cfName) | exists c in Client [ q.cfName = c.cfName and c.maxRent > 600 ] }"),
+        entry!("q59", Connolly, "Branches located in London",
+            "{ q(branchNo) | exists b in BranchB [ q.branchNo = b.branchNo and b.city = 'London' ] }"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_59_entries_with_paper_book_counts() {
+        let c = corpus();
+        assert_eq!(c.len(), 59);
+        let count = |b: Book| c.iter().filter(|e| e.book == b).count();
+        assert_eq!(count(Book::Ramakrishnan), 25);
+        assert_eq!(count(Book::Silberschatz), 8);
+        assert_eq!(count(Book::Elmasri), 9);
+        assert_eq!(count(Book::Date), 9);
+        assert_eq!(count(Book::Connolly), 8);
+    }
+
+    #[test]
+    fn every_entry_parses_and_checks() {
+        for e in corpus() {
+            let u = e.parse();
+            assert!(!u.branches.is_empty(), "{} empty", e.id);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_sequential() {
+        let c = corpus();
+        for (i, e) in c.iter().enumerate() {
+            assert_eq!(e.id, format!("q{:02}", i + 1));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The five textbook schemas (§6.1 / Appendix N).
+
+use rd_core::{Catalog, TableSchema};
+
+/// Ramakrishnan & Gehrke ("cow book"): the sailors database.
+pub fn sailors() -> Catalog {
+    Catalog::from_schemas([
+        TableSchema::new("Sailors", ["sid", "sname", "rating", "age"]),
+        TableSchema::new("Boats", ["bid", "bname", "color"]),
+        TableSchema::new("Reserves", ["sid", "bid", "day"]),
+    ])
+    .unwrap()
+}
+
+/// Silberschatz, Korth & Sudarshan ("sailboat book"): the bank database.
+pub fn bank() -> Catalog {
+    Catalog::from_schemas([
+        TableSchema::new("Branch", ["bname", "bcity", "assets"]),
+        TableSchema::new("Customer", ["cname", "street", "ccity"]),
+        TableSchema::new("Loan", ["lno", "bname", "amount"]),
+        TableSchema::new("Borrower", ["cname", "lno"]),
+        TableSchema::new("Account", ["ano", "bname", "balance"]),
+        TableSchema::new("Depositor", ["cname", "ano"]),
+    ])
+    .unwrap()
+}
+
+/// Elmasri & Navathe: the company database.
+pub fn company() -> Catalog {
+    Catalog::from_schemas([
+        TableSchema::new("Employee", ["ssn", "fname", "lname", "salary", "dno"]),
+        TableSchema::new("Department", ["dnumber", "dname", "mgrssn"]),
+        TableSchema::new("Project", ["pnumber", "pname", "dnum"]),
+        TableSchema::new("WorksOn", ["essn", "pno", "hours"]),
+    ])
+    .unwrap()
+}
+
+/// Date: the suppliers-and-parts database.
+pub fn suppliers() -> Catalog {
+    Catalog::from_schemas([
+        TableSchema::new("S", ["sno", "sname", "status", "city"]),
+        TableSchema::new("P", ["pno", "pname", "color", "pcity"]),
+        TableSchema::new("SP", ["sno", "pno", "qty"]),
+    ])
+    .unwrap()
+}
+
+/// Connolly & Begg: the DreamHome database.
+pub fn dreamhome() -> Catalog {
+    Catalog::from_schemas([
+        TableSchema::new("Staff", ["staffNo", "fName", "position", "salary", "branchNo"]),
+        TableSchema::new("BranchB", ["branchNo", "street", "city"]),
+        TableSchema::new("PropertyForRent", ["propertyNo", "pcity", "rent", "staffNo"]),
+        TableSchema::new("Client", ["clientNo", "cfName", "maxRent"]),
+        TableSchema::new("Viewing", ["clientNo", "propertyNo", "comment"]),
+    ])
+    .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemas_build() {
+        assert_eq!(sailors().len(), 3);
+        assert_eq!(bank().len(), 6);
+        assert_eq!(company().len(), 4);
+        assert_eq!(suppliers().len(), 3);
+        assert_eq!(dreamhome().len(), 5);
+    }
+}

@@ -1,0 +1,577 @@
+//! Abstract syntax of safe Tuple Relational Calculus.
+//!
+//! The shapes mirror §2.3 of the paper. A query is
+//! `{q(A₁,…,Aₖ) | φ}` where `φ` is built from existential quantifier
+//! blocks, negation, conjunction, disjunction (only outside TRC\*), and
+//! atomic comparison predicates. A *sentence* (Boolean query, §3.5) is the
+//! same object without an output head. A [`TrcUnion`] is a union of queries
+//! with identical output heads (§5, Example 9).
+
+use rd_core::{Catalog, CmpOp, CoreError, CoreResult, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A tuple-variable name such as `r`, `s2`.
+pub type Var = String;
+
+/// A reference to an attribute of a tuple variable: `r.A`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrRef {
+    /// Tuple variable, e.g. `r`.
+    pub var: Var,
+    /// Attribute name, e.g. `A`.
+    pub attr: String,
+}
+
+impl AttrRef {
+    /// `r.A`-style constructor.
+    pub fn new(var: impl Into<Var>, attr: impl Into<String>) -> Self {
+        AttrRef {
+            var: var.into(),
+            attr: attr.into(),
+        }
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.var, self.attr)
+    }
+}
+
+/// One side of a comparison: an attribute reference or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// `r.A`
+    Attr(AttrRef),
+    /// `5`, `'red'`
+    Const(Value),
+}
+
+impl Term {
+    /// Attribute-term constructor.
+    pub fn attr(var: impl Into<Var>, attr: impl Into<String>) -> Self {
+        Term::Attr(AttrRef::new(var, attr))
+    }
+
+    /// Constant-term constructor.
+    pub fn value(v: impl Into<Value>) -> Self {
+        Term::Const(v.into())
+    }
+
+    /// The variable referenced by this term, if any.
+    pub fn var(&self) -> Option<&Var> {
+        match self {
+            Term::Attr(a) => Some(&a.var),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Attr(a) => write!(f, "{a}"),
+            Term::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An atomic comparison `left θ right`.
+///
+/// The paper distinguishes *join predicates* `r.A θ s.B` from *selection
+/// predicates* `r.A θ v` (§2.3); [`Predicate::is_join`] recovers that
+/// distinction.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Predicate {
+    /// Left term.
+    pub left: Term,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right term.
+    pub right: Term,
+}
+
+impl Predicate {
+    /// Constructor.
+    pub fn new(left: Term, op: CmpOp, right: Term) -> Self {
+        Predicate { left, op, right }
+    }
+
+    /// `true` if both sides are attribute references.
+    pub fn is_join(&self) -> bool {
+        matches!((&self.left, &self.right), (Term::Attr(_), Term::Attr(_)))
+    }
+
+    /// `true` if exactly one side is a constant.
+    pub fn is_selection(&self) -> bool {
+        matches!(
+            (&self.left, &self.right),
+            (Term::Attr(_), Term::Const(_)) | (Term::Const(_), Term::Attr(_))
+        )
+    }
+
+    /// The predicate with sides swapped and the operator flipped
+    /// (identical meaning).
+    pub fn flipped(&self) -> Predicate {
+        Predicate {
+            left: self.right.clone(),
+            op: self.op.flipped(),
+            right: self.left.clone(),
+        }
+    }
+
+    /// The logical complement (`¬(a < b)` → `a >= b`).
+    pub fn negated(&self) -> Predicate {
+        Predicate {
+            left: self.left.clone(),
+            op: self.op.negated(),
+            right: self.right.clone(),
+        }
+    }
+
+    /// Variables mentioned on either side.
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        self.left.var().into_iter().chain(self.right.var())
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// An existential binding `v in T` (paper: `∃v ∈ T`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Binding {
+    /// Tuple variable being bound.
+    pub var: Var,
+    /// Table it ranges over.
+    pub table: String,
+}
+
+impl Binding {
+    /// Constructor.
+    pub fn new(var: impl Into<Var>, table: impl Into<String>) -> Self {
+        Binding {
+            var: var.into(),
+            table: table.into(),
+        }
+    }
+}
+
+/// A TRC formula.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Formula {
+    /// Conjunction of sub-formulas. `And(vec![])` is the constant `true`
+    /// (needed for bodies like `¬(∃r ∈ R[ ])` with no predicates).
+    And(Vec<Formula>),
+    /// Disjunction. Only legal outside the TRC\* fragment (§5).
+    Or(Vec<Formula>),
+    /// Negation `¬(φ)`.
+    Not(Box<Formula>),
+    /// An existential block `∃v₁ ∈ T₁, …, vₖ ∈ Tₖ [φ]`.
+    Exists(Vec<Binding>, Box<Formula>),
+    /// An atomic comparison.
+    Pred(Predicate),
+}
+
+impl Formula {
+    /// The constant `true` (empty conjunction).
+    pub fn truth() -> Formula {
+        Formula::And(Vec::new())
+    }
+
+    /// Conjunction that collapses singleton vectors.
+    pub fn and(mut fs: Vec<Formula>) -> Formula {
+        if fs.len() == 1 {
+            fs.pop().expect("len checked")
+        } else {
+            Formula::And(fs)
+        }
+    }
+
+    /// Negation helper.
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Existential helper.
+    pub fn exists(bindings: Vec<Binding>, body: Formula) -> Formula {
+        Formula::Exists(bindings, Box::new(body))
+    }
+
+    /// Visits every predicate in the formula.
+    pub fn visit_predicates<'a>(&'a self, f: &mut impl FnMut(&'a Predicate)) {
+        match self {
+            Formula::And(fs) | Formula::Or(fs) => {
+                for sub in fs {
+                    sub.visit_predicates(f);
+                }
+            }
+            Formula::Not(sub) => sub.visit_predicates(f),
+            Formula::Exists(_, body) => body.visit_predicates(f),
+            Formula::Pred(p) => f(p),
+        }
+    }
+
+    /// Visits every binding (in syntactic order).
+    pub fn visit_bindings<'a>(&'a self, f: &mut impl FnMut(&'a Binding)) {
+        match self {
+            Formula::And(fs) | Formula::Or(fs) => {
+                for sub in fs {
+                    sub.visit_bindings(f);
+                }
+            }
+            Formula::Not(sub) => sub.visit_bindings(f),
+            Formula::Exists(bindings, body) => {
+                for b in bindings {
+                    f(b);
+                }
+                body.visit_bindings(f);
+            }
+            Formula::Pred(_) => {}
+        }
+    }
+
+    /// All variables bound anywhere inside the formula.
+    pub fn bound_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.visit_bindings(&mut |b| {
+            out.insert(b.var.clone());
+        });
+        out
+    }
+
+    /// Variables used in predicates but not bound inside this formula.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        fn walk(f: &Formula, bound: &mut Vec<Var>, free: &mut BTreeSet<Var>) {
+            match f {
+                Formula::And(fs) | Formula::Or(fs) => {
+                    for sub in fs {
+                        walk(sub, bound, free);
+                    }
+                }
+                Formula::Not(sub) => walk(sub, bound, free),
+                Formula::Exists(bindings, body) => {
+                    let n = bound.len();
+                    bound.extend(bindings.iter().map(|b| b.var.clone()));
+                    walk(body, bound, free);
+                    bound.truncate(n);
+                }
+                Formula::Pred(p) => {
+                    for v in p.vars() {
+                        if !bound.contains(v) {
+                            free.insert(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+        let mut free = BTreeSet::new();
+        walk(self, &mut Vec::new(), &mut free);
+        free
+    }
+
+    /// Renames every occurrence of table `from` (in bindings) to `to`.
+    pub fn rename_table(&mut self, from: &str, to: &str) {
+        match self {
+            Formula::And(fs) | Formula::Or(fs) => {
+                for sub in fs {
+                    sub.rename_table(from, to);
+                }
+            }
+            Formula::Not(sub) => sub.rename_table(from, to),
+            Formula::Exists(bindings, body) => {
+                for b in bindings.iter_mut() {
+                    if b.table == from {
+                        b.table = to.to_string();
+                    }
+                }
+                body.rename_table(from, to);
+            }
+            Formula::Pred(_) => {}
+        }
+    }
+
+    /// Renames a tuple variable everywhere (bindings and predicates).
+    /// The caller is responsible for avoiding capture.
+    pub fn rename_var(&mut self, from: &str, to: &str) {
+        let fix = |t: &mut Term| {
+            if let Term::Attr(a) = t {
+                if a.var == from {
+                    a.var = to.to_string();
+                }
+            }
+        };
+        match self {
+            Formula::And(fs) | Formula::Or(fs) => {
+                for sub in fs {
+                    sub.rename_var(from, to);
+                }
+            }
+            Formula::Not(sub) => sub.rename_var(from, to),
+            Formula::Exists(bindings, body) => {
+                for b in bindings.iter_mut() {
+                    if b.var == from {
+                        b.var = to.to_string();
+                    }
+                }
+                body.rename_var(from, to);
+            }
+            Formula::Pred(p) => {
+                fix(&mut p.left);
+                fix(&mut p.right);
+            }
+        }
+    }
+
+    /// Maximum negation-nesting depth (`0` for negation-free formulas).
+    pub fn negation_depth(&self) -> usize {
+        match self {
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::negation_depth).max().unwrap_or(0)
+            }
+            Formula::Not(sub) => 1 + sub.negation_depth(),
+            Formula::Exists(_, body) => body.negation_depth(),
+            Formula::Pred(_) => 0,
+        }
+    }
+
+    /// `true` if any `Or` occurs in the formula.
+    pub fn contains_or(&self) -> bool {
+        match self {
+            Formula::Or(_) => true,
+            Formula::And(fs) => fs.iter().any(Formula::contains_or),
+            Formula::Not(sub) => sub.contains_or(),
+            Formula::Exists(_, body) => body.contains_or(),
+            Formula::Pred(_) => false,
+        }
+    }
+}
+
+/// The output head `q(A₁,…,Aₖ)` of a non-Boolean query.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OutputSpec {
+    /// Name of the output table (conventionally `q`, §3.1 point 5).
+    pub name: String,
+    /// Output attribute names.
+    pub attrs: Vec<String>,
+}
+
+impl OutputSpec {
+    /// Constructor.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(name: impl Into<String>, attrs: I) -> Self {
+        OutputSpec {
+            name: name.into(),
+            attrs: attrs.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// A TRC query: an optional output head plus a formula.
+///
+/// * `{q(A) | φ}` — `output = Some(..)`, a relational query;
+/// * `φ` — `output = None`, a Boolean sentence (§3.5).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrcQuery {
+    /// Output head; `None` for Boolean sentences.
+    pub output: Option<OutputSpec>,
+    /// The body formula (for queries, predicates `q.A = …` reference the
+    /// output head's name).
+    pub formula: Formula,
+}
+
+impl TrcQuery {
+    /// A relational query `{head | formula}`.
+    pub fn query(head: OutputSpec, formula: Formula) -> Self {
+        TrcQuery {
+            output: Some(head),
+            formula,
+        }
+    }
+
+    /// A Boolean sentence.
+    pub fn sentence(formula: Formula) -> Self {
+        TrcQuery {
+            output: None,
+            formula,
+        }
+    }
+
+    /// `true` if the query is a Boolean sentence.
+    pub fn is_sentence(&self) -> bool {
+        self.output.is_none()
+    }
+
+    /// The *signature* of the query expression (Def. 9): the ordered list
+    /// of its table references, in syntactic (quantifier) order.
+    pub fn signature(&self) -> Vec<String> {
+        let mut sig = Vec::new();
+        self.formula.visit_bindings(&mut |b| sig.push(b.table.clone()));
+        sig
+    }
+
+    /// Well-formedness + paper safety checks (delegates to [`crate::check`]).
+    pub fn check(&self, catalog: &Catalog) -> CoreResult<()> {
+        crate::check::check_query(self, catalog)
+    }
+
+    /// The set of table names referenced by the query.
+    pub fn tables_used(&self) -> BTreeSet<String> {
+        self.signature().into_iter().collect()
+    }
+}
+
+/// A union of TRC queries with identical output heads (§5, Example 9).
+///
+/// A single-branch union is semantically the plain query.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrcUnion {
+    /// The union branches.
+    pub branches: Vec<TrcQuery>,
+}
+
+impl TrcUnion {
+    /// Wraps a single query.
+    pub fn single(q: TrcQuery) -> Self {
+        TrcUnion { branches: vec![q] }
+    }
+
+    /// Builds a union, validating arity compatibility of the heads
+    /// (Def. 16: same name and same set of attributes).
+    pub fn new(branches: Vec<TrcQuery>) -> CoreResult<Self> {
+        if branches.is_empty() {
+            return Err(CoreError::Invalid("union must have >= 1 branch".into()));
+        }
+        let head = branches[0].output.clone();
+        for b in &branches[1..] {
+            if b.output != head {
+                return Err(CoreError::Invalid(
+                    "all union branches must have the same output head (Def. 16)".into(),
+                ));
+            }
+        }
+        Ok(TrcUnion { branches })
+    }
+
+    /// `true` if this union is a single query.
+    pub fn is_single(&self) -> bool {
+        self.branches.len() == 1
+    }
+
+    /// Concatenated signature across branches.
+    pub fn signature(&self) -> Vec<String> {
+        self.branches.iter().flat_map(TrcQuery::signature).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running division example (eq. 14):
+    /// `{q(A) | ∃r∈R[q.A=r.A ∧ ¬(∃s∈S[¬(∃r2∈R[r2.B=s.B ∧ r2.A=r.A])])]}`.
+    pub(crate) fn division() -> TrcQuery {
+        let inner = Formula::exists(
+            vec![Binding::new("r2", "R")],
+            Formula::and(vec![
+                Formula::Pred(Predicate::new(
+                    Term::attr("r2", "B"),
+                    CmpOp::Eq,
+                    Term::attr("s", "B"),
+                )),
+                Formula::Pred(Predicate::new(
+                    Term::attr("r2", "A"),
+                    CmpOp::Eq,
+                    Term::attr("r", "A"),
+                )),
+            ]),
+        );
+        let mid = Formula::exists(vec![Binding::new("s", "S")], Formula::not(inner));
+        let root = Formula::exists(
+            vec![Binding::new("r", "R")],
+            Formula::and(vec![
+                Formula::Pred(Predicate::new(
+                    Term::attr("q", "A"),
+                    CmpOp::Eq,
+                    Term::attr("r", "A"),
+                )),
+                Formula::not(mid),
+            ]),
+        );
+        TrcQuery::query(OutputSpec::new("q", ["A"]), root)
+    }
+
+    #[test]
+    fn signature_in_syntactic_order() {
+        assert_eq!(division().signature(), vec!["R", "S", "R"]);
+    }
+
+    #[test]
+    fn free_and_bound_vars() {
+        let q = division();
+        assert_eq!(
+            q.formula.bound_vars().into_iter().collect::<Vec<_>>(),
+            vec!["r".to_string(), "r2".into(), "s".into()]
+        );
+        // Only the output variable `q` is free.
+        assert_eq!(
+            q.formula.free_vars().into_iter().collect::<Vec<_>>(),
+            vec!["q".to_string()]
+        );
+    }
+
+    #[test]
+    fn negation_depth() {
+        assert_eq!(division().formula.negation_depth(), 2);
+        assert_eq!(Formula::truth().negation_depth(), 0);
+    }
+
+    #[test]
+    fn rename_table_only_touches_bindings() {
+        let mut q = division();
+        q.formula.rename_table("R", "R_1");
+        assert_eq!(q.signature(), vec!["R_1", "S", "R_1"]);
+    }
+
+    #[test]
+    fn rename_var_touches_predicates() {
+        let mut q = division();
+        q.formula.rename_var("r2", "x");
+        let mut seen = Vec::new();
+        q.formula.visit_predicates(&mut |p| seen.push(p.to_string()));
+        assert!(seen.contains(&"x.B = s.B".to_string()));
+        assert!(seen.contains(&"x.A = r.A".to_string()));
+    }
+
+    #[test]
+    fn union_head_validation() {
+        let q1 = division();
+        let mut q2 = division();
+        q2.output = Some(OutputSpec::new("q", ["Z"]));
+        assert!(TrcUnion::new(vec![q1.clone(), q1.clone()]).is_ok());
+        assert!(TrcUnion::new(vec![q1, q2]).is_err());
+        assert!(TrcUnion::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn predicate_helpers() {
+        let p = Predicate::new(Term::attr("r", "A"), CmpOp::Lt, Term::value(5));
+        assert!(p.is_selection());
+        assert!(!p.is_join());
+        assert_eq!(p.negated().op, CmpOp::Ge);
+        assert_eq!(p.flipped().op, CmpOp::Gt);
+        assert_eq!(p.to_string(), "r.A < 5");
+    }
+
+    #[test]
+    fn contains_or_detection() {
+        let q = division();
+        assert!(!q.formula.contains_or());
+        let f = Formula::Or(vec![Formula::truth(), Formula::truth()]);
+        assert!(f.contains_or());
+        assert!(Formula::not(f).contains_or());
+    }
+}

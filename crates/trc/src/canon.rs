@@ -1,0 +1,377 @@
+//! Canonical form of TRC queries (§2.3).
+//!
+//! The paper's canonical representation requires that
+//!
+//! 1. "every existential quantifier \[is\] pulled out as early as … either …
+//!    the start of the query, or directly following a negation operator";
+//! 2. negated atomic predicates are folded into the complemented operator
+//!    (`¬(r.A = 0)` → `r.A ≠ 0`);
+//! 3. only equality conditions mention the result table, and each further
+//!    use of an output attribute is replaced by its defining term
+//!    (`{q(A) | … q.A = r.A ∧ s.A > q.A}` → `… ∧ s.A > r.A`).
+//!
+//! Disjunctions (outside TRC\*) are canonicalized branch-wise: quantifiers
+//! are never hoisted across an `Or` boundary (that would change the
+//! pattern), and double negations are preserved — they are structurally
+//! meaningful (Fig. 5's empty partition `q₁`).
+
+use crate::ast::{Binding, Formula, Term, TrcQuery, TrcUnion, Var};
+use rd_core::CmpOp;
+use std::collections::BTreeSet;
+
+/// Canonicalizes a query (see module docs). The result is logically
+/// equivalent and pattern-isomorphic to the input: the multiset and order
+/// of table references is preserved.
+pub fn canonicalize(q: &TrcQuery) -> TrcQuery {
+    let mut q = q.clone();
+    let mut used: BTreeSet<Var> = BTreeSet::new();
+    if let Some(o) = &q.output {
+        used.insert(o.name.clone());
+    }
+    freshen_vars(&mut q.formula, &mut used);
+    let formula = canon_formula(&q.formula);
+    let mut out = TrcQuery {
+        output: q.output,
+        formula,
+    };
+    substitute_output_uses(&mut out);
+    out
+}
+
+/// Canonicalizes every branch of a union.
+pub fn canonicalize_union(u: &TrcUnion) -> TrcUnion {
+    TrcUnion {
+        branches: u.branches.iter().map(canonicalize).collect(),
+    }
+}
+
+/// Alpha-renames so every binding introduces a globally fresh variable.
+fn freshen_vars(f: &mut Formula, used: &mut BTreeSet<Var>) {
+    match f {
+        Formula::And(fs) | Formula::Or(fs) => {
+            for sub in fs {
+                freshen_vars(sub, used);
+            }
+        }
+        Formula::Not(sub) => freshen_vars(sub, used),
+        Formula::Exists(bindings, body) => {
+            for i in 0..bindings.len() {
+                let v = bindings[i].var.clone();
+                if used.contains(&v) {
+                    let fresh = fresh_var(&v, used);
+                    bindings[i].var = fresh.clone();
+                    body.rename_var(&v, &fresh);
+                    // Later sibling bindings of the same block cannot bind
+                    // `v` again (checked), so renaming the body suffices.
+                    used.insert(fresh);
+                } else {
+                    used.insert(v);
+                }
+            }
+            freshen_vars(body, used);
+        }
+        Formula::Pred(_) => {}
+    }
+}
+
+fn fresh_var(base: &str, used: &BTreeSet<Var>) -> Var {
+    let mut i = 2usize;
+    loop {
+        let candidate = format!("{base}_{i}");
+        if !used.contains(&candidate) {
+            return candidate;
+        }
+        i += 1;
+    }
+}
+
+/// Canonical shape: `Exists(bindings, And(parts))` where each part is a
+/// predicate, a `Not(canonical)`, or an `Or` of canonical branches;
+/// degenerate shapes (no bindings / single part) are simplified.
+fn canon_formula(f: &Formula) -> Formula {
+    let (bindings, parts) = hoist(f);
+    build(bindings, parts)
+}
+
+fn build(bindings: Vec<Binding>, parts: Vec<Formula>) -> Formula {
+    let body = Formula::and(parts);
+    if bindings.is_empty() {
+        body
+    } else {
+        Formula::exists(bindings, body)
+    }
+}
+
+/// Returns the existential bindings hoistable to this level plus the
+/// residual conjunct parts.
+fn hoist(f: &Formula) -> (Vec<Binding>, Vec<Formula>) {
+    match f {
+        Formula::Pred(p) => (Vec::new(), vec![Formula::Pred(p.clone())]),
+        Formula::And(fs) => {
+            let mut bindings = Vec::new();
+            let mut parts = Vec::new();
+            for sub in fs {
+                let (b, p) = hoist(sub);
+                bindings.extend(b);
+                parts.extend(p);
+            }
+            (bindings, parts)
+        }
+        Formula::Exists(b, body) => {
+            let (mut bindings, parts) = hoist(body);
+            let mut all = b.clone();
+            all.append(&mut bindings);
+            (all, parts)
+        }
+        Formula::Not(sub) => {
+            // ¬(pred) folds into the complemented operator (§2.3).
+            if let Formula::Pred(p) = sub.as_ref() {
+                return (Vec::new(), vec![Formula::Pred(p.negated())]);
+            }
+            (Vec::new(), vec![Formula::not(canon_formula(sub))])
+        }
+        Formula::Or(fs) => {
+            // Quantifiers stay inside their branch: hoisting across Or
+            // would duplicate or merge table references.
+            let branches = fs.iter().map(canon_formula).collect();
+            (Vec::new(), vec![Formula::Or(branches)])
+        }
+    }
+}
+
+/// Replaces secondary uses of output attributes with their defining term
+/// and orients defining predicates as `q.A = term`.
+fn substitute_output_uses(q: &mut TrcQuery) {
+    let Some(head) = q.output.clone() else {
+        return;
+    };
+    for attr in &head.attrs {
+        // Find the first defining equality at the outermost conjunction.
+        let Some(def_term) = find_definition(&q.formula, &head.name, attr) else {
+            continue;
+        };
+        replace_uses(&mut q.formula, &head.name, attr, &def_term, true);
+    }
+}
+
+fn find_definition(f: &Formula, head: &str, attr: &str) -> Option<Term> {
+    match f {
+        Formula::And(fs) => fs.iter().find_map(|s| find_definition(s, head, attr)),
+        Formula::Exists(_, body) => find_definition(body, head, attr),
+        Formula::Pred(p) if p.op == CmpOp::Eq => {
+            let is_head = |t: &Term| matches!(t, Term::Attr(a) if a.var == head && a.attr == attr);
+            if is_head(&p.left) && !is_head(&p.right) {
+                Some(p.right.clone())
+            } else if is_head(&p.right) && !is_head(&p.left) {
+                Some(p.left.clone())
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Rewrites predicates mentioning `head.attr`. The first defining equality
+/// is kept (normalized to `q.A = term`); all other occurrences are replaced
+/// by `def_term`.
+fn replace_uses(f: &mut Formula, head: &str, attr: &str, def_term: &Term, mut keep_first: bool) {
+    fn walk(
+        f: &mut Formula,
+        head: &str,
+        attr: &str,
+        def_term: &Term,
+        keep_first: &mut bool,
+    ) {
+        match f {
+            Formula::And(fs) | Formula::Or(fs) => {
+                for sub in fs {
+                    walk(sub, head, attr, def_term, keep_first);
+                }
+            }
+            Formula::Not(sub) => walk(sub, head, attr, def_term, keep_first),
+            Formula::Exists(_, body) => walk(body, head, attr, def_term, keep_first),
+            Formula::Pred(p) => {
+                let is_head = |t: &Term| matches!(t, Term::Attr(a) if a.var == head && a.attr == attr);
+                let mentions = is_head(&p.left) || is_head(&p.right);
+                if !mentions {
+                    return;
+                }
+                let this_defines = p.op == CmpOp::Eq
+                    && (is_head(&p.left) != is_head(&p.right))
+                    && {
+                        let other = if is_head(&p.left) { &p.right } else { &p.left };
+                        other == def_term
+                    };
+                if this_defines && *keep_first {
+                    // Normalize orientation: q.A on the left.
+                    if is_head(&p.right) {
+                        *p = p.flipped();
+                    }
+                    *keep_first = false;
+                    return;
+                }
+                if is_head(&p.left) {
+                    p.left = def_term.clone();
+                }
+                if is_head(&p.right) {
+                    p.right = def_term.clone();
+                }
+            }
+        }
+    }
+    walk(f, head, attr, def_term, &mut keep_first);
+}
+
+/// `true` if the formula already has the canonical shape (quantifiers only
+/// at the root or directly under a negation; no negated atomic predicates;
+/// no nested conjunctions).
+pub fn is_canonical(q: &TrcQuery) -> bool {
+    fn parts_canonical(parts: &[Formula]) -> bool {
+        parts.iter().all(|p| match p {
+            Formula::Pred(_) => true,
+            Formula::Not(inner) => shape(inner),
+            Formula::Or(branches) => branches.iter().all(shape),
+            _ => false,
+        })
+    }
+    fn shape(f: &Formula) -> bool {
+        match f {
+            Formula::Exists(_, body) => match body.as_ref() {
+                Formula::And(parts) => parts_canonical(parts),
+                single => parts_canonical(std::slice::from_ref(single)),
+            },
+            Formula::And(parts) => parts_canonical(parts),
+            single => parts_canonical(std::slice::from_ref(single)),
+        }
+    }
+    shape(&q.formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query_unchecked;
+    use crate::printer::to_ascii;
+
+    #[test]
+    fn pulls_quantifiers_to_negation_boundary() {
+        // ¬(∃r∈R[r.A = 0 ∧ ∃s∈S[s.B = r.B]]) becomes
+        // ¬(∃r∈R, s∈S[r.A = 0 ∧ s.B = r.B])   (§2.3's canonical example)
+        let q = parse_query_unchecked(
+            "not (exists r in R [ r.A = 0 and exists s in S [ s.B = r.B ] ])",
+        )
+        .unwrap();
+        let c = canonicalize(&q);
+        assert!(is_canonical(&c));
+        assert_eq!(
+            to_ascii(&c),
+            "not (exists r in R, s in S [r.A = 0 and s.B = r.B])"
+        );
+    }
+
+    #[test]
+    fn folds_negated_predicates() {
+        let q = parse_query_unchecked("not (exists r in R [ not (r.A = 0) ])").unwrap();
+        let c = canonicalize(&q);
+        assert_eq!(to_ascii(&c), "not (exists r in R [r.A != 0])");
+    }
+
+    #[test]
+    fn preserves_double_negation() {
+        let q = parse_query_unchecked(
+            "exists r in R [ not (not (exists t in T [ t.A = r.A ])) ]",
+        )
+        .unwrap();
+        let c = canonicalize(&q);
+        assert_eq!(
+            to_ascii(&c),
+            "exists r in R [not (not (exists t in T [t.A = r.A]))]"
+        );
+    }
+
+    #[test]
+    fn canonicalization_preserves_signature() {
+        let q = parse_query_unchecked(
+            "{ q(A) | exists r in R [ q.A = r.A and exists s in S [ s.B = r.B and \
+             not (exists r2 in R [ r2.A = s.B ]) ] ] }",
+        )
+        .unwrap();
+        let c = canonicalize(&q);
+        assert_eq!(q.signature(), c.signature());
+        assert!(is_canonical(&c));
+    }
+
+    #[test]
+    fn renames_colliding_variables() {
+        // Same variable name `r` in sibling negation scopes is legal TRC;
+        // hoisting must not merge them blindly (they stay in separate
+        // scopes here, but nested reuse needs renaming).
+        let q = parse_query_unchecked(
+            "exists r in R [ r.A = 1 and not (exists r2 in R [ r2.A = r.A and exists s in S [ s.B = r2.B ] ]) ]",
+        )
+        .unwrap();
+        let c = canonicalize(&q);
+        assert!(is_canonical(&c));
+        assert_eq!(c.signature(), vec!["R", "R", "S"]);
+    }
+
+    #[test]
+    fn substitutes_secondary_output_uses() {
+        // {q(A) | ∃r∈R, s∈S [q.A = r.A ∧ s.A > q.A]} — the second use of
+        // q.A must become r.A (§2.3). We build the AST directly since the
+        // checker rejects the non-canonical input.
+        use crate::ast::{OutputSpec, Predicate};
+        let f = Formula::exists(
+            vec![Binding::new("r", "R"), Binding::new("s", "S")],
+            Formula::and(vec![
+                Formula::Pred(Predicate::new(
+                    Term::attr("q", "A"),
+                    CmpOp::Eq,
+                    Term::attr("r", "A"),
+                )),
+                Formula::Pred(Predicate::new(
+                    Term::attr("s", "A"),
+                    CmpOp::Gt,
+                    Term::attr("q", "A"),
+                )),
+            ]),
+        );
+        let q = TrcQuery::query(OutputSpec::new("q", ["A"]), f);
+        let c = canonicalize(&q);
+        assert_eq!(
+            to_ascii(&c),
+            "{ q(A) | exists r in R, s in S [q.A = r.A and s.A > r.A] }"
+        );
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let q = parse_query_unchecked(
+            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ \
+             not (exists r2 in R [ r2.B = s.B and r2.A = r.A ]) ]) ] }",
+        )
+        .unwrap();
+        let once = canonicalize(&q);
+        let twice = canonicalize(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn or_branches_canonicalized_independently() {
+        let q = parse_query_unchecked(
+            "exists r in R [ (exists s in S [ s.B = r.B ]) or (exists t in T [ t.A = r.A ]) ]",
+        )
+        .unwrap();
+        let c = canonicalize(&q);
+        // Quantifiers must not cross the Or.
+        assert_eq!(c.signature(), vec!["R", "S", "T"]);
+        match &c.formula {
+            Formula::Exists(b, body) => {
+                assert_eq!(b.len(), 1);
+                assert!(matches!(body.as_ref(), Formula::Or(_)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Well-formedness, safety, guardedness (Def. 3) and fragment membership
+//! (Def. 4) for TRC queries.
+
+use crate::ast::{Formula, Predicate, Term, TrcQuery, Var};
+use rd_core::{Catalog, CmpOp, CoreError, CoreResult};
+use std::collections::BTreeMap;
+
+/// Full static check: well-formedness against the catalog plus the paper's
+/// safety conditions for safe TRC.
+///
+/// Checks performed:
+/// 1. every binding references an existing table;
+/// 2. no tuple variable is bound twice in overlapping scopes, and none
+///    shadows the output head's name;
+/// 3. every attribute reference resolves (bound variable + existing
+///    attribute; output attributes for the head variable);
+/// 4. the output head's variable only occurs in *equality* predicates
+///    (§2.3: "WLOG, we only allow equality conditions with the result
+///    table");
+/// 5. safety: every output attribute has at least one defining equality
+///    `q.A = r.B` located *outside all negations*, where `r` is bound
+///    outside all negations (§3.2 step 5 / standard safety [Ullman 77]).
+pub fn check_query(q: &TrcQuery, catalog: &Catalog) -> CoreResult<()> {
+    let head_var = q.output.as_ref().map(|o| o.name.clone());
+    let mut scope: Vec<(Var, String)> = Vec::new();
+    check_formula(&q.formula, catalog, &head_var, q, &mut scope)?;
+    check_output_safety(q)?;
+    Ok(())
+}
+
+fn check_formula(
+    f: &Formula,
+    catalog: &Catalog,
+    head_var: &Option<Var>,
+    q: &TrcQuery,
+    scope: &mut Vec<(Var, String)>,
+) -> CoreResult<()> {
+    match f {
+        Formula::And(fs) | Formula::Or(fs) => {
+            for sub in fs {
+                check_formula(sub, catalog, head_var, q, scope)?;
+            }
+            Ok(())
+        }
+        Formula::Not(sub) => check_formula(sub, catalog, head_var, q, scope),
+        Formula::Exists(bindings, body) => {
+            let n = scope.len();
+            for b in bindings {
+                catalog.require(&b.table)?;
+                if scope.iter().any(|(v, _)| v == &b.var)
+                    || head_var.as_deref() == Some(b.var.as_str())
+                {
+                    return Err(CoreError::Invalid(format!(
+                        "tuple variable '{}' bound twice (or shadows the output head)",
+                        b.var
+                    )));
+                }
+                scope.push((b.var.clone(), b.table.clone()));
+            }
+            let r = check_formula(body, catalog, head_var, q, scope);
+            scope.truncate(n);
+            r
+        }
+        Formula::Pred(p) => {
+            for term in [&p.left, &p.right] {
+                if let Term::Attr(a) = term {
+                    if head_var.as_deref() == Some(a.var.as_str()) {
+                        let head = q.output.as_ref().expect("head var implies output");
+                        if !head.attrs.contains(&a.attr) {
+                            return Err(CoreError::Invalid(format!(
+                                "output head '{}' has no attribute '{}'",
+                                head.name, a.attr
+                            )));
+                        }
+                        if p.op != CmpOp::Eq {
+                            return Err(CoreError::Invalid(format!(
+                                "output attribute {a} may only appear in equality predicates \
+                                 (canonical safe TRC, §2.3)"
+                            )));
+                        }
+                    } else {
+                        let table = scope
+                            .iter()
+                            .rev()
+                            .find(|(v, _)| v == &a.var)
+                            .map(|(_, t)| t.clone())
+                            .ok_or_else(|| {
+                                CoreError::Invalid(format!("unbound tuple variable '{}'", a.var))
+                            })?;
+                        let schema = catalog.require(&table)?;
+                        if !schema.has_attr(&a.attr) {
+                            return Err(CoreError::UnknownAttribute {
+                                table,
+                                attribute: a.attr.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Collects the predicates located outside all negations, together with the
+/// variables bound outside all negations.
+fn root_level(q: &TrcQuery) -> (Vec<&Predicate>, Vec<&Var>) {
+    fn walk<'a>(f: &'a Formula, preds: &mut Vec<&'a Predicate>, vars: &mut Vec<&'a Var>) {
+        match f {
+            Formula::And(fs) | Formula::Or(fs) => {
+                for sub in fs {
+                    walk(sub, preds, vars);
+                }
+            }
+            Formula::Not(_) => {}
+            Formula::Exists(bindings, body) => {
+                vars.extend(bindings.iter().map(|b| &b.var));
+                walk(body, preds, vars);
+            }
+            Formula::Pred(p) => preds.push(p),
+        }
+    }
+    let mut preds = Vec::new();
+    let mut vars = Vec::new();
+    walk(&q.formula, &mut preds, &mut vars);
+    (preds, vars)
+}
+
+/// Safety of the output head (check 5 above). Sentences are trivially safe.
+fn check_output_safety(q: &TrcQuery) -> CoreResult<()> {
+    let Some(head) = &q.output else {
+        return Ok(());
+    };
+    let (preds, root_vars) = root_level(q);
+    for attr in &head.attrs {
+        let defined = preds.iter().any(|p| {
+            p.op == CmpOp::Eq && {
+                let (a, other) = match (&p.left, &p.right) {
+                    (Term::Attr(a), other) if a.var == head.name && &a.attr == attr => (a, other),
+                    (other, Term::Attr(a)) if a.var == head.name && &a.attr == attr => (a, other),
+                    _ => return false,
+                };
+                let _ = a;
+                match other {
+                    Term::Const(_) => true,
+                    Term::Attr(o) => root_vars.iter().any(|v| *v == &o.var),
+                }
+            }
+        });
+        if !defined {
+            return Err(CoreError::Invalid(format!(
+                "output attribute {}.{attr} has no defining equality outside all negations \
+                 (safety condition of safe TRC)",
+                head.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Returns every predicate violating *guardedness* (Definition 3): a
+/// predicate is guarded iff it contains at least one attribute of a table
+/// that is existentially quantified inside the same negation scope as the
+/// predicate.
+///
+/// The "current negation scope" accumulates bindings through nested
+/// `Exists` blocks and resets at each `Not`.
+pub fn guard_violations(q: &TrcQuery) -> Vec<Predicate> {
+    fn walk(
+        f: &Formula,
+        scope_vars: &mut Vec<Var>,
+        scope_start: usize,
+        out: &mut Vec<Predicate>,
+    ) {
+        match f {
+            Formula::And(fs) | Formula::Or(fs) => {
+                for sub in fs {
+                    walk(sub, scope_vars, scope_start, out);
+                }
+            }
+            Formula::Not(sub) => {
+                // A new negation scope begins: variables bound outside are
+                // no longer local guards.
+                let start = scope_vars.len();
+                walk(sub, scope_vars, start, out);
+            }
+            Formula::Exists(bindings, body) => {
+                let n = scope_vars.len();
+                scope_vars.extend(bindings.iter().map(|b| b.var.clone()));
+                walk(body, scope_vars, scope_start, out);
+                scope_vars.truncate(n);
+            }
+            Formula::Pred(p) => {
+                let local = &scope_vars[scope_start..];
+                let guarded = p.vars().any(|v| local.contains(v));
+                if !guarded {
+                    out.push(p.clone());
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut vars = Vec::new();
+    walk(&q.formula, &mut vars, 0, &mut out);
+    // At the outermost level, a predicate defining the output from a
+    // root-bound table is guarded; predicates comparing two constants or
+    // only the head variable are reported. The head variable itself never
+    // guards (it is not an existentially quantified table variable), which
+    // matches the paper: `q.A = r.A` is guarded by `r`.
+    out
+}
+
+/// `true` if the query lies in the non-disjunctive fragment TRC\*
+/// (Definition 4): no disjunction anywhere and every predicate guarded.
+pub fn is_nondisjunctive(q: &TrcQuery) -> bool {
+    !q.formula.contains_or() && guard_violations(q).is_empty()
+}
+
+/// Classifies each table reference by the parity of its negation depth.
+/// Used by translations and by the monotonicity reasoning of Lemma 20:
+/// even depth ⇒ the query is positive-monotone in that reference, odd ⇒
+/// negative-monotone.
+pub fn reference_polarities(q: &TrcQuery) -> Vec<(String, usize)> {
+    fn walk(f: &Formula, depth: usize, out: &mut Vec<(String, usize)>) {
+        match f {
+            Formula::And(fs) | Formula::Or(fs) => {
+                for sub in fs {
+                    walk(sub, depth, out);
+                }
+            }
+            Formula::Not(sub) => walk(sub, depth + 1, out),
+            Formula::Exists(bindings, body) => {
+                for b in bindings {
+                    out.push((b.table.clone(), depth));
+                }
+                walk(body, depth, out);
+            }
+            Formula::Pred(_) => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(&q.formula, 0, &mut out);
+    out
+}
+
+/// Maps each bound variable to its table, failing on duplicates.
+/// Convenience shared by translators.
+pub fn var_tables(q: &TrcQuery) -> CoreResult<BTreeMap<Var, String>> {
+    let mut map = BTreeMap::new();
+    let mut dup = None;
+    q.formula.visit_bindings(&mut |b| {
+        if map.insert(b.var.clone(), b.table.clone()).is_some() {
+            dup = Some(b.var.clone());
+        }
+    });
+    match dup {
+        Some(v) => Err(CoreError::Invalid(format!(
+            "tuple variable '{v}' bound more than once"
+        ))),
+        None => Ok(map),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_query_unchecked};
+    use rd_core::TableSchema;
+
+    fn catalog() -> Catalog {
+        Catalog::from_schemas([
+            TableSchema::new("R", ["A", "B"]),
+            TableSchema::new("S", ["B"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_valid_division() {
+        let q = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ \
+             not (exists r2 in R [ r2.B = s.B and r2.A = r.A ]) ]) ] }",
+            &catalog(),
+        )
+        .unwrap();
+        assert!(is_nondisjunctive(&q));
+        assert!(guard_violations(&q).is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_table_and_attr() {
+        assert!(parse_query("exists t in T [ t.A = 1 ]", &catalog()).is_err());
+        assert!(parse_query("exists r in R [ r.Z = 1 ]", &catalog()).is_err());
+    }
+
+    #[test]
+    fn rejects_unbound_var_and_double_binding() {
+        assert!(parse_query("exists r in R [ x.A = 1 ]", &catalog()).is_err());
+        assert!(
+            parse_query("exists r in R [ exists r in R [ r.A = 1 ] ]", &catalog()).is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_unsafe_output() {
+        // No defining equality at root scope for q.A.
+        assert!(parse_query(
+            "{ q(A) | exists r in R [ not (exists s in S [ s.B = r.B and q.A = r.A ]) ] }",
+            &catalog()
+        )
+        .is_err());
+        // Non-equality use of the output attribute.
+        assert!(parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and q.A < r.B ] }",
+            &catalog()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn guardedness_matches_paper_examples() {
+        // §2.3: ¬(∃r∈R[¬(r.A = 0)]) is NOT allowed — the inner predicate's
+        // table is quantified outside the innermost negation.
+        let q = parse_query_unchecked("not (exists r in R [ not (r.A = 0) ])").unwrap();
+        assert_eq!(guard_violations(&q).len(), 1);
+        assert!(!is_nondisjunctive(&q));
+        // The logically-equivalent ¬(∃r∈R[r.A != 0]) IS allowed.
+        let q = parse_query_unchecked("not (exists r in R [ r.A != 0 ])").unwrap();
+        assert!(guard_violations(&q).is_empty());
+        assert!(is_nondisjunctive(&q));
+    }
+
+    #[test]
+    fn hidden_disjunction_example_is_guarded() {
+        // §2.3's "hidden disjunction": r.A = 0 inside ¬(∃s∈S[…]) is
+        // unguarded (r is bound outside the negation).
+        let q = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and \
+               not (exists s in S [ r.A = 0 and s.B = r.B ]) ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let v = guard_violations(&q);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].to_string(), "r.A = 0");
+        assert!(!is_nondisjunctive(&q));
+    }
+
+    #[test]
+    fn or_excludes_from_fragment() {
+        let q = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and (r.B = 1 or r.B = 2) ] }",
+            &catalog(),
+        )
+        .unwrap();
+        assert!(!is_nondisjunctive(&q));
+    }
+
+    #[test]
+    fn polarities_track_negation_parity() {
+        let q = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ \
+             not (exists r2 in R [ r2.B = s.B and r2.A = r.A ]) ]) ] }",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(
+            reference_polarities(&q),
+            vec![
+                ("R".to_string(), 0),
+                ("S".to_string(), 1),
+                ("R".to_string(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn sentences_skip_output_safety() {
+        let q = parse_query("not (exists r in R [ r.A != 0 ])", &catalog()).unwrap();
+        assert!(q.is_sentence());
+    }
+
+    #[test]
+    fn var_tables_maps_and_rejects_duplicates() {
+        let q = parse_query(
+            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ s.B = r.B ]) ] }",
+            &catalog(),
+        )
+        .unwrap();
+        let m = var_tables(&q).unwrap();
+        assert_eq!(m["r"], "R");
+        assert_eq!(m["s"], "S");
+    }
+}

@@ -1,0 +1,194 @@
+//! Printers for TRC queries.
+//!
+//! [`to_ascii`] emits the parseable surface syntax (round-trips through
+//! [`crate::parser::parse_query_unchecked`]); [`to_unicode`] emits the
+//! paper's notation (`∃r ∈ R[…]`, `∧`, `¬`).
+
+use crate::ast::{Formula, TrcQuery, TrcUnion};
+use std::fmt;
+
+/// Rendering style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Style {
+    Ascii,
+    Unicode,
+}
+
+/// Renders the ASCII surface syntax.
+pub fn to_ascii(q: &TrcQuery) -> String {
+    render_query(q, Style::Ascii)
+}
+
+/// Renders the paper's Unicode notation.
+pub fn to_unicode(q: &TrcQuery) -> String {
+    render_query(q, Style::Unicode)
+}
+
+/// Renders a union (ASCII).
+pub fn union_to_ascii(u: &TrcUnion) -> String {
+    u.branches
+        .iter()
+        .map(to_ascii)
+        .collect::<Vec<_>>()
+        .join(" union ")
+}
+
+/// Renders a union (Unicode, `∪` separated).
+pub fn union_to_unicode(u: &TrcUnion) -> String {
+    u.branches
+        .iter()
+        .map(to_unicode)
+        .collect::<Vec<_>>()
+        .join(" ∪ ")
+}
+
+fn render_query(q: &TrcQuery, style: Style) -> String {
+    match &q.output {
+        Some(head) => format!(
+            "{{ {}({}) | {} }}",
+            head.name,
+            head.attrs.join(", "),
+            render(&q.formula, style)
+        ),
+        None => render(&q.formula, style),
+    }
+}
+
+fn render(f: &Formula, style: Style) -> String {
+    match f {
+        Formula::And(fs) => {
+            if fs.is_empty() {
+                return "true".to_string();
+            }
+            let sep = match style {
+                Style::Ascii => " and ",
+                Style::Unicode => " ∧ ",
+            };
+            fs.iter()
+                .map(|sub| maybe_paren(sub, style))
+                .collect::<Vec<_>>()
+                .join(sep)
+        }
+        Formula::Or(fs) => {
+            let sep = match style {
+                Style::Ascii => " or ",
+                Style::Unicode => " ∨ ",
+            };
+            let body = fs
+                .iter()
+                .map(|sub| maybe_paren_or(sub, style))
+                .collect::<Vec<_>>()
+                .join(sep);
+            body
+        }
+        Formula::Not(sub) => match style {
+            Style::Ascii => format!("not ({})", render(sub, style)),
+            Style::Unicode => format!("¬({})", render(sub, style)),
+        },
+        Formula::Exists(bindings, body) => {
+            let bs = bindings
+                .iter()
+                .map(|b| match style {
+                    Style::Ascii => format!("{} in {}", b.var, b.table),
+                    Style::Unicode => format!("∃{} ∈ {}", b.var, b.table),
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            match style {
+                Style::Ascii => format!("exists {bs} [{}]", render(body, style)),
+                Style::Unicode => format!("{bs} [{}]", render(body, style)),
+            }
+        }
+        Formula::Pred(p) => match style {
+            Style::Ascii => p.to_string(),
+            Style::Unicode => format!("{} {} {}", p.left, p.op.unicode(), p.right),
+        },
+    }
+}
+
+/// Conjunction operands that are disjunctions need parentheses to
+/// round-trip with the parser's precedence (and binds tighter than or).
+fn maybe_paren(f: &Formula, style: Style) -> String {
+    match f {
+        Formula::Or(_) => format!("({})", render(f, style)),
+        _ => render(f, style),
+    }
+}
+
+fn maybe_paren_or(f: &Formula, style: Style) -> String {
+    match f {
+        // `a or b and c` parses as `a or (b and c)`; conjunction operands
+        // inside Or are unambiguous, but parenthesize nested Or for clarity.
+        Formula::Or(_) => format!("({})", render(f, style)),
+        _ => render(f, style),
+    }
+}
+
+impl fmt::Display for TrcQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_ascii(self))
+    }
+}
+
+impl fmt::Display for TrcUnion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&union_to_ascii(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query_unchecked, parse_union};
+    use rd_core::{Catalog, TableSchema};
+
+    #[test]
+    fn ascii_roundtrips_through_parser() {
+        let inputs = [
+            "{ q(A) | exists r in R [q.A = r.A and not (exists s in S [s.B = r.B])] }",
+            "not (exists r in R [r.A != 0])",
+            "exists r in R [r.A = 1 or r.B = 2]",
+            "{ q(A, D) | exists r1 in R, r2 in R, s1 in S [q.A = r1.A and q.D = r2.C] }",
+        ];
+        for text in inputs {
+            let q = parse_query_unchecked(text).unwrap();
+            let printed = to_ascii(&q);
+            let q2 = parse_query_unchecked(&printed).unwrap();
+            assert_eq!(q, q2, "round-trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn unicode_uses_paper_notation() {
+        let q = parse_query_unchecked(
+            "{ q(A) | exists r in R [q.A = r.A and not (exists s in S [s.B != r.B])] }",
+        )
+        .unwrap();
+        let u = to_unicode(&q);
+        assert!(u.contains("∃r ∈ R"));
+        assert!(u.contains('∧'));
+        assert!(u.contains("¬("));
+        assert!(u.contains('≠'));
+    }
+
+    #[test]
+    fn union_printer_roundtrips() {
+        let cat = Catalog::from_schemas([
+            TableSchema::new("R", ["A"]),
+            TableSchema::new("S", ["A"]),
+        ])
+        .unwrap();
+        let text = "{ q(A) | exists r in R [q.A = r.A] } union { q(A) | exists s in S [q.A = s.A] }";
+        let u = parse_union(text, &cat).unwrap();
+        let printed = union_to_ascii(&u);
+        let u2 = parse_union(&printed, &cat).unwrap();
+        assert_eq!(u, u2);
+        assert!(union_to_unicode(&u).contains('∪'));
+    }
+
+    #[test]
+    fn truth_renders() {
+        let q = parse_query_unchecked("exists r in R [ ]").unwrap();
+        assert_eq!(to_ascii(&q), "exists r in R [true]");
+    }
+}

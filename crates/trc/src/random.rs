@@ -1,0 +1,262 @@
+//! Seeded random generation of valid TRC\* queries.
+//!
+//! Used by the Theorem 6 differential tests and benchmarks: every generated
+//! query is well-formed, safe, guarded, and in the non-disjunctive fragment
+//! by construction, so it can be translated to Datalog\*, RA\*, and SQL\*
+//! and the four evaluations compared on random databases.
+
+use crate::ast::{Binding, Formula, OutputSpec, Predicate, Term, TrcQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rd_core::{Catalog, CmpOp, Value};
+
+/// Tuning knobs for the generator.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum negation nesting depth.
+    pub max_depth: usize,
+    /// Maximum tables bound per scope.
+    pub max_tables_per_scope: usize,
+    /// Maximum extra predicates per scope (beyond structural ones).
+    pub max_preds_per_scope: usize,
+    /// Maximum negated sub-scopes per scope.
+    pub max_children: usize,
+    /// Constants to draw from for selection predicates.
+    pub constants: Vec<Value>,
+    /// Probability (0–100) that a join predicate reaches an outer scope.
+    pub cross_scope_join_pct: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_depth: 2,
+            max_tables_per_scope: 2,
+            max_preds_per_scope: 2,
+            max_children: 2,
+            constants: (0..4).map(Value::int).collect(),
+            cross_scope_join_pct: 60,
+        }
+    }
+}
+
+/// Generates random valid TRC\* queries over `catalog`.
+#[derive(Debug)]
+pub struct QueryGenerator {
+    catalog: Catalog,
+    config: GenConfig,
+    rng: StdRng,
+    counter: usize,
+}
+
+/// A variable visible while generating: its name, table, and whether it is
+/// local to the current negation scope (and may therefore guard).
+#[derive(Clone)]
+struct Visible {
+    var: String,
+    table: String,
+    local: bool,
+}
+
+impl QueryGenerator {
+    /// Creates a generator with a fixed seed.
+    pub fn new(catalog: Catalog, config: GenConfig, seed: u64) -> Self {
+        assert!(!catalog.is_empty(), "catalog must have at least one table");
+        QueryGenerator {
+            catalog,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+        }
+    }
+
+    /// Draws the next random TRC\* query (always non-Boolean).
+    pub fn next_query(&mut self) -> TrcQuery {
+        self.counter = 0;
+        let (bindings, mut visible) = self.fresh_scope();
+        let mut parts = Vec::new();
+        // Output definition: pick a root table attribute.
+        let pick = self.rng.random_range(0..visible.len());
+        let out_var = visible[pick].var.clone();
+        let out_table = visible[pick].table.clone();
+        let schema = self.catalog.require(&out_table).expect("table exists");
+        let attr = schema.attrs()[self.rng.random_range(0..schema.arity())].clone();
+        parts.push(Formula::Pred(Predicate::new(
+            Term::attr("q", "out"),
+            CmpOp::Eq,
+            Term::attr(out_var, attr),
+        )));
+        self.fill_scope(&mut parts, &mut visible, 0);
+        TrcQuery::query(
+            OutputSpec::new("q", ["out"]),
+            Formula::exists(bindings, Formula::and(parts)),
+        )
+    }
+
+    /// Draws the next random Boolean TRC\* sentence.
+    pub fn next_sentence(&mut self) -> TrcQuery {
+        self.counter = 0;
+        let (bindings, mut visible) = self.fresh_scope();
+        let mut parts = Vec::new();
+        self.fill_scope(&mut parts, &mut visible, 0);
+        TrcQuery::sentence(Formula::exists(bindings, Formula::and(parts)))
+    }
+
+    /// Binds 1..=max fresh variables over random tables.
+    fn fresh_scope(&mut self) -> (Vec<Binding>, Vec<Visible>) {
+        let tables: Vec<String> = self.catalog.iter().map(|s| s.name().to_string()).collect();
+        let n = self.rng.random_range(1..=self.config.max_tables_per_scope);
+        let mut bindings = Vec::with_capacity(n);
+        let mut visible = Vec::with_capacity(n);
+        for _ in 0..n {
+            let table = tables[self.rng.random_range(0..tables.len())].clone();
+            self.counter += 1;
+            let var = format!("v{}", self.counter);
+            bindings.push(Binding::new(var.clone(), table.clone()));
+            visible.push(Visible {
+                var,
+                table,
+                local: true,
+            });
+        }
+        (bindings, visible)
+    }
+
+    /// Adds guarded predicates and negated children to a scope.
+    fn fill_scope(&mut self, parts: &mut Vec<Formula>, visible: &mut Vec<Visible>, depth: usize) {
+        let n_preds = self.rng.random_range(0..=self.config.max_preds_per_scope);
+        for _ in 0..n_preds {
+            parts.push(Formula::Pred(self.guarded_predicate(visible)));
+        }
+        if depth < self.config.max_depth {
+            let n_children = self.rng.random_range(0..=self.config.max_children);
+            for _ in 0..n_children {
+                let (bindings, locals) = self.fresh_scope();
+                // Inside the child's negation, outer variables lose their
+                // guard status.
+                let mut child_visible: Vec<Visible> = visible
+                    .iter()
+                    .map(|v| Visible {
+                        local: false,
+                        ..v.clone()
+                    })
+                    .collect();
+                child_visible.extend(locals);
+                let mut child_parts = Vec::new();
+                // Always link the child to its context with one guarded join
+                // when an outer variable exists (keeps queries interesting).
+                if child_visible.iter().any(|v| !v.local) {
+                    child_parts.push(Formula::Pred(self.linking_predicate(&child_visible)));
+                }
+                self.fill_scope(&mut child_parts, &mut child_visible, depth + 1);
+                parts.push(Formula::not(Formula::exists(
+                    bindings,
+                    Formula::and(child_parts),
+                )));
+            }
+        }
+    }
+
+    /// A predicate guarded by a local variable: `local.attr θ rhs`.
+    fn guarded_predicate(&mut self, visible: &[Visible]) -> Predicate {
+        let locals: Vec<&Visible> = visible.iter().filter(|v| v.local).collect();
+        let guard = locals[self.rng.random_range(0..locals.len())];
+        let schema = self.catalog.require(&guard.table).expect("table exists");
+        let attr = schema.attrs()[self.rng.random_range(0..schema.arity())].clone();
+        let left = Term::attr(guard.var.clone(), attr);
+        let op = CmpOp::ALL[self.rng.random_range(0..CmpOp::ALL.len())];
+        let right = if self.rng.random_range(0..100) < self.config.cross_scope_join_pct
+            && visible.len() > 1
+        {
+            // Join with any visible variable (possibly outer).
+            let other = &visible[self.rng.random_range(0..visible.len())];
+            let os = self.catalog.require(&other.table).expect("table exists");
+            let oattr = os.attrs()[self.rng.random_range(0..os.arity())].clone();
+            Term::attr(other.var.clone(), oattr)
+        } else {
+            let c = &self.config.constants;
+            Term::Const(c[self.rng.random_range(0..c.len())].clone())
+        };
+        Predicate::new(left, op, right)
+    }
+
+    /// A guarded equality linking a local variable to an outer one.
+    fn linking_predicate(&mut self, visible: &[Visible]) -> Predicate {
+        let locals: Vec<&Visible> = visible.iter().filter(|v| v.local).collect();
+        let outers: Vec<&Visible> = visible.iter().filter(|v| !v.local).collect();
+        let l = locals[self.rng.random_range(0..locals.len())];
+        let o = outers[self.rng.random_range(0..outers.len())];
+        let ls = self.catalog.require(&l.table).expect("table exists");
+        let os = self.catalog.require(&o.table).expect("table exists");
+        let lattr = ls.attrs()[self.rng.random_range(0..ls.arity())].clone();
+        let oattr = os.attrs()[self.rng.random_range(0..os.arity())].clone();
+        Predicate::new(
+            Term::attr(l.var.clone(), lattr),
+            CmpOp::Eq,
+            Term::attr(o.var.clone(), oattr),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{guard_violations, is_nondisjunctive};
+    use rd_core::TableSchema;
+
+    fn catalog() -> Catalog {
+        Catalog::from_schemas([
+            TableSchema::new("R", ["A", "B"]),
+            TableSchema::new("S", ["B"]),
+            TableSchema::new("T", ["A"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn generated_queries_are_valid_trc_star() {
+        let mut g = QueryGenerator::new(catalog(), GenConfig::default(), 7);
+        for i in 0..200 {
+            let q = g.next_query();
+            assert!(q.check(&catalog()).is_ok(), "query {i} failed check: {q}");
+            assert!(
+                is_nondisjunctive(&q),
+                "query {i} not in TRC*: {q} (violations: {:?})",
+                guard_violations(&q)
+            );
+        }
+    }
+
+    #[test]
+    fn generated_sentences_are_valid() {
+        let mut g = QueryGenerator::new(catalog(), GenConfig::default(), 11);
+        for _ in 0..100 {
+            let s = g.next_sentence();
+            assert!(s.is_sentence());
+            assert!(s.check(&catalog()).is_ok());
+            assert!(is_nondisjunctive(&s));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = QueryGenerator::new(catalog(), GenConfig::default(), 3);
+        let mut b = QueryGenerator::new(catalog(), GenConfig::default(), 3);
+        for _ in 0..20 {
+            assert_eq!(a.next_query(), b.next_query());
+        }
+    }
+
+    #[test]
+    fn depth_zero_produces_conjunctive_queries() {
+        let cfg = GenConfig {
+            max_depth: 0,
+            ..GenConfig::default()
+        };
+        let mut g = QueryGenerator::new(catalog(), cfg, 5);
+        for _ in 0..50 {
+            let q = g.next_query();
+            assert_eq!(q.formula.negation_depth(), 0);
+        }
+    }
+}

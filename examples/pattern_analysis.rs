@@ -1,0 +1,96 @@
+//! Pattern analysis: reproduces Example 18 (relational division) —
+//! seven logically-equivalent queries that split into exactly two
+//! pattern-isomorphism classes — and the Fig. 2 cross-schema similarity.
+//!
+//! Run with `cargo run --example pattern_analysis`.
+
+use rd_core::{Catalog, TableSchema};
+use rd_pattern::{pattern_isomorphic, similar_pattern, AnyQuery, EquivOptions};
+
+fn main() {
+    let catalog = Catalog::from_schemas([
+        TableSchema::new("R", ["A", "B"]),
+        TableSchema::new("S", ["B"]),
+    ])
+    .unwrap();
+    let opts = EquivOptions::default();
+
+    // Set 2 of Example 18: TRC (eq. 14) and its canonical SQL — 2 R refs.
+    let trc2 = rd_trc::parse_query(
+        "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ \
+         not (exists r2 in R [ r2.B = s.B and r2.A = r.A ]) ]) ] }",
+        &catalog,
+    )
+    .unwrap();
+    let sql2 = rd_sql::parse_sql_unchecked(
+        "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE NOT EXISTS \
+         (SELECT * FROM R AS R2 WHERE R2.B = S.B AND R2.A = R.A))",
+    )
+    .unwrap();
+
+    // Set 1: RA (eq. 15), Datalog (eq. 16), TRC (eq. 17) — 3 R refs.
+    let ra3 = rd_ra::parse("pi[A](R) - pi[A]((pi[A](R) x S) - R)", &catalog).unwrap();
+    let dl3 = rd_datalog::parse_program(
+        "I(x) :- R(x, _), S(y), not R(x, y).\nQ(x) :- R(x, _), not I(x).",
+        &catalog,
+    )
+    .unwrap();
+    let trc3 = rd_trc::parse_query(
+        "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S, r3 in R [ r3.A = r.A and \
+         not (exists r2 in R [ r2.B = s.B and r2.A = r3.A ]) ]) ] }",
+        &catalog,
+    )
+    .unwrap();
+
+    let queries: Vec<(&str, AnyQuery)> = vec![
+        ("TRC eq.(14)  [2 refs]", AnyQuery::Trc(trc2)),
+        ("SQL Fig.24a  [2 refs]", AnyQuery::Sql(sql2)),
+        ("RA  eq.(15)  [3 refs]", AnyQuery::Ra(ra3)),
+        ("Datalog (16) [3 refs]", AnyQuery::Datalog(dl3)),
+        ("TRC eq.(17)  [3 refs]", AnyQuery::Trc(trc3)),
+    ];
+
+    println!("Pairwise pattern isomorphism for relational division (Example 18):\n");
+    for i in 0..queries.len() {
+        for j in (i + 1)..queries.len() {
+            let v = pattern_isomorphic(&queries[i].1, &queries[j].1, &catalog, &opts);
+            println!(
+                "  {:<22} vs {:<22} -> {}",
+                queries[i].0,
+                queries[j].0,
+                if v.is_isomorphic() { "SAME pattern" } else { "different" }
+            );
+        }
+    }
+    println!("\nExpected two classes: {{(14), Fig.24a}} and {{(15), (16), (17)}}.\n");
+
+    // Fig. 2: same pattern across different schemas (Example 7).
+    let cat1 = Catalog::from_schemas([
+        TableSchema::new("Sailor", ["sid", "sname"]),
+        TableSchema::new("Reserves", ["sid", "bid"]),
+        TableSchema::new("Boat", ["bid"]),
+    ])
+    .unwrap();
+    let cat2 = Catalog::from_schemas([
+        TableSchema::new("SX", ["sno", "sname"]),
+        TableSchema::new("SPX", ["sno", "pno"]),
+        TableSchema::new("PX", ["pno"]),
+    ])
+    .unwrap();
+    let sailors = rd_trc::parse_query(
+        "{ q(sname) | exists s in Sailor [ q.sname = s.sname and not (exists b in Boat [ \
+         not (exists r in Reserves [ r.sid = s.sid and r.bid = b.bid ]) ]) ] }",
+        &cat1,
+    )
+    .unwrap();
+    let suppliers = rd_trc::parse_query(
+        "{ q(sname) | exists sx in SX [ q.sname = sx.sname and not (exists px in PX [ \
+         not (exists spx in SPX [ spx.sno = sx.sno and spx.pno = px.pno ]) ]) ] }",
+        &cat2,
+    )
+    .unwrap();
+    let similar = similar_pattern(&sailors, &cat1, &suppliers, &cat2, &opts);
+    println!("Fig. 2: 'sailors reserving all boats' vs 'suppliers supplying all parts'");
+    println!("        use a similar pattern across schemas: {similar}");
+    assert!(similar);
+}

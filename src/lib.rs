@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the full Relational Diagrams workspace API.
+pub use rd_core as core;
+pub use rd_datalog as datalog;
+pub use rd_diagram as diagram;
+pub use rd_pattern as pattern;
+pub use rd_ra as ra;
+pub use rd_sql as sql;
+pub use rd_study as study;
+pub use rd_textbook as textbook;
+pub use rd_translate as translate;
+pub use rd_trc as trc;
