@@ -18,7 +18,14 @@ fn main() {
         );
     }
     assert_eq!(
-        (fig.relational_diagrams, fig.nondisjunctive, fig.queryvis, fig.qbe, fig.ra, fig.datalog),
+        (
+            fig.relational_diagrams,
+            fig.nondisjunctive,
+            fig.queryvis,
+            fig.qbe,
+            fig.ra,
+            fig.datalog
+        ),
         (56, 53, 53, 49, 48, 47),
         "Fig. 10 counts drifted from the paper"
     );

@@ -19,7 +19,9 @@ fn main() {
     let report = analyze(&data);
     print!("{}", report.render());
     println!("\nPaper reference values:");
-    println!("  Result 1: SQL 13.61 [12.37, 16.43], RD 10.11 [8.38, 11.26], ratio 0.70 [0.63, 0.77]");
+    println!(
+        "  Result 1: SQL 13.61 [12.37, 16.43], RD 10.11 [8.38, 11.26], ratio 0.70 [0.63, 0.77]"
+    );
     println!("  Result 2: SQL H1 19.3 -> H2 12.3 (ratio 0.70 [0.51, 0.79]);");
     println!("            RD  H1 10.7 -> H2  7.8 (ratio 0.71 [0.63, 0.79])");
     println!("  Result 3: RD 92%, SQL 72%, difference 21% [13%, 29%]");

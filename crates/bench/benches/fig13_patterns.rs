@@ -12,8 +12,14 @@ fn main() {
     ])
     .unwrap();
     let programs = [
-        ("13a", "I(x, y) :- R(x, _), S(y).\nQ(x, y) :- R(x, y), not I(x, y)."),
-        ("13d", "I(y) :- R(_, y), not S(y).\nQ(x, y) :- R(x, y), I(y)."),
+        (
+            "13a",
+            "I(x, y) :- R(x, _), S(y).\nQ(x, y) :- R(x, y), not I(x, y).",
+        ),
+        (
+            "13d",
+            "I(y) :- R(_, y), not S(y).\nQ(x, y) :- R(x, y), I(y).",
+        ),
         ("13g", "Q(x, y) :- R(x, y), not S(y)."),
     ];
     let ra_forms = [
@@ -38,29 +44,41 @@ fn main() {
                     &catalog,
                     &EquivOptions::default(),
                 );
-                println!("         pattern-isomorphic to the Datalog form: {}", v.is_isomorphic());
+                println!(
+                    "         pattern-isomorphic to the Datalog form: {}",
+                    v.is_isomorphic()
+                );
                 assert!(v.is_isomorphic());
             }
-            None => println!("RA      ({ra_id}): (none — not expressible with 2 references, Lemma 19)"),
+            None => {
+                println!("RA      ({ra_id}): (none — not expressible with 2 references, Lemma 19)")
+            }
         }
         // Relational Diagram via the pattern-preserving Datalog -> TRC path.
         let trc = rd_translate::datalog_to_trc(&p, &catalog).unwrap();
         let d = rd_diagram::from_trc(&trc, &catalog).unwrap();
-        println!("Diagram : {} tables, {} joins, {} partitions\n",
+        println!(
+            "Diagram : {} tables, {} joins, {} partitions\n",
             d.signature().len(),
             d.cells[0].joins.len(),
-            d.cells[0].root.partition_count());
+            d.cells[0].root.partition_count()
+        );
         queries.push(AnyQuery::Datalog(p));
     }
     println!("Pairwise pattern isomorphism (logically equivalent throughout):");
     for i in 0..queries.len() {
         for j in (i + 1)..queries.len() {
-            let v = pattern_isomorphic(&queries[i], &queries[j], &catalog, &EquivOptions::default());
+            let v =
+                pattern_isomorphic(&queries[i], &queries[j], &catalog, &EquivOptions::default());
             println!(
                 "  {} vs {}: {}",
                 programs[i].0,
                 programs[j].0,
-                if v.is_isomorphic() { "same pattern" } else { "different patterns" }
+                if v.is_isomorphic() {
+                    "same pattern"
+                } else {
+                    "different patterns"
+                }
             );
             assert!(!v.is_isomorphic(), "the three Fig. 13 patterns must differ");
         }

@@ -13,19 +13,41 @@ fn main() {
     println!(" Figs. 33-38 — exploratory >90%-accuracy subset (Appendix O.4)");
     println!("==============================================================\n");
     println!("subset size: n = {} of {}\n", filtered.n, full.n);
-    println!("speed (full sample):    SQL {}  RD {}  ratio {}",
-        full.time_sql.fmt(1), full.time_rd.fmt(1), full.speed_ratio.fmt(2));
-    println!("speed (>90% subset):    SQL {}  RD {}  ratio {}",
-        filtered.time_sql.fmt(1), filtered.time_rd.fmt(1), filtered.speed_ratio.fmt(2));
-    println!("\naccuracy diff (full):   {}", filtered_pct(&full.accuracy_diff));
-    println!("accuracy diff (subset): {}", filtered_pct(&filtered.accuracy_diff));
+    println!(
+        "speed (full sample):    SQL {}  RD {}  ratio {}",
+        full.time_sql.fmt(1),
+        full.time_rd.fmt(1),
+        full.speed_ratio.fmt(2)
+    );
+    println!(
+        "speed (>90% subset):    SQL {}  RD {}  ratio {}",
+        filtered.time_sql.fmt(1),
+        filtered.time_rd.fmt(1),
+        filtered.speed_ratio.fmt(2)
+    );
+    println!(
+        "\naccuracy diff (full):   {}",
+        filtered_pct(&full.accuracy_diff)
+    );
+    println!(
+        "accuracy diff (subset): {}",
+        filtered_pct(&filtered.accuracy_diff)
+    );
     println!("\nPaper reference: subset n = 27; speed ratio 0.69 (vs 0.70 full);");
     println!("much smaller accuracy difference (2%) in the subset.");
-    assert!(filtered.speed_ratio.hi < 1.0, "speed effect persists in subset");
+    assert!(
+        filtered.speed_ratio.hi < 1.0,
+        "speed effect persists in subset"
+    );
     assert!(filtered.accuracy_diff.value < full.accuracy_diff.value);
     println!("\nShape checks passed: speed effect persists, accuracy gap shrinks.");
 }
 
 fn filtered_pct(e: &rd_study::stats::Estimate) -> String {
-    format!("{:.0}% [{:.0}%, {:.0}%]", e.value * 100.0, e.lo * 100.0, e.hi * 100.0)
+    format!(
+        "{:.0}% [{:.0}%, {:.0}%]",
+        e.value * 100.0,
+        e.lo * 100.0,
+        e.hi * 100.0
+    )
 }

@@ -4,9 +4,7 @@
 //! verified by bounded enumeration (Lemmas 19 and 20).
 
 use rd_pattern::equiv::EquivOptions;
-use rd_pattern::hierarchy::{
-    positive_directions, verify_lemma19, verify_lemma20, Lemma19Bounds,
-};
+use rd_pattern::hierarchy::{positive_directions, verify_lemma19, verify_lemma20, Lemma19Bounds};
 
 fn main() {
     println!("==========================================================");

@@ -57,8 +57,12 @@ fn bench_diagram(c: &mut Criterion) {
         })
     });
     let d = rd_diagram::from_trc(&q, &cat).unwrap();
-    c.bench_function("diagram_to_dot", |b| b.iter(|| rd_diagram::to_dot(black_box(&d))));
-    c.bench_function("diagram_to_svg", |b| b.iter(|| rd_diagram::to_svg(black_box(&d))));
+    c.bench_function("diagram_to_dot", |b| {
+        b.iter(|| rd_diagram::to_dot(black_box(&d)))
+    });
+    c.bench_function("diagram_to_svg", |b| {
+        b.iter(|| rd_diagram::to_svg(black_box(&d)))
+    });
 }
 
 fn bench_eval(c: &mut Criterion) {

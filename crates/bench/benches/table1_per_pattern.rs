@@ -17,7 +17,10 @@ fn main() {
             row.sql.fmt(2),
             row.ratio.fmt(2)
         );
-        assert!(row.ratio.hi < 1.0, "per-pattern ratio CI must stay below 1.0");
+        assert!(
+            row.ratio.hi < 1.0,
+            "per-pattern ratio CI must stay below 1.0"
+        );
     }
     println!("\nPaper reference (Table 1): P1 .64 [.49,.78], P2 .83 [.70,.97],");
     println!("                           P3 .66 [.53,.77], P4 .71 [.60,.86]");

@@ -32,6 +32,12 @@ fn main() {
     let elapsed = start.elapsed();
     println!("{queries} random TRC* queries x {dbs_per_query} random databases");
     println!("x 5 evaluations (TRC, Datalog*, RA*, RA*-antijoin, SQL*)");
-    println!("= {} agreement checks, all passed, in {:.2?}", checks, elapsed);
-    println!("({:.0} checks/second)", checks as f64 / elapsed.as_secs_f64());
+    println!(
+        "= {} agreement checks, all passed, in {:.2?}",
+        checks, elapsed
+    );
+    println!(
+        "({:.0} checks/second)",
+        checks as f64 / elapsed.as_secs_f64()
+    );
 }

@@ -189,8 +189,7 @@ impl Database {
 
     /// Adds (or replaces) a relation.
     pub fn add_relation(&mut self, relation: Relation) {
-        self.relations
-            .insert(relation.name().to_string(), relation);
+        self.relations.insert(relation.name().to_string(), relation);
     }
 
     /// Looks up a relation by name.
@@ -305,9 +304,7 @@ mod tests {
     fn active_domain_collects_all_values() {
         let mut db = Database::new();
         db.add_relation(sample());
-        db.add_relation(
-            Relation::from_rows(TableSchema::new("S", ["B"]), [[9i64]]).unwrap(),
-        );
+        db.add_relation(Relation::from_rows(TableSchema::new("S", ["B"]), [[9i64]]).unwrap());
         let dom: Vec<Value> = db.active_domain().into_iter().collect();
         assert_eq!(
             dom,
@@ -325,11 +322,9 @@ mod tests {
 
     #[test]
     fn empty_for_catalog() {
-        let cat = Catalog::from_schemas([
-            TableSchema::new("R", ["A"]),
-            TableSchema::new("S", ["B"]),
-        ])
-        .unwrap();
+        let cat =
+            Catalog::from_schemas([TableSchema::new("R", ["A"]), TableSchema::new("S", ["B"])])
+                .unwrap();
         let db = Database::empty_for(&cat);
         assert_eq!(db.len(), 2);
         assert!(db.require("R").unwrap().is_empty());

@@ -79,6 +79,9 @@ mod tests {
         assert!(e.to_string().contains("'R'"));
         assert!(e.to_string().contains('2'));
         assert!(e.to_string().contains('3'));
-        assert_eq!(CoreError::UnknownTable("S".into()).to_string(), "unknown table 'S'");
+        assert_eq!(
+            CoreError::UnknownTable("S".into()).to_string(),
+            "unknown table 'S'"
+        );
     }
 }

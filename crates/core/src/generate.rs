@@ -42,12 +42,7 @@ impl DbGenerator {
 
     /// Generator with an integer domain `0..n`.
     pub fn with_int_domain(catalog: Catalog, n: i64, max_tuples: usize, seed: u64) -> Self {
-        Self::new(
-            catalog,
-            (0..n).map(Value::int).collect(),
-            max_tuples,
-            seed,
-        )
+        Self::new(catalog, (0..n).map(Value::int).collect(), max_tuples, seed)
     }
 
     /// Draws the next random database.
@@ -211,8 +206,7 @@ mod tests {
     use crate::schema::TableSchema;
 
     fn tiny_catalog() -> Catalog {
-        Catalog::from_schemas([TableSchema::new("R", ["A"]), TableSchema::new("S", ["A"])])
-            .unwrap()
+        Catalog::from_schemas([TableSchema::new("R", ["A"]), TableSchema::new("S", ["A"])]).unwrap()
     }
 
     #[test]

@@ -45,7 +45,11 @@ fn render_table(name: &str, attrs: &[String], tuples: &[Tuple]) -> String {
     out.push_str(name);
     if attrs.is_empty() {
         // A Boolean query: render truth value instead of a table.
-        out.push_str(if tuples.is_empty() { " = false" } else { " = true" });
+        out.push_str(if tuples.is_empty() {
+            " = false"
+        } else {
+            " = true"
+        });
         return out;
     }
     out.push('\n');

@@ -23,7 +23,10 @@ impl TableSchema {
     /// Creates a schema. Panics on duplicate attribute names — schemas are
     /// almost always written as literals in code; use
     /// [`TableSchema::try_new`] for untrusted input.
-    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(name: impl Into<String>, attrs: I) -> Self {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(
+        name: impl Into<String>,
+        attrs: I,
+    ) -> Self {
         Self::try_new(name, attrs).expect("invalid table schema")
     }
 

@@ -279,10 +279,7 @@ mod tests {
 
     #[test]
     fn idb_reuse_excluded() {
-        let p = parse_program_unchecked(
-            "I(x) :- R(x, _).\nQ(x) :- I(x), not I(x).",
-        )
-        .unwrap();
+        let p = parse_program_unchecked("I(x) :- R(x, _).\nQ(x) :- I(x), not I(x).").unwrap();
         assert!(!is_datalog_star(&p));
     }
 

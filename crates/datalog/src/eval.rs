@@ -9,7 +9,7 @@
 use crate::ast::{Atom, DlProgram, DlTerm, Literal};
 use crate::check::topo_order;
 use rd_core::{CoreError, CoreResult, Database, Relation, TableSchema, Tuple, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A variable binding during rule evaluation.
 type Bindings = BTreeMap<String, Value>;
@@ -17,16 +17,11 @@ type Bindings = BTreeMap<String, Value>;
 /// Evaluates the program's query predicate over `db`, returning a relation
 /// whose attribute names are positional (`x1`, `x2`, …).
 pub fn eval_program(p: &DlProgram, db: &Database) -> CoreResult<Relation> {
-    let mut computed: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+    let mut computed: BTreeMap<String, BTreeSet<Tuple>> = BTreeMap::new();
     for idb in topo_order(p) {
-        let mut tuples: Vec<Tuple> = Vec::new();
+        let mut tuples: BTreeSet<Tuple> = BTreeSet::new();
         for rule in p.rules.iter().filter(|r| r.head.pred == idb) {
-            let rows = eval_rule(rule, p, db, &computed)?;
-            for row in rows {
-                if !tuples.contains(&row) {
-                    tuples.push(row);
-                }
-            }
+            tuples.extend(eval_rule(rule, p, db, &computed)?);
         }
         computed.insert(idb, tuples);
     }
@@ -53,7 +48,7 @@ pub fn eval_program(p: &DlProgram, db: &Database) -> CoreResult<Relation> {
 fn relation_tuples<'a>(
     pred: &str,
     db: &'a Database,
-    computed: &'a BTreeMap<String, Vec<Tuple>>,
+    computed: &'a BTreeMap<String, BTreeSet<Tuple>>,
 ) -> CoreResult<Vec<&'a Tuple>> {
     if let Some(rows) = computed.get(pred) {
         return Ok(rows.iter().collect());
@@ -114,7 +109,7 @@ fn eval_rule(
     rule: &crate::ast::Rule,
     _p: &DlProgram,
     db: &Database,
-    computed: &BTreeMap<String, Vec<Tuple>>,
+    computed: &BTreeMap<String, BTreeSet<Tuple>>,
 ) -> CoreResult<Vec<Tuple>> {
     // Seed with the empty binding, extend through positive atoms first
     // (source order), then apply built-ins and negations (their variables

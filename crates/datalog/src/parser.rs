@@ -167,7 +167,9 @@ impl Parser {
         if &got == t {
             Ok(())
         } else {
-            Err(CoreError::Invalid(format!("expected {what}, found {got:?}")))
+            Err(CoreError::Invalid(format!(
+                "expected {what}, found {got:?}"
+            )))
         }
     }
 

@@ -88,7 +88,11 @@ impl Partition {
 
     /// Total number of partitions (including this one).
     pub fn partition_count(&self) -> usize {
-        1 + self.children.iter().map(Partition::partition_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(Partition::partition_count)
+            .sum::<usize>()
     }
 }
 
@@ -174,7 +178,9 @@ impl Diagram {
     /// remaining conditions are checked explicitly.
     pub fn validate(&self) -> CoreResult<()> {
         if self.cells.is_empty() {
-            return Err(CoreError::Invalid("a diagram needs at least one cell".into()));
+            return Err(CoreError::Invalid(
+                "a diagram needs at least one cell".into(),
+            ));
         }
         for cell in &self.cells {
             validate_cell(cell)?;
@@ -209,15 +215,7 @@ fn collect_tables(
     out: &mut BTreeMap<usize, TableInfo>,
 ) -> CoreResult<()> {
     for t in &p.tables {
-        if out
-            .insert(
-                t.id,
-                TableInfo {
-                    path: path.clone(),
-                },
-            )
-            .is_some()
-        {
+        if out.insert(t.id, TableInfo { path: path.clone() }).is_some() {
             return Err(CoreError::Invalid(format!(
                 "table id {} appears in more than one partition (Def. 7 point 2)",
                 t.id
@@ -246,7 +244,7 @@ fn leaf_has_table(p: &Partition) -> bool {
     }
 }
 
-fn find_table<'a>(p: &'a Partition, id: usize) -> Option<&'a TableNode> {
+fn find_table(p: &Partition, id: usize) -> Option<&TableNode> {
     p.tables
         .iter()
         .find(|t| t.id == id)
@@ -454,9 +452,7 @@ mod tests {
         let a = not_exists_cell();
         let mut b = not_exists_cell();
         b.output.as_mut().unwrap().attrs = vec!["Z".into()];
-        let d = Diagram {
-            cells: vec![a, b],
-        };
+        let d = Diagram { cells: vec![a, b] };
         assert!(d.validate().is_err());
     }
 

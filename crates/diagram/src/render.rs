@@ -96,7 +96,11 @@ fn render_partition_dot(
             escape(&t.name)
         );
         for (i, row) in t.attrs.iter().enumerate() {
-            let _ = write!(label, "<TR><TD PORT=\"r{i}\">{}</TD></TR>", escape(&row.label()));
+            let _ = write!(
+                label,
+                "<TR><TD PORT=\"r{i}\">{}</TD></TR>",
+                escape(&row.label())
+            );
         }
         label.push_str("</TABLE>>");
         let _ = writeln!(out, "{pad}c{cell}t{} [label={label}];", t.id);
@@ -148,15 +152,7 @@ pub fn to_svg(d: &Diagram) -> String {
         if let Some(o) = &cell.output {
             let ow = table_width_name(&o.name, o.attrs.iter().map(String::as_str));
             let oy = PAD + h + GAP;
-            draw_box(
-                cell_x,
-                oy,
-                ow,
-                &o.name,
-                &o.attrs.iter().map(|a| a.clone()).collect::<Vec<_>>(),
-                true,
-                &mut body,
-            );
+            draw_box(cell_x, oy, ow, &o.name, &o.attrs, true, &mut body);
             for (i, endpoint) in &o.edges {
                 if let Some(g) = geoms.get(&endpoint.0) {
                     let y1 = oy + ROW_H * (*i as f64 + 1.5);
@@ -213,7 +209,15 @@ pub fn to_svg(d: &Diagram) -> String {
 }
 
 fn table_width(t: &TableNode) -> f64 {
-    table_width_name(&t.name, t.attrs.iter().map(|a| a.label()).collect::<Vec<_>>().iter().map(String::as_str))
+    table_width_name(
+        &t.name,
+        t.attrs
+            .iter()
+            .map(|a| a.label())
+            .collect::<Vec<_>>()
+            .iter()
+            .map(String::as_str),
+    )
 }
 
 fn table_width_name<'a, I: IntoIterator<Item = &'a str>>(name: &str, rows: I) -> f64 {
@@ -252,15 +256,7 @@ fn row_anchor(g: &TableGeom, row: usize) -> (f64, f64) {
     (g.x + g.w, g.y + ROW_H * (row as f64 + 1.5))
 }
 
-fn draw_box(
-    x: f64,
-    y: f64,
-    w: f64,
-    name: &str,
-    rows: &[String],
-    gray: bool,
-    out: &mut String,
-) {
+fn draw_box(x: f64, y: f64, w: f64, name: &str, rows: &[String], gray: bool, out: &mut String) {
     let h = ROW_H * (rows.len() as f64 + 1.0);
     let header_fill = if gray { "#999999" } else { "#222222" };
     let _ = writeln!(
@@ -378,7 +374,7 @@ mod tests {
         let svg = to_svg(&division_diagram());
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
-        assert_eq!(svg.matches("<rect").count() >= 5, true);
+        assert!(svg.matches("<rect").count() >= 5);
         assert!(svg.contains("stroke-dasharray"));
         assert!(svg.contains(">R<"));
         assert!(svg.contains(">Q<"));
@@ -405,11 +401,9 @@ mod tests {
 
     #[test]
     fn union_cells_render_side_by_side() {
-        let catalog = Catalog::from_schemas([
-            TableSchema::new("T", ["A"]),
-            TableSchema::new("U", ["A"]),
-        ])
-        .unwrap();
+        let catalog =
+            Catalog::from_schemas([TableSchema::new("T", ["A"]), TableSchema::new("U", ["A"])])
+                .unwrap();
         let u = rd_trc::parser::parse_union(
             "{ q(A) | exists t in T [ q.A = t.A ] } union { q(A) | exists u in U [ q.A = u.A ] }",
             &catalog,

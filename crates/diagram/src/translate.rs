@@ -103,9 +103,7 @@ impl Builder {
         for part in parts {
             match part {
                 Formula::Pred(pred) => {
-                    let mentions_head = |t: &Term| {
-                        matches!((t, output), (Term::Attr(a), Some(o)) if a.var == o.name)
-                    };
+                    let mentions_head = |t: &Term| matches!((t, output), (Term::Attr(a), Some(o)) if a.var == o.name);
                     if mentions_head(&pred.left) || mentions_head(&pred.right) {
                         // Output predicates are handled in `resolve`.
                         self.pending_preds.push(pred.clone());
@@ -164,7 +162,9 @@ impl Builder {
             })?;
             let table = find_table_mut(&mut cell.root, id)
                 .ok_or_else(|| CoreError::Invalid(format!("table id {id} missing")))?;
-            table.attrs.push(AttrNode::selection(attr_ref.attr, op, value));
+            table
+                .attrs
+                .push(AttrNode::selection(attr_ref.attr, op, value));
         }
 
         // Step 4: join predicates become edges; plain rows are created on
@@ -188,12 +188,9 @@ impl Builder {
         if let Some(o) = output {
             let mut edges = Vec::new();
             for (i, attr) in o.attrs.iter().enumerate() {
-                let def = output_defs
-                    .iter()
-                    .find(|(a, _)| a == attr)
-                    .ok_or_else(|| {
-                        CoreError::Invalid(format!("output attribute '{attr}' undefined"))
-                    })?;
+                let def = output_defs.iter().find(|(a, _)| a == attr).ok_or_else(|| {
+                    CoreError::Invalid(format!("output attribute '{attr}' undefined"))
+                })?;
                 let target = match &def.1 {
                     Predicate {
                         right: Term::Attr(a),
@@ -381,7 +378,10 @@ fn cell_to_trc(cell: &Cell, catalog: &Catalog) -> CoreResult<TrcQuery> {
                 }
             };
             TrcQuery::query(
-                OutputSpec::new(cell.output.as_ref().expect("checked").name.to_lowercase(), out.attrs.clone()),
+                OutputSpec::new(
+                    cell.output.as_ref().expect("checked").name.to_lowercase(),
+                    out.attrs.clone(),
+                ),
                 merged,
             )
         }
@@ -391,7 +391,7 @@ fn cell_to_trc(cell: &Cell, catalog: &Catalog) -> CoreResult<TrcQuery> {
     Ok(q)
 }
 
-fn find_table<'a>(p: &'a Partition, id: usize) -> Option<&'a TableNode> {
+fn find_table(p: &Partition, id: usize) -> Option<&TableNode> {
     p.tables
         .iter()
         .find(|t| t.id == id)
@@ -424,12 +424,9 @@ mod tests {
             .unwrap(),
         );
         db.add_relation(
-            Relation::from_rows(TableSchema::new("S", ["A", "B"]), [[1i64, 10], [2, 20]])
-                .unwrap(),
+            Relation::from_rows(TableSchema::new("S", ["A", "B"]), [[1i64, 10], [2, 20]]).unwrap(),
         );
-        db.add_relation(
-            Relation::from_rows(TableSchema::new("T", ["A"]), [[1i64], [3]]).unwrap(),
-        );
+        db.add_relation(Relation::from_rows(TableSchema::new("T", ["A"]), [[1i64], [3]]).unwrap());
         db.add_relation(Relation::from_rows(TableSchema::new("U", ["A"]), [[2i64]]).unwrap());
         db
     }
@@ -438,7 +435,11 @@ mod tests {
         let q = parse_query(text, &catalog()).unwrap();
         let d = from_trc(&q, &catalog()).unwrap();
         d.validate().unwrap();
-        assert_eq!(d.signature(), q.signature(), "signature mismatch for {text}");
+        assert_eq!(
+            d.signature(),
+            q.signature(),
+            "signature mismatch for {text}"
+        );
         let back = to_trc(&d, &catalog()).unwrap();
         assert_eq!(back.branches.len(), 1);
         let b = &back.branches[0];
@@ -447,7 +448,11 @@ mod tests {
             (Some(_), Some(_)) => {
                 let x = rd_trc::eval::eval_query(&q, &db()).unwrap();
                 let y = rd_trc::eval::eval_query(b, &db()).unwrap();
-                assert_eq!(x.tuples(), y.tuples(), "semantics changed for {text}\nback: {b}");
+                assert_eq!(
+                    x.tuples(),
+                    y.tuples(),
+                    "semantics changed for {text}\nback: {b}"
+                );
             }
             (None, None) => {
                 let x = rd_trc::eval::eval_sentence(&q, &db()).unwrap();
@@ -465,9 +470,7 @@ mod tests {
 
     #[test]
     fn roundtrips_not_exists() {
-        roundtrip(
-            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ s.B = r.B ]) ] }",
-        );
+        roundtrip("{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ s.B = r.B ]) ] }");
     }
 
     #[test]
@@ -508,8 +511,7 @@ mod tests {
         .unwrap();
         let d = from_trc(&q, &catalog()).unwrap();
         let table = &d.cells[0].root.tables[0];
-        let c_rows: Vec<&AttrNode> =
-            table.attrs.iter().filter(|a| a.attr == "C").collect();
+        let c_rows: Vec<&AttrNode> = table.attrs.iter().filter(|a| a.attr == "C").collect();
         assert_eq!(c_rows.len(), 2);
         assert!(c_rows.iter().all(|a| a.selection.is_some()));
     }

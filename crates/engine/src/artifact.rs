@@ -1,0 +1,121 @@
+//! The parsed, checked, canonicalized form of a query — the unit the
+//! session's cache stores.
+
+use crate::Language;
+use rd_core::{Catalog, CoreResult, Database, Relation, TableSchema};
+use rd_datalog::DlProgram;
+use rd_ra::RaExpr;
+use rd_sql::SqlUnion;
+use rd_trc::TrcUnion;
+
+/// A query parsed in its source language and brought to canonical form.
+///
+/// TRC and SQL artifacts hold *unions* (the relationally complete §5
+/// languages); a plain query is a one-branch union. Datalog expresses
+/// disjunction natively through multiple rules, and RA through `∪`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Artifact {
+    /// A canonicalized TRC union.
+    Trc(TrcUnion),
+    /// A canonicalized SQL\* union.
+    Sql(SqlUnion),
+    /// A relational algebra expression.
+    Ra(RaExpr),
+    /// A non-recursive Datalog¬ program.
+    Datalog(DlProgram),
+}
+
+impl Artifact {
+    /// Parses and canonicalizes `text` as `language` against `catalog`.
+    ///
+    /// This is the expensive step the session cache amortizes: lexing,
+    /// recursive-descent parsing, well-formedness + safety checks, and
+    /// canonicalization.
+    pub fn prepare(language: Language, text: &str, catalog: &Catalog) -> CoreResult<Artifact> {
+        match language {
+            Language::Trc => {
+                let u = rd_trc::parse_union(text, catalog)?;
+                Ok(Artifact::Trc(rd_trc::canon::canonicalize_union(&u)))
+            }
+            Language::Sql => {
+                let u = rd_sql::parse_sql(text, catalog)?;
+                Ok(Artifact::Sql(rd_sql::canonicalize_sql(&u, catalog)?))
+            }
+            Language::Ra => Ok(Artifact::Ra(rd_ra::parse(text, catalog)?)),
+            Language::Datalog => Ok(Artifact::Datalog(rd_datalog::parse_program(text, catalog)?)),
+        }
+    }
+
+    /// The artifact's language.
+    pub fn language(&self) -> Language {
+        match self {
+            Artifact::Trc(_) => Language::Trc,
+            Artifact::Sql(_) => Language::Sql,
+            Artifact::Ra(_) => Language::Ra,
+            Artifact::Datalog(_) => Language::Datalog,
+        }
+    }
+
+    /// The canonical text rendering in the source language.
+    pub fn canonical_text(&self) -> String {
+        match self {
+            Artifact::Trc(u) => rd_trc::printer::union_to_ascii(u),
+            Artifact::Sql(u) => rd_sql::printer::format_sql_union(u),
+            Artifact::Ra(e) => rd_ra::printer::to_ascii(e),
+            Artifact::Datalog(p) => p.to_string(),
+        }
+    }
+
+    /// The query's signature — the ordered list of table references
+    /// (Def. 9), the backbone of its pattern.
+    pub fn signature(&self) -> Vec<String> {
+        match self {
+            Artifact::Trc(u) => u.branches.iter().flat_map(|q| q.signature()).collect(),
+            Artifact::Sql(u) => u.signature(),
+            Artifact::Ra(e) => e.signature(),
+            Artifact::Datalog(p) => p.signature(),
+        }
+    }
+
+    /// Evaluates the artifact over `db` in its *source* language (no
+    /// translation round-trip), normalizing the output to a
+    /// [`Relation`]. Boolean sentences (TRC `φ` without an output head,
+    /// SQL `SELECT [NOT] EXISTS ...`) evaluate to a 0-ary relation: one
+    /// empty tuple for `true`, empty for `false`.
+    pub fn eval(&self, db: &Database) -> CoreResult<Relation> {
+        match self {
+            Artifact::Trc(u) => match u.branches.as_slice() {
+                [sentence] if sentence.output.is_none() => {
+                    Ok(boolean_relation(rd_trc::eval_sentence(sentence, db)?))
+                }
+                _ => rd_trc::eval_union(u, db),
+            },
+            Artifact::Sql(u) => match u.branches.as_slice() {
+                [query] if query.is_boolean() => Ok(boolean_relation(
+                    rd_sql::translate::eval_sql_boolean(query, db)?,
+                )),
+                _ => rd_sql::translate::eval_sql(u, db),
+            },
+            Artifact::Datalog(p) => rd_datalog::eval_program(p, db),
+            Artifact::Ra(e) => {
+                let out = rd_ra::eval(e, db)?;
+                let mut rel = Relation::empty(TableSchema::new("q", out.attrs.clone()));
+                for t in out.tuples {
+                    rel.insert(t)?;
+                }
+                Ok(rel)
+            }
+        }
+    }
+}
+
+/// The 0-ary encoding of a Boolean result: `{()}` for true, `{}` for
+/// false (the classic degenerate-relation convention).
+fn boolean_relation(value: bool) -> Relation {
+    let mut rel = Relation::empty(TableSchema::new("q", Vec::<String>::new()));
+    if value {
+        rel.insert(rd_core::Tuple(Vec::new()))
+            .expect("0-ary tuple fits 0-ary schema");
+    }
+    rel
+}

@@ -1,0 +1,340 @@
+//! `rd` — the command-line front end of [`rd_engine::Session`].
+//!
+//! One-shot:
+//!
+//! ```text
+//! rd --demo "SELECT DISTINCT Sailor.sname FROM Sailor"
+//! rd --db instance.rdb --lang trc --translate "{ q(A) | exists r in R [ q.A = r.A ] }"
+//! ```
+//!
+//! Interactive:
+//!
+//! ```text
+//! rd --demo --repl
+//! ```
+
+use rd_engine::{demo_database, parse_fixture, DiagramFormat, Language, QueryRequest, Session};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rd — query sessions over the four relational languages of
+     'The Reasonable Effectiveness of Relational Diagrams' (SIGMOD 2024)
+
+USAGE:
+    rd [OPTIONS] [QUERY]
+    rd [OPTIONS] --repl
+
+OPTIONS:
+    --db <FILE>       Load a database fixture (format: `Name(attr, ...):`
+                      header lines followed by `(v1, v2)` rows; integers
+                      and 'single-quoted' strings)
+    --demo            Use the built-in sailors demo database
+    --lang <LANG>     Query language: sql | trc | ra | datalog | auto
+                      (default: auto — detected from the query text)
+    --translate       Also print the cross-language translations
+                      (TRC hub, Theorem 6)
+    --diagram <FMT>   Also print the Relational Diagram: dot | svg
+    --stats           Print session statistics before exiting
+    --repl            Interactive mode (`:help` lists commands)
+    -h, --help        Print this help
+    -V, --version     Print version
+
+With no --db and no --demo, the demo database is used.
+";
+
+struct Config {
+    db: Option<String>,
+    demo: bool,
+    lang: Option<Language>,
+    translate: bool,
+    diagram: DiagramFormat,
+    stats: bool,
+    repl: bool,
+    query: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Config>, String> {
+    let mut cfg = Config {
+        db: None,
+        demo: false,
+        lang: None,
+        translate: false,
+        diagram: DiagramFormat::None,
+        stats: false,
+        repl: false,
+        query: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            "-V" | "--version" => {
+                println!("rd {}", env!("CARGO_PKG_VERSION"));
+                return Ok(None);
+            }
+            "--db" => cfg.db = Some(it.next().ok_or("--db requires a file path")?.clone()),
+            "--demo" => cfg.demo = true,
+            "--lang" => {
+                let value = it.next().ok_or("--lang requires a value")?;
+                cfg.lang = match value.as_str() {
+                    "auto" => None,
+                    other => Some(other.parse::<Language>()?),
+                };
+            }
+            "--translate" => cfg.translate = true,
+            "--diagram" => {
+                cfg.diagram = match it.next().ok_or("--diagram requires a value")?.as_str() {
+                    "dot" => DiagramFormat::Dot,
+                    "svg" => DiagramFormat::Svg,
+                    other => return Err(format!("unknown diagram format '{other}'")),
+                };
+            }
+            "--stats" => cfg.stats = true,
+            "--repl" => cfg.repl = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}' (see --help)"));
+            }
+            query => {
+                if cfg.query.is_some() {
+                    return Err("more than one query given; quote the query text".into());
+                }
+                cfg.query = Some(query.to_string());
+            }
+        }
+    }
+    Ok(Some(cfg))
+}
+
+fn load_database(cfg: &Config) -> Result<rd_core::Database, String> {
+    match &cfg.db {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read fixture '{path}': {e}"))?;
+            parse_fixture(&text).map_err(|e| format!("cannot parse fixture '{path}': {e}"))
+        }
+        None => Ok(demo_database()),
+    }
+}
+
+fn build_request(
+    lang: Option<Language>,
+    text: &str,
+    translate: bool,
+    diagram: DiagramFormat,
+) -> QueryRequest {
+    let language = lang.unwrap_or_else(|| Language::detect(text));
+    let mut req = QueryRequest::new(language, text);
+    if translate {
+        req = req.with_translations();
+    }
+    req.with_diagram(diagram)
+}
+
+fn print_response(resp: &rd_engine::QueryResponse) {
+    println!("-- language: {} (canonical form below)", resp.language);
+    println!("   {}", resp.canonical.trim_end().replace('\n', "\n   "));
+    println!("{}", rd_core::pretty::render_relation(&resp.relation));
+    if let Some(t) = &resp.translations {
+        println!("-- translations (TRC hub):");
+        println!("   trc:      {}", t.trc);
+        if let Some(sql) = &t.sql {
+            println!(
+                "   sql:      {}",
+                sql.trim_end().replace('\n', "\n             ")
+            );
+        }
+        if let Some(dl) = &t.datalog {
+            println!(
+                "   datalog:  {}",
+                dl.trim_end().replace('\n', "\n             ")
+            );
+        }
+        if let Some(ra) = &t.ra {
+            println!("   ra:       {ra}");
+        }
+        for note in &t.notes {
+            println!("   note:     {note}");
+        }
+    }
+    if let Some(d) = &resp.diagram {
+        println!("-- diagram:\n{d}");
+    }
+    for note in &resp.notes {
+        println!("-- note: {note}");
+    }
+}
+
+fn print_stats(session: &Session) {
+    let s = session.stats();
+    println!(
+        "-- stats: {} queries, {} batches; cache {} hits / {} misses / {} evictions ({:.0}% hit rate); {} rows returned",
+        s.queries,
+        s.batches,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions,
+        s.hit_rate() * 100.0,
+        s.rows_returned
+    );
+}
+
+const REPL_HELP: &str = "\
+Enter a query to run it (end a line with '\\' to continue on the next).
+Commands:
+    :help                 this help
+    :tables               list the database's tables
+    :lang <l>             fix the language (sql|trc|ra|datalog) or 'auto'
+    :translate on|off     toggle cross-language translations
+    :diagram dot|svg|off  toggle diagram output
+    :stats                session statistics
+    :load <file>          replace the database from a fixture file
+    :quit                 exit
+";
+
+fn repl(session: &mut Session, cfg: &Config) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let mut lang = cfg.lang;
+    let mut translate = cfg.translate;
+    let mut diagram = cfg.diagram;
+    let mut buffer = String::new();
+    eprintln!(
+        "rd repl — {} tables, language: {}. :help for commands.",
+        session.database().len(),
+        lang.map_or("auto".to_string(), |l| l.to_string()),
+    );
+    prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        // Continuation: a trailing backslash joins lines.
+        if let Some(stripped) = line.strip_suffix('\\') {
+            buffer.push_str(stripped);
+            buffer.push(' ');
+            prompt(&buffer);
+            continue;
+        }
+        buffer.push_str(&line);
+        let input = std::mem::take(&mut buffer);
+        let input = input.trim();
+        if input.is_empty() {
+            prompt(&buffer);
+            continue;
+        }
+        if let Some(cmd) = input.strip_prefix(':') {
+            let mut parts = cmd.split_whitespace();
+            match (parts.next().unwrap_or(""), parts.next()) {
+                ("help", _) => print!("{REPL_HELP}"),
+                ("tables", _) => {
+                    for schema in session.catalog().iter() {
+                        println!(
+                            "{}({}) — {} tuples",
+                            schema.name(),
+                            schema.attrs().join(", "),
+                            session
+                                .database()
+                                .relation(schema.name())
+                                .map_or(0, |r| r.len())
+                        );
+                    }
+                }
+                ("lang", Some("auto")) => lang = None,
+                ("lang", Some(l)) => match l.parse::<Language>() {
+                    Ok(l) => lang = Some(l),
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                ("lang", None) => eprintln!(
+                    "language: {}",
+                    lang.map_or("auto".to_string(), |l| l.to_string())
+                ),
+                ("translate", Some("on")) => translate = true,
+                ("translate", Some("off")) => translate = false,
+                ("diagram", Some("dot")) => diagram = DiagramFormat::Dot,
+                ("diagram", Some("svg")) => diagram = DiagramFormat::Svg,
+                ("diagram", Some("off")) => diagram = DiagramFormat::None,
+                ("stats", _) => print_stats(session),
+                ("load", Some(path)) => {
+                    match std::fs::read_to_string(path)
+                        .map_err(|e| e.to_string())
+                        .and_then(|t| parse_fixture(&t).map_err(|e| e.to_string()))
+                    {
+                        Ok(db) => {
+                            eprintln!("loaded {} tables from '{path}'", db.len());
+                            session.set_database(db);
+                        }
+                        Err(e) => eprintln!("error: {e}"),
+                    }
+                }
+                ("quit" | "q" | "exit", _) => break,
+                (other, _) => eprintln!("unknown command ':{other}' (try :help)"),
+            }
+            prompt(&buffer);
+            continue;
+        }
+        let req = build_request(lang, input, translate, diagram);
+        match session.run(&req) {
+            Ok(resp) => print_response(&resp),
+            Err(e) => eprintln!("error: {e}"),
+        }
+        prompt(&buffer);
+    }
+    Ok(())
+}
+
+fn prompt(buffer: &str) {
+    if buffer.is_empty() {
+        eprint!("rd> ");
+    } else {
+        eprint!("  > ");
+    }
+    let _ = std::io::stderr().flush();
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if cfg.query.is_none() && !cfg.repl {
+        eprintln!("error: no query given and --repl not set (see --help)");
+        return ExitCode::from(2);
+    }
+    let db = match load_database(&cfg) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if cfg.db.is_none() && !cfg.demo {
+        eprintln!("(no --db given; using the built-in sailors demo database)");
+    }
+    let mut session = Session::new(db);
+    if let Some(query) = &cfg.query {
+        let req = build_request(cfg.lang, query, cfg.translate, cfg.diagram);
+        match session.run(&req) {
+            Ok(resp) => print_response(&resp),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if cfg.repl {
+        if let Err(e) = repl(&mut session, &cfg) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if cfg.stats {
+        print_stats(&session);
+    }
+    ExitCode::SUCCESS
+}

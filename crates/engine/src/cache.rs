@@ -1,0 +1,210 @@
+//! A capacity-bounded LRU map used as the session's parse/canonicalization
+//! cache.
+//!
+//! Implemented as a slab of doubly-linked nodes indexed through a
+//! `HashMap`, so `get`/`insert` are O(1) — a scan-free LRU, since the
+//! session sits on the hot path of repeated-query traffic.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used cache with a fixed capacity.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Node<K, V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, marking the entry most-recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.move_to_front(idx);
+        Some(&self.slots[idx].value)
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least-recently-used
+    /// one when full. Returns the evicted `(key, value)`, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            self.move_to_front(idx);
+            return None;
+        }
+        if self.map.len() == self.capacity {
+            // Recycle the LRU slot in place for the new entry.
+            let lru = self.tail;
+            self.unlink(lru);
+            let node = &mut self.slots[lru];
+            let old_key = std::mem::replace(&mut node.key, key.clone());
+            let old_value = std::mem::replace(&mut node.value, value);
+            self.map.remove(&old_key);
+            self.map.insert(key, lru);
+            self.push_front(lru);
+            return Some((old_key, old_value));
+        }
+        self.slots.push(Node {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        let idx = self.slots.len() - 1;
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        None
+    }
+
+    /// Drops every entry (capacity is kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn move_to_front(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "one");
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(&10)); // 2 is now LRU
+        let evicted = c.insert(3, 30);
+        assert_eq!(evicted, Some((2, 20)));
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replace_updates_value_without_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.insert(1, 11), None);
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one_churns_correctly() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        for i in 0..10 {
+            c.insert(i, i * 10);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.get(&i), Some(&(i * 10)));
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.get(&0).is_none());
+        c.insert(9, 9);
+        assert_eq!(c.get(&9), Some(&9));
+    }
+
+    #[test]
+    fn long_churn_stays_consistent() {
+        let mut c: LruCache<u32, u32> = LruCache::new(8);
+        for i in 0..1000u32 {
+            c.insert(i % 13, i);
+            let _ = c.get(&(i % 7));
+            assert!(c.len() <= 8);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! A small textual fixture format for loading databases into a session —
+//! what the `rd` CLI's `--db` flag reads.
+//!
+//! ```text
+//! # The paper's sailors example (Example 1).
+//! Sailor(sid, sname):
+//!   (1, 'Dustin')
+//!   (2, 'Lubber')
+//! Reserves(sid, bid):
+//!   (1, 101)
+//!   (1, 102)
+//!   (2, 101)
+//! Boat(bid, color):
+//!   (101, 'red')
+//!   (102, 'green')
+//! ```
+//!
+//! A table header is `Name(attr, ...):`; the rows that follow (parentheses
+//! optional) belong to it. Values are integers or `'single-quoted'`
+//! strings (`''` escapes a quote; `\n` and `\\` escape a newline and a
+//! backslash, keeping the line-oriented format round-trippable). `#`
+//! starts a comment line.
+
+use rd_core::{CoreError, CoreResult, Database, Relation, TableSchema, Value};
+
+/// Parses the fixture format into a [`Database`].
+pub fn parse_fixture(text: &str) -> CoreResult<Database> {
+    let mut db = Database::new();
+    let mut current: Option<Relation> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| CoreError::Invalid(format!("fixture line {}: {msg}", lineno + 1));
+        if let Some(header) = line.strip_suffix(':') {
+            // `Name(attr, ...)` header.
+            if let Some(rel) = current.take() {
+                db.add_relation(rel);
+            }
+            let (name, rest) = header
+                .split_once('(')
+                .ok_or_else(|| err(format!("expected 'Name(attr, ...):', got '{line}'")))?;
+            let attrs = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err("missing ')' in table header".into()))?;
+            let attrs: Vec<&str> = attrs.split(',').map(str::trim).collect();
+            if attrs.iter().any(|a| a.is_empty()) {
+                return Err(err("empty attribute name".into()));
+            }
+            let schema = TableSchema::try_new(name.trim(), attrs)?;
+            if db.relation(schema.name()).is_some() {
+                // add_relation would silently replace the earlier block.
+                return Err(err(format!("table '{}' defined twice", schema.name())));
+            }
+            current = Some(Relation::empty(schema));
+        } else {
+            let rel = current
+                .as_mut()
+                .ok_or_else(|| err("row before any table header".into()))?;
+            let row = parse_row(line).map_err(&err)?;
+            rel.insert_values(row).map_err(|e| err(e.to_string()))?;
+        }
+    }
+    if let Some(rel) = current.take() {
+        db.add_relation(rel);
+    }
+    Ok(db)
+}
+
+/// Renders a database back into the fixture format (inverse of
+/// [`parse_fixture`]; useful for `:save`-style tooling and tests).
+pub fn render_fixture(db: &Database) -> String {
+    let mut out = String::new();
+    for rel in db.iter() {
+        out.push_str(rel.schema().name());
+        out.push('(');
+        out.push_str(&rel.schema().attrs().join(", "));
+        out.push_str("):\n");
+        for t in rel.iter() {
+            out.push_str("  (");
+            for (i, v) in t.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match v {
+                    Value::Int(_) => out.push_str(&v.sql_literal()),
+                    Value::Str(s) => {
+                        // Escape so the line-oriented parser reads it back.
+                        out.push('\'');
+                        for c in s.chars() {
+                            match c {
+                                '\'' => out.push_str("''"),
+                                '\\' => out.push_str("\\\\"),
+                                '\n' => out.push_str("\\n"),
+                                c => out.push(c),
+                            }
+                        }
+                        out.push('\'');
+                    }
+                }
+            }
+            out.push_str(")\n");
+        }
+    }
+    out
+}
+
+fn parse_row(line: &str) -> Result<Vec<Value>, String> {
+    let inner = line
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .unwrap_or(line);
+    let mut values = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        match chars.peek() {
+            None => break,
+            Some('\'') => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                // '' escapes a quote, matching SQL literals.
+                                s.push('\'');
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        Some('\\') => match chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some('\\') => s.push('\\'),
+                            other => {
+                                return Err(format!(
+                                    "unknown escape '\\{}' in string literal",
+                                    other.map(String::from).unwrap_or_default()
+                                ))
+                            }
+                        },
+                        Some(c) => s.push(c),
+                        None => return Err("unterminated string literal".into()),
+                    }
+                }
+                values.push(Value::str(s));
+            }
+            Some(_) => {
+                let mut tok = String::new();
+                while matches!(chars.peek(), Some(c) if !c.is_whitespace() && *c != ',') {
+                    tok.push(chars.next().unwrap());
+                }
+                let n: i64 = tok
+                    .parse()
+                    .map_err(|_| format!("expected integer or 'string', got '{tok}'"))?;
+                values.push(Value::int(n));
+            }
+        }
+    }
+    Ok(values)
+}
+
+/// The built-in demo database: the paper's sailors running example
+/// (Example 1), matching `examples/quickstart.rs`.
+pub fn demo_database() -> Database {
+    parse_fixture(
+        "Sailor(sid, sname):\n\
+           (1, 'Dustin')\n\
+           (2, 'Lubber')\n\
+         Reserves(sid, bid):\n\
+           (1, 101)\n\
+           (1, 102)\n\
+           (2, 101)\n\
+         Boat(bid, color):\n\
+           (101, 'red')\n\
+           (102, 'green')\n",
+    )
+    .expect("built-in demo fixture is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_parses_and_roundtrips() {
+        let db = demo_database();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.require("Sailor").unwrap().len(), 2);
+        assert_eq!(db.require("Reserves").unwrap().len(), 3);
+        let back = parse_fixture(&render_fixture(&db)).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn quoted_strings_and_escapes() {
+        let db = parse_fixture("T(a):\n  ('o''brien')\n").unwrap();
+        let t = db.require("T").unwrap().iter().next().unwrap().clone();
+        assert_eq!(t.get(0), &Value::str("o'brien"));
+    }
+
+    #[test]
+    fn newline_and_backslash_values_roundtrip() {
+        let mut db = Database::new();
+        let mut rel = Relation::empty(TableSchema::new("T", ["a"]));
+        rel.insert_values([Value::str("line1\nline2\\end")])
+            .unwrap();
+        db.add_relation(rel);
+        let text = render_fixture(&db);
+        let back = parse_fixture(&text).unwrap();
+        assert_eq!(back, db);
+        let e = parse_fixture("T(a):\n ('bad \\x escape')\n").unwrap_err();
+        assert!(e.to_string().contains("unknown escape"), "{e}");
+    }
+
+    #[test]
+    fn rows_without_parens() {
+        let db = parse_fixture("R(a, b):\n  1, 2\n  3, 4\n").unwrap();
+        assert_eq!(db.require("R").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_fixture("R(a):\n  oops\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        let e = parse_fixture("(1, 2)\n").unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported_with_line_number() {
+        let e = parse_fixture("R(a, b):\n  (1)\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        assert!(e.to_string().contains("arity"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_table_header_is_rejected() {
+        let e = parse_fixture("R(a):\n (1)\nR(a):\n (2)\n").unwrap_err();
+        assert!(e.to_string().contains("defined twice"), "{e}");
+        assert!(e.to_string().contains("line 3"), "{e}");
+    }
+}

@@ -1,0 +1,179 @@
+//! The four query languages a [`Session`](crate::Session) accepts.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the paper's four relational query languages (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Language {
+    /// SQL under set semantics and binary logic (§2.4, Fig. 3 grammar).
+    Sql,
+    /// Safe tuple relational calculus (§2.3).
+    Trc,
+    /// Relational algebra in the named perspective (§2.2).
+    Ra,
+    /// Non-recursive Datalog with negation (§2.1).
+    Datalog,
+}
+
+impl Language {
+    /// All four languages, in the paper's presentation order.
+    pub const ALL: [Language; 4] = [
+        Language::Datalog,
+        Language::Ra,
+        Language::Trc,
+        Language::Sql,
+    ];
+
+    /// Guesses the language from query text using each language's
+    /// unmistakable surface markers:
+    ///
+    /// * TRC queries are set-builder expressions — they start with `{`
+    ///   (or `exists` / `not` for Boolean sentences);
+    /// * SQL queries start with `SELECT`, possibly behind parentheses
+    ///   (`(SELECT ...) UNION (SELECT ...)`);
+    /// * Datalog programs contain the rule arrow `:-`;
+    /// * RA expressions start with an operator (`pi[...]`, `sigma[...]`,
+    ///   `rho[...]`, or their Unicode forms) — and are also the fallback,
+    ///   since a bare table name is a valid RA expression.
+    pub fn detect(source: &str) -> Language {
+        let trimmed = source.trim_start();
+        if trimmed.starts_with('{') {
+            return Language::Trc;
+        }
+        // The rule arrow is decisive — a Datalog head may be named
+        // anything, including `Select`. Quoted spans are stripped first so
+        // an SQL string literal containing `:-` cannot misroute (a Datalog
+        // program's own arrow is never inside quotes).
+        if strip_quoted(trimmed).contains(":-") {
+            return Language::Datalog;
+        }
+        // First word, looking through any leading parentheses (RA also
+        // parenthesizes, but its leading word is never `select`).
+        let first_word: String = trimmed
+            .trim_start_matches(|c: char| c == '(' || c.is_whitespace())
+            .chars()
+            .take_while(|c| c.is_ascii_alphabetic())
+            .collect();
+        if first_word.eq_ignore_ascii_case("select") {
+            return Language::Sql;
+        }
+        if first_word == "exists" || first_word == "not" {
+            return Language::Trc;
+        }
+        Language::Ra
+    }
+
+    /// The conventional lowercase name (`sql`, `trc`, `ra`, `datalog`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Language::Sql => "sql",
+            Language::Trc => "trc",
+            Language::Ra => "ra",
+            Language::Datalog => "datalog",
+        }
+    }
+}
+
+/// Removes `'...'`-quoted spans (every language here quotes strings the
+/// same way), so structural markers are only sought outside literals.
+fn strip_quoted(source: &str) -> String {
+    let mut out = String::with_capacity(source.len());
+    let mut in_quote = false;
+    for c in source.chars() {
+        if c == '\'' {
+            in_quote = !in_quote;
+        } else if !in_quote {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Language {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sql" => Ok(Language::Sql),
+            "trc" => Ok(Language::Trc),
+            "ra" => Ok(Language::Ra),
+            "datalog" => Ok(Language::Datalog),
+            other => Err(format!(
+                "unknown language '{other}' (expected sql, trc, ra, or datalog)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_each_language() {
+        assert_eq!(
+            Language::detect("{ q(A) | exists r in R [ q.A = r.A ] }"),
+            Language::Trc
+        );
+        assert_eq!(
+            Language::detect("  select DISTINCT R.A FROM R"),
+            Language::Sql
+        );
+        assert_eq!(
+            Language::detect("Q(x) :- R(x, y), not S(y)."),
+            Language::Datalog
+        );
+        assert_eq!(
+            Language::detect("pi[A](R) - pi[A]((pi[A](R) x S) - R)"),
+            Language::Ra
+        );
+        assert_eq!(Language::detect("R"), Language::Ra);
+    }
+
+    #[test]
+    fn detects_boolean_sentences_and_parenthesized_unions() {
+        assert_eq!(
+            Language::detect("exists s in Sailor [ s.sid = 1 ]"),
+            Language::Trc
+        );
+        assert_eq!(
+            Language::detect("not (exists s in Sailor [ s.sid = 1 ])"),
+            Language::Trc
+        );
+        assert_eq!(
+            Language::detect("(SELECT DISTINCT R.A FROM R) UNION (SELECT DISTINCT S.B FROM S)"),
+            Language::Sql
+        );
+        // Parenthesized RA still falls through to RA.
+        assert_eq!(Language::detect("(R x S)"), Language::Ra);
+    }
+
+    #[test]
+    fn rule_arrow_beats_keyword_lookalikes() {
+        // A Datalog head may be named `Select`.
+        assert_eq!(
+            Language::detect("Select(n) :- Sailor(s, n)."),
+            Language::Datalog
+        );
+        // ...but `:-` inside an SQL string literal does not misroute.
+        assert_eq!(
+            Language::detect("SELECT DISTINCT R.A FROM R WHERE R.A = ':-'"),
+            Language::Sql
+        );
+    }
+
+    #[test]
+    fn roundtrips_through_name() {
+        for lang in Language::ALL {
+            assert_eq!(lang.name().parse::<Language>().unwrap(), lang);
+        }
+        assert!("prolog".parse::<Language>().is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Requests into and responses out of a [`Session`](crate::Session).
+
+use crate::{Artifact, Language};
+use rd_core::Relation;
+use std::sync::Arc;
+
+/// How a response should render the Relational Diagram, if at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DiagramFormat {
+    /// No diagram.
+    #[default]
+    None,
+    /// Graphviz DOT (one cluster per negation box).
+    Dot,
+    /// Self-contained SVG.
+    Svg,
+}
+
+/// A query to run: the language, the source text, and which optional
+/// artifacts the response should carry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryRequest {
+    /// The query language.
+    pub language: Language,
+    /// The query source text.
+    pub text: String,
+    /// Also produce the cross-language translations (TRC as the hub).
+    pub translations: bool,
+    /// Also render the Relational Diagram.
+    pub diagram: DiagramFormat,
+}
+
+impl QueryRequest {
+    /// A request in an explicit language, evaluation only.
+    pub fn new(language: Language, text: impl Into<String>) -> Self {
+        QueryRequest {
+            language,
+            text: text.into(),
+            translations: false,
+            diagram: DiagramFormat::None,
+        }
+    }
+
+    /// A request whose language is [detected](Language::detect) from the
+    /// source text.
+    pub fn auto(text: impl Into<String>) -> Self {
+        let text = text.into();
+        QueryRequest::new(Language::detect(&text), text)
+    }
+
+    /// Requests cross-language translations in the response.
+    pub fn with_translations(mut self) -> Self {
+        self.translations = true;
+        self
+    }
+
+    /// Requests a diagram rendering in the response.
+    pub fn with_diagram(mut self, format: DiagramFormat) -> Self {
+        self.diagram = format;
+        self
+    }
+}
+
+/// The query carried into the other three languages through the TRC hub
+/// (Theorem 6). Directions that leave a fragment are `None` with the
+/// reason recorded in `notes`.
+#[derive(Debug, Clone, Default)]
+pub struct Translations {
+    /// The hub TRC form (always present).
+    pub trc: String,
+    /// SQL\* (1-to-1 with canonical TRC\*, Theorem 6 part 5).
+    pub sql: Option<String>,
+    /// Datalog\* (safety repairs may add references, Lemma 20).
+    pub datalog: Option<String>,
+    /// Basic RA\* via eq. (5).
+    pub ra: Option<String>,
+    /// Why any direction is missing (e.g. disjunctive queries are outside
+    /// the single-query Datalog\*/RA\* translations).
+    pub notes: Vec<String>,
+}
+
+/// Everything a [`Session::run`](crate::Session::run) produces.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The language the query was parsed as.
+    pub language: Language,
+    /// The parsed/canonicalized artifact (shared with the session cache).
+    pub artifact: Arc<Artifact>,
+    /// The canonical rendering in the source language.
+    pub canonical: String,
+    /// The evaluated result over the session database.
+    pub relation: Relation,
+    /// `true` if the artifact came from the parse cache.
+    pub cache_hit: bool,
+    /// Cross-language translations, if requested.
+    pub translations: Option<Translations>,
+    /// The rendered Relational Diagram, if requested.
+    pub diagram: Option<String>,
+    /// Why a *requested* optional artifact is missing (e.g. the query is
+    /// outside the fragment the TRC-hub translation covers). Evaluation
+    /// succeeded regardless; these never accompany a failed run.
+    pub notes: Vec<String>,
+}

@@ -1,0 +1,291 @@
+//! The query session: the workspace's single front door.
+
+use crate::cache::LruCache;
+use crate::request::{DiagramFormat, QueryRequest, QueryResponse, Translations};
+use crate::{Artifact, Language};
+use rd_core::{Catalog, CoreResult, Database};
+use rd_trc::TrcUnion;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Default parse-cache capacity (entries, not bytes — artifacts are small
+/// ASTs).
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Counters describing a session's traffic, exposed by
+/// [`Session::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries run (including each element of a batch).
+    pub queries: u64,
+    /// `run_batch` invocations.
+    pub batches: u64,
+    /// Parse-cache hits (plus within-batch response reuses).
+    pub cache_hits: u64,
+    /// Parse-cache misses (each paid a full parse + canonicalization).
+    pub cache_misses: u64,
+    /// Entries evicted by LRU pressure.
+    pub cache_evictions: u64,
+    /// Total result tuples returned.
+    pub rows_returned: u64,
+}
+
+impl SessionStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The cached unit: the original text (to rule out 64-bit hash
+/// collisions) and the shared prepared artifact.
+struct CacheEntry {
+    text: String,
+    artifact: Arc<Artifact>,
+}
+
+/// A query session over one database: parse → check → translate → eval →
+/// diagram, with a capacity-bounded LRU parse/canonicalization cache in
+/// front of the parsers.
+///
+/// ```
+/// use rd_engine::{demo_database, Language, QueryRequest, Session};
+///
+/// let mut session = Session::new(demo_database());
+/// let resp = session
+///     .run(&QueryRequest::new(Language::Sql,
+///         "SELECT DISTINCT Boat.color FROM Boat"))
+///     .unwrap();
+/// assert_eq!(resp.relation.len(), 2);
+/// ```
+pub struct Session {
+    db: Database,
+    catalog: Catalog,
+    cache: LruCache<(Language, u64), CacheEntry>,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// A session over `db` with the default cache capacity.
+    pub fn new(db: Database) -> Self {
+        Session::with_cache_capacity(db, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// A session over `db` with an explicit parse-cache capacity.
+    pub fn with_cache_capacity(db: Database, capacity: usize) -> Self {
+        let catalog = db.catalog();
+        Session {
+            db,
+            catalog,
+            cache: LruCache::new(capacity),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The session's database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The catalog implied by the session's database.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Traffic counters since construction (or the last
+    /// [`reset_stats`](Session::reset_stats)).
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Zeroes the traffic counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = SessionStats::default();
+    }
+
+    /// Replaces the database. The parse cache is cleared: parsing and
+    /// checking are catalog-dependent, so artifacts prepared against the
+    /// old schemas must not be reused.
+    pub fn set_database(&mut self, db: Database) {
+        self.catalog = db.catalog();
+        self.db = db;
+        self.cache.clear();
+    }
+
+    /// Runs one request: prepare (cached), evaluate, and produce the
+    /// requested optional artifacts.
+    pub fn run(&mut self, req: &QueryRequest) -> CoreResult<QueryResponse> {
+        self.stats.queries += 1;
+        let (artifact, cache_hit) = self.prepare(req.language, &req.text)?;
+        let relation = artifact.eval(&self.db)?;
+        self.stats.rows_returned += relation.len() as u64;
+        // Both optional artifacts view the query through the TRC hub;
+        // compute it once per request. A hub failure (the query is outside
+        // what the Theorem 6 chain covers, e.g. an RA union) must not
+        // discard the successful evaluation — it degrades to a note.
+        let mut notes = Vec::new();
+        let hub = if req.translations || req.diagram != DiagramFormat::None {
+            match self.to_hub_trc(&artifact) {
+                Ok(hub) => Some(hub),
+                Err(e) => {
+                    notes.push(format!("TRC-hub translation unavailable: {e}"));
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let translations = match &hub {
+            Some(hub) if req.translations => Some(self.translations(hub)?),
+            _ => None,
+        };
+        let diagram = match &hub {
+            Some(hub) => match self.render_diagram(hub, req.diagram) {
+                Ok(d) => d,
+                // Same degrade-to-note contract: e.g. disjunctive queries
+                // evaluate fine but have no Relational Diagram* form.
+                Err(e) => {
+                    notes.push(format!("diagram rendering unavailable: {e}"));
+                    None
+                }
+            },
+            None => None,
+        };
+        Ok(QueryResponse {
+            language: artifact.language(),
+            canonical: artifact.canonical_text(),
+            artifact,
+            relation,
+            cache_hit,
+            translations,
+            diagram,
+            notes,
+        })
+    }
+
+    /// Runs a batch of requests, amortizing work across repeats: an exact
+    /// repeat within the batch reuses the earlier response wholesale
+    /// (parse *and* evaluation), on top of the cross-batch parse cache.
+    pub fn run_batch(&mut self, reqs: &[QueryRequest]) -> Vec<CoreResult<QueryResponse>> {
+        self.stats.batches += 1;
+        let mut memo: HashMap<&QueryRequest, QueryResponse> = HashMap::new();
+        let mut out = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            if let Some(prior) = memo.get(req) {
+                self.stats.queries += 1;
+                self.stats.cache_hits += 1;
+                self.stats.rows_returned += prior.relation.len() as u64;
+                let mut resp = prior.clone();
+                resp.cache_hit = true;
+                out.push(Ok(resp));
+                continue;
+            }
+            let result = self.run(req);
+            if let Ok(resp) = &result {
+                memo.insert(req, resp.clone());
+            }
+            out.push(result);
+        }
+        out
+    }
+
+    /// Parses + canonicalizes through the LRU cache. Returns the shared
+    /// artifact and whether it was a cache hit. Failed parses are not
+    /// cached (error traffic shouldn't evict good entries).
+    fn prepare(&mut self, language: Language, text: &str) -> CoreResult<(Arc<Artifact>, bool)> {
+        let key = (language, hash_text(text));
+        if let Some(entry) = self.cache.get(&key) {
+            if entry.text == text {
+                self.stats.cache_hits += 1;
+                return Ok((entry.artifact.clone(), true));
+            }
+        }
+        self.stats.cache_misses += 1;
+        let artifact = Arc::new(Artifact::prepare(language, text, &self.catalog)?);
+        let entry = CacheEntry {
+            text: text.to_string(),
+            artifact: artifact.clone(),
+        };
+        if self.cache.insert(key, entry).is_some() {
+            self.stats.cache_evictions += 1;
+        }
+        Ok((artifact, false))
+    }
+
+    /// Carries the artifact into canonical TRC — the hub of the Theorem 6
+    /// translation diagram.
+    pub fn to_hub_trc(&self, artifact: &Artifact) -> CoreResult<TrcUnion> {
+        let union = match artifact {
+            Artifact::Trc(u) => u.clone(),
+            Artifact::Sql(u) => rd_sql::sql_to_trc(u, &self.catalog)?,
+            Artifact::Datalog(p) => {
+                TrcUnion::single(rd_translate::datalog_to_trc(p, &self.catalog)?)
+            }
+            Artifact::Ra(e) => {
+                let p = rd_translate::ra_to_datalog(e, &self.catalog)?;
+                TrcUnion::single(rd_translate::datalog_to_trc(&p, &self.catalog)?)
+            }
+        };
+        Ok(rd_trc::canon::canonicalize_union(&union))
+    }
+
+    /// Builds the cross-language views of a hub-TRC form.
+    fn translations(&self, hub: &TrcUnion) -> CoreResult<Translations> {
+        let mut t = Translations {
+            trc: rd_trc::printer::union_to_ascii(hub),
+            ..Translations::default()
+        };
+        match rd_sql::trc_union_to_sql(hub) {
+            Ok(sql) => t.sql = Some(rd_sql::printer::format_sql_union(&sql)),
+            Err(e) => t.notes.push(format!("SQL translation unavailable: {e}")),
+        }
+        if let [query] = hub.branches.as_slice() {
+            match rd_translate::trc_to_datalog(query, &self.catalog) {
+                Ok(program) => {
+                    match rd_translate::datalog_to_ra(&program, &self.catalog) {
+                        Ok(ra) => t.ra = Some(rd_ra::printer::to_ascii(&ra)),
+                        Err(e) => t.notes.push(format!("RA translation unavailable: {e}")),
+                    }
+                    t.datalog = Some(program.to_string());
+                }
+                Err(e) => t
+                    .notes
+                    .push(format!("Datalog translation unavailable: {e}")),
+            }
+        } else {
+            t.notes.push(format!(
+                "query is a {}-branch union; the Datalog*/RA* translations \
+                 (Theorem 6) are defined per branch",
+                hub.branches.len()
+            ));
+        }
+        Ok(t)
+    }
+
+    /// Renders the Relational Diagram of a hub-TRC form.
+    fn render_diagram(&self, hub: &TrcUnion, format: DiagramFormat) -> CoreResult<Option<String>> {
+        if format == DiagramFormat::None {
+            return Ok(None);
+        }
+        let diagram = rd_diagram::from_trc_union(hub, &self.catalog)?;
+        diagram.validate()?;
+        Ok(Some(match format {
+            DiagramFormat::Dot => rd_diagram::to_dot(&diagram),
+            DiagramFormat::Svg => rd_diagram::to_svg(&diagram),
+            DiagramFormat::None => unreachable!("handled above"),
+        }))
+    }
+}
+
+fn hash_text(text: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    text.hash(&mut h);
+    h.finish()
+}

@@ -1,0 +1,320 @@
+//! Engine integration tests: cross-language agreement through
+//! `Session::run` and the behavior of the parse cache.
+
+use rd_engine::{demo_database, parse_fixture, DiagramFormat, Language, QueryRequest, Session};
+
+/// The same conjunctive query — "names of sailors who have reserved some
+/// boat" (pattern P1 of the user study) — expressed in all four languages.
+fn conjunctive_in_all_languages() -> [(Language, &'static str); 4] {
+    [
+        (
+            Language::Sql,
+            "SELECT DISTINCT Sailor.sname FROM Sailor, Reserves \
+             WHERE Sailor.sid = Reserves.sid",
+        ),
+        (
+            Language::Trc,
+            "{ q(sname) | exists s in Sailor [ q.sname = s.sname and \
+               exists r in Reserves [ r.sid = s.sid ] ] }",
+        ),
+        (
+            Language::Ra,
+            "pi[sname](Sailor join[sid=rsid] rho[sid->rsid, bid->rbid](Reserves))",
+        ),
+        (Language::Datalog, "Q(n) :- Sailor(s, n), Reserves(s, b)."),
+    ]
+}
+
+#[test]
+fn four_languages_agree_on_the_same_query() {
+    let mut session = Session::new(demo_database());
+    let mut results = Vec::new();
+    for (language, text) in conjunctive_in_all_languages() {
+        let resp = session
+            .run(&QueryRequest::new(language, text))
+            .unwrap_or_else(|e| panic!("{language} failed: {e}"));
+        assert_eq!(resp.language, language);
+        results.push((language, resp.relation));
+    }
+    // Set-semantics equality: same tuple sets (attribute names differ by
+    // language convention, e.g. Datalog's positional x1).
+    let (first_lang, first) = &results[0];
+    for (language, relation) in &results[1..] {
+        assert_eq!(
+            relation.tuples(),
+            first.tuples(),
+            "{language} disagrees with {first_lang}"
+        );
+    }
+    // Both sailors reserved boats in the demo instance.
+    assert_eq!(first.len(), 2);
+}
+
+#[test]
+fn language_detection_routes_each_syntax() {
+    let mut session = Session::new(demo_database());
+    for (language, text) in conjunctive_in_all_languages() {
+        let resp = session.run(&QueryRequest::auto(text)).unwrap();
+        assert_eq!(resp.language, language, "detect failed for {text}");
+    }
+}
+
+#[test]
+fn second_run_of_identical_request_is_a_cache_hit() {
+    let mut session = Session::new(demo_database());
+    let req = QueryRequest::new(Language::Sql, "SELECT DISTINCT Boat.color FROM Boat");
+    let first = session.run(&req).unwrap();
+    assert!(!first.cache_hit);
+    assert_eq!(session.stats().cache_hits, 0);
+    assert_eq!(session.stats().cache_misses, 1);
+
+    let second = session.run(&req).unwrap();
+    assert!(second.cache_hit);
+    assert_eq!(session.stats().cache_hits, 1);
+    assert_eq!(session.stats().cache_misses, 1);
+    assert_eq!(second.relation, first.relation);
+    assert!(session.stats().hit_rate() > 0.0);
+}
+
+#[test]
+fn same_text_in_different_languages_does_not_collide() {
+    // A bare table name is a valid RA expression; as Datalog or SQL it is
+    // an error. The cache key includes the language.
+    let mut session = Session::new(demo_database());
+    let ra = session
+        .run(&QueryRequest::new(Language::Ra, "Boat"))
+        .unwrap();
+    assert_eq!(ra.relation.len(), 2);
+    assert!(session
+        .run(&QueryRequest::new(Language::Sql, "Boat"))
+        .is_err());
+    // The RA entry is still served from cache afterwards.
+    let again = session
+        .run(&QueryRequest::new(Language::Ra, "Boat"))
+        .unwrap();
+    assert!(again.cache_hit);
+}
+
+#[test]
+fn run_batch_amortizes_repeats() {
+    let mut session = Session::new(demo_database());
+    let req = QueryRequest::new(
+        Language::Trc,
+        "{ q(color) | exists b in Boat [ q.color = b.color ] }",
+    );
+    let batch = vec![req.clone(), req.clone(), req];
+    let responses = session.run_batch(&batch);
+    assert_eq!(responses.len(), 3);
+    let responses: Vec<_> = responses.into_iter().map(Result::unwrap).collect();
+    assert!(!responses[0].cache_hit);
+    assert!(responses[1].cache_hit);
+    assert!(responses[2].cache_hit);
+    assert_eq!(responses[1].relation, responses[0].relation);
+    let stats = session.stats();
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.queries, 3);
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.cache_misses, 1);
+}
+
+#[test]
+fn batch_with_errors_keeps_per_request_results() {
+    let mut session = Session::new(demo_database());
+    let good = QueryRequest::new(Language::Ra, "pi[color](Boat)");
+    let bad = QueryRequest::new(Language::Ra, "pi[nope](Boat)");
+    let out = session.run_batch(&[good.clone(), bad, good]);
+    assert!(out[0].is_ok());
+    assert!(out[1].is_err());
+    assert!(out[2].is_ok());
+    assert!(out[2].as_ref().unwrap().cache_hit);
+}
+
+#[test]
+fn lru_capacity_bounds_the_cache_and_counts_evictions() {
+    let mut session = Session::with_cache_capacity(demo_database(), 2);
+    let queries = ["pi[color](Boat)", "pi[sname](Sailor)", "pi[bid](Reserves)"];
+    for q in queries {
+        session.run(&QueryRequest::new(Language::Ra, q)).unwrap();
+    }
+    // Third insert evicted the first entry.
+    assert_eq!(session.stats().cache_evictions, 1);
+    let resp = session
+        .run(&QueryRequest::new(Language::Ra, "pi[color](Boat)"))
+        .unwrap();
+    assert!(!resp.cache_hit, "evicted entry must re-parse");
+    // The most recent entry is still cached.
+    let resp = session
+        .run(&QueryRequest::new(Language::Ra, "pi[bid](Reserves)"))
+        .unwrap();
+    assert!(resp.cache_hit);
+}
+
+#[test]
+fn set_database_clears_the_catalog_dependent_cache() {
+    let mut session = Session::new(demo_database());
+    let req = QueryRequest::new(Language::Ra, "pi[color](Boat)");
+    session.run(&req).unwrap();
+    // New database, same schema name with one more row.
+    let db = parse_fixture("Boat(bid, color):\n (1, 'red')\n (2, 'blue')\n (3, 'teal')\n").unwrap();
+    session.set_database(db);
+    let resp = session.run(&req).unwrap();
+    assert!(!resp.cache_hit, "cache must not survive a database swap");
+    assert_eq!(resp.relation.len(), 3);
+}
+
+#[test]
+fn translations_round_trip_through_the_hub() {
+    let mut session = Session::new(demo_database());
+    for (language, text) in conjunctive_in_all_languages() {
+        let resp = session
+            .run(&QueryRequest::new(language, text).with_translations())
+            .unwrap();
+        let t = resp.translations.expect("translations requested");
+        assert!(!t.trc.is_empty());
+        let sql = t.sql.unwrap_or_else(|| panic!("{language}: no SQL"));
+        let datalog = t
+            .datalog
+            .unwrap_or_else(|| panic!("{language}: no Datalog"));
+        // Each printed translation parses and evaluates to the same
+        // result as the original (Theorem 6, through the engine).
+        let sql_resp = session
+            .run(&QueryRequest::new(Language::Sql, &sql))
+            .unwrap();
+        assert_eq!(sql_resp.relation.tuples(), resp.relation.tuples());
+        let dl_resp = session
+            .run(&QueryRequest::new(Language::Datalog, &datalog))
+            .unwrap();
+        assert_eq!(dl_resp.relation.tuples(), resp.relation.tuples());
+    }
+}
+
+#[test]
+fn diagram_rendering_works_from_any_language() {
+    let mut session = Session::new(demo_database());
+    for (language, text) in conjunctive_in_all_languages() {
+        let resp = session
+            .run(&QueryRequest::new(language, text).with_diagram(DiagramFormat::Dot))
+            .unwrap();
+        let dot = resp.diagram.expect("diagram requested");
+        assert!(dot.contains("digraph"), "{language}: {dot}");
+    }
+    let resp = session
+        .run(
+            &QueryRequest::new(
+                Language::Trc,
+                "{ q(color) | exists b in Boat [ q.color = b.color ] }",
+            )
+            .with_diagram(DiagramFormat::Svg),
+        )
+        .unwrap();
+    assert!(resp.diagram.unwrap().contains("<svg"));
+}
+
+#[test]
+fn hub_failure_degrades_to_a_note_instead_of_failing_the_run() {
+    // An RA union evaluates fine but is outside the single-expression
+    // Theorem 6 chain; requesting extras must not discard the result.
+    let mut session = Session::new(demo_database());
+    let resp = session
+        .run(
+            &QueryRequest::new(Language::Ra, "pi[color](Boat) union pi[color](Boat)")
+                .with_translations()
+                .with_diagram(DiagramFormat::Dot),
+        )
+        .unwrap();
+    assert_eq!(resp.relation.len(), 2, "evaluation result must survive");
+    assert!(resp.translations.is_none());
+    assert!(resp.diagram.is_none());
+    assert!(
+        resp.notes
+            .iter()
+            .any(|n| n.contains("TRC-hub translation unavailable")),
+        "{:?}",
+        resp.notes
+    );
+}
+
+#[test]
+fn diagram_failure_degrades_to_a_note_instead_of_failing_the_run() {
+    // Disjunction evaluates fine but has no Relational Diagram* form.
+    let mut session = Session::new(demo_database());
+    let resp = session
+        .run(
+            &QueryRequest::auto(
+                "{ q(sname) | exists s in Sailor [ q.sname = s.sname and \
+                   (s.sid = 1 or s.sid = 2) ] }",
+            )
+            .with_diagram(DiagramFormat::Dot),
+        )
+        .unwrap();
+    assert_eq!(resp.relation.len(), 2, "evaluation result must survive");
+    assert!(resp.diagram.is_none());
+    assert!(
+        resp.notes
+            .iter()
+            .any(|n| n.contains("diagram rendering unavailable")),
+        "{:?}",
+        resp.notes
+    );
+}
+
+#[test]
+fn boolean_sentences_evaluate_to_zero_ary_relations() {
+    let mut session = Session::new(demo_database());
+    // True: sailor 1 exists.
+    let t = session
+        .run(&QueryRequest::auto("exists s in Sailor [ s.sid = 1 ]"))
+        .unwrap();
+    assert_eq!(t.language, Language::Trc);
+    assert_eq!(t.relation.schema().arity(), 0);
+    assert_eq!(t.relation.len(), 1, "true encodes as {{()}}");
+    // False: negation of the same sentence.
+    let f = session
+        .run(&QueryRequest::auto(
+            "not (exists s in Sailor [ s.sid = 1 ])",
+        ))
+        .unwrap();
+    assert!(f.relation.is_empty(), "false encodes as {{}}");
+    // The SQL Boolean form agrees.
+    let sql = session
+        .run(&QueryRequest::auto(
+            "SELECT EXISTS (SELECT * FROM Sailor WHERE Sailor.sid = 1)",
+        ))
+        .unwrap();
+    assert_eq!(sql.language, Language::Sql);
+    assert_eq!(sql.relation.tuples(), t.relation.tuples());
+}
+
+#[test]
+fn parenthesized_sql_union_is_detected_and_runs() {
+    let mut session = Session::new(demo_database());
+    let resp = session
+        .run(&QueryRequest::auto(
+            "(SELECT DISTINCT Sailor.sname FROM Sailor WHERE Sailor.sid = 1) UNION \
+             (SELECT DISTINCT Sailor.sname FROM Sailor WHERE Sailor.sid = 2)",
+        ))
+        .unwrap();
+    assert_eq!(resp.language, Language::Sql);
+    assert_eq!(resp.relation.len(), 2);
+}
+
+#[test]
+fn union_queries_evaluate_and_note_fragment_limits() {
+    let mut session = Session::new(demo_database());
+    let resp = session
+        .run(
+            &QueryRequest::new(
+                Language::Trc,
+                "{ q(color) | exists b in Boat [ q.color = b.color and b.bid = 101 ] } \
+                 union \
+                 { q(color) | exists b in Boat [ q.color = b.color and b.bid = 102 ] }",
+            )
+            .with_translations(),
+        )
+        .unwrap();
+    assert_eq!(resp.relation.len(), 2);
+    let t = resp.translations.unwrap();
+    assert!(t.sql.is_some(), "SQL unions exist (footnote 7)");
+    assert!(t.datalog.is_none(), "per-branch translation only");
+    assert!(!t.notes.is_empty());
+}

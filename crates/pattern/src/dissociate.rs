@@ -200,11 +200,7 @@ fn rename_sql(
     i: &mut usize,
 ) -> CoreResult<()> {
     use rd_sql::ast::{SqlPredicate, SqlQuery};
-    fn pred(
-        p: &mut SqlPredicate,
-        mapping: &[(String, String)],
-        i: &mut usize,
-    ) -> CoreResult<()> {
+    fn pred(p: &mut SqlPredicate, mapping: &[(String, String)], i: &mut usize) -> CoreResult<()> {
         match p {
             SqlPredicate::And(ps) | SqlPredicate::Or(ps) => {
                 for s in ps {
@@ -222,9 +218,9 @@ fn rename_sql(
     match q {
         SqlQuery::Select(s) => {
             for tr in &mut s.from {
-                let (orig, fresh) = mapping
-                    .get(*i)
-                    .ok_or_else(|| CoreError::Invalid("signature/mapping length mismatch".into()))?;
+                let (orig, fresh) = mapping.get(*i).ok_or_else(|| {
+                    CoreError::Invalid("signature/mapping length mismatch".into())
+                })?;
                 debug_assert_eq!(&tr.table, orig);
                 // Keep the visible name stable: the old name becomes the
                 // alias so column references remain valid.
@@ -247,10 +243,7 @@ fn rename_sql(
 /// Installs dissociated relations into a database: for each mapping entry,
 /// the fresh table gets the given relation content. Used by the
 /// equivalence engine to evaluate dissociated queries.
-pub fn install_relations(
-    dissociated: &Dissociated,
-    contents: &[Relation],
-) -> CoreResult<Database> {
+pub fn install_relations(dissociated: &Dissociated, contents: &[Relation]) -> CoreResult<Database> {
     if contents.len() != dissociated.mapping.len() {
         return Err(CoreError::Invalid(
             "one relation instance required per dissociated reference".into(),

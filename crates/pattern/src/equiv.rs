@@ -97,15 +97,15 @@ pub fn decide_equivalence(
     let mut tested = 0usize;
     // Refuter 1: exhaustive tiny databases (complete within the bound).
     let space_small = used.iter().all(|s| {
-        (opts.exhaustive_domain.len() as u64).checked_pow(s.arity() as u32).map_or(false, |n| n <= 63)
+        (opts.exhaustive_domain.len() as u64)
+            .checked_pow(s.arity() as u32)
+            .is_some_and(|n| n <= 63)
     });
     // Cap total work: |catalog| relations with up to C(n, <=k) subsets each.
     if space_small && used.len() <= 3 {
-        for db in rd_core::enumerate_databases(
-            &used,
-            &opts.exhaustive_domain,
-            opts.exhaustive_max_tuples,
-        ) {
+        for db in
+            rd_core::enumerate_databases(&used, &opts.exhaustive_domain, opts.exhaustive_max_tuples)
+        {
             match agree(q1, q2, &db) {
                 Ok(true) => tested += 1,
                 Ok(false) => return Verdict::NotEquivalent(Box::new(db)),
@@ -147,8 +147,7 @@ fn agree(q1: &AnyQuery, q2: &AnyQuery, db: &Database) -> Result<bool, String> {
 pub fn trc_isomorphic(a: &TrcQuery, b: &TrcQuery) -> bool {
     let ca = rd_trc::canon::canonicalize(a);
     let cb = rd_trc::canon::canonicalize(b);
-    if ca.output.as_ref().map(|o| o.attrs.clone()) != cb.output.as_ref().map(|o| o.attrs.clone())
-    {
+    if ca.output.as_ref().map(|o| o.attrs.clone()) != cb.output.as_ref().map(|o| o.attrs.clone()) {
         return false;
     }
     let mut map = Vec::new();
@@ -165,9 +164,7 @@ fn iso_formula(a: &Formula, b: &Formula, map: &mut Vec<(String, String)>) -> boo
     match (a, b) {
         (Formula::Pred(p), Formula::Pred(q)) => iso_pred(p, q, map),
         (Formula::Not(x), Formula::Not(y)) => iso_formula(x, y, map),
-        (Formula::And(xs), Formula::And(ys)) => {
-            xs.len() == ys.len() && iso_multiset(xs, ys, map)
-        }
+        (Formula::And(xs), Formula::And(ys)) => xs.len() == ys.len() && iso_multiset(xs, ys, map),
         (Formula::Or(xs), Formula::Or(ys)) => xs.len() == ys.len() && iso_multiset(xs, ys, map),
         (Formula::Exists(ba, fa), Formula::Exists(bb, fb)) => {
             if ba.len() != bb.len() {
@@ -238,10 +235,9 @@ fn iso_multiset(xs: &[Formula], ys: &[Formula], map: &mut Vec<(String, String)>)
     go(xs, ys, 0, &mut vec![false; ys.len()], map)
 }
 
-fn iso_pred(p: &Predicate, q: &Predicate, map: &mut Vec<(String, String)>) -> bool {
-    let direct = p.op == q.op
-        && iso_term(&p.left, &q.left, map)
-        && iso_term(&p.right, &q.right, map);
+fn iso_pred(p: &Predicate, q: &Predicate, map: &[(String, String)]) -> bool {
+    let direct =
+        p.op == q.op && iso_term(&p.left, &q.left, map) && iso_term(&p.right, &q.right, map);
     if direct {
         return true;
     }
@@ -250,7 +246,7 @@ fn iso_pred(p: &Predicate, q: &Predicate, map: &mut Vec<(String, String)>) -> bo
     p.op == fq.op && iso_term(&p.left, &fq.left, map) && iso_term(&p.right, &fq.right, map)
 }
 
-fn iso_term(a: &Term, b: &Term, map: &mut Vec<(String, String)>) -> bool {
+fn iso_term(a: &Term, b: &Term, map: &[(String, String)]) -> bool {
     match (a, b) {
         (Term::Const(x), Term::Const(y)) => x == y,
         (Term::Attr(x), Term::Attr(y)) => {

@@ -75,12 +75,8 @@ impl SeparationReport {
 /// The set of test databases used to refute candidates: exhaustive over
 /// domain {0,1} with ≤ 2 tuples per relation, plus seeded random ones.
 fn refutation_dbs(catalog: &Catalog) -> Vec<Database> {
-    let mut dbs: Vec<Database> = rd_core::enumerate_databases(
-        catalog,
-        &[Value::int(0), Value::int(1)],
-        2,
-    )
-    .collect();
+    let mut dbs: Vec<Database> =
+        rd_core::enumerate_databases(catalog, &[Value::int(0), Value::int(1)], 2).collect();
     let gen = rd_core::DbGenerator::with_int_domain(catalog.clone(), 3, 3, 0xBEEF);
     dbs.extend(gen.take(30));
     dbs
@@ -121,7 +117,10 @@ fn unary_steps(e: &RaExpr, catalog: &Catalog) -> Vec<RaExpr> {
         2 => {
             out.push(RaExpr::project([schema[0].clone()], e.clone()));
             out.push(RaExpr::project([schema[1].clone()], e.clone()));
-            out.push(RaExpr::project([schema[1].clone(), schema[0].clone()], e.clone()));
+            out.push(RaExpr::project(
+                [schema[1].clone(), schema[0].clone()],
+                e.clone(),
+            ));
         }
         _ => {
             for a in &schema {
@@ -133,7 +132,11 @@ fn unary_steps(e: &RaExpr, catalog: &Catalog) -> Vec<RaExpr> {
     if schema.len() >= 2 {
         for op in rd_core::CmpOp::ALL {
             out.push(RaExpr::select(
-                Condition::Cmp(RaTerm::attr(schema[0].clone()), op, RaTerm::attr(schema[1].clone())),
+                Condition::Cmp(
+                    RaTerm::attr(schema[0].clone()),
+                    op,
+                    RaTerm::attr(schema[1].clone()),
+                ),
                 e.clone(),
             ));
         }
@@ -283,11 +286,7 @@ pub fn verify_lemma20() -> SeparationReport {
     };
 
     // Atom variable patterns over the pool {x, y} (wildcards included).
-    let terms = [
-        DlTerm::var("x"),
-        DlTerm::var("y"),
-        DlTerm::Wildcard,
-    ];
+    let terms = [DlTerm::var("x"), DlTerm::var("y"), DlTerm::Wildcard];
     let mut t_atoms = Vec::new();
     let mut s_atoms = Vec::new();
     let mut r_atoms = Vec::new();
@@ -312,9 +311,7 @@ pub fn verify_lemma20() -> SeparationReport {
                     let atoms = [t.clone(), r.clone(), s.clone()];
                     // Each atom positive or negated: 2^3 sign patterns.
                     for signs in 0..8u8 {
-                        if let Some(p) =
-                            build_program(&atoms, layout, rule_count, signs)
-                        {
+                        if let Some(p) = build_program(&atoms, layout, rule_count, signs) {
                             if !rd_datalog::check::is_safe(&p)
                                 || rd_datalog::check::check_program(&p, &catalog).is_err()
                                 || !rd_datalog::check::is_datalog_star(&p)
@@ -548,7 +545,11 @@ mod tests {
             leaf_unary: 1,
             root_unary: 1,
         });
-        assert!(report.candidates > 100, "only {} candidates", report.candidates);
+        assert!(
+            report.candidates > 100,
+            "only {} candidates",
+            report.candidates
+        );
         assert!(
             report.holds(),
             "unrefuted candidates: {:?}",
@@ -559,7 +560,11 @@ mod tests {
     #[test]
     fn lemma20_all_refuted() {
         let report = verify_lemma20();
-        assert!(report.candidates > 50, "only {} candidates", report.candidates);
+        assert!(
+            report.candidates > 50,
+            "only {} candidates",
+            report.candidates
+        );
         assert!(
             report.holds(),
             "unrefuted candidates: {:?}",
@@ -591,7 +596,11 @@ mod tests {
         let rows = positive_directions(&EquivOptions::default());
         assert_eq!(rows.len(), 5);
         for row in &rows {
-            assert!(row.holds, "direction failed: {} ({})", row.direction, row.evidence);
+            assert!(
+                row.holds,
+                "direction failed: {} ({})",
+                row.direction, row.evidence
+            );
         }
     }
 }

@@ -246,7 +246,18 @@ pub fn similar_pattern(
     }
     // Try every arity-respecting bijection of table names.
     let mut used = vec![false; t2.len()];
-    try_table_mapping(q1, cat1, q2, cat2, &t1, &t2, 0, &mut Vec::new(), &mut used, opts)
+    try_table_mapping(
+        q1,
+        cat1,
+        q2,
+        cat2,
+        &t1,
+        &t2,
+        0,
+        &mut Vec::new(),
+        &mut used,
+        opts,
+    )
 }
 
 fn dedup(v: Vec<String>) -> Vec<String> {
@@ -372,7 +383,13 @@ fn check_schema_mapping(
         Err(_) => return false,
     };
     // Rename attribute references per variable's table.
-    rename_attrs(&mut mapped.formula, &var_tables, table_pairs, attr_maps, &table_of);
+    rename_attrs(
+        &mut mapped.formula,
+        &var_tables,
+        table_pairs,
+        attr_maps,
+        &table_of,
+    );
     for (from, to) in table_pairs {
         mapped.formula.rename_table(from, to);
     }
@@ -470,8 +487,7 @@ mod tests {
             &catalog(),
         )
         .unwrap();
-        let ra3 =
-            rd_ra::parser::parse("pi[A](R) - pi[A]((pi[A](R) x S) - R)", &catalog()).unwrap();
+        let ra3 = rd_ra::parser::parse("pi[A](R) - pi[A]((pi[A](R) x S) - R)", &catalog()).unwrap();
         let v = pattern_isomorphic(
             &AnyQuery::Trc(trc2),
             &AnyQuery::Ra(ra3),
@@ -490,8 +506,7 @@ mod tests {
             &catalog(),
         )
         .unwrap();
-        let ra3 =
-            rd_ra::parser::parse("pi[A](R) - pi[A]((pi[A](R) x S) - R)", &catalog()).unwrap();
+        let ra3 = rd_ra::parser::parse("pi[A](R) - pi[A]((pi[A](R) x S) - R)", &catalog()).unwrap();
         let v = pattern_isomorphic(
             &AnyQuery::Trc(trc3),
             &AnyQuery::Ra(ra3),
@@ -555,7 +570,13 @@ mod tests {
             &cat2,
         )
         .unwrap();
-        assert!(similar_pattern(&q1, &cat1, &q2, &cat2, &EquivOptions::default()));
+        assert!(similar_pattern(
+            &q1,
+            &cat1,
+            &q2,
+            &cat2,
+            &EquivOptions::default()
+        ));
     }
 
     #[test]
@@ -565,6 +586,12 @@ mod tests {
         let q1 = parse_query("{ q(x) | exists a in A1 [ q.x = a.x ] }", &cat1).unwrap();
         let q2 = parse_query("{ q(y) | exists b in B1 [ q.y = b.y ] }", &cat2).unwrap();
         // Arity mismatch between the only tables: no λ exists.
-        assert!(!similar_pattern(&q1, &cat1, &q2, &cat2, &EquivOptions::default()));
+        assert!(!similar_pattern(
+            &q1,
+            &cat1,
+            &q2,
+            &cat2,
+            &EquivOptions::default()
+        ));
     }
 }

@@ -278,9 +278,7 @@ impl RaExpr {
                 | RaExpr::NaturalJoin(l, r)
                 | RaExpr::Diff(l, r)
                 | RaExpr::Union(l, r)
-                | RaExpr::Antijoin(_, l, r) => {
-                    walk(l, index, to, seen) || walk(r, index, to, seen)
-                }
+                | RaExpr::Antijoin(_, l, r) => walk(l, index, to, seen) || walk(r, index, to, seen),
             }
         }
         walk(self, index, to, &mut 0)
@@ -446,7 +444,10 @@ mod tests {
             RaExpr::project(
                 ["A"],
                 RaExpr::diff(
-                    RaExpr::product(RaExpr::project(["A"], RaExpr::table("R")), RaExpr::table("S")),
+                    RaExpr::product(
+                        RaExpr::project(["A"], RaExpr::table("R")),
+                        RaExpr::table("S"),
+                    ),
                     RaExpr::table("R"),
                 ),
             ),
@@ -480,7 +481,11 @@ mod tests {
 
     #[test]
     fn antijoin_schema_is_left() {
-        let e = RaExpr::antijoin(JoinCond::eq("B", "B"), RaExpr::table("R"), RaExpr::table("S"));
+        let e = RaExpr::antijoin(
+            JoinCond::eq("B", "B"),
+            RaExpr::table("R"),
+            RaExpr::table("S"),
+        );
         assert_eq!(e.schema(&catalog()).unwrap(), vec!["A", "B"]);
         let natural = RaExpr::antijoin(JoinCond(vec![]), RaExpr::table("R"), RaExpr::table("S"));
         assert_eq!(natural.schema(&catalog()).unwrap(), vec!["A", "B"]);

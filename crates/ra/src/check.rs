@@ -12,9 +12,10 @@ pub fn is_ra_star(e: &RaExpr) -> bool {
         RaExpr::Table(_) => true,
         RaExpr::Project(_, inner) | RaExpr::Rename(_, inner) => is_ra_star(inner),
         RaExpr::Select(cond, inner) => cond.is_conjunctive() && is_ra_star(inner),
-        RaExpr::Product(l, r) | RaExpr::Join(_, l, r) | RaExpr::NaturalJoin(l, r) | RaExpr::Diff(l, r) => {
-            is_ra_star(l) && is_ra_star(r)
-        }
+        RaExpr::Product(l, r)
+        | RaExpr::Join(_, l, r)
+        | RaExpr::NaturalJoin(l, r)
+        | RaExpr::Diff(l, r) => is_ra_star(l) && is_ra_star(r),
         RaExpr::Union(..) | RaExpr::Antijoin(..) => false,
     }
 }

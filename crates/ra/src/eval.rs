@@ -1,7 +1,7 @@
 //! Evaluation of RA expressions over a database (set semantics).
 
 use crate::ast::{Condition, RaExpr, RaTerm};
-use rd_core::{Catalog, CmpOp, CoreError, CoreResult, Database, Tuple, Value};
+use rd_core::{CmpOp, CoreError, CoreResult, Database, Tuple, Value};
 use std::collections::BTreeSet;
 
 /// An intermediate (or final) evaluation result: attribute names plus the
@@ -16,10 +16,9 @@ pub struct RaResult {
 
 impl RaResult {
     fn attr_index(&self, name: &str) -> CoreResult<usize> {
-        self.attrs
-            .iter()
-            .position(|a| a == name)
-            .ok_or_else(|| CoreError::Invalid(format!("attribute '{name}' not in {:?}", self.attrs)))
+        self.attrs.iter().position(|a| a == name).ok_or_else(|| {
+            CoreError::Invalid(format!("attribute '{name}' not in {:?}", self.attrs))
+        })
     }
 }
 
@@ -29,10 +28,10 @@ pub fn eval(expr: &RaExpr, db: &Database) -> CoreResult<RaResult> {
     let catalog = db.catalog();
     // Validate schemas up front for clear error messages.
     expr.schema(&catalog)?;
-    eval_inner(expr, db, &catalog)
+    eval_inner(expr, db)
 }
 
-fn eval_inner(expr: &RaExpr, db: &Database, catalog: &Catalog) -> CoreResult<RaResult> {
+fn eval_inner(expr: &RaExpr, db: &Database) -> CoreResult<RaResult> {
     match expr {
         RaExpr::Table(t) => {
             let rel = db.require(t)?;
@@ -42,7 +41,7 @@ fn eval_inner(expr: &RaExpr, db: &Database, catalog: &Catalog) -> CoreResult<RaR
             })
         }
         RaExpr::Project(attrs, e) => {
-            let inner = eval_inner(e, db, catalog)?;
+            let inner = eval_inner(e, db)?;
             let idx: Vec<usize> = attrs
                 .iter()
                 .map(|a| inner.attr_index(a))
@@ -53,7 +52,7 @@ fn eval_inner(expr: &RaExpr, db: &Database, catalog: &Catalog) -> CoreResult<RaR
             })
         }
         RaExpr::Select(cond, e) => {
-            let inner = eval_inner(e, db, catalog)?;
+            let inner = eval_inner(e, db)?;
             let tuples = inner
                 .tuples
                 .iter()
@@ -66,8 +65,8 @@ fn eval_inner(expr: &RaExpr, db: &Database, catalog: &Catalog) -> CoreResult<RaR
             })
         }
         RaExpr::Product(l, r) => {
-            let lv = eval_inner(l, db, catalog)?;
-            let rv = eval_inner(r, db, catalog)?;
+            let lv = eval_inner(l, db)?;
+            let rv = eval_inner(r, db)?;
             let mut attrs = lv.attrs.clone();
             attrs.extend(rv.attrs.clone());
             let mut tuples = BTreeSet::new();
@@ -79,8 +78,8 @@ fn eval_inner(expr: &RaExpr, db: &Database, catalog: &Catalog) -> CoreResult<RaR
             Ok(RaResult { attrs, tuples })
         }
         RaExpr::Join(cond, l, r) => {
-            let lv = eval_inner(l, db, catalog)?;
-            let rv = eval_inner(r, db, catalog)?;
+            let lv = eval_inner(l, db)?;
+            let rv = eval_inner(r, db)?;
             let mut attrs = lv.attrs.clone();
             attrs.extend(rv.attrs.clone());
             let checks: Vec<(usize, CmpOp, usize)> = cond
@@ -102,15 +101,13 @@ fn eval_inner(expr: &RaExpr, db: &Database, catalog: &Catalog) -> CoreResult<RaR
             Ok(RaResult { attrs, tuples })
         }
         RaExpr::NaturalJoin(l, r) => {
-            let lv = eval_inner(l, db, catalog)?;
-            let rv = eval_inner(r, db, catalog)?;
+            let lv = eval_inner(l, db)?;
+            let rv = eval_inner(r, db)?;
             let shared: Vec<(usize, usize)> = rv
                 .attrs
                 .iter()
                 .enumerate()
-                .filter_map(|(ri, a)| {
-                    lv.attrs.iter().position(|x| x == a).map(|li| (li, ri))
-                })
+                .filter_map(|(ri, a)| lv.attrs.iter().position(|x| x == a).map(|li| (li, ri)))
                 .collect();
             let keep_right: Vec<usize> = (0..rv.attrs.len())
                 .filter(|ri| !shared.iter().any(|(_, r2)| r2 == ri))
@@ -130,7 +127,7 @@ fn eval_inner(expr: &RaExpr, db: &Database, catalog: &Catalog) -> CoreResult<RaR
             Ok(RaResult { attrs, tuples })
         }
         RaExpr::Rename(renames, e) => {
-            let mut inner = eval_inner(e, db, catalog)?;
+            let mut inner = eval_inner(e, db)?;
             for (from, to) in renames {
                 let idx = inner.attr_index(from)?;
                 inner.attrs[idx] = to.clone();
@@ -138,8 +135,8 @@ fn eval_inner(expr: &RaExpr, db: &Database, catalog: &Catalog) -> CoreResult<RaR
             Ok(inner)
         }
         RaExpr::Diff(l, r) => {
-            let lv = eval_inner(l, db, catalog)?;
-            let rv = eval_inner(r, db, catalog)?;
+            let lv = eval_inner(l, db)?;
+            let rv = eval_inner(r, db)?;
             let tuples = lv.tuples.difference(&rv.tuples).cloned().collect();
             Ok(RaResult {
                 attrs: lv.attrs,
@@ -147,8 +144,8 @@ fn eval_inner(expr: &RaExpr, db: &Database, catalog: &Catalog) -> CoreResult<RaR
             })
         }
         RaExpr::Union(l, r) => {
-            let lv = eval_inner(l, db, catalog)?;
-            let rv = eval_inner(r, db, catalog)?;
+            let lv = eval_inner(l, db)?;
+            let rv = eval_inner(r, db)?;
             let tuples = lv.tuples.union(&rv.tuples).cloned().collect();
             Ok(RaResult {
                 attrs: lv.attrs,
@@ -156,8 +153,8 @@ fn eval_inner(expr: &RaExpr, db: &Database, catalog: &Catalog) -> CoreResult<RaR
             })
         }
         RaExpr::Antijoin(cond, l, r) => {
-            let lv = eval_inner(l, db, catalog)?;
-            let rv = eval_inner(r, db, catalog)?;
+            let lv = eval_inner(l, db)?;
+            let rv = eval_inner(r, db)?;
             let checks: Vec<(usize, CmpOp, usize)> = if cond.0.is_empty() {
                 // Natural antijoin: equality on all shared attribute names.
                 rv.attrs
@@ -263,7 +260,10 @@ mod tests {
             RaExpr::project(
                 ["A"],
                 RaExpr::diff(
-                    RaExpr::product(RaExpr::project(["A"], RaExpr::table("R")), RaExpr::table("S")),
+                    RaExpr::product(
+                        RaExpr::project(["A"], RaExpr::table("R")),
+                        RaExpr::table("S"),
+                    ),
                     RaExpr::table("R"),
                 ),
             ),
@@ -279,11 +279,18 @@ mod tests {
             ["A"],
             RaExpr::antijoin(
                 JoinCond(vec![]),
-                RaExpr::product(RaExpr::project(["A"], RaExpr::table("R")), RaExpr::table("S")),
+                RaExpr::product(
+                    RaExpr::project(["A"], RaExpr::table("R")),
+                    RaExpr::table("S"),
+                ),
                 RaExpr::table("R"),
             ),
         );
-        let e = RaExpr::antijoin(JoinCond(vec![]), RaExpr::project(["A"], RaExpr::table("R")), inner);
+        let e = RaExpr::antijoin(
+            JoinCond(vec![]),
+            RaExpr::project(["A"], RaExpr::table("R")),
+            inner,
+        );
         let out = eval(&e, &db()).unwrap();
         assert_eq!(ints(&out), vec![1]);
     }
@@ -291,7 +298,11 @@ mod tests {
     #[test]
     fn simple_antijoin_matches_not_exists() {
         // R ⊲_{B=B} S = tuples of R whose B is not in S.
-        let e = RaExpr::antijoin(JoinCond::eq("B", "B"), RaExpr::table("R"), RaExpr::table("S"));
+        let e = RaExpr::antijoin(
+            JoinCond::eq("B", "B"),
+            RaExpr::table("R"),
+            RaExpr::table("S"),
+        );
         let out = eval(&e, &db()).unwrap();
         assert_eq!(out.tuples.len(), 1);
         assert_eq!(out.tuples.iter().next().unwrap(), &Tuple::new([3i64, 30]));

@@ -178,14 +178,18 @@ impl Parser {
         if &got == t {
             Ok(())
         } else {
-            Err(CoreError::Invalid(format!("expected {what}, found {got:?}")))
+            Err(CoreError::Invalid(format!(
+                "expected {what}, found {got:?}"
+            )))
         }
     }
 
     fn ident(&mut self, what: &str) -> CoreResult<String> {
         match self.next()? {
             Tok::Ident(s) => Ok(s),
-            other => Err(CoreError::Invalid(format!("expected {what}, found {other:?}"))),
+            other => Err(CoreError::Invalid(format!(
+                "expected {what}, found {other:?}"
+            ))),
         }
     }
 
@@ -461,8 +465,7 @@ mod tests {
 
     #[test]
     fn parses_string_constants_in_selections() {
-        let cat =
-            Catalog::from_schemas([TableSchema::new("Boat", ["bid", "color"])]).unwrap();
+        let cat = Catalog::from_schemas([TableSchema::new("Boat", ["bid", "color"])]).unwrap();
         let e = parse("sigma[color='red'](Boat)", &cat).unwrap();
         assert_eq!(to_ascii(&e), "sigma[color='red'](Boat)");
     }

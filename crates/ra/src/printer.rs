@@ -94,7 +94,10 @@ mod tests {
             RaExpr::project(
                 ["A"],
                 RaExpr::diff(
-                    RaExpr::product(RaExpr::project(["A"], RaExpr::table("R")), RaExpr::table("S")),
+                    RaExpr::product(
+                        RaExpr::project(["A"], RaExpr::table("R")),
+                        RaExpr::table("S"),
+                    ),
                     RaExpr::table("R"),
                 ),
             ),
@@ -105,7 +108,11 @@ mod tests {
 
     #[test]
     fn renders_antijoin() {
-        let e = RaExpr::antijoin(JoinCond::eq("B", "B"), RaExpr::table("R"), RaExpr::table("S"));
+        let e = RaExpr::antijoin(
+            JoinCond::eq("B", "B"),
+            RaExpr::table("R"),
+            RaExpr::table("S"),
+        );
         assert_eq!(to_ascii(&e), "R antijoin[B=B] S");
         assert_eq!(to_unicode(&e), "R ⊲[B=B] S");
         let nat = RaExpr::antijoin(JoinCond(vec![]), RaExpr::table("R"), RaExpr::table("S"));

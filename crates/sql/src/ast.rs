@@ -314,9 +314,6 @@ mod tests {
     fn column_display() {
         assert_eq!(Column::qualified("R", "A").to_string(), "R.A");
         assert_eq!(Column::bare("A").to_string(), "A");
-        assert_eq!(
-            SqlTerm::Const(Value::str("red")).to_string(),
-            "'red'"
-        );
+        assert_eq!(SqlTerm::Const(Value::str("red")).to_string(), "'red'");
     }
 }

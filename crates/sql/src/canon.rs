@@ -19,9 +19,7 @@
 //! folded into the complemented comparison, mirroring the TRC\* canonical
 //! form.
 
-use crate::ast::{
-    Column, SelectCols, SelectQuery, SqlPredicate, SqlQuery, SqlTerm, SqlUnion,
-};
+use crate::ast::{Column, SelectCols, SelectQuery, SqlPredicate, SqlQuery, SqlTerm, SqlUnion};
 use rd_core::{Catalog, CoreError, CoreResult};
 use std::collections::BTreeSet;
 
@@ -329,11 +327,7 @@ fn canon_pred(p: SqlPredicate, used: &mut BTreeSet<String>) -> SqlPredicate {
                 }
             };
             inner.columns = SelectCols::Star;
-            let eq = SqlPredicate::Cmp(
-                SqlTerm::Col(col),
-                rd_core::CmpOp::Eq,
-                SqlTerm::Col(c2),
-            );
+            let eq = SqlPredicate::Cmp(SqlTerm::Col(col), rd_core::CmpOp::Eq, SqlTerm::Col(c2));
             inner.where_clause = Some(match inner.where_clause.take() {
                 Some(w) => SqlPredicate::and(vec![w, eq]),
                 None => eq,
@@ -491,9 +485,8 @@ mod tests {
 
     #[test]
     fn positive_exists_unnested_with_alias_freshening() {
-        let out = canon_text(
-            "SELECT DISTINCT R.A FROM R WHERE EXISTS (SELECT * FROM R WHERE R.B = 1)",
-        );
+        let out =
+            canon_text("SELECT DISTINCT R.A FROM R WHERE EXISTS (SELECT * FROM R WHERE R.B = 1)");
         // The inner R collides with the outer R and gets a fresh alias.
         assert!(out.contains("FROM R, R AS R_2"), "got:\n{out}");
         assert!(out.contains("R_2.B = 1"), "got:\n{out}");

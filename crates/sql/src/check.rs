@@ -26,10 +26,7 @@ pub fn is_sql_star(u: &SqlUnion, catalog: &Catalog) -> bool {
         }
     }
     match sql_to_trc(u, catalog) {
-        Ok(trc) => trc
-            .branches
-            .iter()
-            .all(rd_trc::check::is_nondisjunctive),
+        Ok(trc) => trc.branches.iter().all(rd_trc::check::is_nondisjunctive),
         Err(_) => false,
     }
 }
@@ -40,7 +37,7 @@ pub fn guard_violations(u: &SqlUnion, catalog: &Catalog) -> Vec<String> {
         Ok(trc) => trc
             .branches
             .iter()
-            .flat_map(|b| rd_trc::check::guard_violations(b))
+            .flat_map(rd_trc::check::guard_violations)
             .map(|p| p.to_string())
             .collect(),
         Err(e) => vec![format!("translation error: {e}")],
@@ -73,16 +70,13 @@ mod tests {
 
     #[test]
     fn or_union_and_missing_distinct_excluded() {
-        let or = parse_sql_unchecked(
-            "SELECT DISTINCT R.A FROM R WHERE R.A = 1 OR R.A = 2",
-        )
-        .unwrap();
+        let or =
+            parse_sql_unchecked("SELECT DISTINCT R.A FROM R WHERE R.A = 1 OR R.A = 2").unwrap();
         assert!(!is_sql_star(&or, &catalog()));
 
-        let union = parse_sql_unchecked(
-            "(SELECT DISTINCT R.B FROM R) UNION (SELECT DISTINCT S.B FROM S)",
-        )
-        .unwrap();
+        let union =
+            parse_sql_unchecked("(SELECT DISTINCT R.B FROM R) UNION (SELECT DISTINCT S.B FROM S)")
+                .unwrap();
         assert!(!is_sql_star(&union, &catalog()));
 
         let nodistinct = parse_sql_unchecked("SELECT R.A FROM R").unwrap();

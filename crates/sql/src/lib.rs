@@ -43,7 +43,9 @@ pub mod parser;
 pub mod printer;
 pub mod translate;
 
-pub use ast::{Column, SelectCols, SelectQuery, SqlPredicate, SqlQuery, SqlTerm, SqlUnion, TableRef};
+pub use ast::{
+    Column, SelectCols, SelectQuery, SqlPredicate, SqlQuery, SqlTerm, SqlUnion, TableRef,
+};
 pub use canon::canonicalize_sql;
 pub use check::is_sql_star;
 pub use parser::{parse_sql, parse_sql_unchecked};

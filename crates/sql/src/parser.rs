@@ -204,14 +204,18 @@ impl Parser {
         if &got == t {
             Ok(())
         } else {
-            Err(CoreError::Invalid(format!("expected {what}, found {got:?}")))
+            Err(CoreError::Invalid(format!(
+                "expected {what}, found {got:?}"
+            )))
         }
     }
 
     fn ident(&mut self, what: &str) -> CoreResult<String> {
         match self.next()? {
             Tok::Ident(s) => Ok(s),
-            other => Err(CoreError::Invalid(format!("expected {what}, found {other:?}"))),
+            other => Err(CoreError::Invalid(format!(
+                "expected {what}, found {other:?}"
+            ))),
         }
     }
 
@@ -503,10 +507,9 @@ mod tests {
 
     #[test]
     fn parses_membership_and_quantified() {
-        let u = parse_sql_unchecked(
-            "SELECT DISTINCT R.A FROM R WHERE R.B NOT IN (SELECT S.B FROM S)",
-        )
-        .unwrap();
+        let u =
+            parse_sql_unchecked("SELECT DISTINCT R.A FROM R WHERE R.B NOT IN (SELECT S.B FROM S)")
+                .unwrap();
         match &u.branches[0] {
             SqlQuery::Select(s) => match s.where_clause.as_ref().unwrap() {
                 SqlPredicate::InSubquery { negated, .. } => assert!(*negated),
@@ -514,10 +517,9 @@ mod tests {
             },
             _ => panic!(),
         }
-        let u = parse_sql_unchecked(
-            "SELECT DISTINCT R.A FROM R WHERE R.B >= ALL (SELECT S.B FROM S)",
-        )
-        .unwrap();
+        let u =
+            parse_sql_unchecked("SELECT DISTINCT R.A FROM R WHERE R.B >= ALL (SELECT S.B FROM S)")
+                .unwrap();
         match &u.branches[0] {
             SqlQuery::Select(s) => match s.where_clause.as_ref().unwrap() {
                 SqlPredicate::Quantified { all, op, .. } => {
@@ -555,10 +557,9 @@ mod tests {
 
     #[test]
     fn parses_union_and_or() {
-        let u = parse_sql_unchecked(
-            "(SELECT DISTINCT R.A FROM R) UNION (SELECT DISTINCT S.A FROM S)",
-        )
-        .unwrap();
+        let u =
+            parse_sql_unchecked("(SELECT DISTINCT R.A FROM R) UNION (SELECT DISTINCT S.A FROM S)")
+                .unwrap();
         assert_eq!(u.branches.len(), 2);
         let u = parse_sql_unchecked(
             "SELECT DISTINCT R.A FROM R, S, T WHERE R.B > 5 AND (R.A = S.A OR R.A = T.A)",

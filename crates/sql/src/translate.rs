@@ -457,7 +457,6 @@ mod tests {
     use super::*;
     use crate::parser::parse_sql_unchecked;
     use rd_core::{TableSchema, Value};
-    use rd_trc::printer::to_ascii;
 
     fn catalog() -> Catalog {
         Catalog::from_schemas([
@@ -527,12 +526,11 @@ mod tests {
     #[test]
     fn boolean_queries_evaluate() {
         // "Some R.B appears in S" — true.
-        let q = parse_sql_unchecked("SELECT EXISTS (SELECT * FROM R, S WHERE R.B = S.B)")
-            .unwrap();
+        let q = parse_sql_unchecked("SELECT EXISTS (SELECT * FROM R, S WHERE R.B = S.B)").unwrap();
         assert!(eval_sql_boolean(&q.branches[0], &db()).unwrap());
         // "No R.B appears in S" — false.
-        let q = parse_sql_unchecked("SELECT NOT EXISTS (SELECT * FROM R, S WHERE R.B = S.B)")
-            .unwrap();
+        let q =
+            parse_sql_unchecked("SELECT NOT EXISTS (SELECT * FROM R, S WHERE R.B = S.B)").unwrap();
         assert!(!eval_sql_boolean(&q.branches[0], &db()).unwrap());
     }
 
@@ -552,20 +550,17 @@ mod tests {
 
     #[test]
     fn union_translates_and_unions() {
-        let u = parse_sql_unchecked(
-            "(SELECT DISTINCT R.B FROM R) UNION (SELECT DISTINCT S.B FROM S)",
-        )
-        .unwrap();
+        let u =
+            parse_sql_unchecked("(SELECT DISTINCT R.B FROM R) UNION (SELECT DISTINCT S.B FROM S)")
+                .unwrap();
         let out = eval_sql(&u, &db()).unwrap();
         assert_eq!(out.len(), 3); // 10, 20, 30
     }
 
     #[test]
     fn or_translates_to_trc_or() {
-        let u = parse_sql_unchecked(
-            "SELECT DISTINCT R.A FROM R WHERE R.B = 30 OR R.A = 2",
-        )
-        .unwrap();
+        let u =
+            parse_sql_unchecked("SELECT DISTINCT R.A FROM R WHERE R.B = 30 OR R.A = 2").unwrap();
         let trc = sql_to_trc(&u, &catalog()).unwrap();
         assert!(trc.branches[0].formula.contains_or());
         let out = eval_sql(&u, &db()).unwrap();

@@ -61,10 +61,7 @@ pub struct StudyReport {
     pub per_pattern: Vec<PatternRow>,
 }
 
-fn times_of(
-    data: &StudyData,
-    pick: impl Fn(&crate::simulate::Response) -> bool,
-) -> Vec<Vec<f64>> {
+fn times_of(data: &StudyData, pick: impl Fn(&crate::simulate::Response) -> bool) -> Vec<Vec<f64>> {
     data.participants
         .iter()
         .map(|p| {
@@ -98,11 +95,7 @@ pub fn analyze_seeded(data: &StudyData, seed: u64) -> StudyReport {
     // Result 1: speed.
     let rd_meds = per_participant_medians(&times_of(data, is(Condition::Rd)));
     let sql_meds = per_participant_medians(&times_of(data, is(Condition::Sql)));
-    let ratios: Vec<f64> = rd_meds
-        .iter()
-        .zip(&sql_meds)
-        .map(|(r, s)| r / s)
-        .collect();
+    let ratios: Vec<f64> = rd_meds.iter().zip(&sql_meds).map(|(r, s)| r / s).collect();
     let time_rd = bca_ci(&rd_meds, median, B, seed);
     let time_sql = bca_ci(&sql_meds, median, B, seed ^ 1);
     let speed_ratio = bca_ci(&ratios, median, B, seed ^ 2);
@@ -117,9 +110,8 @@ pub fn analyze_seeded(data: &StudyData, seed: u64) -> StudyReport {
     let sql_h2 = half(Condition::Sql, true);
     let rd_h1 = half(Condition::Rd, false);
     let rd_h2 = half(Condition::Rd, true);
-    let ratio_of = |h2: &[f64], h1: &[f64]| -> Vec<f64> {
-        h2.iter().zip(h1).map(|(b, a)| b / a).collect()
-    };
+    let ratio_of =
+        |h2: &[f64], h1: &[f64]| -> Vec<f64> { h2.iter().zip(h1).map(|(b, a)| b / a).collect() };
     let learning_ratio_sql = bca_ci(&ratio_of(&sql_h2, &sql_h1), median, B, seed ^ 3);
     let learning_ratio_rd = bca_ci(&ratio_of(&rd_h2, &rd_h1), median, B, seed ^ 4);
 
@@ -213,7 +205,11 @@ impl StudyReport {
         ));
         out.push_str(&format!(
             "  -> CI {} 1.00: {}\n\n",
-            if self.speed_ratio.hi < 1.0 { "excludes" } else { "overlaps" },
+            if self.speed_ratio.hi < 1.0 {
+                "excludes"
+            } else {
+                "overlaps"
+            },
             if self.speed_ratio.hi < 1.0 {
                 "strong evidence that RD is faster"
             } else {
@@ -281,8 +277,11 @@ mod tests {
         let r = report();
         // Paper: ratio 0.70, CI [0.63, 0.77]. Shape check: RD faster, CI
         // excludes 1.0, ratio in a sane band.
-        assert!(r.speed_ratio.value > 0.55 && r.speed_ratio.value < 0.85,
-            "ratio {}", r.speed_ratio.value);
+        assert!(
+            r.speed_ratio.value > 0.55 && r.speed_ratio.value < 0.85,
+            "ratio {}",
+            r.speed_ratio.value
+        );
         assert!(r.speed_ratio.hi < 1.0, "CI must exclude 1.0");
         assert!(r.time_rd.value < r.time_sql.value);
     }

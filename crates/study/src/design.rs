@@ -37,7 +37,12 @@ pub enum Pattern {
 
 impl Pattern {
     /// All four patterns in paper order.
-    pub const ALL: [Pattern; 4] = [Pattern::Some, Pattern::NotAny, Pattern::NotAll, Pattern::All];
+    pub const ALL: [Pattern; 4] = [
+        Pattern::Some,
+        Pattern::NotAny,
+        Pattern::NotAll,
+        Pattern::All,
+    ];
 
     /// P1–P4 label.
     pub fn label(&self) -> &'static str {
@@ -152,7 +157,11 @@ mod tests {
             // Group 1 starts with SQL, group 2 with RD.
             assert_eq!(
                 seq[0].condition,
-                if group1 { Condition::Sql } else { Condition::Rd }
+                if group1 {
+                    Condition::Sql
+                } else {
+                    Condition::Rd
+                }
             );
             // Each (half, condition, pattern) cell appears exactly twice.
             let mut cells: BTreeMap<(bool, bool, Pattern), usize> = BTreeMap::new();

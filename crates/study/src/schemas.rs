@@ -52,45 +52,269 @@ macro_rules! schema {
 /// The tutorial schema (sailors; excluded from the 32 study questions,
 /// Appendix O Fig. 31).
 pub fn tutorial() -> StudySchema {
-    schema!("Sailor", "sid", "sname", "Reserves", "sid", "bid", "Boat", "bid",
-        "sailors", "reserved", "boats")
+    schema!(
+        "Sailor", "sid", "sname", "Reserves", "sid", "bid", "Boat", "bid", "sailors", "reserved",
+        "boats"
+    )
 }
 
 /// The 32 study schemas.
 pub fn study_schemas() -> Vec<StudySchema> {
     vec![
-        schema!("Student", "sid", "sname", "Takes", "sid", "cid", "Course", "cid", "students", "taken", "courses"),
-        schema!("Actor", "aid", "aname", "PlaysIn", "aid", "mid", "Movie", "mid", "actors", "played in", "movies"),
-        schema!("Supplier", "sno", "sname", "Supplies", "sno", "pno", "Part", "pno", "suppliers", "supplied", "parts"),
-        schema!("Customer", "cid", "cname", "Buys", "cid", "prid", "Product", "prid", "customers", "bought", "products"),
-        schema!("Author", "auid", "auname", "Writes", "auid", "bkid", "Book", "bkid", "authors", "written", "books"),
-        schema!("Chef", "chid", "chname", "Cooks", "chid", "dishid", "Dish", "dishid", "chefs", "cooked", "dishes"),
-        schema!("Doctor", "did", "dname", "Treats", "did", "patid", "Patient", "patid", "doctors", "treated", "patients"),
-        schema!("Pilot", "plid", "plname", "Flies", "plid", "acid", "Aircraft", "acid", "pilots", "flown", "aircraft"),
-        schema!("Teacher", "tid", "tname", "Teaches", "tid", "clid", "Class", "clid", "teachers", "taught", "classes"),
-        schema!("Player", "pid", "pname", "PlaysFor", "pid", "tmid", "Team", "tmid", "players", "played for", "teams"),
-        schema!("Guide", "gid", "gname", "Leads", "gid", "trid", "Tour", "trid", "guides", "led", "tours"),
-        schema!("Member", "mid", "mname", "Attends", "mid", "evid", "Eventt", "evid", "members", "attended", "events"),
-        schema!("Critic", "crid", "crname", "Reviews", "crid", "rsid", "Restaurant", "rsid", "critics", "reviewed", "restaurants"),
-        schema!("Employee", "eid", "ename", "WorksOn", "eid", "prjid", "Project", "prjid", "employees", "worked on", "projects"),
-        schema!("Farmer", "fid", "fname", "Grows", "fid", "crpid", "Crop", "crpid", "farmers", "grown", "crops"),
-        schema!("Artist", "arid", "arname", "Paints", "arid", "cnvid", "Canvas", "cnvid", "artists", "painted", "canvases"),
-        schema!("Lawyer", "lid", "lname", "Handles", "lid", "csid", "CaseFile", "csid", "lawyers", "handled", "cases"),
-        schema!("Musician", "muid", "muname", "Performs", "muid", "sgid", "Song", "sgid", "musicians", "performed", "songs"),
-        schema!("Editor", "edid", "edname", "Edits", "edid", "artid", "Article", "artid", "editors", "edited", "articles"),
-        schema!("Hiker", "hid", "hname", "Climbs", "hid", "mtid", "Mountain", "mtid", "hikers", "climbed", "mountains"),
-        schema!("Barista", "bid2", "bname2", "Brews", "bid2", "cfid", "Coffee", "cfid", "baristas", "brewed", "coffees"),
-        schema!("Vet", "vid", "vname", "Examines", "vid", "anid", "Animal", "anid", "vets", "examined", "animals"),
-        schema!("Coach", "coid", "coname", "Trains", "coid", "athid", "Athlete", "athid", "coaches", "trained", "athletes"),
-        schema!("Librarian", "lbid", "lbname", "Shelves", "lbid", "vlid", "Volume", "vlid", "librarians", "shelved", "volumes"),
-        schema!("Mechanic", "mcid", "mcname", "Repairs", "mcid", "vhid", "Vehicle", "vhid", "mechanics", "repaired", "vehicles"),
-        schema!("Gardener", "gdid", "gdname", "Plants", "gdid", "flid", "Flower", "flid", "gardeners", "planted", "flowers"),
-        schema!("Broker", "brid", "brname", "Trades", "brid", "stid", "Stock", "stid", "brokers", "traded", "stocks"),
-        schema!("Nurse", "nid", "nname", "Assists", "nid", "wdid", "Ward", "wdid", "nurses", "assisted in", "wards"),
-        schema!("Curator", "cuid", "cuname", "Exhibits", "cuid", "pcid", "Piece", "pcid", "curators", "exhibited", "pieces"),
-        schema!("Referee", "rfid", "rfname", "Officiates", "rfid", "gmid", "Game", "gmid", "referees", "officiated", "games"),
-        schema!("Tailor", "tlid", "tlname", "Sews", "tlid", "grmid", "Garment", "grmid", "tailors", "sewn", "garments"),
-        schema!("Scout", "scid", "scname", "Visits", "scid", "cmpid", "Camp", "cmpid", "scouts", "visited", "camps"),
+        schema!(
+            "Student", "sid", "sname", "Takes", "sid", "cid", "Course", "cid", "students", "taken",
+            "courses"
+        ),
+        schema!(
+            "Actor",
+            "aid",
+            "aname",
+            "PlaysIn",
+            "aid",
+            "mid",
+            "Movie",
+            "mid",
+            "actors",
+            "played in",
+            "movies"
+        ),
+        schema!(
+            "Supplier",
+            "sno",
+            "sname",
+            "Supplies",
+            "sno",
+            "pno",
+            "Part",
+            "pno",
+            "suppliers",
+            "supplied",
+            "parts"
+        ),
+        schema!(
+            "Customer",
+            "cid",
+            "cname",
+            "Buys",
+            "cid",
+            "prid",
+            "Product",
+            "prid",
+            "customers",
+            "bought",
+            "products"
+        ),
+        schema!(
+            "Author", "auid", "auname", "Writes", "auid", "bkid", "Book", "bkid", "authors",
+            "written", "books"
+        ),
+        schema!(
+            "Chef", "chid", "chname", "Cooks", "chid", "dishid", "Dish", "dishid", "chefs",
+            "cooked", "dishes"
+        ),
+        schema!(
+            "Doctor", "did", "dname", "Treats", "did", "patid", "Patient", "patid", "doctors",
+            "treated", "patients"
+        ),
+        schema!(
+            "Pilot", "plid", "plname", "Flies", "plid", "acid", "Aircraft", "acid", "pilots",
+            "flown", "aircraft"
+        ),
+        schema!(
+            "Teacher", "tid", "tname", "Teaches", "tid", "clid", "Class", "clid", "teachers",
+            "taught", "classes"
+        ),
+        schema!(
+            "Player",
+            "pid",
+            "pname",
+            "PlaysFor",
+            "pid",
+            "tmid",
+            "Team",
+            "tmid",
+            "players",
+            "played for",
+            "teams"
+        ),
+        schema!(
+            "Guide", "gid", "gname", "Leads", "gid", "trid", "Tour", "trid", "guides", "led",
+            "tours"
+        ),
+        schema!(
+            "Member", "mid", "mname", "Attends", "mid", "evid", "Eventt", "evid", "members",
+            "attended", "events"
+        ),
+        schema!(
+            "Critic",
+            "crid",
+            "crname",
+            "Reviews",
+            "crid",
+            "rsid",
+            "Restaurant",
+            "rsid",
+            "critics",
+            "reviewed",
+            "restaurants"
+        ),
+        schema!(
+            "Employee",
+            "eid",
+            "ename",
+            "WorksOn",
+            "eid",
+            "prjid",
+            "Project",
+            "prjid",
+            "employees",
+            "worked on",
+            "projects"
+        ),
+        schema!(
+            "Farmer", "fid", "fname", "Grows", "fid", "crpid", "Crop", "crpid", "farmers", "grown",
+            "crops"
+        ),
+        schema!(
+            "Artist", "arid", "arname", "Paints", "arid", "cnvid", "Canvas", "cnvid", "artists",
+            "painted", "canvases"
+        ),
+        schema!(
+            "Lawyer", "lid", "lname", "Handles", "lid", "csid", "CaseFile", "csid", "lawyers",
+            "handled", "cases"
+        ),
+        schema!(
+            "Musician",
+            "muid",
+            "muname",
+            "Performs",
+            "muid",
+            "sgid",
+            "Song",
+            "sgid",
+            "musicians",
+            "performed",
+            "songs"
+        ),
+        schema!(
+            "Editor", "edid", "edname", "Edits", "edid", "artid", "Article", "artid", "editors",
+            "edited", "articles"
+        ),
+        schema!(
+            "Hiker",
+            "hid",
+            "hname",
+            "Climbs",
+            "hid",
+            "mtid",
+            "Mountain",
+            "mtid",
+            "hikers",
+            "climbed",
+            "mountains"
+        ),
+        schema!(
+            "Barista", "bid2", "bname2", "Brews", "bid2", "cfid", "Coffee", "cfid", "baristas",
+            "brewed", "coffees"
+        ),
+        schema!(
+            "Vet", "vid", "vname", "Examines", "vid", "anid", "Animal", "anid", "vets", "examined",
+            "animals"
+        ),
+        schema!(
+            "Coach", "coid", "coname", "Trains", "coid", "athid", "Athlete", "athid", "coaches",
+            "trained", "athletes"
+        ),
+        schema!(
+            "Librarian",
+            "lbid",
+            "lbname",
+            "Shelves",
+            "lbid",
+            "vlid",
+            "Volume",
+            "vlid",
+            "librarians",
+            "shelved",
+            "volumes"
+        ),
+        schema!(
+            "Mechanic",
+            "mcid",
+            "mcname",
+            "Repairs",
+            "mcid",
+            "vhid",
+            "Vehicle",
+            "vhid",
+            "mechanics",
+            "repaired",
+            "vehicles"
+        ),
+        schema!(
+            "Gardener",
+            "gdid",
+            "gdname",
+            "Plants",
+            "gdid",
+            "flid",
+            "Flower",
+            "flid",
+            "gardeners",
+            "planted",
+            "flowers"
+        ),
+        schema!(
+            "Broker", "brid", "brname", "Trades", "brid", "stid", "Stock", "stid", "brokers",
+            "traded", "stocks"
+        ),
+        schema!(
+            "Nurse",
+            "nid",
+            "nname",
+            "Assists",
+            "nid",
+            "wdid",
+            "Ward",
+            "wdid",
+            "nurses",
+            "assisted in",
+            "wards"
+        ),
+        schema!(
+            "Curator",
+            "cuid",
+            "cuname",
+            "Exhibits",
+            "cuid",
+            "pcid",
+            "Piece",
+            "pcid",
+            "curators",
+            "exhibited",
+            "pieces"
+        ),
+        schema!(
+            "Referee",
+            "rfid",
+            "rfname",
+            "Officiates",
+            "rfid",
+            "gmid",
+            "Game",
+            "gmid",
+            "referees",
+            "officiated",
+            "games"
+        ),
+        schema!(
+            "Tailor", "tlid", "tlname", "Sews", "tlid", "grmid", "Garment", "grmid", "tailors",
+            "sewn", "garments"
+        ),
+        schema!(
+            "Scout", "scid", "scname", "Visits", "scid", "cmpid", "Camp", "cmpid", "scouts",
+            "visited", "camps"
+        ),
     ]
 }
 

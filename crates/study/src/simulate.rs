@@ -176,11 +176,13 @@ pub fn run_study(cfg: &SimConfig) -> StudyData {
     while counts[0] < cfg.per_group || counts[1] < cfg.per_group {
         // Alternate assignment as workers arrive, like the live study.
         let group1 = if counts[0] < cfg.per_group && counts[1] < cfg.per_group {
-            submissions % 2 == 0
+            submissions.is_multiple_of(2)
         } else {
             counts[0] < cfg.per_group
         };
-        worker_seed = worker_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        worker_seed = worker_seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut p = simulate_worker(cfg, group1, worker_seed);
         submissions += 1;
         // Acceptance: at least 16 of 32 correct (Appendix O.1).

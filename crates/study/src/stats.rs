@@ -49,7 +49,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -149,7 +149,12 @@ pub fn bca_ci(
     let mut held = Vec::with_capacity(n - 1);
     for i in 0..n {
         held.clear();
-        held.extend(data.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, &v)| v));
+        held.extend(
+            data.iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, &v)| v),
+        );
         jack.push(statistic(&held));
     }
     let jbar = mean(&jack);
@@ -206,7 +211,9 @@ mod tests {
     #[test]
     fn bca_ci_covers_true_median_of_symmetric_data() {
         // Deterministic symmetric sample around 10.
-        let data: Vec<f64> = (0..40).map(|i| 10.0 + ((i % 9) as f64 - 4.0) * 0.5).collect();
+        let data: Vec<f64> = (0..40)
+            .map(|i| 10.0 + ((i % 9) as f64 - 4.0) * 0.5)
+            .collect();
         let est = bca_ci(&data, median, 1000, 42);
         assert!(est.lo <= est.value && est.value <= est.hi);
         assert!((est.value - 10.0).abs() < 0.6);

@@ -337,7 +337,12 @@ mod tests {
             let e = corpus().into_iter().find(|e| e.id == id).unwrap();
             let c = classify(&e);
             assert!(
-                c.relational_diagrams && c.nondisjunctive && c.queryvis && c.qbe && c.ra && c.datalog,
+                c.relational_diagrams
+                    && c.nondisjunctive
+                    && c.queryvis
+                    && c.qbe
+                    && c.ra
+                    && c.datalog,
                 "{id} should be representable everywhere: {c:?}"
             );
         }

@@ -73,8 +73,9 @@ pub struct CorpusEntry {
 impl CorpusEntry {
     /// Parses the entry against its book's catalog.
     pub fn parse(&self) -> TrcUnion {
-        rd_trc::parser::parse_union(self.trc, &self.book.catalog())
-            .unwrap_or_else(|e| panic!("corpus entry {} fails to parse: {e}\n{}", self.id, self.trc))
+        rd_trc::parser::parse_union(self.trc, &self.book.catalog()).unwrap_or_else(|e| {
+            panic!("corpus entry {} fails to parse: {e}\n{}", self.id, self.trc)
+        })
     }
 }
 

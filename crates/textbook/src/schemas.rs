@@ -49,9 +49,15 @@ pub fn suppliers() -> Catalog {
 /// Connolly & Begg: the DreamHome database.
 pub fn dreamhome() -> Catalog {
     Catalog::from_schemas([
-        TableSchema::new("Staff", ["staffNo", "fName", "position", "salary", "branchNo"]),
+        TableSchema::new(
+            "Staff",
+            ["staffNo", "fName", "position", "salary", "branchNo"],
+        ),
         TableSchema::new("BranchB", ["branchNo", "street", "city"]),
-        TableSchema::new("PropertyForRent", ["propertyNo", "pcity", "rent", "staffNo"]),
+        TableSchema::new(
+            "PropertyForRent",
+            ["propertyNo", "pcity", "rent", "staffNo"],
+        ),
         TableSchema::new("Client", ["clientNo", "cfName", "maxRent"]),
         TableSchema::new("Viewing", ["clientNo", "propertyNo", "comment"]),
     ])

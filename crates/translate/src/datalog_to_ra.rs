@@ -41,8 +41,7 @@ fn translate(p: &DlProgram, catalog: &Catalog, mode: Mode) -> CoreResult<RaExpr>
     rd_datalog::check::check_program(p, catalog)?;
     if !rd_datalog::check::is_datalog_star(p) {
         return Err(CoreError::Invalid(
-            "program is outside Datalog* (Definition 1); RA* cannot express its disjunction"
-                .into(),
+            "program is outside Datalog* (Definition 1); RA* cannot express its disjunction".into(),
         ));
     }
     // Translate IDBs in dependency order; store normalized expressions
@@ -83,10 +82,7 @@ fn atom_expr(
         }
         None => {
             let schema = catalog.require(&atom.pred)?;
-            (
-                RaExpr::table(&atom.pred),
-                schema.attrs().to_vec(),
-            )
+            (RaExpr::table(&atom.pred), schema.attrs().to_vec())
         }
     };
     // Step 1: rename every position to a unique placeholder.
@@ -215,9 +211,7 @@ fn rule_to_ra(
             Ok(match t {
                 DlTerm::Var(v) => RaTerm::attr(v.clone()),
                 DlTerm::Const(c) => RaTerm::Const(c.clone()),
-                DlTerm::Wildcard => {
-                    return Err(CoreError::Invalid("wildcard in built-in".into()))
-                }
+                DlTerm::Wildcard => return Err(CoreError::Invalid("wildcard in built-in".into())),
             })
         };
         conds.push(Condition::Cmp(term(&b.left)?, b.op, term(&b.right)?));
@@ -287,9 +281,7 @@ mod tests {
         db.add_relation(
             Relation::from_rows(TableSchema::new("S", ["B"]), [[10i64], [20]]).unwrap(),
         );
-        db.add_relation(
-            Relation::from_rows(TableSchema::new("T", ["A"]), [[1i64], [9]]).unwrap(),
-        );
+        db.add_relation(Relation::from_rows(TableSchema::new("T", ["A"]), [[1i64], [9]]).unwrap());
         db
     }
 
@@ -334,9 +326,7 @@ mod tests {
 
     #[test]
     fn division_agrees() {
-        agree_both_modes(
-            "I(x) :- R(x, _), S(y), not R(x, y).\nQ(x) :- R(x, _), not I(x).",
-        );
+        agree_both_modes("I(x) :- R(x, _), S(y), not R(x, y).\nQ(x) :- R(x, _), not I(x).");
     }
 
     #[test]
@@ -351,7 +341,10 @@ mod tests {
     #[test]
     fn repeated_variable_in_atom() {
         let mut d = db();
-        d.relation_mut("R").unwrap().insert_values([7i64, 7]).unwrap();
+        d.relation_mut("R")
+            .unwrap()
+            .insert_values([7i64, 7])
+            .unwrap();
         let p = parse_program("Q(x) :- R(x, x).", &catalog()).unwrap();
         let e = datalog_to_ra(&p, &catalog()).unwrap();
         let out = ra_eval(&e, &d).unwrap();
@@ -360,10 +353,8 @@ mod tests {
 
     #[test]
     fn disjunctive_program_rejected() {
-        let p = rd_datalog::parser::parse_program_unchecked(
-            "Q(x) :- R(x, _).\nQ(x) :- T(x).",
-        )
-        .unwrap();
+        let p =
+            rd_datalog::parser::parse_program_unchecked("Q(x) :- R(x, _).\nQ(x) :- T(x).").unwrap();
         assert!(datalog_to_ra(&p, &catalog()).is_err());
     }
 

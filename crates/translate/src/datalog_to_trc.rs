@@ -151,12 +151,9 @@ impl<'a> Ctx<'a> {
                 Literal::Cmp(b) => {
                     let term = |t: &DlTerm, env: &BTreeMap<String, Term>| -> CoreResult<Term> {
                         Ok(match t {
-                            DlTerm::Var(v) => env
-                                .get(v)
-                                .cloned()
-                                .ok_or_else(|| {
-                                    CoreError::Invalid(format!("unbound variable '{v}'"))
-                                })?,
+                            DlTerm::Var(v) => env.get(v).cloned().ok_or_else(|| {
+                                CoreError::Invalid(format!("unbound variable '{v}'"))
+                            })?,
                             DlTerm::Const(c) => Term::Const(c.clone()),
                             DlTerm::Wildcard => {
                                 return Err(CoreError::Invalid("wildcard in built-in".into()))
@@ -177,11 +174,7 @@ impl<'a> Ctx<'a> {
         Ok((bindings, parts))
     }
 
-    fn negated_atom(
-        &mut self,
-        atom: &Atom,
-        env: &BTreeMap<String, Term>,
-    ) -> CoreResult<Formula> {
+    fn negated_atom(&mut self, atom: &Atom, env: &BTreeMap<String, Term>) -> CoreResult<Formula> {
         if self.idbs.contains(&atom.pred) {
             // Inline the IDB rule under the negation.
             let inner_rule = self.rule_for(&atom.pred)?;
@@ -209,11 +202,7 @@ impl<'a> Ctx<'a> {
                     }
                 };
                 if let Some(prev) = inner_env.get(&hv) {
-                    extra_eq.push(Formula::Pred(Predicate::new(
-                        prev.clone(),
-                        CmpOp::Eq,
-                        arg,
-                    )));
+                    extra_eq.push(Formula::Pred(Predicate::new(prev.clone(), CmpOp::Eq, arg)));
                 } else {
                     inner_env.insert(hv, arg);
                 }
@@ -241,9 +230,10 @@ impl<'a> Ctx<'a> {
                         Term::Const(c.clone()),
                     ))),
                     DlTerm::Var(v) => {
-                        let rep = env.get(v).cloned().ok_or_else(|| {
-                            CoreError::Invalid(format!("unbound variable '{v}'"))
-                        })?;
+                        let rep = env
+                            .get(v)
+                            .cloned()
+                            .ok_or_else(|| CoreError::Invalid(format!("unbound variable '{v}'")))?;
                         parts.push(Formula::Pred(Predicate::new(local, CmpOp::Eq, rep)));
                     }
                 }
@@ -336,9 +326,7 @@ mod tests {
         db.add_relation(
             Relation::from_rows(TableSchema::new("S", ["B"]), [[10i64], [20]]).unwrap(),
         );
-        db.add_relation(
-            Relation::from_rows(TableSchema::new("T", ["A"]), [[1i64], [9]]).unwrap(),
-        );
+        db.add_relation(Relation::from_rows(TableSchema::new("T", ["A"]), [[1i64], [9]]).unwrap());
         db
     }
 
@@ -377,9 +365,7 @@ mod tests {
 
     #[test]
     fn division_with_idb_inlining() {
-        agree_and_preserve(
-            "I(x) :- R(x, _), S(y), not R(x, y).\nQ(x) :- R(x, _), not I(x).",
-        );
+        agree_and_preserve("I(x) :- R(x, _), S(y), not R(x, y).\nQ(x) :- R(x, _), not I(x).");
     }
 
     #[test]
@@ -403,7 +389,10 @@ mod tests {
     #[test]
     fn repeated_variable_within_atom() {
         let mut d = db();
-        d.relation_mut("R").unwrap().insert_values([7i64, 7]).unwrap();
+        d.relation_mut("R")
+            .unwrap()
+            .insert_values([7i64, 7])
+            .unwrap();
         let p = parse_program("Q(x) :- R(x, x).", &catalog()).unwrap();
         let q = datalog_to_trc(&p, &catalog()).unwrap();
         let out = eval_query(&q, &d).unwrap();
@@ -412,8 +401,8 @@ mod tests {
 
     #[test]
     fn rejects_disjunctive_programs() {
-        let p = rd_datalog::parser::parse_program_unchecked("Q(x) :- T(x).\nQ(x) :- R(x, _).")
-            .unwrap();
+        let p =
+            rd_datalog::parser::parse_program_unchecked("Q(x) :- T(x).\nQ(x) :- R(x, _).").unwrap();
         assert!(datalog_to_trc(&p, &catalog()).is_err());
     }
 }

@@ -62,7 +62,12 @@ pub fn check_equivalent_results<I: IntoIterator<Item = Database>>(
 ) -> Result<usize, Box<(Database, String)>> {
     let four = match FourWay::from_trc(q, catalog) {
         Ok(f) => f,
-        Err(e) => return Err(Box::new((Database::new(), format!("translation failed: {e}")))),
+        Err(e) => {
+            return Err(Box::new((
+                Database::new(),
+                format!("translation failed: {e}"),
+            )))
+        }
     };
     let mut count = 0usize;
     for db in dbs {
@@ -128,9 +133,8 @@ mod tests {
         for i in 0..25 {
             let q = qgen.next_query();
             let dbs = DbGenerator::with_int_domain(catalog(), 3, 3, 1000 + i);
-            check_equivalent_results(&q, &catalog(), dbs.take(15)).unwrap_or_else(|e| {
-                panic!("query {i} ({q}) disagrees: {}\non db\n{}", e.1, e.0)
-            });
+            check_equivalent_results(&q, &catalog(), dbs.take(15))
+                .unwrap_or_else(|e| panic!("query {i} ({q}) disagrees: {}\non db\n{}", e.1, e.0));
         }
     }
 
@@ -143,7 +147,9 @@ mod tests {
         .unwrap();
         let gen = DbGenerator::with_int_domain(catalog(), 4, 3, 7);
         assert_eq!(
-            check_equivalent_results(&q, &catalog(), gen.take(40)).map_err(|e| e.1).unwrap(),
+            check_equivalent_results(&q, &catalog(), gen.take(40))
+                .map_err(|e| e.1)
+                .unwrap(),
             40
         );
     }

@@ -226,9 +226,10 @@ impl<'a> Compiler<'a> {
             if let Literal::Pos(atom) = &rb.literals[0] {
                 let mut terms = Vec::with_capacity(atom.terms.len());
                 for (i, t) in atom.terms.iter().enumerate() {
-                    let attr = &rb.attr_vars.iter().find(|(_, v)| {
-                        matches!(t, DlTerm::Var(tv) if tv == v)
-                    });
+                    let attr = &rb
+                        .attr_vars
+                        .iter()
+                        .find(|(_, v)| matches!(t, DlTerm::Var(tv) if tv == v));
                     let joined = attr.as_ref().and_then(|(a, _)| {
                         join_pairs
                             .iter()
@@ -347,9 +348,7 @@ mod tests {
         db.add_relation(
             Relation::from_rows(TableSchema::new("S", ["B"]), [[10i64], [20]]).unwrap(),
         );
-        db.add_relation(
-            Relation::from_rows(TableSchema::new("T", ["A"]), [[1i64], [9]]).unwrap(),
-        );
+        db.add_relation(Relation::from_rows(TableSchema::new("T", ["A"]), [[1i64], [9]]).unwrap());
         db
     }
 

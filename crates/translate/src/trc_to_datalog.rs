@@ -279,11 +279,7 @@ impl<'a> Ctx<'a> {
                 param_term.insert(p.clone(), n.clone());
                 repairs.push(p);
                 if rep != n && local_reps.contains(&rep) {
-                    extra_eqs.push(BuiltIn::new(
-                        DlTerm::var(n),
-                        CmpOp::Eq,
-                        DlTerm::var(rep),
-                    ));
+                    extra_eqs.push(BuiltIn::new(DlTerm::var(n), CmpOp::Eq, DlTerm::var(rep)));
                 }
             }
         }
@@ -293,12 +289,12 @@ impl<'a> Ctx<'a> {
                 CoreError::Invalid(format!("unknown source table for parameter {p}"))
             })?;
             let schema = self.catalog.require(table)?;
-            let idx = schema.attr_index(&p.attr).ok_or_else(|| {
-                CoreError::UnknownAttribute {
+            let idx = schema
+                .attr_index(&p.attr)
+                .ok_or_else(|| CoreError::UnknownAttribute {
                     table: table.clone(),
                     attribute: p.attr.clone(),
-                }
-            })?;
+                })?;
             let terms: Vec<DlTerm> = (0..schema.arity())
                 .map(|i| {
                     if i == idx {
@@ -383,7 +379,8 @@ impl<'a> Ctx<'a> {
                 (idb, terms)
             }
         };
-        self.rules.push(Rule::new(Atom::new(idb.clone(), head_terms), body));
+        self.rules
+            .push(Rule::new(Atom::new(idb.clone(), head_terms), body));
         Ok(ScopeOut { idb, params })
     }
 }
@@ -504,12 +501,8 @@ mod tests {
         db.add_relation(
             Relation::from_rows(TableSchema::new("S", ["B"]), [[10i64], [20]]).unwrap(),
         );
-        db.add_relation(
-            Relation::from_rows(TableSchema::new("T", ["A"]), [[1i64], [9]]).unwrap(),
-        );
-        db.add_relation(
-            Relation::from_rows(TableSchema::new("U", ["A"]), [[2i64]]).unwrap(),
-        );
+        db.add_relation(Relation::from_rows(TableSchema::new("T", ["A"]), [[1i64], [9]]).unwrap());
+        db.add_relation(Relation::from_rows(TableSchema::new("U", ["A"]), [[2i64]]).unwrap());
         db
     }
 
@@ -535,9 +528,8 @@ mod tests {
 
     #[test]
     fn single_negation_pattern_preserved() {
-        let p = agree(
-            "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ s.B = r.B ]) ] }",
-        );
+        let p =
+            agree("{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ s.B = r.B ]) ] }");
         let mut sig = p.signature();
         sig.sort();
         assert_eq!(sig, vec!["R", "S"]);
@@ -562,9 +554,8 @@ mod tests {
     #[test]
     fn builtin_crossing_triggers_case_ii_repair() {
         // Example 12: values of T with no smaller value in S.
-        let p = agree(
-            "{ q(A) | exists t in T [ q.A = t.A and not (exists s in S [ s.B < t.A ]) ] }",
-        );
+        let p =
+            agree("{ q(A) | exists t in T [ q.A = t.A and not (exists s in S [ s.B < t.A ]) ] }");
         // T, S plus one repair T (the paper's Q1(x) :- R(x), S(y), x > y).
         assert_eq!(p.signature().iter().filter(|t| *t == "T").count(), 2);
     }
@@ -621,7 +612,10 @@ mod tests {
     #[test]
     fn local_equality_chains_unify() {
         let mut d = db();
-        d.relation_mut("R").unwrap().insert_values([5i64, 5]).unwrap();
+        d.relation_mut("R")
+            .unwrap()
+            .insert_values([5i64, 5])
+            .unwrap();
         let q = parse_query(
             "{ q(A) | exists r in R, s in S [ q.A = r.A and r.A = r.B and r.B = s.B ] }",
             &catalog(),

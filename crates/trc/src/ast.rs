@@ -192,7 +192,9 @@ impl Formula {
         }
     }
 
-    /// Negation helper.
+    /// Negation helper — named for the logical connective, not the
+    /// `std::ops::Not` method (this is an associated constructor).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }
@@ -362,7 +364,10 @@ pub struct OutputSpec {
 
 impl OutputSpec {
     /// Constructor.
-    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(name: impl Into<String>, attrs: I) -> Self {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(
+        name: impl Into<String>,
+        attrs: I,
+    ) -> Self {
         OutputSpec {
             name: name.into(),
             attrs: attrs.into_iter().map(Into::into).collect(),
@@ -409,7 +414,8 @@ impl TrcQuery {
     /// of its table references, in syntactic (quantifier) order.
     pub fn signature(&self) -> Vec<String> {
         let mut sig = Vec::new();
-        self.formula.visit_bindings(&mut |b| sig.push(b.table.clone()));
+        self.formula
+            .visit_bindings(&mut |b| sig.push(b.table.clone()));
         sig
     }
 
@@ -541,7 +547,8 @@ mod tests {
         let mut q = division();
         q.formula.rename_var("r2", "x");
         let mut seen = Vec::new();
-        q.formula.visit_predicates(&mut |p| seen.push(p.to_string()));
+        q.formula
+            .visit_predicates(&mut |p| seen.push(p.to_string()));
         assert!(seen.contains(&"x.B = s.B".to_string()));
         assert!(seen.contains(&"x.A = r.A".to_string()));
     }

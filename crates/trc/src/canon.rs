@@ -55,11 +55,11 @@ fn freshen_vars(f: &mut Formula, used: &mut BTreeSet<Var>) {
         }
         Formula::Not(sub) => freshen_vars(sub, used),
         Formula::Exists(bindings, body) => {
-            for i in 0..bindings.len() {
-                let v = bindings[i].var.clone();
+            for binding in bindings.iter_mut() {
+                let v = binding.var.clone();
                 if used.contains(&v) {
                     let fresh = fresh_var(&v, used);
-                    bindings[i].var = fresh.clone();
+                    binding.var = fresh.clone();
                     body.rename_var(&v, &fresh);
                     // Later sibling bindings of the same block cannot bind
                     // `v` again (checked), so renaming the body suffices.
@@ -176,13 +176,7 @@ fn find_definition(f: &Formula, head: &str, attr: &str) -> Option<Term> {
 /// is kept (normalized to `q.A = term`); all other occurrences are replaced
 /// by `def_term`.
 fn replace_uses(f: &mut Formula, head: &str, attr: &str, def_term: &Term, mut keep_first: bool) {
-    fn walk(
-        f: &mut Formula,
-        head: &str,
-        attr: &str,
-        def_term: &Term,
-        keep_first: &mut bool,
-    ) {
+    fn walk(f: &mut Formula, head: &str, attr: &str, def_term: &Term, keep_first: &mut bool) {
         match f {
             Formula::And(fs) | Formula::Or(fs) => {
                 for sub in fs {
@@ -192,14 +186,14 @@ fn replace_uses(f: &mut Formula, head: &str, attr: &str, def_term: &Term, mut ke
             Formula::Not(sub) => walk(sub, head, attr, def_term, keep_first),
             Formula::Exists(_, body) => walk(body, head, attr, def_term, keep_first),
             Formula::Pred(p) => {
-                let is_head = |t: &Term| matches!(t, Term::Attr(a) if a.var == head && a.attr == attr);
+                let is_head =
+                    |t: &Term| matches!(t, Term::Attr(a) if a.var == head && a.attr == attr);
                 let mentions = is_head(&p.left) || is_head(&p.right);
                 if !mentions {
                     return;
                 }
-                let this_defines = p.op == CmpOp::Eq
-                    && (is_head(&p.left) != is_head(&p.right))
-                    && {
+                let this_defines =
+                    p.op == CmpOp::Eq && (is_head(&p.left) != is_head(&p.right)) && {
                         let other = if is_head(&p.left) { &p.right } else { &p.left };
                         other == def_term
                     };
@@ -279,10 +273,8 @@ mod tests {
 
     #[test]
     fn preserves_double_negation() {
-        let q = parse_query_unchecked(
-            "exists r in R [ not (not (exists t in T [ t.A = r.A ])) ]",
-        )
-        .unwrap();
+        let q = parse_query_unchecked("exists r in R [ not (not (exists t in T [ t.A = r.A ])) ]")
+            .unwrap();
         let c = canonicalize(&q);
         assert_eq!(
             to_ascii(&c),

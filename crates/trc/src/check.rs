@@ -143,7 +143,7 @@ fn check_output_safety(q: &TrcQuery) -> CoreResult<()> {
                 let _ = a;
                 match other {
                     Term::Const(_) => true,
-                    Term::Attr(o) => root_vars.iter().any(|v| *v == &o.var),
+                    Term::Attr(o) => root_vars.contains(&&o.var),
                 }
             }
         });
@@ -166,12 +166,7 @@ fn check_output_safety(q: &TrcQuery) -> CoreResult<()> {
 /// The "current negation scope" accumulates bindings through nested
 /// `Exists` blocks and resets at each `Not`.
 pub fn guard_violations(q: &TrcQuery) -> Vec<Predicate> {
-    fn walk(
-        f: &Formula,
-        scope_vars: &mut Vec<Var>,
-        scope_start: usize,
-        out: &mut Vec<Predicate>,
-    ) {
+    fn walk(f: &Formula, scope_vars: &mut Vec<Var>, scope_start: usize, out: &mut Vec<Predicate>) {
         match f {
             Formula::And(fs) | Formula::Or(fs) => {
                 for sub in fs {
@@ -296,9 +291,7 @@ mod tests {
     #[test]
     fn rejects_unbound_var_and_double_binding() {
         assert!(parse_query("exists r in R [ x.A = 1 ]", &catalog()).is_err());
-        assert!(
-            parse_query("exists r in R [ exists r in R [ r.A = 1 ] ]", &catalog()).is_err()
-        );
+        assert!(parse_query("exists r in R [ exists r in R [ r.A = 1 ] ]", &catalog()).is_err());
     }
 
     #[test]

@@ -17,10 +17,11 @@ type Env<'a> = HashMap<String, (&'a TableSchema, &'a Tuple)>;
 
 /// Evaluates a non-Boolean query, returning its output relation.
 pub fn eval_query(q: &TrcQuery, db: &Database) -> CoreResult<Relation> {
-    let head = q
-        .output
-        .clone()
-        .ok_or_else(|| CoreError::Invalid("eval_query requires an output head; use eval_sentence for Boolean queries".into()))?;
+    let head = q.output.clone().ok_or_else(|| {
+        CoreError::Invalid(
+            "eval_query requires an output head; use eval_sentence for Boolean queries".into(),
+        )
+    })?;
     let canon = canonicalize(q);
     let out_schema = TableSchema::try_new(head.name.clone(), head.attrs.clone())?;
     let mut out = Relation::empty(out_schema.clone());
@@ -148,12 +149,12 @@ fn resolve(term: &Term, env: &Env) -> CoreResult<Value> {
             let (schema, tuple) = env
                 .get(&a.var)
                 .ok_or_else(|| CoreError::Invalid(format!("unbound variable '{}'", a.var)))?;
-            let idx = schema.attr_index(&a.attr).ok_or_else(|| {
-                CoreError::UnknownAttribute {
+            let idx = schema
+                .attr_index(&a.attr)
+                .ok_or_else(|| CoreError::UnknownAttribute {
                     table: schema.name().to_string(),
                     attribute: a.attr.clone(),
-                }
-            })?;
+                })?;
             Ok(tuple.get(idx).clone())
         }
     }
@@ -303,18 +304,12 @@ mod tests {
 
     #[test]
     fn union_of_queries() {
-        let cat = Catalog::from_schemas([
-            TableSchema::new("R", ["A"]),
-            TableSchema::new("S", ["A"]),
-        ])
-        .unwrap();
+        let cat =
+            Catalog::from_schemas([TableSchema::new("R", ["A"]), TableSchema::new("S", ["A"])])
+                .unwrap();
         let mut db = Database::new();
-        db.add_relation(
-            Relation::from_rows(TableSchema::new("R", ["A"]), [[1i64], [2]]).unwrap(),
-        );
-        db.add_relation(
-            Relation::from_rows(TableSchema::new("S", ["A"]), [[2i64], [3]]).unwrap(),
-        );
+        db.add_relation(Relation::from_rows(TableSchema::new("R", ["A"]), [[1i64], [2]]).unwrap());
+        db.add_relation(Relation::from_rows(TableSchema::new("S", ["A"]), [[2i64], [3]]).unwrap());
         let u = parse_union(
             "{ q(A) | exists r in R [ q.A = r.A ] } union { q(A) | exists s in S [ q.A = s.A ] }",
             &cat,
@@ -343,11 +338,7 @@ mod tests {
     fn multiple_defining_equalities_act_as_join() {
         let (cat, db) = rs_db();
         // q.A = r.A and q.A = r.B forces r.A = r.B; no such tuple exists.
-        let q = parse_query(
-            "{ q(A) | exists r in R [ q.A = r.A and q.A = r.B ] }",
-            &cat,
-        )
-        .unwrap();
+        let q = parse_query("{ q(A) | exists r in R [ q.A = r.A and q.A = r.B ] }", &cat).unwrap();
         let out = eval_query(&q, &db).unwrap();
         assert!(out.is_empty());
     }

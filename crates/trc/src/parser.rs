@@ -431,11 +431,9 @@ mod tests {
 
     #[test]
     fn parses_union() {
-        let cat = Catalog::from_schemas([
-            TableSchema::new("R", ["A"]),
-            TableSchema::new("S", ["A"]),
-        ])
-        .unwrap();
+        let cat =
+            Catalog::from_schemas([TableSchema::new("R", ["A"]), TableSchema::new("S", ["A"])])
+                .unwrap();
         let u = parse_union(
             "{ q(A) | exists r in R [ q.A = r.A ] } union { q(A) | exists s in S [ q.A = s.A ] }",
             &cat,

@@ -173,12 +173,11 @@ mod tests {
 
     #[test]
     fn union_printer_roundtrips() {
-        let cat = Catalog::from_schemas([
-            TableSchema::new("R", ["A"]),
-            TableSchema::new("S", ["A"]),
-        ])
-        .unwrap();
-        let text = "{ q(A) | exists r in R [q.A = r.A] } union { q(A) | exists s in S [q.A = s.A] }";
+        let cat =
+            Catalog::from_schemas([TableSchema::new("R", ["A"]), TableSchema::new("S", ["A"])])
+                .unwrap();
+        let text =
+            "{ q(A) | exists r in R [q.A = r.A] } union { q(A) | exists s in S [q.A = s.A] }";
         let u = parse_union(text, &cat).unwrap();
         let printed = union_to_ascii(&u);
         let u2 = parse_union(&printed, &cat).unwrap();

@@ -73,7 +73,7 @@ impl QueryGenerator {
     /// Draws the next random TRC\* query (always non-Boolean).
     pub fn next_query(&mut self) -> TrcQuery {
         self.counter = 0;
-        let (bindings, mut visible) = self.fresh_scope();
+        let (bindings, visible) = self.fresh_scope();
         let mut parts = Vec::new();
         // Output definition: pick a root table attribute.
         let pick = self.rng.random_range(0..visible.len());
@@ -86,7 +86,7 @@ impl QueryGenerator {
             CmpOp::Eq,
             Term::attr(out_var, attr),
         )));
-        self.fill_scope(&mut parts, &mut visible, 0);
+        self.fill_scope(&mut parts, &visible, 0);
         TrcQuery::query(
             OutputSpec::new("q", ["out"]),
             Formula::exists(bindings, Formula::and(parts)),
@@ -96,9 +96,9 @@ impl QueryGenerator {
     /// Draws the next random Boolean TRC\* sentence.
     pub fn next_sentence(&mut self) -> TrcQuery {
         self.counter = 0;
-        let (bindings, mut visible) = self.fresh_scope();
+        let (bindings, visible) = self.fresh_scope();
         let mut parts = Vec::new();
-        self.fill_scope(&mut parts, &mut visible, 0);
+        self.fill_scope(&mut parts, &visible, 0);
         TrcQuery::sentence(Formula::exists(bindings, Formula::and(parts)))
     }
 
@@ -123,7 +123,7 @@ impl QueryGenerator {
     }
 
     /// Adds guarded predicates and negated children to a scope.
-    fn fill_scope(&mut self, parts: &mut Vec<Formula>, visible: &mut Vec<Visible>, depth: usize) {
+    fn fill_scope(&mut self, parts: &mut Vec<Formula>, visible: &[Visible], depth: usize) {
         let n_preds = self.rng.random_range(0..=self.config.max_preds_per_scope);
         for _ in 0..n_preds {
             parts.push(Formula::Pred(self.guarded_predicate(visible)));
@@ -148,7 +148,7 @@ impl QueryGenerator {
                 if child_visible.iter().any(|v| !v.local) {
                     child_parts.push(Formula::Pred(self.linking_predicate(&child_visible)));
                 }
-                self.fill_scope(&mut child_parts, &mut child_visible, depth + 1);
+                self.fill_scope(&mut child_parts, &child_visible, depth + 1);
                 parts.push(Formula::not(Formula::exists(
                     bindings,
                     Formula::and(child_parts),

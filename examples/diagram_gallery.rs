@@ -17,7 +17,10 @@ fn render(name: &str, d: &rd_diagram::Diagram) {
     println!(
         "{name}: {} tables, {} partitions -> target/gallery/{name}.{{dot,svg}}",
         d.signature().len(),
-        d.cells.iter().map(|c| c.root.partition_count()).sum::<usize>()
+        d.cells
+            .iter()
+            .map(|c| c.root.partition_count())
+            .sum::<usize>()
     );
 }
 
@@ -53,11 +56,8 @@ fn main() {
     render("fig6", &rd_diagram::from_trc(&sentence, &cat6).unwrap());
 
     // Fig. 9e: a union of two queries as union cells.
-    let cat9 = Catalog::from_schemas([
-        TableSchema::new("R", ["A"]),
-        TableSchema::new("S", ["A"]),
-    ])
-    .unwrap();
+    let cat9 = Catalog::from_schemas([TableSchema::new("R", ["A"]), TableSchema::new("S", ["A"])])
+        .unwrap();
     let union = rd_trc::parse_union(
         "{ q(A) | exists r in R [ q.A = r.A ] } union { q(A) | exists s in S [ q.A = s.A ] }",
         &cat9,

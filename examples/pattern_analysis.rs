@@ -58,7 +58,11 @@ fn main() {
                 "  {:<22} vs {:<22} -> {}",
                 queries[i].0,
                 queries[j].0,
-                if v.is_isomorphic() { "SAME pattern" } else { "different" }
+                if v.is_isomorphic() {
+                    "SAME pattern"
+                } else {
+                    "different"
+                }
             );
         }
     }

@@ -1,85 +1,79 @@
-//! Quickstart: parse a TRC* query, check the fragment, translate it to
-//! all four languages, draw the Relational Diagram, and evaluate
-//! everything on a small sailors database.
+//! Quickstart: drive the whole pipeline through `rd_engine::Session` —
+//! parse a TRC* query, evaluate it, read off the cross-language
+//! translations and the Relational Diagram, and watch the parse cache
+//! work. The same flow is available from the command line as `rd`.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use rd_core::{Catalog, Database, Relation, TableSchema};
+use rd_engine::{demo_database, DiagramFormat, Language, QueryRequest, Session};
 
 fn main() {
-    // The sailors schema of the paper's running example (Example 1).
-    let catalog = Catalog::from_schemas([
-        TableSchema::new("Sailor", ["sid", "sname"]),
-        TableSchema::new("Reserves", ["sid", "bid"]),
-        TableSchema::new("Boat", ["bid", "color"]),
-    ])
-    .unwrap();
+    // The sailors instance of the paper's running example (Example 1).
+    let mut session = Session::new(demo_database());
 
     // "(Q9) Find the names of sailors who have reserved all boats" —
     // the TRC query of eq. (1).
-    let q = rd_trc::parse_query(
-        "{ q(sname) | exists s in Sailor [ q.sname = s.sname and \
-           not (exists b in Boat [ \
-             not (exists r in Reserves [ r.sid = s.sid and r.bid = b.bid ]) ]) ] }",
-        &catalog,
-    )
-    .unwrap();
-    println!("TRC*:\n  {}\n", rd_trc::to_unicode(&q));
-    assert!(rd_trc::check::is_nondisjunctive(&q));
+    let trc = "{ q(sname) | exists s in Sailor [ q.sname = s.sname and \
+                  not (exists b in Boat [ \
+                    not (exists r in Reserves [ r.sid = s.sid and r.bid = b.bid ]) ]) ] }";
 
-    // Canonical SQL* (Theorem 6, part 5).
-    let sql = rd_sql::trc_to_sql(&q).unwrap();
-    println!("SQL*:\n{}\n", rd_sql::format_sql(&sql));
+    let resp = session
+        .run(
+            &QueryRequest::auto(trc) // `{...}` detects as TRC
+                .with_translations()
+                .with_diagram(DiagramFormat::Dot),
+        )
+        .unwrap();
+    assert_eq!(resp.language, Language::Trc);
+    println!("TRC* (canonical):\n  {}\n", resp.canonical);
 
-    // Datalog* — note the extra Sailor reference added by the safety
-    // repair (Lemma 20: Datalog cannot keep this pattern).
-    let datalog = rd_translate::trc_to_datalog(&q, &catalog).unwrap();
-    println!("Datalog* ({} table references vs TRC's {}):\n{}\n",
-        datalog.signature().len(), q.signature().len(), datalog);
+    // The evaluated result: only Dustin reserved all boats.
+    println!("{}", rd_core::pretty::render_relation(&resp.relation));
 
-    // Basic RA* via eq. (5).
-    let ra = rd_translate::datalog_to_ra(&datalog, &catalog).unwrap();
-    println!("RA* ({} references): {}\n", ra.signature().len(), rd_ra::to_unicode(&ra));
+    // Cross-language views through the TRC hub (Theorem 6).
+    let t = resp.translations.as_ref().unwrap();
+    println!("SQL*:\n{}\n", t.sql.as_ref().unwrap());
+    println!("Datalog*:\n{}", t.datalog.as_ref().unwrap());
+    println!("RA*:\n{}\n", t.ra.as_ref().unwrap());
+
+    // The Datalog translation needed a safety repair (Lemma 20: Datalog
+    // cannot keep this pattern) — count table references via the engine.
+    let dl = session
+        .run(&QueryRequest::new(
+            Language::Datalog,
+            t.datalog.as_ref().unwrap(),
+        ))
+        .unwrap();
+    println!(
+        "Datalog uses {} table references vs TRC's {} (the Lemma 20 repair).\n",
+        dl.artifact.signature().len(),
+        resp.artifact.signature().len()
+    );
+    // And the translation evaluates to the same result (Theorem 6).
+    assert_eq!(dl.relation.tuples(), resp.relation.tuples());
 
     // The Relational Diagram (Fig. 2a) — unambiguous, pattern-preserving.
-    let diagram = rd_diagram::from_trc(&q, &catalog).unwrap();
-    diagram.validate().unwrap();
     println!(
-        "Relational Diagram: {} tables, {} joins, {} partitions (Graphviz DOT below)\n",
-        diagram.signature().len(),
-        diagram.cells[0].joins.len(),
-        diagram.cells[0].root.partition_count()
+        "Relational Diagram (Graphviz DOT):\n{}",
+        resp.diagram.as_ref().unwrap()
     );
-    println!("{}", rd_diagram::to_dot(&diagram));
 
-    // Evaluate everything on a tiny instance.
-    let mut db = Database::new();
-    db.add_relation(
-        Relation::from_rows(
-            TableSchema::new("Sailor", ["sid", "sname"]),
-            vec![
-                vec![rd_core::Value::int(1), rd_core::Value::str("Dustin")],
-                vec![rd_core::Value::int(2), rd_core::Value::str("Lubber")],
-            ],
+    // Repeated traffic: the second run of the same request is served from
+    // the session's LRU parse cache.
+    let again = session
+        .run(
+            &QueryRequest::auto(trc)
+                .with_translations()
+                .with_diagram(DiagramFormat::Dot),
         )
-        .unwrap(),
+        .unwrap();
+    assert!(again.cache_hit);
+    let s = session.stats();
+    println!(
+        "session stats: {} queries, {} cache hits, {} misses ({:.0}% hit rate)",
+        s.queries,
+        s.cache_hits,
+        s.cache_misses,
+        s.hit_rate() * 100.0
     );
-    db.add_relation(
-        Relation::from_rows(TableSchema::new("Reserves", ["sid", "bid"]), [[1i64, 101], [1, 102], [2, 101]]).unwrap(),
-    );
-    db.add_relation(
-        Relation::from_rows(
-            TableSchema::new("Boat", ["bid", "color"]),
-            vec![
-                vec![rd_core::Value::int(101), rd_core::Value::str("red")],
-                vec![rd_core::Value::int(102), rd_core::Value::str("green")],
-            ],
-        )
-        .unwrap(),
-    );
-    let out = rd_trc::eval_query(&q, &db).unwrap();
-    println!("{}", rd_core::pretty::render_result("Q", out.schema(), &out.iter().cloned().collect::<Vec<_>>()));
-    let dl_out = rd_datalog::eval_program(&datalog, &db).unwrap();
-    assert_eq!(out.tuples(), dl_out.tuples());
-    println!("\nTRC and Datalog evaluations agree (Theorem 6). Only Dustin reserved all boats.");
 }

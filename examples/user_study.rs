@@ -22,7 +22,10 @@ fn main() {
     let svg = rd_study::stimuli::stimulus_svg(&schemas[0], Pattern::All).unwrap();
     std::fs::write("target/stimulus_p4.svg", &svg).unwrap();
     println!("--- RD condition ----------------------------------------");
-    println!("(diagram written to target/stimulus_p4.svg, {} bytes)", svg.len());
+    println!(
+        "(diagram written to target/stimulus_p4.svg, {} bytes)",
+        svg.len()
+    );
 
     // 2. Counterbalancing sanity: 8!/2^4 sequences per block.
     println!(

@@ -2,6 +2,7 @@
 pub use rd_core as core;
 pub use rd_datalog as datalog;
 pub use rd_diagram as diagram;
+pub use rd_engine as engine;
 pub use rd_pattern as pattern;
 pub use rd_ra as ra;
 pub use rd_sql as sql;

@@ -79,7 +79,10 @@ fn example3_boolean_sentence() {
     );
     assert!(rd_trc::eval_sentence(sentence, &db).unwrap());
     // …and where it fails (sailor 2 reserves nothing).
-    db.relation_mut("Sailor").unwrap().insert_values([2i64]).unwrap();
+    db.relation_mut("Sailor")
+        .unwrap()
+        .insert_values([2i64])
+        .unwrap();
     assert!(!rd_trc::eval_sentence(sentence, &db).unwrap());
 }
 
@@ -136,11 +139,7 @@ fn example8_demorgan_rewrite_changes_pattern() {
 #[test]
 fn example15_disjunction_via_double_negation() {
     let catalog = Catalog::from_schemas([TableSchema::new("R", ["A"])]).unwrap();
-    let or_version = rd_trc::parse_query(
-        "exists r in R [ r.A = 1 or r.A = 2 ]",
-        &catalog,
-    )
-    .unwrap();
+    let or_version = rd_trc::parse_query("exists r in R [ r.A = 1 or r.A = 2 ]", &catalog).unwrap();
     let demorgan = rd_trc::parse_query(
         "not (not (exists r in R [ r.A = 1 ]) and not (exists r2 in R [ r2.A = 2 ]))",
         &catalog,
@@ -167,11 +166,9 @@ fn example15_disjunction_via_double_negation() {
 /// outside every single-branch fragment).
 #[test]
 fn example9_union_cells() {
-    let catalog = Catalog::from_schemas([
-        TableSchema::new("R", ["A"]),
-        TableSchema::new("S", ["A"]),
-    ])
-    .unwrap();
+    let catalog =
+        Catalog::from_schemas([TableSchema::new("R", ["A"]), TableSchema::new("S", ["A"])])
+            .unwrap();
     let u = rd_trc::parse_union(
         "{ q(A) | exists r in R [ q.A = r.A ] } union { q(A) | exists s in S [ q.A = s.A ] }",
         &catalog,
@@ -194,11 +191,9 @@ fn example9_union_cells() {
 /// variant does.
 #[test]
 fn example21_builtin_negation_boundary() {
-    let catalog = Catalog::from_schemas([
-        TableSchema::new("R", ["A"]),
-        TableSchema::new("S", ["A"]),
-    ])
-    .unwrap();
+    let catalog =
+        Catalog::from_schemas([TableSchema::new("R", ["A"]), TableSchema::new("S", ["A"])])
+            .unwrap();
     let q3 = rd_trc::parse_query(
         "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ s.A < r.A ]) ] }",
         &catalog,

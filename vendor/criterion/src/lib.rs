@@ -1,0 +1,114 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Benchmarks compile and run with the same source: each `bench_function`
+//! times its closure over a warmup plus `sample_size` measured batches and
+//! prints mean ns/iter. No statistical analysis, plots, or reports.
+
+use std::time::Instant;
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the shim takes no CLI arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Times `f` and prints `id`'s mean iteration cost.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total_nanos: 0,
+            total_iters: 0,
+        };
+        // Warmup round (not recorded).
+        f(&mut b);
+        b.total_nanos = 0;
+        b.total_iters = 0;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let per_iter = if b.total_iters == 0 {
+            0.0
+        } else {
+            b.total_nanos as f64 / b.total_iters as f64
+        };
+        println!(
+            "{id:<40} {per_iter:>12.1} ns/iter ({} iters)",
+            b.total_iters
+        );
+        self
+    }
+}
+
+/// Passed to each benchmark closure; accumulates timed iterations.
+pub struct Bencher {
+    total_nanos: u128,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, scaling the batch to the routine's cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: aim for batches of roughly 5ms.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().as_nanos().max(1);
+        let batch = ((5_000_000 / once) as u64).clamp(1, 10_000);
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.total_iters += batch;
+    }
+}
+
+/// Prevents the optimizer from eliding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group: both the plain form and the
+/// `name/config/targets` form of real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(...)]` header,
+//! single-parameter tests whose strategy is a numeric range, and the
+//! `prop_assert*` macros. Cases are drawn from a deterministic seeded
+//! generator; there is no shrinking — a failing case panics with the
+//! sampled input in the assertion message via [`proptest!`]'s case label.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Test-runner configuration; only `cases` is interpreted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (no shrinking).
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; unused.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 0,
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` caller expects in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// A strategy: a value source a [`proptest!`] parameter can draw from.
+/// Implemented for numeric ranges.
+pub trait Strategy {
+    /// The values the strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Runs `body` for each of `cfg.cases` deterministic samples of `strategy`.
+/// Used by the [`proptest!`] expansion; not part of real proptest's API.
+pub fn run_cases<S: Strategy>(
+    test_name: &str,
+    cfg: &ProptestConfig,
+    strategy: S,
+    mut body: impl FnMut(S::Value),
+) {
+    // A fixed per-test seed keeps failures reproducible run-to-run.
+    let seed = test_name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..cfg.cases {
+        body(strategy.sample(&mut rng));
+    }
+}
+
+/// The shim's `proptest!` macro: expands each property into a plain `#[test]`
+/// looping over sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($(#[$meta:meta])* fn $name:ident($var:ident in $strategy:expr) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), &__cfg, $strategy, |$var| $body);
+            }
+        )*
+    };
+    (
+        $($(#[$meta:meta])* fn $name:ident($var:ident in $strategy:expr) $body:block)*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($var in $strategy) $body)*
+        }
+    };
+}
+
+/// `prop_assert!` — panics like `assert!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!` — panics like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `prop_assert_ne!` — panics like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #![proptest_config(crate::ProptestConfig { cases: 32, ..crate::ProptestConfig::default() })]
+
+        /// The macro wires config, sampling, and assertions together.
+        #[test]
+        fn samples_respect_the_range(x in 10u64..20) {
+            prop_assert!((10..20).contains(&x));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(x in 0i64..5) {
+            prop_assert!(x >= 0);
+            prop_assert_ne!(x, 5);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Sequence-related random operations.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut xs: Vec<u32> = (0..50).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of external dependencies the sources rely on are vendored as
+//! minimal, API-compatible shims (see `vendor/README.md`). This crate keeps
+//! the parts of serde's surface the workspace actually uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` (re-exported from the companion
+//!   proc-macro crate `serde_derive`), generating field-wise conversions;
+//! * the [`Serialize`] / [`Deserialize`] traits, simplified to convert
+//!   through one concrete JSON value model ([`json::Value`]) instead of
+//!   serde's generic `Serializer`/`Deserializer` visitors.
+//!
+//! The shape of the generated JSON matches real serde's defaults closely
+//! enough for the workspace's exports and tests: structs become objects,
+//! newtype structs are transparent, unit enum variants become strings, and
+//! data-carrying variants become externally tagged single-entry objects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Conversion into the shim's JSON value model.
+///
+/// The real serde trait is `fn serialize<S: Serializer>(&self, s: S)`;
+/// every use in this workspace ultimately targets JSON through
+/// `serde_json`, so the shim collapses the serializer abstraction into a
+/// direct conversion.
+pub trait Serialize {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> json::Value;
+}
+
+/// Conversion from the shim's JSON value model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    fn from_json(v: &json::Value) -> Result<Self, String>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &json::Value) -> Result<Self, String> {
+                match v {
+                    json::Value::Int(i) => Ok(*i as $t),
+                    json::Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(format!("expected integer, found {other}")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &json::Value) -> Result<Self, String> {
+                match v {
+                    json::Value::Float(f) => Ok(*f as $t),
+                    json::Value::Int(i) => Ok(*i as $t),
+                    other => Err(format!("expected number, found {other}")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {other}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::String(s) => Ok(s.clone()),
+            other => Err(format!("expected string, found {other}")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_json(&self) -> json::Value {
+        json::Value::Null
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Array(items) => items.iter().map(T::from_json).collect(),
+            other => Err(format!("expected array, found {other}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> json::Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Array(items) => items.iter().map(T::from_json).collect(),
+            other => Err(format!("expected array, found {other}")),
+        }
+    }
+}
+
+impl<T: Serialize + Eq + std::hash::Hash> Serialize for std::collections::HashSet<T> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+/// Renders a serialized map key as the JSON object key string.
+fn key_string(v: json::Value) -> String {
+    match v {
+        json::Value::String(s) => s,
+        other => other.to_compact(),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_json()), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            other => Err(format!("expected object, found {other}")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<K, V, S>
+{
+    fn to_json(&self) -> json::Value {
+        // Sort for deterministic output, matching the BTreeMap rendering.
+        let mut pairs: Vec<(String, json::Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k.to_json()), v.to_json()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        json::Value::Object(pairs)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(v: &json::Value) -> Result<Self, String> {
+                Ok(($($name::from_json(json::at(v, $idx))?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for json::Value {
+    fn to_json(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for json::Value {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}

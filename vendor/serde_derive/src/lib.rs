@@ -1,0 +1,366 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — structs (named, tuple, unit) and enums with
+//! unit / tuple / struct variants, no generics — using only the built-in
+//! `proc_macro` API (no `syn`/`quote`, which are unavailable offline).
+//!
+//! The generated impls target the simplified traits in the shim `serde`
+//! crate: `Serialize::to_json(&self) -> serde::json::Value` and
+//! `Deserialize::from_json(&Value) -> Result<Self, String>`. Field types
+//! never need to be parsed: the generated code calls the trait methods and
+//! lets type inference resolve them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a `struct` or `enum` item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_json(&self.{f}))"))
+                .collect();
+            format!("::serde::json::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Item::TupleStruct { arity: 1, .. } => {
+            // Newtype structs are transparent, matching real serde.
+            "::serde::Serialize::to_json(&self.0)".to_string()
+        }
+        Item::TupleStruct { arity, .. } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("::serde::json::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Item::UnitStruct { .. } => "::serde::json::Value::Null".to_string(),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::json::Value::String({vn:?}.to_string())"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::json::Value::Object(vec![({vn:?}.to_string(), ::serde::Serialize::to_json(__f0))])"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::json::Value::Object(vec![({vn:?}.to_string(), ::serde::json::Value::Array(vec![{}]))])",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::Serialize::to_json({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binders} }} => ::serde::json::Value::Object(vec![({vn:?}.to_string(), ::serde::json::Value::Object(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::json::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl should parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json(::serde::json::field(__v, {f:?}))?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_json(__v)?))")
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_json(::serde::json::at(__v, {i}))?"))
+                .collect();
+            format!("Ok({name}({}))", inits.join(", "))
+        }
+        Item::UnitStruct { name } => format!("Ok({name})"),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push(format!("{vn:?} => return Ok({name}::{vn})"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        tagged_arms.push(format!(
+                            "{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::from_json(__inner)?))"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_json(::serde::json::at(__inner, {i}))?")
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vn:?} => return Ok({name}::{vn}({}))",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::Deserialize::from_json(::serde::json::field(__inner, {f:?}))?")
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vn:?} => return Ok({name}::{vn} {{ {} }})",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let unit_match = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::serde::json::Value::String(__s) = __v {{\n\
+                         match __s.as_str() {{ {}, _ => {{}} }}\n\
+                     }}",
+                    unit_arms.join(", ")
+                )
+            };
+            let tagged_match = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let Some((__tag, __inner)) = ::serde::json::variant(__v) {{\n\
+                         match __tag {{ {}, _ => {{}} }}\n\
+                     }}",
+                    tagged_arms.join(", ")
+                )
+            };
+            format!(
+                "{unit_match}\n{tagged_match}\n\
+                 Err(format!(\"unrecognized value for enum `{name}`: {{__v}}\"))"
+            )
+        }
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(__v: &::serde::json::Value) -> Result<Self, String> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl should parse")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing of the derive input
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("shim serde_derive: expected `struct` or `enum`, found {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("shim serde_derive: expected item name, found {t}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("shim serde_derive: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: split_top_level(g.stream()).len(),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("shim serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("shim serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("shim serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas, tracking angle-bracket depth
+/// so commas inside `BTreeMap<K, V>` and friends don't split.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth: usize = 0;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Parses `vis name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|field_tokens| {
+            let mut i = 0;
+            skip_attrs_and_vis(&field_tokens, &mut i);
+            match &field_tokens[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                t => panic!("shim serde_derive: expected field name, found {t}"),
+            }
+        })
+        .collect()
+}
+
+/// Parses enum variants: `Name`, `Name(T, ...)`, or `Name { f: T, ... }`.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|variant_tokens| {
+            let mut i = 0;
+            skip_attrs_and_vis(&variant_tokens, &mut i);
+            let name = match &variant_tokens[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                t => panic!("shim serde_derive: expected variant name, found {t}"),
+            };
+            i += 1;
+            let shape = match variant_tokens.get(i) {
+                None => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream()))
+                }
+                // Explicit discriminants (`Name = 3`) don't affect shape.
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantShape::Unit,
+                other => panic!("shim serde_derive: unexpected variant body {other:?}"),
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
