@@ -1,0 +1,95 @@
+//! Service-layer throughput baseline: the `rd-server` TCP service driven
+//! by the bench client, comparing worker-pool widths and the shared
+//! result cache on vs off. Future PRs tune the server against these
+//! numbers.
+//!
+//! Each measured iteration is one full client round-trip (connect once
+//! per scenario; per-iter = one request) against a live server on an
+//! ephemeral localhost port.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rd_engine::{demo_database, Language};
+use rd_server::{run_bench, BenchConfig, Client, Server, ServerConfig};
+
+struct LiveServer {
+    addr: std::net::SocketAddr,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl LiveServer {
+    fn start(workers: usize, eval_cache: bool) -> LiveServer {
+        let server = Server::bind(
+            ServerConfig {
+                workers,
+                eval_cache,
+                ..ServerConfig::default()
+            },
+            demo_database(),
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.serve());
+        LiveServer {
+            addr,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for LiveServer {
+    fn drop(&mut self) {
+        if let Ok(mut client) = Client::connect(self.addr) {
+            let _ = client.shutdown();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+const QUERY: &str = "SELECT DISTINCT Sailor.sname FROM Sailor, Reserves \
+                     WHERE Sailor.sid = Reserves.sid";
+
+/// One persistent connection, one request per iteration.
+fn bench_single_connection(c: &mut Criterion, id: &str, eval_cache: bool) {
+    let server = LiveServer::start(1, eval_cache);
+    let mut client = Client::connect(server.addr).expect("connect");
+    c.bench_function(id, |b| {
+        b.iter(|| {
+            client
+                .query(Some(Language::Sql), QUERY)
+                .expect("query round-trip")
+        })
+    });
+}
+
+/// One full load burst per iteration: 4 client threads x 25 requests
+/// (the four-language default mix) against a 1- or 4-worker pool. With
+/// one worker the four connections serialize; with four they run in
+/// parallel — the worker-width comparison future PRs optimize against.
+fn bench_load_burst(c: &mut Criterion, id: &str, workers: usize) {
+    let server = LiveServer::start(workers, true);
+    let mut cfg = BenchConfig::new(server.addr.to_string());
+    cfg.threads = 4;
+    cfg.requests = 25;
+    c.bench_function(id, |b| {
+        b.iter(|| {
+            let report = run_bench(&cfg).expect("bench burst");
+            assert_eq!(report.errors, 0);
+            report.completed
+        })
+    });
+}
+
+fn service_throughput(c: &mut Criterion) {
+    println!("\n== service throughput ==");
+    println!("-- one request per iter:");
+    bench_single_connection(c, "serve/1-conn/eval-cache-on", true);
+    bench_single_connection(c, "serve/1-conn/eval-cache-off", false);
+    println!("-- one 100-request burst (4 connections) per iter:");
+    bench_load_burst(c, "serve/burst/1-worker", 1);
+    bench_load_burst(c, "serve/burst/4-workers", 4);
+}
+
+criterion_group!(benches, service_throughput);
+criterion_main!(benches);

@@ -251,6 +251,25 @@ impl Database {
     pub fn total_tuples(&self) -> usize {
         self.relations.values().map(Relation::len).sum()
     }
+
+    /// A 64-bit content fingerprint: two databases with the same schemas
+    /// and tuple sets hash equal. Iteration over `BTreeMap`/`BTreeSet` is
+    /// ordered, so the fingerprint is deterministic for a given instance
+    /// within one process — it keys in-memory result caches and lets a
+    /// service tell reloads apart; it is not a persistent checksum.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.relations.len().hash(&mut h);
+        for rel in self.relations.values() {
+            rel.schema().hash(&mut h);
+            rel.len().hash(&mut h);
+            for t in rel.iter() {
+                t.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
 }
 
 impl fmt::Display for Database {
@@ -328,6 +347,26 @@ mod tests {
         let db = Database::empty_for(&cat);
         assert_eq!(db.len(), 2);
         assert!(db.require("R").unwrap().is_empty());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let mut a = Database::new();
+        a.add_relation(sample());
+        let mut b = Database::new();
+        b.add_relation(sample());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.relation_mut("R")
+            .unwrap()
+            .insert_values([9i64, 9])
+            .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Schema-only differences also show up.
+        let mut c = Database::new();
+        c.add_relation(Relation::empty(TableSchema::new("R", ["A", "B"])));
+        let mut d = Database::new();
+        d.add_relation(Relation::empty(TableSchema::new("R", ["A", "C"])));
+        assert_ne!(c.fingerprint(), d.fingerprint());
     }
 
     #[test]

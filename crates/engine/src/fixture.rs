@@ -106,6 +106,109 @@ pub fn render_fixture(db: &Database) -> String {
     out
 }
 
+/// Parses CSV text into a single [`Relation`] named `table` — the bulk
+/// import path behind `--db data.csv` and the REPL's `:load csv`.
+///
+/// The dialect is minimal RFC-4180: the first record is the header
+/// (attribute names), fields are comma-separated, and a field may be
+/// `"double-quoted"` (with `""` escaping a quote) to carry commas,
+/// quotes, or newlines. Unquoted fields are trimmed; a field parsing as
+/// an `i64` becomes [`Value::Int`], anything else a [`Value::Str`].
+pub fn parse_csv(table: &str, text: &str) -> CoreResult<Relation> {
+    let err = |record: usize, msg: String| {
+        CoreError::Invalid(format!("csv '{table}' record {record}: {msg}"))
+    };
+    let records = split_csv_records(text).map_err(|(record, msg)| err(record, msg))?;
+    let mut it = records.into_iter();
+    let header = it
+        .next()
+        .ok_or_else(|| err(1, "missing header record".into()))?;
+    if header.iter().any(|a| a.is_empty()) {
+        return Err(err(1, "empty attribute name in header".into()));
+    }
+    let schema = TableSchema::try_new(table, header)?;
+    let mut rel = Relation::empty(schema);
+    for (i, record) in it.enumerate() {
+        let row: Vec<Value> = record
+            .into_iter()
+            .map(|field| match field.parse::<i64>() {
+                Ok(n) => Value::int(n),
+                Err(_) => Value::str(field),
+            })
+            .collect();
+        rel.insert_values(row)
+            .map_err(|e| err(i + 2, e.to_string()))?;
+    }
+    Ok(rel)
+}
+
+/// Splits CSV text into records of fields, honoring quoted fields that
+/// may span lines. Errors carry the 1-based record number.
+fn split_csv_records(text: &str) -> Result<Vec<Vec<String>>, (usize, String)> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    // Whether the current field was quoted (suppresses trimming and
+    // integer-vs-string ambiguity is resolved by the caller either way),
+    // and whether the record has any content at all (skips blank lines).
+    let mut quoted = false;
+    let mut any = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if field.is_empty() && !quoted => {
+                // Opening quote: consume until the closing quote.
+                quoted = true;
+                any = true;
+                loop {
+                    match chars.next() {
+                        Some('"') if chars.peek() == Some(&'"') => {
+                            field.push('"');
+                            chars.next();
+                        }
+                        Some('"') => break,
+                        Some(c) => field.push(c),
+                        None => {
+                            return Err((records.len() + 1, "unterminated quoted field".into()))
+                        }
+                    }
+                }
+            }
+            ',' => {
+                record.push(finish_field(&mut field, &mut quoted));
+                any = true;
+            }
+            '\r' => {} // tolerate CRLF line endings
+            '\n' => {
+                if any || !field.is_empty() {
+                    record.push(finish_field(&mut field, &mut quoted));
+                    records.push(std::mem::take(&mut record));
+                    any = false;
+                }
+            }
+            c => {
+                field.push(c);
+                any = true;
+            }
+        }
+    }
+    if any || !field.is_empty() {
+        record.push(finish_field(&mut field, &mut quoted));
+        records.push(record);
+    }
+    Ok(records)
+}
+
+fn finish_field(field: &mut String, quoted: &mut bool) -> String {
+    let out = std::mem::take(field);
+    let was_quoted = std::mem::take(quoted);
+    if was_quoted {
+        out
+    } else {
+        out.trim().to_string()
+    }
+}
+
 fn parse_row(line: &str) -> Result<Vec<Value>, String> {
     let inner = line
         .strip_prefix('(')
@@ -236,6 +339,58 @@ mod tests {
         let e = parse_fixture("R(a, b):\n  (1)\n").unwrap_err();
         assert!(e.to_string().contains("line 2"), "{e}");
         assert!(e.to_string().contains("arity"), "{e}");
+    }
+
+    #[test]
+    fn csv_imports_with_header_and_type_detection() {
+        let rel = parse_csv("People", "name,age\nAlice,30\nBob,41\n").unwrap();
+        assert_eq!(rel.name(), "People");
+        assert_eq!(rel.schema().attrs(), ["name", "age"]);
+        assert_eq!(rel.len(), 2);
+        let first = rel.iter().next().unwrap();
+        assert_eq!(first.get(0), &Value::str("Alice"));
+        assert_eq!(first.get(1), &Value::int(30));
+    }
+
+    #[test]
+    fn csv_quoted_fields_escape_commas_quotes_newlines() {
+        let rel = parse_csv("T", "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n\"line1\nline2\",7\n").unwrap();
+        assert_eq!(rel.len(), 2);
+        let tuples: Vec<_> = rel.iter().collect();
+        assert!(tuples
+            .iter()
+            .any(|t| t.get(0) == &Value::str("x,y") && t.get(1) == &Value::str("say \"hi\"")));
+        assert!(tuples
+            .iter()
+            .any(|t| t.get(0) == &Value::str("line1\nline2") && t.get(1) == &Value::int(7)));
+    }
+
+    #[test]
+    fn csv_type_detection_is_value_based() {
+        // Type detection is by parseability, not quoting: any field that
+        // parses as an i64 becomes an integer, everything else a string.
+        let rel = parse_csv("T", "a,b\n30,3x\n").unwrap();
+        let t = rel.iter().next().unwrap();
+        assert_eq!(t.get(0), &Value::int(30));
+        assert_eq!(t.get(1), &Value::str("3x"));
+    }
+
+    #[test]
+    fn csv_tolerates_crlf_and_blank_lines() {
+        let rel = parse_csv("T", "a,b\r\n1,2\r\n\r\n3,4\r\n").unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn csv_errors_are_reported_with_record_numbers() {
+        let e = parse_csv("T", "a,b\n1\n").unwrap_err();
+        assert!(e.to_string().contains("record 2"), "{e}");
+        let e = parse_csv("T", "").unwrap_err();
+        assert!(e.to_string().contains("header"), "{e}");
+        let e = parse_csv("T", "a,a\n1,2\n").unwrap_err();
+        assert!(e.to_string().contains("duplicated"), "{e}");
+        let e = parse_csv("T", "a,b\n\"unterminated\n").unwrap_err();
+        assert!(e.to_string().contains("unterminated"), "{e}");
     }
 
     #[test]

@@ -22,9 +22,22 @@
 //! Repeated-query traffic is the expected production shape, so the
 //! session fronts its parsers with a capacity-bounded LRU cache keyed by
 //! `(language, hash(text))` — hits skip lexing, parsing, checking, and
-//! canonicalization. [`Session::run_batch`] additionally reuses whole
-//! responses for exact repeats within one batch. [`SessionStats`]
-//! surfaces the hit/miss/eviction counters.
+//! canonicalization — and its evaluator with a result cache keyed by
+//! `(generation, language, hash(canonical text))` — hits skip evaluation
+//! entirely. [`Session::run_batch`] additionally reuses whole responses
+//! for exact repeats within one batch. [`SessionStats`] surfaces the
+//! per-session hit/miss/eviction counters.
+//!
+//! Both caches, plus the database snapshot itself, live in an
+//! [`EngineShared`] (module [`shared`]): a lock-striped, `Arc`-shareable
+//! bundle. [`Session::new`] wraps a private instance; a concurrent
+//! service (the `rd-server` worker pool) attaches many
+//! per-connection sessions to one shared instance with
+//! [`Session::attach`], so all workers share one sharded parse cache and
+//! one generation-invalidated result cache. Replacing the database
+//! installs a new [`DbEpoch`] with a bumped generation — in-flight
+//! queries keep their consistent snapshot, and stale result-cache
+//! entries can never be served again.
 //!
 //! ```
 //! use rd_engine::{demo_database, QueryRequest, Session};
@@ -50,10 +63,12 @@ pub mod fixture;
 pub mod language;
 pub mod request;
 pub mod session;
+pub mod shared;
 
 pub use artifact::Artifact;
 pub use cache::LruCache;
-pub use fixture::{demo_database, parse_fixture, render_fixture};
+pub use fixture::{demo_database, parse_csv, parse_fixture, render_fixture};
 pub use language::Language;
 pub use request::{DiagramFormat, QueryRequest, QueryResponse, Translations};
 pub use session::{Session, SessionStats, DEFAULT_CACHE_CAPACITY};
+pub use shared::{CacheStats, DbEpoch, EngineShared, ShardedCache, SharedConfig};

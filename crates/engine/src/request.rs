@@ -88,10 +88,14 @@ pub struct QueryResponse {
     pub artifact: Arc<Artifact>,
     /// The canonical rendering in the source language.
     pub canonical: String,
-    /// The evaluated result over the session database.
-    pub relation: Relation,
+    /// The evaluated result over the session database (shared with the
+    /// eval cache — a cache hit is one `Arc` clone, not a deep copy).
+    pub relation: Arc<Relation>,
     /// `true` if the artifact came from the parse cache.
     pub cache_hit: bool,
+    /// `true` if the result came from the eval/result cache (the
+    /// evaluation itself was skipped).
+    pub eval_cache_hit: bool,
     /// Cross-language translations, if requested.
     pub translations: Option<Translations>,
     /// The rendered Relational Diagram, if requested.

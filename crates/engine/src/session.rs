@@ -1,21 +1,25 @@
 //! The query session: the workspace's single front door.
 
-use crate::cache::LruCache;
 use crate::request::{DiagramFormat, QueryRequest, QueryResponse, Translations};
+use crate::shared::{hash_text, DbEpoch, EngineShared, EvalEntry, ParseEntry, SharedConfig};
 use crate::{Artifact, Language};
-use rd_core::{Catalog, CoreResult, Database};
+use rd_core::{Catalog, CoreResult, Database, Relation};
 use rd_trc::TrcUnion;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-/// Default parse-cache capacity (entries, not bytes — artifacts are small
-/// ASTs).
-pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+/// Default parse-cache capacity (re-exported for compatibility; see
+/// [`crate::shared::DEFAULT_PARSE_CACHE_CAPACITY`]).
+pub const DEFAULT_CACHE_CAPACITY: usize = crate::shared::DEFAULT_PARSE_CACHE_CAPACITY;
 
 /// Counters describing a session's traffic, exposed by
 /// [`Session::stats`].
+///
+/// These count *this session's* lookups — hits and misses the session
+/// observed against the (possibly shared) caches, and evictions its own
+/// inserts caused. A service aggregates them across workers with
+/// [`SessionStats::accumulate`]; cache-wide occupancy lives in
+/// [`crate::shared::CacheStats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Queries run (including each element of a batch).
@@ -26,14 +30,21 @@ pub struct SessionStats {
     pub cache_hits: u64,
     /// Parse-cache misses (each paid a full parse + canonicalization).
     pub cache_misses: u64,
-    /// Entries evicted by LRU pressure.
+    /// Parse-cache entries this session's inserts evicted.
     pub cache_evictions: u64,
+    /// Eval-cache hits (the evaluation itself was skipped).
+    pub eval_hits: u64,
+    /// Eval-cache misses (the query was evaluated; 0 with the eval cache
+    /// disabled).
+    pub eval_misses: u64,
+    /// Eval-cache entries this session's inserts evicted.
+    pub eval_evictions: u64,
     /// Total result tuples returned.
     pub rows_returned: u64,
 }
 
 impl SessionStats {
-    /// Fraction of lookups served from the cache (0 when idle).
+    /// Fraction of parse lookups served from the cache (0 when idle).
     pub fn hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
         if total == 0 {
@@ -42,18 +53,50 @@ impl SessionStats {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Adds `other`'s counters into `self` (service-side aggregation
+    /// across workers).
+    pub fn accumulate(&mut self, other: &SessionStats) {
+        self.queries += other.queries;
+        self.batches += other.batches;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.eval_hits += other.eval_hits;
+        self.eval_misses += other.eval_misses;
+        self.eval_evictions += other.eval_evictions;
+        self.rows_returned += other.rows_returned;
+    }
+
+    /// The counter-wise difference `self - earlier` (for merging periodic
+    /// snapshots of a live session into an aggregate exactly once).
+    pub fn since(&self, earlier: &SessionStats) -> SessionStats {
+        SessionStats {
+            queries: self.queries - earlier.queries,
+            batches: self.batches - earlier.batches,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
+            eval_hits: self.eval_hits - earlier.eval_hits,
+            eval_misses: self.eval_misses - earlier.eval_misses,
+            eval_evictions: self.eval_evictions - earlier.eval_evictions,
+            rows_returned: self.rows_returned - earlier.rows_returned,
+        }
+    }
 }
 
-/// The cached unit: the original text (to rule out 64-bit hash
-/// collisions) and the shared prepared artifact.
-struct CacheEntry {
-    text: String,
-    artifact: Arc<Artifact>,
-}
-
-/// A query session over one database: parse → check → translate → eval →
-/// diagram, with a capacity-bounded LRU parse/canonicalization cache in
-/// front of the parsers.
+/// A query session: parse → check → translate → eval → diagram, fronted
+/// by a parse/canonicalization cache and an eval/result cache.
+///
+/// A session owns its traffic counters but *borrows* everything heavy —
+/// the database epoch and both caches — from an [`EngineShared`]:
+///
+/// * [`Session::new`] wraps a private `EngineShared` (single-threaded
+///   use: CLI, tests, embedding). Caches are strict single-shard LRUs.
+/// * [`Session::attach`] joins an existing shared instance — this is how
+///   a server gives every connection its own session while all of them
+///   share one sharded parse cache, one generation-stamped result cache,
+///   and one database snapshot.
 ///
 /// ```
 /// use rd_engine::{demo_database, Language, QueryRequest, Session};
@@ -66,37 +109,53 @@ struct CacheEntry {
 /// assert_eq!(resp.relation.len(), 2);
 /// ```
 pub struct Session {
-    db: Database,
-    catalog: Catalog,
-    cache: LruCache<(Language, u64), CacheEntry>,
+    shared: Arc<EngineShared>,
     stats: SessionStats,
 }
 
 impl Session {
-    /// A session over `db` with the default cache capacity.
+    /// A session over `db` with default cache tuning (private caches).
     pub fn new(db: Database) -> Self {
         Session::with_cache_capacity(db, DEFAULT_CACHE_CAPACITY)
     }
 
-    /// A session over `db` with an explicit parse-cache capacity.
+    /// A session over `db` with an explicit cache capacity (applied to
+    /// both the parse and eval caches; private, single-shard — evictions
+    /// follow strict LRU order).
     pub fn with_cache_capacity(db: Database, capacity: usize) -> Self {
-        let catalog = db.catalog();
-        Session {
+        Session::attach(Arc::new(EngineShared::with_config(
             db,
-            catalog,
-            cache: LruCache::new(capacity),
+            SharedConfig {
+                parse_cache_capacity: capacity,
+                eval_cache_capacity: capacity,
+                shards: 1,
+                ..SharedConfig::default()
+            },
+        )))
+    }
+
+    /// A session borrowing `shared` state — per-connection sessions of a
+    /// concurrent service all attach to one [`EngineShared`].
+    pub fn attach(shared: Arc<EngineShared>) -> Self {
+        Session {
+            shared,
             stats: SessionStats::default(),
         }
     }
 
-    /// The session's database.
-    pub fn database(&self) -> &Database {
-        &self.db
+    /// The shared engine state this session runs against.
+    pub fn shared(&self) -> &Arc<EngineShared> {
+        &self.shared
     }
 
-    /// The catalog implied by the session's database.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The session's current database (snapshot of the current epoch).
+    pub fn database(&self) -> Arc<Database> {
+        self.shared.epoch().db.clone()
+    }
+
+    /// The catalog implied by the session's current database.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.shared.epoch().catalog.clone()
     }
 
     /// Traffic counters since construction (or the last
@@ -110,21 +169,23 @@ impl Session {
         self.stats = SessionStats::default();
     }
 
-    /// Replaces the database. The parse cache is cleared: parsing and
-    /// checking are catalog-dependent, so artifacts prepared against the
-    /// old schemas must not be reused.
+    /// Replaces the database: installs a new epoch (bumped generation)
+    /// and clears both caches — parsing and checking are
+    /// catalog-dependent, and results are instance-dependent. Sessions
+    /// attached to the same shared state all observe the swap.
     pub fn set_database(&mut self, db: Database) {
-        self.catalog = db.catalog();
-        self.db = db;
-        self.cache.clear();
+        self.shared.replace_database(db);
     }
 
-    /// Runs one request: prepare (cached), evaluate, and produce the
-    /// requested optional artifacts.
+    /// Runs one request: prepare (parse cache), evaluate (eval cache),
+    /// and produce the requested optional artifacts.
     pub fn run(&mut self, req: &QueryRequest) -> CoreResult<QueryResponse> {
+        // One epoch snapshot per request: a concurrent reload must not
+        // switch databases between prepare and eval.
+        let epoch = self.shared.epoch();
         self.stats.queries += 1;
-        let (artifact, cache_hit) = self.prepare(req.language, &req.text)?;
-        let relation = artifact.eval(&self.db)?;
+        let (artifact, cache_hit) = self.prepare(&epoch, req.language, &req.text)?;
+        let (relation, eval_cache_hit) = self.evaluate(&epoch, &artifact)?;
         self.stats.rows_returned += relation.len() as u64;
         // Both optional artifacts view the query through the TRC hub;
         // compute it once per request. A hub failure (the query is outside
@@ -132,7 +193,7 @@ impl Session {
         // discard the successful evaluation — it degrades to a note.
         let mut notes = Vec::new();
         let hub = if req.translations || req.diagram != DiagramFormat::None {
-            match self.to_hub_trc(&artifact) {
+            match self.hub_trc(&artifact, &epoch.catalog) {
                 Ok(hub) => Some(hub),
                 Err(e) => {
                     notes.push(format!("TRC-hub translation unavailable: {e}"));
@@ -143,11 +204,11 @@ impl Session {
             None
         };
         let translations = match &hub {
-            Some(hub) if req.translations => Some(self.translations(hub)?),
+            Some(hub) if req.translations => Some(self.translations(hub, &epoch.catalog)?),
             _ => None,
         };
         let diagram = match &hub {
-            Some(hub) => match self.render_diagram(hub, req.diagram) {
+            Some(hub) => match self.render_diagram(hub, &epoch.catalog, req.diagram) {
                 Ok(d) => d,
                 // Same degrade-to-note contract: e.g. disjunctive queries
                 // evaluate fine but have no Relational Diagram* form.
@@ -164,6 +225,7 @@ impl Session {
             artifact,
             relation,
             cache_hit,
+            eval_cache_hit,
             translations,
             diagram,
             notes,
@@ -172,7 +234,7 @@ impl Session {
 
     /// Runs a batch of requests, amortizing work across repeats: an exact
     /// repeat within the batch reuses the earlier response wholesale
-    /// (parse *and* evaluation), on top of the cross-batch parse cache.
+    /// (parse *and* evaluation), on top of the cross-batch caches.
     pub fn run_batch(&mut self, reqs: &[QueryRequest]) -> Vec<CoreResult<QueryResponse>> {
         self.stats.batches += 1;
         let mut memo: HashMap<&QueryRequest, QueryResponse> = HashMap::new();
@@ -196,48 +258,87 @@ impl Session {
         out
     }
 
-    /// Parses + canonicalizes through the LRU cache. Returns the shared
-    /// artifact and whether it was a cache hit. Failed parses are not
-    /// cached (error traffic shouldn't evict good entries).
-    fn prepare(&mut self, language: Language, text: &str) -> CoreResult<(Arc<Artifact>, bool)> {
-        let key = (language, hash_text(text));
-        if let Some(entry) = self.cache.get(&key) {
-            if entry.text == text {
+    /// Parses + canonicalizes through the shared parse cache. Returns the
+    /// shared artifact and whether it was a cache hit. Failed parses are
+    /// not cached (error traffic shouldn't evict good entries).
+    fn prepare(
+        &mut self,
+        epoch: &DbEpoch,
+        language: Language,
+        text: &str,
+    ) -> CoreResult<(Arc<Artifact>, bool)> {
+        let key = (epoch.generation, language, hash_text(text));
+        if let Some(entry) = self.shared.parse_cache.get(&key) {
+            if &*entry.text == text {
                 self.stats.cache_hits += 1;
-                return Ok((entry.artifact.clone(), true));
+                return Ok((entry.artifact, true));
             }
         }
         self.stats.cache_misses += 1;
-        let artifact = Arc::new(Artifact::prepare(language, text, &self.catalog)?);
-        let entry = CacheEntry {
-            text: text.to_string(),
+        let artifact = Arc::new(Artifact::prepare(language, text, &epoch.catalog)?);
+        let entry = ParseEntry {
+            text: text.into(),
             artifact: artifact.clone(),
         };
-        if self.cache.insert(key, entry).is_some() {
+        if self.shared.parse_cache.insert(key, entry) {
             self.stats.cache_evictions += 1;
         }
         Ok((artifact, false))
     }
 
+    /// Evaluates through the shared eval/result cache, keyed by the
+    /// canonical artifact text and the epoch's generation. Returns the
+    /// (shared) relation and whether evaluation was skipped.
+    fn evaluate(
+        &mut self,
+        epoch: &DbEpoch,
+        artifact: &Artifact,
+    ) -> CoreResult<(Arc<Relation>, bool)> {
+        if !self.shared.eval_cache_enabled() {
+            return Ok((Arc::new(artifact.eval(&epoch.db)?), false));
+        }
+        let canonical = artifact.canonical_text();
+        let key = (epoch.generation, artifact.language(), hash_text(&canonical));
+        if let Some(entry) = self.shared.eval_cache.get(&key) {
+            if *entry.canonical == canonical {
+                self.stats.eval_hits += 1;
+                return Ok((entry.relation, true));
+            }
+        }
+        self.stats.eval_misses += 1;
+        let relation = Arc::new(artifact.eval(&epoch.db)?);
+        let entry = EvalEntry {
+            canonical: canonical.into(),
+            relation: relation.clone(),
+        };
+        if self.shared.eval_cache.insert(key, entry) {
+            self.stats.eval_evictions += 1;
+        }
+        Ok((relation, false))
+    }
+
     /// Carries the artifact into canonical TRC — the hub of the Theorem 6
     /// translation diagram.
     pub fn to_hub_trc(&self, artifact: &Artifact) -> CoreResult<TrcUnion> {
+        let catalog = self.shared.epoch().catalog.clone();
+        self.hub_trc(artifact, &catalog)
+    }
+
+    fn hub_trc(&self, artifact: &Artifact, catalog: &Catalog) -> CoreResult<TrcUnion> {
         let union = match artifact {
             Artifact::Trc(u) => u.clone(),
-            Artifact::Sql(u) => rd_sql::sql_to_trc(u, &self.catalog)?,
-            Artifact::Datalog(p) => {
-                TrcUnion::single(rd_translate::datalog_to_trc(p, &self.catalog)?)
-            }
+            Artifact::Sql(u) => rd_sql::sql_to_trc(u, catalog)?,
+            Artifact::Datalog(p) => TrcUnion::single(rd_translate::datalog_to_trc(p, catalog)?),
             Artifact::Ra(e) => {
-                let p = rd_translate::ra_to_datalog(e, &self.catalog)?;
-                TrcUnion::single(rd_translate::datalog_to_trc(&p, &self.catalog)?)
+                let p = rd_translate::ra_to_datalog(e, catalog)?;
+                TrcUnion::single(rd_translate::datalog_to_trc(&p, catalog)?)
             }
         };
         Ok(rd_trc::canon::canonicalize_union(&union))
     }
 
     /// Builds the cross-language views of a hub-TRC form.
-    fn translations(&self, hub: &TrcUnion) -> CoreResult<Translations> {
+    fn translations(&self, hub: &TrcUnion, catalog: &Catalog) -> CoreResult<Translations> {
         let mut t = Translations {
             trc: rd_trc::printer::union_to_ascii(hub),
             ..Translations::default()
@@ -247,9 +348,9 @@ impl Session {
             Err(e) => t.notes.push(format!("SQL translation unavailable: {e}")),
         }
         if let [query] = hub.branches.as_slice() {
-            match rd_translate::trc_to_datalog(query, &self.catalog) {
+            match rd_translate::trc_to_datalog(query, catalog) {
                 Ok(program) => {
-                    match rd_translate::datalog_to_ra(&program, &self.catalog) {
+                    match rd_translate::datalog_to_ra(&program, catalog) {
                         Ok(ra) => t.ra = Some(rd_ra::printer::to_ascii(&ra)),
                         Err(e) => t.notes.push(format!("RA translation unavailable: {e}")),
                     }
@@ -270,11 +371,16 @@ impl Session {
     }
 
     /// Renders the Relational Diagram of a hub-TRC form.
-    fn render_diagram(&self, hub: &TrcUnion, format: DiagramFormat) -> CoreResult<Option<String>> {
+    fn render_diagram(
+        &self,
+        hub: &TrcUnion,
+        catalog: &Catalog,
+        format: DiagramFormat,
+    ) -> CoreResult<Option<String>> {
         if format == DiagramFormat::None {
             return Ok(None);
         }
-        let diagram = rd_diagram::from_trc_union(hub, &self.catalog)?;
+        let diagram = rd_diagram::from_trc_union(hub, catalog)?;
         diagram.validate()?;
         Ok(Some(match format {
             DiagramFormat::Dot => rd_diagram::to_dot(&diagram),
@@ -282,10 +388,4 @@ impl Session {
             DiagramFormat::None => unreachable!("handled above"),
         }))
     }
-}
-
-fn hash_text(text: &str) -> u64 {
-    let mut h = DefaultHasher::new();
-    text.hash(&mut h);
-    h.finish()
 }

@@ -1,0 +1,422 @@
+//! Shareable engine state: the database epoch and the sharded caches.
+//!
+//! PR 1's [`Session`](crate::Session) owned its database and a private
+//! parse cache — fine for one thread, useless for a fleet of server
+//! workers. This module extracts everything worth sharing into
+//! [`EngineShared`], one instance of which can sit behind an `Arc` and
+//! serve any number of concurrent sessions:
+//!
+//! * a [`DbEpoch`] — the current immutable database snapshot plus a
+//!   monotonically increasing **generation** counter and a content
+//!   [`fingerprint`](rd_core::Database::fingerprint). Queries snapshot the
+//!   epoch once and run against it; a concurrent reload simply installs a
+//!   new epoch without disturbing in-flight work.
+//! * a **sharded parse cache**: `(language, hash(text))` → prepared
+//!   [`Artifact`]. Lock-striped so concurrent sessions rarely contend.
+//! * a **sharded eval/result cache**: `(generation, language,
+//!   hash(canonical text))` → evaluated [`Relation`]. Keyed by the
+//!   *canonical* form, so `SELECT DISTINCT Boat.color FROM Boat` and a
+//!   differently-whitespaced twin share one entry; stamped with the
+//!   generation, so entries from before a reload can never be served
+//!   after it.
+//!
+//! Single-user sessions embed a 1-shard `EngineShared` and behave exactly
+//! as before (strict LRU, deterministic evictions); the server shares one
+//! multi-shard instance across all its workers.
+
+use crate::cache::LruCache;
+use crate::{Artifact, Language};
+use rd_core::{Catalog, Database, Relation};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Default parse-cache capacity (entries, not bytes — artifacts are small
+/// ASTs).
+pub const DEFAULT_PARSE_CACHE_CAPACITY: usize = 256;
+
+/// Default eval-cache capacity (entries; values are materialized result
+/// relations, typically small under set semantics).
+pub const DEFAULT_EVAL_CACHE_CAPACITY: usize = 256;
+
+/// Shard count used by shared (multi-session) caches. Power of two so the
+/// shard index is a mask of the key hash.
+const SHARED_SHARDS: usize = 16;
+
+/// Aggregate counters of one sharded cache, summed over shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by LRU pressure.
+    pub evictions: u64,
+    /// Entries currently cached (across all shards).
+    pub entries: usize,
+    /// Total configured capacity (across all shards).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A lock-striped LRU cache: N independent shards, each a
+/// [`LruCache`] behind its own mutex, with cache-wide atomic counters.
+///
+/// Keys are routed to shards by hash, so concurrent sessions touching
+/// different queries take different locks. With `shards == 1` this
+/// degenerates to a strict global LRU (used by private sessions, where
+/// deterministic eviction order matters for tests and REPL behavior).
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+    mask: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
+    /// A cache of `capacity` total entries split over `shards` stripes
+    /// (shards rounded up to a power of two; each shard gets at least one
+    /// entry of capacity).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            mask: shards - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & self.mask]
+    }
+
+    /// Looks up `key`, cloning the value out so the shard lock is held
+    /// only for the lookup (values are cheap clones — `Arc`s in practice).
+    pub fn get(&self, key: &K) -> Option<V> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts an entry; reports whether the shard evicted an older one.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let evicted = self
+            .shard(&key)
+            .lock()
+            .expect("cache shard")
+            .insert(key, value)
+            .is_some();
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        evicted
+    }
+
+    /// Drops every entry in every shard (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard").clear();
+        }
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").len())
+            .sum()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate counters plus current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard").capacity())
+                .sum(),
+        }
+    }
+}
+
+/// One immutable database snapshot: what a query runs against.
+///
+/// Sessions snapshot the epoch at the start of each request; replacing
+/// the database installs a *new* epoch (bumped generation), so in-flight
+/// queries keep a consistent view and stale eval-cache entries — keyed by
+/// generation — become unreachable.
+#[derive(Debug, Clone)]
+pub struct DbEpoch {
+    /// The database instance.
+    pub db: Arc<Database>,
+    /// The catalog implied by the database's schemas.
+    pub catalog: Arc<Catalog>,
+    /// Monotonic reload counter (0 for the initial database).
+    pub generation: u64,
+    /// Content fingerprint of `db` (diagnostic; see
+    /// [`Database::fingerprint`]).
+    pub fingerprint: u64,
+}
+
+impl DbEpoch {
+    fn new(db: Database, generation: u64) -> Self {
+        let catalog = Arc::new(db.catalog());
+        let fingerprint = db.fingerprint();
+        DbEpoch {
+            db: Arc::new(db),
+            catalog,
+            generation,
+            fingerprint,
+        }
+    }
+}
+
+/// Parse-cache entry: the original text (to rule out 64-bit hash
+/// collisions) and the shared prepared artifact.
+#[derive(Clone)]
+pub(crate) struct ParseEntry {
+    pub text: Arc<str>,
+    pub artifact: Arc<Artifact>,
+}
+
+/// Eval-cache entry: the canonical text (collision guard) and the shared
+/// evaluated relation.
+#[derive(Clone)]
+pub(crate) struct EvalEntry {
+    pub canonical: Arc<str>,
+    pub relation: Arc<Relation>,
+}
+
+/// Parse-cache key: database generation + language + hash of the raw
+/// query text. The generation matters even though parsing never reads
+/// the *data*: artifacts are checked against the epoch's catalog, and a
+/// stamped key makes an entry prepared by an in-flight request against
+/// an old epoch unreachable after a reload (the clear in
+/// [`EngineShared::replace_database`] cannot catch inserts that land
+/// after the sweep).
+pub(crate) type ParseKey = (u64, Language, u64);
+
+/// Eval-cache key: database generation + language + hash of the
+/// *canonical* query text.
+pub(crate) type EvalKey = (u64, Language, u64);
+
+/// Tuning knobs for [`EngineShared`].
+#[derive(Debug, Clone)]
+pub struct SharedConfig {
+    /// Total parse-cache capacity in entries.
+    pub parse_cache_capacity: usize,
+    /// Total eval-cache capacity in entries.
+    pub eval_cache_capacity: usize,
+    /// `false` disables the eval/result cache entirely (every query
+    /// re-evaluates; parse caching is unaffected).
+    pub eval_cache: bool,
+    /// Lock stripes per cache (rounded up to a power of two).
+    pub shards: usize,
+}
+
+impl Default for SharedConfig {
+    fn default() -> Self {
+        SharedConfig {
+            parse_cache_capacity: DEFAULT_PARSE_CACHE_CAPACITY,
+            eval_cache_capacity: DEFAULT_EVAL_CACHE_CAPACITY,
+            eval_cache: true,
+            shards: SHARED_SHARDS,
+        }
+    }
+}
+
+/// The engine state shared by every session of a service: the current
+/// [`DbEpoch`] plus the sharded parse and eval caches.
+pub struct EngineShared {
+    epoch: RwLock<Arc<DbEpoch>>,
+    pub(crate) parse_cache: ShardedCache<ParseKey, ParseEntry>,
+    pub(crate) eval_cache: ShardedCache<EvalKey, EvalEntry>,
+    eval_enabled: bool,
+}
+
+impl EngineShared {
+    /// Shared state over `db` with default tuning.
+    pub fn new(db: Database) -> Self {
+        EngineShared::with_config(db, SharedConfig::default())
+    }
+
+    /// Shared state over `db` with explicit tuning.
+    pub fn with_config(db: Database, cfg: SharedConfig) -> Self {
+        EngineShared {
+            epoch: RwLock::new(Arc::new(DbEpoch::new(db, 0))),
+            parse_cache: ShardedCache::new(cfg.parse_cache_capacity, cfg.shards),
+            eval_cache: ShardedCache::new(cfg.eval_cache_capacity, cfg.shards),
+            eval_enabled: cfg.eval_cache,
+        }
+    }
+
+    /// The current epoch (cheap: one `Arc` clone under a read lock).
+    pub fn epoch(&self) -> Arc<DbEpoch> {
+        self.epoch.read().expect("epoch lock").clone()
+    }
+
+    /// Installs `db` as a new epoch and returns it. Cache entries are
+    /// generation-stamped, so anything cached against the old epoch —
+    /// including entries inserted by in-flight requests *after* this
+    /// call — becomes unreachable; the clears just release capacity.
+    pub fn replace_database(&self, db: Database) -> Arc<DbEpoch> {
+        self.update_database(|_| db)
+    }
+
+    /// Read-modify-write database update under the epoch write lock:
+    /// builds the next database from the current one with no window for
+    /// a concurrent update to slip between read and install. This is the
+    /// primitive behind incremental loads (e.g. CSV table import) from
+    /// concurrent server workers.
+    pub fn update_database(&self, f: impl FnOnce(&Database) -> Database) -> Arc<DbEpoch> {
+        let mut slot = self.epoch.write().expect("epoch lock");
+        let next = Arc::new(DbEpoch::new(f(&slot.db), slot.generation + 1));
+        *slot = next.clone();
+        self.parse_cache.clear();
+        self.eval_cache.clear();
+        next
+    }
+
+    /// `true` if the eval/result cache is enabled.
+    pub fn eval_cache_enabled(&self) -> bool {
+        self.eval_enabled
+    }
+
+    /// Aggregate parse-cache counters.
+    pub fn parse_cache_stats(&self) -> CacheStats {
+        self.parse_cache.stats()
+    }
+
+    /// Aggregate eval-cache counters.
+    pub fn eval_cache_stats(&self) -> CacheStats {
+        self.eval_cache.stats()
+    }
+}
+
+/// Hashes a query text for cache keys (collisions are guarded by storing
+/// the full text in the entry).
+pub(crate) fn hash_text(text: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    text.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_cache_get_insert_clear() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(64, 8);
+        assert!(c.get(&1).is_none());
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.get(&1).is_none(), "clear must drop entries");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+        assert!(s.capacity >= 64);
+    }
+
+    #[test]
+    fn single_shard_preserves_strict_lru() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(2, 1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(10));
+        assert!(c.insert(3, 30), "third insert must evict");
+        assert!(c.get(&2).is_none(), "2 was LRU");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_splits_across_shards() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(16, 4);
+        for i in 0..1000 {
+            c.insert(i, i);
+        }
+        assert!(c.len() <= 16, "len {} exceeds total capacity", c.len());
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let c: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new(128, 8));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        c.insert(i % 97, t * 1000 + i);
+                        let _ = c.get(&(i % 53));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 8 * 500);
+        assert!(c.len() <= 128);
+    }
+
+    #[test]
+    fn replace_database_bumps_generation_and_clears() {
+        let shared = EngineShared::new(crate::demo_database());
+        let e0 = shared.epoch();
+        assert_eq!(e0.generation, 0);
+        shared.parse_cache.insert(
+            (0, Language::Ra, 1),
+            ParseEntry {
+                text: "Boat".into(),
+                artifact: Arc::new(Artifact::prepare(Language::Ra, "Boat", &e0.catalog).unwrap()),
+            },
+        );
+        let e1 = shared.replace_database(crate::demo_database());
+        assert_eq!(e1.generation, 1);
+        assert_eq!(e1.fingerprint, e0.fingerprint, "same content, same print");
+        assert!(shared.parse_cache.is_empty());
+        // The old epoch snapshot is still usable by in-flight queries.
+        assert_eq!(e0.db.len(), 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! Eval/result-cache behavior: hits across runs and sessions, generation
+//! invalidation on reload, and the cache-on vs cache-off agreement
+//! property.
+
+use proptest::prelude::*;
+use rd_core::{Catalog, DbGenerator, TableSchema};
+use rd_engine::{demo_database, EngineShared, Language, QueryRequest, Session, SharedConfig};
+use rd_trc::random::{GenConfig, QueryGenerator};
+use std::sync::Arc;
+
+#[test]
+fn second_run_skips_evaluation() {
+    let mut session = Session::new(demo_database());
+    let req = QueryRequest::new(Language::Sql, "SELECT DISTINCT Boat.color FROM Boat");
+    let first = session.run(&req).unwrap();
+    assert!(!first.eval_cache_hit);
+    let second = session.run(&req).unwrap();
+    assert!(second.eval_cache_hit);
+    assert_eq!(second.relation, first.relation);
+    let stats = session.stats();
+    assert_eq!(stats.eval_hits, 1);
+    assert_eq!(stats.eval_misses, 1);
+}
+
+#[test]
+fn canonically_equal_texts_share_one_result() {
+    // The eval cache keys by *canonical* text: a differently-spaced twin
+    // misses the parse cache but hits the result cache.
+    let mut session = Session::new(demo_database());
+    let a = session
+        .run(&QueryRequest::new(Language::Ra, "pi[color](Boat)"))
+        .unwrap();
+    let b = session
+        .run(&QueryRequest::new(Language::Ra, "pi[ color ]( Boat )"))
+        .unwrap();
+    assert!(!b.cache_hit, "different text, parse cache miss");
+    assert!(b.eval_cache_hit, "same canonical form, result cache hit");
+    assert_eq!(b.relation, a.relation);
+}
+
+#[test]
+fn sessions_attached_to_one_shared_state_share_both_caches() {
+    let shared = Arc::new(EngineShared::new(demo_database()));
+    let mut alice = Session::attach(shared.clone());
+    let mut bob = Session::attach(shared.clone());
+    let req = QueryRequest::new(
+        Language::Trc,
+        "{ q(color) | exists b in Boat [ q.color = b.color ] }",
+    );
+    let first = alice.run(&req).unwrap();
+    assert!(!first.cache_hit);
+    assert!(!first.eval_cache_hit);
+    // Bob has never seen the query, but the shared caches have.
+    let second = bob.run(&req).unwrap();
+    assert!(second.cache_hit, "parse artifact shared across sessions");
+    assert!(second.eval_cache_hit, "result shared across sessions");
+    assert_eq!(second.relation, first.relation);
+    // Per-session stats stay per-session; shared counters aggregate.
+    assert_eq!(alice.stats().eval_misses, 1);
+    assert_eq!(bob.stats().eval_hits, 1);
+    let cache = shared.eval_cache_stats();
+    assert_eq!((cache.hits, cache.misses), (1, 1));
+}
+
+#[test]
+fn reload_invalidates_results_for_all_attached_sessions() {
+    let shared = Arc::new(EngineShared::new(demo_database()));
+    let mut alice = Session::attach(shared.clone());
+    let mut bob = Session::attach(shared.clone());
+    let req = QueryRequest::new(Language::Ra, "pi[color](Boat)");
+    assert_eq!(alice.run(&req).unwrap().relation.len(), 2);
+    assert_eq!(shared.epoch().generation, 0);
+    // Bob reloads: one more boat color.
+    bob.set_database(
+        rd_engine::parse_fixture("Boat(bid, color):\n (1, 'red')\n (2, 'blue')\n (3, 'teal')\n")
+            .unwrap(),
+    );
+    assert_eq!(shared.epoch().generation, 1);
+    let after = alice.run(&req).unwrap();
+    assert!(
+        !after.eval_cache_hit,
+        "stale result must not survive reload"
+    );
+    assert_eq!(after.relation.len(), 3);
+}
+
+#[test]
+fn disabled_eval_cache_reevaluates_but_agrees() {
+    let shared = Arc::new(EngineShared::with_config(
+        demo_database(),
+        SharedConfig {
+            eval_cache: false,
+            ..SharedConfig::default()
+        },
+    ));
+    let mut session = Session::attach(shared);
+    let req = QueryRequest::new(Language::Sql, "SELECT DISTINCT Boat.color FROM Boat");
+    let first = session.run(&req).unwrap();
+    let second = session.run(&req).unwrap();
+    assert!(second.cache_hit, "parse cache still works");
+    assert!(!second.eval_cache_hit);
+    assert_eq!(session.stats().eval_hits, 0);
+    assert_eq!(
+        session.stats().eval_misses,
+        0,
+        "disabled cache counts nothing"
+    );
+    assert_eq!(second.relation, first.relation);
+}
+
+fn catalog() -> Catalog {
+    Catalog::from_schemas([
+        TableSchema::new("R", ["A", "B"]),
+        TableSchema::new("S", ["B"]),
+        TableSchema::new("T", ["A"]),
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Cache-on and cache-off evaluation agree on random TRC* queries
+    /// over random databases, including repeat runs (which hit the
+    /// result cache) and database swaps (which must invalidate it).
+    #[test]
+    fn cache_on_and_off_agree(seed in 0u64..20_000) {
+        let q = QueryGenerator::new(catalog(), GenConfig::default(), seed).next_query();
+        let text = rd_trc::to_ascii(&q);
+        let req = QueryRequest::new(Language::Trc, &text);
+        let mut dbs = DbGenerator::with_int_domain(catalog(), 3, 3, seed ^ 0x5eed);
+        let first_db = dbs.next_db();
+        let mut cached = Session::new(first_db.clone());
+        let mut uncached = Session::attach(Arc::new(EngineShared::with_config(
+            first_db,
+            SharedConfig { eval_cache: false, ..SharedConfig::default() },
+        )));
+        for round in 0..3 {
+            if round > 0 {
+                let db = dbs.next_db();
+                cached.set_database(db.clone());
+                uncached.set_database(db);
+            }
+            let a1 = cached.run(&req).unwrap();
+            let a2 = cached.run(&req).unwrap(); // repeat: served from cache
+            let b = uncached.run(&req).unwrap();
+            prop_assert!(a2.eval_cache_hit, "repeat run must hit the result cache");
+            prop_assert_eq!(a1.relation.tuples(), b.relation.tuples());
+            prop_assert_eq!(a2.relation.tuples(), b.relation.tuples());
+        }
+        prop_assert!(cached.stats().eval_hits >= 3);
+    }
+}

@@ -1,0 +1,603 @@
+//! `rd` — the command-line front end of the workspace.
+//!
+//! One-shot:
+//!
+//! ```text
+//! rd --demo "SELECT DISTINCT Sailor.sname FROM Sailor"
+//! rd --db instance.rdb --lang trc --translate "{ q(A) | exists r in R [ q.A = r.A ] }"
+//! rd --db people.csv "pi[name](people)"
+//! ```
+//!
+//! Interactive:
+//!
+//! ```text
+//! rd --demo --repl
+//! ```
+//!
+//! Service mode (see `crates/server`):
+//!
+//! ```text
+//! rd serve --demo --addr 127.0.0.1:7878 --workers 8
+//! rd bench-client --addr 127.0.0.1:7878 --threads 8 --requests 500
+//! ```
+
+use rd_engine::{
+    demo_database, parse_csv, parse_fixture, render_fixture, DiagramFormat, Language, QueryRequest,
+    Session,
+};
+use rd_server::{run_bench, BenchConfig, Client, Server, ServerConfig};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rd — query sessions over the four relational languages of
+     'The Reasonable Effectiveness of Relational Diagrams' (SIGMOD 2024)
+
+USAGE:
+    rd [OPTIONS] [QUERY]
+    rd [OPTIONS] --repl
+    rd serve [OPTIONS]
+    rd bench-client --addr <ADDR> [OPTIONS]
+
+OPTIONS:
+    --db <FILE>       Load a database fixture (`Name(attr, ...):` header
+                      lines followed by `(v1, v2)` rows), or a .csv file
+                      (header row = attributes, table named after the file)
+    --demo            Use the built-in sailors demo database
+    --lang <LANG>     Query language: sql | trc | ra | datalog | auto
+                      (default: auto — detected from the query text)
+    --translate       Also print the cross-language translations
+                      (TRC hub, Theorem 6)
+    --diagram <FMT>   Also print the Relational Diagram: dot | svg
+    --stats           Print session statistics before exiting
+    --repl            Interactive mode (`:help` lists commands)
+    -h, --help        Print this help
+    -V, --version     Print version
+
+SERVE OPTIONS (rd serve):
+    --addr <ADDR>     Bind address (default 127.0.0.1:7878; use :0 for an
+                      ephemeral port)
+    --workers <N>     Worker threads = max concurrent connections (default 8)
+    --parse-cache <N> Shared parse-cache capacity in entries (default 256)
+    --eval-cache <N>  Shared result-cache capacity in entries (default 256)
+    --no-eval-cache   Disable the result cache (every query re-evaluates)
+    --port-file <F>   Write the bound address to F once listening (for
+                      scripts wrapping ephemeral ports)
+
+BENCH OPTIONS (rd bench-client):
+    --addr <ADDR>     Server to drive (required)
+    --threads <N>     Client threads, one connection each (default 4)
+    --requests <N>    Requests per thread (default 100)
+    --query <Q>       Add a query to the mix (repeatable; default: a
+                      four-language demo mix)
+    --stats           Print the server's aggregated stats after the run
+    --shutdown        Send {\"op\":\"shutdown\"} after the run
+
+With no --db and no --demo, the demo database is used.
+The wire protocol is JSON lines; see the README's server section.
+";
+
+struct Config {
+    db: Option<String>,
+    demo: bool,
+    lang: Option<Language>,
+    translate: bool,
+    diagram: DiagramFormat,
+    stats: bool,
+    repl: bool,
+    query: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Config>, String> {
+    let mut cfg = Config {
+        db: None,
+        demo: false,
+        lang: None,
+        translate: false,
+        diagram: DiagramFormat::None,
+        stats: false,
+        repl: false,
+        query: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            "-V" | "--version" => {
+                println!("rd {}", env!("CARGO_PKG_VERSION"));
+                return Ok(None);
+            }
+            "--db" => cfg.db = Some(it.next().ok_or("--db requires a file path")?.clone()),
+            "--demo" => cfg.demo = true,
+            "--lang" => {
+                let value = it.next().ok_or("--lang requires a value")?;
+                cfg.lang = match value.as_str() {
+                    "auto" => None,
+                    other => Some(other.parse::<Language>()?),
+                };
+            }
+            "--translate" => cfg.translate = true,
+            "--diagram" => {
+                cfg.diagram = match it.next().ok_or("--diagram requires a value")?.as_str() {
+                    "dot" => DiagramFormat::Dot,
+                    "svg" => DiagramFormat::Svg,
+                    other => return Err(format!("unknown diagram format '{other}'")),
+                };
+            }
+            "--stats" => cfg.stats = true,
+            "--repl" => cfg.repl = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}' (see --help)"));
+            }
+            query => {
+                if cfg.query.is_some() {
+                    return Err("more than one query given; quote the query text".into());
+                }
+                cfg.query = Some(query.to_string());
+            }
+        }
+    }
+    Ok(Some(cfg))
+}
+
+/// Loads a database from a path: the fixture format, or — for `.csv`
+/// files — a single table named after the file stem.
+fn load_database_path(path: &str) -> Result<rd_core::Database, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    if path.to_ascii_lowercase().ends_with(".csv") {
+        let table = csv_table_name(path);
+        let rel = parse_csv(&table, &text).map_err(|e| e.to_string())?;
+        let mut db = rd_core::Database::new();
+        db.add_relation(rel);
+        Ok(db)
+    } else {
+        parse_fixture(&text).map_err(|e| format!("cannot parse fixture '{path}': {e}"))
+    }
+}
+
+/// Derives a table name from a CSV path: the file stem with
+/// non-identifier characters replaced by `_`.
+fn csv_table_name(path: &str) -> String {
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("csv");
+    let mut name: String = stem
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if !name.chars().next().is_some_and(|c| c.is_alphabetic()) {
+        name.insert(0, 'T');
+    }
+    name
+}
+
+fn load_database(cfg: &Config) -> Result<rd_core::Database, String> {
+    match &cfg.db {
+        Some(path) => load_database_path(path),
+        None => Ok(demo_database()),
+    }
+}
+
+fn build_request(
+    lang: Option<Language>,
+    text: &str,
+    translate: bool,
+    diagram: DiagramFormat,
+) -> QueryRequest {
+    let language = lang.unwrap_or_else(|| Language::detect(text));
+    let mut req = QueryRequest::new(language, text);
+    if translate {
+        req = req.with_translations();
+    }
+    req.with_diagram(diagram)
+}
+
+fn print_response(resp: &rd_engine::QueryResponse) {
+    println!("-- language: {} (canonical form below)", resp.language);
+    println!("   {}", resp.canonical.trim_end().replace('\n', "\n   "));
+    println!("{}", rd_core::pretty::render_relation(&resp.relation));
+    if let Some(t) = &resp.translations {
+        println!("-- translations (TRC hub):");
+        println!("   trc:      {}", t.trc);
+        if let Some(sql) = &t.sql {
+            println!(
+                "   sql:      {}",
+                sql.trim_end().replace('\n', "\n             ")
+            );
+        }
+        if let Some(dl) = &t.datalog {
+            println!(
+                "   datalog:  {}",
+                dl.trim_end().replace('\n', "\n             ")
+            );
+        }
+        if let Some(ra) = &t.ra {
+            println!("   ra:       {ra}");
+        }
+        for note in &t.notes {
+            println!("   note:     {note}");
+        }
+    }
+    if let Some(d) = &resp.diagram {
+        println!("-- diagram:\n{d}");
+    }
+    for note in &resp.notes {
+        println!("-- note: {note}");
+    }
+}
+
+fn print_stats(session: &Session) {
+    let s = session.stats();
+    println!(
+        "-- stats: {} queries, {} batches; parse cache {} hits / {} misses / {} evictions ({:.0}% hit rate); eval cache {} hits / {} misses; {} rows returned",
+        s.queries,
+        s.batches,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions,
+        s.hit_rate() * 100.0,
+        s.eval_hits,
+        s.eval_misses,
+        s.rows_returned
+    );
+}
+
+const REPL_HELP: &str = "\
+Enter a query to run it (end a line with '\\' to continue on the next).
+Commands:
+    :help                 this help
+    :tables               list the database's tables
+    :lang <l>             fix the language (sql|trc|ra|datalog) or 'auto'
+    :translate on|off     toggle cross-language translations
+    :diagram dot|svg|off  toggle diagram output
+    :stats                session statistics
+    :load <file>          replace the database (fixture, or single-table .csv)
+    :load csv <file>      bulk-import one CSV table into the database
+    :save <file>          write the database as a fixture file
+    :quit                 exit
+";
+
+fn repl(session: &mut Session, cfg: &Config) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let mut lang = cfg.lang;
+    let mut translate = cfg.translate;
+    let mut diagram = cfg.diagram;
+    let mut buffer = String::new();
+    eprintln!(
+        "rd repl — {} tables, language: {}. :help for commands.",
+        session.database().len(),
+        lang.map_or("auto".to_string(), |l| l.to_string()),
+    );
+    prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        // Continuation: a trailing backslash joins lines.
+        if let Some(stripped) = line.strip_suffix('\\') {
+            buffer.push_str(stripped);
+            buffer.push(' ');
+            prompt(&buffer);
+            continue;
+        }
+        buffer.push_str(&line);
+        let input = std::mem::take(&mut buffer);
+        let input = input.trim();
+        if input.is_empty() {
+            prompt(&buffer);
+            continue;
+        }
+        if let Some(cmd) = input.strip_prefix(':') {
+            let mut parts = cmd.split_whitespace();
+            match (parts.next().unwrap_or(""), parts.next()) {
+                ("help", _) => print!("{REPL_HELP}"),
+                ("tables", _) => {
+                    let db = session.database();
+                    for schema in session.catalog().iter() {
+                        println!(
+                            "{}({}) — {} tuples",
+                            schema.name(),
+                            schema.attrs().join(", "),
+                            db.relation(schema.name()).map_or(0, |r| r.len())
+                        );
+                    }
+                }
+                ("lang", Some("auto")) => lang = None,
+                ("lang", Some(l)) => match l.parse::<Language>() {
+                    Ok(l) => lang = Some(l),
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                ("lang", None) => eprintln!(
+                    "language: {}",
+                    lang.map_or("auto".to_string(), |l| l.to_string())
+                ),
+                ("translate", Some("on")) => translate = true,
+                ("translate", Some("off")) => translate = false,
+                ("diagram", Some("dot")) => diagram = DiagramFormat::Dot,
+                ("diagram", Some("svg")) => diagram = DiagramFormat::Svg,
+                ("diagram", Some("off")) => diagram = DiagramFormat::None,
+                ("stats", _) => print_stats(session),
+                ("load", Some("csv")) => match parts.next() {
+                    Some(path) => match std::fs::read_to_string(path)
+                        .map_err(|e| e.to_string())
+                        .and_then(|t| {
+                            parse_csv(&csv_table_name(path), &t).map_err(|e| e.to_string())
+                        }) {
+                        Ok(rel) => {
+                            eprintln!(
+                                "imported {}({}) — {} tuples",
+                                rel.name(),
+                                rel.schema().attrs().join(", "),
+                                rel.len()
+                            );
+                            let mut db = (*session.database()).clone();
+                            db.add_relation(rel);
+                            session.set_database(db);
+                        }
+                        Err(e) => eprintln!("error: {e}"),
+                    },
+                    None => eprintln!("usage: :load csv <file>"),
+                },
+                ("load", Some(path)) => match load_database_path(path) {
+                    Ok(db) => {
+                        eprintln!("loaded {} tables from '{path}'", db.len());
+                        session.set_database(db);
+                    }
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                ("load", None) => eprintln!("usage: :load <file> | :load csv <file>"),
+                ("save", Some(path)) => {
+                    let text = render_fixture(&session.database());
+                    match std::fs::write(path, &text) {
+                        Ok(()) => eprintln!(
+                            "saved {} tables ({} bytes) to '{path}'",
+                            session.database().len(),
+                            text.len()
+                        ),
+                        Err(e) => eprintln!("error: cannot write '{path}': {e}"),
+                    }
+                }
+                ("save", None) => eprintln!("usage: :save <file>"),
+                ("quit" | "q" | "exit", _) => break,
+                (other, _) => eprintln!("unknown command ':{other}' (try :help)"),
+            }
+            prompt(&buffer);
+            continue;
+        }
+        let req = build_request(lang, input, translate, diagram);
+        match session.run(&req) {
+            Ok(resp) => print_response(&resp),
+            Err(e) => eprintln!("error: {e}"),
+        }
+        prompt(&buffer);
+    }
+    Ok(())
+}
+
+fn prompt(buffer: &str) {
+    if buffer.is_empty() {
+        eprint!("rd> ");
+    } else {
+        eprint!("  > ");
+    }
+    let _ = std::io::stderr().flush();
+}
+
+// ---------------------------------------------------------------------
+// rd serve
+// ---------------------------------------------------------------------
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut server_cfg = ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..ServerConfig::default()
+    };
+    let mut db_path: Option<String> = None;
+    let mut port_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => server_cfg.addr = it.next().ok_or("--addr requires a value")?.clone(),
+            "--db" => db_path = Some(it.next().ok_or("--db requires a file path")?.clone()),
+            "--demo" => db_path = None,
+            "--workers" => {
+                server_cfg.workers = parse_count(it.next(), "--workers")?;
+            }
+            "--parse-cache" => {
+                server_cfg.parse_cache_capacity = parse_count(it.next(), "--parse-cache")?;
+            }
+            "--eval-cache" => {
+                server_cfg.eval_cache_capacity = parse_count(it.next(), "--eval-cache")?;
+            }
+            "--no-eval-cache" => server_cfg.eval_cache = false,
+            "--port-file" => {
+                port_file = Some(it.next().ok_or("--port-file requires a path")?.clone());
+            }
+            other => return Err(format!("unknown serve option '{other}' (see --help)")),
+        }
+    }
+    let db = match &db_path {
+        Some(path) => load_database_path(path)?,
+        None => demo_database(),
+    };
+    let server = Server::bind(server_cfg.clone(), db)
+        .map_err(|e| format!("cannot bind '{}': {e}", server_cfg.addr))?;
+    let addr = server.local_addr();
+    if let Some(path) = &port_file {
+        std::fs::write(path, addr.to_string())
+            .map_err(|e| format!("cannot write port file '{path}': {e}"))?;
+    }
+    eprintln!(
+        "rd-server listening on {addr} — {} workers, eval cache {}",
+        server_cfg.workers,
+        if server_cfg.eval_cache { "on" } else { "off" },
+    );
+    eprintln!("protocol: JSON lines; try  echo '{{\"op\":\"ping\"}}' | nc {addr}");
+    server.serve().map_err(|e| format!("server error: {e}"))?;
+    eprintln!("rd-server: shutdown complete");
+    Ok(())
+}
+
+fn parse_count(arg: Option<&String>, flag: &str) -> Result<usize, String> {
+    arg.ok_or_else(|| format!("{flag} requires a value"))?
+        .parse::<usize>()
+        .map_err(|_| format!("{flag} requires an integer"))
+}
+
+// ---------------------------------------------------------------------
+// rd bench-client
+// ---------------------------------------------------------------------
+
+fn cmd_bench_client(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut threads = 4usize;
+    let mut requests = 100usize;
+    let mut queries: Vec<(Option<Language>, String)> = Vec::new();
+    let mut show_stats = false;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("--addr requires a value")?.clone()),
+            "--threads" => threads = parse_count(it.next(), "--threads")?,
+            "--requests" => requests = parse_count(it.next(), "--requests")?,
+            "--query" => {
+                let q = it.next().ok_or("--query requires query text")?.clone();
+                queries.push((None, q));
+            }
+            "--stats" => show_stats = true,
+            "--shutdown" => shutdown = true,
+            other => {
+                return Err(format!(
+                    "unknown bench-client option '{other}' (see --help)"
+                ))
+            }
+        }
+    }
+    let addr = addr.ok_or("bench-client requires --addr <host:port>")?;
+    let mut cfg = BenchConfig::new(addr.clone());
+    cfg.threads = threads;
+    cfg.requests = requests;
+    if !queries.is_empty() {
+        cfg.mix = queries;
+    }
+    eprintln!(
+        "rd bench-client — {} threads x {} requests against {addr}",
+        cfg.threads, cfg.requests
+    );
+    let report = run_bench(&cfg).map_err(|e| format!("bench failed: {e}"))?;
+    println!("{}", report.render());
+    if show_stats || shutdown {
+        let mut client =
+            Client::connect(&addr).map_err(|e| format!("cannot reconnect to {addr}: {e}"))?;
+        if show_stats {
+            let s = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+            println!(
+                "server:   {} connections ({} active), {} requests, {} errors, {} workers",
+                s.connections, s.active_connections, s.requests, s.errors, s.workers
+            );
+            println!(
+                "sessions: {} queries; parse {} hits / {} misses; eval {} hits / {} misses (cache {})",
+                s.sessions.queries,
+                s.sessions.cache_hits,
+                s.sessions.cache_misses,
+                s.sessions.eval_hits,
+                s.sessions.eval_misses,
+                if s.eval_cache_enabled { "on" } else { "off" },
+            );
+            println!(
+                "db:       {} tables, {} tuples, generation {}, fingerprint {}",
+                s.tables, s.tuples, s.generation, s.fingerprint
+            );
+        }
+        if shutdown {
+            client
+                .shutdown()
+                .map_err(|e| format!("shutdown failed: {e}"))?;
+            eprintln!("sent shutdown");
+        }
+    }
+    if report.errors > 0 {
+        return Err(format!("{} requests returned errors", report.errors));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Subcommands first: `rd serve ...` / `rd bench-client ...`.
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            return match cmd_serve(&args[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("bench-client") => {
+            return match cmd_bench_client(&args[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => {}
+    }
+    let cfg = match parse_args(&args) {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if cfg.query.is_none() && !cfg.repl {
+        eprintln!("error: no query given and --repl not set (see --help)");
+        return ExitCode::from(2);
+    }
+    let db = match load_database(&cfg) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if cfg.db.is_none() && !cfg.demo {
+        eprintln!("(no --db given; using the built-in sailors demo database)");
+    }
+    let mut session = Session::new(db);
+    if let Some(query) = &cfg.query {
+        let req = build_request(cfg.lang, query, cfg.translate, cfg.diagram);
+        match session.run(&req) {
+            Ok(resp) => print_response(&resp),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if cfg.repl {
+        if let Err(e) = repl(&mut session, &cfg) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if cfg.stats {
+        print_stats(&session);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,278 @@
+//! A blocking client for the JSON-lines protocol, plus the multi-thread
+//! load driver behind `rd bench-client`.
+
+use crate::protocol::{self, LoadSource, Request, Response, StatsResult};
+use rd_engine::{DiagramFormat, Language};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// One connection to an `rd serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn proto_err(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads the one-line response.
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        self.writer
+            .write_all(protocol::encode(request).as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        protocol::decode(line.trim()).map_err(proto_err)
+    }
+
+    /// Runs one query (language auto-detected when `None`).
+    pub fn query(&mut self, language: Option<Language>, text: &str) -> std::io::Result<Response> {
+        self.request(&Request::Query {
+            language,
+            text: text.to_string(),
+            translations: false,
+            diagram: DiagramFormat::None,
+        })
+    }
+
+    /// Replaces the server's database with a fixture.
+    pub fn load_fixture(&mut self, fixture: &str) -> std::io::Result<Response> {
+        self.request(&Request::Load(LoadSource::Fixture(fixture.to_string())))
+    }
+
+    /// Bulk-imports one CSV table into the server's database.
+    pub fn load_csv(&mut self, table: &str, csv: &str) -> std::io::Result<Response> {
+        self.request(&Request::Load(LoadSource::Csv {
+            table: table.to_string(),
+            text: csv.to_string(),
+        }))
+    }
+
+    /// Fetches aggregated statistics.
+    pub fn stats(&mut self) -> std::io::Result<StatsResult> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error(e) => Err(proto_err(e)),
+            other => Err(proto_err(format!("expected stats reply, got {other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(proto_err(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(proto_err(format!("expected bye, got {other:?}"))),
+        }
+    }
+}
+
+/// Tuning for [`run_bench`].
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Server address.
+    pub addr: String,
+    /// Client threads (each with its own connection).
+    pub threads: usize,
+    /// Requests per thread.
+    pub requests: usize,
+    /// The query mix, fired round-robin. `None` language auto-detects.
+    pub mix: Vec<(Option<Language>, String)>,
+}
+
+impl BenchConfig {
+    /// A benchmark against `addr` with the default four-language demo
+    /// query mix.
+    pub fn new(addr: impl Into<String>) -> Self {
+        BenchConfig {
+            addr: addr.into(),
+            threads: 4,
+            requests: 100,
+            mix: default_mix(),
+        }
+    }
+}
+
+/// The default load mix: the same conjunctive pattern in all four
+/// languages plus a projection, over the demo sailors schema.
+pub fn default_mix() -> Vec<(Option<Language>, String)> {
+    vec![
+        (
+            Some(Language::Sql),
+            "SELECT DISTINCT Sailor.sname FROM Sailor, Reserves \
+             WHERE Sailor.sid = Reserves.sid"
+                .into(),
+        ),
+        (
+            Some(Language::Trc),
+            "{ q(sname) | exists s in Sailor [ q.sname = s.sname and \
+               exists r in Reserves [ r.sid = s.sid ] ] }"
+                .into(),
+        ),
+        (Some(Language::Ra), "pi[color](Boat)".into()),
+        (
+            Some(Language::Datalog),
+            "Q(n) :- Sailor(s, n), Reserves(s, b).".into(),
+        ),
+    ]
+}
+
+/// What one [`run_bench`] run measured.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that returned an error response.
+    pub errors: u64,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+    /// Parse-cache hits observed in responses.
+    pub cache_hits: u64,
+    /// Eval-cache hits observed in responses.
+    pub eval_cache_hits: u64,
+    /// Per-request latencies, sorted ascending.
+    pub latencies: Vec<Duration>,
+}
+
+impl BenchReport {
+    /// Requests per second over the whole run.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.completed + self.errors) as f64 / secs
+        }
+    }
+
+    /// The `p`-th latency percentile (0.0..=1.0), if any requests ran.
+    pub fn percentile(&self, p: f64) -> Option<Duration> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let rank = ((self.latencies.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        Some(self.latencies[rank])
+    }
+
+    /// A one-screen human-readable rendering.
+    pub fn render(&self) -> String {
+        let pct = |p: f64| {
+            self.percentile(p)
+                .map_or("-".to_string(), |d| format!("{:.2?}", d))
+        };
+        format!(
+            "requests: {} ok, {} errors in {:.2?} ({:.0} req/s)\n\
+             latency:  p50 {} / p95 {} / p99 {} / max {}\n\
+             caches:   {} parse hits, {} eval hits",
+            self.completed,
+            self.errors,
+            self.elapsed,
+            self.throughput(),
+            pct(0.50),
+            pct(0.95),
+            pct(0.99),
+            pct(1.0),
+            self.cache_hits,
+            self.eval_cache_hits,
+        )
+    }
+}
+
+/// Drives load at a server: `threads` connections in parallel, each
+/// firing `requests` queries round-robin from the mix, measuring
+/// per-request latency.
+pub fn run_bench(config: &BenchConfig) -> std::io::Result<BenchReport> {
+    let start = Instant::now();
+    let threads: Vec<_> = (0..config.threads.max(1))
+        .map(|t| {
+            let addr = config.addr.clone();
+            let mix = config.mix.clone();
+            let requests = config.requests;
+            std::thread::Builder::new()
+                .name(format!("rd-bench-{t}"))
+                .spawn(move || -> std::io::Result<ThreadReport> {
+                    let mut client = Client::connect(&addr)?;
+                    let mut report = ThreadReport::default();
+                    for i in 0..requests {
+                        // Offset by thread id so threads collide on the
+                        // same queries at different times.
+                        let (language, text) = &mix[(t + i) % mix.len()];
+                        let sent = Instant::now();
+                        let response = client.query(*language, text)?;
+                        report.latencies.push(sent.elapsed());
+                        match response {
+                            Response::Query(q) => {
+                                report.completed += 1;
+                                report.cache_hits += q.cache_hit as u64;
+                                report.eval_cache_hits += q.eval_cache_hit as u64;
+                            }
+                            _ => report.errors += 1,
+                        }
+                    }
+                    Ok(report)
+                })
+                .expect("spawn bench thread")
+        })
+        .collect();
+    let mut completed = 0;
+    let mut errors = 0;
+    let mut cache_hits = 0;
+    let mut eval_cache_hits = 0;
+    let mut latencies = Vec::new();
+    for handle in threads {
+        let report = handle
+            .join()
+            .map_err(|_| std::io::Error::other("bench thread panicked"))??;
+        completed += report.completed;
+        errors += report.errors;
+        cache_hits += report.cache_hits;
+        eval_cache_hits += report.eval_cache_hits;
+        latencies.extend(report.latencies);
+    }
+    let elapsed = start.elapsed();
+    latencies.sort_unstable();
+    Ok(BenchReport {
+        completed,
+        errors,
+        elapsed,
+        cache_hits,
+        eval_cache_hits,
+        latencies,
+    })
+}
+
+#[derive(Default)]
+struct ThreadReport {
+    completed: u64,
+    errors: u64,
+    cache_hits: u64,
+    eval_cache_hits: u64,
+    latencies: Vec<Duration>,
+}

@@ -1,0 +1,51 @@
+//! # rd-server — a concurrent query service over the engine
+//!
+//! The paper's claim is that one pattern-preserving representation can
+//! serve four query languages; `rd-engine` wired that into a synchronous
+//! [`Session`](rd_engine::Session). This crate puts that session behind
+//! a socket and a worker pool so the engine can serve concurrent
+//! traffic:
+//!
+//! ```text
+//!                 ┌──────────────────── rd-server ───────────────────┐
+//! client ── TCP ─▶│ accept loop ─▶ worker pool ─▶ per-conn Session   │
+//! client ── TCP ─▶│                  │               │               │
+//!    ...          │                  ▼               ▼               │
+//! client ── TCP ─▶│        ┌─ EngineShared (Arc) ────────────┐       │
+//!                 │        │ DbEpoch (generation-stamped db) │       │
+//!                 │        │ sharded parse cache             │       │
+//!                 │        │ sharded eval/result cache       │       │
+//!                 │        └─────────────────────────────────┘       │
+//!                 └──────────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Protocol** ([`protocol`]): JSON lines over TCP — one request
+//!   object per line in, one response object per line out. Query
+//!   requests in any of the four languages (or auto-detected), plus
+//!   `load` / `stats` / `ping` / `shutdown` control messages.
+//! * **Server** ([`server`]): `std::net` + a fixed worker-thread pool
+//!   ([`pool`]) — the build is offline, so no async runtime; each worker
+//!   owns one connection at a time and all workers share one
+//!   [`EngineShared`](rd_engine::EngineShared). Repeated identical
+//!   queries across *different* connections are served from the shared
+//!   result cache without re-evaluating; reloading the database bumps
+//!   the epoch generation, which atomically invalidates it.
+//! * **Client** ([`client`]): a small blocking client used by the `rd
+//!   bench-client` load driver, the integration tests, and anyone who
+//!   wants to script the service. [`client::run_bench`] spawns N client
+//!   threads firing a query mix and reports throughput and latency
+//!   percentiles.
+//!
+//! The `rd` binary lives here too: `rd serve` starts the service, `rd
+//! bench-client` drives load at it, and the PR-1 one-shot/REPL modes are
+//! unchanged.
+
+pub mod client;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use client::{run_bench, BenchConfig, BenchReport, Client};
+pub use pool::ThreadPool;
+pub use protocol::{LoadSource, QueryResult, Request, Response, StatsResult};
+pub use server::{Server, ServerConfig};

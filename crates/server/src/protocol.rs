@@ -1,0 +1,648 @@
+//! The wire protocol: JSON lines over TCP.
+//!
+//! Every message is one JSON object on one line. Requests carry an
+//! `"op"` discriminator; responses carry `"ok"` (and `"kind"` on
+//! success). The full surface:
+//!
+//! ```text
+//! → {"op":"query","text":"pi[color](Boat)"}                  # lang auto-detected
+//! → {"op":"query","lang":"sql","text":"SELECT ...",
+//!    "translations":true,"diagram":"dot"}
+//! ← {"ok":true,"kind":"query","language":"sql","canonical":"...",
+//!    "attrs":["color"],"rows":[["red"],["green"]],"row_count":2,
+//!    "cache_hit":false,"eval_cache_hit":false,"notes":[]}
+//!
+//! → {"op":"load","fixture":"R(a):\n (1)\n"}                  # replace database
+//! → {"op":"load","csv":"a,b\n1,x\n","table":"R"}             # bulk-import one table
+//! ← {"ok":true,"kind":"load","tables":1,"tuples":1,
+//!    "generation":1,"fingerprint":"4f9a..."}
+//!
+//! → {"op":"stats"}                                           # aggregated counters
+//! → {"op":"ping"}          ← {"ok":true,"kind":"pong"}
+//! → {"op":"shutdown"}      ← {"ok":true,"kind":"bye"}        # stops the server
+//!
+//! ← {"ok":false,"error":"unknown table 'Boats'"}             # any failure
+//! ```
+//!
+//! Serialization is hand-rolled onto the vendored `serde` JSON value
+//! model rather than derived: the wire format is a public contract
+//! (`op`/`kind` tags, stable field names), and deriving would tie it to
+//! the shim's externally-tagged enum encoding.
+
+use rd_core::Value;
+use rd_engine::{CacheStats, DiagramFormat, Language, SessionStats};
+use serde::json::Value as Json;
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one query.
+    Query {
+        /// Query language; `None` auto-detects from the text.
+        language: Option<Language>,
+        /// Query source text.
+        text: String,
+        /// Also produce the cross-language translations.
+        translations: bool,
+        /// Also render the Relational Diagram.
+        diagram: DiagramFormat,
+    },
+    /// Replace or extend the database (bumps the epoch generation and
+    /// invalidates both shared caches).
+    Load(LoadSource),
+    /// Fetch aggregated server/session/cache statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Stop the server (drains in-flight connections).
+    Shutdown,
+}
+
+/// What a `load` request carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadSource {
+    /// A complete database in the fixture format — replaces the current
+    /// database.
+    Fixture(String),
+    /// One table as CSV (header = attribute names) — merged into the
+    /// current database, replacing a same-named table.
+    Csv {
+        /// Table name for the imported relation.
+        table: String,
+        /// CSV text.
+        text: String,
+    },
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A successful query.
+    Query(QueryResult),
+    /// A successful load.
+    Load(LoadResult),
+    /// A statistics snapshot.
+    Stats(StatsResult),
+    /// Reply to `ping`.
+    Pong,
+    /// Reply to `shutdown`.
+    Bye,
+    /// Any failure (the connection stays usable).
+    Error(String),
+}
+
+/// The payload of a successful query response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The language the query was parsed as.
+    pub language: Language,
+    /// The canonical rendering in the source language.
+    pub canonical: String,
+    /// Output attribute names.
+    pub attrs: Vec<String>,
+    /// Result tuples (deterministic order).
+    pub rows: Vec<Vec<Value>>,
+    /// `true` if the artifact came from the shared parse cache.
+    pub cache_hit: bool,
+    /// `true` if the result came from the shared eval cache.
+    pub eval_cache_hit: bool,
+    /// Cross-language translations, if requested: `(language, text)`
+    /// pairs plus explanatory notes.
+    pub translations: Option<Vec<(String, String)>>,
+    /// The rendered diagram, if requested.
+    pub diagram: Option<String>,
+    /// Why a requested optional artifact is missing.
+    pub notes: Vec<String>,
+}
+
+/// The payload of a successful load response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadResult {
+    /// Tables now in the database.
+    pub tables: usize,
+    /// Total tuples now in the database.
+    pub tuples: usize,
+    /// The new epoch generation.
+    pub generation: u64,
+    /// The new database's content fingerprint (hex).
+    pub fingerprint: String,
+}
+
+/// The payload of a statistics response: server counters, session
+/// counters aggregated across all workers, and both shared caches.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsResult {
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// Requests handled (all ops).
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Session counters summed across every worker session (live and
+    /// closed).
+    pub sessions: SessionStats,
+    /// Shared parse-cache counters.
+    pub parse_cache: CacheStats,
+    /// Shared eval-cache counters.
+    pub eval_cache: CacheStats,
+    /// `false` if the server runs with the result cache disabled.
+    pub eval_cache_enabled: bool,
+    /// Current epoch generation.
+    pub generation: u64,
+    /// Current database fingerprint (hex).
+    pub fingerprint: String,
+    /// Tables in the current database.
+    pub tables: u64,
+    /// Total tuples in the current database.
+    pub tuples: u64,
+}
+
+// ---------------------------------------------------------------------
+// JSON encoding
+// ---------------------------------------------------------------------
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn s(v: impl Into<String>) -> Json {
+    Json::String(v.into())
+}
+
+fn u(v: u64) -> Json {
+    Json::Int(v as i64)
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Int(i) => Json::Int(*i),
+        Value::Str(t) => Json::String(t.clone()),
+    }
+}
+
+fn value_from_json(v: &Json) -> Result<Value, String> {
+    match v {
+        Json::Int(i) => Ok(Value::Int(*i)),
+        Json::String(t) => Ok(Value::Str(t.clone())),
+        other => Err(format!("expected int or string cell, found {other}")),
+    }
+}
+
+fn diagram_name(d: DiagramFormat) -> &'static str {
+    match d {
+        DiagramFormat::None => "none",
+        DiagramFormat::Dot => "dot",
+        DiagramFormat::Svg => "svg",
+    }
+}
+
+fn diagram_from_name(name: &str) -> Result<DiagramFormat, String> {
+    match name {
+        "none" => Ok(DiagramFormat::None),
+        "dot" => Ok(DiagramFormat::Dot),
+        "svg" => Ok(DiagramFormat::Svg),
+        other => Err(format!("unknown diagram format '{other}'")),
+    }
+}
+
+fn get_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+fn opt_bool(v: &Json, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(other) => Err(format!("field '{key}' must be a bool, found {other}")),
+    }
+}
+
+fn session_stats_to_json(st: &SessionStats) -> Json {
+    obj(vec![
+        ("queries", u(st.queries)),
+        ("batches", u(st.batches)),
+        ("cache_hits", u(st.cache_hits)),
+        ("cache_misses", u(st.cache_misses)),
+        ("cache_evictions", u(st.cache_evictions)),
+        ("eval_hits", u(st.eval_hits)),
+        ("eval_misses", u(st.eval_misses)),
+        ("eval_evictions", u(st.eval_evictions)),
+        ("rows_returned", u(st.rows_returned)),
+    ])
+}
+
+fn session_stats_from_json(v: &Json) -> Result<SessionStats, String> {
+    Ok(SessionStats {
+        queries: get_u64(v, "queries")?,
+        batches: get_u64(v, "batches")?,
+        cache_hits: get_u64(v, "cache_hits")?,
+        cache_misses: get_u64(v, "cache_misses")?,
+        cache_evictions: get_u64(v, "cache_evictions")?,
+        eval_hits: get_u64(v, "eval_hits")?,
+        eval_misses: get_u64(v, "eval_misses")?,
+        eval_evictions: get_u64(v, "eval_evictions")?,
+        rows_returned: get_u64(v, "rows_returned")?,
+    })
+}
+
+fn cache_stats_to_json(st: &CacheStats) -> Json {
+    obj(vec![
+        ("hits", u(st.hits)),
+        ("misses", u(st.misses)),
+        ("evictions", u(st.evictions)),
+        ("entries", u(st.entries as u64)),
+        ("capacity", u(st.capacity as u64)),
+    ])
+}
+
+fn cache_stats_from_json(v: &Json) -> Result<CacheStats, String> {
+    Ok(CacheStats {
+        hits: get_u64(v, "hits")?,
+        misses: get_u64(v, "misses")?,
+        evictions: get_u64(v, "evictions")?,
+        entries: get_u64(v, "entries")? as usize,
+        capacity: get_u64(v, "capacity")? as usize,
+    })
+}
+
+impl serde::Serialize for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Query {
+                language,
+                text,
+                translations,
+                diagram,
+            } => {
+                let mut pairs = vec![("op", s("query"))];
+                if let Some(lang) = language {
+                    pairs.push(("lang", s(lang.name())));
+                }
+                pairs.push(("text", s(text)));
+                if *translations {
+                    pairs.push(("translations", Json::Bool(true)));
+                }
+                if *diagram != DiagramFormat::None {
+                    pairs.push(("diagram", s(diagram_name(*diagram))));
+                }
+                obj(pairs)
+            }
+            Request::Load(LoadSource::Fixture(text)) => {
+                obj(vec![("op", s("load")), ("fixture", s(text))])
+            }
+            Request::Load(LoadSource::Csv { table, text }) => obj(vec![
+                ("op", s("load")),
+                ("csv", s(text)),
+                ("table", s(table)),
+            ]),
+            Request::Stats => obj(vec![("op", s("stats"))]),
+            Request::Ping => obj(vec![("op", s("ping"))]),
+            Request::Shutdown => obj(vec![("op", s("shutdown"))]),
+        }
+    }
+}
+
+impl serde::Deserialize for Request {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let op = get_str(v, "op")?;
+        match op.as_str() {
+            "query" => {
+                let language = match v.get("lang") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::String(name)) if name == "auto" => None,
+                    Some(Json::String(name)) => Some(name.parse::<Language>()?),
+                    Some(other) => {
+                        return Err(format!("field 'lang' must be a string, found {other}"))
+                    }
+                };
+                let diagram = match v.get("diagram") {
+                    None | Some(Json::Null) => DiagramFormat::None,
+                    Some(Json::String(name)) => diagram_from_name(name)?,
+                    Some(other) => {
+                        return Err(format!("field 'diagram' must be a string, found {other}"))
+                    }
+                };
+                Ok(Request::Query {
+                    language,
+                    text: get_str(v, "text")?,
+                    translations: opt_bool(v, "translations")?,
+                    diagram,
+                })
+            }
+            "load" => {
+                if let Some(fixture) = v.get("fixture") {
+                    let text = fixture.as_str().ok_or("field 'fixture' must be a string")?;
+                    Ok(Request::Load(LoadSource::Fixture(text.to_string())))
+                } else if v.get("csv").is_some() {
+                    Ok(Request::Load(LoadSource::Csv {
+                        table: get_str(v, "table")?,
+                        text: get_str(v, "csv")?,
+                    }))
+                } else {
+                    Err("load requires a 'fixture' or 'csv' field".into())
+                }
+            }
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown op '{other}' (expected query, load, stats, ping, or shutdown)"
+            )),
+        }
+    }
+}
+
+impl serde::Serialize for Response {
+    fn to_json(&self) -> Json {
+        match self {
+            Response::Query(q) => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("kind", s("query")),
+                    ("language", s(q.language.name())),
+                    ("canonical", s(&q.canonical)),
+                    ("attrs", Json::Array(q.attrs.iter().map(s).collect())),
+                    (
+                        "rows",
+                        Json::Array(
+                            q.rows
+                                .iter()
+                                .map(|row| Json::Array(row.iter().map(value_to_json).collect()))
+                                .collect(),
+                        ),
+                    ),
+                    ("row_count", u(q.rows.len() as u64)),
+                    ("cache_hit", Json::Bool(q.cache_hit)),
+                    ("eval_cache_hit", Json::Bool(q.eval_cache_hit)),
+                ];
+                if let Some(t) = &q.translations {
+                    pairs.push((
+                        "translations",
+                        Json::Object(t.iter().map(|(k, v)| (k.clone(), s(v))).collect()),
+                    ));
+                }
+                if let Some(d) = &q.diagram {
+                    pairs.push(("diagram", s(d)));
+                }
+                pairs.push(("notes", Json::Array(q.notes.iter().map(s).collect())));
+                obj(pairs)
+            }
+            Response::Load(l) => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("load")),
+                ("tables", u(l.tables as u64)),
+                ("tuples", u(l.tuples as u64)),
+                ("generation", u(l.generation)),
+                ("fingerprint", s(&l.fingerprint)),
+            ]),
+            Response::Stats(st) => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("stats")),
+                ("connections", u(st.connections)),
+                ("active_connections", u(st.active_connections)),
+                ("requests", u(st.requests)),
+                ("errors", u(st.errors)),
+                ("workers", u(st.workers)),
+                ("sessions", session_stats_to_json(&st.sessions)),
+                ("parse_cache", cache_stats_to_json(&st.parse_cache)),
+                ("eval_cache", cache_stats_to_json(&st.eval_cache)),
+                ("eval_cache_enabled", Json::Bool(st.eval_cache_enabled)),
+                ("generation", u(st.generation)),
+                ("fingerprint", s(&st.fingerprint)),
+                ("tables", u(st.tables)),
+                ("tuples", u(st.tuples)),
+            ]),
+            Response::Pong => obj(vec![("ok", Json::Bool(true)), ("kind", s("pong"))]),
+            Response::Bye => obj(vec![("ok", Json::Bool(true)), ("kind", s("bye"))]),
+            Response::Error(message) => obj(vec![("ok", Json::Bool(false)), ("error", s(message))]),
+        }
+    }
+}
+
+impl serde::Deserialize for Response {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let ok = v
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or("missing or non-bool field 'ok'")?;
+        if !ok {
+            return Ok(Response::Error(get_str(v, "error")?));
+        }
+        let kind = get_str(v, "kind")?;
+        match kind.as_str() {
+            "query" => {
+                let attrs = v
+                    .get("attrs")
+                    .and_then(Json::as_array)
+                    .ok_or("missing 'attrs' array")?
+                    .iter()
+                    .map(|a| a.as_str().map(str::to_string).ok_or("non-string attr"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let rows = v
+                    .get("rows")
+                    .and_then(Json::as_array)
+                    .ok_or("missing 'rows' array")?
+                    .iter()
+                    .map(|row| {
+                        row.as_array()
+                            .ok_or_else(|| "non-array row".to_string())?
+                            .iter()
+                            .map(value_from_json)
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let translations = match v.get("translations") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Object(pairs)) => Some(
+                        pairs
+                            .iter()
+                            .map(|(k, val)| {
+                                val.as_str()
+                                    .map(|t| (k.clone(), t.to_string()))
+                                    .ok_or_else(|| format!("non-string translation '{k}'"))
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                    Some(other) => {
+                        return Err(format!("'translations' must be an object, found {other}"))
+                    }
+                };
+                let notes = match v.get("notes") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(Json::Array(items)) => items
+                        .iter()
+                        .map(|n| n.as_str().map(str::to_string).ok_or("non-string note"))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    Some(other) => return Err(format!("'notes' must be an array, found {other}")),
+                };
+                Ok(Response::Query(QueryResult {
+                    language: get_str(v, "language")?.parse::<Language>()?,
+                    canonical: get_str(v, "canonical")?,
+                    attrs,
+                    rows,
+                    cache_hit: opt_bool(v, "cache_hit")?,
+                    eval_cache_hit: opt_bool(v, "eval_cache_hit")?,
+                    translations,
+                    diagram: v.get("diagram").and_then(Json::as_str).map(str::to_string),
+                    notes,
+                }))
+            }
+            "load" => Ok(Response::Load(LoadResult {
+                tables: get_u64(v, "tables")? as usize,
+                tuples: get_u64(v, "tuples")? as usize,
+                generation: get_u64(v, "generation")?,
+                fingerprint: get_str(v, "fingerprint")?,
+            })),
+            "stats" => Ok(Response::Stats(StatsResult {
+                connections: get_u64(v, "connections")?,
+                active_connections: get_u64(v, "active_connections")?,
+                requests: get_u64(v, "requests")?,
+                errors: get_u64(v, "errors")?,
+                workers: get_u64(v, "workers")?,
+                sessions: session_stats_from_json(
+                    v.get("sessions").ok_or("missing 'sessions' object")?,
+                )?,
+                parse_cache: cache_stats_from_json(
+                    v.get("parse_cache").ok_or("missing 'parse_cache' object")?,
+                )?,
+                eval_cache: cache_stats_from_json(
+                    v.get("eval_cache").ok_or("missing 'eval_cache' object")?,
+                )?,
+                eval_cache_enabled: opt_bool(v, "eval_cache_enabled")?,
+                generation: get_u64(v, "generation")?,
+                fingerprint: get_str(v, "fingerprint")?,
+                tables: get_u64(v, "tables")?,
+                tuples: get_u64(v, "tuples")?,
+            })),
+            "pong" => Ok(Response::Pong),
+            "bye" => Ok(Response::Bye),
+            other => Err(format!("unknown response kind '{other}'")),
+        }
+    }
+}
+
+/// Encodes a message as its one-line wire form (no trailing newline).
+pub fn encode<T: serde::Serialize>(msg: &T) -> String {
+    serde_json::to_string(msg).expect("protocol messages always serialize")
+}
+
+/// Decodes one wire line into a message.
+pub fn decode<T: serde::Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line).map_err(|e| format!("malformed message: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let line = encode(&req);
+        assert!(!line.contains('\n'), "wire form must be one line: {line}");
+        let back: Request = decode(&line).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Query {
+            language: Some(Language::Sql),
+            text: "SELECT DISTINCT Boat.color FROM Boat".into(),
+            translations: true,
+            diagram: DiagramFormat::Dot,
+        });
+        roundtrip_request(Request::Query {
+            language: None,
+            text: "pi[color](Boat)".into(),
+            translations: false,
+            diagram: DiagramFormat::None,
+        });
+        roundtrip_request(Request::Load(LoadSource::Fixture("R(a):\n (1)\n".into())));
+        roundtrip_request(Request::Load(LoadSource::Csv {
+            table: "R".into(),
+            text: "a,b\n1,x\n".into(),
+        }));
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resp = Response::Query(QueryResult {
+            language: Language::Ra,
+            canonical: "pi[color](Boat)".into(),
+            attrs: vec!["color".into()],
+            rows: vec![vec![Value::str("red")], vec![Value::int(7)]],
+            cache_hit: true,
+            eval_cache_hit: false,
+            translations: Some(vec![("trc".into(), "{ q(color) | ... }".into())]),
+            diagram: Some("digraph {}".into()),
+            notes: vec!["note".into()],
+        });
+        let back: Response = decode(&encode(&resp)).unwrap();
+        assert_eq!(back, resp);
+
+        let stats = Response::Stats(StatsResult {
+            connections: 3,
+            requests: 10,
+            sessions: SessionStats {
+                queries: 10,
+                eval_hits: 4,
+                ..SessionStats::default()
+            },
+            parse_cache: CacheStats {
+                hits: 6,
+                misses: 4,
+                evictions: 0,
+                entries: 4,
+                capacity: 256,
+            },
+            fingerprint: "abc123".into(),
+            ..StatsResult::default()
+        });
+        let back: Response = decode(&encode(&stats)).unwrap();
+        assert_eq!(back, stats);
+
+        for r in [
+            Response::Pong,
+            Response::Bye,
+            Response::Error("boom".into()),
+            Response::Load(LoadResult {
+                tables: 2,
+                tuples: 5,
+                generation: 1,
+                fingerprint: "ff".into(),
+            }),
+        ] {
+            let back: Response = decode(&encode(&r)).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn lang_auto_and_malformed_inputs() {
+        let req: Request = decode(r#"{"op":"query","lang":"auto","text":"Boat"}"#).unwrap();
+        assert!(matches!(req, Request::Query { language: None, .. }));
+        assert!(decode::<Request>(r#"{"op":"nope"}"#).is_err());
+        assert!(decode::<Request>(r#"{"op":"query"}"#).is_err());
+        assert!(decode::<Request>(r#"{"op":"load"}"#).is_err());
+        assert!(decode::<Request>("not json").is_err());
+        assert!(
+            decode::<Response>(r#"{"kind":"pong"}"#).is_err(),
+            "missing ok"
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! The TCP query service: accept loop, connection handlers, shared
+//! state, and aggregated statistics.
+
+use crate::pool::ThreadPool;
+use crate::protocol::{self, LoadResult, LoadSource, QueryResult, Request, Response, StatsResult};
+use rd_core::Database;
+use rd_engine::{
+    DiagramFormat, EngineShared, Language, QueryRequest, Session, SessionStats, SharedConfig,
+};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How the server is tuned. `Default` binds an ephemeral localhost port
+/// with 8 workers and both caches on.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port; read the
+    /// real one back with [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads. Each owns one connection at a time, so this is
+    /// also the concurrent-connection ceiling; further connections queue
+    /// in the accept backlog until a worker frees up.
+    pub workers: usize,
+    /// Shared parse-cache capacity (entries).
+    pub parse_cache_capacity: usize,
+    /// Shared eval/result-cache capacity (entries).
+    pub eval_cache_capacity: usize,
+    /// `false` disables the result cache (every query re-evaluates).
+    pub eval_cache: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            parse_cache_capacity: rd_engine::shared::DEFAULT_PARSE_CACHE_CAPACITY,
+            eval_cache_capacity: rd_engine::shared::DEFAULT_EVAL_CACHE_CAPACITY,
+            eval_cache: true,
+        }
+    }
+}
+
+/// Server-level counters plus the cross-worker session aggregate.
+struct ServerState {
+    engine: Arc<EngineShared>,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    active: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    workers: u64,
+    /// Session counters merged in from every worker after each request,
+    /// so a `stats` reply sees live sessions, not just closed ones.
+    sessions: Mutex<SessionStats>,
+}
+
+/// A bound (but not yet serving) query service.
+///
+/// ```no_run
+/// use rd_server::{Server, ServerConfig};
+///
+/// let server = Server::bind(ServerConfig::default(), rd_engine::demo_database()).unwrap();
+/// println!("listening on {}", server.local_addr());
+/// server.serve().unwrap(); // blocks until a client sends {"op":"shutdown"}
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared engine state over `db`.
+    pub fn bind(config: ServerConfig, db: Database) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let engine = Arc::new(EngineShared::with_config(
+            db,
+            SharedConfig {
+                parse_cache_capacity: config.parse_cache_capacity,
+                eval_cache_capacity: config.eval_cache_capacity,
+                eval_cache: config.eval_cache,
+                ..SharedConfig::default()
+            },
+        ));
+        let state = Arc::new(ServerState {
+            engine,
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            workers: config.workers.max(1) as u64,
+            sessions: Mutex::new(SessionStats::default()),
+        });
+        Ok(Server {
+            listener,
+            state,
+            config,
+        })
+    }
+
+    /// The address actually bound (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// The shared engine state (exposed for embedding and tests).
+    pub fn engine(&self) -> Arc<EngineShared> {
+        self.state.engine.clone()
+    }
+
+    /// Serves until a client sends `{"op":"shutdown"}`. Blocking; run it
+    /// on its own thread if the caller needs to keep working. In-flight
+    /// connections are drained before this returns.
+    pub fn serve(self) -> std::io::Result<()> {
+        // Non-blocking accept so the loop can observe the shutdown flag;
+        // connection sockets are switched back to blocking (with a read
+        // timeout) in the handler.
+        self.listener.set_nonblocking(true)?;
+        let pool = ThreadPool::new(self.config.workers, "rd-worker");
+        loop {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = self.state.clone();
+                    state.connections.fetch_add(1, Ordering::Relaxed);
+                    state.active.fetch_add(1, Ordering::Relaxed);
+                    pool.execute(move || {
+                        // Contain per-connection panics: the worker, the
+                        // pool, and the active counter must all survive a
+                        // bug in one request.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let _ = handle_connection(stream, &state);
+                        }));
+                        state.active.fetch_sub(1, Ordering::Relaxed);
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        pool.join(); // drain in-flight connections
+        Ok(())
+    }
+}
+
+/// Serves one connection: read a request line, answer it, repeat until
+/// EOF or shutdown. The session is per-connection; the caches and the
+/// database epoch are shared through `state.engine`.
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // A finite read timeout lets long-idle connections notice a server
+    // shutdown instead of blocking in `read` forever.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut session = Session::attach(state.engine.clone());
+    // Stats already merged into the server-wide aggregate; merging the
+    // difference after each request keeps the aggregate exact for live
+    // sessions without double counting.
+    let mut merged = SessionStats::default();
+    // Lines are accumulated as raw bytes: `read_until` keeps everything
+    // read so far in the buffer across timeout retries (a `String`-based
+    // `read_line` would discard a chunk whose timeout lands mid-way
+    // through a multi-byte UTF-8 character), and a byte cap bounds what
+    // one connection can make the server hold.
+    const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
+    let mut line = Vec::new();
+    loop {
+        // A connection that keeps streaming requests must still observe a
+        // shutdown triggered elsewhere, or draining would never finish.
+        if state.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        line.clear();
+        let n = loop {
+            match reader.read_until(b'\n', &mut line) {
+                Ok(n) => break n,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    if line.len() > MAX_LINE_BYTES {
+                        let err =
+                            Response::Error(format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+                        writer.write_all(protocol::encode(&err).as_bytes())?;
+                        writer.write_all(b"\n")?;
+                        writer.flush()?;
+                        return Ok(()); // drop the connection: can't resync
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        };
+        if n == 0 && line.is_empty() {
+            break; // EOF: client closed
+        }
+        let text = String::from_utf8_lossy(&line);
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, shutdown) = match protocol::decode::<Request>(text) {
+            Ok(request) => handle_request(&request, &mut session, state, &mut merged),
+            Err(e) => (Response::Error(e), false),
+        };
+        if matches!(response, Response::Error(_)) {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        writer.write_all(protocol::encode(&response).as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        merge_stats(&mut session, state, &mut merged);
+        if shutdown {
+            state.shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Folds this session's counter growth into the server-wide aggregate.
+fn merge_stats(session: &mut Session, state: &ServerState, merged: &mut SessionStats) {
+    let now = session.stats().clone();
+    let delta = now.since(merged);
+    if delta != SessionStats::default() {
+        state
+            .sessions
+            .lock()
+            .expect("session aggregate")
+            .accumulate(&delta);
+        *merged = now;
+    }
+}
+
+/// Dispatches one decoded request. Returns the response and whether the
+/// server should shut down afterwards.
+fn handle_request(
+    request: &Request,
+    session: &mut Session,
+    state: &Arc<ServerState>,
+    merged: &mut SessionStats,
+) -> (Response, bool) {
+    match request {
+        Request::Query {
+            language,
+            text,
+            translations,
+            diagram,
+        } => (
+            run_query(session, *language, text, *translations, *diagram),
+            false,
+        ),
+        Request::Load(source) => (run_load(session, source), false),
+        Request::Stats => {
+            // Fold in this session's own growth first so the reply is
+            // exact even mid-connection.
+            merge_stats(session, state, merged);
+            (Response::Stats(collect_stats(state)), false)
+        }
+        Request::Ping => (Response::Pong, false),
+        Request::Shutdown => (Response::Bye, true),
+    }
+}
+
+fn run_query(
+    session: &mut Session,
+    language: Option<Language>,
+    text: &str,
+    translations: bool,
+    diagram: DiagramFormat,
+) -> Response {
+    let language = language.unwrap_or_else(|| Language::detect(text));
+    let mut req = QueryRequest::new(language, text);
+    if translations {
+        req = req.with_translations();
+    }
+    req = req.with_diagram(diagram);
+    match session.run(&req) {
+        Ok(resp) => {
+            let translations = resp.translations.as_ref().map(|t| {
+                let mut pairs = vec![("trc".to_string(), t.trc.clone())];
+                if let Some(sql) = &t.sql {
+                    pairs.push(("sql".into(), sql.clone()));
+                }
+                if let Some(datalog) = &t.datalog {
+                    pairs.push(("datalog".into(), datalog.clone()));
+                }
+                if let Some(ra) = &t.ra {
+                    pairs.push(("ra".into(), ra.clone()));
+                }
+                pairs
+            });
+            let mut notes = resp.notes.clone();
+            if let Some(t) = &resp.translations {
+                notes.extend(t.notes.iter().cloned());
+            }
+            Response::Query(QueryResult {
+                language: resp.language,
+                canonical: resp.canonical.clone(),
+                attrs: resp.relation.schema().attrs().to_vec(),
+                rows: resp
+                    .relation
+                    .iter()
+                    .map(|t| t.iter().cloned().collect())
+                    .collect(),
+                cache_hit: resp.cache_hit,
+                eval_cache_hit: resp.eval_cache_hit,
+                translations,
+                diagram: resp.diagram.clone(),
+                notes,
+            })
+        }
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+fn run_load(session: &mut Session, source: &LoadSource) -> Response {
+    let epoch = match source {
+        LoadSource::Fixture(text) => match rd_engine::parse_fixture(text) {
+            Ok(db) => session.shared().replace_database(db),
+            Err(e) => return Response::Error(e.to_string()),
+        },
+        LoadSource::Csv { table, text } => match rd_engine::parse_csv(table, text) {
+            // Bulk import merges into the current database, replacing a
+            // same-named table — under the epoch write lock, so two
+            // workers importing different tables at once both land.
+            Ok(rel) => session.shared().update_database(|db| {
+                let mut db = db.clone();
+                db.add_relation(rel);
+                db
+            }),
+            Err(e) => return Response::Error(e.to_string()),
+        },
+    };
+    Response::Load(LoadResult {
+        tables: epoch.db.len(),
+        tuples: epoch.db.total_tuples(),
+        generation: epoch.generation,
+        fingerprint: format!("{:016x}", epoch.fingerprint),
+    })
+}
+
+fn collect_stats(state: &Arc<ServerState>) -> StatsResult {
+    let epoch = state.engine.epoch();
+    StatsResult {
+        connections: state.connections.load(Ordering::Relaxed),
+        active_connections: state.active.load(Ordering::Relaxed),
+        requests: state.requests.load(Ordering::Relaxed),
+        errors: state.errors.load(Ordering::Relaxed),
+        workers: state.workers,
+        sessions: state.sessions.lock().expect("session aggregate").clone(),
+        parse_cache: state.engine.parse_cache_stats(),
+        eval_cache: state.engine.eval_cache_stats(),
+        eval_cache_enabled: state.engine.eval_cache_enabled(),
+        generation: epoch.generation,
+        fingerprint: format!("{:016x}", epoch.fingerprint),
+        tables: epoch.db.len() as u64,
+        tuples: epoch.db.total_tuples() as u64,
+    }
+}

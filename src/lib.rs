@@ -5,6 +5,7 @@ pub use rd_diagram as diagram;
 pub use rd_engine as engine;
 pub use rd_pattern as pattern;
 pub use rd_ra as ra;
+pub use rd_server as server;
 pub use rd_sql as sql;
 pub use rd_study as study;
 pub use rd_textbook as textbook;
