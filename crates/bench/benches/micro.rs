@@ -1,10 +1,22 @@
 //! E11 — Criterion micro-benchmarks for the engine itself: parsing,
 //! canonicalization, translation, diagram round-trip, evaluation, and
 //! pattern-isomorphism checking.
+//!
+//! Setting `RD_BENCH_SMOKE=1` runs only the evaluation benches with a
+//! single sample — CI's cheap "the benches still run" check.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rd_core::{Catalog, DbGenerator, TableSchema};
+use rd_core::{Catalog, DbGenerator, TableSchema, Value};
 use std::hint::black_box;
+
+/// `true` in CI smoke mode: evaluation benches only, one sample.
+fn smoke() -> bool {
+    std::env::var_os("RD_BENCH_SMOKE").is_some()
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(if smoke() { 1 } else { 20 })
+}
 
 const DIVISION: &str = "{ q(A) | exists r in R [ q.A = r.A and not (exists s in S [ \
                         not (exists r2 in R [ r2.B = s.B and r2.A = r.A ]) ]) ] }";
@@ -18,6 +30,9 @@ fn catalog() -> Catalog {
 }
 
 fn bench_parse(c: &mut Criterion) {
+    if smoke() {
+        return;
+    }
     let cat = catalog();
     c.bench_function("parse_trc_division", |b| {
         b.iter(|| rd_trc::parse_query(black_box(DIVISION), &cat).unwrap())
@@ -30,6 +45,9 @@ fn bench_parse(c: &mut Criterion) {
 }
 
 fn bench_translate(c: &mut Criterion) {
+    if smoke() {
+        return;
+    }
     let cat = catalog();
     let q = rd_trc::parse_query(DIVISION, &cat).unwrap();
     c.bench_function("canonicalize_trc", |b| {
@@ -48,6 +66,9 @@ fn bench_translate(c: &mut Criterion) {
 }
 
 fn bench_diagram(c: &mut Criterion) {
+    if smoke() {
+        return;
+    }
     let cat = catalog();
     let q = rd_trc::parse_query(DIVISION, &cat).unwrap();
     c.bench_function("trc_to_diagram_and_back", |b| {
@@ -81,9 +102,42 @@ fn bench_eval(c: &mut Criterion) {
     c.bench_function("eval_ra_division_30rows", |b| {
         b.iter(|| rd_ra::eval(black_box(&e), &db).unwrap())
     });
+    // The join-heavy regime where planning + hash joins dominate: the
+    // same division pattern over a 200-row instance.
+    let mut gen = DbGenerator::with_int_domain(cat.clone(), 24, 200, 5);
+    let big = gen.next_db();
+    c.bench_function("eval_trc_division_200rows", |b| {
+        b.iter(|| rd_trc::eval_query(black_box(&q), &big).unwrap())
+    });
+    c.bench_function("eval_datalog_division_200rows", |b| {
+        b.iter(|| rd_datalog::eval_program(black_box(&p), &big).unwrap())
+    });
+}
+
+/// A string-valued equi-join: what interning buys when the data is text
+/// (equality is an id compare; pre-refactor this cloned and compared heap
+/// strings per probe).
+fn bench_eval_strings(c: &mut Criterion) {
+    let cat = catalog();
+    let domain: Vec<Value> = (0..24)
+        .map(|i| Value::str(format!("name-{i:04}")))
+        .collect();
+    let mut gen = DbGenerator::new(cat.clone(), domain, 200, 9);
+    let db = gen.next_db();
+    let q = rd_trc::parse_query(
+        "{ q(A) | exists r in R, s in S [ q.A = r.A and r.B = s.B ] }",
+        &cat,
+    )
+    .unwrap();
+    c.bench_function("eval_trc_string_join_200rows", |b| {
+        b.iter(|| rd_trc::eval_query(black_box(&q), &db).unwrap())
+    });
 }
 
 fn bench_patterns(c: &mut Criterion) {
+    if smoke() {
+        return;
+    }
     let cat = catalog();
     let q = rd_trc::parse_query(DIVISION, &cat).unwrap();
     let sql = rd_sql::ast::SqlUnion::single(rd_sql::trc_to_sql(&q).unwrap());
@@ -104,7 +158,8 @@ fn bench_patterns(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_parse, bench_translate, bench_diagram, bench_eval, bench_patterns
+    config = config();
+    targets = bench_parse, bench_translate, bench_diagram, bench_eval, bench_eval_strings,
+        bench_patterns
 }
 criterion_main!(benches);

@@ -11,8 +11,10 @@
 //!   when eliminating unguarded negations (§2.3) and when rewriting `ALL`
 //!   subqueries to `NOT EXISTS` (Fig. 14b).
 
+use crate::symbol::SymbolTable;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::fmt;
 
 /// A comparison operator θ ∈ {=, ≠, <, ≤, >, ≥}.
@@ -52,6 +54,33 @@ impl CmpOp {
             CmpOp::Le => left <= right,
             CmpOp::Gt => left > right,
             CmpOp::Ge => left >= right,
+        }
+    }
+
+    /// Evaluates `left θ right` with interned strings compared
+    /// *lexicographically* (resolved through `symbols`).
+    ///
+    /// This is the evaluators' entry point. Equality and inequality stay
+    /// integer compares (`Sym` ids are equal iff the strings are, within
+    /// one table); only the order operators `< <= > >=` between two
+    /// string-kinded values pay a resolution, which the symbol table
+    /// serves as an `Arc<str>` clone under a read lock.
+    pub fn eval_resolved(self, left: &Value, right: &Value, symbols: &SymbolTable) -> bool {
+        match self {
+            // Fast path: ids (and ints) compare directly; the mixed
+            // Sym/Str case resolves so equality agrees with the order
+            // operators' text semantics.
+            CmpOp::Eq => match (left, right) {
+                (Value::Sym(_), Value::Str(_)) | (Value::Str(_), Value::Sym(_)) => {
+                    resolved_order(left, right, symbols) == Ordering::Equal
+                }
+                _ => left == right,
+            },
+            CmpOp::Ne => !CmpOp::Eq.eval_resolved(left, right, symbols),
+            CmpOp::Lt => resolved_order(left, right, symbols) == Ordering::Less,
+            CmpOp::Le => resolved_order(left, right, symbols) != Ordering::Greater,
+            CmpOp::Gt => resolved_order(left, right, symbols) == Ordering::Greater,
+            CmpOp::Ge => resolved_order(left, right, symbols) != Ordering::Less,
         }
     }
 
@@ -135,6 +164,22 @@ impl CmpOp {
     }
 }
 
+/// The linear order over the active domain with interned strings compared
+/// by their *text*: integers first (matching `Int < Sym < Str`), then
+/// strings lexicographically, whether they arrive as `Sym` or `Str`.
+fn resolved_order(left: &Value, right: &Value, symbols: &SymbolTable) -> Ordering {
+    match (left, right) {
+        (Value::Int(a), Value::Int(b)) => a.cmp(b),
+        (Value::Int(_), _) => Ordering::Less,
+        (_, Value::Int(_)) => Ordering::Greater,
+        (Value::Sym(a), Value::Sym(b)) if a == b => Ordering::Equal,
+        (Value::Str(a), Value::Str(b)) => a.cmp(b),
+        (Value::Sym(a), Value::Str(b)) => symbols.resolve(*a).as_ref().cmp(b.as_str()),
+        (Value::Str(a), Value::Sym(b)) => a.as_str().cmp(symbols.resolve(*b).as_ref()),
+        (Value::Sym(a), Value::Sym(b)) => symbols.resolve(*a).cmp(&symbols.resolve(*b)),
+    }
+}
+
 impl fmt::Display for CmpOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.ascii())
@@ -187,6 +232,35 @@ mod tests {
             assert_eq!(CmpOp::parse(op.ascii()), Some(op));
             assert_eq!(CmpOp::parse(op.sql()), Some(op));
             assert_eq!(CmpOp::parse(op.unicode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn eval_resolved_orders_syms_lexicographically() {
+        let t = SymbolTable::new();
+        // Intern out of lexicographic order so id order disagrees with
+        // string order.
+        let zebra = Value::Sym(t.intern("zebra"));
+        let apple = Value::Sym(t.intern("apple"));
+        assert!(CmpOp::Lt.eval_resolved(&apple, &zebra, &t));
+        assert!(!CmpOp::Lt.eval_resolved(&zebra, &apple, &t));
+        assert!(CmpOp::Ge.eval_resolved(&zebra, &apple, &t));
+        assert!(CmpOp::Eq.eval_resolved(&apple, &apple, &t));
+        assert!(CmpOp::Ne.eval_resolved(&apple, &zebra, &t));
+        // Ints order before any string, as before.
+        assert!(CmpOp::Lt.eval_resolved(&Value::int(99), &apple, &t));
+        // Mixed Sym/Str (uninterned reference path) compares by text —
+        // including equality, so the linear-order axioms hold.
+        assert!(CmpOp::Lt.eval_resolved(&apple, &Value::str("banana"), &t));
+        assert!(CmpOp::Gt.eval_resolved(&Value::str("banana"), &apple, &t));
+        assert!(CmpOp::Eq.eval_resolved(&apple, &Value::str("apple"), &t));
+        assert!(!CmpOp::Ne.eval_resolved(&Value::str("apple"), &apple, &t));
+        for op in CmpOp::ALL {
+            // On plain values eval_resolved agrees with eval.
+            let (a, b) = (Value::int(3), Value::int(7));
+            assert_eq!(op.eval(&a, &b), op.eval_resolved(&a, &b, &t));
+            let (a, b) = (Value::str("a"), Value::str("b"));
+            assert_eq!(op.eval(&a, &b), op.eval_resolved(&a, &b, &t));
         }
     }
 

@@ -1,11 +1,20 @@
 //! Tuples, relation instances, and databases.
+//!
+//! Stored tuples are *interned*: string values entering a [`Database`]
+//! (or a [`Relation`] attached to one) are swapped for `u32` symbols in
+//! the database's [`SymbolTable`], so joins, projections, and set inserts
+//! compare and copy machine words instead of heap strings. Resolution
+//! back to [`Value::Str`] happens only at the edges — see
+//! [`Database::resolve_relation`] and [`Relation::resolved`].
 
 use crate::error::{CoreError, CoreResult};
 use crate::schema::{Catalog, TableSchema};
+use crate::symbol::SymbolTable;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A tuple: an ordered list of values. Attribute names live in the schema
 /// (the "set-of-mappings" view of §3.1 is recovered by pairing a tuple with
@@ -34,7 +43,8 @@ impl Tuple {
         self.0.iter()
     }
 
-    /// Concatenates two tuples (used by products/joins).
+    /// Concatenates two tuples (used by products/joins). With interned
+    /// values this is a flat word copy — no heap strings are cloned.
     pub fn concat(&self, other: &Tuple) -> Tuple {
         let mut v = Vec::with_capacity(self.0.len() + other.0.len());
         v.extend_from_slice(&self.0);
@@ -45,6 +55,13 @@ impl Tuple {
     /// Projects the tuple onto the given positions.
     pub fn project(&self, positions: &[usize]) -> Tuple {
         Tuple(positions.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Approximate in-memory size (enum slots plus string payloads).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Tuple>()
+            + self.0.len() * std::mem::size_of::<Value>()
+            + self.0.iter().map(Value::heap_bytes).sum::<usize>()
     }
 }
 
@@ -66,10 +83,23 @@ impl fmt::Display for Tuple {
 /// `BTreeSet` enforces set semantics and gives deterministic iteration,
 /// which keeps query evaluation, printing, and counterexample search
 /// reproducible.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// A relation stored in a [`Database`] carries a handle to the database's
+/// symbol table: string values are interned on insert, and
+/// [`Relation::resolved`] maps them back. Free-standing relations (query
+/// results, literals under construction) have no handle and keep their
+/// values as given.
+#[derive(Debug, Clone)]
 pub struct Relation {
     schema: TableSchema,
     tuples: BTreeSet<Tuple>,
+    symbols: Option<Arc<SymbolTable>>,
+    /// `true` for relations *stored in* a database (inserting a new
+    /// string interns it — the data write path); `false` for result
+    /// relations built via [`Database::fresh_relation`], whose inserts
+    /// only map strings already interned (an unknown query literal in an
+    /// output head must not grow the shared table).
+    intern_on_insert: bool,
 }
 
 impl Relation {
@@ -78,6 +108,8 @@ impl Relation {
         Relation {
             schema,
             tuples: BTreeSet::new(),
+            symbols: None,
+            intern_on_insert: false,
         }
     }
 
@@ -105,7 +137,84 @@ impl Relation {
         self.schema.name()
     }
 
-    /// Inserts a tuple, checking arity. Returns `Ok(true)` if it was new.
+    /// The symbol table this relation interns into, if attached.
+    pub fn symbols(&self) -> Option<&Arc<SymbolTable>> {
+        self.symbols.as_ref()
+    }
+
+    /// Attaches `symbols` and re-interns the stored tuples against it.
+    /// Called by [`Database::add_relation`]; a relation moving between
+    /// databases is resolved out of its old table first, so ids never
+    /// leak across tables.
+    pub(crate) fn attach_symbols(&mut self, symbols: Arc<SymbolTable>) {
+        if let Some(old) = &self.symbols {
+            if Arc::ptr_eq(old, &symbols) {
+                // Same table (e.g. a result materialized back into its
+                // own database): from now on it stores data, so new
+                // strings intern again. Any raw Str literals it carries
+                // are interned by the pass below.
+                self.intern_on_insert = true;
+                if self
+                    .tuples
+                    .iter()
+                    .any(|t| t.iter().any(|v| matches!(v, Value::Str(_))))
+                {
+                    let old = old.clone();
+                    self.tuples = self
+                        .tuples
+                        .iter()
+                        .map(|t| intern_tuple_with(t, &old))
+                        .collect();
+                }
+                return;
+            }
+            // Re-home: resolve through the old table before re-interning.
+            let old = old.clone();
+            self.tuples = self
+                .tuples
+                .iter()
+                .map(|t| resolve_tuple_with(t, &old))
+                .collect();
+        }
+        if self
+            .tuples
+            .iter()
+            .any(|t| t.iter().any(|v| matches!(v, Value::Str(_))))
+        {
+            self.tuples = self
+                .tuples
+                .iter()
+                .map(|t| intern_tuple_with(t, &symbols))
+                .collect();
+        }
+        self.symbols = Some(symbols);
+        self.intern_on_insert = true;
+    }
+
+    /// Resolves the stored tuples out of the attached table (if any) and
+    /// detaches it, leaving raw `Str` values — the representation of
+    /// [`Database::uninterned`].
+    pub(crate) fn detach_resolved(&mut self) {
+        if let Some(symbols) = self.symbols.take() {
+            self.tuples = self
+                .tuples
+                .iter()
+                .map(|t| resolve_tuple_with(t, &symbols))
+                .collect();
+        }
+        self.intern_on_insert = false;
+    }
+
+    /// Inserts a tuple, checking arity and interning string values when a
+    /// symbol table is attached. Returns `Ok(true)` if it was new.
+    ///
+    /// **Contract:** any [`Value::Sym`] in `tuple` must have been handed
+    /// out by *this* relation's attached table (true for everything built
+    /// from this database's tuples — evaluator results, projections).
+    /// When copying tuples from another database, resolve them first
+    /// ([`Database::resolve_tuple`]) so their strings re-intern here;
+    /// whole relations re-home automatically via
+    /// [`Database::add_relation`].
     pub fn insert(&mut self, tuple: Tuple) -> CoreResult<bool> {
         if tuple.arity() != self.schema.arity() {
             return Err(CoreError::ArityMismatch {
@@ -114,6 +223,18 @@ impl Relation {
                 actual: tuple.arity(),
             });
         }
+        let tuple = match &self.symbols {
+            Some(symbols) if tuple.iter().any(|v| matches!(v, Value::Str(_))) => {
+                if self.intern_on_insert {
+                    intern_tuple_with(&tuple, symbols)
+                } else {
+                    // Result relation: map known strings to their symbol,
+                    // keep unknown literals as Str (never grow the table).
+                    lookup_tuple_with(&tuple, symbols)
+                }
+            }
+            _ => tuple,
+        };
         Ok(self.tuples.insert(tuple))
     }
 
@@ -125,9 +246,17 @@ impl Relation {
         self.insert(Tuple::new(row))
     }
 
-    /// `true` if the tuple is present.
+    /// `true` if the tuple is present. `Str` probes are mapped through
+    /// the attached table so the edge representation matches — via
+    /// *lookup only*: an unknown string cannot be stored, so the probe
+    /// answers `false` without growing the shared table.
     pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.tuples.contains(tuple)
+        match &self.symbols {
+            Some(symbols) if tuple.iter().any(|v| matches!(v, Value::Str(_))) => {
+                self.tuples.contains(&lookup_tuple_with(tuple, symbols))
+            }
+            _ => self.tuples.contains(tuple),
+        }
     }
 
     /// Number of tuples.
@@ -150,6 +279,31 @@ impl Relation {
         &self.tuples
     }
 
+    /// This relation with interned symbols resolved back to strings
+    /// (through the attached table), re-sorted under the plain string
+    /// order. Free-standing relations are returned as-is.
+    pub fn resolved(&self) -> Relation {
+        match &self.symbols {
+            None => self.clone(),
+            Some(symbols) => Relation {
+                schema: self.schema.clone(),
+                tuples: self
+                    .tuples
+                    .iter()
+                    .map(|t| resolve_tuple_with(t, symbols))
+                    .collect(),
+                symbols: None,
+                intern_on_insert: false,
+            },
+        }
+    }
+
+    /// Approximate in-memory size of the tuple set — the weight used by
+    /// size-aware cache admission.
+    pub fn approx_bytes(&self) -> usize {
+        self.tuples.iter().map(Tuple::approx_bytes).sum()
+    }
+
     /// Returns this relation under a new schema name (arity must match).
     pub fn renamed(&self, new_schema: TableSchema) -> CoreResult<Relation> {
         if new_schema.arity() != self.schema.arity() {
@@ -162,20 +316,107 @@ impl Relation {
         Ok(Relation {
             schema: new_schema,
             tuples: self.tuples.clone(),
+            symbols: self.symbols.clone(),
+            intern_on_insert: self.intern_on_insert,
         })
     }
 }
 
-/// A database: a set of relation instances, keyed by table name.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// Equality is *content* equality: schemas match and the tuple sets hold
+/// the same values once symbols are resolved. Relations attached to the
+/// same table (or to none) compare raw — ids are content there.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        if self.schema != other.schema || self.tuples.len() != other.tuples.len() {
+            return false;
+        }
+        let same_table = match (&self.symbols, &other.symbols) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        if same_table {
+            self.tuples == other.tuples
+        } else {
+            self.resolved().tuples == other.resolved().tuples
+        }
+    }
+}
+
+impl Eq for Relation {}
+
+fn intern_tuple_with(t: &Tuple, symbols: &SymbolTable) -> Tuple {
+    Tuple(
+        t.iter()
+            .map(|v| match v {
+                Value::Str(s) => Value::Sym(symbols.intern(s)),
+                other => other.clone(),
+            })
+            .collect(),
+    )
+}
+
+/// Maps `Str` values to their symbol when one exists; unknown strings
+/// stay `Str` (the result-relation insert path — see
+/// [`Relation::insert`]).
+fn lookup_tuple_with(t: &Tuple, symbols: &SymbolTable) -> Tuple {
+    Tuple(
+        t.iter()
+            .map(|v| match v {
+                Value::Str(s) => match symbols.lookup(s) {
+                    Some(id) => Value::Sym(id),
+                    None => v.clone(),
+                },
+                other => other.clone(),
+            })
+            .collect(),
+    )
+}
+
+fn resolve_tuple_with(t: &Tuple, symbols: &SymbolTable) -> Tuple {
+    Tuple(
+        t.iter()
+            .map(|v| match v {
+                Value::Sym(id) => Value::Str(symbols.resolve(*id).to_string()),
+                other => other.clone(),
+            })
+            .collect(),
+    )
+}
+
+/// A database: a set of relation instances, keyed by table name, plus the
+/// symbol table their string values are interned into.
+#[derive(Debug, Clone)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    symbols: Arc<SymbolTable>,
+    interning: bool,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            relations: BTreeMap::new(),
+            symbols: Arc::new(SymbolTable::new()),
+            interning: true,
+        }
+    }
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty database (interning enabled).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty database with interning *disabled*: string values are
+    /// stored as raw `Value::Str`. This is the reference representation
+    /// used by differential tests — slower, but with no id indirection.
+    pub fn uninterned() -> Self {
+        Database {
+            interning: false,
+            ..Database::default()
+        }
     }
 
     /// A database with an empty instance for every table in `catalog`.
@@ -187,9 +428,100 @@ impl Database {
         db
     }
 
-    /// Adds (or replaces) a relation.
-    pub fn add_relation(&mut self, relation: Relation) {
+    /// The database's symbol table.
+    pub fn symbols(&self) -> &Arc<SymbolTable> {
+        &self.symbols
+    }
+
+    /// `true` unless this database was built with [`Database::uninterned`].
+    pub fn interning_enabled(&self) -> bool {
+        self.interning
+    }
+
+    /// Adds (or replaces) a relation. With interning enabled the
+    /// relation's string values are interned into this database's symbol
+    /// table and further inserts through it intern too.
+    pub fn add_relation(&mut self, mut relation: Relation) {
+        if self.interning {
+            relation.attach_symbols(self.symbols.clone());
+        } else {
+            // The reference representation stores raw strings only; a
+            // relation arriving from an interned database is resolved
+            // out of its old table (its ids mean nothing here).
+            relation.detach_resolved();
+        }
         self.relations.insert(relation.name().to_string(), relation);
+    }
+
+    /// An empty relation attached to this database's symbol table — the
+    /// constructor for *result* relations. Evaluators build their output
+    /// through this so a result's interned values stay interpretable on
+    /// their own: rendering resolves, content equality resolves, and
+    /// adding the result to another database re-homes the ids instead of
+    /// silently reinterpreting them against the wrong table.
+    pub fn fresh_relation(&self, schema: TableSchema) -> Relation {
+        let mut rel = Relation::empty(schema);
+        if self.interning {
+            rel.symbols = Some(self.symbols.clone());
+        }
+        rel
+    }
+
+    /// Interns a single edge value against this database: `Str` becomes
+    /// `Sym` (identity for everything else, and on uninterned databases).
+    /// This *appends* to the symbol table — it is the write path for data
+    /// entering the database; query constants go through
+    /// [`Database::lookup_value`] instead.
+    pub fn intern_value(&self, v: &Value) -> Value {
+        match v {
+            Value::Str(s) if self.interning => Value::Sym(self.symbols.intern(s)),
+            other => other.clone(),
+        }
+    }
+
+    /// Maps a query constant to the stored representation *without*
+    /// growing the symbol table: a string already interned becomes its
+    /// `Sym`; an unknown string stays `Str` — no stored tuple of this
+    /// snapshot can hold a symbol for it, so equality against stored
+    /// values is correctly always-false and order comparisons resolve
+    /// by text ([`CmpOp::eval_resolved`](crate::CmpOp::eval_resolved)).
+    /// Evaluators call this once per constant at compile time; routing
+    /// them through `intern_value` instead would let clients grow the
+    /// shared table without bound (one entry per distinct literal ever
+    /// queried).
+    pub fn lookup_value(&self, v: &Value) -> Value {
+        match v {
+            Value::Str(s) if self.interning => match self.symbols.lookup(s) {
+                Some(id) => Value::Sym(id),
+                None => v.clone(),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Resolves one value: `Sym` back to `Str` (identity otherwise).
+    pub fn resolve_value(&self, v: &Value) -> Value {
+        match v {
+            Value::Sym(id) => Value::Str(self.symbols.resolve(*id).to_string()),
+            other => other.clone(),
+        }
+    }
+
+    /// Resolves every value of a tuple.
+    pub fn resolve_tuple(&self, t: &Tuple) -> Tuple {
+        resolve_tuple_with(t, &self.symbols)
+    }
+
+    /// Resolves a relation (typically a query result over this database)
+    /// back to the string representation, re-sorted under the plain
+    /// `Int < Str` order — the edge format for printing and the wire.
+    pub fn resolve_relation(&self, rel: &Relation) -> Relation {
+        Relation {
+            schema: rel.schema.clone(),
+            tuples: rel.tuples.iter().map(|t| self.resolve_tuple(t)).collect(),
+            symbols: None,
+            intern_on_insert: false,
+        }
     }
 
     /// Looks up a relation by name.
@@ -203,7 +535,8 @@ impl Database {
             .ok_or_else(|| CoreError::UnknownTable(name.to_string()))
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup. The relation keeps its symbol-table attachment, so
+    /// inserts through it still intern.
     pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
         self.relations.get_mut(name)
     }
@@ -233,10 +566,10 @@ impl Database {
         c
     }
 
-    /// The active domain: every value appearing in any relation, in order.
-    ///
-    /// Extend with query constants before using it for domain-closure
-    /// arguments (the classic safety construction, Ullman \[77\]).
+    /// The active domain: every value appearing in any relation, in the
+    /// stored (interned) representation and order. Extend with query
+    /// constants before using it for domain-closure arguments (the
+    /// classic safety construction, Ullman \[77\]).
     pub fn active_domain(&self) -> BTreeSet<Value> {
         let mut dom = BTreeSet::new();
         for rel in self.relations.values() {
@@ -253,10 +586,11 @@ impl Database {
     }
 
     /// A 64-bit content fingerprint: two databases with the same schemas
-    /// and tuple sets hash equal. Iteration over `BTreeMap`/`BTreeSet` is
-    /// ordered, so the fingerprint is deterministic for a given instance
-    /// within one process — it keys in-memory result caches and lets a
-    /// service tell reloads apart; it is not a persistent checksum.
+    /// and (resolved) tuple sets hash equal — regardless of interning
+    /// order, because tuples are hashed in their resolved string form,
+    /// re-sorted per relation. Computed once per load/reload, it keys
+    /// in-memory result caches and lets a service tell reloads apart; it
+    /// is not a persistent checksum.
     pub fn fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -264,13 +598,26 @@ impl Database {
         for rel in self.relations.values() {
             rel.schema().hash(&mut h);
             rel.len().hash(&mut h);
-            for t in rel.iter() {
+            let mut rows: Vec<Tuple> = rel.iter().map(|t| self.resolve_tuple(t)).collect();
+            rows.sort_unstable();
+            for t in rows {
                 t.hash(&mut h);
             }
         }
         h.finish()
     }
 }
+
+/// Content equality over the relation map (delegates to the resolving
+/// [`Relation`] equality); the symbol table itself is representation, not
+/// content.
+impl PartialEq for Database {
+    fn eq(&self, other: &Database) -> bool {
+        self.relations == other.relations
+    }
+}
+
+impl Eq for Database {}
 
 impl fmt::Display for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -370,11 +717,176 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_ignores_interning_order() {
+        // Same content, interned in different id orders ('red' gets id 0
+        // in a, id 1 in c), must fingerprint and compare equal.
+        let mut a = Database::new();
+        a.add_relation(
+            Relation::from_rows(TableSchema::new("T", ["x"]), [["red"], ["green"]]).unwrap(),
+        );
+        let mut c = Database::new();
+        c.add_relation(
+            Relation::from_rows(TableSchema::new("T", ["x"]), [["green"], ["red"]]).unwrap(),
+        );
+        assert_eq!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn lookup_value_never_grows_the_table() {
+        let mut db = Database::new();
+        db.add_relation(Relation::from_rows(TableSchema::new("T", ["x"]), [["red"]]).unwrap());
+        assert_eq!(db.symbols().len(), 1);
+        // Known strings map to their symbol; unknown ones stay Str and
+        // do NOT get interned (query literals must not leak memory).
+        assert!(db.lookup_value(&Value::str("red")).is_sym());
+        assert_eq!(db.lookup_value(&Value::str("nope")), Value::str("nope"));
+        assert_eq!(db.symbols().len(), 1);
+    }
+
+    #[test]
+    fn result_relations_never_intern_unknown_literals() {
+        let mut db = Database::new();
+        db.add_relation(Relation::from_rows(TableSchema::new("T", ["x"]), [["red"]]).unwrap());
+        assert_eq!(db.symbols().len(), 1);
+        // A result relation (what evaluators build): inserting a tuple
+        // with an unknown head literal must NOT grow the shared table.
+        let mut result = db.fresh_relation(TableSchema::new("q", ["x", "tag"]));
+        result
+            .insert(Tuple::new(vec![Value::str("red"), Value::str("tag-1")]))
+            .unwrap();
+        assert_eq!(db.symbols().len(), 1, "unknown literal must stay Str");
+        let t = result.iter().next().unwrap();
+        assert!(t.get(0).is_sym(), "known string maps to its symbol");
+        assert_eq!(t.get(1), &Value::str("tag-1"));
+        // Resolution still restores the full string view.
+        let resolved = result.resolved();
+        let t = resolved.iter().next().unwrap();
+        assert_eq!(t.get(0), &Value::str("red"));
+        // Materializing the result as a table upgrades it to the data
+        // path: the raw literal is interned at attach.
+        db.add_relation(result.renamed(TableSchema::new("Q", ["x", "tag"])).unwrap());
+        assert_eq!(db.symbols().len(), 2);
+        let t = db.require("Q").unwrap().iter().next().unwrap();
+        assert!(t.iter().all(|v| !matches!(v, Value::Str(_))));
+    }
+
+    #[test]
+    fn uninterned_add_relation_resolves_foreign_syms() {
+        let mut interned = Database::new();
+        interned
+            .add_relation(Relation::from_rows(TableSchema::new("T", ["x"]), [["red"]]).unwrap());
+        let mut raw = Database::uninterned();
+        raw.add_relation(interned.require("T").unwrap().clone());
+        let t = raw.require("T").unwrap().iter().next().unwrap();
+        assert_eq!(t.get(0), &Value::str("red"));
+        // fingerprint/resolve must not panic on foreign ids.
+        assert_eq!(raw.fingerprint(), interned.fingerprint());
+        assert_eq!(raw, interned);
+    }
+
+    #[test]
+    fn interning_swaps_strings_for_syms_and_resolves_back() {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::from_rows(
+                TableSchema::new("Boat", ["bid", "color"]),
+                [
+                    vec![Value::int(101), Value::str("red")],
+                    vec![Value::int(102), Value::str("green")],
+                ],
+            )
+            .unwrap(),
+        );
+        let rel = db.require("Boat").unwrap();
+        // Stored values are ints and symbols, never raw strings.
+        for t in rel.iter() {
+            assert!(t.iter().all(|v| !matches!(v, Value::Str(_))));
+        }
+        // Inserts through relation_mut keep interning.
+        db.relation_mut("Boat")
+            .unwrap()
+            .insert_values(vec![Value::int(103), Value::str("red")])
+            .unwrap();
+        assert_eq!(db.symbols().len(), 2, "'red' interned once");
+        // Resolution restores the string view.
+        let resolved = db.require("Boat").unwrap().resolved();
+        assert!(resolved
+            .iter()
+            .any(|t| t.get(1) == &Value::str("green") && t.get(0) == &Value::int(102)));
+        assert_eq!(resolved.len(), 3);
+        // contains() accepts the edge (Str) representation, and probing
+        // with unknown strings answers false without growing the table.
+        assert!(db
+            .require("Boat")
+            .unwrap()
+            .contains(&Tuple::new(vec![Value::int(101), Value::str("red")])));
+        let before = db.symbols().len();
+        assert!(!db.require("Boat").unwrap().contains(&Tuple::new(vec![
+            Value::int(101),
+            Value::str("never-stored")
+        ])));
+        assert_eq!(db.symbols().len(), before);
+    }
+
+    #[test]
+    fn uninterned_database_keeps_raw_strings() {
+        let mut db = Database::uninterned();
+        db.add_relation(
+            Relation::from_rows(TableSchema::new("T", ["a"]), [[Value::str("x")]]).unwrap(),
+        );
+        let t = db.require("T").unwrap().iter().next().unwrap();
+        assert_eq!(t.get(0), &Value::str("x"));
+        assert_eq!(db.symbols().len(), 0);
+        assert_eq!(db.intern_value(&Value::str("x")), Value::str("x"));
+    }
+
+    #[test]
+    fn content_equality_across_interning_orders() {
+        // An interned and an uninterned database with the same content
+        // compare equal (resolving comparison).
+        let rows = || {
+            Relation::from_rows(
+                TableSchema::new("T", ["a"]),
+                [[Value::str("b")], [Value::str("a")]],
+            )
+            .unwrap()
+        };
+        let mut interned = Database::new();
+        interned.add_relation(rows());
+        let mut raw = Database::uninterned();
+        raw.add_relation(rows());
+        assert_eq!(interned, raw);
+        raw.relation_mut("T")
+            .unwrap()
+            .insert_values([Value::str("c")])
+            .unwrap();
+        assert_ne!(interned, raw);
+    }
+
+    #[test]
     fn renamed_relation_keeps_tuples() {
         let r = sample();
         let r2 = r.renamed(TableSchema::new("R_1", ["A", "B"])).unwrap();
         assert_eq!(r2.name(), "R_1");
         assert_eq!(r2.len(), 3);
         assert!(r.renamed(TableSchema::new("X", ["A"])).is_err());
+    }
+
+    #[test]
+    fn relation_rehomes_across_databases() {
+        let mut a = Database::new();
+        a.add_relation(
+            Relation::from_rows(TableSchema::new("T", ["x"]), [["red"], ["blue"]]).unwrap(),
+        );
+        let mut b = Database::new();
+        // Force a different id order in b's table.
+        b.add_relation(Relation::from_rows(TableSchema::new("U", ["y"]), [["blue"]]).unwrap());
+        // Moving T from a to b re-interns against b's table.
+        b.add_relation(a.require("T").unwrap().clone());
+        let t = b.require("T").unwrap().resolved();
+        assert!(t.iter().any(|r| r.get(0) == &Value::str("red")));
+        assert!(t.iter().any(|r| r.get(0) == &Value::str("blue")));
+        assert_eq!(a.require("T").unwrap(), b.require("T").unwrap());
     }
 }

@@ -37,13 +37,17 @@ pub mod cmp;
 pub mod database;
 pub mod error;
 pub mod generate;
+pub mod plan;
 pub mod pretty;
 pub mod schema;
+pub mod symbol;
 pub mod value;
 
 pub use cmp::CmpOp;
 pub use database::{Database, Relation, Tuple};
 pub use error::{CoreError, CoreResult};
 pub use generate::{enumerate_databases, DbGenerator, ExhaustiveDbIter};
+pub use plan::{build_index, scan_cost, DbStats};
 pub use schema::{Catalog, TableSchema};
+pub use symbol::SymbolTable;
 pub use value::Value;

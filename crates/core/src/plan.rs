@@ -1,0 +1,190 @@
+//! The shared planning layer: relation-size statistics, a selectivity
+//! cost model for greedy join ordering, and hash-index construction for
+//! equi-joins.
+//!
+//! All three evaluators (TRC, RA, Datalog) used to extend bindings in
+//! source order with nested-loop scans. They now share this module:
+//! positive atoms / conjuncts are reordered greedily by
+//! [`scan_cost`] — prefer scans with bound equality keys (hash probes),
+//! then smaller relations — and every scan with at least one bound
+//! equality key probes a [`build_index`] hash map instead of scanning.
+//! Negated and quantified subformulas still evaluate only after their
+//! bindings are available.
+
+use crate::database::{Database, Tuple};
+use crate::error::CoreResult;
+use crate::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// Per-table size statistics of a database instance — the input to join
+/// ordering (the TRC compiler builds one per query; the Datalog planner
+/// augments these sizes with its already-computed IDBs). Cheap to build
+/// (`BTreeMap` walk, no tuple scans) and valid for the lifetime of the
+/// snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DbStats {
+    sizes: BTreeMap<String, usize>,
+    total: usize,
+}
+
+impl DbStats {
+    /// Collects statistics for `db`.
+    pub fn of(db: &Database) -> DbStats {
+        let mut sizes = BTreeMap::new();
+        let mut total = 0;
+        for rel in db.iter() {
+            sizes.insert(rel.name().to_string(), rel.len());
+            total += rel.len();
+        }
+        DbStats { sizes, total }
+    }
+
+    /// Tuples in `table` (0 for unknown tables).
+    pub fn size(&self, table: &str) -> usize {
+        self.sizes.get(table).copied().unwrap_or(0)
+    }
+
+    /// Total tuples across all tables.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// Estimated cost of scanning a relation of `size` tuples with
+/// `bound_keys` equality columns already bound.
+///
+/// The model is deliberately simple — it only has to *rank* candidate
+/// scans: an unkeyed scan costs its full size; each bound equality key
+/// divides the expected match count by a nominal per-key selectivity of
+/// 8 (hash probe + short bucket). `+1.0` keeps empty relations ordered
+/// ahead of everything (scanning them short-circuits immediately).
+pub fn scan_cost(size: usize, bound_keys: usize) -> f64 {
+    let mut cost = size as f64 + 1.0;
+    for _ in 0..bound_keys {
+        cost = (cost / 8.0).max(1.0);
+    }
+    cost
+}
+
+/// Builds a hash index over `tuples` keyed by the values at `cols`
+/// (in the given column order).
+///
+/// Keys are small `Vec<Value>`s of `Int`/`Sym` values, so building and
+/// probing never allocate strings — this is what the interned
+/// representation buys on the join hot path.
+pub fn build_index<'a, I>(tuples: I, cols: &[usize]) -> HashMap<Vec<crate::Value>, Vec<&'a Tuple>>
+where
+    I: IntoIterator<Item = &'a Tuple>,
+{
+    let mut index: HashMap<Vec<crate::Value>, Vec<&'a Tuple>> = HashMap::new();
+    for t in tuples {
+        let key: Vec<crate::Value> = cols.iter().map(|&c| t.get(c).clone()).collect();
+        index.entry(key).or_default().push(t);
+    }
+    index
+}
+
+/// A hash index: key columns' values → the matching tuples.
+pub type Index<'a> = HashMap<Vec<Value>, Vec<&'a Tuple>>;
+
+/// A cache of lazily-built hash indexes, one slot per keyed scan of a
+/// compiled query plan. Both the TRC and the Datalog evaluator drive
+/// their probes through this, so the build-once/probe-many protocol
+/// (and any future key normalization) lives in exactly one place.
+pub struct IndexCache<'a> {
+    slots: Vec<Option<Rc<Index<'a>>>>,
+}
+
+impl<'a> IndexCache<'a> {
+    /// A cache with `n` index slots (the plan's keyed-scan count).
+    pub fn new(n: usize) -> Self {
+        IndexCache {
+            slots: vec![None; n],
+        }
+    }
+
+    /// The index in slot `id`, building it from `tuples` over `cols` on
+    /// first use. The `Rc` decouples the returned index from the cache
+    /// borrow, so callers can keep probing while scheduling more scans.
+    pub fn get_or_build<I, F>(
+        &mut self,
+        id: usize,
+        cols: &[usize],
+        tuples: F,
+    ) -> CoreResult<Rc<Index<'a>>>
+    where
+        I: IntoIterator<Item = &'a Tuple>,
+        F: FnOnce() -> CoreResult<I>,
+    {
+        if self.slots[id].is_none() {
+            self.slots[id] = Some(Rc::new(build_index(tuples()?, cols)));
+        }
+        Ok(self.slots[id].clone().expect("just built"))
+    }
+}
+
+/// A reusable probe-key buffer: filling it allocates nothing once warm,
+/// and the returned slice borrows the buffer, so probing a hash index
+/// per tuple is allocation-free.
+#[derive(Default)]
+pub struct KeyBuf(Vec<Value>);
+
+impl KeyBuf {
+    /// Clears the buffer, fills it from `values`, and hands back the
+    /// slice to probe with.
+    pub fn fill(&mut self, values: impl Iterator<Item = Value>) -> &[Value] {
+        self.0.clear();
+        self.0.extend(values);
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Relation;
+    use crate::schema::TableSchema;
+
+    #[test]
+    fn stats_track_sizes() {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::from_rows(TableSchema::new("R", ["A"]), [[1i64], [2], [3]]).unwrap(),
+        );
+        db.add_relation(Relation::from_rows(TableSchema::new("S", ["B"]), [[1i64]]).unwrap());
+        let st = DbStats::of(&db);
+        assert_eq!(st.size("R"), 3);
+        assert_eq!(st.size("S"), 1);
+        assert_eq!(st.size("Nope"), 0);
+        assert_eq!(st.total(), 4);
+    }
+
+    #[test]
+    fn cost_prefers_keys_then_size() {
+        // A keyed scan of a big relation beats an unkeyed scan of it.
+        assert!(scan_cost(1000, 1) < scan_cost(1000, 0));
+        // More keys, cheaper.
+        assert!(scan_cost(1000, 2) < scan_cost(1000, 1));
+        // With equal keys, smaller relations win.
+        assert!(scan_cost(10, 1) < scan_cost(1000, 1));
+        // Cost never drops below 1 probe.
+        assert!(scan_cost(2, 5) >= 1.0);
+    }
+
+    #[test]
+    fn index_groups_by_key() {
+        let rel = Relation::from_rows(
+            TableSchema::new("R", ["A", "B"]),
+            [[1i64, 10], [1, 20], [2, 10]],
+        )
+        .unwrap();
+        let idx = build_index(rel.iter(), &[0]);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx[&vec![Value::int(1)]].len(), 2);
+        assert_eq!(idx[&vec![Value::int(2)]].len(), 1);
+        assert!(!idx.contains_key(&vec![Value::int(3)]));
+        let idx2 = build_index(rel.iter(), &[1, 0]);
+        assert_eq!(idx2[&vec![Value::int(10), Value::int(1)]].len(), 1);
+    }
+}

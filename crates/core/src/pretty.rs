@@ -7,11 +7,14 @@ use crate::database::{Relation, Tuple};
 use crate::schema::TableSchema;
 
 /// Renders a relation as an aligned text table with its name as header.
+/// Interned values are resolved back to strings through the relation's
+/// attached symbol table.
 pub fn render_relation(rel: &Relation) -> String {
+    let resolved = rel.resolved();
     render_table(
-        rel.name(),
-        rel.schema().attrs(),
-        rel.iter().cloned().collect::<Vec<_>>().as_slice(),
+        resolved.name(),
+        resolved.schema().attrs(),
+        resolved.iter().cloned().collect::<Vec<_>>().as_slice(),
     )
 }
 

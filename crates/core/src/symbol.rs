@@ -1,0 +1,155 @@
+//! String interning: the per-database symbol table.
+//!
+//! `Value::Str(String)` used to travel inside every stored tuple, so each
+//! join probe, projection, and `BTreeSet` insert cloned heap strings. The
+//! runtime representation now stores [`Value::Sym`](crate::Value::Sym) —
+//! a `u32` handle into a [`SymbolTable`] owned by the
+//! [`Database`](crate::Database) — and resolves back to text only at the
+//! edges (parsing, printing, fixture/CSV import, wire encoding).
+//!
+//! The table is **append-only**: an id, once handed out, never changes
+//! meaning, so epochs that share a table via `Arc` (incremental loads,
+//! in-flight snapshots) stay consistent while new strings are interned
+//! concurrently. Interior mutability is an `RwLock`; the hot paths
+//! (evaluation) only ever *resolve*, which takes the read lock.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// An append-only, thread-safe string ↔ `u32` interner.
+pub struct SymbolTable {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// id → string. `Arc<str>` so `resolve` is a refcount bump, not a copy.
+    strings: Vec<Arc<str>>,
+    /// string → id.
+    ids: HashMap<Arc<str>, u32>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SymbolTable {
+            inner: RwLock::new(Inner::default()),
+        }
+    }
+
+    /// Interns `s`, returning its id (existing or freshly assigned).
+    pub fn intern(&self, s: &str) -> u32 {
+        if let Some(id) = self.lookup(s) {
+            return id;
+        }
+        let mut inner = self.inner.write().expect("symbol table lock");
+        // Double-check under the write lock: another thread may have
+        // interned the same string between our read and write.
+        if let Some(&id) = inner.ids.get(s) {
+            return id;
+        }
+        let id = u32::try_from(inner.strings.len()).expect("symbol table overflow (> u32::MAX)");
+        let shared: Arc<str> = Arc::from(s);
+        inner.strings.push(shared.clone());
+        inner.ids.insert(shared, id);
+        id
+    }
+
+    /// The id of `s`, if it has been interned.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.inner
+            .read()
+            .expect("symbol table lock")
+            .ids
+            .get(s)
+            .copied()
+    }
+
+    /// The string behind `id`, if the id was handed out by this table.
+    pub fn try_resolve(&self, id: u32) -> Option<Arc<str>> {
+        self.inner
+            .read()
+            .expect("symbol table lock")
+            .strings
+            .get(id as usize)
+            .cloned()
+    }
+
+    /// The string behind `id`.
+    ///
+    /// # Panics
+    /// If `id` was not handed out by this table — symbols never cross
+    /// tables, so this indicates a bug in the caller.
+    pub fn resolve(&self, id: u32) -> Arc<str> {
+        self.try_resolve(id)
+            .unwrap_or_else(|| panic!("symbol id {id} not in this table"))
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("symbol table lock").strings.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SymbolTable {
+    fn default() -> Self {
+        SymbolTable::new()
+    }
+}
+
+impl fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SymbolTable({} symbols)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let t = SymbolTable::new();
+        let a = t.intern("red");
+        let b = t.intern("green");
+        assert_eq!(t.intern("red"), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(&*t.resolve(a), "red");
+        assert_eq!(&*t.resolve(b), "green");
+        assert_eq!(t.lookup("green"), Some(b));
+        assert_eq!(t.lookup("blue"), None);
+        assert_eq!(t.try_resolve(99), None);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let t = Arc::new(SymbolTable::new());
+        let handles: Vec<_> = (0..8)
+            .map(|k| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|i| t.intern(&format!("s{}", (i + k) % 50)))
+                        .collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 50);
+        // Every string maps to exactly one id and back.
+        for i in 0..50 {
+            let s = format!("s{i}");
+            let id = t.lookup(&s).unwrap();
+            assert_eq!(&*t.resolve(id), s.as_str());
+        }
+    }
+}

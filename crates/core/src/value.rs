@@ -2,22 +2,37 @@
 //!
 //! The paper's formalism only needs constants that can be compared with a
 //! total order (§2: "we assume a linear order over the active domain").
-//! Two variants suffice for every query in the paper and in the textbook
-//! corpus: integers and strings. Integers order before strings so that the
-//! derived [`Ord`] is total across variants.
+//! Two *logical* kinds suffice for every query in the paper and in the
+//! textbook corpus: integers and strings. At runtime a third variant
+//! exists: [`Value::Sym`], an interned string — a `u32` handle into the
+//! owning database's [`SymbolTable`](crate::SymbolTable). Stored tuples
+//! carry only `Int`/`Sym`, so equality on the evaluation hot path is an
+//! integer compare and cloning never allocates; `Str` survives at the
+//! edges (parser literals, display, fixtures, the wire protocol) and is
+//! interned on entry into a [`Database`](crate::Database).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// A single domain value: an integer or a string.
+/// A single domain value: an integer, an interned string, or a raw string.
 ///
 /// No `NULL` exists by design: the paper interprets SQL under binary logic
 /// (§2.4), so this engine has no third truth value to propagate.
+///
+/// The derived total order is `Int < Sym < Str`, with `Sym` ordered by
+/// interner id. Within one consistent path (everything interned against
+/// one table, or nothing interned at all) this is a valid linear order
+/// over the active domain; *lexicographic* comparisons between interned
+/// strings go through [`CmpOp::eval_resolved`](crate::CmpOp::eval_resolved),
+/// which resolves ids before comparing.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Value {
     /// An integer constant, e.g. the `5` in `r.B > 5`.
     Int(i64),
-    /// A string constant, e.g. the `'red'` in `b.color = 'red'`.
+    /// An interned string: an id in the owning database's symbol table.
+    Sym(u32),
+    /// A string constant, e.g. the `'red'` in `b.color = 'red'` (edge
+    /// representation; interned into `Sym` when stored).
     Str(String),
 }
 
@@ -37,11 +52,37 @@ impl Value {
         matches!(self, Value::Int(_))
     }
 
+    /// Returns `true` if this value is an interned string handle.
+    pub fn is_sym(&self) -> bool {
+        matches!(self, Value::Sym(_))
+    }
+
+    /// The interner id, if this is a `Sym`.
+    pub fn as_sym(&self) -> Option<u32> {
+        match self {
+            Value::Sym(id) => Some(*id),
+            _ => None,
+        }
+    }
+
     /// Renders the value as a SQL literal (strings quoted with `'`).
+    ///
+    /// `Sym` values cannot be rendered without their table; resolve first
+    /// (see [`Database::resolve_value`](crate::Database::resolve_value)).
     pub fn sql_literal(&self) -> String {
         match self {
             Value::Int(i) => i.to_string(),
+            Value::Sym(id) => format!("sym#{id}"),
             Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        }
+    }
+
+    /// Bytes this value occupies beyond its enum slot (heap payload).
+    /// Used by size-aware cache admission.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Sym(_) => 0,
+            Value::Str(s) => s.len(),
         }
     }
 }
@@ -50,6 +91,9 @@ impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Value::Int(i) => write!(f, "{i}"),
+            // Diagnostic fallback: user-facing paths resolve Sym to Str
+            // before display.
+            Value::Sym(id) => write!(f, "sym#{id}"),
             Value::Str(s) => write!(f, "'{s}'"),
         }
     }
@@ -82,6 +126,9 @@ mod tests {
         assert!(Value::int(99) < Value::str("a"));
         assert!(Value::int(1) < Value::int(2));
         assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::int(99) < Value::Sym(0));
+        assert!(Value::Sym(u32::MAX) < Value::str(""));
+        assert!(Value::Sym(1) < Value::Sym(2));
     }
 
     #[test]
@@ -102,5 +149,15 @@ mod tests {
         assert_eq!(Value::from(3), Value::Int(3));
         assert_eq!(Value::from("x"), Value::Str("x".into()));
         assert_eq!(Value::from(String::from("y")), Value::Str("y".into()));
+    }
+
+    #[test]
+    fn sym_accessors_and_sizes() {
+        assert_eq!(Value::Sym(7).as_sym(), Some(7));
+        assert_eq!(Value::int(7).as_sym(), None);
+        assert!(Value::Sym(7).is_sym());
+        assert_eq!(Value::Sym(7).heap_bytes(), 0);
+        assert_eq!(Value::int(7).heap_bytes(), 0);
+        assert_eq!(Value::str("abcd").heap_bytes(), 4);
     }
 }

@@ -1,27 +1,33 @@
-//! Bottom-up evaluation of non-recursive Datalog¬ programs.
+//! Bottom-up, join-aware evaluation of non-recursive Datalog¬ programs.
 //!
-//! IDBs are computed in topological order. Each rule is evaluated by
-//! extending a set of variable bindings across the positive atoms (in
-//! source order), filtering by built-ins and negated atoms, and projecting
-//! the head. Multiple rules for the same IDB union their results (this is
-//! how Datalog expresses disjunction, §2.1).
+//! IDBs are computed in topological order. Each rule is compiled before
+//! evaluation: variables get *slots* (the runtime environment is a flat
+//! `Vec<Option<Value>>`, not a string-keyed map), constants are interned
+//! against the database, positive atoms are greedily reordered by
+//! estimated scan cost ([`rd_core::plan::scan_cost`] — bound equality
+//! keys first, then relation size), and every atom whose columns are
+//! constrained by constants or already-bound variables probes a
+//! lazily-built hash index instead of scanning. Built-ins and negated
+//! atoms apply as soon as their variables are bound (their variables are
+//! guaranteed bound by safety); negated atoms probe an index on their
+//! non-wildcard columns. Multiple rules for the same IDB union their
+//! results (this is how Datalog expresses disjunction, §2.1).
 
-use crate::ast::{Atom, DlProgram, DlTerm, Literal};
+use crate::ast::{Atom, DlProgram, DlTerm, Literal, Rule};
 use crate::check::topo_order;
-use rd_core::{CoreError, CoreResult, Database, Relation, TableSchema, Tuple, Value};
-use std::collections::{BTreeMap, BTreeSet};
-
-/// A variable binding during rule evaluation.
-type Bindings = BTreeMap<String, Value>;
+use rd_core::{plan, CmpOp, CoreError, CoreResult, Database, Relation, TableSchema, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
 
 /// Evaluates the program's query predicate over `db`, returning a relation
 /// whose attribute names are positional (`x1`, `x2`, …).
 pub fn eval_program(p: &DlProgram, db: &Database) -> CoreResult<Relation> {
+    let p = intern_program(p, db);
     let mut computed: BTreeMap<String, BTreeSet<Tuple>> = BTreeMap::new();
-    for idb in topo_order(p) {
+    for idb in topo_order(&p) {
         let mut tuples: BTreeSet<Tuple> = BTreeSet::new();
         for rule in p.rules.iter().filter(|r| r.head.pred == idb) {
-            tuples.extend(eval_rule(rule, p, db, &computed)?);
+            tuples.extend(eval_rule(rule, db, &computed)?);
         }
         computed.insert(idb, tuples);
     }
@@ -38,11 +44,36 @@ pub fn eval_program(p: &DlProgram, db: &Database) -> CoreResult<Relation> {
         p.query.clone(),
         (1..=arity).map(|i| format!("x{i}")).collect::<Vec<_>>(),
     );
-    let mut rel = Relation::empty(schema);
+    let mut rel = db.fresh_relation(schema);
     for row in rows {
         rel.insert(row)?;
     }
     Ok(rel)
+}
+
+/// Returns `p` with every string constant mapped to its symbol (where
+/// one exists — unknown literals stay `Str` and simply never match), so
+/// the per-tuple loops below only ever compare ids.
+fn intern_program(p: &DlProgram, db: &Database) -> DlProgram {
+    let mut p = p.clone();
+    let fix = |t: &mut DlTerm| {
+        if let DlTerm::Const(v) = t {
+            *v = db.lookup_value(v);
+        }
+    };
+    for rule in &mut p.rules {
+        rule.head.terms.iter_mut().for_each(fix);
+        for lit in &mut rule.body {
+            match lit {
+                Literal::Pos(a) | Literal::Neg(a) => a.terms.iter_mut().for_each(fix),
+                Literal::Cmp(b) => {
+                    fix(&mut b.left);
+                    fix(&mut b.right);
+                }
+            }
+        }
+    }
+    p
 }
 
 fn relation_tuples<'a>(
@@ -56,121 +87,479 @@ fn relation_tuples<'a>(
     Ok(db.require(pred)?.iter().collect())
 }
 
-/// `true` if `tuple` matches `atom` under `b` *without* extending it
-/// (used for negated atoms, whose variables are all bound by safety).
-fn matches_bound(atom: &Atom, tuple: &Tuple, b: &Bindings) -> bool {
-    atom.terms.iter().enumerate().all(|(i, t)| match t {
-        DlTerm::Wildcard => true,
-        DlTerm::Const(c) => tuple.get(i) == c,
-        DlTerm::Var(v) => b.get(v).is_some_and(|bound| bound == tuple.get(i)),
+// ---------------------------------------------------------------------
+// Compiled rule representation
+// ---------------------------------------------------------------------
+
+/// A value source: a constant (interned) or a slot bound earlier.
+#[derive(Debug, Clone)]
+enum CVal {
+    Const(Value),
+    Slot(usize),
+}
+
+/// A term of the head or a built-in, including the failure modes that
+/// must surface lazily (only when a full assignment exists, matching the
+/// pre-planner evaluator's behavior on unsafe rules).
+#[derive(Debug, Clone)]
+enum BTerm {
+    Const(Value),
+    Slot(usize),
+    Unbound(String),
+    Wildcard,
+}
+
+/// A filter attached to the scan after which its variables are bound.
+#[derive(Debug)]
+enum Test {
+    /// A built-in comparison.
+    Cmp {
+        left: BTerm,
+        op: CmpOp,
+        right: BTerm,
+    },
+    /// A negated atom: fails if any tuple of `pred` matches the key
+    /// columns (wildcard columns match everything). With no key columns
+    /// (`not P(_)`), fails iff `pred` is non-empty.
+    Neg {
+        pred: String,
+        cols: Vec<usize>,
+        vals: Vec<CVal>,
+        index_id: usize,
+    },
+}
+
+/// One positive atom, scheduled: probe `key_cols` (hash index) or scan,
+/// bind `bind_cols`, verify `check_cols` (intra-atom repeated variables),
+/// then run the attached `tests`.
+#[derive(Debug)]
+struct ScanAtom {
+    pred: String,
+    key_cols: Vec<usize>,
+    key_vals: Vec<CVal>,
+    bind_cols: Vec<(usize, usize)>,
+    check_cols: Vec<(usize, usize)>,
+    index_id: usize,
+    tests: Vec<Test>,
+}
+
+struct CompiledRule {
+    /// Tests whose variables need no positive atom (constant built-ins,
+    /// negations over constants/wildcards only).
+    pre_tests: Vec<Test>,
+    scans: Vec<ScanAtom>,
+    head: Vec<BTerm>,
+    n_slots: usize,
+    n_indexes: usize,
+}
+
+fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<CompiledRule> {
+    let mut n_slots = 0usize;
+    let mut slots_by_name: HashMap<String, usize> = HashMap::new();
+    let mut bound: BTreeSet<String> = BTreeSet::new();
+    let mut n_indexes = 0usize;
+
+    let positives: Vec<&Atom> = rule.positive().collect();
+    let mut remaining: Vec<usize> = (0..positives.len()).collect();
+    let mut scans: Vec<ScanAtom> = Vec::new();
+
+    // Pending filters: built-ins and negations, in body order.
+    struct Pending<'r> {
+        lit: &'r Literal,
+        vars: BTreeSet<String>,
+    }
+    let mut pending: Vec<Option<Pending>> = rule
+        .body
+        .iter()
+        .filter(|l| !matches!(l, Literal::Pos(_)))
+        .map(|lit| {
+            let vars: BTreeSet<String> = match lit {
+                Literal::Neg(a) => a.vars().map(str::to_string).collect(),
+                Literal::Cmp(b) => b.vars().map(str::to_string).collect(),
+                Literal::Pos(_) => unreachable!("filtered above"),
+            };
+            Some(Pending { lit, vars })
+        })
+        .collect();
+
+    let mut get_slot = |name: &str, slots_by_name: &mut HashMap<String, usize>| -> usize {
+        if let Some(&s) = slots_by_name.get(name) {
+            return s;
+        }
+        let s = n_slots;
+        n_slots += 1;
+        slots_by_name.insert(name.to_string(), s);
+        s
+    };
+
+    // Compiles a negated atom / built-in against the current bound set.
+    // Returns None for negations that can never match (some variable
+    // unbound: no tuple equals an unbound variable, so the negation is
+    // vacuously true — the pre-planner evaluator behaved the same way).
+    let compile_test = |lit: &Literal,
+                        bound: &BTreeSet<String>,
+                        slots_by_name: &HashMap<String, usize>,
+                        n_indexes: &mut usize|
+     -> Option<Test> {
+        match lit {
+            Literal::Cmp(b) => {
+                let term = |t: &DlTerm| match t {
+                    DlTerm::Const(c) => BTerm::Const(c.clone()),
+                    DlTerm::Wildcard => BTerm::Wildcard,
+                    DlTerm::Var(v) => match slots_by_name.get(v.as_str()) {
+                        Some(&s) if bound.contains(v) => BTerm::Slot(s),
+                        _ => BTerm::Unbound(v.clone()),
+                    },
+                };
+                Some(Test::Cmp {
+                    left: term(&b.left),
+                    op: b.op,
+                    right: term(&b.right),
+                })
+            }
+            Literal::Neg(a) => {
+                let mut cols = Vec::new();
+                let mut vals = Vec::new();
+                for (i, t) in a.terms.iter().enumerate() {
+                    match t {
+                        DlTerm::Wildcard => {}
+                        DlTerm::Const(c) => {
+                            cols.push(i);
+                            vals.push(CVal::Const(c.clone()));
+                        }
+                        DlTerm::Var(v) => {
+                            if !bound.contains(v) {
+                                return None; // vacuously true
+                            }
+                            cols.push(i);
+                            vals.push(CVal::Slot(slots_by_name[v.as_str()]));
+                        }
+                    }
+                }
+                let index_id = if cols.is_empty() {
+                    usize::MAX
+                } else {
+                    *n_indexes += 1;
+                    *n_indexes - 1
+                };
+                Some(Test::Neg {
+                    pred: a.pred.clone(),
+                    cols,
+                    vals,
+                    index_id,
+                })
+            }
+            Literal::Pos(_) => unreachable!("positives are scans"),
+        }
+    };
+
+    // Filters whose variables are bound with *no* scans at all.
+    let mut pre_tests = Vec::new();
+    for entry in pending.iter_mut() {
+        if entry.as_ref().is_some_and(|p| p.vars.is_empty()) {
+            let p = entry.take().expect("checked above");
+            if let Some(t) = compile_test(p.lit, &bound, &slots_by_name, &mut n_indexes) {
+                pre_tests.push(t);
+            }
+        }
+    }
+
+    while !remaining.is_empty() {
+        // Greedy: cheapest atom next (bound key columns, then size).
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (k, &ai) in remaining.iter().enumerate() {
+            let atom = positives[ai];
+            let keys = atom
+                .terms
+                .iter()
+                .filter(|t| match t {
+                    DlTerm::Const(_) => true,
+                    DlTerm::Var(v) => bound.contains(v),
+                    DlTerm::Wildcard => false,
+                })
+                .count();
+            let cost = plan::scan_cost(size_of(&atom.pred), keys);
+            if cost < best_cost {
+                best_cost = cost;
+                best = k;
+            }
+        }
+        let ai = remaining.remove(best);
+        let atom = positives[ai];
+        let mut key_cols = Vec::new();
+        let mut key_vals = Vec::new();
+        let mut bind_cols = Vec::new();
+        let mut check_cols = Vec::new();
+        let mut seen_here: HashMap<&str, usize> = HashMap::new();
+        for (i, t) in atom.terms.iter().enumerate() {
+            match t {
+                DlTerm::Wildcard => {}
+                DlTerm::Const(c) => {
+                    key_cols.push(i);
+                    key_vals.push(CVal::Const(c.clone()));
+                }
+                DlTerm::Var(v) => {
+                    if bound.contains(v) {
+                        key_cols.push(i);
+                        key_vals.push(CVal::Slot(slots_by_name[v.as_str()]));
+                    } else if let Some(&s) = seen_here.get(v.as_str()) {
+                        // Repeated inside this atom: first occurrence
+                        // binds, later ones verify.
+                        check_cols.push((i, s));
+                    } else {
+                        let s = get_slot(v, &mut slots_by_name);
+                        seen_here.insert(v, s);
+                        bind_cols.push((i, s));
+                    }
+                }
+            }
+        }
+        for v in atom.vars() {
+            bound.insert(v.to_string());
+        }
+        let index_id = if key_cols.is_empty() {
+            usize::MAX
+        } else {
+            n_indexes += 1;
+            n_indexes - 1
+        };
+        let mut tests = Vec::new();
+        for entry in pending.iter_mut() {
+            if entry
+                .as_ref()
+                .is_some_and(|p| p.vars.iter().all(|v| bound.contains(v)))
+            {
+                let p = entry.take().expect("checked above");
+                if let Some(t) = compile_test(p.lit, &bound, &slots_by_name, &mut n_indexes) {
+                    tests.push(t);
+                }
+            }
+        }
+        scans.push(ScanAtom {
+            pred: atom.pred.clone(),
+            key_cols,
+            key_vals,
+            bind_cols,
+            check_cols,
+            index_id,
+            tests,
+        });
+    }
+
+    // Filters with variables no positive atom binds: keep the lazy
+    // failure behavior (error or vacuous truth) of the original
+    // evaluator by compiling them against the final bound set.
+    let mut leftovers = Vec::new();
+    for entry in pending.iter_mut() {
+        if let Some(p) = entry.take() {
+            if let Some(t) = compile_test(p.lit, &bound, &slots_by_name, &mut n_indexes) {
+                leftovers.push(t);
+            }
+        }
+    }
+    if !leftovers.is_empty() {
+        match scans.last_mut() {
+            Some(last) => last.tests.extend(leftovers),
+            None => pre_tests.extend(leftovers),
+        }
+    }
+
+    let head = rule
+        .head
+        .terms
+        .iter()
+        .map(|t| match t {
+            DlTerm::Const(c) => BTerm::Const(c.clone()),
+            DlTerm::Wildcard => BTerm::Wildcard,
+            DlTerm::Var(v) => match slots_by_name.get(v.as_str()) {
+                Some(&s) => BTerm::Slot(s),
+                None => BTerm::Unbound(v.clone()),
+            },
+        })
+        .collect();
+
+    Ok(CompiledRule {
+        pre_tests,
+        scans,
+        head,
+        n_slots,
+        n_indexes,
     })
 }
 
-/// Extends `b` with the match of `tuple` against `atom`; `None` on clash.
-fn extend(atom: &Atom, tuple: &Tuple, b: &Bindings) -> Option<Bindings> {
-    let mut out = b.clone();
-    for (i, t) in atom.terms.iter().enumerate() {
-        match t {
-            DlTerm::Wildcard => {}
-            DlTerm::Const(c) => {
-                if tuple.get(i) != c {
-                    return None;
-                }
-            }
-            DlTerm::Var(v) => match out.get(v) {
-                Some(bound) => {
-                    if bound != tuple.get(i) {
-                        return None;
-                    }
-                }
-                None => {
-                    out.insert(v.clone(), tuple.get(i).clone());
-                }
-            },
-        }
-    }
-    Some(out)
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+struct RuleCtx<'a> {
+    db: &'a Database,
+    computed: &'a BTreeMap<String, BTreeSet<Tuple>>,
+    indexes: plan::IndexCache<'a>,
+    key_buf: plan::KeyBuf,
 }
 
-fn resolve(term: &DlTerm, b: &Bindings) -> CoreResult<Value> {
-    match term {
-        DlTerm::Const(c) => Ok(c.clone()),
-        DlTerm::Var(v) => b
-            .get(v)
-            .cloned()
-            .ok_or_else(|| CoreError::Invalid(format!("unbound variable '{v}'"))),
-        DlTerm::Wildcard => Err(CoreError::Invalid(
+impl<'a> RuleCtx<'a> {
+    fn index_for(
+        &mut self,
+        pred: &str,
+        cols: &[usize],
+        index_id: usize,
+    ) -> CoreResult<Rc<plan::Index<'a>>> {
+        let (db, computed) = (self.db, self.computed);
+        self.indexes
+            .get_or_build(index_id, cols, || relation_tuples(pred, db, computed))
+    }
+}
+
+fn bterm_value<'s>(t: &'s BTerm, slots: &'s [Option<Value>]) -> CoreResult<&'s Value> {
+    match t {
+        BTerm::Const(v) => Ok(v),
+        BTerm::Slot(s) => Ok(slots[*s]
+            .as_ref()
+            .expect("compiler only emits Slot for bound variables")),
+        BTerm::Unbound(v) => Err(CoreError::Invalid(format!("unbound variable '{v}'"))),
+        BTerm::Wildcard => Err(CoreError::Invalid(
             "wildcard cannot be resolved to a value".into(),
         )),
     }
 }
 
+fn run_tests(tests: &[Test], slots: &[Option<Value>], ctx: &mut RuleCtx) -> CoreResult<bool> {
+    for t in tests {
+        match t {
+            Test::Cmp { left, op, right } => {
+                let l = bterm_value(left, slots)?;
+                let r = bterm_value(right, slots)?;
+                if !op.eval_resolved(l, r, ctx.db.symbols()) {
+                    return Ok(false);
+                }
+            }
+            Test::Neg {
+                pred,
+                cols,
+                vals,
+                index_id,
+            } => {
+                if cols.is_empty() {
+                    // `not P(_ ...)`: fails iff P has any tuple — an O(1)
+                    // check, no tuple collection.
+                    let empty = match ctx.computed.get(pred) {
+                        Some(rows) => rows.is_empty(),
+                        None => ctx.db.require(pred)?.is_empty(),
+                    };
+                    if !empty {
+                        return Ok(false);
+                    }
+                } else {
+                    let index = ctx.index_for(pred, cols, *index_id)?;
+                    let hit = index.contains_key(ctx.key_buf.fill(vals.iter().map(|v| {
+                        match v {
+                            CVal::Const(c) => c.clone(),
+                            CVal::Slot(s) => slots[*s]
+                                .clone()
+                                .expect("negation compiled only over bound slots"),
+                        }
+                    })));
+                    if hit {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+fn run_scans(
+    rule: &CompiledRule,
+    i: usize,
+    slots: &mut Vec<Option<Value>>,
+    ctx: &mut RuleCtx,
+    out: &mut Vec<Tuple>,
+) -> CoreResult<()> {
+    if i == rule.scans.len() {
+        let mut row = Vec::with_capacity(rule.head.len());
+        for t in &rule.head {
+            row.push(bterm_value(t, slots)?.clone());
+        }
+        out.push(Tuple(row));
+        return Ok(());
+    }
+    let scan = &rule.scans[i];
+    let advance = |t: &Tuple,
+                   slots: &mut Vec<Option<Value>>,
+                   ctx: &mut RuleCtx,
+                   out: &mut Vec<Tuple>|
+     -> CoreResult<()> {
+        for &(col, s) in &scan.bind_cols {
+            slots[s] = Some(t.get(col).clone());
+        }
+        for &(col, s) in &scan.check_cols {
+            if slots[s].as_ref() != Some(t.get(col)) {
+                return Ok(());
+            }
+        }
+        if run_tests(&scan.tests, slots, ctx)? {
+            run_scans(rule, i + 1, slots, ctx, out)?;
+        }
+        Ok(())
+    };
+    if scan.key_cols.is_empty() {
+        // Iterate the relation in place — no per-combination collection
+        // of tuple refs (this scan re-runs once per outer binding).
+        if let Some(rows) = ctx.computed.get(&scan.pred) {
+            for t in rows {
+                advance(t, slots, ctx, out)?;
+            }
+        } else {
+            for t in ctx.db.require(&scan.pred)?.iter() {
+                advance(t, slots, ctx, out)?;
+            }
+        }
+    } else {
+        let index = ctx.index_for(&scan.pred, &scan.key_cols, scan.index_id)?;
+        let bucket = index.get(ctx.key_buf.fill(scan.key_vals.iter().map(|v| match v {
+            CVal::Const(c) => c.clone(),
+            CVal::Slot(s) => slots[*s].clone().expect("key slots bound earlier"),
+        })));
+        if let Some(bucket) = bucket {
+            for &t in bucket {
+                advance(t, slots, ctx, out)?;
+            }
+        }
+    }
+    for &(_, s) in &scan.bind_cols {
+        slots[s] = None;
+    }
+    Ok(())
+}
+
 fn eval_rule(
-    rule: &crate::ast::Rule,
-    _p: &DlProgram,
+    rule: &Rule,
     db: &Database,
     computed: &BTreeMap<String, BTreeSet<Tuple>>,
 ) -> CoreResult<Vec<Tuple>> {
-    // Seed with the empty binding, extend through positive atoms first
-    // (source order), then apply built-ins and negations (their variables
-    // are guaranteed bound by safety).
-    let mut bindings = vec![Bindings::new()];
-    for lit in &rule.body {
-        if let Literal::Pos(atom) = lit {
-            let rel = relation_tuples(&atom.pred, db, computed)?;
-            let mut next = Vec::new();
-            for b in &bindings {
-                for tuple in &rel {
-                    if let Some(extended) = extend(atom, tuple, b) {
-                        next.push(extended);
-                    }
-                }
-            }
-            bindings = next;
-            if bindings.is_empty() {
-                return Ok(Vec::new());
-            }
-        }
-    }
-    for lit in &rule.body {
-        match lit {
-            Literal::Pos(_) => {}
-            Literal::Cmp(builtin) => {
-                let mut next = Vec::new();
-                for b in bindings {
-                    let l = resolve(&builtin.left, &b)?;
-                    let r = resolve(&builtin.right, &b)?;
-                    if builtin.op.eval(&l, &r) {
-                        next.push(b);
-                    }
-                }
-                bindings = next;
-            }
-            Literal::Neg(atom) => {
-                let rel = relation_tuples(&atom.pred, db, computed)?;
-                let mut next = Vec::new();
-                for b in bindings {
-                    if !rel.iter().any(|t| matches_bound(atom, t, &b)) {
-                        next.push(b);
-                    }
-                }
-                bindings = next;
-            }
-        }
-        if bindings.is_empty() {
-            return Ok(Vec::new());
-        }
+    // Size statistics: already-computed IDBs first, then EDB relations.
+    let size_of = |pred: &str| -> usize {
+        computed
+            .get(pred)
+            .map(BTreeSet::len)
+            .unwrap_or_else(|| db.relation(pred).map_or(0, Relation::len))
+    };
+    let compiled = compile_rule(rule, &size_of)?;
+    let mut ctx = RuleCtx {
+        db,
+        computed,
+        indexes: plan::IndexCache::new(compiled.n_indexes),
+        key_buf: plan::KeyBuf::default(),
+    };
+    let mut slots: Vec<Option<Value>> = vec![None; compiled.n_slots];
+    if !run_tests(&compiled.pre_tests, &slots, &mut ctx)? {
+        return Ok(Vec::new());
     }
     let mut out = Vec::new();
-    for b in bindings {
-        let row: Vec<Value> = rule
-            .head
-            .terms
-            .iter()
-            .map(|t| resolve(t, &b))
-            .collect::<CoreResult<_>>()?;
-        out.push(Tuple(row));
-    }
+    run_scans(&compiled, 0, &mut slots, &mut ctx, &mut out)?;
     Ok(out)
 }
 
@@ -286,5 +675,33 @@ mod tests {
         let out = eval_program(&p, &db()).unwrap();
         // A values 1,2,3; none of them appear in S (10, 20).
         assert_eq!(ints(&out), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn atom_order_does_not_change_results() {
+        // The planner reorders positive atoms; both phrasings agree.
+        let a = parse_program("Q(x) :- R(x, y), S(y).", &catalog()).unwrap();
+        let b = parse_program("Q(x) :- S(y), R(x, y).", &catalog()).unwrap();
+        let ra = eval_program(&a, &db()).unwrap();
+        let rb = eval_program(&b, &db()).unwrap();
+        assert_eq!(ra.tuples(), rb.tuples());
+    }
+
+    #[test]
+    fn string_constants_are_interned_and_match() {
+        let mut d = Database::new();
+        d.add_relation(
+            Relation::from_rows(
+                TableSchema::new("Boat", ["bid", "color"]),
+                [
+                    vec![Value::int(101), Value::str("red")],
+                    vec![Value::int(102), Value::str("green")],
+                ],
+            )
+            .unwrap(),
+        );
+        let p = parse_program("Q(b) :- Boat(b, 'red').", &d.catalog()).unwrap();
+        let out = eval_program(&p, &d).unwrap();
+        assert_eq!(ints(&out), vec![101]);
     }
 }

@@ -99,7 +99,7 @@ impl Artifact {
             Artifact::Datalog(p) => rd_datalog::eval_program(p, db),
             Artifact::Ra(e) => {
                 let out = rd_ra::eval(e, db)?;
-                let mut rel = Relation::empty(TableSchema::new("q", out.attrs.clone()));
+                let mut rel = db.fresh_relation(TableSchema::new("q", out.attrs.clone()));
                 for t in out.tuples {
                     rel.insert(t)?;
                 }

@@ -64,10 +64,17 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Inserts (or replaces) an entry, evicting the least-recently-used
     /// one when full. Returns the evicted `(key, value)`, if any.
     pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        self.insert_full(key, value).1
+    }
+
+    /// Like [`LruCache::insert`], but also returns the value displaced by
+    /// a same-key replacement (first slot) — callers doing weight
+    /// accounting must release it; a replacement is *not* an eviction.
+    pub fn insert_full(&mut self, key: K, value: V) -> (Option<V>, Option<(K, V)>) {
         if let Some(&idx) = self.map.get(&key) {
-            self.slots[idx].value = value;
+            let replaced = std::mem::replace(&mut self.slots[idx].value, value);
             self.move_to_front(idx);
-            return None;
+            return (Some(replaced), None);
         }
         if self.map.len() == self.capacity {
             // Recycle the LRU slot in place for the new entry.
@@ -79,7 +86,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.map.remove(&old_key);
             self.map.insert(key, lru);
             self.push_front(lru);
-            return Some((old_key, old_value));
+            return (None, Some((old_key, old_value)));
         }
         self.slots.push(Node {
             key: key.clone(),
@@ -90,7 +97,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         let idx = self.slots.len() - 1;
         self.map.insert(key, idx);
         self.push_front(idx);
-        None
+        (None, None)
+    }
+
+    /// Visits every cached entry (arbitrary order).
+    pub fn for_each_value(&self, mut f: impl FnMut(&V)) {
+        // `slots` holds exactly the live nodes: eviction recycles slots
+        // in place and `clear` empties the vector.
+        for node in &self.slots {
+            f(&node.value);
+        }
     }
 
     /// Drops every entry (capacity is kept).

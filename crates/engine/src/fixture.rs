@@ -72,7 +72,10 @@ pub fn parse_fixture(text: &str) -> CoreResult<Database> {
 /// [`parse_fixture`]; useful for `:save`-style tooling and tests).
 pub fn render_fixture(db: &Database) -> String {
     let mut out = String::new();
-    for rel in db.iter() {
+    for stored in db.iter() {
+        // Resolve interned symbols back to strings; the resolved relation
+        // iterates in plain `Int < Str` order, the stable edge order.
+        let rel = stored.resolved();
         out.push_str(rel.schema().name());
         out.push('(');
         out.push_str(&rel.schema().attrs().join(", "));
@@ -84,7 +87,7 @@ pub fn render_fixture(db: &Database) -> String {
                     out.push_str(", ");
                 }
                 match v {
-                    Value::Int(_) => out.push_str(&v.sql_literal()),
+                    Value::Int(_) | Value::Sym(_) => out.push_str(&v.sql_literal()),
                     Value::Str(s) => {
                         // Escape so the line-oriented parser reads it back.
                         out.push('\'');
@@ -302,8 +305,11 @@ mod tests {
     #[test]
     fn quoted_strings_and_escapes() {
         let db = parse_fixture("T(a):\n  ('o''brien')\n").unwrap();
-        let t = db.require("T").unwrap().iter().next().unwrap().clone();
+        let rel = db.require("T").unwrap();
+        // Stored values are interned; the resolved view restores the text.
+        let t = rel.resolved().iter().next().unwrap().clone();
         assert_eq!(t.get(0), &Value::str("o'brien"));
+        assert!(rel.iter().next().unwrap().get(0).is_sym());
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct SessionStats {
     pub eval_misses: u64,
     /// Eval-cache entries this session's inserts evicted.
     pub eval_evictions: u64,
+    /// Results *not* cached because they exceeded the size-aware
+    /// admission threshold
+    /// ([`SharedConfig::eval_cache_max_entry_bytes`]).
+    pub eval_skipped: u64,
     /// Total result tuples returned.
     pub rows_returned: u64,
 }
@@ -65,6 +69,7 @@ impl SessionStats {
         self.eval_hits += other.eval_hits;
         self.eval_misses += other.eval_misses;
         self.eval_evictions += other.eval_evictions;
+        self.eval_skipped += other.eval_skipped;
         self.rows_returned += other.rows_returned;
     }
 
@@ -80,6 +85,7 @@ impl SessionStats {
             eval_hits: self.eval_hits - earlier.eval_hits,
             eval_misses: self.eval_misses - earlier.eval_misses,
             eval_evictions: self.eval_evictions - earlier.eval_evictions,
+            eval_skipped: self.eval_skipped - earlier.eval_skipped,
             rows_returned: self.rows_returned - earlier.rows_returned,
         }
     }
@@ -280,7 +286,7 @@ impl Session {
             text: text.into(),
             artifact: artifact.clone(),
         };
-        if self.shared.parse_cache.insert(key, entry) {
+        if self.shared.parse_cache.insert(key, entry).1.is_some() {
             self.stats.cache_evictions += 1;
         }
         Ok((artifact, false))
@@ -289,13 +295,19 @@ impl Session {
     /// Evaluates through the shared eval/result cache, keyed by the
     /// canonical artifact text and the epoch's generation. Returns the
     /// (shared) relation and whether evaluation was skipped.
+    ///
+    /// Evaluation runs over the interned representation; the result is
+    /// resolved back to strings *here* — the session is the edge — so
+    /// responses, the wire protocol, and the cache all carry the plain
+    /// `Int`/`Str` view in the stable pre-interning order.
     fn evaluate(
         &mut self,
         epoch: &DbEpoch,
         artifact: &Artifact,
     ) -> CoreResult<(Arc<Relation>, bool)> {
         if !self.shared.eval_cache_enabled() {
-            return Ok((Arc::new(artifact.eval(&epoch.db)?), false));
+            let raw = artifact.eval(&epoch.db)?;
+            return Ok((Arc::new(epoch.db.resolve_relation(&raw)), false));
         }
         let canonical = artifact.canonical_text();
         let key = (epoch.generation, artifact.language(), hash_text(&canonical));
@@ -306,12 +318,20 @@ impl Session {
             }
         }
         self.stats.eval_misses += 1;
-        let relation = Arc::new(artifact.eval(&epoch.db)?);
+        let raw = artifact.eval(&epoch.db)?;
+        let relation = Arc::new(epoch.db.resolve_relation(&raw));
+        let bytes = relation.approx_bytes();
+        if !self.shared.eval_cache_admits(bytes) {
+            // Too big to cache: hand it back, count the skip.
+            self.stats.eval_skipped += 1;
+            return Ok((relation, false));
+        }
         let entry = EvalEntry {
             canonical: canonical.into(),
             relation: relation.clone(),
+            bytes,
         };
-        if self.shared.eval_cache.insert(key, entry) {
+        if self.shared.eval_cache_insert(key, entry) {
             self.stats.eval_evictions += 1;
         }
         Ok((relation, false))

@@ -40,6 +40,12 @@ pub const DEFAULT_PARSE_CACHE_CAPACITY: usize = 256;
 /// relations, typically small under set semantics).
 pub const DEFAULT_EVAL_CACHE_CAPACITY: usize = 256;
 
+/// Default per-entry admission threshold of the eval cache, in
+/// (approximate) result bytes. Results above the threshold are returned
+/// but not cached: one huge relation must not evict hundreds of small
+/// hot entries. `0` disables the check.
+pub const DEFAULT_EVAL_CACHE_MAX_ENTRY_BYTES: usize = 1 << 20;
+
 /// Shard count used by shared (multi-session) caches. Power of two so the
 /// shard index is a mask of the key hash.
 const SHARED_SHARDS: usize = 16;
@@ -57,6 +63,9 @@ pub struct CacheStats {
     pub entries: usize,
     /// Total configured capacity (across all shards).
     pub capacity: usize,
+    /// Approximate bytes held by cached values (only tracked for the
+    /// eval/result cache; 0 for caches that don't weigh entries).
+    pub bytes: u64,
 }
 
 impl CacheStats {
@@ -126,18 +135,33 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
         found
     }
 
-    /// Inserts an entry; reports whether the shard evicted an older one.
-    pub fn insert(&self, key: K, value: V) -> bool {
-        let evicted = self
+    /// Inserts an entry; returns the value displaced by a same-key
+    /// replacement and the evicted `(key, value)` if the shard was full
+    /// (callers use both to release weight accounting — only the latter
+    /// counts as an eviction).
+    pub fn insert(&self, key: K, value: V) -> (Option<V>, Option<(K, V)>) {
+        let (replaced, evicted) = self
             .shard(&key)
             .lock()
             .expect("cache shard")
-            .insert(key, value)
-            .is_some();
-        if evicted {
+            .insert_full(key, value);
+        if evicted.is_some() {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        evicted
+        (replaced, evicted)
+    }
+
+    /// Sums a per-entry weight over every cached value (gauge-style
+    /// aggregation; takes each shard lock once).
+    pub fn sum_values(&self, mut weight: impl FnMut(&V) -> u64) -> u64 {
+        let mut total = 0u64;
+        for shard in &self.shards {
+            shard
+                .lock()
+                .expect("cache shard")
+                .for_each_value(|v| total += weight(v));
+        }
+        total
     }
 
     /// Drops every entry in every shard (counters are kept).
@@ -172,6 +196,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
                 .iter()
                 .map(|s| s.lock().expect("cache shard").capacity())
                 .sum(),
+            bytes: 0,
         }
     }
 }
@@ -216,12 +241,14 @@ pub(crate) struct ParseEntry {
     pub artifact: Arc<Artifact>,
 }
 
-/// Eval-cache entry: the canonical text (collision guard) and the shared
-/// evaluated relation.
+/// Eval-cache entry: the canonical text (collision guard), the shared
+/// evaluated relation (resolved to the string edge representation), and
+/// its approximate weight in bytes.
 #[derive(Clone)]
 pub(crate) struct EvalEntry {
     pub canonical: Arc<str>,
     pub relation: Arc<Relation>,
+    pub bytes: usize,
 }
 
 /// Parse-cache key: database generation + language + hash of the raw
@@ -247,6 +274,9 @@ pub struct SharedConfig {
     /// `false` disables the eval/result cache entirely (every query
     /// re-evaluates; parse caching is unaffected).
     pub eval_cache: bool,
+    /// Size-aware admission: results whose approximate size exceeds this
+    /// many bytes are returned but *not* cached (`0` = cache everything).
+    pub eval_cache_max_entry_bytes: usize,
     /// Lock stripes per cache (rounded up to a power of two).
     pub shards: usize,
 }
@@ -257,6 +287,7 @@ impl Default for SharedConfig {
             parse_cache_capacity: DEFAULT_PARSE_CACHE_CAPACITY,
             eval_cache_capacity: DEFAULT_EVAL_CACHE_CAPACITY,
             eval_cache: true,
+            eval_cache_max_entry_bytes: DEFAULT_EVAL_CACHE_MAX_ENTRY_BYTES,
             shards: SHARED_SHARDS,
         }
     }
@@ -269,6 +300,7 @@ pub struct EngineShared {
     pub(crate) parse_cache: ShardedCache<ParseKey, ParseEntry>,
     pub(crate) eval_cache: ShardedCache<EvalKey, EvalEntry>,
     eval_enabled: bool,
+    eval_max_entry_bytes: usize,
 }
 
 impl EngineShared {
@@ -284,6 +316,7 @@ impl EngineShared {
             parse_cache: ShardedCache::new(cfg.parse_cache_capacity, cfg.shards),
             eval_cache: ShardedCache::new(cfg.eval_cache_capacity, cfg.shards),
             eval_enabled: cfg.eval_cache,
+            eval_max_entry_bytes: cfg.eval_cache_max_entry_bytes,
         }
     }
 
@@ -319,14 +352,37 @@ impl EngineShared {
         self.eval_enabled
     }
 
+    /// `true` if a result of `bytes` approximate size passes the
+    /// size-aware admission policy.
+    pub fn eval_cache_admits(&self, bytes: usize) -> bool {
+        self.eval_max_entry_bytes == 0 || bytes <= self.eval_max_entry_bytes
+    }
+
+    /// Inserts an admitted eval-cache entry. Returns `true` if the
+    /// insert evicted an older entry (a same-key replacement — two
+    /// sessions racing the same miss — is not an eviction).
+    pub(crate) fn eval_cache_insert(&self, key: EvalKey, entry: EvalEntry) -> bool {
+        self.eval_cache.insert(key, entry).1.is_some()
+    }
+
+    /// Approximate bytes currently held by the eval cache. Computed from
+    /// the live entries (per-entry weights summed under the shard locks),
+    /// so it cannot drift from the cache's actual contents — a counter
+    /// adjusted on insert would race `replace_database`'s clear.
+    pub fn eval_cached_bytes(&self) -> u64 {
+        self.eval_cache.sum_values(|e| e.bytes as u64)
+    }
+
     /// Aggregate parse-cache counters.
     pub fn parse_cache_stats(&self) -> CacheStats {
         self.parse_cache.stats()
     }
 
-    /// Aggregate eval-cache counters.
+    /// Aggregate eval-cache counters, including the cached-bytes gauge.
     pub fn eval_cache_stats(&self) -> CacheStats {
-        self.eval_cache.stats()
+        let mut stats = self.eval_cache.stats();
+        stats.bytes = self.eval_cached_bytes();
+        stats
     }
 }
 
@@ -363,7 +419,7 @@ mod tests {
         c.insert(1, 10);
         c.insert(2, 20);
         assert_eq!(c.get(&1), Some(10));
-        assert!(c.insert(3, 30), "third insert must evict");
+        assert!(c.insert(3, 30).1.is_some(), "third insert must evict");
         assert!(c.get(&2).is_none(), "2 was LRU");
         assert_eq!(c.stats().evictions, 1);
     }

@@ -108,6 +108,46 @@ fn disabled_eval_cache_reevaluates_but_agrees() {
     assert_eq!(second.relation, first.relation);
 }
 
+#[test]
+fn size_aware_admission_skips_large_results() {
+    // A 1-byte threshold rejects every non-empty result; a generous one
+    // admits them. The gauge and skip counters must track both.
+    let tiny = Session::attach(Arc::new(EngineShared::with_config(
+        demo_database(),
+        SharedConfig {
+            eval_cache_max_entry_bytes: 1,
+            ..SharedConfig::default()
+        },
+    )));
+    let mut tiny = tiny;
+    let req = QueryRequest::new(Language::Ra, "pi[color](Boat)");
+    let first = tiny.run(&req).unwrap();
+    let second = tiny.run(&req).unwrap();
+    assert_eq!(first.relation.tuples(), second.relation.tuples());
+    assert!(
+        !second.eval_cache_hit,
+        "oversized results must not be cached"
+    );
+    assert_eq!(tiny.stats().eval_skipped, 2);
+    assert_eq!(tiny.shared().eval_cached_bytes(), 0);
+    assert_eq!(tiny.shared().eval_cache_stats().bytes, 0);
+
+    let mut roomy = Session::new(demo_database());
+    let first = roomy.run(&req).unwrap();
+    let second = roomy.run(&req).unwrap();
+    assert!(
+        second.eval_cache_hit,
+        "default threshold admits small results"
+    );
+    assert_eq!(first.relation.tuples(), second.relation.tuples());
+    assert_eq!(roomy.stats().eval_skipped, 0);
+    let bytes = roomy.shared().eval_cached_bytes();
+    assert!(bytes > 0, "gauge tracks admitted entries, got {bytes}");
+    // A reload clears the cache and the gauge with it.
+    roomy.set_database(demo_database());
+    assert_eq!(roomy.shared().eval_cached_bytes(), 0);
+}
+
 fn catalog() -> Catalog {
     Catalog::from_schemas([
         TableSchema::new("R", ["A", "B"]),

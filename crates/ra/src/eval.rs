@@ -1,8 +1,16 @@
 //! Evaluation of RA expressions over a database (set semantics).
+//!
+//! Joins are *join-aware* rather than nested-loop: `Join`, `NaturalJoin`,
+//! and `Antijoin` hash the right operand on their equality columns
+//! ([`rd_core::plan::build_index`]) and probe it per left tuple, checking
+//! any residual (non-equality) conditions on the matching bucket only.
+//! Selection conditions are compiled once per node — attribute names
+//! resolved to column indices, string constants interned against the
+//! database — so the per-tuple loop compares ids, never heap strings.
 
 use crate::ast::{Condition, RaExpr, RaTerm};
-use rd_core::{CmpOp, CoreError, CoreResult, Database, Tuple, Value};
-use std::collections::BTreeSet;
+use rd_core::{plan, CmpOp, CoreError, CoreResult, Database, SymbolTable, Tuple, Value};
+use std::collections::{BTreeSet, HashSet};
 
 /// An intermediate (or final) evaluation result: attribute names plus the
 /// tuple set.
@@ -22,6 +30,58 @@ impl RaResult {
     }
 }
 
+/// A selection condition compiled against a fixed attribute layout.
+enum CCond {
+    Cmp(CTerm, CmpOp, CTerm),
+    And(Vec<CCond>),
+    Or(Vec<CCond>),
+}
+
+enum CTerm {
+    Const(Value),
+    Col(usize),
+}
+
+fn compile_cond(cond: &Condition, attrs: &[String], db: &Database) -> CCond {
+    match cond {
+        Condition::Cmp(l, op, r) => {
+            CCond::Cmp(compile_term(l, attrs, db), *op, compile_term(r, attrs, db))
+        }
+        Condition::And(cs) => CCond::And(cs.iter().map(|c| compile_cond(c, attrs, db)).collect()),
+        Condition::Or(cs) => CCond::Or(cs.iter().map(|c| compile_cond(c, attrs, db)).collect()),
+    }
+}
+
+fn compile_term(term: &RaTerm, attrs: &[String], db: &Database) -> CTerm {
+    match term {
+        RaTerm::Const(v) => CTerm::Const(db.lookup_value(v)),
+        RaTerm::Attr(a) => CTerm::Col(
+            attrs
+                .iter()
+                .position(|x| x == a)
+                .expect("validated by schema inference"),
+        ),
+    }
+}
+
+fn eval_ccond(cond: &CCond, tuple: &Tuple, symbols: &SymbolTable) -> bool {
+    match cond {
+        CCond::Cmp(l, op, r) => {
+            let lv = match l {
+                CTerm::Const(v) => v,
+                CTerm::Col(i) => tuple.get(*i),
+            };
+            let rv = match r {
+                CTerm::Const(v) => v,
+                CTerm::Col(i) => tuple.get(*i),
+            };
+            op.eval_resolved(lv, rv, symbols)
+        }
+        CCond::And(cs) => cs.iter().all(|c| eval_ccond(c, tuple, symbols)),
+        CCond::Or(cs) => cs.iter().any(|c| eval_ccond(c, tuple, symbols)),
+    }
+}
+
 /// Evaluates `expr` over `db`. The catalog is taken from the database
 /// itself, so every referenced table must exist in `db`.
 pub fn eval(expr: &RaExpr, db: &Database) -> CoreResult<RaResult> {
@@ -31,7 +91,59 @@ pub fn eval(expr: &RaExpr, db: &Database) -> CoreResult<RaResult> {
     eval_inner(expr, db)
 }
 
+/// Splits theta-join checks into hashable equalities and a residual, then
+/// probes `rv` per left tuple. `joiner` receives each matching pair.
+fn hash_join_pairs<'t>(
+    lv: &'t RaResult,
+    rv: &'t RaResult,
+    checks: &[(usize, CmpOp, usize)],
+    symbols: &SymbolTable,
+    mut joiner: impl FnMut(&'t Tuple, &'t Tuple),
+) {
+    let eq: Vec<&(usize, CmpOp, usize)> = checks
+        .iter()
+        .filter(|(_, op, _)| *op == CmpOp::Eq)
+        .collect();
+    let residual: Vec<&(usize, CmpOp, usize)> = checks
+        .iter()
+        .filter(|(_, op, _)| *op != CmpOp::Eq)
+        .collect();
+    if eq.is_empty() {
+        // No equality to key on: nested loop.
+        for lt in &lv.tuples {
+            for rt in &rv.tuples {
+                if checks
+                    .iter()
+                    .all(|(li, op, ri)| op.eval_resolved(lt.get(*li), rt.get(*ri), symbols))
+                {
+                    joiner(lt, rt);
+                }
+            }
+        }
+        return;
+    }
+    let right_cols: Vec<usize> = eq.iter().map(|(_, _, ri)| *ri).collect();
+    let left_cols: Vec<usize> = eq.iter().map(|(li, _, _)| *li).collect();
+    let index = plan::build_index(rv.tuples.iter(), &right_cols);
+    let mut key: Vec<Value> = Vec::with_capacity(left_cols.len());
+    for lt in &lv.tuples {
+        key.clear();
+        key.extend(left_cols.iter().map(|&c| lt.get(c).clone()));
+        if let Some(bucket) = index.get(key.as_slice()) {
+            for &rt in bucket {
+                if residual
+                    .iter()
+                    .all(|(li, op, ri)| op.eval_resolved(lt.get(*li), rt.get(*ri), symbols))
+                {
+                    joiner(lt, rt);
+                }
+            }
+        }
+    }
+}
+
 fn eval_inner(expr: &RaExpr, db: &Database) -> CoreResult<RaResult> {
+    let symbols = db.symbols();
     match expr {
         RaExpr::Table(t) => {
             let rel = db.require(t)?;
@@ -53,10 +165,11 @@ fn eval_inner(expr: &RaExpr, db: &Database) -> CoreResult<RaResult> {
         }
         RaExpr::Select(cond, e) => {
             let inner = eval_inner(e, db)?;
+            let compiled = compile_cond(cond, &inner.attrs, db);
             let tuples = inner
                 .tuples
                 .iter()
-                .filter(|t| eval_condition(cond, &inner.attrs, t))
+                .filter(|t| eval_ccond(&compiled, t, symbols))
                 .cloned()
                 .collect();
             Ok(RaResult {
@@ -88,16 +201,9 @@ fn eval_inner(expr: &RaExpr, db: &Database) -> CoreResult<RaResult> {
                 .map(|(la, op, ra)| Ok((lv.attr_index(la)?, *op, rv.attr_index(ra)?)))
                 .collect::<CoreResult<_>>()?;
             let mut tuples = BTreeSet::new();
-            for lt in &lv.tuples {
-                for rt in &rv.tuples {
-                    if checks
-                        .iter()
-                        .all(|(li, op, ri)| op.eval(lt.get(*li), rt.get(*ri)))
-                    {
-                        tuples.insert(lt.concat(rt));
-                    }
-                }
-            }
+            hash_join_pairs(&lv, &rv, &checks, symbols, |lt, rt| {
+                tuples.insert(lt.concat(rt));
+            });
             Ok(RaResult { attrs, tuples })
         }
         RaExpr::NaturalJoin(l, r) => {
@@ -114,16 +220,14 @@ fn eval_inner(expr: &RaExpr, db: &Database) -> CoreResult<RaResult> {
                 .collect();
             let mut attrs = lv.attrs.clone();
             attrs.extend(keep_right.iter().map(|&ri| rv.attrs[ri].clone()));
+            let checks: Vec<(usize, CmpOp, usize)> =
+                shared.iter().map(|&(li, ri)| (li, CmpOp::Eq, ri)).collect();
             let mut tuples = BTreeSet::new();
-            for lt in &lv.tuples {
-                for rt in &rv.tuples {
-                    if shared.iter().all(|(li, ri)| lt.get(*li) == rt.get(*ri)) {
-                        let mut row = lt.0.clone();
-                        row.extend(keep_right.iter().map(|&ri| rt.get(ri).clone()));
-                        tuples.insert(Tuple(row));
-                    }
-                }
-            }
+            hash_join_pairs(&lv, &rv, &checks, symbols, |lt, rt| {
+                let mut row = lt.0.clone();
+                row.extend(keep_right.iter().map(|&ri| rt.get(ri).clone()));
+                tuples.insert(Tuple(row));
+            });
             Ok(RaResult { attrs, tuples })
         }
         RaExpr::Rename(renames, e) => {
@@ -173,16 +277,17 @@ fn eval_inner(expr: &RaExpr, db: &Database) -> CoreResult<RaResult> {
                     .map(|(la, op, ra)| Ok((lv.attr_index(la)?, *op, rv.attr_index(ra)?)))
                     .collect::<CoreResult<_>>()?
             };
+            // The antijoin is the join's complement: collect the left
+            // tuples with at least one qualifying pair (same keyed path
+            // as Join/NaturalJoin), keep the rest.
+            let mut matched: HashSet<&Tuple> = HashSet::new();
+            hash_join_pairs(&lv, &rv, &checks, symbols, |lt, _| {
+                matched.insert(lt);
+            });
             let tuples = lv
                 .tuples
                 .iter()
-                .filter(|lt| {
-                    !rv.tuples.iter().any(|rt| {
-                        checks
-                            .iter()
-                            .all(|(li, op, ri)| op.eval(lt.get(*li), rt.get(*ri)))
-                    })
-                })
+                .filter(|lt| !matched.contains(*lt))
                 .cloned()
                 .collect();
             Ok(RaResult {
@@ -190,31 +295,6 @@ fn eval_inner(expr: &RaExpr, db: &Database) -> CoreResult<RaResult> {
                 tuples,
             })
         }
-    }
-}
-
-fn resolve(term: &RaTerm, attrs: &[String], tuple: &Tuple) -> Value {
-    match term {
-        RaTerm::Const(v) => v.clone(),
-        RaTerm::Attr(a) => {
-            let idx = attrs
-                .iter()
-                .position(|x| x == a)
-                .expect("validated by schema inference");
-            tuple.get(idx).clone()
-        }
-    }
-}
-
-fn eval_condition(cond: &Condition, attrs: &[String], tuple: &Tuple) -> bool {
-    match cond {
-        Condition::Cmp(l, op, r) => {
-            let lv = resolve(l, attrs, tuple);
-            let rv = resolve(r, attrs, tuple);
-            op.eval(&lv, &rv)
-        }
-        Condition::And(cs) => cs.iter().all(|c| eval_condition(c, attrs, tuple)),
-        Condition::Or(cs) => cs.iter().any(|c| eval_condition(c, attrs, tuple)),
     }
 }
 
@@ -366,6 +446,61 @@ mod tests {
         let out = eval(&e, &db()).unwrap();
         // R.B values 10,10,20,30 vs S 10,20: pairs: 20>10, 30>10, 30>20.
         assert_eq!(out.tuples.len(), 3);
+    }
+
+    #[test]
+    fn mixed_eq_and_inequality_join_uses_residual() {
+        // B = B2 && A > B2 — the equality keys the hash, the inequality
+        // filters the bucket. Over our data: (B, B2) matches on 10, 10 and
+        // 20, 20; A > B2 never holds (A ∈ 1..3), so the join is empty.
+        let e = RaExpr::join(
+            JoinCond(vec![
+                ("B".into(), CmpOp::Eq, "B2".into()),
+                ("A".into(), CmpOp::Gt, "B2".into()),
+            ]),
+            RaExpr::table("R"),
+            RaExpr::rename([("B", "B2")], RaExpr::table("S")),
+        );
+        let out = eval(&e, &db()).unwrap();
+        assert!(out.tuples.is_empty());
+        // Flip the inequality: every hash match qualifies (A < B2).
+        let e = RaExpr::join(
+            JoinCond(vec![
+                ("B".into(), CmpOp::Eq, "B2".into()),
+                ("A".into(), CmpOp::Lt, "B2".into()),
+            ]),
+            RaExpr::table("R"),
+            RaExpr::rename([("B", "B2")], RaExpr::table("S")),
+        );
+        let out = eval(&e, &db()).unwrap();
+        assert_eq!(out.tuples.len(), 3);
+    }
+
+    #[test]
+    fn string_selection_and_order_comparison() {
+        let mut d = Database::new();
+        d.add_relation(
+            Relation::from_rows(
+                TableSchema::new("Boat", ["bid", "color"]),
+                [
+                    vec![Value::int(1), Value::str("zebra")],
+                    vec![Value::int(2), Value::str("apple")],
+                    vec![Value::int(3), Value::str("red")],
+                ],
+            )
+            .unwrap(),
+        );
+        let eq = RaExpr::select(
+            Condition::Cmp(RaTerm::attr("color"), CmpOp::Eq, RaTerm::value("red")),
+            RaExpr::table("Boat"),
+        );
+        assert_eq!(ints(&eval(&eq, &d).unwrap()), vec![3]);
+        // Lexicographic, not id, order: only 'apple' < 'red'.
+        let lt = RaExpr::select(
+            Condition::Cmp(RaTerm::attr("color"), CmpOp::Lt, RaTerm::value("red")),
+            RaExpr::table("Boat"),
+        );
+        assert_eq!(ints(&eval(&lt, &d).unwrap()), vec![2]);
     }
 
     #[test]

@@ -61,6 +61,9 @@ SERVE OPTIONS (rd serve):
     --parse-cache <N> Shared parse-cache capacity in entries (default 256)
     --eval-cache <N>  Shared result-cache capacity in entries (default 256)
     --no-eval-cache   Disable the result cache (every query re-evaluates)
+    --eval-cache-max-bytes <N>
+                      Size-aware admission: skip caching results larger
+                      than N bytes (default 1048576; 0 caches everything)
     --port-file <F>   Write the bound address to F once listening (for
                       scripts wrapping ephemeral ports)
 
@@ -70,6 +73,10 @@ BENCH OPTIONS (rd bench-client):
     --requests <N>    Requests per thread (default 100)
     --query <Q>       Add a query to the mix (repeatable; default: a
                       four-language demo mix)
+    --sweep <LIST>    Sweep thread counts, e.g. --sweep 1,2,4,8 (one run
+                      per width; --threads is ignored)
+    --csv             Emit one CSV row per run (throughput + latency
+                      percentiles) instead of the human-readable report
     --stats           Print the server's aggregated stats after the run
     --shutdown        Send {\"op\":\"shutdown\"} after the run
 
@@ -418,6 +425,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 server_cfg.eval_cache_capacity = parse_count(it.next(), "--eval-cache")?;
             }
             "--no-eval-cache" => server_cfg.eval_cache = false,
+            "--eval-cache-max-bytes" => {
+                server_cfg.eval_cache_max_entry_bytes =
+                    parse_count(it.next(), "--eval-cache-max-bytes")?;
+            }
             "--port-file" => {
                 port_file = Some(it.next().ok_or("--port-file requires a path")?.clone());
             }
@@ -463,6 +474,8 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
     let mut queries: Vec<(Option<Language>, String)> = Vec::new();
     let mut show_stats = false;
     let mut shutdown = false;
+    let mut sweep: Option<Vec<usize>> = None;
+    let mut csv = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -473,6 +486,19 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
                 let q = it.next().ok_or("--query requires query text")?.clone();
                 queries.push((None, q));
             }
+            "--sweep" => {
+                let list = it.next().ok_or("--sweep requires a list, e.g. 1,2,4,8")?;
+                let widths = list
+                    .split(',')
+                    .map(|w| w.trim().parse::<usize>().map_err(|_| w))
+                    .collect::<Result<Vec<usize>, _>>()
+                    .map_err(|w| format!("--sweep: '{w}' is not a thread count"))?;
+                if widths.is_empty() || widths.contains(&0) {
+                    return Err("--sweep requires positive thread counts".into());
+                }
+                sweep = Some(widths);
+            }
+            "--csv" => csv = true,
             "--stats" => show_stats = true,
             "--shutdown" => shutdown = true,
             other => {
@@ -483,18 +509,46 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
         }
     }
     let addr = addr.ok_or("bench-client requires --addr <host:port>")?;
-    let mut cfg = BenchConfig::new(addr.clone());
-    cfg.threads = threads;
-    cfg.requests = requests;
-    if !queries.is_empty() {
-        cfg.mix = queries;
+    let widths = sweep.unwrap_or_else(|| vec![threads]);
+    if csv {
+        println!(
+            "threads,requests_per_thread,ok,errors,elapsed_s,throughput_rps,\
+             p50_us,p95_us,p99_us,max_us,parse_hits,eval_hits"
+        );
     }
-    eprintln!(
-        "rd bench-client — {} threads x {} requests against {addr}",
-        cfg.threads, cfg.requests
-    );
-    let report = run_bench(&cfg).map_err(|e| format!("bench failed: {e}"))?;
-    println!("{}", report.render());
+    let mut total_errors = 0u64;
+    for &width in &widths {
+        let mut cfg = BenchConfig::new(addr.clone());
+        cfg.threads = width;
+        cfg.requests = requests;
+        if !queries.is_empty() {
+            cfg.mix = queries.clone();
+        }
+        eprintln!(
+            "rd bench-client — {} threads x {} requests against {addr}",
+            cfg.threads, cfg.requests
+        );
+        let report = run_bench(&cfg).map_err(|e| format!("bench failed: {e}"))?;
+        total_errors += report.errors;
+        if csv {
+            let us = |p: f64| report.percentile(p).map_or(0, |d| d.as_micros());
+            println!(
+                "{width},{requests},{},{},{:.3},{:.1},{},{},{},{},{},{}",
+                report.completed,
+                report.errors,
+                report.elapsed.as_secs_f64(),
+                report.throughput(),
+                us(0.50),
+                us(0.95),
+                us(0.99),
+                us(1.0),
+                report.cache_hits,
+                report.eval_cache_hits,
+            );
+        } else {
+            println!("{}", report.render());
+        }
+    }
     if show_stats || shutdown {
         let mut client =
             Client::connect(&addr).map_err(|e| format!("cannot reconnect to {addr}: {e}"))?;
@@ -525,8 +579,8 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
             eprintln!("sent shutdown");
         }
     }
-    if report.errors > 0 {
-        return Err(format!("{} requests returned errors", report.errors));
+    if total_errors > 0 {
+        return Err(format!("{total_errors} requests returned errors"));
     }
     Ok(())
 }

@@ -181,6 +181,10 @@ fn value_to_json(v: &Value) -> Json {
     match v {
         Value::Int(i) => Json::Int(*i),
         Value::Str(t) => Json::String(t.clone()),
+        // Rows are resolved (Sym → Str) at the session edge before they
+        // reach the protocol; a stray symbol would be a server bug, but
+        // the wire must never panic.
+        Value::Sym(id) => Json::String(format!("sym#{id}")),
     }
 }
 
@@ -222,6 +226,17 @@ fn get_u64(v: &Json, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("missing or non-integer field '{key}'"))
 }
 
+/// Missing fields default to 0 (forward compatibility for counters
+/// added after PR 2).
+fn opt_u64(v: &Json, key: &str) -> Result<u64, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(0),
+        Some(other) => other
+            .as_u64()
+            .ok_or_else(|| format!("field '{key}' must be an integer, found {other}")),
+    }
+}
+
 fn opt_bool(v: &Json, key: &str) -> Result<bool, String> {
     match v.get(key) {
         None | Some(Json::Null) => Ok(false),
@@ -240,6 +255,7 @@ fn session_stats_to_json(st: &SessionStats) -> Json {
         ("eval_hits", u(st.eval_hits)),
         ("eval_misses", u(st.eval_misses)),
         ("eval_evictions", u(st.eval_evictions)),
+        ("eval_skipped", u(st.eval_skipped)),
         ("rows_returned", u(st.rows_returned)),
     ])
 }
@@ -254,6 +270,7 @@ fn session_stats_from_json(v: &Json) -> Result<SessionStats, String> {
         eval_hits: get_u64(v, "eval_hits")?,
         eval_misses: get_u64(v, "eval_misses")?,
         eval_evictions: get_u64(v, "eval_evictions")?,
+        eval_skipped: opt_u64(v, "eval_skipped")?,
         rows_returned: get_u64(v, "rows_returned")?,
     })
 }
@@ -265,6 +282,7 @@ fn cache_stats_to_json(st: &CacheStats) -> Json {
         ("evictions", u(st.evictions)),
         ("entries", u(st.entries as u64)),
         ("capacity", u(st.capacity as u64)),
+        ("cached_bytes", u(st.bytes)),
     ])
 }
 
@@ -275,6 +293,7 @@ fn cache_stats_from_json(v: &Json) -> Result<CacheStats, String> {
         evictions: get_u64(v, "evictions")?,
         entries: get_u64(v, "entries")? as usize,
         capacity: get_u64(v, "capacity")? as usize,
+        bytes: opt_u64(v, "cached_bytes")?,
     })
 }
 
@@ -609,6 +628,7 @@ mod tests {
                 evictions: 0,
                 entries: 4,
                 capacity: 256,
+                bytes: 0,
             },
             fingerprint: "abc123".into(),
             ..StatsResult::default()

@@ -30,6 +30,9 @@ pub struct ServerConfig {
     pub eval_cache_capacity: usize,
     /// `false` disables the result cache (every query re-evaluates).
     pub eval_cache: bool,
+    /// Size-aware admission threshold for the result cache, in bytes per
+    /// entry (`0` caches everything regardless of size).
+    pub eval_cache_max_entry_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -40,6 +43,7 @@ impl Default for ServerConfig {
             parse_cache_capacity: rd_engine::shared::DEFAULT_PARSE_CACHE_CAPACITY,
             eval_cache_capacity: rd_engine::shared::DEFAULT_EVAL_CACHE_CAPACITY,
             eval_cache: true,
+            eval_cache_max_entry_bytes: rd_engine::shared::DEFAULT_EVAL_CACHE_MAX_ENTRY_BYTES,
         }
     }
 }
@@ -83,6 +87,7 @@ impl Server {
                 parse_cache_capacity: config.parse_cache_capacity,
                 eval_cache_capacity: config.eval_cache_capacity,
                 eval_cache: config.eval_cache,
+                eval_cache_max_entry_bytes: config.eval_cache_max_entry_bytes,
                 ..SharedConfig::default()
             },
         ));

@@ -1,19 +1,520 @@
-//! Nested-loop evaluation of TRC queries over [`rd_core::Database`].
+//! Join-aware evaluation of TRC queries over [`rd_core::Database`].
 //!
 //! Evaluation works on the canonical form (the evaluator canonicalizes
-//! internally): the root is an existential block whose assignments are
-//! enumerated by nested loops; output tuples are computed from the
-//! defining equalities `q.A = term` and validated by re-evaluating the
-//! whole body with the output head bound (which uniformly handles multiple
-//! defining equalities as join constraints).
+//! internally) and proceeds in two phases:
+//!
+//! 1. **Compile.** The formula is compiled once per query: every tuple
+//!    variable gets a *slot* (so the runtime environment is a flat
+//!    `Vec<Option<&Tuple>>`, not a string-keyed map), attribute names are
+//!    resolved to column indices, and string constants are interned
+//!    against the database — the evaluation loop never touches a heap
+//!    string. Each existential block becomes an [`ExistsPlan`]: its
+//!    conjuncts are classified, its bindings greedily reordered by
+//!    estimated cost ([`rd_core::plan::scan_cost`] — prefer scans with
+//!    bound equality keys, then smaller relations), equality predicates
+//!    against already-bound terms become **hash-join keys**, and every
+//!    other conjunct (filters, negated/quantified subformulas) is
+//!    attached to the earliest scan after which its variables are bound.
+//! 2. **Execute.** Scans with keys probe lazily-built hash indexes
+//!    (shared per `(table, columns)` across the whole evaluation);
+//!    unkeyed scans iterate. Output tuples are computed from the defining
+//!    equalities `q.A = term`; conjuncts that mention the output head are
+//!    deferred and validated with the head bound (which uniformly handles
+//!    multiple defining equalities as join constraints).
 
-use crate::ast::{Formula, Term, TrcQuery, TrcUnion};
+use crate::ast::{Binding, Formula, Predicate, Term, TrcQuery, TrcUnion};
 use crate::canon::canonicalize;
-use rd_core::{CmpOp, CoreError, CoreResult, Database, Relation, TableSchema, Tuple, Value};
-use std::collections::HashMap;
+use rd_core::{
+    plan, CmpOp, CoreError, CoreResult, Database, Relation, SymbolTable, TableSchema, Tuple, Value,
+};
+use std::collections::BTreeSet;
+use std::rc::Rc;
 
-/// A variable assignment during evaluation: variable → (schema, tuple).
-type Env<'a> = HashMap<String, (&'a TableSchema, &'a Tuple)>;
+// ---------------------------------------------------------------------
+// Compiled representation
+// ---------------------------------------------------------------------
+
+/// A compiled term: a constant (interned) or a column of a slot.
+#[derive(Debug, Clone)]
+enum CTerm {
+    Const(Value),
+    Attr { slot: usize, col: usize },
+}
+
+/// A compiled comparison.
+#[derive(Debug, Clone)]
+struct CPred {
+    left: CTerm,
+    op: CmpOp,
+    right: CTerm,
+}
+
+/// A compiled formula.
+#[derive(Debug)]
+enum CFormula {
+    And(Vec<CFormula>),
+    Or(Vec<CFormula>),
+    Not(Box<CFormula>),
+    Exists(ExistsPlan),
+    Pred(CPred),
+}
+
+/// One scan of a planned existential block.
+#[derive(Debug)]
+struct ScanStep {
+    /// The slot this scan binds.
+    slot: usize,
+    /// Table scanned.
+    table: String,
+    /// Columns of `table` constrained by equality to bound terms; empty
+    /// for a full scan.
+    key_cols: Vec<usize>,
+    /// The bound terms the key columns must equal (parallel to
+    /// `key_cols`).
+    key_terms: Vec<CTerm>,
+    /// Index-cache id (one per keyed scan; `usize::MAX` for full scans).
+    index_id: usize,
+    /// Conjuncts whose variables are all bound once this scan binds its
+    /// slot — plain predicates and negated/quantified subformulas alike.
+    filters: Vec<CFormula>,
+}
+
+/// A planned existential block: conjuncts evaluable before any scan, then
+/// the ordered scans.
+#[derive(Debug)]
+struct ExistsPlan {
+    pre: Vec<CFormula>,
+    steps: Vec<ScanStep>,
+}
+
+// ---------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------
+
+struct Compiler<'d> {
+    db: &'d Database,
+    /// Relation-size statistics driving the greedy scan ordering.
+    stats: plan::DbStats,
+    /// Lexical scope: (variable, slot), innermost last.
+    scope: Vec<(String, usize)>,
+    /// Slot → schema of the table (or output head) it ranges over.
+    slot_schemas: Vec<TableSchema>,
+    /// Variables bound at the current compilation point (enumeration
+    /// order, not lexical scope — the output head is in scope but only
+    /// bound during deferred validation).
+    bound: BTreeSet<String>,
+    /// Number of hash-index cache slots handed out.
+    n_indexes: usize,
+}
+
+impl<'d> Compiler<'d> {
+    fn new(db: &'d Database) -> Self {
+        Compiler {
+            db,
+            stats: plan::DbStats::of(db),
+            scope: Vec::new(),
+            slot_schemas: Vec::new(),
+            bound: BTreeSet::new(),
+            n_indexes: 0,
+        }
+    }
+
+    fn push_schema_var(&mut self, var: &str, schema: TableSchema) -> usize {
+        let slot = self.slot_schemas.len();
+        self.slot_schemas.push(schema);
+        self.scope.push((var.to_string(), slot));
+        slot
+    }
+
+    fn push_binding(&mut self, b: &Binding) -> CoreResult<usize> {
+        let schema = self.db.require(&b.table)?.schema().clone();
+        Ok(self.push_schema_var(&b.var, schema))
+    }
+
+    fn lookup(&self, var: &str) -> Option<usize> {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(v, _)| v == var)
+            .map(|&(_, s)| s)
+    }
+
+    fn compile_term(&self, t: &Term) -> CoreResult<CTerm> {
+        match t {
+            Term::Const(v) => Ok(CTerm::Const(self.db.lookup_value(v))),
+            Term::Attr(a) => {
+                let slot = self
+                    .lookup(&a.var)
+                    .ok_or_else(|| CoreError::Invalid(format!("unbound variable '{}'", a.var)))?;
+                let schema = &self.slot_schemas[slot];
+                let col =
+                    schema
+                        .attr_index(&a.attr)
+                        .ok_or_else(|| CoreError::UnknownAttribute {
+                            table: schema.name().to_string(),
+                            attribute: a.attr.clone(),
+                        })?;
+                Ok(CTerm::Attr { slot, col })
+            }
+        }
+    }
+
+    fn compile_pred(&self, p: &Predicate) -> CoreResult<CFormula> {
+        Ok(CFormula::Pred(CPred {
+            left: self.compile_term(&p.left)?,
+            op: p.op,
+            right: self.compile_term(&p.right)?,
+        }))
+    }
+
+    fn compile_formula(&mut self, f: &Formula) -> CoreResult<CFormula> {
+        match f {
+            Formula::And(fs) => Ok(CFormula::And(
+                fs.iter()
+                    .map(|s| self.compile_formula(s))
+                    .collect::<CoreResult<_>>()?,
+            )),
+            Formula::Or(fs) => Ok(CFormula::Or(
+                fs.iter()
+                    .map(|s| self.compile_formula(s))
+                    .collect::<CoreResult<_>>()?,
+            )),
+            Formula::Not(sub) => Ok(CFormula::Not(Box::new(self.compile_formula(sub)?))),
+            Formula::Exists(bindings, body) => {
+                Ok(CFormula::Exists(self.compile_exists(bindings, body)?))
+            }
+            Formula::Pred(p) => self.compile_pred(p),
+        }
+    }
+
+    fn compile_exists(&mut self, bindings: &[Binding], body: &Formula) -> CoreResult<ExistsPlan> {
+        let scope_mark = self.scope.len();
+        let bound_snapshot = self.bound.clone();
+        let mut slots = Vec::with_capacity(bindings.len());
+        for b in bindings {
+            slots.push(self.push_binding(b)?);
+        }
+        let plan = self.plan_block(bindings, &slots, &conjuncts(body));
+        self.scope.truncate(scope_mark);
+        self.bound = bound_snapshot;
+        plan
+    }
+
+    /// Plans one existential block whose binding slots are already in
+    /// scope: greedy scan ordering, key extraction, conjunct attachment.
+    fn plan_block(
+        &mut self,
+        bindings: &[Binding],
+        slots: &[usize],
+        conjs: &[Formula],
+    ) -> CoreResult<ExistsPlan> {
+        // Classify conjuncts. Predicates are join/selection candidates;
+        // everything else (negation, nested quantifiers, disjunction)
+        // waits until its free variables are bound.
+        let mut preds: Vec<Option<(Predicate, BTreeSet<String>)>> = Vec::new();
+        let mut subs: Vec<Option<(Formula, BTreeSet<String>)>> = Vec::new();
+        for f in conjs {
+            match f {
+                Formula::Pred(p) => {
+                    let vars: BTreeSet<String> = p.vars().cloned().collect();
+                    preds.push(Some((p.clone(), vars)));
+                }
+                other => {
+                    let free = other.free_vars();
+                    subs.push(Some((other.clone(), free)));
+                }
+            }
+        }
+        let pre = self.attach_ready(&mut preds, &mut subs)?;
+        let mut steps = Vec::new();
+        let mut remaining: Vec<usize> = (0..bindings.len()).collect();
+        while !remaining.is_empty() {
+            // Greedy choice: cheapest next scan under the cost model.
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (k, &bi) in remaining.iter().enumerate() {
+                let b = &bindings[bi];
+                let keys = preds
+                    .iter()
+                    .flatten()
+                    .filter(|(p, _)| self.key_side(p, &b.var).is_some())
+                    .count();
+                let cost = plan::scan_cost(self.stats.size(&b.table), keys);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = k;
+                }
+            }
+            let bi = remaining.remove(best);
+            let b = &bindings[bi];
+            let schema = self.slot_schemas[slots[bi]].clone();
+            // Extract the equality predicates usable as hash-join keys.
+            let mut key_cols = Vec::new();
+            let mut key_terms = Vec::new();
+            for entry in preds.iter_mut() {
+                let usable = entry
+                    .as_ref()
+                    .and_then(|(p, _)| self.key_side(p, &b.var).cloned());
+                if let Some(scan_attr) = usable {
+                    let (p, _) = entry.take().expect("checked above");
+                    let col = schema.attr_index(&scan_attr.attr).ok_or_else(|| {
+                        CoreError::UnknownAttribute {
+                            table: schema.name().to_string(),
+                            attribute: scan_attr.attr.clone(),
+                        }
+                    })?;
+                    let other = if matches!(&p.left, Term::Attr(a) if a.var == b.var && a.attr == scan_attr.attr)
+                    {
+                        &p.right
+                    } else {
+                        &p.left
+                    };
+                    key_cols.push(col);
+                    key_terms.push(self.compile_term(other)?);
+                }
+            }
+            self.bound.insert(b.var.clone());
+            let filters = self.attach_ready(&mut preds, &mut subs)?;
+            let index_id = if key_cols.is_empty() {
+                usize::MAX
+            } else {
+                self.n_indexes += 1;
+                self.n_indexes - 1
+            };
+            steps.push(ScanStep {
+                slot: slots[bi],
+                table: b.table.clone(),
+                key_cols,
+                key_terms,
+                index_id,
+                filters,
+            });
+        }
+        // Anything left references variables outside every scope level;
+        // compiling it surfaces the proper "unbound variable" error.
+        let mut leftovers = Vec::new();
+        for entry in preds.iter_mut() {
+            if let Some((p, _)) = entry.take() {
+                leftovers.push(self.compile_pred(&p)?);
+            }
+        }
+        for entry in subs.iter_mut() {
+            if let Some((f, _)) = entry.take() {
+                leftovers.push(self.compile_formula(&f)?);
+            }
+        }
+        let mut plan = ExistsPlan { pre, steps };
+        if !leftovers.is_empty() {
+            match plan.steps.last_mut() {
+                Some(last) => last.filters.extend(leftovers),
+                None => plan.pre.extend(leftovers),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Drains and compiles every pending conjunct whose variables are all
+    /// bound at the current point.
+    #[allow(clippy::type_complexity)]
+    fn attach_ready(
+        &mut self,
+        preds: &mut [Option<(Predicate, BTreeSet<String>)>],
+        subs: &mut [Option<(Formula, BTreeSet<String>)>],
+    ) -> CoreResult<Vec<CFormula>> {
+        let mut out = Vec::new();
+        for entry in preds.iter_mut() {
+            if entry
+                .as_ref()
+                .is_some_and(|(_, vars)| vars.iter().all(|v| self.bound.contains(v)))
+            {
+                let (p, _) = entry.take().expect("checked above");
+                out.push(self.compile_pred(&p)?);
+            }
+        }
+        for entry in subs.iter_mut() {
+            if entry
+                .as_ref()
+                .is_some_and(|(_, free)| free.iter().all(|v| self.bound.contains(v)))
+            {
+                let (f, _) = entry.take().expect("checked above");
+                out.push(self.compile_formula(&f)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// If `p` can key a hash probe into the scan of `var` — an equality
+    /// with exactly one side an attribute of `var` and the other side
+    /// already bound (constant or bound variable) — returns the `var`
+    /// side's attribute reference.
+    fn key_side<'p>(&self, p: &'p Predicate, var: &str) -> Option<&'p crate::ast::AttrRef> {
+        if p.op != CmpOp::Eq {
+            return None;
+        }
+        let bound_term = |t: &Term| match t {
+            Term::Const(_) => true,
+            Term::Attr(a) => a.var != var && self.bound.contains(&a.var),
+        };
+        match (&p.left, &p.right) {
+            (Term::Attr(a), other) if a.var == var && bound_term(other) => Some(a),
+            (other, Term::Attr(a)) if a.var == var && bound_term(other) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+/// Shared evaluation state: the database snapshot plus the lazily-built
+/// hash indexes (one cache slot per keyed scan, built on first probe,
+/// reused across the whole evaluation).
+struct EvalCtx<'d> {
+    db: &'d Database,
+    symbols: &'d SymbolTable,
+    indexes: plan::IndexCache<'d>,
+    key_buf: plan::KeyBuf,
+}
+
+impl<'d> EvalCtx<'d> {
+    fn new(db: &'d Database, n_indexes: usize) -> Self {
+        EvalCtx {
+            db,
+            symbols: db.symbols(),
+            indexes: plan::IndexCache::new(n_indexes),
+            key_buf: plan::KeyBuf::default(),
+        }
+    }
+
+    fn index_for(&mut self, step: &ScanStep) -> CoreResult<Rc<plan::Index<'d>>> {
+        let db = self.db;
+        self.indexes
+            .get_or_build(step.index_id, &step.key_cols, || {
+                Ok(db.require(&step.table)?.iter())
+            })
+    }
+}
+
+/// The flat runtime environment: slot → bound tuple.
+type Slots<'b> = Vec<Option<&'b Tuple>>;
+
+fn term_value<'v>(t: &'v CTerm, slots: &'v Slots<'_>) -> &'v Value {
+    match t {
+        CTerm::Const(v) => v,
+        CTerm::Attr { slot, col } => slots[*slot]
+            .expect("compiler attaches terms only after their slot is bound")
+            .get(*col),
+    }
+}
+
+fn eval_cformula<'b, 'd: 'b>(
+    f: &CFormula,
+    slots: &mut Slots<'b>,
+    ctx: &mut EvalCtx<'d>,
+) -> CoreResult<bool> {
+    match f {
+        CFormula::And(fs) => {
+            for sub in fs {
+                if !eval_cformula(sub, slots, ctx)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        CFormula::Or(fs) => {
+            for sub in fs {
+                if eval_cformula(sub, slots, ctx)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        CFormula::Not(sub) => Ok(!eval_cformula(sub, slots, ctx)?),
+        CFormula::Exists(plan) => {
+            for pre in &plan.pre {
+                if !eval_cformula(pre, slots, ctx)? {
+                    return Ok(false);
+                }
+            }
+            run_steps(plan, 0, slots, ctx, &mut |_, _| Ok(true))
+        }
+        CFormula::Pred(p) => {
+            let l = term_value(&p.left, slots);
+            let r = term_value(&p.right, slots);
+            Ok(p.op.eval_resolved(l, r, ctx.symbols))
+        }
+    }
+}
+
+/// Runs the scans of `plan` from step `i`, invoking `emit` on every full
+/// assignment. `emit` returning `Ok(true)` stops the enumeration (used
+/// for existential short-circuits); the stop propagates outward.
+fn run_steps<'b, 'd: 'b>(
+    plan: &ExistsPlan,
+    i: usize,
+    slots: &mut Slots<'b>,
+    ctx: &mut EvalCtx<'d>,
+    emit: &mut dyn FnMut(&mut Slots<'b>, &mut EvalCtx<'d>) -> CoreResult<bool>,
+) -> CoreResult<bool> {
+    if i == plan.steps.len() {
+        return emit(slots, ctx);
+    }
+    let step = &plan.steps[i];
+    let stopped = if step.key_cols.is_empty() {
+        let rel = ctx.db.require(&step.table)?;
+        let mut stopped = false;
+        for t in rel.iter() {
+            slots[step.slot] = Some(t);
+            if scan_body(plan, i, slots, ctx, emit)? {
+                stopped = true;
+                break;
+            }
+        }
+        stopped
+    } else {
+        // Hash probe: resolve the key from bound slots/constants into the
+        // reusable buffer and look up the matching bucket.
+        let index = ctx.index_for(step)?;
+        let bucket = index.get(
+            ctx.key_buf
+                .fill(step.key_terms.iter().map(|t| term_value(t, slots).clone())),
+        );
+        let mut stopped = false;
+        if let Some(bucket) = bucket {
+            for &t in bucket {
+                slots[step.slot] = Some(t);
+                if scan_body(plan, i, slots, ctx, emit)? {
+                    stopped = true;
+                    break;
+                }
+            }
+        }
+        stopped
+    };
+    slots[step.slot] = None;
+    Ok(stopped)
+}
+
+/// Filters of step `i`, then recursion into step `i + 1`.
+fn scan_body<'b, 'd: 'b>(
+    plan: &ExistsPlan,
+    i: usize,
+    slots: &mut Slots<'b>,
+    ctx: &mut EvalCtx<'d>,
+    emit: &mut dyn FnMut(&mut Slots<'b>, &mut EvalCtx<'d>) -> CoreResult<bool>,
+) -> CoreResult<bool> {
+    for f in &plan.steps[i].filters {
+        if !eval_cformula(f, slots, ctx)? {
+            return Ok(false);
+        }
+    }
+    run_steps(plan, i + 1, slots, ctx, emit)
+}
+
+// ---------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------
 
 /// Evaluates a non-Boolean query, returning its output relation.
 pub fn eval_query(q: &TrcQuery, db: &Database) -> CoreResult<Relation> {
@@ -24,7 +525,7 @@ pub fn eval_query(q: &TrcQuery, db: &Database) -> CoreResult<Relation> {
     })?;
     let canon = canonicalize(q);
     let out_schema = TableSchema::try_new(head.name.clone(), head.attrs.clone())?;
-    let mut out = Relation::empty(out_schema.clone());
+    let mut out = db.fresh_relation(out_schema.clone());
 
     // Split the canonical root into bindings and conjunct parts.
     let (bindings, parts) = match &canon.formula {
@@ -61,23 +562,66 @@ pub fn eval_query(q: &TrcQuery, db: &Database) -> CoreResult<Relation> {
         defs.push(term);
     }
 
-    // Enumerate root assignments.
-    let body = Formula::and(parts);
-    let mut env: Env = HashMap::new();
-    enumerate(db, &bindings, 0, &mut env, &mut |env| {
-        // Compute the candidate output tuple.
-        let mut row = Vec::with_capacity(defs.len());
-        for term in &defs {
-            row.push(resolve(term, env)?);
+    // Conjuncts mentioning the head cannot constrain the enumeration;
+    // they are validated against each candidate tuple instead.
+    let mut enumerated = Vec::new();
+    let mut deferred_ast = Vec::new();
+    for f in &parts {
+        if f.free_vars().contains(&head.name) {
+            deferred_ast.push(f.clone());
+        } else {
+            enumerated.push(f.clone());
+        }
+    }
+
+    let mut c = Compiler::new(db);
+    let head_slot = c.push_schema_var(&head.name, out_schema.clone());
+    let mut slots_of = Vec::with_capacity(bindings.len());
+    for b in &bindings {
+        slots_of.push(c.push_binding(b)?);
+    }
+    let root_plan = c.plan_block(&bindings, &slots_of, &enumerated)?;
+    let cdefs: Vec<CTerm> = defs
+        .iter()
+        .map(|t| c.compile_term(t))
+        .collect::<CoreResult<_>>()?;
+    c.bound.insert(head.name.clone());
+    let deferred: Vec<CFormula> = deferred_ast
+        .iter()
+        .map(|f| c.compile_formula(f))
+        .collect::<CoreResult<_>>()?;
+
+    let n_slots = c.slot_schemas.len();
+    let mut ctx = EvalCtx::new(db, c.n_indexes);
+    for pre in &root_plan.pre {
+        let mut slots: Slots = vec![None; n_slots];
+        if !eval_cformula(pre, &mut slots, &mut ctx)? {
+            return Ok(out);
+        }
+    }
+    let mut slots: Slots = vec![None; n_slots];
+    run_steps(&root_plan, 0, &mut slots, &mut ctx, &mut |slots, ctx| {
+        let mut row = Vec::with_capacity(cdefs.len());
+        for t in cdefs.iter() {
+            row.push(term_value(t, slots).clone());
         }
         let tuple = Tuple(row);
-        // Bind the output head and validate the whole body.
-        let mut env2 = env.clone();
-        env2.insert(head.name.clone(), (&out_schema, &tuple));
-        if eval_formula(&body, &env2, db)? {
+        // Validate the deferred conjuncts with the head bound. The
+        // narrower lifetime of `tuple` forces a (cheap, word-copy) clone
+        // of the slot vector.
+        let mut vslots: Slots = slots.clone();
+        vslots[head_slot] = Some(&tuple);
+        let mut ok = true;
+        for f in &deferred {
+            if !eval_cformula(f, &mut vslots, ctx)? {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
             out.insert(tuple)?;
         }
-        Ok(())
+        Ok(false)
     })?;
     Ok(out)
 }
@@ -90,8 +634,11 @@ pub fn eval_sentence(q: &TrcQuery, db: &Database) -> CoreResult<bool> {
         ));
     }
     let canon = canonicalize(q);
-    let env: Env = HashMap::new();
-    eval_formula(&canon.formula, &env, db)
+    let mut c = Compiler::new(db);
+    let cf = c.compile_formula(&canon.formula)?;
+    let mut ctx = EvalCtx::new(db, c.n_indexes);
+    let mut slots: Slots = vec![None; c.slot_schemas.len()];
+    eval_cformula(&cf, &mut slots, &mut ctx)
 }
 
 /// Evaluates a union of queries (§5): the set union of branch outputs.
@@ -115,87 +662,6 @@ fn conjuncts(f: &Formula) -> Vec<Formula> {
     match f {
         Formula::And(fs) => fs.clone(),
         other => vec![other.clone()],
-    }
-}
-
-/// Enumerates all assignments of `bindings[i..]` over `db`, invoking `k`
-/// for each complete assignment.
-fn enumerate<'a>(
-    db: &'a Database,
-    bindings: &[crate::ast::Binding],
-    i: usize,
-    env: &mut Env<'a>,
-    k: &mut dyn FnMut(&Env<'a>) -> CoreResult<()>,
-) -> CoreResult<()> {
-    if i == bindings.len() {
-        return k(env);
-    }
-    let b = &bindings[i];
-    let rel = db.require(&b.table)?;
-    let schema = rel.schema();
-    for t in rel.iter() {
-        env.insert(b.var.clone(), (schema, t));
-        enumerate(db, bindings, i + 1, env, k)?;
-    }
-    env.remove(&b.var);
-    Ok(())
-}
-
-/// Resolves a term under the environment.
-fn resolve(term: &Term, env: &Env) -> CoreResult<Value> {
-    match term {
-        Term::Const(v) => Ok(v.clone()),
-        Term::Attr(a) => {
-            let (schema, tuple) = env
-                .get(&a.var)
-                .ok_or_else(|| CoreError::Invalid(format!("unbound variable '{}'", a.var)))?;
-            let idx = schema
-                .attr_index(&a.attr)
-                .ok_or_else(|| CoreError::UnknownAttribute {
-                    table: schema.name().to_string(),
-                    attribute: a.attr.clone(),
-                })?;
-            Ok(tuple.get(idx).clone())
-        }
-    }
-}
-
-/// Evaluates a formula to a truth value under `env`.
-fn eval_formula(f: &Formula, env: &Env, db: &Database) -> CoreResult<bool> {
-    match f {
-        Formula::And(fs) => {
-            for sub in fs {
-                if !eval_formula(sub, env, db)? {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        }
-        Formula::Or(fs) => {
-            for sub in fs {
-                if eval_formula(sub, env, db)? {
-                    return Ok(true);
-                }
-            }
-            Ok(false)
-        }
-        Formula::Not(sub) => Ok(!eval_formula(sub, env, db)?),
-        Formula::Exists(bindings, body) => {
-            let mut found = false;
-            let mut env2 = env.clone();
-            enumerate(db, bindings, 0, &mut env2, &mut |e| {
-                if !found && eval_formula(body, e, db)? {
-                    found = true;
-                }
-                Ok(())
-            })?;
-            Ok(found)
-        }
-        Formula::Pred(p) => {
-            let l = resolve(&p.left, env)?;
-            let r = resolve(&p.right, env)?;
-            Ok(p.op.eval(&l, &r))
-        }
     }
 }
 
@@ -358,5 +824,57 @@ mod tests {
         assert!(eval_query(&sentence, &db).is_err());
         let query = parse_query("{ q(A) | exists r in R [ q.A = r.A ] }", &cat).unwrap();
         assert!(eval_sentence(&query, &db).is_err());
+    }
+
+    #[test]
+    fn string_constants_and_order_comparisons() {
+        let cat = Catalog::from_schemas([TableSchema::new("B", ["color"])]).unwrap();
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::from_rows(
+                TableSchema::new("B", ["color"]),
+                // Insert out of lexicographic order so sym ids disagree
+                // with string order.
+                [["zebra"], ["apple"], ["red"]],
+            )
+            .unwrap(),
+        );
+        let eq = parse_query(
+            "{ q(color) | exists b in B [ q.color = b.color and b.color = 'red' ] }",
+            &cat,
+        )
+        .unwrap();
+        let out = eval_query(&eq, &db).unwrap();
+        assert_eq!(out.len(), 1);
+        // Order comparisons resolve to *lexicographic* string order.
+        let lt = parse_query(
+            "{ q(color) | exists b in B [ q.color = b.color and b.color < 'red' ] }",
+            &cat,
+        )
+        .unwrap();
+        let out = db.resolve_relation(&eval_query(&lt, &db).unwrap());
+        let colors: Vec<Value> = out.iter().map(|t| t.get(0).clone()).collect();
+        assert_eq!(colors, vec![Value::str("apple")]);
+    }
+
+    #[test]
+    fn join_order_does_not_change_results() {
+        // Same query phrased with bindings in both orders; the planner
+        // reorders internally, results must match.
+        let (cat, db) = rs_db();
+        let a = parse_query(
+            "{ q(A) | exists r in R, s in S [ q.A = r.A and r.B = s.B ] }",
+            &cat,
+        )
+        .unwrap();
+        let b = parse_query(
+            "{ q(A) | exists s in S, r in R [ q.A = r.A and r.B = s.B ] }",
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(
+            eval_query(&a, &db).unwrap().tuples(),
+            eval_query(&b, &db).unwrap().tuples()
+        );
     }
 }
