@@ -1,7 +1,7 @@
 //! Service-layer throughput baseline: the `rd-server` TCP service driven
-//! by the bench client, comparing worker-pool widths and the shared
-//! result cache on vs off. Future PRs tune the server against these
-//! numbers.
+//! by the bench client, comparing compute-pool widths, the shared
+//! result cache on vs off, and lock-step round trips vs pipelined
+//! requests. Future PRs tune the server against these numbers.
 //!
 //! Each measured iteration is one full client round-trip (connect once
 //! per scenario; per-iter = one request) against a live server on an
@@ -63,15 +63,17 @@ fn bench_single_connection(c: &mut Criterion, id: &str, eval_cache: bool) {
     });
 }
 
-/// One full load burst per iteration: 4 client threads x 25 requests
-/// (the four-language default mix) against a 1- or 4-worker pool. With
-/// one worker the four connections serialize; with four they run in
-/// parallel — the worker-width comparison future PRs optimize against.
-fn bench_load_burst(c: &mut Criterion, id: &str, workers: usize) {
+/// One full load burst per iteration: `threads` client connections x 25
+/// requests (the four-language default mix), lock-step or pipelined
+/// `pipeline` deep, against a 1- or 4-worker compute pool. The
+/// lockstep-vs-pipeline pair at the same width measures what removing
+/// the per-request round trip buys.
+fn bench_load_burst(c: &mut Criterion, id: &str, workers: usize, threads: usize, pipeline: usize) {
     let server = LiveServer::start(workers, true);
     let mut cfg = BenchConfig::new(server.addr.to_string());
-    cfg.threads = 4;
+    cfg.threads = threads;
     cfg.requests = 25;
+    cfg.pipeline = pipeline;
     c.bench_function(id, |b| {
         b.iter(|| {
             let report = run_bench(&cfg).expect("bench burst");
@@ -87,8 +89,11 @@ fn service_throughput(c: &mut Criterion) {
     bench_single_connection(c, "serve/1-conn/eval-cache-on", true);
     bench_single_connection(c, "serve/1-conn/eval-cache-off", false);
     println!("-- one 100-request burst (4 connections) per iter:");
-    bench_load_burst(c, "serve/burst/1-worker", 1);
-    bench_load_burst(c, "serve/burst/4-workers", 4);
+    bench_load_burst(c, "serve/burst/1-worker", 1, 4, 1);
+    bench_load_burst(c, "serve/burst/4-workers", 4, 4, 1);
+    println!("-- one 200-request burst (8 connections) per iter, lock-step vs pipelined:");
+    bench_load_burst(c, "serve/burst/8-conns/lockstep", 4, 8, 1);
+    bench_load_burst(c, "serve/burst/8-conns/pipeline-16", 4, 8, 16);
 }
 
 criterion_group!(benches, service_throughput);

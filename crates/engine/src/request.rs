@@ -1,7 +1,7 @@
 //! Requests into and responses out of a [`Session`](crate::Session).
 
 use crate::{Artifact, Language};
-use rd_core::Relation;
+use rd_core::{Relation, Tuple};
 use std::sync::Arc;
 
 /// How a response should render the Relational Diagram, if at all.
@@ -104,4 +104,24 @@ pub struct QueryResponse {
     /// outside the fragment the TRC-hub translation covers). Evaluation
     /// succeeded regardless; these never accompany a failed run.
     pub notes: Vec<String>,
+}
+
+impl QueryResponse {
+    /// Iterates the result tuples in batches of at most `chunk_rows`
+    /// (minimum 1), in the relation's deterministic order — the
+    /// session-boundary hook a streaming transport builds its
+    /// `rows-chunk` frames on without first materializing a second full
+    /// copy of the result.
+    pub fn row_chunks(&self, chunk_rows: usize) -> impl Iterator<Item = Vec<&Tuple>> + '_ {
+        let chunk_rows = chunk_rows.max(1);
+        let mut tuples = self.relation.iter();
+        std::iter::from_fn(move || {
+            let batch: Vec<&Tuple> = tuples.by_ref().take(chunk_rows).collect();
+            if batch.is_empty() {
+                None
+            } else {
+                Some(batch)
+            }
+        })
+    }
 }

@@ -45,6 +45,10 @@ pub struct SessionStats {
     pub eval_skipped: u64,
     /// Total result tuples returned.
     pub rows_returned: u64,
+    /// Tuples delivered through chunked streaming (a subset of
+    /// `rows_returned`; counted by [`Session::record_streamed`] at the
+    /// service edge).
+    pub rows_streamed: u64,
 }
 
 impl SessionStats {
@@ -71,6 +75,7 @@ impl SessionStats {
         self.eval_evictions += other.eval_evictions;
         self.eval_skipped += other.eval_skipped;
         self.rows_returned += other.rows_returned;
+        self.rows_streamed += other.rows_streamed;
     }
 
     /// The counter-wise difference `self - earlier` (for merging periodic
@@ -87,6 +92,7 @@ impl SessionStats {
             eval_evictions: self.eval_evictions - earlier.eval_evictions,
             eval_skipped: self.eval_skipped - earlier.eval_skipped,
             rows_returned: self.rows_returned - earlier.rows_returned,
+            rows_streamed: self.rows_streamed - earlier.rows_streamed,
         }
     }
 }
@@ -173,6 +179,15 @@ impl Session {
     /// Zeroes the traffic counters.
     pub fn reset_stats(&mut self) {
         self.stats = SessionStats::default();
+    }
+
+    /// Records that `rows` result tuples left this session through
+    /// chunked streaming rather than a single response — called by the
+    /// service edge when it splits a large
+    /// [`QueryResponse`](crate::QueryResponse) into
+    /// [`row_chunks`](crate::QueryResponse::row_chunks).
+    pub fn record_streamed(&mut self, rows: u64) {
+        self.stats.rows_streamed += rows;
     }
 
     /// Replaces the database: installs a new epoch (bumped generation)

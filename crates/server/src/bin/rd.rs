@@ -57,13 +57,27 @@ OPTIONS:
 SERVE OPTIONS (rd serve):
     --addr <ADDR>     Bind address (default 127.0.0.1:7878; use :0 for an
                       ephemeral port)
-    --workers <N>     Worker threads = max concurrent connections (default 8)
+    --workers <N>     Compute-pool threads = concurrent query evaluations
+                      (default 8). Connections are multiplexed by the
+                      poll(2) event loop and are not bounded by this.
     --parse-cache <N> Shared parse-cache capacity in entries (default 256)
     --eval-cache <N>  Shared result-cache capacity in entries (default 256)
     --no-eval-cache   Disable the result cache (every query re-evaluates)
     --eval-cache-max-bytes <N>
                       Size-aware admission: skip caching results larger
                       than N bytes (default 1048576; 0 caches everything)
+    --stream-threshold <N>
+                      Stream results with more than N rows as rows-chunk/
+                      rows-end frames of N rows (default 1024; 0 disables)
+    --max-line-bytes <N>
+                      Reject request lines larger than N bytes with an
+                      error and close the connection (default 16777216)
+    --idle-timeout <SECS>
+                      Evict connections with no traffic for SECS seconds
+                      (default: never; surfaced as 'evicted' in stats)
+    --drain-timeout <SECS>
+                      How long shutdown waits for in-flight connections
+                      to drain before force-closing (default 5)
     --port-file <F>   Write the bound address to F once listening (for
                       scripts wrapping ephemeral ports)
 
@@ -71,6 +85,11 @@ BENCH OPTIONS (rd bench-client):
     --addr <ADDR>     Server to drive (required)
     --threads <N>     Client threads, one connection each (default 4)
     --requests <N>    Requests per thread (default 100)
+    --pipeline <N>    Keep N requests in flight per connection using
+                      pipeline ids (default 1 = lock-step round trips)
+    --idle-conns <N>  Open N extra idle connections before the run and
+                      hold them open throughout (flood mode: proves idle
+                      clients don't consume workers)
     --query <Q>       Add a query to the mix (repeatable; default: a
                       four-language demo mix)
     --sweep <LIST>    Sweep thread counts, e.g. --sweep 1,2,4,8 (one run
@@ -429,6 +448,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 server_cfg.eval_cache_max_entry_bytes =
                     parse_count(it.next(), "--eval-cache-max-bytes")?;
             }
+            "--stream-threshold" => {
+                server_cfg.stream_threshold = parse_count(it.next(), "--stream-threshold")?;
+            }
+            "--max-line-bytes" => {
+                server_cfg.max_line_bytes = parse_count(it.next(), "--max-line-bytes")?;
+            }
+            "--idle-timeout" => {
+                let secs = parse_count(it.next(), "--idle-timeout")?;
+                server_cfg.idle_timeout = if secs == 0 {
+                    None
+                } else {
+                    Some(std::time::Duration::from_secs(secs as u64))
+                };
+            }
+            "--drain-timeout" => {
+                let secs = parse_count(it.next(), "--drain-timeout")?;
+                server_cfg.drain_timeout = std::time::Duration::from_secs(secs as u64);
+            }
             "--port-file" => {
                 port_file = Some(it.next().ok_or("--port-file requires a path")?.clone());
             }
@@ -447,7 +484,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write port file '{path}': {e}"))?;
     }
     eprintln!(
-        "rd-server listening on {addr} — {} workers, eval cache {}",
+        "rd-server listening on {addr} — poll(2) event loop, {} compute workers, eval cache {}",
         server_cfg.workers,
         if server_cfg.eval_cache { "on" } else { "off" },
     );
@@ -471,6 +508,8 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
     let mut addr: Option<String> = None;
     let mut threads = 4usize;
     let mut requests = 100usize;
+    let mut pipeline = 1usize;
+    let mut idle_conns = 0usize;
     let mut queries: Vec<(Option<Language>, String)> = Vec::new();
     let mut show_stats = false;
     let mut shutdown = false;
@@ -482,6 +521,8 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
             "--addr" => addr = Some(it.next().ok_or("--addr requires a value")?.clone()),
             "--threads" => threads = parse_count(it.next(), "--threads")?,
             "--requests" => requests = parse_count(it.next(), "--requests")?,
+            "--pipeline" => pipeline = parse_count(it.next(), "--pipeline")?.max(1),
+            "--idle-conns" => idle_conns = parse_count(it.next(), "--idle-conns")?,
             "--query" => {
                 let q = it.next().ok_or("--query requires query text")?.clone();
                 queries.push((None, q));
@@ -521,12 +562,26 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
         let mut cfg = BenchConfig::new(addr.clone());
         cfg.threads = width;
         cfg.requests = requests;
+        cfg.pipeline = pipeline;
+        cfg.idle_conns = idle_conns;
         if !queries.is_empty() {
             cfg.mix = queries.clone();
         }
         eprintln!(
-            "rd bench-client — {} threads x {} requests against {addr}",
-            cfg.threads, cfg.requests
+            "rd bench-client — {} threads x {} requests against {addr}\
+             {}{}",
+            cfg.threads,
+            cfg.requests,
+            if cfg.pipeline > 1 {
+                format!(", pipeline depth {}", cfg.pipeline)
+            } else {
+                String::new()
+            },
+            if cfg.idle_conns > 0 {
+                format!(", {} idle connections", cfg.idle_conns)
+            } else {
+                String::new()
+            },
         );
         let report = run_bench(&cfg).map_err(|e| format!("bench failed: {e}"))?;
         total_errors += report.errors;
@@ -555,8 +610,8 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
         if show_stats {
             let s = client.stats().map_err(|e| format!("stats failed: {e}"))?;
             println!(
-                "server:   {} connections ({} active), {} requests, {} errors, {} workers",
-                s.connections, s.active_connections, s.requests, s.errors, s.workers
+                "server:   {} connections ({} active, {} evicted), {} requests, {} errors, {} workers",
+                s.connections, s.active_connections, s.evicted, s.requests, s.errors, s.workers
             );
             println!(
                 "sessions: {} queries; parse {} hits / {} misses; eval {} hits / {} misses (cache {})",

@@ -1,16 +1,24 @@
-//! A blocking client for the JSON-lines protocol, plus the multi-thread
-//! load driver behind `rd bench-client`.
+//! A blocking client for the JSON-lines protocol — one-shot or
+//! pipelined — plus the multi-thread load driver behind `rd
+//! bench-client`.
 
-use crate::protocol::{self, LoadSource, Request, Response, StatsResult};
+use crate::protocol::{self, LoadSource, Reassembler, Request, RequestId, Response, StatsResult};
 use rd_engine::{DiagramFormat, Language};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// One connection to an `rd serve` instance.
+///
+/// [`Client::request`] is the classic lock-step call. For pipelining,
+/// interleave [`Client::send`] (tagging each request with an id) with
+/// [`Client::recv`]; streamed results are reassembled transparently in
+/// both modes.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    reassembler: Reassembler,
 }
 
 fn proto_err(message: String) -> std::io::Error {
@@ -25,24 +33,63 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            reassembler: Reassembler::new(),
         })
     }
 
-    /// Sends one request and reads the one-line response.
-    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
-        self.writer
-            .write_all(protocol::encode(request).as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+    /// Sends one request without waiting for its response; `id` (echoed
+    /// by the server) lets the caller match responses when several
+    /// requests are in flight.
+    pub fn send(&mut self, request: &Request, id: Option<&RequestId>) -> std::io::Result<()> {
+        let mut line = protocol::encode_frame(request, id);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())
+    }
+
+    /// Sends several tagged requests in a single write — one TCP
+    /// segment's worth of pipeline refill instead of one syscall per
+    /// request.
+    pub fn send_batch(&mut self, batch: &[(Request, Option<RequestId>)]) -> std::io::Result<()> {
+        let mut bytes = String::new();
+        for (request, id) in batch {
+            bytes.push_str(&protocol::encode_frame(request, id.as_ref()));
+            bytes.push('\n');
         }
-        protocol::decode(line.trim()).map_err(proto_err)
+        self.writer.write_all(bytes.as_bytes())
+    }
+
+    /// `true` when at least one complete frame line is already buffered,
+    /// so the next [`Client::recv`] will not block on the socket for it
+    /// (it may still block if that frame *opens* a chunked stream whose
+    /// remainder is in flight).
+    pub fn response_buffered(&self) -> bool {
+        self.reader.buffer().contains(&b'\n')
+    }
+
+    /// Receives the next complete response (reading and reassembling
+    /// `rows-chunk` streams as needed) together with its echoed id.
+    pub fn recv(&mut self) -> std::io::Result<(Option<RequestId>, Response)> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let (id, frame) = protocol::decode_frame(line.trim()).map_err(proto_err)?;
+            if let Some(complete) = self.reassembler.accept(id, frame).map_err(proto_err)? {
+                return Ok(complete);
+            }
+        }
+    }
+
+    /// Sends one request and reads the one response (lock-step).
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        self.send(request, None)?;
+        Ok(self.recv()?.1)
     }
 
     /// Runs one query (language auto-detected when `None`).
@@ -103,6 +150,14 @@ pub struct BenchConfig {
     pub threads: usize,
     /// Requests per thread.
     pub requests: usize,
+    /// Requests kept in flight per connection. `1` is the classic
+    /// request/response lock-step; larger values pipeline (requests are
+    /// tagged with ids and matched to responses as they arrive).
+    pub pipeline: usize,
+    /// Extra connections opened before the run and held open — idle —
+    /// until it finishes. Against a reactor these cost one `pollfd`
+    /// each; against a pinned pool they would starve the bench threads.
+    pub idle_conns: usize,
     /// The query mix, fired round-robin. `None` language auto-detects.
     pub mix: Vec<(Option<Language>, String)>,
 }
@@ -115,6 +170,8 @@ impl BenchConfig {
             addr: addr.into(),
             threads: 4,
             requests: 100,
+            pipeline: 1,
+            idle_conns: 0,
             mix: default_mix(),
         }
     }
@@ -205,38 +262,141 @@ impl BenchReport {
     }
 }
 
+#[derive(Default)]
+struct ThreadReport {
+    completed: u64,
+    errors: u64,
+    cache_hits: u64,
+    eval_cache_hits: u64,
+    latencies: Vec<Duration>,
+}
+
+impl ThreadReport {
+    fn record(&mut self, response: &Response, latency: Duration) {
+        self.latencies.push(latency);
+        match response {
+            Response::Query(q) => {
+                self.completed += 1;
+                self.cache_hits += q.cache_hit as u64;
+                self.eval_cache_hits += q.eval_cache_hit as u64;
+            }
+            _ => self.errors += 1,
+        }
+    }
+}
+
+/// One bench connection firing `requests` queries lock-step.
+fn drive_lockstep(
+    client: &mut Client,
+    thread: usize,
+    requests: usize,
+    mix: &[(Option<Language>, String)],
+) -> std::io::Result<ThreadReport> {
+    let mut report = ThreadReport::default();
+    for i in 0..requests {
+        // Offset by thread id so threads collide on the same queries at
+        // different times.
+        let (language, text) = &mix[(thread + i) % mix.len()];
+        let sent = Instant::now();
+        let response = client.query(*language, text)?;
+        report.record(&response, sent.elapsed());
+    }
+    Ok(report)
+}
+
+/// One bench connection keeping up to `depth` tagged requests in
+/// flight: fill the window, then — each round — drain every response
+/// the server already delivered and refill the window with one batched
+/// write. Per-request latency is still send→response, matched by id.
+fn drive_pipelined(
+    client: &mut Client,
+    thread: usize,
+    requests: usize,
+    depth: usize,
+    mix: &[(Option<Language>, String)],
+) -> std::io::Result<ThreadReport> {
+    let mut report = ThreadReport::default();
+    let mut sent_at: HashMap<i64, Instant> = HashMap::new();
+    let mut next = 0usize;
+    let build = |next: &mut usize, sent_at: &mut HashMap<i64, Instant>| {
+        let (language, text) = &mix[(thread + *next) % mix.len()];
+        let id = RequestId::Int(*next as i64);
+        sent_at.insert(*next as i64, Instant::now());
+        *next += 1;
+        (
+            Request::Query {
+                language: *language,
+                text: text.clone(),
+                translations: false,
+                diagram: DiagramFormat::None,
+            },
+            Some(id),
+        )
+    };
+    let window: Vec<_> = (0..requests.min(depth))
+        .map(|_| build(&mut next, &mut sent_at))
+        .collect();
+    client.send_batch(&window)?;
+    let mut received = 0usize;
+    while received < requests {
+        // One blocking receive, then drain whatever else already landed.
+        let mut drained = 0usize;
+        loop {
+            let (id, response) = client.recv()?;
+            received += 1;
+            drained += 1;
+            let latency = match id {
+                Some(RequestId::Int(i)) => sent_at
+                    .remove(&i)
+                    .map(|at| at.elapsed())
+                    .ok_or_else(|| proto_err(format!("response for unknown id {i}")))?,
+                other => return Err(proto_err(format!("missing or foreign id: {other:?}"))),
+            };
+            report.record(&response, latency);
+            if received >= requests || !client.response_buffered() {
+                break;
+            }
+        }
+        // Refill the window in one write.
+        let refill: Vec<_> = (0..drained.min(requests - next))
+            .map(|_| build(&mut next, &mut sent_at))
+            .collect();
+        if !refill.is_empty() {
+            client.send_batch(&refill)?;
+        }
+    }
+    Ok(report)
+}
+
 /// Drives load at a server: `threads` connections in parallel, each
-/// firing `requests` queries round-robin from the mix, measuring
-/// per-request latency.
+/// firing `requests` queries from the mix (lock-step, or pipelined
+/// `pipeline` deep), optionally alongside `idle_conns` idle
+/// connections, measuring per-request latency.
 pub fn run_bench(config: &BenchConfig) -> std::io::Result<BenchReport> {
+    // The idle flood connects (and proves liveness with one ping) up
+    // front, then just sits there for the whole run.
+    let mut idle = Vec::with_capacity(config.idle_conns);
+    for _ in 0..config.idle_conns {
+        let mut client = Client::connect(&config.addr)?;
+        client.ping()?;
+        idle.push(client);
+    }
     let start = Instant::now();
     let threads: Vec<_> = (0..config.threads.max(1))
         .map(|t| {
             let addr = config.addr.clone();
             let mix = config.mix.clone();
             let requests = config.requests;
+            let depth = config.pipeline.max(1);
             std::thread::Builder::new()
                 .name(format!("rd-bench-{t}"))
                 .spawn(move || -> std::io::Result<ThreadReport> {
                     let mut client = Client::connect(&addr)?;
-                    let mut report = ThreadReport::default();
-                    for i in 0..requests {
-                        // Offset by thread id so threads collide on the
-                        // same queries at different times.
-                        let (language, text) = &mix[(t + i) % mix.len()];
-                        let sent = Instant::now();
-                        let response = client.query(*language, text)?;
-                        report.latencies.push(sent.elapsed());
-                        match response {
-                            Response::Query(q) => {
-                                report.completed += 1;
-                                report.cache_hits += q.cache_hit as u64;
-                                report.eval_cache_hits += q.eval_cache_hit as u64;
-                            }
-                            _ => report.errors += 1,
-                        }
+                    if depth > 1 {
+                        drive_pipelined(&mut client, t, requests, depth, &mix)
+                    } else {
+                        drive_lockstep(&mut client, t, requests, &mix)
                     }
-                    Ok(report)
                 })
                 .expect("spawn bench thread")
         })
@@ -257,6 +417,11 @@ pub fn run_bench(config: &BenchConfig) -> std::io::Result<BenchReport> {
         latencies.extend(report.latencies);
     }
     let elapsed = start.elapsed();
+    // The idle flood must have survived the whole run.
+    for client in idle.iter_mut() {
+        client.ping()?;
+    }
+    drop(idle);
     latencies.sort_unstable();
     Ok(BenchReport {
         completed,
@@ -266,13 +431,4 @@ pub fn run_bench(config: &BenchConfig) -> std::io::Result<BenchReport> {
         eval_cache_hits,
         latencies,
     })
-}
-
-#[derive(Default)]
-struct ThreadReport {
-    completed: u64,
-    errors: u64,
-    cache_hits: u64,
-    eval_cache_hits: u64,
-    latencies: Vec<Duration>,
 }

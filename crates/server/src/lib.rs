@@ -8,10 +8,11 @@
 //!
 //! ```text
 //!                 ┌──────────────────── rd-server ───────────────────┐
-//! client ── TCP ─▶│ accept loop ─▶ worker pool ─▶ per-conn Session   │
-//! client ── TCP ─▶│                  │               │               │
-//!    ...          │                  ▼               ▼               │
-//! client ── TCP ─▶│        ┌─ EngineShared (Arc) ────────────┐       │
+//! client ── TCP ─▶│ reactor: poll(2) event loop, nonblocking sockets │
+//! client ── TCP ─▶│   read_buf → lines → pending ─▶ compute pool     │
+//!    ...          │   write_buf ◀─ frames ◀─ completions + waker     │
+//! client ── TCP ─▶│                  │                               │
+//!  (thousands)    │        ┌─ EngineShared (Arc) ────────────┐       │
 //!                 │        │ DbEpoch (generation-stamped db) │       │
 //!                 │        │ sharded parse cache             │       │
 //!                 │        │ sharded eval/result cache       │       │
@@ -22,18 +23,31 @@
 //! * **Protocol** ([`protocol`]): JSON lines over TCP — one request
 //!   object per line in, one response object per line out. Query
 //!   requests in any of the four languages (or auto-detected), plus
-//!   `load` / `stats` / `ping` / `shutdown` control messages.
-//! * **Server** ([`server`]): `std::net` + a fixed worker-thread pool
-//!   ([`pool`]) — the build is offline, so no async runtime; each worker
-//!   owns one connection at a time and all workers share one
-//!   [`EngineShared`](rd_engine::EngineShared). Repeated identical
+//!   `load` / `stats` / `ping` / `shutdown` control messages. Requests
+//!   may carry an `"id"` for pipelining (many in flight per
+//!   connection), and large results stream as `rows-chunk` /
+//!   `rows-end` frames above a configurable row threshold.
+//! * **Reactor** ([`reactor`], [`server`], [`conn`]): a readiness-based
+//!   event loop — the build is offline, so no async runtime; `poll(2)`
+//!   is reached through a thin `extern "C"` binding and everything else
+//!   is nonblocking `std::net`. One loop thread multiplexes every
+//!   connection's state machine ([`conn::Conn`]); the fixed thread pool
+//!   ([`pool`]) is purely a compute pool that evaluates requests and
+//!   posts framed responses back through a wakeup pipe. Idle
+//!   connections cost one `pollfd`, not a worker, so pool width bounds
+//!   concurrent *evaluations*, not clients. All sessions share one
+//!   [`EngineShared`](rd_engine::EngineShared): repeated identical
 //!   queries across *different* connections are served from the shared
 //!   result cache without re-evaluating; reloading the database bumps
 //!   the epoch generation, which atomically invalidates it.
-//! * **Client** ([`client`]): a small blocking client used by the `rd
-//!   bench-client` load driver, the integration tests, and anyone who
-//!   wants to script the service. [`client::run_bench`] spawns N client
-//!   threads firing a query mix and reports throughput and latency
+//! * **Client** ([`client`]): a small blocking client — lock-step or
+//!   pipelined ([`Client::send`](client::Client::send) /
+//!   [`Client::recv`](client::Client::recv) with ids), reassembling
+//!   streamed results transparently — used by the `rd bench-client`
+//!   load driver, the integration tests, and anyone who wants to
+//!   script the service. [`client::run_bench`] spawns N client threads
+//!   firing a query mix (optionally pipelined, optionally alongside an
+//!   idle-connection flood) and reports throughput and latency
 //!   percentiles.
 //!
 //! The `rd` binary lives here too: `rd serve` starts the service, `rd
@@ -41,11 +55,15 @@
 //! unchanged.
 
 pub mod client;
+pub mod conn;
 pub mod pool;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
 pub use client::{run_bench, BenchConfig, BenchReport, Client};
 pub use pool::ThreadPool;
-pub use protocol::{LoadSource, QueryResult, Request, Response, StatsResult};
+pub use protocol::{
+    LoadSource, QueryResult, Reassembler, Request, RequestId, Response, StatsResult,
+};
 pub use server::{Server, ServerConfig};

@@ -1,10 +1,15 @@
-//! A fixed-size worker-thread pool.
+//! A fixed-size worker-thread pool — the reactor's *compute* pool.
 //!
 //! The build environment is offline — no tokio, no crossbeam — so this
 //! is the classic `std` construction: one `mpsc` channel of boxed jobs
 //! behind a mutex, N named worker threads pulling from it. Dropping the
 //! pool closes the channel and joins every worker, so shutdown is
 //! deterministic: queued jobs finish, then the threads exit.
+//!
+//! Since the reactor refactor, workers never own a connection: each job
+//! is one request (decode → evaluate → encode frames), and its
+//! completion is posted back to the event loop through a wakeup pipe.
+//! Pool width therefore bounds concurrent evaluations, not clients.
 
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};

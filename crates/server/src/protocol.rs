@@ -1,4 +1,5 @@
-//! The wire protocol: JSON lines over TCP.
+//! The wire protocol: JSON lines over TCP, with pipelining and chunked
+//! result streaming.
 //!
 //! Every message is one JSON object on one line. Requests carry an
 //! `"op"` discriminator; responses carry `"ok"` (and `"kind"` on
@@ -19,10 +20,44 @@
 //!
 //! → {"op":"stats"}                                           # aggregated counters
 //! → {"op":"ping"}          ← {"ok":true,"kind":"pong"}
-//! → {"op":"shutdown"}      ← {"ok":true,"kind":"bye"}        # stops the server
+//! → {"op":"shutdown"}      ← {"ok":true,"kind":"bye"}        # drains, then stops
 //!
 //! ← {"ok":false,"error":"unknown table 'Boats'"}             # any failure
 //! ```
+//!
+//! **Pipelining.** A request may carry an `"id"` (string or integer);
+//! every frame answering it echoes that id verbatim. Clients may keep
+//! any number of requests in flight on one connection; the server
+//! answers each request's frames in a contiguous run, but runs for
+//! different requests may interleave with other traffic, so a
+//! pipelining client must match responses by id, not by position:
+//!
+//! ```text
+//! → {"op":"ping","id":1}
+//! → {"op":"query","text":"pi[color](Boat)","id":"q-2"}
+//! ← {"ok":true,"kind":"pong","id":1}
+//! ← {"ok":true,"kind":"query",...,"id":"q-2"}
+//! ```
+//!
+//! **Streaming.** A query result larger than the server's
+//! `--stream-threshold` (in rows) is not sent as one `"kind":"query"`
+//! line; it arrives as a sequence of `"kind":"rows-chunk"` frames
+//! closed by one `"kind":"rows-end"` frame. The first chunk (`"seq":0`)
+//! carries the result header (`language` / `canonical` / `attrs`); the
+//! end frame carries everything else (`row_count`, cache flags,
+//! translations, diagram, notes). [`Reassembler`] folds the frames back
+//! into an ordinary query response:
+//!
+//! ```text
+//! ← {"ok":true,"kind":"rows-chunk","seq":0,"language":"ra",
+//!    "canonical":"pi[x](R)","attrs":["x"],"rows":[[1],[2]]}
+//! ← {"ok":true,"kind":"rows-chunk","seq":1,"rows":[[3],[4]]}
+//! ← {"ok":true,"kind":"rows-end","seq":2,"row_count":4,
+//!    "cache_hit":false,"eval_cache_hit":false,"notes":[]}
+//! ```
+//!
+//! Clients that send neither an `"id"` nor queries above the stream
+//! threshold see exactly the PR-2/PR-3 wire format, byte for byte.
 //!
 //! Serialization is hand-rolled onto the vendored `serde` JSON value
 //! model rather than derived: the wire format is a public contract
@@ -74,11 +109,57 @@ pub enum LoadSource {
     },
 }
 
+/// A client-chosen request id for pipelining: echoed verbatim in every
+/// frame answering that request. Strings and integers are accepted;
+/// anything else is rejected as malformed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RequestId {
+    /// A numeric id, e.g. `"id":17`.
+    Int(i64),
+    /// A string id, e.g. `"id":"q-17"`.
+    Str(String),
+}
+
+impl RequestId {
+    fn to_json(&self) -> Json {
+        match self {
+            RequestId::Int(i) => Json::Int(*i),
+            RequestId::Str(s) => Json::String(s.clone()),
+        }
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestId::Int(i) => write!(f, "{i}"),
+            RequestId::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Extracts the optional `"id"` field of a frame. Absent/null is `None`;
+/// any non-string, non-integer id is an error.
+fn request_id_from(v: &Json) -> Result<Option<RequestId>, String> {
+    match v.get("id") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Int(i)) => Ok(Some(RequestId::Int(*i))),
+        Some(Json::String(s)) => Ok(Some(RequestId::Str(s.clone()))),
+        Some(other) => Err(format!(
+            "field 'id' must be a string or integer, found {other}"
+        )),
+    }
+}
+
 /// A server→client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// A successful query.
     Query(QueryResult),
+    /// One chunk of a streamed query result (see [`Reassembler`]).
+    RowsChunk(RowsChunk),
+    /// The closing frame of a streamed query result.
+    RowsEnd(RowsEnd),
     /// A successful load.
     Load(LoadResult),
     /// A statistics snapshot.
@@ -89,6 +170,48 @@ pub enum Response {
     Bye,
     /// Any failure (the connection stays usable).
     Error(String),
+}
+
+/// The result header carried by the first (`seq == 0`) chunk of a
+/// streamed query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkHead {
+    /// The language the query was parsed as.
+    pub language: Language,
+    /// The canonical rendering in the source language.
+    pub canonical: String,
+    /// Output attribute names.
+    pub attrs: Vec<String>,
+}
+
+/// One `"kind":"rows-chunk"` frame of a streamed query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowsChunk {
+    /// Position in the stream (0-based, contiguous).
+    pub seq: u64,
+    /// The result header; present exactly on `seq == 0`.
+    pub head: Option<ChunkHead>,
+    /// This chunk's tuples.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// The `"kind":"rows-end"` frame closing a streamed query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowsEnd {
+    /// Position in the stream (one past the last chunk's `seq`).
+    pub seq: u64,
+    /// Total rows across all chunks (a checksum for the client).
+    pub row_count: u64,
+    /// `true` if the artifact came from the shared parse cache.
+    pub cache_hit: bool,
+    /// `true` if the result came from the shared eval cache.
+    pub eval_cache_hit: bool,
+    /// Cross-language translations, if requested.
+    pub translations: Option<Vec<(String, String)>>,
+    /// The rendered diagram, if requested.
+    pub diagram: Option<String>,
+    /// Why a requested optional artifact is missing.
+    pub notes: Vec<String>,
 }
 
 /// The payload of a successful query response.
@@ -140,7 +263,9 @@ pub struct StatsResult {
     pub requests: u64,
     /// Requests answered with an error.
     pub errors: u64,
-    /// Worker threads in the pool.
+    /// Connections closed by idle-timeout eviction.
+    pub evicted: u64,
+    /// Worker threads in the compute pool.
     pub workers: u64,
     /// Session counters summed across every worker session (live and
     /// closed).
@@ -257,6 +382,9 @@ fn session_stats_to_json(st: &SessionStats) -> Json {
         ("eval_evictions", u(st.eval_evictions)),
         ("eval_skipped", u(st.eval_skipped)),
         ("rows_returned", u(st.rows_returned)),
+        // Appended after the PR-2 fields so the object's byte prefix is
+        // stable for older readers.
+        ("rows_streamed", u(st.rows_streamed)),
     ])
 }
 
@@ -272,6 +400,7 @@ fn session_stats_from_json(v: &Json) -> Result<SessionStats, String> {
         eval_evictions: get_u64(v, "eval_evictions")?,
         eval_skipped: opt_u64(v, "eval_skipped")?,
         rows_returned: get_u64(v, "rows_returned")?,
+        rows_streamed: opt_u64(v, "rows_streamed")?,
     })
 }
 
@@ -295,6 +424,26 @@ fn cache_stats_from_json(v: &Json) -> Result<CacheStats, String> {
         capacity: get_u64(v, "capacity")? as usize,
         bytes: opt_u64(v, "cached_bytes")?,
     })
+}
+
+/// The shared tail of query-shaped frames: optional translations and
+/// diagram, then the (always-present) notes array.
+fn push_optional_meta(
+    pairs: &mut Vec<(&str, Json)>,
+    translations: &Option<Vec<(String, String)>>,
+    diagram: &Option<String>,
+    notes: &[String],
+) {
+    if let Some(t) = translations {
+        pairs.push((
+            "translations",
+            Json::Object(t.iter().map(|(k, v)| (k.clone(), s(v))).collect()),
+        ));
+    }
+    if let Some(d) = diagram {
+        pairs.push(("diagram", s(d)));
+    }
+    pairs.push(("notes", Json::Array(notes.iter().map(s).collect())));
 }
 
 impl serde::Serialize for Request {
@@ -407,16 +556,41 @@ impl serde::Serialize for Response {
                     ("cache_hit", Json::Bool(q.cache_hit)),
                     ("eval_cache_hit", Json::Bool(q.eval_cache_hit)),
                 ];
-                if let Some(t) = &q.translations {
-                    pairs.push((
-                        "translations",
-                        Json::Object(t.iter().map(|(k, v)| (k.clone(), s(v))).collect()),
-                    ));
+                push_optional_meta(&mut pairs, &q.translations, &q.diagram, &q.notes);
+                obj(pairs)
+            }
+            Response::RowsChunk(c) => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("kind", s("rows-chunk")),
+                    ("seq", u(c.seq)),
+                ];
+                if let Some(head) = &c.head {
+                    pairs.push(("language", s(head.language.name())));
+                    pairs.push(("canonical", s(&head.canonical)));
+                    pairs.push(("attrs", Json::Array(head.attrs.iter().map(s).collect())));
                 }
-                if let Some(d) = &q.diagram {
-                    pairs.push(("diagram", s(d)));
-                }
-                pairs.push(("notes", Json::Array(q.notes.iter().map(s).collect())));
+                pairs.push((
+                    "rows",
+                    Json::Array(
+                        c.rows
+                            .iter()
+                            .map(|row| Json::Array(row.iter().map(value_to_json).collect()))
+                            .collect(),
+                    ),
+                ));
+                obj(pairs)
+            }
+            Response::RowsEnd(e) => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("kind", s("rows-end")),
+                    ("seq", u(e.seq)),
+                    ("row_count", u(e.row_count)),
+                    ("cache_hit", Json::Bool(e.cache_hit)),
+                    ("eval_cache_hit", Json::Bool(e.eval_cache_hit)),
+                ];
+                push_optional_meta(&mut pairs, &e.translations, &e.diagram, &e.notes);
                 obj(pairs)
             }
             Response::Load(l) => obj(vec![
@@ -443,11 +617,74 @@ impl serde::Serialize for Response {
                 ("fingerprint", s(&st.fingerprint)),
                 ("tables", u(st.tables)),
                 ("tuples", u(st.tuples)),
+                // Appended after the PR-2 fields so the object's byte
+                // prefix is stable for older readers.
+                ("evicted", u(st.evicted)),
             ]),
             Response::Pong => obj(vec![("ok", Json::Bool(true)), ("kind", s("pong"))]),
             Response::Bye => obj(vec![("ok", Json::Bool(true)), ("kind", s("bye"))]),
             Response::Error(message) => obj(vec![("ok", Json::Bool(false)), ("error", s(message))]),
         }
+    }
+}
+
+fn parse_attrs(v: &Json) -> Result<Vec<String>, String> {
+    v.get("attrs")
+        .and_then(Json::as_array)
+        .ok_or("missing 'attrs' array")?
+        .iter()
+        .map(|a| {
+            a.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "non-string attr".to_string())
+        })
+        .collect()
+}
+
+fn parse_rows(v: &Json) -> Result<Vec<Vec<Value>>, String> {
+    v.get("rows")
+        .and_then(Json::as_array)
+        .ok_or("missing 'rows' array")?
+        .iter()
+        .map(|row| {
+            row.as_array()
+                .ok_or_else(|| "non-array row".to_string())?
+                .iter()
+                .map(value_from_json)
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect()
+}
+
+fn parse_translations(v: &Json) -> Result<Option<Vec<(String, String)>>, String> {
+    match v.get("translations") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Object(pairs)) => Ok(Some(
+            pairs
+                .iter()
+                .map(|(k, val)| {
+                    val.as_str()
+                        .map(|t| (k.clone(), t.to_string()))
+                        .ok_or_else(|| format!("non-string translation '{k}'"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Some(other) => Err(format!("'translations' must be an object, found {other}")),
+    }
+}
+
+fn parse_notes(v: &Json) -> Result<Vec<String>, String> {
+    match v.get("notes") {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "non-string note".to_string())
+            })
+            .collect(),
+        Some(other) => Err(format!("'notes' must be an array, found {other}")),
     }
 }
 
@@ -462,63 +699,44 @@ impl serde::Deserialize for Response {
         }
         let kind = get_str(v, "kind")?;
         match kind.as_str() {
-            "query" => {
-                let attrs = v
-                    .get("attrs")
-                    .and_then(Json::as_array)
-                    .ok_or("missing 'attrs' array")?
-                    .iter()
-                    .map(|a| a.as_str().map(str::to_string).ok_or("non-string attr"))
-                    .collect::<Result<Vec<_>, _>>()?;
-                let rows = v
-                    .get("rows")
-                    .and_then(Json::as_array)
-                    .ok_or("missing 'rows' array")?
-                    .iter()
-                    .map(|row| {
-                        row.as_array()
-                            .ok_or_else(|| "non-array row".to_string())?
-                            .iter()
-                            .map(value_from_json)
-                            .collect::<Result<Vec<_>, _>>()
+            "query" => Ok(Response::Query(QueryResult {
+                language: get_str(v, "language")?.parse::<Language>()?,
+                canonical: get_str(v, "canonical")?,
+                attrs: parse_attrs(v)?,
+                rows: parse_rows(v)?,
+                cache_hit: opt_bool(v, "cache_hit")?,
+                eval_cache_hit: opt_bool(v, "eval_cache_hit")?,
+                translations: parse_translations(v)?,
+                diagram: v.get("diagram").and_then(Json::as_str).map(str::to_string),
+                notes: parse_notes(v)?,
+            })),
+            "rows-chunk" => {
+                let seq = get_u64(v, "seq")?;
+                // The header fields travel exactly on the first chunk.
+                let head = if v.get("language").is_some() {
+                    Some(ChunkHead {
+                        language: get_str(v, "language")?.parse::<Language>()?,
+                        canonical: get_str(v, "canonical")?,
+                        attrs: parse_attrs(v)?,
                     })
-                    .collect::<Result<Vec<_>, _>>()?;
-                let translations = match v.get("translations") {
-                    None | Some(Json::Null) => None,
-                    Some(Json::Object(pairs)) => Some(
-                        pairs
-                            .iter()
-                            .map(|(k, val)| {
-                                val.as_str()
-                                    .map(|t| (k.clone(), t.to_string()))
-                                    .ok_or_else(|| format!("non-string translation '{k}'"))
-                            })
-                            .collect::<Result<Vec<_>, _>>()?,
-                    ),
-                    Some(other) => {
-                        return Err(format!("'translations' must be an object, found {other}"))
-                    }
+                } else {
+                    None
                 };
-                let notes = match v.get("notes") {
-                    None | Some(Json::Null) => Vec::new(),
-                    Some(Json::Array(items)) => items
-                        .iter()
-                        .map(|n| n.as_str().map(str::to_string).ok_or("non-string note"))
-                        .collect::<Result<Vec<_>, _>>()?,
-                    Some(other) => return Err(format!("'notes' must be an array, found {other}")),
-                };
-                Ok(Response::Query(QueryResult {
-                    language: get_str(v, "language")?.parse::<Language>()?,
-                    canonical: get_str(v, "canonical")?,
-                    attrs,
-                    rows,
-                    cache_hit: opt_bool(v, "cache_hit")?,
-                    eval_cache_hit: opt_bool(v, "eval_cache_hit")?,
-                    translations,
-                    diagram: v.get("diagram").and_then(Json::as_str).map(str::to_string),
-                    notes,
+                Ok(Response::RowsChunk(RowsChunk {
+                    seq,
+                    head,
+                    rows: parse_rows(v)?,
                 }))
             }
+            "rows-end" => Ok(Response::RowsEnd(RowsEnd {
+                seq: get_u64(v, "seq")?,
+                row_count: get_u64(v, "row_count")?,
+                cache_hit: opt_bool(v, "cache_hit")?,
+                eval_cache_hit: opt_bool(v, "eval_cache_hit")?,
+                translations: parse_translations(v)?,
+                diagram: v.get("diagram").and_then(Json::as_str).map(str::to_string),
+                notes: parse_notes(v)?,
+            })),
             "load" => Ok(Response::Load(LoadResult {
                 tables: get_u64(v, "tables")? as usize,
                 tuples: get_u64(v, "tuples")? as usize,
@@ -530,6 +748,7 @@ impl serde::Deserialize for Response {
                 active_connections: get_u64(v, "active_connections")?,
                 requests: get_u64(v, "requests")?,
                 errors: get_u64(v, "errors")?,
+                evicted: opt_u64(v, "evicted")?,
                 workers: get_u64(v, "workers")?,
                 sessions: session_stats_from_json(
                     v.get("sessions").ok_or("missing 'sessions' object")?,
@@ -561,6 +780,219 @@ pub fn encode<T: serde::Serialize>(msg: &T) -> String {
 /// Decodes one wire line into a message.
 pub fn decode<T: serde::Deserialize>(line: &str) -> Result<T, String> {
     serde_json::from_str(line).map_err(|e| format!("malformed message: {e}"))
+}
+
+/// Encodes one frame: the message's wire form with the request id (if
+/// any) appended as a trailing `"id"` member. With no id the output is
+/// byte-identical to [`encode`].
+pub fn encode_frame<T: serde::Serialize>(msg: &T, id: Option<&RequestId>) -> String {
+    let mut json = msg.to_json();
+    if let (Some(id), Json::Object(pairs)) = (id, &mut json) {
+        pairs.push(("id".to_string(), id.to_json()));
+    }
+    json.to_compact()
+}
+
+/// Decodes one response frame into its id (if any) and the message.
+pub fn decode_frame(line: &str) -> Result<(Option<RequestId>, Response), String> {
+    let v = serde::json::parse(line).map_err(|e| format!("malformed message: {e}"))?;
+    let id = request_id_from(&v)?;
+    let resp = <Response as serde::Deserialize>::from_json(&v)
+        .map_err(|e| format!("malformed message: {e}"))?;
+    Ok((id, resp))
+}
+
+/// Decodes one request line into its id (if any) and the request. On
+/// failure the error carries the id when it could still be extracted,
+/// so the server can echo it in the error frame; the error strings for
+/// id-less requests match PR 2's [`decode`] byte for byte.
+#[allow(clippy::type_complexity)]
+pub fn decode_request_line(
+    line: &str,
+) -> Result<(Option<RequestId>, Request), (Option<RequestId>, String)> {
+    let v = serde::json::parse(line).map_err(|e| (None, format!("malformed message: {e}")))?;
+    let id = request_id_from(&v).map_err(|e| (None, e))?;
+    match <Request as serde::Deserialize>::from_json(&v) {
+        Ok(req) => Ok((id, req)),
+        Err(e) => Err((id, format!("malformed message: {e}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chunked result streaming
+// ---------------------------------------------------------------------
+
+/// Builds the streamed-frame sequence for a query result: `meta`
+/// supplies everything except the rows (its own `rows` field is
+/// ignored), `chunks` supplies the tuples in wire order. Returns the
+/// `rows-chunk` frames (the first carrying the header) followed by the
+/// closing `rows-end` frame.
+pub fn stream_frames(
+    meta: &QueryResult,
+    chunks: impl Iterator<Item = Vec<Vec<Value>>>,
+) -> Vec<Response> {
+    let mut frames = Vec::new();
+    let mut row_count = 0u64;
+    for rows in chunks {
+        row_count += rows.len() as u64;
+        let head = if frames.is_empty() {
+            Some(ChunkHead {
+                language: meta.language,
+                canonical: meta.canonical.clone(),
+                attrs: meta.attrs.clone(),
+            })
+        } else {
+            None
+        };
+        frames.push(Response::RowsChunk(RowsChunk {
+            seq: frames.len() as u64,
+            head,
+            rows,
+        }));
+    }
+    if frames.is_empty() {
+        // Degenerate: an empty result still needs its header frame.
+        frames.push(Response::RowsChunk(RowsChunk {
+            seq: 0,
+            head: Some(ChunkHead {
+                language: meta.language,
+                canonical: meta.canonical.clone(),
+                attrs: meta.attrs.clone(),
+            }),
+            rows: Vec::new(),
+        }));
+    }
+    frames.push(Response::RowsEnd(RowsEnd {
+        seq: frames.len() as u64,
+        row_count,
+        cache_hit: meta.cache_hit,
+        eval_cache_hit: meta.eval_cache_hit,
+        translations: meta.translations.clone(),
+        diagram: meta.diagram.clone(),
+        notes: meta.notes.clone(),
+    }));
+    frames
+}
+
+/// Splits a complete query result into its streamed-frame form with at
+/// most `chunk_rows` tuples per chunk (the inverse of [`Reassembler`]).
+pub fn split_query(q: &QueryResult, chunk_rows: usize) -> Vec<Response> {
+    let chunk_rows = chunk_rows.max(1);
+    stream_frames(q, q.rows.chunks(chunk_rows).map(<[Vec<Value>]>::to_vec))
+}
+
+/// Folds streamed `rows-chunk` / `rows-end` frames back into complete
+/// [`Response::Query`] messages, tracking any number of interleaved
+/// streams keyed by request id.
+///
+/// Feed every received frame through [`Reassembler::accept`]: non-chunk
+/// frames pass straight through, chunk frames accumulate and return
+/// `None` until their `rows-end` arrives.
+#[derive(Default)]
+pub struct Reassembler {
+    partials: Vec<(Option<RequestId>, Partial)>,
+}
+
+struct Partial {
+    head: ChunkHead,
+    rows: Vec<Vec<Value>>,
+    next_seq: u64,
+}
+
+impl Reassembler {
+    /// A reassembler with no streams in progress.
+    pub fn new() -> Reassembler {
+        Reassembler::default()
+    }
+
+    /// Number of streams currently being assembled.
+    pub fn in_progress(&self) -> usize {
+        self.partials.len()
+    }
+
+    fn position(&self, id: &Option<RequestId>) -> Option<usize> {
+        self.partials.iter().position(|(k, _)| k == id)
+    }
+
+    /// Accepts one frame. Returns `Ok(None)` while a stream is mid-
+    /// flight, `Ok(Some(..))` for complete responses (pass-through or
+    /// finished stream), and `Err` on protocol violations (out-of-order
+    /// or duplicate chunks, row-count mismatch, a headerless stream).
+    #[allow(clippy::type_complexity)]
+    pub fn accept(
+        &mut self,
+        id: Option<RequestId>,
+        response: Response,
+    ) -> Result<Option<(Option<RequestId>, Response)>, String> {
+        match response {
+            Response::RowsChunk(chunk) => {
+                match (self.position(&id), chunk.seq, chunk.head) {
+                    (None, 0, Some(head)) => self.partials.push((
+                        id,
+                        Partial {
+                            head,
+                            rows: chunk.rows,
+                            next_seq: 1,
+                        },
+                    )),
+                    (None, seq, _) => {
+                        return Err(format!(
+                            "rows-chunk seq {seq} for a stream that never started"
+                        ))
+                    }
+                    (Some(_), 0, _) => {
+                        return Err("duplicate rows-chunk seq 0 for an open stream".into())
+                    }
+                    (Some(at), seq, _) => {
+                        let partial = &mut self.partials[at].1;
+                        if seq != partial.next_seq {
+                            return Err(format!(
+                                "out-of-order rows-chunk: expected seq {}, got {seq}",
+                                partial.next_seq
+                            ));
+                        }
+                        partial.next_seq += 1;
+                        partial.rows.extend(chunk.rows);
+                    }
+                }
+                Ok(None)
+            }
+            Response::RowsEnd(end) => {
+                let at = self
+                    .position(&id)
+                    .ok_or("rows-end for a stream that never started")?;
+                let (id, partial) = self.partials.swap_remove(at);
+                if end.seq != partial.next_seq {
+                    return Err(format!(
+                        "out-of-order rows-end: expected seq {}, got {}",
+                        partial.next_seq, end.seq
+                    ));
+                }
+                if end.row_count != partial.rows.len() as u64 {
+                    return Err(format!(
+                        "rows-end claims {} rows but {} arrived",
+                        end.row_count,
+                        partial.rows.len()
+                    ));
+                }
+                Ok(Some((
+                    id,
+                    Response::Query(QueryResult {
+                        language: partial.head.language,
+                        canonical: partial.head.canonical,
+                        attrs: partial.head.attrs,
+                        rows: partial.rows,
+                        cache_hit: end.cache_hit,
+                        eval_cache_hit: end.eval_cache_hit,
+                        translations: end.translations,
+                        diagram: end.diagram,
+                        notes: end.notes,
+                    }),
+                )))
+            }
+            other => Ok(Some((id, other))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -664,5 +1096,196 @@ mod tests {
             decode::<Response>(r#"{"kind":"pong"}"#).is_err(),
             "missing ok"
         );
+    }
+
+    #[test]
+    fn request_ids_are_extracted_and_echoed() {
+        let (id, req) = decode_request_line(r#"{"op":"ping","id":7}"#).unwrap();
+        assert_eq!(id, Some(RequestId::Int(7)));
+        assert_eq!(req, Request::Ping);
+        let (id, _) = decode_request_line(r#"{"op":"ping","id":"q-7"}"#).unwrap();
+        assert_eq!(id, Some(RequestId::Str("q-7".into())));
+        let (id, _) = decode_request_line(r#"{"op":"ping"}"#).unwrap();
+        assert_eq!(id, None);
+        // Echo: the id lands as a trailing member; without one the
+        // frame is byte-identical to the plain encoding.
+        let pong = Response::Pong;
+        assert_eq!(
+            encode_frame(&pong, Some(&RequestId::Int(7))),
+            r#"{"ok":true,"kind":"pong","id":7}"#
+        );
+        assert_eq!(encode_frame(&pong, None), encode(&pong));
+        let (id, resp) = decode_frame(r#"{"ok":true,"kind":"pong","id":"x"}"#).unwrap();
+        assert_eq!(id, Some(RequestId::Str("x".into())));
+        assert_eq!(resp, Response::Pong);
+    }
+
+    #[test]
+    fn malformed_ids_are_rejected() {
+        for line in [
+            r#"{"op":"ping","id":{"a":1}}"#,
+            r#"{"op":"ping","id":[1]}"#,
+            r#"{"op":"ping","id":1.5}"#,
+            r#"{"op":"ping","id":true}"#,
+        ] {
+            let (id, err) = decode_request_line(line).unwrap_err();
+            assert_eq!(id, None, "a malformed id cannot be echoed");
+            assert!(err.contains("'id'"), "{err}");
+        }
+        // A good id on a bad request is still echoed in the error.
+        let (id, err) = decode_request_line(r#"{"op":"nope","id":3}"#).unwrap_err();
+        assert_eq!(id, Some(RequestId::Int(3)));
+        assert!(err.starts_with("malformed message:"), "{err}");
+    }
+
+    fn big_result(rows: usize) -> QueryResult {
+        QueryResult {
+            language: Language::Ra,
+            canonical: "pi[x](R)".into(),
+            attrs: vec!["x".into()],
+            rows: (0..rows).map(|i| vec![Value::int(i as i64)]).collect(),
+            cache_hit: false,
+            eval_cache_hit: true,
+            translations: None,
+            diagram: None,
+            notes: vec!["n".into()],
+        }
+    }
+
+    #[test]
+    fn split_and_reassemble_roundtrip() {
+        let q = big_result(10);
+        for chunk_rows in [1, 3, 10, 100] {
+            let frames = split_query(&q, chunk_rows);
+            assert!(
+                matches!(frames.last(), Some(Response::RowsEnd(_))),
+                "stream ends with rows-end"
+            );
+            let mut reasm = Reassembler::new();
+            let mut complete = None;
+            for frame in frames {
+                // Through the wire: every frame must survive encoding.
+                let line = encode_frame(&frame, Some(&RequestId::Int(1)));
+                let (id, frame) = decode_frame(&line).unwrap();
+                assert_eq!(id, Some(RequestId::Int(1)));
+                if let Some(done) = reasm.accept(id, frame).unwrap() {
+                    assert!(complete.is_none(), "exactly one completion");
+                    complete = Some(done);
+                }
+            }
+            let (id, resp) = complete.expect("stream completed");
+            assert_eq!(id, Some(RequestId::Int(1)));
+            assert_eq!(resp, Response::Query(q.clone()));
+            assert_eq!(reasm.in_progress(), 0);
+        }
+    }
+
+    #[test]
+    fn interleaved_streams_reassemble_independently() {
+        let a = big_result(5);
+        let mut b = big_result(4);
+        b.canonical = "pi[y](S)".into();
+        let a_frames = split_query(&a, 2);
+        let b_frames = split_query(&b, 2);
+        let a_id = Some(RequestId::Str("a".into()));
+        let b_id = Some(RequestId::Int(2));
+        // Interleave the two streams frame by frame, with an unrelated
+        // pong passing through the middle.
+        let mut reasm = Reassembler::new();
+        let mut done = Vec::new();
+        let mut feed = |reasm: &mut Reassembler, id: &Option<RequestId>, f: &Response| {
+            if let Some(c) = reasm.accept(id.clone(), f.clone()).unwrap() {
+                done.push(c);
+            }
+        };
+        for i in 0..a_frames.len().max(b_frames.len()) {
+            if let Some(f) = a_frames.get(i) {
+                feed(&mut reasm, &a_id, f);
+            }
+            if i == 1 {
+                feed(&mut reasm, &None, &Response::Pong);
+            }
+            if let Some(f) = b_frames.get(i) {
+                feed(&mut reasm, &b_id, f);
+            }
+        }
+        assert_eq!(done.len(), 3);
+        assert_eq!(done[0], (None, Response::Pong), "pass-through mid-stream");
+        assert!(done.contains(&(a_id, Response::Query(a))));
+        assert!(done.contains(&(b_id, Response::Query(b))));
+    }
+
+    #[test]
+    fn reassembler_rejects_protocol_violations() {
+        let q = big_result(6);
+        let frames = split_query(&q, 2);
+        // Chunk for a stream that never started.
+        let mut reasm = Reassembler::new();
+        assert!(reasm.accept(None, frames[1].clone()).is_err());
+        // Out-of-order chunk (seq skips).
+        let mut reasm = Reassembler::new();
+        reasm.accept(None, frames[0].clone()).unwrap();
+        assert!(reasm.accept(None, frames[2].clone()).is_err());
+        // rows-end with a wrong row count.
+        let mut reasm = Reassembler::new();
+        reasm.accept(None, frames[0].clone()).unwrap();
+        reasm.accept(None, frames[1].clone()).unwrap();
+        reasm.accept(None, frames[2].clone()).unwrap();
+        if let Response::RowsEnd(mut end) = frames[3].clone() {
+            end.row_count += 1;
+            assert!(reasm.accept(None, Response::RowsEnd(end)).is_err());
+        } else {
+            panic!("expected rows-end");
+        }
+        // rows-end without any chunks.
+        let mut reasm = Reassembler::new();
+        assert!(reasm.accept(None, frames[3].clone()).is_err());
+    }
+
+    #[test]
+    fn empty_streamed_result_still_has_a_header_frame() {
+        let q = QueryResult {
+            rows: Vec::new(),
+            ..big_result(0)
+        };
+        let frames = split_query(&q, 4);
+        assert_eq!(frames.len(), 2, "one header chunk + rows-end");
+        let mut reasm = Reassembler::new();
+        assert!(reasm.accept(None, frames[0].clone()).unwrap().is_none());
+        let (_, resp) = reasm.accept(None, frames[1].clone()).unwrap().unwrap();
+        assert_eq!(resp, Response::Query(q));
+    }
+
+    #[test]
+    fn chunk_frames_roundtrip_standalone() {
+        let chunk = Response::RowsChunk(RowsChunk {
+            seq: 0,
+            head: Some(ChunkHead {
+                language: Language::Sql,
+                canonical: "SELECT ...".into(),
+                attrs: vec!["a".into(), "b".into()],
+            }),
+            rows: vec![vec![Value::int(1), Value::str("x")]],
+        });
+        let back: Response = decode(&encode(&chunk)).unwrap();
+        assert_eq!(back, chunk);
+        let tail = Response::RowsChunk(RowsChunk {
+            seq: 3,
+            head: None,
+            rows: vec![],
+        });
+        let back: Response = decode(&encode(&tail)).unwrap();
+        assert_eq!(back, tail);
+        let end = Response::RowsEnd(RowsEnd {
+            seq: 4,
+            row_count: 9,
+            cache_hit: true,
+            eval_cache_hit: false,
+            translations: Some(vec![("trc".into(), "{...}".into())]),
+            diagram: Some("digraph {}".into()),
+            notes: vec![],
+        });
+        let back: Response = decode(&encode(&end)).unwrap();
+        assert_eq!(back, end);
     }
 }

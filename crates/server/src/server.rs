@@ -1,17 +1,49 @@
-//! The TCP query service: accept loop, connection handlers, shared
-//! state, and aggregated statistics.
+//! The TCP query service: a readiness-based reactor (one event-loop
+//! thread multiplexing every connection over `poll(2)`) in front of a
+//! fixed compute pool that evaluates requests off the loop.
+//!
+//! ```text
+//!            ┌────────────────── event loop ──────────────────┐
+//! accept ───▶│ nonblocking sockets ── poll(2) ── wakeup pipe  │
+//! conns  ───▶│ read_buf → lines → pending ─┐   ┌─▶ write_buf  │
+//!            └─────────────────────────────┼───┼──────────────┘
+//!                                          ▼   │ completions
+//!                              ┌─── compute pool (N workers) ──┐
+//!                              │ decode → Session::run → frames│
+//!                              └───────────────────────────────┘
+//! ```
+//!
+//! The loop never blocks on a socket and never evaluates a query;
+//! workers never touch a socket. Idle connections therefore cost one
+//! `pollfd` each — not a pinned worker — so the pool width bounds
+//! *concurrent evaluations*, not concurrent clients. Completed
+//! responses are posted back through a mutex-protected queue plus a
+//! self-pipe wake ([`crate::reactor::Waker`]).
 
+use crate::conn::{Conn, ReadOutcome, WorkerSession};
 use crate::pool::ThreadPool;
 use crate::protocol::{self, LoadResult, LoadSource, QueryResult, Request, Response, StatsResult};
+use crate::reactor::{self, PollFd, Waker, POLLIN, POLLOUT};
 use rd_core::Database;
 use rd_engine::{
     DiagramFormat, EngineShared, Language, QueryRequest, Session, SessionStats, SharedConfig,
 };
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::collections::HashMap;
+use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Default row threshold above which query results stream as chunks.
+pub const DEFAULT_STREAM_THRESHOLD: usize = 1024;
+
+/// Default cap on one request line's size.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Default deadline for draining in-flight connections at shutdown.
+pub const DEFAULT_DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// How the server is tuned. `Default` binds an ephemeral localhost port
 /// with 8 workers and both caches on.
@@ -20,9 +52,9 @@ pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port; read the
     /// real one back with [`Server::local_addr`]).
     pub addr: String,
-    /// Worker threads. Each owns one connection at a time, so this is
-    /// also the concurrent-connection ceiling; further connections queue
-    /// in the accept backlog until a worker frees up.
+    /// Compute-pool threads: the number of requests evaluating at once.
+    /// Connections are multiplexed by the event loop and are *not*
+    /// bounded by this.
     pub workers: usize,
     /// Shared parse-cache capacity (entries).
     pub parse_cache_capacity: usize,
@@ -33,6 +65,18 @@ pub struct ServerConfig {
     /// Size-aware admission threshold for the result cache, in bytes per
     /// entry (`0` caches everything regardless of size).
     pub eval_cache_max_entry_bytes: usize,
+    /// Query results with more rows than this are streamed as
+    /// `rows-chunk` frames of at most this many rows (`0` disables
+    /// streaming entirely).
+    pub stream_threshold: usize,
+    /// Request lines larger than this are answered with an error and
+    /// the connection is closed (it cannot resync mid-line).
+    pub max_line_bytes: usize,
+    /// Close connections with no traffic for this long (`None` = never).
+    pub idle_timeout: Option<Duration>,
+    /// How long shutdown waits for in-flight connections to drain
+    /// before force-closing them.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +88,10 @@ impl Default for ServerConfig {
             eval_cache_capacity: rd_engine::shared::DEFAULT_EVAL_CACHE_CAPACITY,
             eval_cache: true,
             eval_cache_max_entry_bytes: rd_engine::shared::DEFAULT_EVAL_CACHE_MAX_ENTRY_BYTES,
+            stream_threshold: DEFAULT_STREAM_THRESHOLD,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            idle_timeout: None,
+            drain_timeout: DEFAULT_DRAIN_TIMEOUT,
         }
     }
 }
@@ -56,10 +104,48 @@ struct ServerState {
     active: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    evicted: AtomicU64,
     workers: u64,
-    /// Session counters merged in from every worker after each request,
-    /// so a `stats` reply sees live sessions, not just closed ones.
+    /// Session counters merged in from every connection after each
+    /// request, so a `stats` reply sees live sessions, not just closed
+    /// ones.
     sessions: Mutex<SessionStats>,
+}
+
+/// One finished pool job: encoded frames ready to write, routed back to
+/// the connection by token.
+struct Completion {
+    token: u64,
+    bytes: Vec<u8>,
+    shutdown: bool,
+}
+
+/// The worker→loop channel: a queue plus the self-pipe that interrupts
+/// `poll`.
+struct Completions {
+    waker: Waker,
+    queue: Mutex<Vec<Completion>>,
+}
+
+impl Completions {
+    fn new() -> std::io::Result<Completions> {
+        Ok(Completions {
+            waker: Waker::new()?,
+            queue: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn push(&self, completion: Completion) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(completion);
+        self.waker.wake();
+    }
+
+    fn take(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.queue.lock().unwrap_or_else(|p| p.into_inner()))
+    }
 }
 
 /// A bound (but not yet serving) query service.
@@ -98,6 +184,7 @@ impl Server {
             active: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
             workers: config.workers.max(1) as u64,
             sessions: Mutex::new(SessionStats::default()),
         });
@@ -119,119 +206,432 @@ impl Server {
     }
 
     /// Serves until a client sends `{"op":"shutdown"}`. Blocking; run it
-    /// on its own thread if the caller needs to keep working. In-flight
-    /// connections are drained before this returns.
+    /// on its own thread if the caller needs to keep working. Shutdown
+    /// stops accepting, drains in-flight connections up to
+    /// [`ServerConfig::drain_timeout`], then returns.
     pub fn serve(self) -> std::io::Result<()> {
-        // Non-blocking accept so the loop can observe the shutdown flag;
-        // connection sockets are switched back to blocking (with a read
-        // timeout) in the handler.
-        self.listener.set_nonblocking(true)?;
-        let pool = ThreadPool::new(self.config.workers, "rd-worker");
-        loop {
-            if self.state.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let state = self.state.clone();
-                    state.connections.fetch_add(1, Ordering::Relaxed);
-                    state.active.fetch_add(1, Ordering::Relaxed);
-                    pool.execute(move || {
-                        // Contain per-connection panics: the worker, the
-                        // pool, and the active counter must all survive a
-                        // bug in one request.
-                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            let _ = handle_connection(stream, &state);
-                        }));
-                        state.active.fetch_sub(1, Ordering::Relaxed);
-                    });
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        pool.join(); // drain in-flight connections
-        Ok(())
+        Reactor::new(self)?.run()
     }
 }
 
-/// Serves one connection: read a request line, answer it, repeat until
-/// EOF or shutdown. The session is per-connection; the caches and the
-/// database epoch are shared through `state.engine`.
-fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) -> std::io::Result<()> {
-    stream.set_nodelay(true).ok();
-    // A finite read timeout lets long-idle connections notice a server
-    // shutdown instead of blocking in `read` forever.
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let mut session = Session::attach(state.engine.clone());
-    // Stats already merged into the server-wide aggregate; merging the
-    // difference after each request keeps the aggregate exact for live
-    // sessions without double counting.
-    let mut merged = SessionStats::default();
-    // Lines are accumulated as raw bytes: `read_until` keeps everything
-    // read so far in the buffer across timeout retries (a `String`-based
-    // `read_line` would discard a chunk whose timeout lands mid-way
-    // through a multi-byte UTF-8 character), and a byte cap bounds what
-    // one connection can make the server hold.
-    const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
-    let mut line = Vec::new();
-    loop {
-        // A connection that keeps streaming requests must still observe a
-        // shutdown triggered elsewhere, or draining would never finish.
-        if state.shutdown.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        line.clear();
-        let n = loop {
-            match reader.read_until(b'\n', &mut line) {
-                Ok(n) => break n,
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    if state.shutdown.load(Ordering::SeqCst) {
-                        return Ok(());
-                    }
-                    if line.len() > MAX_LINE_BYTES {
-                        let err =
-                            Response::Error(format!("request line exceeds {MAX_LINE_BYTES} bytes"));
-                        writer.write_all(protocol::encode(&err).as_bytes())?;
-                        writer.write_all(b"\n")?;
-                        writer.flush()?;
-                        return Ok(()); // drop the connection: can't resync
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+/// The event loop: owns the listener, the connection table, the compute
+/// pool, and the completion channel.
+struct Reactor {
+    listener: Option<TcpListener>,
+    state: Arc<ServerState>,
+    config: ServerConfig,
+    pool: ThreadPool,
+    completions: Arc<Completions>,
+    conns: HashMap<u64, Conn<TcpStream>>,
+    next_token: u64,
+    drain_deadline: Option<Instant>,
+}
+
+impl Reactor {
+    fn new(server: Server) -> std::io::Result<Reactor> {
+        server.listener.set_nonblocking(true)?;
+        Ok(Reactor {
+            listener: Some(server.listener),
+            pool: ThreadPool::new(server.config.workers, "rd-worker"),
+            completions: Arc::new(Completions::new()?),
+            state: server.state,
+            config: server.config,
+            conns: HashMap::new(),
+            next_token: 0,
+            drain_deadline: None,
+        })
+    }
+
+    fn run(mut self) -> std::io::Result<()> {
+        let mut pfds: Vec<PollFd> = Vec::new();
+        let mut tokens: Vec<u64> = Vec::new();
+        loop {
+            // 1. Build this iteration's interest set: the waker, the
+            //    listener (while accepting), and every connection with
+            //    read or write interest.
+            pfds.clear();
+            tokens.clear();
+            pfds.push(PollFd::new(self.completions.waker.read_fd(), POLLIN));
+            if let Some(listener) = &self.listener {
+                pfds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
             }
-        };
-        if n == 0 && line.is_empty() {
-            break; // EOF: client closed
+            let conns_at = pfds.len();
+            for (token, conn) in &self.conns {
+                let mut events = 0i16;
+                if conn.wants_read() {
+                    events |= POLLIN;
+                }
+                if conn.has_backlog() {
+                    events |= POLLOUT;
+                }
+                if events != 0 {
+                    tokens.push(*token);
+                    pfds.push(PollFd::new(conn.stream().as_raw_fd(), events));
+                }
+            }
+
+            reactor::poll(&mut pfds, self.poll_timeout())?;
+
+            // 2. Worker completions (drain the pipe first so a wake
+            //    arriving mid-drain re-reports on the next poll).
+            self.completions.waker.drain();
+            for completion in self.completions.take() {
+                self.finish(completion);
+            }
+
+            // 3. New connections.
+            if self.listener.is_some() && pfds[conns_at - 1].ready(POLLIN) {
+                self.accept_all()?;
+            }
+
+            // 4. Connection I/O: writes first (frees backpressure),
+            //    then reads → framing → dispatch.
+            for (i, token) in tokens.iter().enumerate() {
+                let pfd = pfds[conns_at + i];
+                if pfd.ready(POLLOUT) {
+                    self.flush_conn(*token);
+                }
+                if pfd.ready(POLLIN) {
+                    self.read_conn(*token);
+                }
+            }
+
+            // 5. Dispatch queued requests freed up by completions, then
+            //    sweep: opportunistic flushes, idle eviction, closes.
+            self.dispatch_ready();
+            self.sweep();
+
+            if let Some(deadline) = self.drain_deadline {
+                if self.conns.is_empty() {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    // Drain deadline passed: force-close stragglers.
+                    for (_, conn) in self.conns.drain() {
+                        self.state.active.fetch_sub(1, Ordering::Relaxed);
+                        drop(conn);
+                    }
+                    break;
+                }
+            }
         }
-        let text = String::from_utf8_lossy(&line);
-        let text = text.trim();
-        if text.is_empty() {
-            continue;
+        // Workers may still be evaluating force-closed connections'
+        // requests; join so their completions (posted to a queue nobody
+        // reads anymore) can't race the process teardown.
+        self.pool.join();
+        Ok(())
+    }
+
+    /// How long `poll` may sleep: forever unless an idle-eviction or
+    /// drain deadline needs a timed wakeup.
+    fn poll_timeout(&self) -> i32 {
+        let mut deadline = self.drain_deadline;
+        if let Some(idle) = self.config.idle_timeout {
+            for conn in self.conns.values() {
+                if conn.is_quiet() {
+                    let evict_at = conn.last_activity + idle;
+                    deadline = Some(deadline.map_or(evict_at, |d| d.min(evict_at)));
+                }
+            }
         }
-        state.requests.fetch_add(1, Ordering::Relaxed);
-        let (response, shutdown) = match protocol::decode::<Request>(text) {
-            Ok(request) => handle_request(&request, &mut session, state, &mut merged),
-            Err(e) => (Response::Error(e), false),
-        };
-        if matches!(response, Response::Error(_)) {
-            state.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        writer.write_all(protocol::encode(&response).as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        merge_stats(&mut session, state, &mut merged);
-        if shutdown {
-            state.shutdown.store(true, Ordering::SeqCst);
-            break;
+        match deadline {
+            None => -1,
+            Some(d) => {
+                let ms = d.saturating_duration_since(Instant::now()).as_millis() + 1;
+                ms.min(i32::MAX as u128) as i32
+            }
         }
     }
-    Ok(())
+
+    fn accept_all(&mut self) -> std::io::Result<()> {
+        while let Some(listener) = &self.listener {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(true)?;
+                    stream.set_nodelay(true).ok();
+                    self.state.connections.fetch_add(1, Ordering::Relaxed);
+                    self.state.active.fetch_add(1, Ordering::Relaxed);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let session = Arc::new(Mutex::new(WorkerSession {
+                        session: Session::attach(self.state.engine.clone()),
+                        merged: SessionStats::default(),
+                    }));
+                    self.conns.insert(token, Conn::new(token, stream, session));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::Interrupted | ErrorKind::ConnectionAborted
+                    ) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes one finished job back to its connection (which may have
+    /// closed underneath it — then the bytes are simply dropped).
+    fn finish(&mut self, completion: Completion) {
+        if completion.shutdown && self.drain_deadline.is_none() {
+            self.initiate_shutdown();
+        }
+        if let Some(conn) = self.conns.get_mut(&completion.token) {
+            conn.in_flight = conn.in_flight.saturating_sub(1);
+            conn.queue(&completion.bytes);
+        }
+    }
+
+    /// Stops accepting and starts the drain clock; connections finish
+    /// what they already sent but no new requests are read.
+    fn initiate_shutdown(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.listener = None; // closes the fd: no new connections
+        self.drain_deadline = Some(Instant::now() + self.config.drain_timeout);
+        for conn in self.conns.values_mut() {
+            conn.read_closed = true;
+        }
+    }
+
+    fn flush_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.flush().is_err() {
+            self.close(token);
+        }
+    }
+
+    /// Reads available bytes, frames them into lines, and queues the
+    /// requests. Oversized lines get an error frame and a fatal close.
+    fn read_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let outcome = conn.fill();
+        if outcome == ReadOutcome::Dead {
+            self.close(token);
+            return;
+        }
+        loop {
+            match conn.next_line(self.config.max_line_bytes) {
+                Ok(Some(line)) => {
+                    if !line.trim().is_empty() {
+                        conn.pending.push_back(line);
+                    }
+                }
+                Ok(None) => break,
+                Err(_overflow) => {
+                    self.state.requests.fetch_add(1, Ordering::Relaxed);
+                    self.state.errors.fetch_add(1, Ordering::Relaxed);
+                    conn.queue(&error_line(format!(
+                        "request line exceeds {} bytes",
+                        self.config.max_line_bytes
+                    )));
+                    // The stream cannot resync mid-line: stop reading,
+                    // drop pending work, close once the error flushes.
+                    conn.read_closed = true;
+                    conn.fatal = true;
+                    conn.pending.clear();
+                    return;
+                }
+            }
+        }
+        // A half-closing client's last request may lack the trailing
+        // newline; EOF is its delimiter (the blocking server honored
+        // this too).
+        if outcome == ReadOutcome::Eof {
+            if let Some(line) = conn.take_final_line() {
+                if !line.trim().is_empty() {
+                    conn.pending.push_back(line);
+                }
+            }
+        }
+    }
+
+    /// Hands each connection's queued requests to the pool — one job
+    /// per connection at a time, so responses stay in request order and
+    /// one deep pipeline cannot monopolize the workers. A job takes the
+    /// connection's whole queue (up to a fairness cap): this is where
+    /// pipelining pays, amortizing the loop↔pool handoff and the write
+    /// syscalls across every request the client kept in flight.
+    fn dispatch_ready(&mut self) {
+        /// Requests one job may carry (bounds worker occupancy per conn).
+        const MAX_BATCH: usize = 64;
+        for conn in self.conns.values_mut() {
+            if conn.in_flight != 0 || conn.fatal || conn.pending.is_empty() {
+                continue;
+            }
+            let take = conn.pending.len().min(MAX_BATCH);
+            let lines: Vec<String> = conn.pending.drain(..take).collect();
+            conn.in_flight = 1;
+            let token = conn.token;
+            let session = conn.session.clone();
+            let state = self.state.clone();
+            let completions = self.completions.clone();
+            let stream_threshold = self.config.stream_threshold;
+            self.pool.execute(move || {
+                // A panicking handler must still complete the batch:
+                // the connection would otherwise wait forever with
+                // `in_flight` stuck at 1. (Per-request panics are
+                // already contained inside `run_batch`.)
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_batch(&state, &session, &lines, stream_threshold)
+                }));
+                let (bytes, shutdown) = result.unwrap_or_else(|_| {
+                    (
+                        error_line("internal error: request handler panicked".into()),
+                        false,
+                    )
+                });
+                completions.push(Completion {
+                    token,
+                    bytes,
+                    shutdown,
+                });
+            });
+        }
+    }
+
+    /// Opportunistic flushes, idle eviction, and closing finished
+    /// connections.
+    fn sweep(&mut self) {
+        let now = Instant::now();
+        let mut closing: Vec<u64> = Vec::new();
+        let mut evicting: Vec<u64> = Vec::new();
+        for (token, conn) in self.conns.iter_mut() {
+            // Try to write without waiting for the next POLLOUT round;
+            // most responses fit the socket buffer immediately.
+            if conn.has_backlog() && conn.flush().is_err() {
+                closing.push(*token);
+                continue;
+            }
+            let finished = conn.read_closed && conn.is_quiet();
+            let aborted = conn.fatal && !conn.has_backlog();
+            if finished || aborted {
+                closing.push(*token);
+                continue;
+            }
+            if let Some(idle) = self.config.idle_timeout {
+                if conn.is_quiet() && !conn.read_closed && now >= conn.last_activity + idle {
+                    evicting.push(*token);
+                }
+            }
+        }
+        for token in closing {
+            self.close(token);
+        }
+        for token in evicting {
+            self.state.evicted.fetch_add(1, Ordering::Relaxed);
+            self.close(token);
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if self.conns.remove(&token).is_some() {
+            self.state.active.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Locks a connection session, surviving a poisoned mutex (a prior
+/// panicking request must not wedge the connection).
+fn lock_session(cell: &Mutex<WorkerSession>) -> MutexGuard<'_, WorkerSession> {
+    cell.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Runs one batch of raw request lines to completion on a pool worker.
+/// The session lock is taken once and the stats merge happens once —
+/// per-batch, not per-request — so a deep pipeline amortizes all of the
+/// coordination, not just the socket syscalls. Returns the encoded
+/// frames and whether the server should begin shutdown.
+fn run_batch(
+    state: &Arc<ServerState>,
+    session_cell: &Mutex<WorkerSession>,
+    lines: &[String],
+    stream_threshold: usize,
+) -> (Vec<u8>, bool) {
+    let mut cell = lock_session(session_cell);
+    let cell = &mut *cell;
+    let mut bytes = Vec::new();
+    let mut shutdown = false;
+    for line in lines {
+        // Contain per-request panics inside the batch: the remaining
+        // requests still run and the lock (held outside the catch)
+        // never poisons.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_line(state, cell, line, stream_threshold)
+        }));
+        match result {
+            Ok((frame_bytes, sd)) => {
+                bytes.extend_from_slice(&frame_bytes);
+                shutdown |= sd;
+            }
+            Err(_) => bytes.extend_from_slice(&error_line(
+                "internal error: request handler panicked".into(),
+            )),
+        }
+    }
+    merge_stats(&mut cell.session, state, &mut cell.merged);
+    (bytes, shutdown)
+}
+
+/// One encoded, newline-terminated error frame (no request id — used
+/// where the id is unknown or the failure is not tied to one request).
+fn error_line(message: String) -> Vec<u8> {
+    let mut bytes = protocol::encode(&Response::Error(message)).into_bytes();
+    bytes.push(b'\n');
+    bytes
+}
+
+/// Runs one raw request line: decode, evaluate, frame (single response
+/// or chunked stream). Returns the encoded frames and whether the
+/// server should begin shutdown.
+fn run_line(
+    state: &Arc<ServerState>,
+    cell: &mut WorkerSession,
+    line: &str,
+    stream_threshold: usize,
+) -> (Vec<u8>, bool) {
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let text = line.trim();
+    let (id, frames, shutdown) = match protocol::decode_request_line(text) {
+        Ok((
+            id,
+            Request::Query {
+                language,
+                text,
+                translations,
+                diagram,
+            },
+        )) => {
+            let frames = run_query(
+                &mut cell.session,
+                language,
+                &text,
+                translations,
+                diagram,
+                stream_threshold,
+            );
+            (id, frames, false)
+        }
+        Ok((id, request)) => {
+            let (response, shutdown) =
+                handle_control(&request, &mut cell.session, state, &mut cell.merged);
+            (id, vec![response], shutdown)
+        }
+        Err((id, e)) => (id, vec![Response::Error(e)], false),
+    };
+    if frames.iter().any(|f| matches!(f, Response::Error(_))) {
+        state.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut bytes = Vec::new();
+    for frame in &frames {
+        bytes.extend_from_slice(protocol::encode_frame(frame, id.as_ref()).as_bytes());
+        bytes.push(b'\n');
+    }
+    (bytes, shutdown)
 }
 
 /// Folds this session's counter growth into the server-wide aggregate.
@@ -248,24 +648,16 @@ fn merge_stats(session: &mut Session, state: &ServerState, merged: &mut SessionS
     }
 }
 
-/// Dispatches one decoded request. Returns the response and whether the
-/// server should shut down afterwards.
-fn handle_request(
+/// Dispatches one decoded non-query request. Returns the response and
+/// whether the server should shut down afterwards.
+fn handle_control(
     request: &Request,
     session: &mut Session,
     state: &Arc<ServerState>,
     merged: &mut SessionStats,
 ) -> (Response, bool) {
     match request {
-        Request::Query {
-            language,
-            text,
-            translations,
-            diagram,
-        } => (
-            run_query(session, *language, text, *translations, *diagram),
-            false,
-        ),
+        Request::Query { .. } => unreachable!("queries take the framing path"),
         Request::Load(source) => (run_load(session, source), false),
         Request::Stats => {
             // Fold in this session's own growth first so the reply is
@@ -278,55 +670,71 @@ fn handle_request(
     }
 }
 
+/// Runs one query and frames the result: one `Response::Query` when it
+/// fits, or `rows-chunk` frames + `rows-end` when the row count exceeds
+/// the stream threshold (0 = never stream).
 fn run_query(
     session: &mut Session,
     language: Option<Language>,
     text: &str,
     translations: bool,
     diagram: DiagramFormat,
-) -> Response {
+    stream_threshold: usize,
+) -> Vec<Response> {
     let language = language.unwrap_or_else(|| Language::detect(text));
     let mut req = QueryRequest::new(language, text);
     if translations {
         req = req.with_translations();
     }
     req = req.with_diagram(diagram);
-    match session.run(&req) {
-        Ok(resp) => {
-            let translations = resp.translations.as_ref().map(|t| {
-                let mut pairs = vec![("trc".to_string(), t.trc.clone())];
-                if let Some(sql) = &t.sql {
-                    pairs.push(("sql".into(), sql.clone()));
-                }
-                if let Some(datalog) = &t.datalog {
-                    pairs.push(("datalog".into(), datalog.clone()));
-                }
-                if let Some(ra) = &t.ra {
-                    pairs.push(("ra".into(), ra.clone()));
-                }
-                pairs
-            });
-            let mut notes = resp.notes.clone();
-            if let Some(t) = &resp.translations {
-                notes.extend(t.notes.iter().cloned());
-            }
-            Response::Query(QueryResult {
-                language: resp.language,
-                canonical: resp.canonical.clone(),
-                attrs: resp.relation.schema().attrs().to_vec(),
-                rows: resp
-                    .relation
-                    .iter()
-                    .map(|t| t.iter().cloned().collect())
-                    .collect(),
-                cache_hit: resp.cache_hit,
-                eval_cache_hit: resp.eval_cache_hit,
-                translations,
-                diagram: resp.diagram.clone(),
-                notes,
-            })
+    let resp = match session.run(&req) {
+        Ok(resp) => resp,
+        Err(e) => return vec![Response::Error(e.to_string())],
+    };
+    let translations = resp.translations.as_ref().map(|t| {
+        let mut pairs = vec![("trc".to_string(), t.trc.clone())];
+        if let Some(sql) = &t.sql {
+            pairs.push(("sql".into(), sql.clone()));
         }
-        Err(e) => Response::Error(e.to_string()),
+        if let Some(datalog) = &t.datalog {
+            pairs.push(("datalog".into(), datalog.clone()));
+        }
+        if let Some(ra) = &t.ra {
+            pairs.push(("ra".into(), ra.clone()));
+        }
+        pairs
+    });
+    let mut notes = resp.notes.clone();
+    if let Some(t) = &resp.translations {
+        notes.extend(t.notes.iter().cloned());
+    }
+    let mut result = QueryResult {
+        language: resp.language,
+        canonical: resp.canonical.clone(),
+        attrs: resp.relation.schema().attrs().to_vec(),
+        rows: Vec::new(),
+        cache_hit: resp.cache_hit,
+        eval_cache_hit: resp.eval_cache_hit,
+        translations,
+        diagram: resp.diagram.clone(),
+        notes,
+    };
+    if stream_threshold > 0 && resp.relation.len() > stream_threshold {
+        session.record_streamed(resp.relation.len() as u64);
+        // Chunks are built straight off the shared relation — the full
+        // result is never materialized a second time.
+        protocol::stream_frames(
+            &result,
+            resp.row_chunks(stream_threshold)
+                .map(|chunk| chunk.iter().map(|t| t.iter().cloned().collect()).collect()),
+        )
+    } else {
+        result.rows = resp
+            .relation
+            .iter()
+            .map(|t| t.iter().cloned().collect())
+            .collect();
+        vec![Response::Query(result)]
     }
 }
 
@@ -363,6 +771,7 @@ fn collect_stats(state: &Arc<ServerState>) -> StatsResult {
         active_connections: state.active.load(Ordering::Relaxed),
         requests: state.requests.load(Ordering::Relaxed),
         errors: state.errors.load(Ordering::Relaxed),
+        evicted: state.evicted.load(Ordering::Relaxed),
         workers: state.workers,
         sessions: state.sessions.lock().expect("session aggregate").clone(),
         parse_cache: state.engine.parse_cache_stats(),

@@ -117,7 +117,10 @@ impl Value {
         match self {
             Value::Null => out.push_str("null"),
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Int(i) => {
+                use std::fmt::Write;
+                let _ = write!(out, "{i}"); // formats in place, no temporary
+            }
             Value::Float(f) => {
                 if f.is_finite() {
                     // Keep a fractional marker so the value re-parses as a float.
@@ -202,17 +205,31 @@ impl std::ops::Index<usize> for Value {
 
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+    // Copy maximal runs that need no escaping in one push; only the
+    // rare escape characters take the per-char path.
+    let bytes = s.as_bytes();
+    let mut from = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let escape: &str = match b {
+            b'"' => "\\\"",
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            b'\r' => "\\r",
+            b'\t' => "\\t",
+            b if b < 0x20 => {
+                out.push_str(&s[from..i]);
+                from = i + 1;
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", b);
+                continue;
+            }
+            _ => continue,
+        };
+        out.push_str(&s[from..i]);
+        out.push_str(escape);
+        from = i + 1;
     }
+    out.push_str(&s[from..]);
     out.push('"');
 }
 
@@ -356,9 +373,30 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Advances past a run of plain string bytes (anything but `"` or
+    /// `\`) and returns it as validated UTF-8. Scanning whole runs —
+    /// instead of decoding one character at a time — is what keeps
+    /// string parsing linear.
+    fn plain_run(&mut self) -> Result<&'a str, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' || b == b'\\' {
+                break;
+            }
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())
+    }
+
     fn string(&mut self) -> Result<String, String> {
         self.eat(b'"')?;
-        let mut out = String::new();
+        // Fast path: a string with no escapes is one run, one copy.
+        let run = self.plain_run()?;
+        if self.peek() == Some(b'"') {
+            self.pos += 1;
+            return Ok(run.to_string());
+        }
+        let mut out = run.to_string();
         loop {
             match self.peek() {
                 Some(b'"') => {
@@ -393,14 +431,7 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
+                Some(_) => out.push_str(self.plain_run()?),
                 None => return Err("unterminated string".to_string()),
             }
         }
