@@ -2,8 +2,9 @@
 //! canonicalization, translation, diagram round-trip, evaluation, and
 //! pattern-isomorphism checking.
 //!
-//! Setting `RD_BENCH_SMOKE=1` runs only the evaluation benches with a
-//! single sample — CI's cheap "the benches still run" check.
+//! Setting `RD_BENCH_SMOKE=1` runs only the evaluation and plan-cache
+//! benches with a single sample — CI's cheap "the benches still run"
+//! check.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rd_core::{Catalog, DbGenerator, TableSchema, Value};
@@ -134,6 +135,42 @@ fn bench_eval_strings(c: &mut Criterion) {
     });
 }
 
+/// Repeat execution of the division query through the engine session
+/// with the compiled-plan cache on vs off (result cache disabled in
+/// both, so every run executes — only the lower/compile step is
+/// amortized). This is the CI `plan-cache` smoke case: the on/off pair
+/// must both run; off-minus-on is the per-request compile cost the
+/// cache removes from the hot serving path.
+fn bench_plan_cache(c: &mut Criterion) {
+    use rd_engine::{EngineShared, Language, QueryRequest, Session, SharedConfig};
+    use std::sync::Arc;
+
+    let cat = catalog();
+    let mut gen = DbGenerator::with_int_domain(cat, 8, 30, 5);
+    let db = gen.next_db();
+    let req = QueryRequest::new(Language::Trc, DIVISION);
+    let session_for = |plan_cache: bool| {
+        Session::attach(Arc::new(EngineShared::with_config(
+            db.clone(),
+            SharedConfig {
+                eval_cache: false,
+                plan_cache,
+                shards: 1,
+                ..SharedConfig::default()
+            },
+        )))
+    };
+    let mut cached = session_for(true);
+    cached.run(&req).unwrap(); // warm: compile once
+    c.bench_function("session_division_plan_cache_on", |b| {
+        b.iter(|| cached.run(black_box(&req)).unwrap())
+    });
+    let mut uncached = session_for(false);
+    c.bench_function("session_division_plan_cache_off", |b| {
+        b.iter(|| uncached.run(black_box(&req)).unwrap())
+    });
+}
+
 fn bench_patterns(c: &mut Criterion) {
     if smoke() {
         return;
@@ -160,6 +197,6 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_parse, bench_translate, bench_diagram, bench_eval, bench_eval_strings,
-        bench_patterns
+        bench_plan_cache, bench_patterns
 }
 criterion_main!(benches);

@@ -1,0 +1,1265 @@
+//! The unified logical/physical plan IR and its single executor.
+//!
+//! The paper's Theorem 6 shows TRC\*, RA\*, Datalog\*, and SQL\* express
+//! the same query patterns; this module is that claim turned into
+//! runtime architecture. Every language front-end *lowers* its checked
+//! AST into one [`Plan`] — scans with interned bound-key probes,
+//! selectivity-ordered hash joins, negation/quantifier attachment,
+//! projection with set-semantics dedup, and union — and one executor
+//! runs it. The per-language `eval` modules shrink to lowerings; the
+//! engine caches compiled [`Plan`]s (they are `Send + Sync` and carry
+//! no borrows), so a hot serving path compiles a query shape once per
+//! database epoch and executes it many times.
+//!
+//! The IR has two execution styles, both handled here:
+//!
+//! * **Pipelines** ([`Block`]): an ordered list of [`Scan`] steps, each
+//!   binding either a whole tuple slot (TRC-style) or individual value
+//!   slots (Datalog-style), probing a lazily-built hash index when key
+//!   columns are bound, with filters (predicates, negated subplans,
+//!   quantified blocks, negated-atom probes) attached to the earliest
+//!   step after which their inputs are bound. TRC and SQL queries lower
+//!   to one pipeline per union branch; each Datalog rule lowers to one
+//!   pipeline, and a [`ProgramPlan`] sequences them by stratum.
+//! * **Bulk operators** ([`OpNode`]): the RA\* operator tree
+//!   (projection, selection, product, theta/natural join, difference,
+//!   union, antijoin) with conditions compiled to column indices and
+//!   interned constants, equi-join keys hashed, residual conditions
+//!   checked per bucket.
+//!
+//! [`explain`] renders any plan as a tree of scan order, join strategy,
+//! and bound keys — the diagnosability hook the service's `explain` op
+//! serves.
+
+use crate::database::{Database, Relation, Tuple};
+use crate::error::{CoreError, CoreResult};
+use crate::plan::{self, IndexCache, KeyBuf};
+use crate::schema::TableSchema;
+use crate::symbol::SymbolTable;
+use crate::value::Value;
+use crate::CmpOp;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// IR: terms, formulas, scans, blocks
+// ---------------------------------------------------------------------
+
+/// A compiled term: where a value comes from at execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// An interned constant.
+    Const(Value),
+    /// A column of a bound tuple slot (TRC-style environments).
+    Col {
+        /// The tuple slot.
+        slot: usize,
+        /// The column within the bound tuple.
+        col: usize,
+    },
+    /// A bound value slot (Datalog-style environments).
+    Var(usize),
+    /// A variable no scan binds — surfaces as an "unbound variable"
+    /// error only when a full assignment forces its evaluation
+    /// (matching the lazy failure contract of unsafe Datalog rules).
+    Unbound(String),
+    /// A wildcard in value position — lazy error, like [`Term::Unbound`].
+    Wildcard,
+}
+
+/// A compiled comparison between two terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    /// Left operand.
+    pub left: Term,
+    /// Comparison operator (order comparisons resolve interned strings
+    /// lexicographically).
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Term,
+}
+
+/// A compiled formula: the filter language attached to scans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// An existentially quantified block (nested pipeline; succeeds on
+    /// the first satisfying assignment).
+    Exists(Block),
+    /// A comparison.
+    Pred(Pred),
+    /// A negated-atom probe (Datalog `not P(…)`): succeeds iff no tuple
+    /// of `rel` matches the key columns. With no key columns, succeeds
+    /// iff `rel` is empty.
+    NegProbe {
+        /// Relation probed (EDB table or computed IDB).
+        rel: String,
+        /// Constrained columns.
+        cols: Vec<usize>,
+        /// The values the columns must equal (parallel to `cols`).
+        terms: Vec<Term>,
+        /// Index-cache slot for the probe.
+        index_id: usize,
+    },
+}
+
+/// Index id marking a full (unkeyed) scan.
+pub const FULL_SCAN: usize = usize::MAX;
+
+/// One scheduled scan of a pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scan {
+    /// Relation scanned (EDB table or computed IDB).
+    pub rel: String,
+    /// Tuple slot bound to each scanned tuple (TRC-style), if any.
+    pub tuple_slot: Option<usize>,
+    /// Columns constrained by equality to bound terms; empty for a full
+    /// scan.
+    pub key_cols: Vec<usize>,
+    /// The bound terms the key columns must equal (parallel to
+    /// `key_cols`).
+    pub key_terms: Vec<Term>,
+    /// Value slots bound from scanned columns (Datalog-style):
+    /// `(column, slot)` pairs.
+    pub bind_cols: Vec<(usize, usize)>,
+    /// Intra-tuple equality checks — `(column, slot)` where the slot
+    /// was bound earlier in this same scan (repeated variables).
+    pub check_cols: Vec<(usize, usize)>,
+    /// Index-cache slot ([`FULL_SCAN`] for unkeyed scans).
+    pub index_id: usize,
+    /// Conjuncts whose inputs are all bound once this scan binds.
+    pub filters: Vec<Formula>,
+}
+
+impl Scan {
+    /// `true` if this scan probes a hash index rather than iterating.
+    pub fn is_keyed(&self) -> bool {
+        !self.key_cols.is_empty()
+    }
+}
+
+/// A planned pipeline: conjuncts evaluable before any scan, then the
+/// ordered scans.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Filters with no scan dependencies.
+    pub pre: Vec<Formula>,
+    /// The scans, in chosen execution order.
+    pub scans: Vec<Scan>,
+}
+
+/// The runtime environment a plan needs: slot counts and index-cache
+/// slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnvShape {
+    /// Tuple slots (TRC-style whole-tuple bindings).
+    pub tuple_slots: usize,
+    /// Value slots (Datalog-style per-column bindings).
+    pub value_slots: usize,
+    /// Hash-index cache slots handed out during lowering.
+    pub indexes: usize,
+}
+
+// ---------------------------------------------------------------------
+// IR: top-level plans
+// ---------------------------------------------------------------------
+
+/// A compiled non-Boolean query: enumerate the root block, project the
+/// output head from its defining terms, validate deferred conjuncts
+/// with the head bound, dedup into a set-semantics relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Output schema.
+    pub out: TableSchema,
+    /// The tuple slot the output head occupies during deferred
+    /// validation.
+    pub head_slot: usize,
+    /// The root pipeline.
+    pub root: Block,
+    /// One defining term per output attribute.
+    pub defs: Vec<Term>,
+    /// Conjuncts mentioning the head — validated per candidate tuple.
+    pub deferred: Vec<Formula>,
+    /// Environment requirements.
+    pub shape: EnvShape,
+}
+
+/// A compiled Boolean sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentencePlan {
+    /// The sentence body.
+    pub formula: Formula,
+    /// Environment requirements.
+    pub shape: EnvShape,
+}
+
+/// One compiled Datalog rule: a pipeline plus the head projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RulePlan {
+    /// Head terms (projection; may contain lazy-error terms).
+    pub head: Vec<Term>,
+    /// The rule body pipeline.
+    pub block: Block,
+    /// Environment requirements.
+    pub shape: EnvShape,
+}
+
+/// One stratum of a compiled Datalog program: every rule of one IDB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stratum {
+    /// The IDB predicate this stratum computes.
+    pub pred: String,
+    /// Its rules (results union under set semantics).
+    pub rules: Vec<RulePlan>,
+}
+
+/// A compiled non-recursive Datalog¬ program: strata in topological
+/// order plus the query predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramPlan {
+    /// Strata in evaluation order.
+    pub strata: Vec<Stratum>,
+    /// The query predicate.
+    pub query: String,
+    /// Output schema (positional attributes `x1`, `x2`, …).
+    pub out: TableSchema,
+}
+
+/// A compiled RA\* operator (bulk execution over tuple sets). Attribute
+/// names are resolved to column indices at lowering time; `Rename` is
+/// compiled away entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpNode {
+    /// A base-table scan.
+    Table(String),
+    /// Projection onto the given columns (dedups under set semantics).
+    Project {
+        /// Kept columns, in output order.
+        cols: Vec<usize>,
+        /// Input operator.
+        input: Box<OpNode>,
+    },
+    /// Selection by a compiled condition.
+    Select {
+        /// The compiled condition.
+        cond: Cond,
+        /// Input operator.
+        input: Box<OpNode>,
+    },
+    /// Cartesian product.
+    Product(Box<OpNode>, Box<OpNode>),
+    /// Theta join: equality checks key a hash probe, the residual is
+    /// verified per matching pair.
+    Join {
+        /// `(left column, op, right column)` checks.
+        checks: Vec<(usize, CmpOp, usize)>,
+        /// Left operand.
+        left: Box<OpNode>,
+        /// Right operand.
+        right: Box<OpNode>,
+    },
+    /// Natural join on shared attribute names (resolved at lowering).
+    NaturalJoin {
+        /// Equality checks over the shared columns.
+        checks: Vec<(usize, CmpOp, usize)>,
+        /// Right columns not shared with the left (kept in output).
+        keep_right: Vec<usize>,
+        /// Left operand.
+        left: Box<OpNode>,
+        /// Right operand.
+        right: Box<OpNode>,
+    },
+    /// Set difference.
+    Diff(Box<OpNode>, Box<OpNode>),
+    /// Set union.
+    Union(Box<OpNode>, Box<OpNode>),
+    /// Antijoin: left tuples with no qualifying right partner.
+    Antijoin {
+        /// `(left column, op, right column)` checks.
+        checks: Vec<(usize, CmpOp, usize)>,
+        /// Left operand.
+        left: Box<OpNode>,
+        /// Right operand.
+        right: Box<OpNode>,
+    },
+}
+
+/// A selection condition compiled against a fixed column layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// A comparison.
+    Cmp(CTerm, CmpOp, CTerm),
+    /// Conjunction.
+    And(Vec<Cond>),
+    /// Disjunction.
+    Or(Vec<Cond>),
+}
+
+/// A term of a compiled selection condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CTerm {
+    /// An interned constant.
+    Const(Value),
+    /// A column of the input tuple.
+    Col(usize),
+}
+
+/// A compiled, executable query plan — the unit the engine's plan cache
+/// stores. Contains only owned data (strings, interned values, column
+/// indices), so it is `Send + Sync` and valid for the lifetime of the
+/// database epoch it was compiled against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// A union of non-Boolean query branches (TRC\*/SQL\*; one branch
+    /// for a plain query).
+    Union(Vec<QueryPlan>),
+    /// A Boolean sentence (evaluates to the 0-ary relation encoding).
+    Sentence(SentencePlan),
+    /// A Datalog¬ program.
+    Program(ProgramPlan),
+    /// An RA\* operator tree.
+    Ops {
+        /// The root operator.
+        root: OpNode,
+        /// Output schema.
+        out: TableSchema,
+    },
+}
+
+fn _assert_plan_is_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Plan>();
+}
+
+// ---------------------------------------------------------------------
+// Execution: environment and context
+// ---------------------------------------------------------------------
+
+/// The flat runtime environment: tuple slots (borrowed bindings) and
+/// value slots (owned bindings).
+#[derive(Debug, Clone)]
+struct Env<'b> {
+    tuples: Vec<Option<&'b Tuple>>,
+    values: Vec<Option<Value>>,
+}
+
+impl<'b> Env<'b> {
+    fn new(shape: &EnvShape) -> Self {
+        Env {
+            tuples: vec![None; shape.tuple_slots],
+            values: vec![None; shape.value_slots],
+        }
+    }
+}
+
+/// Computed IDB relations (empty for languages without them).
+type IdbMap = BTreeMap<String, BTreeSet<Tuple>>;
+
+/// Per-execution state: the database snapshot, the computed IDBs, and
+/// the lazily-built hash indexes (one cache slot per keyed scan, built
+/// on first probe, reused across the execution).
+struct ExecCtx<'d> {
+    db: &'d Database,
+    symbols: &'d SymbolTable,
+    idbs: &'d IdbMap,
+    indexes: IndexCache<'d>,
+    key_buf: KeyBuf,
+}
+
+impl<'d> ExecCtx<'d> {
+    fn new(db: &'d Database, idbs: &'d IdbMap, n_indexes: usize) -> Self {
+        ExecCtx {
+            db,
+            symbols: db.symbols(),
+            idbs,
+            indexes: IndexCache::new(n_indexes),
+            key_buf: KeyBuf::default(),
+        }
+    }
+
+    /// The hash index for `(rel, cols)` in slot `id`, built on first
+    /// use from the IDB map or the database.
+    fn index_for(
+        &mut self,
+        rel: &str,
+        cols: &[usize],
+        id: usize,
+    ) -> CoreResult<Rc<plan::Index<'d>>> {
+        let (db, idbs) = (self.db, self.idbs);
+        self.indexes
+            .get_or_build(id, cols, || tuples_of(db, idbs, rel))
+    }
+}
+
+/// The tuples of `rel`: a computed IDB if one exists, else the EDB
+/// table (unknown tables error).
+fn tuples_of<'d>(db: &'d Database, idbs: &'d IdbMap, rel: &str) -> CoreResult<Vec<&'d Tuple>> {
+    if let Some(rows) = idbs.get(rel) {
+        return Ok(rows.iter().collect());
+    }
+    Ok(db.require(rel)?.iter().collect())
+}
+
+/// Resolves a term against the environment. `Unbound`/`Wildcard` terms
+/// fail here — lazily, exactly when a full assignment forces them.
+fn term_value<'v>(t: &'v Term, env: &'v Env<'_>) -> CoreResult<&'v Value> {
+    match t {
+        Term::Const(v) => Ok(v),
+        Term::Col { slot, col } => Ok(env.tuples[*slot]
+            .expect("lowering attaches terms only after their slot is bound")
+            .get(*col)),
+        Term::Var(s) => Ok(env.values[*s]
+            .as_ref()
+            .expect("lowering only emits Var for bound slots")),
+        Term::Unbound(v) => Err(CoreError::Invalid(format!("unbound variable '{v}'"))),
+        Term::Wildcard => Err(CoreError::Invalid(
+            "wildcard cannot be resolved to a value".into(),
+        )),
+    }
+}
+
+/// Resolves a probe-key term (lowerings never emit lazy-error terms in
+/// key position).
+fn key_value(t: &Term, env: &Env<'_>) -> Value {
+    match t {
+        Term::Const(v) => v.clone(),
+        Term::Col { slot, col } => env.tuples[*slot]
+            .expect("key slots bound earlier")
+            .get(*col)
+            .clone(),
+        Term::Var(s) => env.values[*s].clone().expect("key slots bound earlier"),
+        Term::Unbound(_) | Term::Wildcard => {
+            unreachable!("lowerings never emit lazy terms as probe keys")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution: formulas and pipelines
+// ---------------------------------------------------------------------
+
+fn eval_formula<'b, 'd: 'b>(
+    f: &Formula,
+    env: &mut Env<'b>,
+    ctx: &mut ExecCtx<'d>,
+) -> CoreResult<bool> {
+    match f {
+        Formula::And(fs) => {
+            for sub in fs {
+                if !eval_formula(sub, env, ctx)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(fs) => {
+            for sub in fs {
+                if eval_formula(sub, env, ctx)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Not(sub) => Ok(!eval_formula(sub, env, ctx)?),
+        Formula::Exists(block) => {
+            for pre in &block.pre {
+                if !eval_formula(pre, env, ctx)? {
+                    return Ok(false);
+                }
+            }
+            run_block(block, 0, env, ctx, &mut |_, _| Ok(true))
+        }
+        Formula::Pred(p) => {
+            let l = term_value(&p.left, env)?;
+            let r = term_value(&p.right, env)?;
+            Ok(p.op.eval_resolved(l, r, ctx.symbols))
+        }
+        Formula::NegProbe {
+            rel,
+            cols,
+            terms,
+            index_id,
+        } => {
+            if cols.is_empty() {
+                // `not P(_ …)`: succeeds iff P is empty — O(1).
+                let empty = match ctx.idbs.get(rel) {
+                    Some(rows) => rows.is_empty(),
+                    None => ctx.db.require(rel)?.is_empty(),
+                };
+                Ok(empty)
+            } else {
+                let index = ctx.index_for(rel, cols, *index_id)?;
+                let hit =
+                    index.contains_key(ctx.key_buf.fill(terms.iter().map(|t| key_value(t, env))));
+                Ok(!hit)
+            }
+        }
+    }
+}
+
+/// The emit callback invoked on every full pipeline assignment.
+/// Returning `Ok(true)` stops the enumeration (existential
+/// short-circuit); the stop propagates outward.
+type Emit<'e, 'b, 'd> = &'e mut dyn FnMut(&mut Env<'b>, &mut ExecCtx<'d>) -> CoreResult<bool>;
+
+/// Runs the scans of `block` from step `i`, invoking `emit` on every
+/// full assignment.
+fn run_block<'b, 'd: 'b>(
+    block: &Block,
+    i: usize,
+    env: &mut Env<'b>,
+    ctx: &mut ExecCtx<'d>,
+    emit: Emit<'_, 'b, 'd>,
+) -> CoreResult<bool> {
+    if i == block.scans.len() {
+        return emit(env, ctx);
+    }
+    let scan = &block.scans[i];
+    let stopped = if scan.key_cols.is_empty() {
+        let mut stopped = false;
+        let (db, idbs) = (ctx.db, ctx.idbs);
+        if let Some(rows) = idbs.get(&scan.rel) {
+            for t in rows {
+                if scan_tuple(block, i, t, env, ctx, emit)? {
+                    stopped = true;
+                    break;
+                }
+            }
+        } else {
+            for t in db.require(&scan.rel)?.iter() {
+                if scan_tuple(block, i, t, env, ctx, emit)? {
+                    stopped = true;
+                    break;
+                }
+            }
+        }
+        stopped
+    } else {
+        // Hash probe: resolve the key from bound slots/constants into
+        // the reusable buffer and look up the matching bucket.
+        let index = ctx.index_for(&scan.rel, &scan.key_cols, scan.index_id)?;
+        let bucket = index.get(
+            ctx.key_buf
+                .fill(scan.key_terms.iter().map(|t| key_value(t, env))),
+        );
+        let mut stopped = false;
+        if let Some(bucket) = bucket {
+            for &t in bucket {
+                if scan_tuple(block, i, t, env, ctx, emit)? {
+                    stopped = true;
+                    break;
+                }
+            }
+        }
+        stopped
+    };
+    if let Some(slot) = scan.tuple_slot {
+        env.tuples[slot] = None;
+    }
+    for &(_, s) in &scan.bind_cols {
+        env.values[s] = None;
+    }
+    Ok(stopped)
+}
+
+/// Binds one scanned tuple, verifies intra-tuple checks and filters,
+/// then recurses into step `i + 1`.
+fn scan_tuple<'b, 'd: 'b>(
+    block: &Block,
+    i: usize,
+    t: &'b Tuple,
+    env: &mut Env<'b>,
+    ctx: &mut ExecCtx<'d>,
+    emit: Emit<'_, 'b, 'd>,
+) -> CoreResult<bool> {
+    let scan = &block.scans[i];
+    if let Some(slot) = scan.tuple_slot {
+        env.tuples[slot] = Some(t);
+    }
+    for &(col, s) in &scan.bind_cols {
+        env.values[s] = Some(t.get(col).clone());
+    }
+    for &(col, s) in &scan.check_cols {
+        if env.values[s].as_ref() != Some(t.get(col)) {
+            return Ok(false);
+        }
+    }
+    for f in &scan.filters {
+        if !eval_formula(f, env, ctx)? {
+            return Ok(false);
+        }
+    }
+    run_block(block, i + 1, env, ctx, emit)
+}
+
+// ---------------------------------------------------------------------
+// Execution: top-level plans
+// ---------------------------------------------------------------------
+
+/// Executes a compiled query branch, returning its output relation.
+pub fn run_query(q: &QueryPlan, db: &Database) -> CoreResult<Relation> {
+    let idbs = IdbMap::new();
+    let mut out = db.fresh_relation(q.out.clone());
+    let mut ctx = ExecCtx::new(db, &idbs, q.shape.indexes);
+    let mut env = Env::new(&q.shape);
+    for pre in &q.root.pre {
+        if !eval_formula(pre, &mut env, &mut ctx)? {
+            return Ok(out);
+        }
+    }
+    run_block(&q.root, 0, &mut env, &mut ctx, &mut |env, ctx| {
+        let mut row = Vec::with_capacity(q.defs.len());
+        for t in &q.defs {
+            row.push(term_value(t, env)?.clone());
+        }
+        let tuple = Tuple(row);
+        // Validate the deferred conjuncts with the head bound. The
+        // narrower lifetime of `tuple` forces a (cheap, word-copy)
+        // clone of the environment.
+        let mut venv: Env = env.clone();
+        venv.tuples[q.head_slot] = Some(&tuple);
+        let mut ok = true;
+        for f in &q.deferred {
+            if !eval_formula(f, &mut venv, ctx)? {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            out.insert(tuple)?;
+        }
+        Ok(false)
+    })?;
+    Ok(out)
+}
+
+/// Executes a compiled Boolean sentence.
+pub fn run_sentence(s: &SentencePlan, db: &Database) -> CoreResult<bool> {
+    let idbs = IdbMap::new();
+    let mut ctx = ExecCtx::new(db, &idbs, s.shape.indexes);
+    let mut env = Env::new(&s.shape);
+    eval_formula(&s.formula, &mut env, &mut ctx)
+}
+
+/// Executes one compiled rule against the database plus the IDBs
+/// computed so far.
+fn run_rule(rule: &RulePlan, db: &Database, idbs: &IdbMap) -> CoreResult<Vec<Tuple>> {
+    let mut ctx = ExecCtx::new(db, idbs, rule.shape.indexes);
+    let mut env = Env::new(&rule.shape);
+    for pre in &rule.block.pre {
+        if !eval_formula(pre, &mut env, &mut ctx)? {
+            return Ok(Vec::new());
+        }
+    }
+    let mut out = Vec::new();
+    run_block(&rule.block, 0, &mut env, &mut ctx, &mut |env, _ctx| {
+        let mut row = Vec::with_capacity(rule.head.len());
+        for t in &rule.head {
+            row.push(term_value(t, env)?.clone());
+        }
+        out.push(Tuple(row));
+        Ok(false)
+    })?;
+    Ok(out)
+}
+
+/// Executes a compiled Datalog program: strata in order, rules of one
+/// IDB unioned under set semantics.
+pub fn run_program(p: &ProgramPlan, db: &Database) -> CoreResult<Relation> {
+    let mut computed = IdbMap::new();
+    for stratum in &p.strata {
+        let mut tuples: BTreeSet<Tuple> = BTreeSet::new();
+        for rule in &stratum.rules {
+            tuples.extend(run_rule(rule, db, &computed)?);
+        }
+        computed.insert(stratum.pred.clone(), tuples);
+    }
+    let rows = computed
+        .remove(&p.query)
+        .ok_or_else(|| CoreError::Invalid(format!("query predicate '{}' not computed", p.query)))?;
+    let mut rel = db.fresh_relation(p.out.clone());
+    for row in rows {
+        rel.insert(row)?;
+    }
+    Ok(rel)
+}
+
+/// Splits theta-join checks into hashable equalities and a residual,
+/// then probes the right side per left tuple. `joiner` receives each
+/// matching pair.
+pub fn hash_join_pairs<'t>(
+    left: &'t BTreeSet<Tuple>,
+    right: &'t BTreeSet<Tuple>,
+    checks: &[(usize, CmpOp, usize)],
+    symbols: &SymbolTable,
+    mut joiner: impl FnMut(&'t Tuple, &'t Tuple),
+) {
+    let eq: Vec<&(usize, CmpOp, usize)> = checks
+        .iter()
+        .filter(|(_, op, _)| *op == CmpOp::Eq)
+        .collect();
+    let residual: Vec<&(usize, CmpOp, usize)> = checks
+        .iter()
+        .filter(|(_, op, _)| *op != CmpOp::Eq)
+        .collect();
+    if eq.is_empty() {
+        // No equality to key on: nested loop.
+        for lt in left {
+            for rt in right {
+                if checks
+                    .iter()
+                    .all(|(li, op, ri)| op.eval_resolved(lt.get(*li), rt.get(*ri), symbols))
+                {
+                    joiner(lt, rt);
+                }
+            }
+        }
+        return;
+    }
+    let right_cols: Vec<usize> = eq.iter().map(|(_, _, ri)| *ri).collect();
+    let left_cols: Vec<usize> = eq.iter().map(|(li, _, _)| *li).collect();
+    let index = plan::build_index(right.iter(), &right_cols);
+    let mut key: Vec<Value> = Vec::with_capacity(left_cols.len());
+    for lt in left {
+        key.clear();
+        key.extend(left_cols.iter().map(|&c| lt.get(c).clone()));
+        if let Some(bucket) = index.get(key.as_slice()) {
+            for &rt in bucket {
+                if residual
+                    .iter()
+                    .all(|(li, op, ri)| op.eval_resolved(lt.get(*li), rt.get(*ri), symbols))
+                {
+                    joiner(lt, rt);
+                }
+            }
+        }
+    }
+}
+
+fn eval_cond(cond: &Cond, tuple: &Tuple, symbols: &SymbolTable) -> bool {
+    match cond {
+        Cond::Cmp(l, op, r) => {
+            let lv = match l {
+                CTerm::Const(v) => v,
+                CTerm::Col(i) => tuple.get(*i),
+            };
+            let rv = match r {
+                CTerm::Const(v) => v,
+                CTerm::Col(i) => tuple.get(*i),
+            };
+            op.eval_resolved(lv, rv, symbols)
+        }
+        Cond::And(cs) => cs.iter().all(|c| eval_cond(c, tuple, symbols)),
+        Cond::Or(cs) => cs.iter().any(|c| eval_cond(c, tuple, symbols)),
+    }
+}
+
+/// Executes a compiled RA operator tree to its tuple set.
+pub fn run_ops(op: &OpNode, db: &Database) -> CoreResult<BTreeSet<Tuple>> {
+    let symbols = db.symbols();
+    match op {
+        OpNode::Table(name) => Ok(db.require(name)?.tuples().clone()),
+        OpNode::Project { cols, input } => {
+            let inner = run_ops(input, db)?;
+            Ok(inner.iter().map(|t| t.project(cols)).collect())
+        }
+        OpNode::Select { cond, input } => {
+            let inner = run_ops(input, db)?;
+            Ok(inner
+                .into_iter()
+                .filter(|t| eval_cond(cond, t, symbols))
+                .collect())
+        }
+        OpNode::Product(l, r) => {
+            let lv = run_ops(l, db)?;
+            let rv = run_ops(r, db)?;
+            let mut tuples = BTreeSet::new();
+            for lt in &lv {
+                for rt in &rv {
+                    tuples.insert(lt.concat(rt));
+                }
+            }
+            Ok(tuples)
+        }
+        OpNode::Join {
+            checks,
+            left,
+            right,
+        } => {
+            let lv = run_ops(left, db)?;
+            let rv = run_ops(right, db)?;
+            let mut tuples = BTreeSet::new();
+            hash_join_pairs(&lv, &rv, checks, symbols, |lt, rt| {
+                tuples.insert(lt.concat(rt));
+            });
+            Ok(tuples)
+        }
+        OpNode::NaturalJoin {
+            checks,
+            keep_right,
+            left,
+            right,
+        } => {
+            let lv = run_ops(left, db)?;
+            let rv = run_ops(right, db)?;
+            let mut tuples = BTreeSet::new();
+            hash_join_pairs(&lv, &rv, checks, symbols, |lt, rt| {
+                let mut row = lt.0.clone();
+                row.extend(keep_right.iter().map(|&ri| rt.get(ri).clone()));
+                tuples.insert(Tuple(row));
+            });
+            Ok(tuples)
+        }
+        OpNode::Diff(l, r) => {
+            let lv = run_ops(l, db)?;
+            let rv = run_ops(r, db)?;
+            Ok(lv.difference(&rv).cloned().collect())
+        }
+        OpNode::Union(l, r) => {
+            let lv = run_ops(l, db)?;
+            let rv = run_ops(r, db)?;
+            Ok(lv.union(&rv).cloned().collect())
+        }
+        OpNode::Antijoin {
+            checks,
+            left,
+            right,
+        } => {
+            let lv = run_ops(left, db)?;
+            let rv = run_ops(right, db)?;
+            // The antijoin is the join's complement: collect the left
+            // tuples with at least one qualifying pair, keep the rest.
+            let mut matched: HashSet<&Tuple> = HashSet::new();
+            hash_join_pairs(&lv, &rv, checks, symbols, |lt, _| {
+                matched.insert(lt);
+            });
+            Ok(lv
+                .iter()
+                .filter(|lt| !matched.contains(*lt))
+                .cloned()
+                .collect())
+        }
+    }
+}
+
+/// The 0-ary encoding of a Boolean result: `{()}` for true, `{}` for
+/// false (the classic degenerate-relation convention).
+pub fn boolean_relation(value: bool) -> Relation {
+    let mut rel = Relation::empty(TableSchema::new("q", Vec::<String>::new()));
+    if value {
+        rel.insert(Tuple(Vec::new()))
+            .expect("0-ary tuple fits 0-ary schema");
+    }
+    rel
+}
+
+/// Executes any compiled plan over `db`, normalizing the output to a
+/// [`Relation`] (Boolean sentences become the 0-ary encoding).
+pub fn execute(plan: &Plan, db: &Database) -> CoreResult<Relation> {
+    match plan {
+        Plan::Union(branches) => {
+            let mut iter = branches.iter();
+            let first = iter
+                .next()
+                .ok_or_else(|| CoreError::Invalid("empty union".into()))?;
+            let mut result = run_query(first, db)?;
+            for branch in iter {
+                let r = run_query(branch, db)?;
+                for t in r.iter() {
+                    result.insert(t.clone())?;
+                }
+            }
+            Ok(result)
+        }
+        Plan::Sentence(s) => Ok(boolean_relation(run_sentence(s, db)?)),
+        Plan::Program(p) => run_program(p, db),
+        Plan::Ops { root, out } => {
+            let tuples = run_ops(root, db)?;
+            let mut rel = db.fresh_relation(out.clone());
+            for t in tuples {
+                rel.insert(t)?;
+            }
+            Ok(rel)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Explain
+// ---------------------------------------------------------------------
+
+/// One node of an explain tree: plan structure rendered for diagnosis
+/// (scan order, join strategy, bound keys).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainNode {
+    /// Node kind (`scan`, `exists`, `join`, `union`, …).
+    pub kind: String,
+    /// Human-readable detail (table, key columns, strategy).
+    pub detail: String,
+    /// Child nodes in execution order.
+    pub children: Vec<ExplainNode>,
+}
+
+impl ExplainNode {
+    fn new(kind: &str, detail: impl Into<String>) -> ExplainNode {
+        ExplainNode {
+            kind: kind.to_string(),
+            detail: detail.into(),
+            children: Vec::new(),
+        }
+    }
+
+    fn with(mut self, children: Vec<ExplainNode>) -> ExplainNode {
+        self.children = children;
+        self
+    }
+}
+
+fn fmt_term(t: &Term) -> String {
+    match t {
+        Term::Const(v) => v.to_string(),
+        Term::Col { slot, col } => format!("t{slot}.c{col}"),
+        Term::Var(s) => format!("v{s}"),
+        Term::Unbound(v) => format!("?{v}"),
+        Term::Wildcard => "_".into(),
+    }
+}
+
+fn fmt_cols(cols: &[usize]) -> String {
+    let parts: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+fn explain_formula(f: &Formula) -> ExplainNode {
+    match f {
+        Formula::And(fs) => {
+            ExplainNode::new("and", "").with(fs.iter().map(explain_formula).collect())
+        }
+        Formula::Or(fs) => {
+            ExplainNode::new("or", "").with(fs.iter().map(explain_formula).collect())
+        }
+        Formula::Not(sub) => ExplainNode::new("not", "").with(vec![explain_formula(sub)]),
+        Formula::Exists(block) => ExplainNode::new("exists", "").with(explain_block(block)),
+        Formula::Pred(p) => ExplainNode::new(
+            "filter",
+            format!("{} {} {}", fmt_term(&p.left), p.op, fmt_term(&p.right)),
+        ),
+        Formula::NegProbe { rel, cols, .. } => {
+            if cols.is_empty() {
+                ExplainNode::new("neg-probe", format!("{rel} empty?"))
+            } else {
+                ExplainNode::new("neg-probe", format!("{rel} on cols {}", fmt_cols(cols)))
+            }
+        }
+    }
+}
+
+fn explain_scan(scan: &Scan) -> ExplainNode {
+    let detail = if scan.is_keyed() {
+        let keys: Vec<String> = scan
+            .key_cols
+            .iter()
+            .zip(&scan.key_terms)
+            .map(|(c, t)| format!("c{c} = {}", fmt_term(t)))
+            .collect();
+        format!("{} hash probe on {}", scan.rel, keys.join(" and "))
+    } else {
+        format!("{} full scan", scan.rel)
+    };
+    ExplainNode::new("scan", detail).with(scan.filters.iter().map(explain_formula).collect())
+}
+
+fn explain_block(block: &Block) -> Vec<ExplainNode> {
+    let mut nodes: Vec<ExplainNode> = block.pre.iter().map(explain_formula).collect();
+    nodes.extend(block.scans.iter().map(explain_scan));
+    nodes
+}
+
+fn explain_query(q: &QueryPlan) -> ExplainNode {
+    let mut children = explain_block(&q.root);
+    if !q.deferred.is_empty() {
+        children.push(
+            ExplainNode::new("deferred", "validated with the output head bound")
+                .with(q.deferred.iter().map(explain_formula).collect()),
+        );
+    }
+    ExplainNode::new(
+        "query",
+        format!("{}({})", q.out.name(), q.out.attrs().join(", ")),
+    )
+    .with(children)
+}
+
+fn explain_ops(op: &OpNode) -> ExplainNode {
+    let join_detail = |checks: &[(usize, CmpOp, usize)]| {
+        let eq = checks.iter().filter(|(_, op, _)| *op == CmpOp::Eq).count();
+        let residual = checks.len() - eq;
+        if eq == 0 {
+            format!("nested loop ({residual} residual check(s))")
+        } else {
+            format!("hash join on {eq} key(s), {residual} residual check(s)")
+        }
+    };
+    match op {
+        OpNode::Table(name) => ExplainNode::new("table", name.clone()),
+        OpNode::Project { cols, input } => {
+            ExplainNode::new("project", format!("cols {}", fmt_cols(cols)))
+                .with(vec![explain_ops(input)])
+        }
+        OpNode::Select { input, .. } => {
+            ExplainNode::new("select", "compiled condition").with(vec![explain_ops(input)])
+        }
+        OpNode::Product(l, r) => {
+            ExplainNode::new("product", "").with(vec![explain_ops(l), explain_ops(r)])
+        }
+        OpNode::Join {
+            checks,
+            left,
+            right,
+        } => ExplainNode::new("join", join_detail(checks))
+            .with(vec![explain_ops(left), explain_ops(right)]),
+        OpNode::NaturalJoin {
+            checks,
+            left,
+            right,
+            ..
+        } => ExplainNode::new("natural-join", join_detail(checks))
+            .with(vec![explain_ops(left), explain_ops(right)]),
+        OpNode::Diff(l, r) => {
+            ExplainNode::new("diff", "").with(vec![explain_ops(l), explain_ops(r)])
+        }
+        OpNode::Union(l, r) => {
+            ExplainNode::new("union", "").with(vec![explain_ops(l), explain_ops(r)])
+        }
+        OpNode::Antijoin {
+            checks,
+            left,
+            right,
+        } => ExplainNode::new("antijoin", join_detail(checks))
+            .with(vec![explain_ops(left), explain_ops(right)]),
+    }
+}
+
+/// Renders a compiled plan as an explain tree.
+pub fn explain(plan: &Plan) -> ExplainNode {
+    match plan {
+        Plan::Union(branches) => {
+            if let [q] = branches.as_slice() {
+                explain_query(q)
+            } else {
+                ExplainNode::new("union", format!("{} branches", branches.len()))
+                    .with(branches.iter().map(explain_query).collect())
+            }
+        }
+        Plan::Sentence(s) => {
+            ExplainNode::new("sentence", "boolean").with(vec![explain_formula(&s.formula)])
+        }
+        Plan::Program(p) => ExplainNode::new("program", format!("query {}", p.query)).with(
+            p.strata
+                .iter()
+                .map(|stratum| {
+                    ExplainNode::new("stratum", stratum.pred.clone()).with(
+                        stratum
+                            .rules
+                            .iter()
+                            .map(|rule| {
+                                ExplainNode::new(
+                                    "rule",
+                                    format!("{} head term(s)", rule.head.len()),
+                                )
+                                .with(explain_block(&rule.block))
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        ),
+        Plan::Ops { root, out } => {
+            ExplainNode::new("ops", format!("{}({})", out.name(), out.attrs().join(", ")))
+                .with(vec![explain_ops(root)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Relation;
+
+    fn rs_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::from_rows(
+                TableSchema::new("R", ["A", "B"]),
+                [[1i64, 10], [1, 20], [2, 10], [3, 30]],
+            )
+            .unwrap(),
+        );
+        db.add_relation(
+            Relation::from_rows(TableSchema::new("S", ["B"]), [[10i64], [20]]).unwrap(),
+        );
+        db
+    }
+
+    /// A hand-built pipeline: q(A) ← R(A, B), S(B) as a tuple-slot plan
+    /// with a hash probe into S.
+    fn join_plan() -> QueryPlan {
+        QueryPlan {
+            out: TableSchema::new("q", ["A"]),
+            head_slot: 0,
+            root: Block {
+                pre: Vec::new(),
+                scans: vec![
+                    Scan {
+                        rel: "R".into(),
+                        tuple_slot: Some(1),
+                        key_cols: Vec::new(),
+                        key_terms: Vec::new(),
+                        bind_cols: Vec::new(),
+                        check_cols: Vec::new(),
+                        index_id: FULL_SCAN,
+                        filters: Vec::new(),
+                    },
+                    Scan {
+                        rel: "S".into(),
+                        tuple_slot: Some(2),
+                        key_cols: vec![0],
+                        key_terms: vec![Term::Col { slot: 1, col: 1 }],
+                        bind_cols: Vec::new(),
+                        check_cols: Vec::new(),
+                        index_id: 0,
+                        filters: Vec::new(),
+                    },
+                ],
+            },
+            defs: vec![Term::Col { slot: 1, col: 0 }],
+            deferred: Vec::new(),
+            shape: EnvShape {
+                tuple_slots: 3,
+                value_slots: 0,
+                indexes: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn pipeline_join_emits_matching_tuples() {
+        let db = rs_db();
+        let out = run_query(&join_plan(), &db).unwrap();
+        let vals: Vec<&Value> = out.iter().map(|t| t.get(0)).collect();
+        assert_eq!(vals, vec![&Value::int(1), &Value::int(2)]);
+    }
+
+    #[test]
+    fn value_slot_pipeline_with_neg_probe() {
+        // Q(x) ← R(x, y), ¬S(y): Datalog-style value slots.
+        let db = rs_db();
+        let rule = RulePlan {
+            head: vec![Term::Var(0)],
+            block: Block {
+                pre: Vec::new(),
+                scans: vec![Scan {
+                    rel: "R".into(),
+                    tuple_slot: None,
+                    key_cols: Vec::new(),
+                    key_terms: Vec::new(),
+                    bind_cols: vec![(0, 0), (1, 1)],
+                    check_cols: Vec::new(),
+                    index_id: FULL_SCAN,
+                    filters: vec![Formula::NegProbe {
+                        rel: "S".into(),
+                        cols: vec![0],
+                        terms: vec![Term::Var(1)],
+                        index_id: 0,
+                    }],
+                }],
+            },
+            shape: EnvShape {
+                tuple_slots: 0,
+                value_slots: 2,
+                indexes: 1,
+            },
+        };
+        let idbs = IdbMap::new();
+        let out = run_rule(&rule, &db, &idbs).unwrap();
+        assert_eq!(out, vec![Tuple::new([3i64])]);
+    }
+
+    #[test]
+    fn sentence_short_circuits() {
+        let db = rs_db();
+        let s = SentencePlan {
+            formula: Formula::Exists(Block {
+                pre: Vec::new(),
+                scans: vec![Scan {
+                    rel: "R".into(),
+                    tuple_slot: Some(0),
+                    key_cols: Vec::new(),
+                    key_terms: Vec::new(),
+                    bind_cols: Vec::new(),
+                    check_cols: Vec::new(),
+                    index_id: FULL_SCAN,
+                    filters: vec![Formula::Pred(Pred {
+                        left: Term::Col { slot: 0, col: 0 },
+                        op: CmpOp::Eq,
+                        right: Term::Const(Value::int(3)),
+                    })],
+                }],
+            }),
+            shape: EnvShape {
+                tuple_slots: 1,
+                value_slots: 0,
+                indexes: 0,
+            },
+        };
+        assert!(run_sentence(&s, &db).unwrap());
+        assert_eq!(
+            execute(&Plan::Sentence(s), &db).unwrap().len(),
+            1,
+            "true sentence is the 0-ary singleton"
+        );
+    }
+
+    #[test]
+    fn ops_tree_executes_join_and_diff() {
+        let db = rs_db();
+        // π_A(R ⋈_{B=B} S): the A values whose B appears in S.
+        let join = OpNode::Join {
+            checks: vec![(1, CmpOp::Eq, 0)],
+            left: Box::new(OpNode::Table("R".into())),
+            right: Box::new(OpNode::Table("S".into())),
+        };
+        let root = OpNode::Project {
+            cols: vec![0],
+            input: Box::new(join),
+        };
+        let tuples = run_ops(&root, &db).unwrap();
+        assert_eq!(tuples.len(), 2);
+    }
+
+    #[test]
+    fn empty_union_errors() {
+        let db = rs_db();
+        assert!(execute(&Plan::Union(Vec::new()), &db).is_err());
+    }
+
+    #[test]
+    fn explain_names_scan_strategy() {
+        let plan = Plan::Union(vec![join_plan()]);
+        let node = explain(&plan);
+        assert_eq!(node.kind, "query");
+        let scans: Vec<&ExplainNode> = node.children.iter().filter(|n| n.kind == "scan").collect();
+        assert_eq!(scans.len(), 2);
+        assert!(scans[0].detail.contains("full scan"), "{}", scans[0].detail);
+        assert!(
+            scans[1].detail.contains("hash probe"),
+            "{}",
+            scans[1].detail
+        );
+    }
+}

@@ -36,6 +36,7 @@
 pub mod cmp;
 pub mod database;
 pub mod error;
+pub mod exec;
 pub mod generate;
 pub mod plan;
 pub mod pretty;

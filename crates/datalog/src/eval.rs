@@ -1,59 +1,74 @@
-//! Bottom-up, join-aware evaluation of non-recursive Datalog¬ programs.
+//! Datalog evaluation as a *lowering* onto the shared plan IR
+//! ([`rd_core::exec`]).
 //!
-//! IDBs are computed in topological order. Each rule is compiled before
-//! evaluation: variables get *slots* (the runtime environment is a flat
-//! `Vec<Option<Value>>`, not a string-keyed map), constants are interned
-//! against the database, positive atoms are greedily reordered by
-//! estimated scan cost ([`rd_core::plan::scan_cost`] — bound equality
-//! keys first, then relation size), and every atom whose columns are
-//! constrained by constants or already-bound variables probes a
-//! lazily-built hash index instead of scanning. Built-ins and negated
-//! atoms apply as soon as their variables are bound (their variables are
-//! guaranteed bound by safety); negated atoms probe an index on their
-//! non-wildcard columns. Multiple rules for the same IDB union their
-//! results (this is how Datalog expresses disjunction, §2.1).
+//! A program lowers once into a [`ProgramPlan`]: IDBs become strata in
+//! topological order, and each rule compiles to a pipeline — variables
+//! get *slots* (the runtime environment is a flat slot vector, not a
+//! string-keyed map), constants are interned against the database,
+//! positive atoms are greedily reordered by estimated scan cost
+//! ([`rd_core::plan::scan_cost`] — bound equality keys first, then
+//! relation size), and every atom whose columns are constrained by
+//! constants or already-bound variables probes a lazily-built hash
+//! index instead of scanning. Built-ins and negated atoms apply as soon
+//! as their variables are bound (guaranteed by safety); negated atoms
+//! become [`NegProbe`](rd_core::exec::Formula::NegProbe) nodes over
+//! their non-wildcard columns. Multiple rules for the same IDB union
+//! their results (this is how Datalog expresses disjunction, §2.1).
+//!
+//! The shared executor ([`rd_core::exec::run_program`]) runs the plan;
+//! the compiled form carries no borrows, so the engine caches it per
+//! database epoch.
 
 use crate::ast::{Atom, DlProgram, DlTerm, Literal, Rule};
 use crate::check::topo_order;
-use rd_core::{plan, CmpOp, CoreError, CoreResult, Database, Relation, TableSchema, Tuple, Value};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::rc::Rc;
+use rd_core::exec::{self, Block, EnvShape, ProgramPlan, RulePlan, Scan, Stratum};
+use rd_core::{plan, CoreResult, Database, Relation, TableSchema};
+use std::collections::{BTreeSet, HashMap};
 
 /// Evaluates the program's query predicate over `db`, returning a relation
 /// whose attribute names are positional (`x1`, `x2`, …).
 pub fn eval_program(p: &DlProgram, db: &Database) -> CoreResult<Relation> {
+    exec::run_program(&lower_program(p, db)?, db)
+}
+
+/// Lowers a program to a compiled plan: interned constants, strata in
+/// topological order, one pipeline per rule.
+pub fn lower_program(p: &DlProgram, db: &Database) -> CoreResult<ProgramPlan> {
     let p = intern_program(p, db);
-    let mut computed: BTreeMap<String, BTreeSet<Tuple>> = BTreeMap::new();
+    // Size statistics for scan ordering. EDB sizes are exact; IDB sizes
+    // are unknown at compile time (they exist only during execution),
+    // so they get the database total as a conservative "could be large"
+    // estimate — correctness is order-independent either way.
+    let total = db.total_tuples();
+    let size_of = |pred: &str| -> usize { db.relation(pred).map_or(total, Relation::len) };
+    let mut strata = Vec::new();
     for idb in topo_order(&p) {
-        let mut tuples: BTreeSet<Tuple> = BTreeSet::new();
+        let mut rules = Vec::new();
         for rule in p.rules.iter().filter(|r| r.head.pred == idb) {
-            tuples.extend(eval_rule(rule, db, &computed)?);
+            rules.push(compile_rule(rule, &size_of)?);
         }
-        computed.insert(idb, tuples);
+        strata.push(Stratum { pred: idb, rules });
     }
-    let rows = computed
-        .remove(&p.query)
-        .ok_or_else(|| CoreError::Invalid(format!("query predicate '{}' not computed", p.query)))?;
     let arity = p
         .rules
         .iter()
         .find(|r| r.head.pred == p.query)
         .map(|r| r.head.terms.len())
         .unwrap_or(0);
-    let schema = TableSchema::new(
+    let out = TableSchema::new(
         p.query.clone(),
         (1..=arity).map(|i| format!("x{i}")).collect::<Vec<_>>(),
     );
-    let mut rel = db.fresh_relation(schema);
-    for row in rows {
-        rel.insert(row)?;
-    }
-    Ok(rel)
+    Ok(ProgramPlan {
+        strata,
+        query: p.query.clone(),
+        out,
+    })
 }
 
 /// Returns `p` with every string constant mapped to its symbol (where
 /// one exists — unknown literals stay `Str` and simply never match), so
-/// the per-tuple loops below only ever compare ids.
+/// the executor's per-tuple loops only ever compare ids.
 fn intern_program(p: &DlProgram, db: &Database) -> DlProgram {
     let mut p = p.clone();
     let fix = |t: &mut DlTerm| {
@@ -76,84 +91,11 @@ fn intern_program(p: &DlProgram, db: &Database) -> DlProgram {
     p
 }
 
-fn relation_tuples<'a>(
-    pred: &str,
-    db: &'a Database,
-    computed: &'a BTreeMap<String, BTreeSet<Tuple>>,
-) -> CoreResult<Vec<&'a Tuple>> {
-    if let Some(rows) = computed.get(pred) {
-        return Ok(rows.iter().collect());
-    }
-    Ok(db.require(pred)?.iter().collect())
-}
-
 // ---------------------------------------------------------------------
-// Compiled rule representation
+// Rule lowering
 // ---------------------------------------------------------------------
 
-/// A value source: a constant (interned) or a slot bound earlier.
-#[derive(Debug, Clone)]
-enum CVal {
-    Const(Value),
-    Slot(usize),
-}
-
-/// A term of the head or a built-in, including the failure modes that
-/// must surface lazily (only when a full assignment exists, matching the
-/// pre-planner evaluator's behavior on unsafe rules).
-#[derive(Debug, Clone)]
-enum BTerm {
-    Const(Value),
-    Slot(usize),
-    Unbound(String),
-    Wildcard,
-}
-
-/// A filter attached to the scan after which its variables are bound.
-#[derive(Debug)]
-enum Test {
-    /// A built-in comparison.
-    Cmp {
-        left: BTerm,
-        op: CmpOp,
-        right: BTerm,
-    },
-    /// A negated atom: fails if any tuple of `pred` matches the key
-    /// columns (wildcard columns match everything). With no key columns
-    /// (`not P(_)`), fails iff `pred` is non-empty.
-    Neg {
-        pred: String,
-        cols: Vec<usize>,
-        vals: Vec<CVal>,
-        index_id: usize,
-    },
-}
-
-/// One positive atom, scheduled: probe `key_cols` (hash index) or scan,
-/// bind `bind_cols`, verify `check_cols` (intra-atom repeated variables),
-/// then run the attached `tests`.
-#[derive(Debug)]
-struct ScanAtom {
-    pred: String,
-    key_cols: Vec<usize>,
-    key_vals: Vec<CVal>,
-    bind_cols: Vec<(usize, usize)>,
-    check_cols: Vec<(usize, usize)>,
-    index_id: usize,
-    tests: Vec<Test>,
-}
-
-struct CompiledRule {
-    /// Tests whose variables need no positive atom (constant built-ins,
-    /// negations over constants/wildcards only).
-    pre_tests: Vec<Test>,
-    scans: Vec<ScanAtom>,
-    head: Vec<BTerm>,
-    n_slots: usize,
-    n_indexes: usize,
-}
-
-fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<CompiledRule> {
+fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<RulePlan> {
     let mut n_slots = 0usize;
     let mut slots_by_name: HashMap<String, usize> = HashMap::new();
     let mut bound: BTreeSet<String> = BTreeSet::new();
@@ -161,7 +103,7 @@ fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<Comp
 
     let positives: Vec<&Atom> = rule.positive().collect();
     let mut remaining: Vec<usize> = (0..positives.len()).collect();
-    let mut scans: Vec<ScanAtom> = Vec::new();
+    let mut scans: Vec<Scan> = Vec::new();
 
     // Pending filters: built-ins and negations, in body order.
     struct Pending<'r> {
@@ -200,52 +142,52 @@ fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<Comp
                         bound: &BTreeSet<String>,
                         slots_by_name: &HashMap<String, usize>,
                         n_indexes: &mut usize|
-     -> Option<Test> {
+     -> Option<exec::Formula> {
         match lit {
             Literal::Cmp(b) => {
                 let term = |t: &DlTerm| match t {
-                    DlTerm::Const(c) => BTerm::Const(c.clone()),
-                    DlTerm::Wildcard => BTerm::Wildcard,
+                    DlTerm::Const(c) => exec::Term::Const(c.clone()),
+                    DlTerm::Wildcard => exec::Term::Wildcard,
                     DlTerm::Var(v) => match slots_by_name.get(v.as_str()) {
-                        Some(&s) if bound.contains(v) => BTerm::Slot(s),
-                        _ => BTerm::Unbound(v.clone()),
+                        Some(&s) if bound.contains(v) => exec::Term::Var(s),
+                        _ => exec::Term::Unbound(v.clone()),
                     },
                 };
-                Some(Test::Cmp {
+                Some(exec::Formula::Pred(exec::Pred {
                     left: term(&b.left),
                     op: b.op,
                     right: term(&b.right),
-                })
+                }))
             }
             Literal::Neg(a) => {
                 let mut cols = Vec::new();
-                let mut vals = Vec::new();
+                let mut terms = Vec::new();
                 for (i, t) in a.terms.iter().enumerate() {
                     match t {
                         DlTerm::Wildcard => {}
                         DlTerm::Const(c) => {
                             cols.push(i);
-                            vals.push(CVal::Const(c.clone()));
+                            terms.push(exec::Term::Const(c.clone()));
                         }
                         DlTerm::Var(v) => {
                             if !bound.contains(v) {
                                 return None; // vacuously true
                             }
+                            terms.push(exec::Term::Var(slots_by_name[v.as_str()]));
                             cols.push(i);
-                            vals.push(CVal::Slot(slots_by_name[v.as_str()]));
                         }
                     }
                 }
                 let index_id = if cols.is_empty() {
-                    usize::MAX
+                    exec::FULL_SCAN
                 } else {
                     *n_indexes += 1;
                     *n_indexes - 1
                 };
-                Some(Test::Neg {
-                    pred: a.pred.clone(),
+                Some(exec::Formula::NegProbe {
+                    rel: a.pred.clone(),
                     cols,
-                    vals,
+                    terms,
                     index_id,
                 })
             }
@@ -254,12 +196,12 @@ fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<Comp
     };
 
     // Filters whose variables are bound with *no* scans at all.
-    let mut pre_tests = Vec::new();
+    let mut pre = Vec::new();
     for entry in pending.iter_mut() {
         if entry.as_ref().is_some_and(|p| p.vars.is_empty()) {
             let p = entry.take().expect("checked above");
             if let Some(t) = compile_test(p.lit, &bound, &slots_by_name, &mut n_indexes) {
-                pre_tests.push(t);
+                pre.push(t);
             }
         }
     }
@@ -288,7 +230,7 @@ fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<Comp
         let ai = remaining.remove(best);
         let atom = positives[ai];
         let mut key_cols = Vec::new();
-        let mut key_vals = Vec::new();
+        let mut key_terms = Vec::new();
         let mut bind_cols = Vec::new();
         let mut check_cols = Vec::new();
         let mut seen_here: HashMap<&str, usize> = HashMap::new();
@@ -297,12 +239,12 @@ fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<Comp
                 DlTerm::Wildcard => {}
                 DlTerm::Const(c) => {
                     key_cols.push(i);
-                    key_vals.push(CVal::Const(c.clone()));
+                    key_terms.push(exec::Term::Const(c.clone()));
                 }
                 DlTerm::Var(v) => {
                     if bound.contains(v) {
                         key_cols.push(i);
-                        key_vals.push(CVal::Slot(slots_by_name[v.as_str()]));
+                        key_terms.push(exec::Term::Var(slots_by_name[v.as_str()]));
                     } else if let Some(&s) = seen_here.get(v.as_str()) {
                         // Repeated inside this atom: first occurrence
                         // binds, later ones verify.
@@ -319,12 +261,12 @@ fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<Comp
             bound.insert(v.to_string());
         }
         let index_id = if key_cols.is_empty() {
-            usize::MAX
+            exec::FULL_SCAN
         } else {
             n_indexes += 1;
             n_indexes - 1
         };
-        let mut tests = Vec::new();
+        let mut filters = Vec::new();
         for entry in pending.iter_mut() {
             if entry
                 .as_ref()
@@ -332,18 +274,19 @@ fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<Comp
             {
                 let p = entry.take().expect("checked above");
                 if let Some(t) = compile_test(p.lit, &bound, &slots_by_name, &mut n_indexes) {
-                    tests.push(t);
+                    filters.push(t);
                 }
             }
         }
-        scans.push(ScanAtom {
-            pred: atom.pred.clone(),
+        scans.push(Scan {
+            rel: atom.pred.clone(),
+            tuple_slot: None,
             key_cols,
-            key_vals,
+            key_terms,
             bind_cols,
             check_cols,
             index_id,
-            tests,
+            filters,
         });
     }
 
@@ -360,8 +303,8 @@ fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<Comp
     }
     if !leftovers.is_empty() {
         match scans.last_mut() {
-            Some(last) => last.tests.extend(leftovers),
-            None => pre_tests.extend(leftovers),
+            Some(last) => last.filters.extend(leftovers),
+            None => pre.extend(leftovers),
         }
     }
 
@@ -370,204 +313,31 @@ fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<Comp
         .terms
         .iter()
         .map(|t| match t {
-            DlTerm::Const(c) => BTerm::Const(c.clone()),
-            DlTerm::Wildcard => BTerm::Wildcard,
+            DlTerm::Const(c) => exec::Term::Const(c.clone()),
+            DlTerm::Wildcard => exec::Term::Wildcard,
             DlTerm::Var(v) => match slots_by_name.get(v.as_str()) {
-                Some(&s) => BTerm::Slot(s),
-                None => BTerm::Unbound(v.clone()),
+                Some(&s) => exec::Term::Var(s),
+                None => exec::Term::Unbound(v.clone()),
             },
         })
         .collect();
 
-    Ok(CompiledRule {
-        pre_tests,
-        scans,
+    Ok(RulePlan {
         head,
-        n_slots,
-        n_indexes,
+        block: Block { pre, scans },
+        shape: EnvShape {
+            tuple_slots: 0,
+            value_slots: n_slots,
+            indexes: n_indexes,
+        },
     })
-}
-
-// ---------------------------------------------------------------------
-// Execution
-// ---------------------------------------------------------------------
-
-struct RuleCtx<'a> {
-    db: &'a Database,
-    computed: &'a BTreeMap<String, BTreeSet<Tuple>>,
-    indexes: plan::IndexCache<'a>,
-    key_buf: plan::KeyBuf,
-}
-
-impl<'a> RuleCtx<'a> {
-    fn index_for(
-        &mut self,
-        pred: &str,
-        cols: &[usize],
-        index_id: usize,
-    ) -> CoreResult<Rc<plan::Index<'a>>> {
-        let (db, computed) = (self.db, self.computed);
-        self.indexes
-            .get_or_build(index_id, cols, || relation_tuples(pred, db, computed))
-    }
-}
-
-fn bterm_value<'s>(t: &'s BTerm, slots: &'s [Option<Value>]) -> CoreResult<&'s Value> {
-    match t {
-        BTerm::Const(v) => Ok(v),
-        BTerm::Slot(s) => Ok(slots[*s]
-            .as_ref()
-            .expect("compiler only emits Slot for bound variables")),
-        BTerm::Unbound(v) => Err(CoreError::Invalid(format!("unbound variable '{v}'"))),
-        BTerm::Wildcard => Err(CoreError::Invalid(
-            "wildcard cannot be resolved to a value".into(),
-        )),
-    }
-}
-
-fn run_tests(tests: &[Test], slots: &[Option<Value>], ctx: &mut RuleCtx) -> CoreResult<bool> {
-    for t in tests {
-        match t {
-            Test::Cmp { left, op, right } => {
-                let l = bterm_value(left, slots)?;
-                let r = bterm_value(right, slots)?;
-                if !op.eval_resolved(l, r, ctx.db.symbols()) {
-                    return Ok(false);
-                }
-            }
-            Test::Neg {
-                pred,
-                cols,
-                vals,
-                index_id,
-            } => {
-                if cols.is_empty() {
-                    // `not P(_ ...)`: fails iff P has any tuple — an O(1)
-                    // check, no tuple collection.
-                    let empty = match ctx.computed.get(pred) {
-                        Some(rows) => rows.is_empty(),
-                        None => ctx.db.require(pred)?.is_empty(),
-                    };
-                    if !empty {
-                        return Ok(false);
-                    }
-                } else {
-                    let index = ctx.index_for(pred, cols, *index_id)?;
-                    let hit = index.contains_key(ctx.key_buf.fill(vals.iter().map(|v| {
-                        match v {
-                            CVal::Const(c) => c.clone(),
-                            CVal::Slot(s) => slots[*s]
-                                .clone()
-                                .expect("negation compiled only over bound slots"),
-                        }
-                    })));
-                    if hit {
-                        return Ok(false);
-                    }
-                }
-            }
-        }
-    }
-    Ok(true)
-}
-
-fn run_scans(
-    rule: &CompiledRule,
-    i: usize,
-    slots: &mut Vec<Option<Value>>,
-    ctx: &mut RuleCtx,
-    out: &mut Vec<Tuple>,
-) -> CoreResult<()> {
-    if i == rule.scans.len() {
-        let mut row = Vec::with_capacity(rule.head.len());
-        for t in &rule.head {
-            row.push(bterm_value(t, slots)?.clone());
-        }
-        out.push(Tuple(row));
-        return Ok(());
-    }
-    let scan = &rule.scans[i];
-    let advance = |t: &Tuple,
-                   slots: &mut Vec<Option<Value>>,
-                   ctx: &mut RuleCtx,
-                   out: &mut Vec<Tuple>|
-     -> CoreResult<()> {
-        for &(col, s) in &scan.bind_cols {
-            slots[s] = Some(t.get(col).clone());
-        }
-        for &(col, s) in &scan.check_cols {
-            if slots[s].as_ref() != Some(t.get(col)) {
-                return Ok(());
-            }
-        }
-        if run_tests(&scan.tests, slots, ctx)? {
-            run_scans(rule, i + 1, slots, ctx, out)?;
-        }
-        Ok(())
-    };
-    if scan.key_cols.is_empty() {
-        // Iterate the relation in place — no per-combination collection
-        // of tuple refs (this scan re-runs once per outer binding).
-        if let Some(rows) = ctx.computed.get(&scan.pred) {
-            for t in rows {
-                advance(t, slots, ctx, out)?;
-            }
-        } else {
-            for t in ctx.db.require(&scan.pred)?.iter() {
-                advance(t, slots, ctx, out)?;
-            }
-        }
-    } else {
-        let index = ctx.index_for(&scan.pred, &scan.key_cols, scan.index_id)?;
-        let bucket = index.get(ctx.key_buf.fill(scan.key_vals.iter().map(|v| match v {
-            CVal::Const(c) => c.clone(),
-            CVal::Slot(s) => slots[*s].clone().expect("key slots bound earlier"),
-        })));
-        if let Some(bucket) = bucket {
-            for &t in bucket {
-                advance(t, slots, ctx, out)?;
-            }
-        }
-    }
-    for &(_, s) in &scan.bind_cols {
-        slots[s] = None;
-    }
-    Ok(())
-}
-
-fn eval_rule(
-    rule: &Rule,
-    db: &Database,
-    computed: &BTreeMap<String, BTreeSet<Tuple>>,
-) -> CoreResult<Vec<Tuple>> {
-    // Size statistics: already-computed IDBs first, then EDB relations.
-    let size_of = |pred: &str| -> usize {
-        computed
-            .get(pred)
-            .map(BTreeSet::len)
-            .unwrap_or_else(|| db.relation(pred).map_or(0, Relation::len))
-    };
-    let compiled = compile_rule(rule, &size_of)?;
-    let mut ctx = RuleCtx {
-        db,
-        computed,
-        indexes: plan::IndexCache::new(compiled.n_indexes),
-        key_buf: plan::KeyBuf::default(),
-    };
-    let mut slots: Vec<Option<Value>> = vec![None; compiled.n_slots];
-    if !run_tests(&compiled.pre_tests, &slots, &mut ctx)? {
-        return Ok(Vec::new());
-    }
-    let mut out = Vec::new();
-    run_scans(&compiled, 0, &mut slots, &mut ctx, &mut out)?;
-    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::parser::parse_program;
-    use rd_core::Catalog;
+    use rd_core::{Catalog, Tuple, Value};
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -703,5 +473,21 @@ mod tests {
         let p = parse_program("Q(b) :- Boat(b, 'red').", &d.catalog()).unwrap();
         let out = eval_program(&p, &d).unwrap();
         assert_eq!(ints(&out), vec![101]);
+    }
+
+    #[test]
+    fn lowered_program_is_reusable() {
+        let d = db();
+        let p = parse_program(
+            "I(x) :- R(x, _), S(y), not R(x, y).\nQ(x) :- R(x, _), not I(x).",
+            &catalog(),
+        )
+        .unwrap();
+        let plan = lower_program(&p, &d).unwrap();
+        let a = exec::run_program(&plan, &d).unwrap();
+        let b = exec::run_program(&plan, &d).unwrap();
+        assert_eq!(a.tuples(), b.tuples());
+        assert_eq!(ints(&a), vec![1]);
+        assert_eq!(plan.strata.len(), 2, "I then Q");
     }
 }

@@ -2,7 +2,8 @@
 //! session's cache stores.
 
 use crate::Language;
-use rd_core::{Catalog, CoreResult, Database, Relation, TableSchema};
+use rd_core::exec::{self, Plan};
+use rd_core::{Catalog, CoreResult, Database, Relation};
 use rd_datalog::DlProgram;
 use rd_ra::RaExpr;
 use rd_sql::SqlUnion;
@@ -77,45 +78,27 @@ impl Artifact {
         }
     }
 
-    /// Evaluates the artifact over `db` in its *source* language (no
-    /// translation round-trip), normalizing the output to a
-    /// [`Relation`]. Boolean sentences (TRC `φ` without an output head,
-    /// SQL `SELECT [NOT] EXISTS ...`) evaluate to a 0-ary relation: one
-    /// empty tuple for `true`, empty for `false`.
-    pub fn eval(&self, db: &Database) -> CoreResult<Relation> {
+    /// Lowers the artifact onto the shared plan IR ([`rd_core::exec`])
+    /// against `db`'s catalog, statistics, and symbol table. The
+    /// compiled [`Plan`] carries no borrows and stays valid for the
+    /// lifetime of the database epoch, so the engine caches it and
+    /// skips this step on repeat traffic.
+    pub fn compile(&self, db: &Database) -> CoreResult<Plan> {
         match self {
-            Artifact::Trc(u) => match u.branches.as_slice() {
-                [sentence] if sentence.output.is_none() => {
-                    Ok(boolean_relation(rd_trc::eval_sentence(sentence, db)?))
-                }
-                _ => rd_trc::eval_union(u, db),
-            },
-            Artifact::Sql(u) => match u.branches.as_slice() {
-                [query] if query.is_boolean() => Ok(boolean_relation(
-                    rd_sql::translate::eval_sql_boolean(query, db)?,
-                )),
-                _ => rd_sql::translate::eval_sql(u, db),
-            },
-            Artifact::Datalog(p) => rd_datalog::eval_program(p, db),
-            Artifact::Ra(e) => {
-                let out = rd_ra::eval(e, db)?;
-                let mut rel = db.fresh_relation(TableSchema::new("q", out.attrs.clone()));
-                for t in out.tuples {
-                    rel.insert(t)?;
-                }
-                Ok(rel)
-            }
+            Artifact::Trc(u) => rd_trc::lower_union(u, db),
+            Artifact::Sql(u) => rd_sql::lower_sql(u, db),
+            Artifact::Datalog(p) => Ok(Plan::Program(rd_datalog::lower_program(p, db)?)),
+            Artifact::Ra(e) => rd_ra::lower(e, db),
         }
     }
-}
 
-/// The 0-ary encoding of a Boolean result: `{()}` for true, `{}` for
-/// false (the classic degenerate-relation convention).
-fn boolean_relation(value: bool) -> Relation {
-    let mut rel = Relation::empty(TableSchema::new("q", Vec::<String>::new()));
-    if value {
-        rel.insert(rd_core::Tuple(Vec::new()))
-            .expect("0-ary tuple fits 0-ary schema");
+    /// Evaluates the artifact over `db` in its *source* language (no
+    /// translation round-trip), normalizing the output to a
+    /// [`Relation`]: one [`compile`](Artifact::compile) followed by one
+    /// pass of the shared executor. Boolean sentences (TRC `φ` without
+    /// an output head, SQL `SELECT [NOT] EXISTS ...`) evaluate to a
+    /// 0-ary relation: one empty tuple for `true`, empty for `false`.
+    pub fn eval(&self, db: &Database) -> CoreResult<Relation> {
+        exec::execute(&self.compile(db)?, db)
     }
-    rel
 }

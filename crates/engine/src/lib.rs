@@ -69,6 +69,6 @@ pub use artifact::Artifact;
 pub use cache::LruCache;
 pub use fixture::{demo_database, parse_csv, parse_fixture, render_fixture};
 pub use language::Language;
-pub use request::{DiagramFormat, QueryRequest, QueryResponse, Translations};
+pub use request::{DiagramFormat, ExplainResponse, QueryRequest, QueryResponse, Translations};
 pub use session::{Session, SessionStats, DEFAULT_CACHE_CAPACITY};
 pub use shared::{CacheStats, DbEpoch, EngineShared, ShardedCache, SharedConfig};

@@ -1,6 +1,7 @@
 //! Requests into and responses out of a [`Session`](crate::Session).
 
 use crate::{Artifact, Language};
+use rd_core::exec::ExplainNode;
 use rd_core::{Relation, Tuple};
 use std::sync::Arc;
 
@@ -77,6 +78,21 @@ pub struct Translations {
     /// Why any direction is missing (e.g. disjunctive queries are outside
     /// the single-query Datalog\*/RA\* translations).
     pub notes: Vec<String>,
+}
+
+/// Everything a [`Session::explain`](crate::Session::explain)
+/// produces: the compiled plan rendered for diagnosis, without any
+/// evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainResponse {
+    /// The language the query was parsed as.
+    pub language: Language,
+    /// The canonical rendering in the source language.
+    pub canonical: String,
+    /// The explain tree: scan order, join strategy, bound keys.
+    pub plan: ExplainNode,
+    /// `true` if the artifact came from the parse cache.
+    pub cache_hit: bool,
 }
 
 /// Everything a [`Session::run`](crate::Session::run) produces.

@@ -1,9 +1,12 @@
 //! The query session: the workspace's single front door.
 
-use crate::request::{DiagramFormat, QueryRequest, QueryResponse, Translations};
-use crate::shared::{hash_text, DbEpoch, EngineShared, EvalEntry, ParseEntry, SharedConfig};
+use crate::request::{DiagramFormat, ExplainResponse, QueryRequest, QueryResponse, Translations};
+use crate::shared::{
+    hash_text, DbEpoch, EngineShared, EvalEntry, ParseEntry, PlanEntry, SharedConfig,
+};
 use crate::{Artifact, Language};
-use rd_core::{Catalog, CoreResult, Database, Relation};
+use rd_core::exec::{self, Plan};
+use rd_core::{Catalog, CoreError, CoreResult, Database, Relation};
 use rd_trc::TrcUnion;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -43,6 +46,13 @@ pub struct SessionStats {
     /// admission threshold
     /// ([`SharedConfig::eval_cache_max_entry_bytes`]).
     pub eval_skipped: u64,
+    /// Plan-cache hits (the compile/lowering step was skipped).
+    pub plan_hits: u64,
+    /// Plan-cache misses (the artifact was lowered onto the plan IR; 0
+    /// with the plan cache disabled).
+    pub plan_misses: u64,
+    /// Plan-cache entries this session's inserts evicted.
+    pub plan_evictions: u64,
     /// Total result tuples returned.
     pub rows_returned: u64,
     /// Tuples delivered through chunked streaming (a subset of
@@ -74,6 +84,9 @@ impl SessionStats {
         self.eval_misses += other.eval_misses;
         self.eval_evictions += other.eval_evictions;
         self.eval_skipped += other.eval_skipped;
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.plan_evictions += other.plan_evictions;
         self.rows_returned += other.rows_returned;
         self.rows_streamed += other.rows_streamed;
     }
@@ -91,6 +104,9 @@ impl SessionStats {
             eval_misses: self.eval_misses - earlier.eval_misses,
             eval_evictions: self.eval_evictions - earlier.eval_evictions,
             eval_skipped: self.eval_skipped - earlier.eval_skipped,
+            plan_hits: self.plan_hits - earlier.plan_hits,
+            plan_misses: self.plan_misses - earlier.plan_misses,
+            plan_evictions: self.plan_evictions - earlier.plan_evictions,
             rows_returned: self.rows_returned - earlier.rows_returned,
             rows_streamed: self.rows_streamed - earlier.rows_streamed,
         }
@@ -140,6 +156,7 @@ impl Session {
             SharedConfig {
                 parse_cache_capacity: capacity,
                 eval_cache_capacity: capacity,
+                plan_cache_capacity: capacity,
                 shards: 1,
                 ..SharedConfig::default()
             },
@@ -206,7 +223,10 @@ impl Session {
         let epoch = self.shared.epoch();
         self.stats.queries += 1;
         let (artifact, cache_hit) = self.prepare(&epoch, req.language, &req.text)?;
-        let (relation, eval_cache_hit) = self.evaluate(&epoch, &artifact)?;
+        // Render the canonical text exactly once per request: it keys
+        // the eval and plan caches and rides back in the response.
+        let canonical = artifact.canonical_text();
+        let (relation, eval_cache_hit) = self.evaluate(&epoch, &artifact, &canonical)?;
         self.stats.rows_returned += relation.len() as u64;
         // Both optional artifacts view the query through the TRC hub;
         // compute it once per request. A hub failure (the query is outside
@@ -242,7 +262,7 @@ impl Session {
         };
         Ok(QueryResponse {
             language: artifact.language(),
-            canonical: artifact.canonical_text(),
+            canonical,
             artifact,
             relation,
             cache_hit,
@@ -319,21 +339,24 @@ impl Session {
         &mut self,
         epoch: &DbEpoch,
         artifact: &Artifact,
+        canonical: &str,
     ) -> CoreResult<(Arc<Relation>, bool)> {
         if !self.shared.eval_cache_enabled() {
-            let raw = artifact.eval(&epoch.db)?;
+            let plan = self.plan(epoch, artifact, canonical)?;
+            let raw = exec::execute(&plan, &epoch.db)?;
             return Ok((Arc::new(epoch.db.resolve_relation(&raw)), false));
         }
-        let canonical = artifact.canonical_text();
-        let key = (epoch.generation, artifact.language(), hash_text(&canonical));
+        let key = (epoch.generation, artifact.language(), hash_text(canonical));
         if let Some(entry) = self.shared.eval_cache.get(&key) {
-            if *entry.canonical == canonical {
+            if *entry.canonical == *canonical {
                 self.stats.eval_hits += 1;
                 return Ok((entry.relation, true));
             }
         }
         self.stats.eval_misses += 1;
-        let raw = artifact.eval(&epoch.db)?;
+        // Result-cache miss: the plan cache can still skip the compile.
+        let plan = self.plan(epoch, artifact, canonical)?;
+        let raw = exec::execute(&plan, &epoch.db)?;
         let relation = Arc::new(epoch.db.resolve_relation(&raw));
         let bytes = relation.approx_bytes();
         if !self.shared.eval_cache_admits(bytes) {
@@ -350,6 +373,101 @@ impl Session {
             self.stats.eval_evictions += 1;
         }
         Ok((relation, false))
+    }
+
+    /// Fetches (or compiles and caches) the artifact's executable plan
+    /// through the shared plan cache, keyed — like the result cache —
+    /// by the canonical artifact text and the epoch's generation: plans
+    /// bake in interned constants and size-driven scan orders, so an
+    /// entry never outlives the database it was compiled against.
+    /// Failed compiles are not cached (error traffic must not evict
+    /// good plans).
+    ///
+    /// Callers pass the already-rendered canonical text (the eval-cache
+    /// key and the response use the same string), so each request
+    /// renders it exactly once.
+    fn plan(
+        &mut self,
+        epoch: &DbEpoch,
+        artifact: &Artifact,
+        canonical: &str,
+    ) -> CoreResult<Arc<Plan>> {
+        if !self.shared.plan_cache_enabled() {
+            return Ok(Arc::new(artifact.compile(&epoch.db)?));
+        }
+        let key = (epoch.generation, artifact.language(), hash_text(canonical));
+        if let Some(entry) = self.shared.plan_cache.get(&key) {
+            if *entry.canonical == *canonical {
+                self.stats.plan_hits += 1;
+                return Ok(entry.plan);
+            }
+        }
+        self.stats.plan_misses += 1;
+        let plan = Arc::new(artifact.compile(&epoch.db)?);
+        let entry = PlanEntry {
+            canonical: canonical.into(),
+            plan: plan.clone(),
+        };
+        if self.shared.plan_cache.insert(key, entry).1.is_some() {
+            self.stats.plan_evictions += 1;
+        }
+        Ok(plan)
+    }
+
+    /// Compiles (or fetches from the plan cache) the query's executable
+    /// plan and renders it as an explain tree — scan order, join
+    /// strategy, bound keys — without evaluating anything.
+    pub fn explain(&mut self, language: Language, text: &str) -> CoreResult<ExplainResponse> {
+        let epoch = self.shared.epoch();
+        let (artifact, cache_hit) = self.prepare(&epoch, language, text)?;
+        let canonical = artifact.canonical_text();
+        let plan = self.plan(&epoch, &artifact, &canonical)?;
+        Ok(ExplainResponse {
+            language: artifact.language(),
+            canonical,
+            plan: exec::explain(&plan),
+            cache_hit,
+        })
+    }
+
+    /// Translates a query into `target` through the TRC hub (Theorem
+    /// 6): parses `text` as `language` (through the parse cache), then
+    /// maps the canonical hub form into the requested language's text.
+    /// Directions outside the covered fragment (e.g. multi-branch
+    /// unions into Datalog\*/RA\*) error with the reason.
+    pub fn translate(
+        &mut self,
+        language: Language,
+        text: &str,
+        target: Language,
+    ) -> CoreResult<String> {
+        let epoch = self.shared.epoch();
+        let (artifact, _) = self.prepare(&epoch, language, text)?;
+        let hub = self.hub_trc(&artifact, &epoch.catalog)?;
+        match target {
+            Language::Trc => Ok(rd_trc::printer::union_to_ascii(&hub)),
+            Language::Sql => Ok(rd_sql::printer::format_sql_union(
+                &rd_sql::trc_union_to_sql(&hub)?,
+            )),
+            Language::Datalog | Language::Ra => {
+                let [query] = hub.branches.as_slice() else {
+                    return Err(CoreError::Invalid(format!(
+                        "query is a {}-branch union; the Datalog*/RA* translations \
+                         (Theorem 6) are defined per branch",
+                        hub.branches.len()
+                    )));
+                };
+                let program = rd_translate::trc_to_datalog(query, &epoch.catalog)?;
+                if target == Language::Datalog {
+                    Ok(program.to_string())
+                } else {
+                    Ok(rd_ra::printer::to_ascii(&rd_translate::datalog_to_ra(
+                        &program,
+                        &epoch.catalog,
+                    )?))
+                }
+            }
+        }
     }
 
     /// Carries the artifact into canonical TRC — the hub of the Theorem 6

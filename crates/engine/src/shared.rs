@@ -40,6 +40,11 @@ pub const DEFAULT_PARSE_CACHE_CAPACITY: usize = 256;
 /// relations, typically small under set semantics).
 pub const DEFAULT_EVAL_CACHE_CAPACITY: usize = 256;
 
+/// Default plan-cache capacity (entries; values are compiled
+/// [`rd_core::exec::Plan`]s — small owned trees of scans and column
+/// indices).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
 /// Default per-entry admission threshold of the eval cache, in
 /// (approximate) result bytes. Results above the threshold are returned
 /// but not cached: one huge relation must not evict hundreds of small
@@ -264,6 +269,21 @@ pub(crate) type ParseKey = (u64, Language, u64);
 /// *canonical* query text.
 pub(crate) type EvalKey = (u64, Language, u64);
 
+/// Plan-cache entry: the canonical text (collision guard) and the
+/// shared compiled plan. Plans bake in interned constants and
+/// size-driven scan orders, so the generation-stamped key scopes each
+/// entry to the epoch it was compiled against.
+#[derive(Clone)]
+pub(crate) struct PlanEntry {
+    pub canonical: Arc<str>,
+    pub plan: Arc<rd_core::exec::Plan>,
+}
+
+/// Plan-cache key: database generation + language + hash of the
+/// *canonical* query text (same shape as [`EvalKey`], so a result-cache
+/// miss after a reload can never be served a stale plan either).
+pub(crate) type PlanKey = (u64, Language, u64);
+
 /// Tuning knobs for [`EngineShared`].
 #[derive(Debug, Clone)]
 pub struct SharedConfig {
@@ -277,6 +297,11 @@ pub struct SharedConfig {
     /// Size-aware admission: results whose approximate size exceeds this
     /// many bytes are returned but *not* cached (`0` = cache everything).
     pub eval_cache_max_entry_bytes: usize,
+    /// Total plan-cache capacity in entries.
+    pub plan_cache_capacity: usize,
+    /// `false` disables the compiled-plan cache (every evaluation
+    /// re-lowers its artifact; parse and result caching are unaffected).
+    pub plan_cache: bool,
     /// Lock stripes per cache (rounded up to a power of two).
     pub shards: usize,
 }
@@ -288,6 +313,8 @@ impl Default for SharedConfig {
             eval_cache_capacity: DEFAULT_EVAL_CACHE_CAPACITY,
             eval_cache: true,
             eval_cache_max_entry_bytes: DEFAULT_EVAL_CACHE_MAX_ENTRY_BYTES,
+            plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            plan_cache: true,
             shards: SHARED_SHARDS,
         }
     }
@@ -299,8 +326,10 @@ pub struct EngineShared {
     epoch: RwLock<Arc<DbEpoch>>,
     pub(crate) parse_cache: ShardedCache<ParseKey, ParseEntry>,
     pub(crate) eval_cache: ShardedCache<EvalKey, EvalEntry>,
+    pub(crate) plan_cache: ShardedCache<PlanKey, PlanEntry>,
     eval_enabled: bool,
     eval_max_entry_bytes: usize,
+    plan_enabled: bool,
 }
 
 impl EngineShared {
@@ -315,8 +344,10 @@ impl EngineShared {
             epoch: RwLock::new(Arc::new(DbEpoch::new(db, 0))),
             parse_cache: ShardedCache::new(cfg.parse_cache_capacity, cfg.shards),
             eval_cache: ShardedCache::new(cfg.eval_cache_capacity, cfg.shards),
+            plan_cache: ShardedCache::new(cfg.plan_cache_capacity, cfg.shards),
             eval_enabled: cfg.eval_cache,
             eval_max_entry_bytes: cfg.eval_cache_max_entry_bytes,
+            plan_enabled: cfg.plan_cache,
         }
     }
 
@@ -344,6 +375,7 @@ impl EngineShared {
         *slot = next.clone();
         self.parse_cache.clear();
         self.eval_cache.clear();
+        self.plan_cache.clear();
         next
     }
 
@@ -373,9 +405,19 @@ impl EngineShared {
         self.eval_cache.sum_values(|e| e.bytes as u64)
     }
 
+    /// `true` if the compiled-plan cache is enabled.
+    pub fn plan_cache_enabled(&self) -> bool {
+        self.plan_enabled
+    }
+
     /// Aggregate parse-cache counters.
     pub fn parse_cache_stats(&self) -> CacheStats {
         self.parse_cache.stats()
+    }
+
+    /// Aggregate plan-cache counters.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
     }
 
     /// Aggregate eval-cache counters, including the cached-bytes gauge.

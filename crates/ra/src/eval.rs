@@ -1,16 +1,21 @@
-//! Evaluation of RA expressions over a database (set semantics).
+//! RA evaluation as a *lowering* onto the shared plan IR
+//! ([`rd_core::exec`]).
 //!
-//! Joins are *join-aware* rather than nested-loop: `Join`, `NaturalJoin`,
-//! and `Antijoin` hash the right operand on their equality columns
-//! ([`rd_core::plan::build_index`]) and probe it per left tuple, checking
-//! any residual (non-equality) conditions on the matching bucket only.
-//! Selection conditions are compiled once per node — attribute names
-//! resolved to column indices, string constants interned against the
-//! database — so the per-tuple loop compares ids, never heap strings.
+//! The expression tree compiles once into an [`exec::OpNode`] operator
+//! tree: attribute names are resolved to column indices against the
+//! statically inferred per-node layout, string constants are interned
+//! against the database, and `Rename` disappears entirely (it only
+//! renames the compile-time layout). The shared executor then runs the
+//! tree with set semantics — `Join`, `NaturalJoin`, and `Antijoin` hash
+//! the right operand on their equality columns and probe it per left
+//! tuple, checking any residual (non-equality) conditions on the
+//! matching bucket only; selections compare interned ids, never heap
+//! strings.
 
 use crate::ast::{Condition, RaExpr, RaTerm};
-use rd_core::{plan, CmpOp, CoreError, CoreResult, Database, SymbolTable, Tuple, Value};
-use std::collections::{BTreeSet, HashSet};
+use rd_core::exec::{self, OpNode, Plan};
+use rd_core::{CmpOp, CoreError, CoreResult, Database, TableSchema, Tuple};
+use std::collections::BTreeSet;
 
 /// An intermediate (or final) evaluation result: attribute names plus the
 /// tuple set.
@@ -22,40 +27,31 @@ pub struct RaResult {
     pub tuples: BTreeSet<Tuple>,
 }
 
-impl RaResult {
-    fn attr_index(&self, name: &str) -> CoreResult<usize> {
-        self.attrs.iter().position(|a| a == name).ok_or_else(|| {
-            CoreError::Invalid(format!("attribute '{name}' not in {:?}", self.attrs))
-        })
-    }
+fn attr_index(attrs: &[String], name: &str) -> CoreResult<usize> {
+    attrs
+        .iter()
+        .position(|a| a == name)
+        .ok_or_else(|| CoreError::Invalid(format!("attribute '{name}' not in {attrs:?}")))
 }
 
-/// A selection condition compiled against a fixed attribute layout.
-enum CCond {
-    Cmp(CTerm, CmpOp, CTerm),
-    And(Vec<CCond>),
-    Or(Vec<CCond>),
-}
-
-enum CTerm {
-    Const(Value),
-    Col(usize),
-}
-
-fn compile_cond(cond: &Condition, attrs: &[String], db: &Database) -> CCond {
+fn compile_cond(cond: &Condition, attrs: &[String], db: &Database) -> exec::Cond {
     match cond {
         Condition::Cmp(l, op, r) => {
-            CCond::Cmp(compile_term(l, attrs, db), *op, compile_term(r, attrs, db))
+            exec::Cond::Cmp(compile_term(l, attrs, db), *op, compile_term(r, attrs, db))
         }
-        Condition::And(cs) => CCond::And(cs.iter().map(|c| compile_cond(c, attrs, db)).collect()),
-        Condition::Or(cs) => CCond::Or(cs.iter().map(|c| compile_cond(c, attrs, db)).collect()),
+        Condition::And(cs) => {
+            exec::Cond::And(cs.iter().map(|c| compile_cond(c, attrs, db)).collect())
+        }
+        Condition::Or(cs) => {
+            exec::Cond::Or(cs.iter().map(|c| compile_cond(c, attrs, db)).collect())
+        }
     }
 }
 
-fn compile_term(term: &RaTerm, attrs: &[String], db: &Database) -> CTerm {
+fn compile_term(term: &RaTerm, attrs: &[String], db: &Database) -> exec::CTerm {
     match term {
-        RaTerm::Const(v) => CTerm::Const(db.lookup_value(v)),
-        RaTerm::Attr(a) => CTerm::Col(
+        RaTerm::Const(v) => exec::CTerm::Const(db.lookup_value(v)),
+        RaTerm::Attr(a) => exec::CTerm::Col(
             attrs
                 .iter()
                 .position(|x| x == a)
@@ -64,236 +60,159 @@ fn compile_term(term: &RaTerm, attrs: &[String], db: &Database) -> CTerm {
     }
 }
 
-fn eval_ccond(cond: &CCond, tuple: &Tuple, symbols: &SymbolTable) -> bool {
-    match cond {
-        CCond::Cmp(l, op, r) => {
-            let lv = match l {
-                CTerm::Const(v) => v,
-                CTerm::Col(i) => tuple.get(*i),
-            };
-            let rv = match r {
-                CTerm::Const(v) => v,
-                CTerm::Col(i) => tuple.get(*i),
-            };
-            op.eval_resolved(lv, rv, symbols)
-        }
-        CCond::And(cs) => cs.iter().all(|c| eval_ccond(c, tuple, symbols)),
-        CCond::Or(cs) => cs.iter().any(|c| eval_ccond(c, tuple, symbols)),
-    }
-}
-
 /// Evaluates `expr` over `db`. The catalog is taken from the database
 /// itself, so every referenced table must exist in `db`.
 pub fn eval(expr: &RaExpr, db: &Database) -> CoreResult<RaResult> {
+    let (node, attrs) = compile(expr, db)?;
+    let tuples = exec::run_ops(&node, db)?;
+    Ok(RaResult { attrs, tuples })
+}
+
+/// Lowers `expr` to a complete compiled [`Plan`] whose output schema is
+/// the conventional `q(attrs…)`.
+pub fn lower(expr: &RaExpr, db: &Database) -> CoreResult<Plan> {
+    let (root, attrs) = compile(expr, db)?;
+    Ok(Plan::Ops {
+        root,
+        out: TableSchema::new("q", attrs),
+    })
+}
+
+/// Compiles the expression tree: validates schemas up front (for clear
+/// error messages), then resolves every attribute reference to a column
+/// index against the statically known per-node layout.
+fn compile(expr: &RaExpr, db: &Database) -> CoreResult<(OpNode, Vec<String>)> {
     let catalog = db.catalog();
-    // Validate schemas up front for clear error messages.
     expr.schema(&catalog)?;
-    eval_inner(expr, db)
+    compile_inner(expr, db)
 }
 
-/// Splits theta-join checks into hashable equalities and a residual, then
-/// probes `rv` per left tuple. `joiner` receives each matching pair.
-fn hash_join_pairs<'t>(
-    lv: &'t RaResult,
-    rv: &'t RaResult,
-    checks: &[(usize, CmpOp, usize)],
-    symbols: &SymbolTable,
-    mut joiner: impl FnMut(&'t Tuple, &'t Tuple),
-) {
-    let eq: Vec<&(usize, CmpOp, usize)> = checks
-        .iter()
-        .filter(|(_, op, _)| *op == CmpOp::Eq)
-        .collect();
-    let residual: Vec<&(usize, CmpOp, usize)> = checks
-        .iter()
-        .filter(|(_, op, _)| *op != CmpOp::Eq)
-        .collect();
-    if eq.is_empty() {
-        // No equality to key on: nested loop.
-        for lt in &lv.tuples {
-            for rt in &rv.tuples {
-                if checks
-                    .iter()
-                    .all(|(li, op, ri)| op.eval_resolved(lt.get(*li), rt.get(*ri), symbols))
-                {
-                    joiner(lt, rt);
-                }
-            }
-        }
-        return;
-    }
-    let right_cols: Vec<usize> = eq.iter().map(|(_, _, ri)| *ri).collect();
-    let left_cols: Vec<usize> = eq.iter().map(|(li, _, _)| *li).collect();
-    let index = plan::build_index(rv.tuples.iter(), &right_cols);
-    let mut key: Vec<Value> = Vec::with_capacity(left_cols.len());
-    for lt in &lv.tuples {
-        key.clear();
-        key.extend(left_cols.iter().map(|&c| lt.get(c).clone()));
-        if let Some(bucket) = index.get(key.as_slice()) {
-            for &rt in bucket {
-                if residual
-                    .iter()
-                    .all(|(li, op, ri)| op.eval_resolved(lt.get(*li), rt.get(*ri), symbols))
-                {
-                    joiner(lt, rt);
-                }
-            }
-        }
-    }
-}
-
-fn eval_inner(expr: &RaExpr, db: &Database) -> CoreResult<RaResult> {
-    let symbols = db.symbols();
+fn compile_inner(expr: &RaExpr, db: &Database) -> CoreResult<(OpNode, Vec<String>)> {
     match expr {
         RaExpr::Table(t) => {
             let rel = db.require(t)?;
-            Ok(RaResult {
-                attrs: rel.schema().attrs().to_vec(),
-                tuples: rel.tuples().clone(),
-            })
+            Ok((OpNode::Table(t.clone()), rel.schema().attrs().to_vec()))
         }
         RaExpr::Project(attrs, e) => {
-            let inner = eval_inner(e, db)?;
-            let idx: Vec<usize> = attrs
+            let (input, inner) = compile_inner(e, db)?;
+            let cols: Vec<usize> = attrs
                 .iter()
-                .map(|a| inner.attr_index(a))
+                .map(|a| attr_index(&inner, a))
                 .collect::<CoreResult<_>>()?;
-            Ok(RaResult {
-                attrs: attrs.clone(),
-                tuples: inner.tuples.iter().map(|t| t.project(&idx)).collect(),
-            })
+            Ok((
+                OpNode::Project {
+                    cols,
+                    input: Box::new(input),
+                },
+                attrs.clone(),
+            ))
         }
         RaExpr::Select(cond, e) => {
-            let inner = eval_inner(e, db)?;
-            let compiled = compile_cond(cond, &inner.attrs, db);
-            let tuples = inner
-                .tuples
-                .iter()
-                .filter(|t| eval_ccond(&compiled, t, symbols))
-                .cloned()
-                .collect();
-            Ok(RaResult {
-                attrs: inner.attrs,
-                tuples,
-            })
+            let (input, inner) = compile_inner(e, db)?;
+            let compiled = compile_cond(cond, &inner, db);
+            Ok((
+                OpNode::Select {
+                    cond: compiled,
+                    input: Box::new(input),
+                },
+                inner,
+            ))
         }
         RaExpr::Product(l, r) => {
-            let lv = eval_inner(l, db)?;
-            let rv = eval_inner(r, db)?;
-            let mut attrs = lv.attrs.clone();
-            attrs.extend(rv.attrs.clone());
-            let mut tuples = BTreeSet::new();
-            for lt in &lv.tuples {
-                for rt in &rv.tuples {
-                    tuples.insert(lt.concat(rt));
-                }
-            }
-            Ok(RaResult { attrs, tuples })
+            let (lo, ls) = compile_inner(l, db)?;
+            let (ro, rs) = compile_inner(r, db)?;
+            let mut attrs = ls;
+            attrs.extend(rs);
+            Ok((OpNode::Product(Box::new(lo), Box::new(ro)), attrs))
         }
         RaExpr::Join(cond, l, r) => {
-            let lv = eval_inner(l, db)?;
-            let rv = eval_inner(r, db)?;
-            let mut attrs = lv.attrs.clone();
-            attrs.extend(rv.attrs.clone());
+            let (lo, ls) = compile_inner(l, db)?;
+            let (ro, rs) = compile_inner(r, db)?;
             let checks: Vec<(usize, CmpOp, usize)> = cond
                 .0
                 .iter()
-                .map(|(la, op, ra)| Ok((lv.attr_index(la)?, *op, rv.attr_index(ra)?)))
+                .map(|(la, op, ra)| Ok((attr_index(&ls, la)?, *op, attr_index(&rs, ra)?)))
                 .collect::<CoreResult<_>>()?;
-            let mut tuples = BTreeSet::new();
-            hash_join_pairs(&lv, &rv, &checks, symbols, |lt, rt| {
-                tuples.insert(lt.concat(rt));
-            });
-            Ok(RaResult { attrs, tuples })
+            let mut attrs = ls;
+            attrs.extend(rs);
+            Ok((
+                OpNode::Join {
+                    checks,
+                    left: Box::new(lo),
+                    right: Box::new(ro),
+                },
+                attrs,
+            ))
         }
         RaExpr::NaturalJoin(l, r) => {
-            let lv = eval_inner(l, db)?;
-            let rv = eval_inner(r, db)?;
-            let shared: Vec<(usize, usize)> = rv
-                .attrs
+            let (lo, ls) = compile_inner(l, db)?;
+            let (ro, rs) = compile_inner(r, db)?;
+            let shared: Vec<(usize, usize)> = rs
                 .iter()
                 .enumerate()
-                .filter_map(|(ri, a)| lv.attrs.iter().position(|x| x == a).map(|li| (li, ri)))
+                .filter_map(|(ri, a)| ls.iter().position(|x| x == a).map(|li| (li, ri)))
                 .collect();
-            let keep_right: Vec<usize> = (0..rv.attrs.len())
+            let keep_right: Vec<usize> = (0..rs.len())
                 .filter(|ri| !shared.iter().any(|(_, r2)| r2 == ri))
                 .collect();
-            let mut attrs = lv.attrs.clone();
-            attrs.extend(keep_right.iter().map(|&ri| rv.attrs[ri].clone()));
+            let mut attrs = ls.clone();
+            attrs.extend(keep_right.iter().map(|&ri| rs[ri].clone()));
             let checks: Vec<(usize, CmpOp, usize)> =
                 shared.iter().map(|&(li, ri)| (li, CmpOp::Eq, ri)).collect();
-            let mut tuples = BTreeSet::new();
-            hash_join_pairs(&lv, &rv, &checks, symbols, |lt, rt| {
-                let mut row = lt.0.clone();
-                row.extend(keep_right.iter().map(|&ri| rt.get(ri).clone()));
-                tuples.insert(Tuple(row));
-            });
-            Ok(RaResult { attrs, tuples })
+            Ok((
+                OpNode::NaturalJoin {
+                    checks,
+                    keep_right,
+                    left: Box::new(lo),
+                    right: Box::new(ro),
+                },
+                attrs,
+            ))
         }
         RaExpr::Rename(renames, e) => {
-            let mut inner = eval_inner(e, db)?;
+            // Pure compile-time: renames touch the layout, not the data.
+            let (input, mut attrs) = compile_inner(e, db)?;
             for (from, to) in renames {
-                let idx = inner.attr_index(from)?;
-                inner.attrs[idx] = to.clone();
+                let idx = attr_index(&attrs, from)?;
+                attrs[idx] = to.clone();
             }
-            Ok(inner)
+            Ok((input, attrs))
         }
         RaExpr::Diff(l, r) => {
-            let lv = eval_inner(l, db)?;
-            let rv = eval_inner(r, db)?;
-            let tuples = lv.tuples.difference(&rv.tuples).cloned().collect();
-            Ok(RaResult {
-                attrs: lv.attrs,
-                tuples,
-            })
+            let (lo, ls) = compile_inner(l, db)?;
+            let (ro, _) = compile_inner(r, db)?;
+            Ok((OpNode::Diff(Box::new(lo), Box::new(ro)), ls))
         }
         RaExpr::Union(l, r) => {
-            let lv = eval_inner(l, db)?;
-            let rv = eval_inner(r, db)?;
-            let tuples = lv.tuples.union(&rv.tuples).cloned().collect();
-            Ok(RaResult {
-                attrs: lv.attrs,
-                tuples,
-            })
+            let (lo, ls) = compile_inner(l, db)?;
+            let (ro, _) = compile_inner(r, db)?;
+            Ok((OpNode::Union(Box::new(lo), Box::new(ro)), ls))
         }
         RaExpr::Antijoin(cond, l, r) => {
-            let lv = eval_inner(l, db)?;
-            let rv = eval_inner(r, db)?;
+            let (lo, ls) = compile_inner(l, db)?;
+            let (ro, rs) = compile_inner(r, db)?;
             let checks: Vec<(usize, CmpOp, usize)> = if cond.0.is_empty() {
                 // Natural antijoin: equality on all shared attribute names.
-                rv.attrs
-                    .iter()
+                rs.iter()
                     .enumerate()
                     .filter_map(|(ri, a)| {
-                        lv.attrs
-                            .iter()
-                            .position(|x| x == a)
-                            .map(|li| (li, CmpOp::Eq, ri))
+                        ls.iter().position(|x| x == a).map(|li| (li, CmpOp::Eq, ri))
                     })
                     .collect()
             } else {
                 cond.0
                     .iter()
-                    .map(|(la, op, ra)| Ok((lv.attr_index(la)?, *op, rv.attr_index(ra)?)))
+                    .map(|(la, op, ra)| Ok((attr_index(&ls, la)?, *op, attr_index(&rs, ra)?)))
                     .collect::<CoreResult<_>>()?
             };
-            // The antijoin is the join's complement: collect the left
-            // tuples with at least one qualifying pair (same keyed path
-            // as Join/NaturalJoin), keep the rest.
-            let mut matched: HashSet<&Tuple> = HashSet::new();
-            hash_join_pairs(&lv, &rv, &checks, symbols, |lt, _| {
-                matched.insert(lt);
-            });
-            let tuples = lv
-                .tuples
-                .iter()
-                .filter(|lt| !matched.contains(*lt))
-                .cloned()
-                .collect();
-            Ok(RaResult {
-                attrs: lv.attrs,
-                tuples,
-            })
+            Ok((
+                OpNode::Antijoin {
+                    checks,
+                    left: Box::new(lo),
+                    right: Box::new(ro),
+                },
+                ls,
+            ))
         }
     }
 }
@@ -305,7 +224,7 @@ pub use self::eval as eval_expr;
 mod tests {
     use super::*;
     use crate::ast::JoinCond;
-    use rd_core::{Relation, TableSchema};
+    use rd_core::{Relation, TableSchema, Value};
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -507,5 +426,19 @@ mod tests {
     fn eval_missing_table_errors() {
         let e = RaExpr::table("Nope");
         assert!(eval(&e, &db()).is_err());
+    }
+
+    #[test]
+    fn lowered_plan_executes_like_eval() {
+        let d = db();
+        let e = RaExpr::project(
+            ["A"],
+            RaExpr::natural_join(RaExpr::table("R"), RaExpr::table("S")),
+        );
+        let plan = lower(&e, &d).unwrap();
+        let rel = exec::execute(&plan, &d).unwrap();
+        let direct = eval(&e, &d).unwrap();
+        assert_eq!(rel.tuples(), &direct.tuples);
+        assert_eq!(rel.schema().attrs(), ["A"]);
     }
 }

@@ -63,6 +63,10 @@ SERVE OPTIONS (rd serve):
     --parse-cache <N> Shared parse-cache capacity in entries (default 256)
     --eval-cache <N>  Shared result-cache capacity in entries (default 256)
     --no-eval-cache   Disable the result cache (every query re-evaluates)
+    --plan-cache <N>  Shared compiled-plan-cache capacity in entries
+                      (default 256)
+    --no-plan-cache   Disable the plan cache (every evaluation re-compiles
+                      its query plan)
     --eval-cache-max-bytes <N>
                       Size-aware admission: skip caching results larger
                       than N bytes (default 1048576; 0 caches everything)
@@ -444,6 +448,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 server_cfg.eval_cache_capacity = parse_count(it.next(), "--eval-cache")?;
             }
             "--no-eval-cache" => server_cfg.eval_cache = false,
+            "--plan-cache" => {
+                server_cfg.plan_cache_capacity = parse_count(it.next(), "--plan-cache")?;
+            }
+            "--no-plan-cache" => server_cfg.plan_cache = false,
             "--eval-cache-max-bytes" => {
                 server_cfg.eval_cache_max_entry_bytes =
                     parse_count(it.next(), "--eval-cache-max-bytes")?;

@@ -102,6 +102,30 @@ impl Client {
         })
     }
 
+    /// Fetches one query's compiled plan as an explain tree (language
+    /// auto-detected when `None`).
+    pub fn explain(&mut self, language: Option<Language>, text: &str) -> std::io::Result<Response> {
+        self.request(&Request::Explain {
+            language,
+            text: text.to_string(),
+        })
+    }
+
+    /// Translates one query into `to` through the TRC hub (source
+    /// language auto-detected when `None`).
+    pub fn translate(
+        &mut self,
+        language: Option<Language>,
+        text: &str,
+        to: Language,
+    ) -> std::io::Result<Response> {
+        self.request(&Request::Translate {
+            language,
+            text: text.to_string(),
+            to,
+        })
+    }
+
     /// Replaces the server's database with a fixture.
     pub fn load_fixture(&mut self, fixture: &str) -> std::io::Result<Response> {
         self.request(&Request::Load(LoadSource::Fixture(fixture.to_string())))

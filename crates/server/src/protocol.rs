@@ -18,6 +18,14 @@
 //! ← {"ok":true,"kind":"load","tables":1,"tuples":1,
 //!    "generation":1,"fingerprint":"4f9a..."}
 //!
+//! → {"op":"explain","lang":"trc","text":"{ q(A) | ... }"}    # compiled plan, no eval
+//! ← {"ok":true,"kind":"explain","language":"trc","canonical":"...",
+//!    "plan":{"kind":"query","detail":"q(A)","children":[...]},
+//!    "cache_hit":false}
+//!
+//! → {"op":"translate","to":"sql","text":"{ q(A) | ... }"}    # Theorem 6 over the wire
+//! ← {"ok":true,"kind":"translate","to":"sql","text":"SELECT DISTINCT ..."}
+//!
 //! → {"op":"stats"}                                           # aggregated counters
 //! → {"op":"ping"}          ← {"ok":true,"kind":"pong"}
 //! → {"op":"shutdown"}      ← {"ok":true,"kind":"bye"}        # drains, then stops
@@ -64,6 +72,7 @@
 //! (`op`/`kind` tags, stable field names), and deriving would tie it to
 //! the shim's externally-tagged enum encoding.
 
+use rd_core::exec::ExplainNode;
 use rd_core::Value;
 use rd_engine::{CacheStats, DiagramFormat, Language, SessionStats};
 use serde::json::Value as Json;
@@ -82,8 +91,26 @@ pub enum Request {
         /// Also render the Relational Diagram.
         diagram: DiagramFormat,
     },
+    /// Compile (or fetch from the plan cache) one query's executable
+    /// plan and return it as an explain tree — no evaluation.
+    Explain {
+        /// Query language; `None` auto-detects from the text.
+        language: Option<Language>,
+        /// Query source text.
+        text: String,
+    },
+    /// Translate one query into another language through the TRC hub
+    /// (Theorem 6).
+    Translate {
+        /// Source language; `None` auto-detects from the text.
+        language: Option<Language>,
+        /// Query source text.
+        text: String,
+        /// Target language.
+        to: Language,
+    },
     /// Replace or extend the database (bumps the epoch generation and
-    /// invalidates both shared caches).
+    /// invalidates the shared caches).
     Load(LoadSource),
     /// Fetch aggregated server/session/cache statistics.
     Stats,
@@ -152,10 +179,19 @@ fn request_id_from(v: &Json) -> Result<Option<RequestId>, String> {
 }
 
 /// A server→client message.
+///
+/// Variants are sized by their payloads (`Stats` grew two cache-counter
+/// blocks with the plan cache); responses are built once, encoded, and
+/// dropped, so boxing the large variant would buy nothing on this path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// A successful query.
     Query(QueryResult),
+    /// A successful explain.
+    Explain(ExplainResult),
+    /// A successful translation.
+    Translate(TranslateResult),
     /// One chunk of a streamed query result (see [`Reassembler`]).
     RowsChunk(RowsChunk),
     /// The closing frame of a streamed query result.
@@ -238,6 +274,28 @@ pub struct QueryResult {
     pub notes: Vec<String>,
 }
 
+/// The payload of a successful explain response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainResult {
+    /// The language the query was parsed as.
+    pub language: Language,
+    /// The canonical rendering in the source language.
+    pub canonical: String,
+    /// The explain tree: scan order, join strategy, bound keys.
+    pub plan: ExplainNode,
+    /// `true` if the artifact came from the shared parse cache.
+    pub cache_hit: bool,
+}
+
+/// The payload of a successful translate response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateResult {
+    /// The target language.
+    pub to: Language,
+    /// The query rendered in the target language.
+    pub text: String,
+}
+
 /// The payload of a successful load response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadResult {
@@ -276,6 +334,10 @@ pub struct StatsResult {
     pub eval_cache: CacheStats,
     /// `false` if the server runs with the result cache disabled.
     pub eval_cache_enabled: bool,
+    /// Shared compiled-plan-cache counters.
+    pub plan_cache: CacheStats,
+    /// `false` if the server runs with the plan cache disabled.
+    pub plan_cache_enabled: bool,
     /// Current epoch generation.
     pub generation: u64,
     /// Current database fingerprint (hex).
@@ -385,6 +447,9 @@ fn session_stats_to_json(st: &SessionStats) -> Json {
         // Appended after the PR-2 fields so the object's byte prefix is
         // stable for older readers.
         ("rows_streamed", u(st.rows_streamed)),
+        ("plan_hits", u(st.plan_hits)),
+        ("plan_misses", u(st.plan_misses)),
+        ("plan_evictions", u(st.plan_evictions)),
     ])
 }
 
@@ -399,8 +464,42 @@ fn session_stats_from_json(v: &Json) -> Result<SessionStats, String> {
         eval_misses: get_u64(v, "eval_misses")?,
         eval_evictions: get_u64(v, "eval_evictions")?,
         eval_skipped: opt_u64(v, "eval_skipped")?,
+        plan_hits: opt_u64(v, "plan_hits")?,
+        plan_misses: opt_u64(v, "plan_misses")?,
+        plan_evictions: opt_u64(v, "plan_evictions")?,
         rows_returned: get_u64(v, "rows_returned")?,
         rows_streamed: opt_u64(v, "rows_streamed")?,
+    })
+}
+
+fn explain_node_to_json(n: &ExplainNode) -> Json {
+    obj(vec![
+        ("kind", s(&n.kind)),
+        ("detail", s(&n.detail)),
+        (
+            "children",
+            Json::Array(n.children.iter().map(explain_node_to_json).collect()),
+        ),
+    ])
+}
+
+fn explain_node_from_json(v: &Json) -> Result<ExplainNode, String> {
+    let children = match v.get("children") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(explain_node_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(other) => return Err(format!("'children' must be an array, found {other}")),
+    };
+    Ok(ExplainNode {
+        kind: get_str(v, "kind")?,
+        detail: v
+            .get("detail")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        children,
     })
 }
 
@@ -468,6 +567,22 @@ impl serde::Serialize for Request {
                 }
                 obj(pairs)
             }
+            Request::Explain { language, text } => {
+                let mut pairs = vec![("op", s("explain"))];
+                if let Some(lang) = language {
+                    pairs.push(("lang", s(lang.name())));
+                }
+                pairs.push(("text", s(text)));
+                obj(pairs)
+            }
+            Request::Translate { language, text, to } => {
+                let mut pairs = vec![("op", s("translate")), ("to", s(to.name()))];
+                if let Some(lang) = language {
+                    pairs.push(("lang", s(lang.name())));
+                }
+                pairs.push(("text", s(text)));
+                obj(pairs)
+            }
             Request::Load(LoadSource::Fixture(text)) => {
                 obj(vec![("op", s("load")), ("fixture", s(text))])
             }
@@ -483,19 +598,23 @@ impl serde::Serialize for Request {
     }
 }
 
+/// Parses the optional `"lang"` field (`"auto"`, absent, and null all
+/// mean detect-from-text).
+fn opt_language(v: &Json) -> Result<Option<Language>, String> {
+    match v.get("lang") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::String(name)) if name == "auto" => Ok(None),
+        Some(Json::String(name)) => Ok(Some(name.parse::<Language>()?)),
+        Some(other) => Err(format!("field 'lang' must be a string, found {other}")),
+    }
+}
+
 impl serde::Deserialize for Request {
     fn from_json(v: &Json) -> Result<Self, String> {
         let op = get_str(v, "op")?;
         match op.as_str() {
             "query" => {
-                let language = match v.get("lang") {
-                    None | Some(Json::Null) => None,
-                    Some(Json::String(name)) if name == "auto" => None,
-                    Some(Json::String(name)) => Some(name.parse::<Language>()?),
-                    Some(other) => {
-                        return Err(format!("field 'lang' must be a string, found {other}"))
-                    }
-                };
+                let language = opt_language(v)?;
                 let diagram = match v.get("diagram") {
                     None | Some(Json::Null) => DiagramFormat::None,
                     Some(Json::String(name)) => diagram_from_name(name)?,
@@ -510,6 +629,15 @@ impl serde::Deserialize for Request {
                     diagram,
                 })
             }
+            "explain" => Ok(Request::Explain {
+                language: opt_language(v)?,
+                text: get_str(v, "text")?,
+            }),
+            "translate" => Ok(Request::Translate {
+                language: opt_language(v)?,
+                text: get_str(v, "text")?,
+                to: get_str(v, "to")?.parse::<Language>()?,
+            }),
             "load" => {
                 if let Some(fixture) = v.get("fixture") {
                     let text = fixture.as_str().ok_or("field 'fixture' must be a string")?;
@@ -527,7 +655,8 @@ impl serde::Deserialize for Request {
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op '{other}' (expected query, load, stats, ping, or shutdown)"
+                "unknown op '{other}' (expected query, explain, translate, load, stats, \
+                 ping, or shutdown)"
             )),
         }
     }
@@ -559,6 +688,20 @@ impl serde::Serialize for Response {
                 push_optional_meta(&mut pairs, &q.translations, &q.diagram, &q.notes);
                 obj(pairs)
             }
+            Response::Explain(e) => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("explain")),
+                ("language", s(e.language.name())),
+                ("canonical", s(&e.canonical)),
+                ("plan", explain_node_to_json(&e.plan)),
+                ("cache_hit", Json::Bool(e.cache_hit)),
+            ]),
+            Response::Translate(t) => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("translate")),
+                ("to", s(t.to.name())),
+                ("text", s(&t.text)),
+            ]),
             Response::RowsChunk(c) => {
                 let mut pairs = vec![
                     ("ok", Json::Bool(true)),
@@ -620,6 +763,8 @@ impl serde::Serialize for Response {
                 // Appended after the PR-2 fields so the object's byte
                 // prefix is stable for older readers.
                 ("evicted", u(st.evicted)),
+                ("plan_cache", cache_stats_to_json(&st.plan_cache)),
+                ("plan_cache_enabled", Json::Bool(st.plan_cache_enabled)),
             ]),
             Response::Pong => obj(vec![("ok", Json::Bool(true)), ("kind", s("pong"))]),
             Response::Bye => obj(vec![("ok", Json::Bool(true)), ("kind", s("bye"))]),
@@ -710,6 +855,16 @@ impl serde::Deserialize for Response {
                 diagram: v.get("diagram").and_then(Json::as_str).map(str::to_string),
                 notes: parse_notes(v)?,
             })),
+            "explain" => Ok(Response::Explain(ExplainResult {
+                language: get_str(v, "language")?.parse::<Language>()?,
+                canonical: get_str(v, "canonical")?,
+                plan: explain_node_from_json(v.get("plan").ok_or("missing 'plan' object")?)?,
+                cache_hit: opt_bool(v, "cache_hit")?,
+            })),
+            "translate" => Ok(Response::Translate(TranslateResult {
+                to: get_str(v, "to")?.parse::<Language>()?,
+                text: get_str(v, "text")?,
+            })),
             "rows-chunk" => {
                 let seq = get_u64(v, "seq")?;
                 // The header fields travel exactly on the first chunk.
@@ -760,6 +915,12 @@ impl serde::Deserialize for Response {
                     v.get("eval_cache").ok_or("missing 'eval_cache' object")?,
                 )?,
                 eval_cache_enabled: opt_bool(v, "eval_cache_enabled")?,
+                // Absent in pre-plan-cache frames: default counters.
+                plan_cache: match v.get("plan_cache") {
+                    None | Some(Json::Null) => CacheStats::default(),
+                    Some(o) => cache_stats_from_json(o)?,
+                },
+                plan_cache_enabled: opt_bool(v, "plan_cache_enabled")?,
                 generation: get_u64(v, "generation")?,
                 fingerprint: get_str(v, "fingerprint")?,
                 tables: get_u64(v, "tables")?,
@@ -1020,6 +1181,19 @@ mod tests {
             translations: false,
             diagram: DiagramFormat::None,
         });
+        roundtrip_request(Request::Explain {
+            language: Some(Language::Trc),
+            text: "{ q(A) | exists r in R [ q.A = r.A ] }".into(),
+        });
+        roundtrip_request(Request::Explain {
+            language: None,
+            text: "pi[color](Boat)".into(),
+        });
+        roundtrip_request(Request::Translate {
+            language: Some(Language::Trc),
+            text: "{ q(A) | exists r in R [ q.A = r.A ] }".into(),
+            to: Language::Sql,
+        });
         roundtrip_request(Request::Load(LoadSource::Fixture("R(a):\n (1)\n".into())));
         roundtrip_request(Request::Load(LoadSource::Csv {
             table: "R".into(),
@@ -1081,6 +1255,77 @@ mod tests {
         ] {
             let back: Response = decode(&encode(&r)).unwrap();
             assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn explain_and_translate_responses_roundtrip() {
+        let explain = Response::Explain(ExplainResult {
+            language: Language::Trc,
+            canonical: "{ q(A) | ... }".into(),
+            plan: ExplainNode {
+                kind: "query".into(),
+                detail: "q(A)".into(),
+                children: vec![ExplainNode {
+                    kind: "scan".into(),
+                    detail: "R hash probe on c0 = t1.c0".into(),
+                    children: Vec::new(),
+                }],
+            },
+            cache_hit: true,
+        });
+        let line = encode(&explain);
+        assert!(line.contains(r#""kind":"explain""#), "{line}");
+        assert!(line.contains("hash probe"), "{line}");
+        let back: Response = decode(&line).unwrap();
+        assert_eq!(back, explain);
+
+        let translate = Response::Translate(TranslateResult {
+            to: Language::Sql,
+            text: "SELECT DISTINCT R.A\nFROM R".into(),
+        });
+        let back: Response = decode(&encode(&translate)).unwrap();
+        assert_eq!(back, translate);
+    }
+
+    #[test]
+    fn stats_with_plan_cache_counters_roundtrip() {
+        let stats = Response::Stats(StatsResult {
+            sessions: SessionStats {
+                plan_hits: 7,
+                plan_misses: 2,
+                plan_evictions: 1,
+                ..SessionStats::default()
+            },
+            plan_cache: CacheStats {
+                hits: 7,
+                misses: 2,
+                evictions: 1,
+                entries: 2,
+                capacity: 256,
+                bytes: 0,
+            },
+            plan_cache_enabled: true,
+            fingerprint: "abc".into(),
+            ..StatsResult::default()
+        });
+        let line = encode(&stats);
+        assert!(line.contains(r#""plan_cache""#), "{line}");
+        let back: Response = decode(&line).unwrap();
+        assert_eq!(back, stats);
+        // Pre-plan-cache frames (no plan fields) still parse, with
+        // defaulted counters — forward compatibility both ways.
+        let legacy = line
+            .replace(",\"plan_hits\":7,\"plan_misses\":2,\"plan_evictions\":1", "")
+            .replace(r#","plan_cache":{"hits":7,"misses":2,"evictions":1,"entries":2,"capacity":256,"cached_bytes":0},"plan_cache_enabled":true"#, "");
+        let back: Response = decode(&legacy).unwrap();
+        match back {
+            Response::Stats(st) => {
+                assert_eq!(st.sessions.plan_hits, 0);
+                assert_eq!(st.plan_cache, CacheStats::default());
+                assert!(!st.plan_cache_enabled);
+            }
+            other => panic!("expected stats, got {other:?}"),
         }
     }
 

@@ -65,6 +65,10 @@ pub struct ServerConfig {
     /// Size-aware admission threshold for the result cache, in bytes per
     /// entry (`0` caches everything regardless of size).
     pub eval_cache_max_entry_bytes: usize,
+    /// Shared compiled-plan-cache capacity (entries).
+    pub plan_cache_capacity: usize,
+    /// `false` disables the plan cache (every evaluation re-compiles).
+    pub plan_cache: bool,
     /// Query results with more rows than this are streamed as
     /// `rows-chunk` frames of at most this many rows (`0` disables
     /// streaming entirely).
@@ -88,6 +92,8 @@ impl Default for ServerConfig {
             eval_cache_capacity: rd_engine::shared::DEFAULT_EVAL_CACHE_CAPACITY,
             eval_cache: true,
             eval_cache_max_entry_bytes: rd_engine::shared::DEFAULT_EVAL_CACHE_MAX_ENTRY_BYTES,
+            plan_cache_capacity: rd_engine::shared::DEFAULT_PLAN_CACHE_CAPACITY,
+            plan_cache: true,
             stream_threshold: DEFAULT_STREAM_THRESHOLD,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             idle_timeout: None,
@@ -174,6 +180,8 @@ impl Server {
                 eval_cache_capacity: config.eval_cache_capacity,
                 eval_cache: config.eval_cache,
                 eval_cache_max_entry_bytes: config.eval_cache_max_entry_bytes,
+                plan_cache_capacity: config.plan_cache_capacity,
+                plan_cache: config.plan_cache,
                 ..SharedConfig::default()
             },
         ));
@@ -658,6 +666,30 @@ fn handle_control(
 ) -> (Response, bool) {
     match request {
         Request::Query { .. } => unreachable!("queries take the framing path"),
+        Request::Explain { language, text } => {
+            let language = language.unwrap_or_else(|| Language::detect(text));
+            let response = match session.explain(language, text) {
+                Ok(e) => Response::Explain(protocol::ExplainResult {
+                    language: e.language,
+                    canonical: e.canonical,
+                    plan: e.plan,
+                    cache_hit: e.cache_hit,
+                }),
+                Err(e) => Response::Error(e.to_string()),
+            };
+            (response, false)
+        }
+        Request::Translate { language, text, to } => {
+            let language = language.unwrap_or_else(|| Language::detect(text));
+            let response = match session.translate(language, text, *to) {
+                Ok(rendered) => Response::Translate(protocol::TranslateResult {
+                    to: *to,
+                    text: rendered,
+                }),
+                Err(e) => Response::Error(e.to_string()),
+            };
+            (response, false)
+        }
         Request::Load(source) => (run_load(session, source), false),
         Request::Stats => {
             // Fold in this session's own growth first so the reply is
@@ -777,6 +809,8 @@ fn collect_stats(state: &Arc<ServerState>) -> StatsResult {
         parse_cache: state.engine.parse_cache_stats(),
         eval_cache: state.engine.eval_cache_stats(),
         eval_cache_enabled: state.engine.eval_cache_enabled(),
+        plan_cache: state.engine.plan_cache_stats(),
+        plan_cache_enabled: state.engine.plan_cache_enabled(),
         generation: epoch.generation,
         fingerprint: format!("{:016x}", epoch.fingerprint),
         tables: epoch.db.len() as u64,

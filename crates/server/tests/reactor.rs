@@ -515,7 +515,7 @@ fn idle_connections_are_evicted_and_counted() {
 fn plain_clients_get_byte_identical_responses() {
     let (addr, handle) = start_server(ServerConfig::default());
     let mut raw = Raw::connect(addr);
-    let exchanges: [(&[u8], &str); 5] = [
+    let exchanges: [(&[u8], &str); 9] = [
         (b"{\"op\":\"ping\"}\n", r#"{"ok":true,"kind":"pong"}"#),
         (
             b"{\"op\":\"query\",\"text\":\"pi[color](Boat)\"}\n",
@@ -524,6 +524,25 @@ fn plain_clients_get_byte_identical_responses() {
         (
             b"{\"op\":\"query\",\"lang\":\"sql\",\"text\":\"SELECT DISTINCT Sailor.sname FROM Sailor, Reserves WHERE Sailor.sid = Reserves.sid\"}\n",
             "{\"ok\":true,\"kind\":\"query\",\"language\":\"sql\",\"canonical\":\"SELECT DISTINCT Sailor.sname\\nFROM Sailor, Reserves\\nWHERE Sailor.sid = Reserves.sid\",\"attrs\":[\"sname\"],\"rows\":[[\"Dustin\"],[\"Lubber\"]],\"row_count\":2,\"cache_hit\":false,\"eval_cache_hit\":false,\"notes\":[]}",
+        ),
+        // All four languages flow through one executor since the
+        // unified-plan refactor; these TRC and Datalog lines were
+        // captured verbatim from the per-language evaluators.
+        (
+            b"{\"op\":\"query\",\"lang\":\"trc\",\"text\":\"{ q(sname) | exists s in Sailor [ q.sname = s.sname ] }\"}\n",
+            r#"{"ok":true,"kind":"query","language":"trc","canonical":"{ q(sname) | exists s in Sailor [q.sname = s.sname] }","attrs":["sname"],"rows":[["Dustin"],["Lubber"]],"row_count":2,"cache_hit":false,"eval_cache_hit":false,"notes":[]}"#,
+        ),
+        (
+            b"{\"op\":\"query\",\"lang\":\"trc\",\"text\":\"exists b in Boat [ b.color = 'red' ]\"}\n",
+            r#"{"ok":true,"kind":"query","language":"trc","canonical":"exists b in Boat [b.color = 'red']","attrs":[],"rows":[[]],"row_count":1,"cache_hit":false,"eval_cache_hit":false,"notes":[]}"#,
+        ),
+        (
+            b"{\"op\":\"query\",\"lang\":\"datalog\",\"text\":\"Q(c) :- Boat(b, c).\"}\n",
+            r#"{"ok":true,"kind":"query","language":"datalog","canonical":"Q(c) :- Boat(b, c).","attrs":["x1"],"rows":[["green"],["red"]],"row_count":2,"cache_hit":false,"eval_cache_hit":false,"notes":[]}"#,
+        ),
+        (
+            b"{\"op\":\"query\",\"lang\":\"datalog\",\"text\":\"Q(n) :- Sailor(s, n), Reserves(s, b), not Boat(b, 'red').\"}\n",
+            r#"{"ok":true,"kind":"query","language":"datalog","canonical":"Q(n) :- Sailor(s, n), Reserves(s, b), not Boat(b, 'red').","attrs":["x1"],"rows":[["Dustin"]],"row_count":1,"cache_hit":false,"eval_cache_hit":false,"notes":[]}"#,
         ),
         (
             b"{\"op\":\"query\",\"text\":\"pi[x](NoSuchTable)\"}\n",

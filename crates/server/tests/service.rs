@@ -271,3 +271,106 @@ fn bench_driver_reports_cache_assisted_throughput() {
     assert!(report.throughput() > 0.0);
     stop(addr, handle);
 }
+
+#[test]
+fn explain_and_translate_ops_over_the_wire() {
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    let trc = "{ q(sname) | exists s in Sailor [ q.sname = s.sname and \
+               exists r in Reserves [ r.sid = s.sid ] ] }";
+    // Explain: the chosen plan arrives as a tree naming scan strategy.
+    let resp = client.explain(Some(Language::Trc), trc).unwrap();
+    let plan = match &resp {
+        Response::Explain(e) => {
+            assert_eq!(e.language, Language::Trc);
+            assert!(e.canonical.contains("q(sname)"), "{}", e.canonical);
+            &e.plan
+        }
+        other => panic!("expected explain, got {other:?}"),
+    };
+    fn any(
+        node: &rd_core::exec::ExplainNode,
+        f: &impl Fn(&rd_core::exec::ExplainNode) -> bool,
+    ) -> bool {
+        f(node) || node.children.iter().any(|c| any(c, f))
+    }
+    assert!(any(plan, &|n| n.kind == "scan"), "{plan:?}");
+    assert!(any(plan, &|n| n.detail.contains("hash probe")), "{plan:?}");
+    // Translate: the Theorem 6 maps, served over the protocol.
+    for (to, needle) in [
+        (Language::Sql, "SELECT DISTINCT"),
+        (Language::Datalog, ":-"),
+        (Language::Ra, "pi["),
+        (Language::Trc, "q(sname)"),
+    ] {
+        let resp = client.translate(Some(Language::Trc), trc, to).unwrap();
+        match &resp {
+            Response::Translate(t) => {
+                assert_eq!(t.to, to);
+                assert!(t.text.contains(needle), "{to:?}: {}", t.text);
+            }
+            other => panic!("expected translate, got {other:?}"),
+        }
+    }
+    // A translated form evaluates to the same rows as the original.
+    let sql = match client
+        .translate(Some(Language::Trc), trc, Language::Sql)
+        .unwrap()
+    {
+        Response::Translate(t) => t.text,
+        other => panic!("{other:?}"),
+    };
+    let a = client.query(Some(Language::Trc), trc).unwrap();
+    let b = client.query(Some(Language::Sql), &sql).unwrap();
+    assert_eq!(tuple_set(&a), tuple_set(&b));
+    // Errors come back as error frames, connection stays usable.
+    let resp = client.explain(None, "pi[x](NoSuchTable)").unwrap();
+    assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+    client.ping().expect("connection survives an explain error");
+    stop(addr, handle);
+}
+
+#[test]
+fn plan_counters_aggregate_across_workers_in_stats() {
+    // Result cache off so plan hits are observable; every connection
+    // gets its own session, so the stats op must merge them all.
+    let (addr, handle) = start_server(ServerConfig {
+        eval_cache: false,
+        ..ServerConfig::default()
+    });
+    let query = "pi[color](Boat)";
+    let mut alice = Client::connect(addr).unwrap();
+    alice.query(None, query).unwrap();
+    let mut bob = Client::connect(addr).unwrap();
+    bob.query(None, query).unwrap();
+    bob.query(None, query).unwrap();
+    let stats = bob.stats().unwrap();
+    assert!(stats.plan_cache_enabled);
+    assert!(!stats.eval_cache_enabled);
+    // One compile (alice), two cached executions (alice's plan reused).
+    assert_eq!(stats.sessions.plan_misses, 1, "{:?}", stats.sessions);
+    assert_eq!(stats.sessions.plan_hits, 2, "{:?}", stats.sessions);
+    assert_eq!(stats.plan_cache.misses, 1);
+    assert_eq!(stats.plan_cache.hits, 2);
+    assert_eq!(stats.plan_cache.entries, 1);
+    // Eval counters kept their existing shape (cache off: all zero).
+    assert_eq!(stats.sessions.eval_hits, 0);
+    stop(addr, handle);
+}
+
+#[test]
+fn disabled_plan_cache_over_the_wire_recompiles_but_agrees() {
+    let (addr, handle) = start_server(ServerConfig {
+        eval_cache: false,
+        plan_cache: false,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let a = client.query(None, "pi[color](Boat)").unwrap();
+    let b = client.query(None, "pi[color](Boat)").unwrap();
+    assert_eq!(tuple_set(&a), tuple_set(&b));
+    let stats = client.stats().unwrap();
+    assert!(!stats.plan_cache_enabled);
+    assert_eq!(stats.sessions.plan_hits + stats.sessions.plan_misses, 0);
+    stop(addr, handle);
+}

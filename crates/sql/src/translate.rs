@@ -438,6 +438,27 @@ fn sentence_to_sql(f: &Formula) -> CoreResult<SqlQuery> {
 // Evaluation via TRC
 // ---------------------------------------------------------------------
 
+/// Lowers a SQL\* union onto the shared plan IR by translating to TRC\*
+/// (Theorem 6 part 5) and lowering the hub form: a single Boolean
+/// branch becomes a sentence plan, anything else a union of query
+/// branches.
+pub fn lower_sql(u: &SqlUnion, db: &Database) -> CoreResult<rd_core::exec::Plan> {
+    let catalog = db.catalog();
+    match u.branches.as_slice() {
+        [query] if query.is_boolean() => {
+            let trc = sql_to_trc(&SqlUnion::single(query.clone()), &catalog)?;
+            Ok(rd_core::exec::Plan::Sentence(rd_trc::eval::lower_sentence(
+                &trc.branches[0],
+                db,
+            )?))
+        }
+        _ => {
+            let trc = sql_to_trc(u, &catalog)?;
+            rd_trc::eval::lower_union(&trc, db)
+        }
+    }
+}
+
 /// Evaluates a SQL\* union over `db` by translating to TRC\*.
 pub fn eval_sql(u: &SqlUnion, db: &Database) -> CoreResult<Relation> {
     let catalog = db.catalog();

@@ -1,94 +1,40 @@
-//! Join-aware evaluation of TRC queries over [`rd_core::Database`].
+//! TRC evaluation as a *lowering* onto the shared plan IR
+//! ([`rd_core::exec`]).
 //!
-//! Evaluation works on the canonical form (the evaluator canonicalizes
+//! Evaluation works on the canonical form (the lowering canonicalizes
 //! internally) and proceeds in two phases:
 //!
-//! 1. **Compile.** The formula is compiled once per query: every tuple
-//!    variable gets a *slot* (so the runtime environment is a flat
-//!    `Vec<Option<&Tuple>>`, not a string-keyed map), attribute names are
-//!    resolved to column indices, and string constants are interned
-//!    against the database — the evaluation loop never touches a heap
-//!    string. Each existential block becomes an [`ExistsPlan`]: its
-//!    conjuncts are classified, its bindings greedily reordered by
-//!    estimated cost ([`rd_core::plan::scan_cost`] — prefer scans with
-//!    bound equality keys, then smaller relations), equality predicates
-//!    against already-bound terms become **hash-join keys**, and every
-//!    other conjunct (filters, negated/quantified subformulas) is
-//!    attached to the earliest scan after which its variables are bound.
-//! 2. **Execute.** Scans with keys probe lazily-built hash indexes
-//!    (shared per `(table, columns)` across the whole evaluation);
-//!    unkeyed scans iterate. Output tuples are computed from the defining
-//!    equalities `q.A = term`; conjuncts that mention the output head are
-//!    deferred and validated with the head bound (which uniformly handles
-//!    multiple defining equalities as join constraints).
+//! 1. **Lower.** The formula is compiled once per query into the
+//!    workspace-wide IR: every tuple variable gets a *slot* (so the
+//!    runtime environment is a flat slot vector, not a string-keyed
+//!    map), attribute names are resolved to column indices, and string
+//!    constants are interned against the database — execution never
+//!    touches a heap string. Each existential block becomes an
+//!    [`rd_core::exec::Block`]: its conjuncts are classified, its
+//!    bindings greedily reordered by estimated cost
+//!    ([`rd_core::plan::scan_cost`] — prefer scans with bound equality
+//!    keys, then smaller relations), equality predicates against
+//!    already-bound terms become **hash-join keys**, and every other
+//!    conjunct (filters, negated/quantified subformulas) is attached to
+//!    the earliest scan after which its variables are bound.
+//! 2. **Execute.** The shared executor ([`rd_core::exec::execute`])
+//!    runs the plan: keyed scans probe lazily-built hash indexes,
+//!    unkeyed scans iterate. Output tuples are computed from the
+//!    defining equalities `q.A = term`; conjuncts that mention the
+//!    output head are deferred and validated with the head bound.
+//!
+//! The compiled [`Plan`](rd_core::exec::Plan) carries no borrows, so
+//! the engine can cache it per database epoch and skip this whole
+//! module on a plan-cache hit.
 
 use crate::ast::{Binding, Formula, Predicate, Term, TrcQuery, TrcUnion};
 use crate::canon::canonicalize;
-use rd_core::{
-    plan, CmpOp, CoreError, CoreResult, Database, Relation, SymbolTable, TableSchema, Tuple, Value,
-};
+use rd_core::exec::{self, Block, EnvShape, Plan, QueryPlan, Scan, SentencePlan};
+use rd_core::{plan, CmpOp, CoreError, CoreResult, Database, Relation, TableSchema};
 use std::collections::BTreeSet;
-use std::rc::Rc;
 
 // ---------------------------------------------------------------------
-// Compiled representation
-// ---------------------------------------------------------------------
-
-/// A compiled term: a constant (interned) or a column of a slot.
-#[derive(Debug, Clone)]
-enum CTerm {
-    Const(Value),
-    Attr { slot: usize, col: usize },
-}
-
-/// A compiled comparison.
-#[derive(Debug, Clone)]
-struct CPred {
-    left: CTerm,
-    op: CmpOp,
-    right: CTerm,
-}
-
-/// A compiled formula.
-#[derive(Debug)]
-enum CFormula {
-    And(Vec<CFormula>),
-    Or(Vec<CFormula>),
-    Not(Box<CFormula>),
-    Exists(ExistsPlan),
-    Pred(CPred),
-}
-
-/// One scan of a planned existential block.
-#[derive(Debug)]
-struct ScanStep {
-    /// The slot this scan binds.
-    slot: usize,
-    /// Table scanned.
-    table: String,
-    /// Columns of `table` constrained by equality to bound terms; empty
-    /// for a full scan.
-    key_cols: Vec<usize>,
-    /// The bound terms the key columns must equal (parallel to
-    /// `key_cols`).
-    key_terms: Vec<CTerm>,
-    /// Index-cache id (one per keyed scan; `usize::MAX` for full scans).
-    index_id: usize,
-    /// Conjuncts whose variables are all bound once this scan binds its
-    /// slot — plain predicates and negated/quantified subformulas alike.
-    filters: Vec<CFormula>,
-}
-
-/// A planned existential block: conjuncts evaluable before any scan, then
-/// the ordered scans.
-#[derive(Debug)]
-struct ExistsPlan {
-    pre: Vec<CFormula>,
-    steps: Vec<ScanStep>,
-}
-
-// ---------------------------------------------------------------------
-// Compiler
+// Lowering
 // ---------------------------------------------------------------------
 
 struct Compiler<'d> {
@@ -119,6 +65,14 @@ impl<'d> Compiler<'d> {
         }
     }
 
+    fn shape(&self) -> EnvShape {
+        EnvShape {
+            tuple_slots: self.slot_schemas.len(),
+            value_slots: 0,
+            indexes: self.n_indexes,
+        }
+    }
+
     fn push_schema_var(&mut self, var: &str, schema: TableSchema) -> usize {
         let slot = self.slot_schemas.len();
         self.slot_schemas.push(schema);
@@ -139,9 +93,9 @@ impl<'d> Compiler<'d> {
             .map(|&(_, s)| s)
     }
 
-    fn compile_term(&self, t: &Term) -> CoreResult<CTerm> {
+    fn compile_term(&self, t: &Term) -> CoreResult<exec::Term> {
         match t {
-            Term::Const(v) => Ok(CTerm::Const(self.db.lookup_value(v))),
+            Term::Const(v) => Ok(exec::Term::Const(self.db.lookup_value(v))),
             Term::Attr(a) => {
                 let slot = self
                     .lookup(&a.var)
@@ -154,50 +108,50 @@ impl<'d> Compiler<'d> {
                             table: schema.name().to_string(),
                             attribute: a.attr.clone(),
                         })?;
-                Ok(CTerm::Attr { slot, col })
+                Ok(exec::Term::Col { slot, col })
             }
         }
     }
 
-    fn compile_pred(&self, p: &Predicate) -> CoreResult<CFormula> {
-        Ok(CFormula::Pred(CPred {
+    fn compile_pred(&self, p: &Predicate) -> CoreResult<exec::Formula> {
+        Ok(exec::Formula::Pred(exec::Pred {
             left: self.compile_term(&p.left)?,
             op: p.op,
             right: self.compile_term(&p.right)?,
         }))
     }
 
-    fn compile_formula(&mut self, f: &Formula) -> CoreResult<CFormula> {
+    fn compile_formula(&mut self, f: &Formula) -> CoreResult<exec::Formula> {
         match f {
-            Formula::And(fs) => Ok(CFormula::And(
+            Formula::And(fs) => Ok(exec::Formula::And(
                 fs.iter()
                     .map(|s| self.compile_formula(s))
                     .collect::<CoreResult<_>>()?,
             )),
-            Formula::Or(fs) => Ok(CFormula::Or(
+            Formula::Or(fs) => Ok(exec::Formula::Or(
                 fs.iter()
                     .map(|s| self.compile_formula(s))
                     .collect::<CoreResult<_>>()?,
             )),
-            Formula::Not(sub) => Ok(CFormula::Not(Box::new(self.compile_formula(sub)?))),
+            Formula::Not(sub) => Ok(exec::Formula::Not(Box::new(self.compile_formula(sub)?))),
             Formula::Exists(bindings, body) => {
-                Ok(CFormula::Exists(self.compile_exists(bindings, body)?))
+                Ok(exec::Formula::Exists(self.compile_exists(bindings, body)?))
             }
             Formula::Pred(p) => self.compile_pred(p),
         }
     }
 
-    fn compile_exists(&mut self, bindings: &[Binding], body: &Formula) -> CoreResult<ExistsPlan> {
+    fn compile_exists(&mut self, bindings: &[Binding], body: &Formula) -> CoreResult<Block> {
         let scope_mark = self.scope.len();
         let bound_snapshot = self.bound.clone();
         let mut slots = Vec::with_capacity(bindings.len());
         for b in bindings {
             slots.push(self.push_binding(b)?);
         }
-        let plan = self.plan_block(bindings, &slots, &conjuncts(body));
+        let block = self.plan_block(bindings, &slots, &conjuncts(body));
         self.scope.truncate(scope_mark);
         self.bound = bound_snapshot;
-        plan
+        block
     }
 
     /// Plans one existential block whose binding slots are already in
@@ -207,7 +161,7 @@ impl<'d> Compiler<'d> {
         bindings: &[Binding],
         slots: &[usize],
         conjs: &[Formula],
-    ) -> CoreResult<ExistsPlan> {
+    ) -> CoreResult<Block> {
         // Classify conjuncts. Predicates are join/selection candidates;
         // everything else (negation, nested quantifiers, disjunction)
         // waits until its free variables are bound.
@@ -226,7 +180,7 @@ impl<'d> Compiler<'d> {
             }
         }
         let pre = self.attach_ready(&mut preds, &mut subs)?;
-        let mut steps = Vec::new();
+        let mut scans = Vec::new();
         let mut remaining: Vec<usize> = (0..bindings.len()).collect();
         while !remaining.is_empty() {
             // Greedy choice: cheapest next scan under the cost model.
@@ -276,16 +230,18 @@ impl<'d> Compiler<'d> {
             self.bound.insert(b.var.clone());
             let filters = self.attach_ready(&mut preds, &mut subs)?;
             let index_id = if key_cols.is_empty() {
-                usize::MAX
+                exec::FULL_SCAN
             } else {
                 self.n_indexes += 1;
                 self.n_indexes - 1
             };
-            steps.push(ScanStep {
-                slot: slots[bi],
-                table: b.table.clone(),
+            scans.push(Scan {
+                rel: b.table.clone(),
+                tuple_slot: Some(slots[bi]),
                 key_cols,
                 key_terms,
+                bind_cols: Vec::new(),
+                check_cols: Vec::new(),
                 index_id,
                 filters,
             });
@@ -303,14 +259,14 @@ impl<'d> Compiler<'d> {
                 leftovers.push(self.compile_formula(&f)?);
             }
         }
-        let mut plan = ExistsPlan { pre, steps };
+        let mut block = Block { pre, scans };
         if !leftovers.is_empty() {
-            match plan.steps.last_mut() {
+            match block.scans.last_mut() {
                 Some(last) => last.filters.extend(leftovers),
-                None => plan.pre.extend(leftovers),
+                None => block.pre.extend(leftovers),
             }
         }
-        Ok(plan)
+        Ok(block)
     }
 
     /// Drains and compiles every pending conjunct whose variables are all
@@ -320,7 +276,7 @@ impl<'d> Compiler<'d> {
         &mut self,
         preds: &mut [Option<(Predicate, BTreeSet<String>)>],
         subs: &mut [Option<(Formula, BTreeSet<String>)>],
-    ) -> CoreResult<Vec<CFormula>> {
+    ) -> CoreResult<Vec<exec::Formula>> {
         let mut out = Vec::new();
         for entry in preds.iter_mut() {
             if entry
@@ -364,160 +320,11 @@ impl<'d> Compiler<'d> {
 }
 
 // ---------------------------------------------------------------------
-// Execution
+// Public lowering entry points
 // ---------------------------------------------------------------------
 
-/// Shared evaluation state: the database snapshot plus the lazily-built
-/// hash indexes (one cache slot per keyed scan, built on first probe,
-/// reused across the whole evaluation).
-struct EvalCtx<'d> {
-    db: &'d Database,
-    symbols: &'d SymbolTable,
-    indexes: plan::IndexCache<'d>,
-    key_buf: plan::KeyBuf,
-}
-
-impl<'d> EvalCtx<'d> {
-    fn new(db: &'d Database, n_indexes: usize) -> Self {
-        EvalCtx {
-            db,
-            symbols: db.symbols(),
-            indexes: plan::IndexCache::new(n_indexes),
-            key_buf: plan::KeyBuf::default(),
-        }
-    }
-
-    fn index_for(&mut self, step: &ScanStep) -> CoreResult<Rc<plan::Index<'d>>> {
-        let db = self.db;
-        self.indexes
-            .get_or_build(step.index_id, &step.key_cols, || {
-                Ok(db.require(&step.table)?.iter())
-            })
-    }
-}
-
-/// The flat runtime environment: slot → bound tuple.
-type Slots<'b> = Vec<Option<&'b Tuple>>;
-
-fn term_value<'v>(t: &'v CTerm, slots: &'v Slots<'_>) -> &'v Value {
-    match t {
-        CTerm::Const(v) => v,
-        CTerm::Attr { slot, col } => slots[*slot]
-            .expect("compiler attaches terms only after their slot is bound")
-            .get(*col),
-    }
-}
-
-fn eval_cformula<'b, 'd: 'b>(
-    f: &CFormula,
-    slots: &mut Slots<'b>,
-    ctx: &mut EvalCtx<'d>,
-) -> CoreResult<bool> {
-    match f {
-        CFormula::And(fs) => {
-            for sub in fs {
-                if !eval_cformula(sub, slots, ctx)? {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        }
-        CFormula::Or(fs) => {
-            for sub in fs {
-                if eval_cformula(sub, slots, ctx)? {
-                    return Ok(true);
-                }
-            }
-            Ok(false)
-        }
-        CFormula::Not(sub) => Ok(!eval_cformula(sub, slots, ctx)?),
-        CFormula::Exists(plan) => {
-            for pre in &plan.pre {
-                if !eval_cformula(pre, slots, ctx)? {
-                    return Ok(false);
-                }
-            }
-            run_steps(plan, 0, slots, ctx, &mut |_, _| Ok(true))
-        }
-        CFormula::Pred(p) => {
-            let l = term_value(&p.left, slots);
-            let r = term_value(&p.right, slots);
-            Ok(p.op.eval_resolved(l, r, ctx.symbols))
-        }
-    }
-}
-
-/// Runs the scans of `plan` from step `i`, invoking `emit` on every full
-/// assignment. `emit` returning `Ok(true)` stops the enumeration (used
-/// for existential short-circuits); the stop propagates outward.
-fn run_steps<'b, 'd: 'b>(
-    plan: &ExistsPlan,
-    i: usize,
-    slots: &mut Slots<'b>,
-    ctx: &mut EvalCtx<'d>,
-    emit: &mut dyn FnMut(&mut Slots<'b>, &mut EvalCtx<'d>) -> CoreResult<bool>,
-) -> CoreResult<bool> {
-    if i == plan.steps.len() {
-        return emit(slots, ctx);
-    }
-    let step = &plan.steps[i];
-    let stopped = if step.key_cols.is_empty() {
-        let rel = ctx.db.require(&step.table)?;
-        let mut stopped = false;
-        for t in rel.iter() {
-            slots[step.slot] = Some(t);
-            if scan_body(plan, i, slots, ctx, emit)? {
-                stopped = true;
-                break;
-            }
-        }
-        stopped
-    } else {
-        // Hash probe: resolve the key from bound slots/constants into the
-        // reusable buffer and look up the matching bucket.
-        let index = ctx.index_for(step)?;
-        let bucket = index.get(
-            ctx.key_buf
-                .fill(step.key_terms.iter().map(|t| term_value(t, slots).clone())),
-        );
-        let mut stopped = false;
-        if let Some(bucket) = bucket {
-            for &t in bucket {
-                slots[step.slot] = Some(t);
-                if scan_body(plan, i, slots, ctx, emit)? {
-                    stopped = true;
-                    break;
-                }
-            }
-        }
-        stopped
-    };
-    slots[step.slot] = None;
-    Ok(stopped)
-}
-
-/// Filters of step `i`, then recursion into step `i + 1`.
-fn scan_body<'b, 'd: 'b>(
-    plan: &ExistsPlan,
-    i: usize,
-    slots: &mut Slots<'b>,
-    ctx: &mut EvalCtx<'d>,
-    emit: &mut dyn FnMut(&mut Slots<'b>, &mut EvalCtx<'d>) -> CoreResult<bool>,
-) -> CoreResult<bool> {
-    for f in &plan.steps[i].filters {
-        if !eval_cformula(f, slots, ctx)? {
-            return Ok(false);
-        }
-    }
-    run_steps(plan, i + 1, slots, ctx, emit)
-}
-
-// ---------------------------------------------------------------------
-// Public entry points
-// ---------------------------------------------------------------------
-
-/// Evaluates a non-Boolean query, returning its output relation.
-pub fn eval_query(q: &TrcQuery, db: &Database) -> CoreResult<Relation> {
+/// Lowers a non-Boolean query to a compiled plan branch.
+pub fn lower_query(q: &TrcQuery, db: &Database) -> CoreResult<QueryPlan> {
     let head = q.output.clone().ok_or_else(|| {
         CoreError::Invalid(
             "eval_query requires an output head; use eval_sentence for Boolean queries".into(),
@@ -525,7 +332,6 @@ pub fn eval_query(q: &TrcQuery, db: &Database) -> CoreResult<Relation> {
     })?;
     let canon = canonicalize(q);
     let out_schema = TableSchema::try_new(head.name.clone(), head.attrs.clone())?;
-    let mut out = db.fresh_relation(out_schema.clone());
 
     // Split the canonical root into bindings and conjunct parts.
     let (bindings, parts) = match &canon.formula {
@@ -580,54 +386,29 @@ pub fn eval_query(q: &TrcQuery, db: &Database) -> CoreResult<Relation> {
     for b in &bindings {
         slots_of.push(c.push_binding(b)?);
     }
-    let root_plan = c.plan_block(&bindings, &slots_of, &enumerated)?;
-    let cdefs: Vec<CTerm> = defs
+    let root = c.plan_block(&bindings, &slots_of, &enumerated)?;
+    let cdefs: Vec<exec::Term> = defs
         .iter()
         .map(|t| c.compile_term(t))
         .collect::<CoreResult<_>>()?;
     c.bound.insert(head.name.clone());
-    let deferred: Vec<CFormula> = deferred_ast
+    let deferred: Vec<exec::Formula> = deferred_ast
         .iter()
         .map(|f| c.compile_formula(f))
         .collect::<CoreResult<_>>()?;
 
-    let n_slots = c.slot_schemas.len();
-    let mut ctx = EvalCtx::new(db, c.n_indexes);
-    for pre in &root_plan.pre {
-        let mut slots: Slots = vec![None; n_slots];
-        if !eval_cformula(pre, &mut slots, &mut ctx)? {
-            return Ok(out);
-        }
-    }
-    let mut slots: Slots = vec![None; n_slots];
-    run_steps(&root_plan, 0, &mut slots, &mut ctx, &mut |slots, ctx| {
-        let mut row = Vec::with_capacity(cdefs.len());
-        for t in cdefs.iter() {
-            row.push(term_value(t, slots).clone());
-        }
-        let tuple = Tuple(row);
-        // Validate the deferred conjuncts with the head bound. The
-        // narrower lifetime of `tuple` forces a (cheap, word-copy) clone
-        // of the slot vector.
-        let mut vslots: Slots = slots.clone();
-        vslots[head_slot] = Some(&tuple);
-        let mut ok = true;
-        for f in &deferred {
-            if !eval_cformula(f, &mut vslots, ctx)? {
-                ok = false;
-                break;
-            }
-        }
-        if ok {
-            out.insert(tuple)?;
-        }
-        Ok(false)
-    })?;
-    Ok(out)
+    Ok(QueryPlan {
+        out: out_schema,
+        head_slot,
+        root,
+        defs: cdefs,
+        deferred,
+        shape: c.shape(),
+    })
 }
 
-/// Evaluates a Boolean sentence.
-pub fn eval_sentence(q: &TrcQuery, db: &Database) -> CoreResult<bool> {
+/// Lowers a Boolean sentence to a compiled plan.
+pub fn lower_sentence(q: &TrcQuery, db: &Database) -> CoreResult<SentencePlan> {
     if q.output.is_some() {
         return Err(CoreError::Invalid(
             "eval_sentence requires a Boolean query; use eval_query".into(),
@@ -635,10 +416,43 @@ pub fn eval_sentence(q: &TrcQuery, db: &Database) -> CoreResult<bool> {
     }
     let canon = canonicalize(q);
     let mut c = Compiler::new(db);
-    let cf = c.compile_formula(&canon.formula)?;
-    let mut ctx = EvalCtx::new(db, c.n_indexes);
-    let mut slots: Slots = vec![None; c.slot_schemas.len()];
-    eval_cformula(&cf, &mut slots, &mut ctx)
+    let formula = c.compile_formula(&canon.formula)?;
+    Ok(SentencePlan {
+        formula,
+        shape: c.shape(),
+    })
+}
+
+/// Lowers a union of queries to a complete [`Plan`]: a single branch
+/// without an output head becomes a Boolean sentence plan, anything
+/// else a union of query branches.
+pub fn lower_union(u: &TrcUnion, db: &Database) -> CoreResult<Plan> {
+    match u.branches.as_slice() {
+        [] => Err(CoreError::Invalid("empty union".into())),
+        [sentence] if sentence.output.is_none() => {
+            Ok(Plan::Sentence(lower_sentence(sentence, db)?))
+        }
+        branches => Ok(Plan::Union(
+            branches
+                .iter()
+                .map(|q| lower_query(q, db))
+                .collect::<CoreResult<_>>()?,
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Evaluation wrappers (lower + shared executor)
+// ---------------------------------------------------------------------
+
+/// Evaluates a non-Boolean query, returning its output relation.
+pub fn eval_query(q: &TrcQuery, db: &Database) -> CoreResult<Relation> {
+    exec::run_query(&lower_query(q, db)?, db)
+}
+
+/// Evaluates a Boolean sentence.
+pub fn eval_sentence(q: &TrcQuery, db: &Database) -> CoreResult<bool> {
+    exec::run_sentence(&lower_sentence(q, db)?, db)
 }
 
 /// Evaluates a union of queries (§5): the set union of branch outputs.
@@ -669,7 +483,7 @@ fn conjuncts(f: &Formula) -> Vec<Formula> {
 mod tests {
     use super::*;
     use crate::parser::{parse_query, parse_union};
-    use rd_core::{Catalog, TableSchema};
+    use rd_core::{Catalog, TableSchema, Value};
 
     fn rs_db() -> (Catalog, Database) {
         let catalog = Catalog::from_schemas([
@@ -876,5 +690,27 @@ mod tests {
             eval_query(&a, &db).unwrap().tuples(),
             eval_query(&b, &db).unwrap().tuples()
         );
+    }
+
+    #[test]
+    fn lowered_plan_is_reusable_and_explainable() {
+        let (cat, db) = rs_db();
+        let q = parse_query(
+            "{ q(A) | exists r in R, s in S [ q.A = r.A and r.B = s.B ] }",
+            &cat,
+        )
+        .unwrap();
+        let plan = lower_union(&crate::ast::TrcUnion::new(vec![q.clone()]).unwrap(), &db).unwrap();
+        // Executing the same compiled plan twice agrees with direct eval.
+        let a = exec::execute(&plan, &db).unwrap();
+        let b = exec::execute(&plan, &db).unwrap();
+        assert_eq!(a.tuples(), b.tuples());
+        assert_eq!(a.tuples(), eval_query(&q, &db).unwrap().tuples());
+        // The explain tree names the probe strategy.
+        let node = exec::explain(&plan);
+        fn any_probe(n: &rd_core::exec::ExplainNode) -> bool {
+            n.detail.contains("hash probe") || n.children.iter().any(any_probe)
+        }
+        assert!(any_probe(&node), "{node:?}");
     }
 }
