@@ -2,9 +2,9 @@
 //! canonicalization, translation, diagram round-trip, evaluation, and
 //! pattern-isomorphism checking.
 //!
-//! Setting `RD_BENCH_SMOKE=1` runs only the evaluation and plan-cache
-//! benches with a single sample — CI's cheap "the benches still run"
-//! check.
+//! Setting `RD_BENCH_SMOKE=1` runs only the evaluation, plan-cache,
+//! and delta-mutation benches with a single sample — CI's cheap "the
+//! benches still run" check.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rd_core::{Catalog, DbGenerator, TableSchema, Value};
@@ -171,6 +171,75 @@ fn bench_plan_cache(c: &mut Criterion) {
     });
 }
 
+/// Delta-aware invalidation on the hot serving path: repeat a query
+/// while mutations land on (a) no table, (b) an *unrelated* table, and
+/// (c) the queried table. The delta-aware cache keeps (b) at
+/// cached-result speed — a mutation bumps only the touched relation's
+/// generation, so the Boat result survives Sailor inserts — while (c)
+/// pays a genuine re-evaluation per request. Pre-PR-6, (b) and (c)
+/// were identical: any write stranded every cached entry.
+fn bench_delta_mutation_cache(c: &mut Criterion) {
+    use rd_core::Tuple;
+    use rd_engine::{parse_fixture, EngineShared, Language, QueryRequest, Session, SharedConfig};
+    use std::sync::Arc;
+
+    // The division query over a 200-row R, plus a small side table U the
+    // query never reads — so a forced re-evaluation has a real cost and
+    // an unrelated mutation a cheap one.
+    let mut fixture = String::from("R(A, B):\n");
+    for a in 0..20 {
+        for b in 0..10 {
+            if (a + b) % 7 != 0 {
+                fixture.push_str(&format!("  ({a}, {b})\n"));
+            }
+        }
+    }
+    fixture.push_str("S(B):\n");
+    for b in 0..10 {
+        fixture.push_str(&format!("  ({b})\n"));
+    }
+    fixture.push_str("U(X):\n  (0)\n  (1)\n");
+    let db = parse_fixture(&fixture).unwrap();
+    let shared_session = || {
+        Session::attach(Arc::new(EngineShared::with_config(
+            db.clone(),
+            SharedConfig {
+                shards: 1,
+                ..SharedConfig::default()
+            },
+        )))
+    };
+    let req = QueryRequest::new(Language::Trc, DIVISION);
+
+    let mut hit = shared_session();
+    hit.run(&req).unwrap();
+    c.bench_function("delta_mutation_cache/repeat_query", |b| {
+        b.iter(|| hit.run(black_box(&req)).unwrap())
+    });
+
+    // Each iteration inserts and deletes one fresh row — two deltas on a
+    // constant-size database — then repeats the division query. With the
+    // mutation on U the cached result survives both deltas and the query
+    // stays at cached-result speed; on R it is invalidated twice and the
+    // query genuinely re-evaluates.
+    let mut bench_interleaved = |name: &str, table: &'static str, width: usize| {
+        let mut session = shared_session();
+        session.run(&req).unwrap();
+        let mut next = 1_000_000i64;
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                next += 1;
+                let rows = [Tuple(vec![Value::int(next); width])];
+                session.shared().insert_rows(table, &rows).unwrap();
+                session.shared().delete_rows(table, &rows).unwrap();
+                session.run(black_box(&req)).unwrap()
+            })
+        });
+    };
+    bench_interleaved("delta_mutation_cache/after_unrelated_mutation", "U", 1);
+    bench_interleaved("delta_mutation_cache/after_touching_mutation", "R", 2);
+}
+
 fn bench_patterns(c: &mut Criterion) {
     if smoke() {
         return;
@@ -197,6 +266,6 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_parse, bench_translate, bench_diagram, bench_eval, bench_eval_strings,
-        bench_plan_cache, bench_patterns
+        bench_plan_cache, bench_delta_mutation_cache, bench_patterns
 }
 criterion_main!(benches);

@@ -298,6 +298,19 @@ impl Relation {
         }
     }
 
+    /// Removes a tuple; like [`Relation::contains`], `Str` probes are
+    /// mapped through the attached table via *lookup only*, so deleting
+    /// an unknown string answers `false` without growing the shared
+    /// table. Returns `true` if the tuple was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        match &self.symbols {
+            Some(symbols) if tuple.iter().any(|v| matches!(v, Value::Str(_))) => {
+                self.tuples.remove(&lookup_tuple_with(tuple, symbols))
+            }
+            _ => self.tuples.remove(tuple),
+        }
+    }
+
     /// Approximate in-memory size of the tuple set — the weight used by
     /// size-aware cache admission.
     pub fn approx_bytes(&self) -> usize {
@@ -345,6 +358,19 @@ impl PartialEq for Relation {
 
 impl Eq for Relation {}
 
+/// Rejects a mutation batch whose rows don't all match the schema arity
+/// — checked up front so a failed batch leaves the relation untouched.
+fn check_batch_arity(table: &str, expected: usize, rows: &[Tuple]) -> CoreResult<()> {
+    match rows.iter().find(|row| row.arity() != expected) {
+        Some(bad) => Err(CoreError::ArityMismatch {
+            table: table.to_string(),
+            expected,
+            actual: bad.arity(),
+        }),
+        None => Ok(()),
+    }
+}
+
 fn intern_tuple_with(t: &Tuple, symbols: &SymbolTable) -> Tuple {
     Tuple(
         t.iter()
@@ -386,9 +412,17 @@ fn resolve_tuple_with(t: &Tuple, symbols: &SymbolTable) -> Tuple {
 
 /// A database: a set of relation instances, keyed by table name, plus the
 /// symbol table their string values are interned into.
+///
+/// Relations are held behind `Arc`s, so cloning a database is cheap —
+/// one pointer copy per relation — and the single-relation mutation
+/// methods ([`Database::insert_rows`], [`Database::delete_rows`],
+/// [`Database::create_table`]) are copy-on-write: only the touched
+/// relation's tuple set is actually cloned; every other relation stays
+/// shared with the source snapshot. This is what makes per-mutation
+/// epochs affordable for a service.
 #[derive(Debug, Clone)]
 pub struct Database {
-    relations: BTreeMap<String, Relation>,
+    relations: BTreeMap<String, Arc<Relation>>,
     symbols: Arc<SymbolTable>,
     interning: bool,
 }
@@ -450,7 +484,54 @@ impl Database {
             // out of its old table (its ids mean nothing here).
             relation.detach_resolved();
         }
-        self.relations.insert(relation.name().to_string(), relation);
+        self.relations
+            .insert(relation.name().to_string(), Arc::new(relation));
+    }
+
+    /// Creates an empty table; errors if the name is already taken (a
+    /// durable mutation must not silently drop existing data).
+    pub fn create_table(&mut self, schema: TableSchema) -> CoreResult<()> {
+        if self.relations.contains_key(schema.name()) {
+            return Err(CoreError::DuplicateTable(schema.name().to_string()));
+        }
+        self.add_relation(Relation::empty(schema));
+        Ok(())
+    }
+
+    /// Inserts `rows` (edge `Int`/`Str` representation) into `table` by
+    /// copy-on-write: if the relation is shared with another database
+    /// snapshot it is cloned once, all other relations stay shared.
+    /// Arity is validated for the whole batch before anything is
+    /// touched. Returns how many rows were actually new (set
+    /// semantics: duplicates don't count).
+    pub fn insert_rows(&mut self, table: &str, rows: &[Tuple]) -> CoreResult<usize> {
+        let rel = self
+            .relations
+            .get_mut(table)
+            .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
+        check_batch_arity(table, rel.schema().arity(), rows)?;
+        let rel = Arc::make_mut(rel);
+        let mut applied = 0;
+        for row in rows {
+            if rel.insert(row.clone())? {
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Removes `rows` from `table` by copy-on-write (see
+    /// [`Database::insert_rows`]). Returns how many rows were actually
+    /// present and removed; deleting an absent row is a no-op, not an
+    /// error.
+    pub fn delete_rows(&mut self, table: &str, rows: &[Tuple]) -> CoreResult<usize> {
+        let rel = self
+            .relations
+            .get_mut(table)
+            .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
+        check_batch_arity(table, rel.schema().arity(), rows)?;
+        let rel = Arc::make_mut(rel);
+        Ok(rows.iter().filter(|row| rel.remove(row)).count())
     }
 
     /// An empty relation attached to this database's symbol table — the
@@ -526,7 +607,7 @@ impl Database {
 
     /// Looks up a relation by name.
     pub fn relation(&self, name: &str) -> Option<&Relation> {
-        self.relations.get(name)
+        self.relations.get(name).map(|r| r.as_ref())
     }
 
     /// Looks up a relation or returns an error.
@@ -535,15 +616,16 @@ impl Database {
             .ok_or_else(|| CoreError::UnknownTable(name.to_string()))
     }
 
-    /// Mutable lookup. The relation keeps its symbol-table attachment, so
-    /// inserts through it still intern.
+    /// Mutable lookup (copy-on-write: a relation shared with another
+    /// database snapshot is cloned first). The relation keeps its
+    /// symbol-table attachment, so inserts through it still intern.
     pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
-        self.relations.get_mut(name)
+        self.relations.get_mut(name).map(Arc::make_mut)
     }
 
     /// Iterates over relations in name order.
     pub fn iter(&self) -> impl Iterator<Item = &Relation> {
-        self.relations.values()
+        self.relations.values().map(|r| r.as_ref())
     }
 
     /// Number of relations.
@@ -582,7 +664,7 @@ impl Database {
 
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(|r| r.len()).sum()
     }
 
     /// A 64-bit content fingerprint: two databases with the same schemas
@@ -591,21 +673,49 @@ impl Database {
     /// re-sorted per relation. Computed once per load/reload, it keys
     /// in-memory result caches and lets a service tell reloads apart; it
     /// is not a persistent checksum.
+    ///
+    /// Defined as [`combine_fingerprints`] over the per-relation
+    /// [`Database::relation_fingerprint`] digests (in name order), so a
+    /// caller tracking single-relation deltas can maintain the same
+    /// value incrementally — rehash only the touched relation and
+    /// re-combine — instead of rehashing every row of the database.
     pub fn fingerprint(&self) -> u64 {
+        combine_fingerprints(
+            self.relations.len(),
+            self.relations
+                .values()
+                .map(|r| self.relation_fingerprint(r)),
+        )
+    }
+
+    /// The per-relation digest [`Database::fingerprint`] is built from:
+    /// schema, cardinality, and the resolved (string-form) tuple set.
+    pub fn relation_fingerprint(&self, rel: &Relation) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.relations.len().hash(&mut h);
-        for rel in self.relations.values() {
-            rel.schema().hash(&mut h);
-            rel.len().hash(&mut h);
-            let mut rows: Vec<Tuple> = rel.iter().map(|t| self.resolve_tuple(t)).collect();
-            rows.sort_unstable();
-            for t in rows {
-                t.hash(&mut h);
-            }
+        rel.schema().hash(&mut h);
+        rel.len().hash(&mut h);
+        let mut rows: Vec<Tuple> = rel.iter().map(|t| self.resolve_tuple(t)).collect();
+        rows.sort_unstable();
+        for t in rows {
+            t.hash(&mut h);
         }
         h.finish()
     }
+}
+
+/// Folds per-relation digests (in relation-name order) plus the relation
+/// count into one database fingerprint — the combination step of
+/// [`Database::fingerprint`], exposed so delta-tracking callers can
+/// recombine cached digests after a single-relation change.
+pub fn combine_fingerprints(count: usize, prints: impl Iterator<Item = u64>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    count.hash(&mut h);
+    for p in prints {
+        p.hash(&mut h);
+    }
+    h.finish()
 }
 
 /// Content equality over the relation map (delegates to the resolving
@@ -871,6 +981,79 @@ mod tests {
         assert_eq!(r2.name(), "R_1");
         assert_eq!(r2.len(), 3);
         assert!(r.renamed(TableSchema::new("X", ["A"])).is_err());
+    }
+
+    #[test]
+    fn insert_and_delete_rows_apply_copy_on_write() {
+        let mut base = Database::new();
+        base.add_relation(sample());
+        base.add_relation(Relation::from_rows(TableSchema::new("S", ["B"]), [[9i64]]).unwrap());
+        let mut next = base.clone();
+        assert_eq!(
+            next.insert_rows("R", &[Tuple::new([7i64, 7]), Tuple::new([1i64, 2])])
+                .unwrap(),
+            1,
+            "duplicate row doesn't count"
+        );
+        assert_eq!(next.delete_rows("R", &[Tuple::new([2i64, 2])]).unwrap(), 1);
+        assert_eq!(
+            next.delete_rows("R", &[Tuple::new([5i64, 5])]).unwrap(),
+            0,
+            "absent row is a no-op"
+        );
+        // The source snapshot is untouched; the shared relation stays
+        // literally shared (copy-on-write touched only R).
+        assert_eq!(base.require("R").unwrap().len(), 3);
+        assert_eq!(next.require("R").unwrap().len(), 3);
+        assert!(next.require("R").unwrap().contains(&Tuple::new([7i64, 7])));
+        assert!(Arc::ptr_eq(
+            base.relations.get("S").unwrap(),
+            next.relations.get("S").unwrap()
+        ));
+        assert!(!Arc::ptr_eq(
+            base.relations.get("R").unwrap(),
+            next.relations.get("R").unwrap()
+        ));
+    }
+
+    #[test]
+    fn batch_arity_is_checked_before_any_row_lands() {
+        let mut db = Database::new();
+        db.add_relation(sample());
+        let err = db.insert_rows("R", &[Tuple::new([8i64, 8]), Tuple::new([9i64])]);
+        assert!(matches!(err, Err(CoreError::ArityMismatch { .. })));
+        assert_eq!(db.require("R").unwrap().len(), 3, "failed batch is atomic");
+        assert!(matches!(
+            db.insert_rows("Nope", &[Tuple::new([1i64])]),
+            Err(CoreError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn delete_accepts_edge_strings_and_create_table_rejects_duplicates() {
+        let mut db = Database::new();
+        db.add_relation(Relation::from_rows(TableSchema::new("T", ["x"]), [["red"]]).unwrap());
+        // Deleting by the edge (Str) representation maps through the
+        // table; an unknown string can't match and mustn't intern.
+        let before = db.symbols().len();
+        assert_eq!(
+            db.delete_rows("T", &[Tuple::new([Value::str("nope")])])
+                .unwrap(),
+            0
+        );
+        assert_eq!(db.symbols().len(), before);
+        assert_eq!(
+            db.delete_rows("T", &[Tuple::new([Value::str("red")])])
+                .unwrap(),
+            1
+        );
+        assert!(db.require("T").unwrap().is_empty());
+        db.create_table(TableSchema::new("U", ["y"])).unwrap();
+        assert!(db.require("U").unwrap().is_empty());
+        assert!(matches!(
+            db.create_table(TableSchema::new("T", ["z"])),
+            Err(CoreError::DuplicateTable(_))
+        ));
     }
 
     #[test]

@@ -337,6 +337,93 @@ fn _assert_plan_is_send_sync() {
 }
 
 // ---------------------------------------------------------------------
+// Scan-set extraction
+// ---------------------------------------------------------------------
+
+/// The *scan set* of a compiled plan: every stored relation the executor
+/// can read while running it. This is the dependency footprint that
+/// delta-aware caches stamp onto their entries — a mutation to a
+/// relation outside a plan's scan set provably cannot change its result.
+///
+/// All stored reads go through [`Scan::rel`], [`Formula::NegProbe`], and
+/// [`OpNode::Table`]; for Datalog programs, IDB predicates are computed
+/// per execution (and shadow same-named tables in [`tuples_of`]), so
+/// stratum names are excluded.
+pub fn scan_set(plan: &Plan) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    match plan {
+        Plan::Union(branches) => {
+            for q in branches {
+                scans_in_block(&q.root, &mut set);
+                for f in &q.deferred {
+                    scans_in_formula(f, &mut set);
+                }
+            }
+        }
+        Plan::Sentence(s) => scans_in_formula(&s.formula, &mut set),
+        Plan::Program(p) => {
+            for stratum in &p.strata {
+                for rule in &stratum.rules {
+                    scans_in_block(&rule.block, &mut set);
+                }
+            }
+            for stratum in &p.strata {
+                set.remove(&stratum.pred);
+            }
+        }
+        Plan::Ops { root, .. } => scans_in_ops(root, &mut set),
+    }
+    set
+}
+
+fn scans_in_block(block: &Block, set: &mut BTreeSet<String>) {
+    for f in &block.pre {
+        scans_in_formula(f, set);
+    }
+    for scan in &block.scans {
+        set.insert(scan.rel.clone());
+        for f in &scan.filters {
+            scans_in_formula(f, set);
+        }
+    }
+}
+
+fn scans_in_formula(f: &Formula, set: &mut BTreeSet<String>) {
+    match f {
+        Formula::And(fs) | Formula::Or(fs) => {
+            for sub in fs {
+                scans_in_formula(sub, set);
+            }
+        }
+        Formula::Not(sub) => scans_in_formula(sub, set),
+        Formula::Exists(block) => scans_in_block(block, set),
+        Formula::Pred(_) => {}
+        Formula::NegProbe { rel, .. } => {
+            set.insert(rel.clone());
+        }
+    }
+}
+
+fn scans_in_ops(op: &OpNode, set: &mut BTreeSet<String>) {
+    match op {
+        OpNode::Table(name) => {
+            set.insert(name.clone());
+        }
+        OpNode::Project { input, .. } | OpNode::Select { input, .. } => scans_in_ops(input, set),
+        OpNode::Product(l, r) | OpNode::Diff(l, r) | OpNode::Union(l, r) => {
+            scans_in_ops(l, set);
+            scans_in_ops(r, set);
+        }
+        OpNode::Join { left, right, .. }
+        | OpNode::NaturalJoin { left, right, .. }
+        | OpNode::Antijoin { left, right, .. } => {
+            scans_in_ops(left, set);
+            scans_in_ops(right, set);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Execution: environment and context
 // ---------------------------------------------------------------------
 
@@ -1246,6 +1333,111 @@ mod tests {
     fn empty_union_errors() {
         let db = rs_db();
         assert!(execute(&Plan::Union(Vec::new()), &db).is_err());
+    }
+
+    #[test]
+    fn scan_set_walks_every_read_site() {
+        // Pipeline branch: scans plus a NegProbe filter and an Exists
+        // block inside a deferred conjunct.
+        let mut q = join_plan();
+        q.root.scans[0].filters.push(Formula::NegProbe {
+            rel: "N".into(),
+            cols: vec![0],
+            terms: vec![Term::Const(Value::int(1))],
+            index_id: 1,
+        });
+        q.deferred
+            .push(Formula::Not(Box::new(Formula::Exists(Block {
+                pre: Vec::new(),
+                scans: vec![Scan {
+                    rel: "D".into(),
+                    tuple_slot: None,
+                    key_cols: Vec::new(),
+                    key_terms: Vec::new(),
+                    bind_cols: Vec::new(),
+                    check_cols: Vec::new(),
+                    index_id: FULL_SCAN,
+                    filters: Vec::new(),
+                }],
+            }))));
+        let set = scan_set(&Plan::Union(vec![q]));
+        let names: Vec<&str> = set.iter().map(String::as_str).collect();
+        assert_eq!(names, ["D", "N", "R", "S"]);
+
+        // Ops tree: every table leaf.
+        let ops = Plan::Ops {
+            root: OpNode::Diff(
+                Box::new(OpNode::Table("A".into())),
+                Box::new(OpNode::Project {
+                    cols: vec![0],
+                    input: Box::new(OpNode::Table("B".into())),
+                }),
+            ),
+            out: TableSchema::new("q", ["x"]),
+        };
+        let names: Vec<String> = scan_set(&ops).into_iter().collect();
+        assert_eq!(names, ["A", "B"]);
+    }
+
+    #[test]
+    fn scan_set_excludes_computed_idbs() {
+        // P(x) ← R(x, y); Q(x) ← P(x), ¬S(x): the program reads R and S
+        // from storage, while P is computed per execution.
+        let rule_p = RulePlan {
+            head: vec![Term::Var(0)],
+            block: Block {
+                pre: Vec::new(),
+                scans: vec![Scan {
+                    rel: "R".into(),
+                    tuple_slot: None,
+                    key_cols: Vec::new(),
+                    key_terms: Vec::new(),
+                    bind_cols: vec![(0, 0)],
+                    check_cols: Vec::new(),
+                    index_id: FULL_SCAN,
+                    filters: Vec::new(),
+                }],
+            },
+            shape: EnvShape::default(),
+        };
+        let rule_q = RulePlan {
+            head: vec![Term::Var(0)],
+            block: Block {
+                pre: Vec::new(),
+                scans: vec![Scan {
+                    rel: "P".into(),
+                    tuple_slot: None,
+                    key_cols: Vec::new(),
+                    key_terms: Vec::new(),
+                    bind_cols: vec![(0, 0)],
+                    check_cols: Vec::new(),
+                    index_id: FULL_SCAN,
+                    filters: vec![Formula::NegProbe {
+                        rel: "S".into(),
+                        cols: vec![0],
+                        terms: vec![Term::Var(0)],
+                        index_id: 0,
+                    }],
+                }],
+            },
+            shape: EnvShape::default(),
+        };
+        let plan = Plan::Program(ProgramPlan {
+            strata: vec![
+                Stratum {
+                    pred: "P".into(),
+                    rules: vec![rule_p],
+                },
+                Stratum {
+                    pred: "Q".into(),
+                    rules: vec![rule_q],
+                },
+            ],
+            query: "Q".into(),
+            out: TableSchema::new("Q", ["x1"]),
+        });
+        let names: Vec<String> = scan_set(&plan).into_iter().collect();
+        assert_eq!(names, ["R", "S"]);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod symbol;
 pub mod value;
 
 pub use cmp::CmpOp;
-pub use database::{Database, Relation, Tuple};
+pub use database::{combine_fingerprints, Database, Relation, Tuple};
 pub use error::{CoreError, CoreResult};
 pub use generate::{enumerate_databases, DbGenerator, ExhaustiveDbIter};
 pub use plan::{build_index, scan_cost, DbStats};

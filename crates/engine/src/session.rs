@@ -2,7 +2,8 @@
 
 use crate::request::{DiagramFormat, ExplainResponse, QueryRequest, QueryResponse, Translations};
 use crate::shared::{
-    hash_text, DbEpoch, EngineShared, EvalEntry, ParseEntry, PlanEntry, SharedConfig,
+    hash_text, scans_current, stamp_scans, DbEpoch, EngineShared, EvalEntry, ParseEntry, PlanEntry,
+    SharedConfig,
 };
 use crate::{Artifact, Language};
 use rd_core::exec::{self, Plan};
@@ -53,6 +54,13 @@ pub struct SessionStats {
     pub plan_misses: u64,
     /// Plan-cache entries this session's inserts evicted.
     pub plan_evictions: u64,
+    /// Cache entries (eval or plan) found stale at lookup because a
+    /// delta mutation had touched a relation in their scan set.
+    pub delta_invalidations: u64,
+    /// Cache hits (eval or plan) served *despite* an intervening delta
+    /// mutation — the entry's scan set was disjoint from everything
+    /// mutated since it was computed.
+    pub delta_survivals: u64,
     /// Total result tuples returned.
     pub rows_returned: u64,
     /// Tuples delivered through chunked streaming (a subset of
@@ -87,6 +95,8 @@ impl SessionStats {
         self.plan_hits += other.plan_hits;
         self.plan_misses += other.plan_misses;
         self.plan_evictions += other.plan_evictions;
+        self.delta_invalidations += other.delta_invalidations;
+        self.delta_survivals += other.delta_survivals;
         self.rows_returned += other.rows_returned;
         self.rows_streamed += other.rows_streamed;
     }
@@ -107,6 +117,8 @@ impl SessionStats {
             plan_hits: self.plan_hits - earlier.plan_hits,
             plan_misses: self.plan_misses - earlier.plan_misses,
             plan_evictions: self.plan_evictions - earlier.plan_evictions,
+            delta_invalidations: self.delta_invalidations - earlier.delta_invalidations,
+            delta_survivals: self.delta_survivals - earlier.delta_survivals,
             rows_returned: self.rows_returned - earlier.rows_returned,
             rows_streamed: self.rows_streamed - earlier.rows_streamed,
         }
@@ -308,7 +320,11 @@ impl Session {
         language: Language,
         text: &str,
     ) -> CoreResult<(Arc<Artifact>, bool)> {
-        let key = (epoch.generation, language, hash_text(text));
+        // Keyed by the epoch's *base* generation: delta mutations never
+        // shrink the catalog (inserts/deletes preserve schemas, table
+        // creation only adds), so a parsed artifact stays valid across
+        // them; only a full replacement moves `base` and re-keys.
+        let key = (epoch.base, language, hash_text(text));
         if let Some(entry) = self.shared.parse_cache.get(&key) {
             if &*entry.text == text {
                 self.stats.cache_hits += 1;
@@ -328,7 +344,9 @@ impl Session {
     }
 
     /// Evaluates through the shared eval/result cache, keyed by the
-    /// canonical artifact text and the epoch's generation. Returns the
+    /// canonical artifact text and the epoch's *base* generation, with
+    /// each entry's recorded scan set validated against the epoch's
+    /// per-relation generations (delta-aware invalidation). Returns the
     /// (shared) relation and whether evaluation was skipped.
     ///
     /// Evaluation runs over the interned representation; the result is
@@ -346,11 +364,20 @@ impl Session {
             let raw = exec::execute(&plan, &epoch.db)?;
             return Ok((Arc::new(epoch.db.resolve_relation(&raw)), false));
         }
-        let key = (epoch.generation, artifact.language(), hash_text(canonical));
+        let key = (epoch.base, artifact.language(), hash_text(canonical));
         if let Some(entry) = self.shared.eval_cache.get(&key) {
             if *entry.canonical == *canonical {
-                self.stats.eval_hits += 1;
-                return Ok((entry.relation, true));
+                if scans_current(&entry.scans, epoch) {
+                    self.stats.eval_hits += 1;
+                    if entry.born < epoch.generation {
+                        self.stats.delta_survivals += 1;
+                    }
+                    return Ok((entry.relation, true));
+                }
+                // A delta mutation touched a relation this result reads:
+                // the entry is stale. Fall through to re-evaluate; the
+                // insert below overwrites it under the same key.
+                self.stats.delta_invalidations += 1;
             }
         }
         self.stats.eval_misses += 1;
@@ -368,6 +395,8 @@ impl Session {
             canonical: canonical.into(),
             relation: relation.clone(),
             bytes,
+            scans: stamp_scans(&plan, epoch),
+            born: epoch.generation,
         };
         if self.shared.eval_cache_insert(key, entry) {
             self.stats.eval_evictions += 1;
@@ -377,11 +406,11 @@ impl Session {
 
     /// Fetches (or compiles and caches) the artifact's executable plan
     /// through the shared plan cache, keyed — like the result cache —
-    /// by the canonical artifact text and the epoch's generation: plans
-    /// bake in interned constants and size-driven scan orders, so an
-    /// entry never outlives the database it was compiled against.
-    /// Failed compiles are not cached (error traffic must not evict
-    /// good plans).
+    /// by the canonical artifact text and the epoch's *base* generation,
+    /// with the same scan-set validation: plans bake in interned
+    /// constants and size-driven scan orders, so an entry must not
+    /// outlive the contents of any relation it reads. Failed compiles
+    /// are not cached (error traffic must not evict good plans).
     ///
     /// Callers pass the already-rendered canonical text (the eval-cache
     /// key and the response use the same string), so each request
@@ -395,11 +424,20 @@ impl Session {
         if !self.shared.plan_cache_enabled() {
             return Ok(Arc::new(artifact.compile(&epoch.db)?));
         }
-        let key = (epoch.generation, artifact.language(), hash_text(canonical));
+        let key = (epoch.base, artifact.language(), hash_text(canonical));
         if let Some(entry) = self.shared.plan_cache.get(&key) {
             if *entry.canonical == *canonical {
-                self.stats.plan_hits += 1;
-                return Ok(entry.plan);
+                if scans_current(&entry.scans, epoch) {
+                    self.stats.plan_hits += 1;
+                    if entry.born < epoch.generation {
+                        self.stats.delta_survivals += 1;
+                    }
+                    return Ok(entry.plan);
+                }
+                // Plans bake in interned constants and size-driven scan
+                // orders; a mutation to a scanned relation may have
+                // changed either, so recompile.
+                self.stats.delta_invalidations += 1;
             }
         }
         self.stats.plan_misses += 1;
@@ -407,6 +445,8 @@ impl Session {
         let entry = PlanEntry {
             canonical: canonical.into(),
             plan: plan.clone(),
+            scans: stamp_scans(&plan, epoch),
+            born: epoch.generation,
         };
         if self.shared.plan_cache.insert(key, entry).1.is_some() {
             self.stats.plan_evictions += 1;

@@ -26,8 +26,9 @@
 
 use crate::cache::LruCache;
 use crate::{Artifact, Language};
-use rd_core::{Catalog, Database, Relation};
+use rd_core::{Catalog, CoreResult, Database, Relation, TableSchema, Tuple};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -218,24 +219,124 @@ pub struct DbEpoch {
     pub db: Arc<Database>,
     /// The catalog implied by the database's schemas.
     pub catalog: Arc<Catalog>,
-    /// Monotonic reload counter (0 for the initial database).
+    /// Monotonic change counter (0 for the initial database): bumped by
+    /// full replacements *and* by delta mutations.
     pub generation: u64,
+    /// Generation of the last *full* replacement. Cache keys are
+    /// stamped with this base: a reload moves the whole key space, while
+    /// a delta mutation keeps it — entries stay addressable and are
+    /// instead validated per lookup against [`DbEpoch::rel_gens`].
+    pub base: u64,
+    /// Per-relation generations: for each stored relation, the
+    /// generation at which it last changed. Delta-aware cache entries
+    /// record these for their scan set and are served only while every
+    /// recorded generation still matches.
+    pub rel_gens: Arc<BTreeMap<String, u64>>,
     /// Content fingerprint of `db` (diagnostic; see
-    /// [`Database::fingerprint`]).
+    /// [`Database::fingerprint`]). Maintained *incrementally*: a delta
+    /// epoch rehashes only the touched relations' digests
+    /// ([`rel_prints`](Self::rel_prints)) and recombines, so the value
+    /// always equals what a fresh load of the same content would
+    /// compute without paying O(database) per mutation.
     pub fingerprint: u64,
+    /// Per-relation content digests backing the incremental
+    /// [`fingerprint`](Self::fingerprint)
+    /// (see [`Database::relation_fingerprint`]).
+    rel_prints: Arc<BTreeMap<String, u64>>,
 }
 
 impl DbEpoch {
+    /// Full-replacement epoch: every relation's generation resets to
+    /// the new global generation.
     fn new(db: Database, generation: u64) -> Self {
         let catalog = Arc::new(db.catalog());
-        let fingerprint = db.fingerprint();
+        let rel_prints: BTreeMap<String, u64> = db
+            .iter()
+            .map(|r| (r.name().to_string(), db.relation_fingerprint(r)))
+            .collect();
+        let fingerprint =
+            rd_core::combine_fingerprints(rel_prints.len(), rel_prints.values().copied());
+        let rel_gens = db
+            .iter()
+            .map(|r| (r.name().to_string(), generation))
+            .collect();
         DbEpoch {
             db: Arc::new(db),
             catalog,
             generation,
+            base: generation,
+            rel_gens: Arc::new(rel_gens),
             fingerprint,
+            rel_prints: Arc::new(rel_prints),
         }
     }
+
+    /// Delta epoch: same base, bumped generation, and only the touched
+    /// relations' generations (and content digests) moved forward.
+    /// Insert/delete deltas never change the schema set, so the catalog
+    /// is rebuilt only when the mutation added a table.
+    fn delta(prev: &DbEpoch, db: Database, touched: &[&str]) -> Self {
+        let generation = prev.generation + 1;
+        let mut rel_gens = (*prev.rel_gens).clone();
+        let mut rel_prints = (*prev.rel_prints).clone();
+        for name in touched {
+            rel_gens.insert((*name).to_string(), generation);
+            if let Some(rel) = db.relation(name) {
+                rel_prints.insert((*name).to_string(), db.relation_fingerprint(rel));
+            } else {
+                rel_prints.remove(*name);
+            }
+        }
+        let fingerprint =
+            rd_core::combine_fingerprints(rel_prints.len(), rel_prints.values().copied());
+        let catalog = if db.len() == prev.catalog.len() {
+            prev.catalog.clone()
+        } else {
+            Arc::new(db.catalog())
+        };
+        DbEpoch {
+            db: Arc::new(db),
+            catalog,
+            generation,
+            base: prev.base,
+            rel_gens: Arc::new(rel_gens),
+            fingerprint,
+            rel_prints: Arc::new(rel_prints),
+        }
+    }
+
+    /// The generation at which `rel` last changed (`None` for relations
+    /// this epoch doesn't store).
+    pub fn rel_gen(&self, rel: &str) -> Option<u64> {
+        self.rel_gens.get(rel).copied()
+    }
+}
+
+/// The `(relation, generation)` stamp a delta-aware cache entry carries:
+/// the entry's plan scan set, with each relation's generation as of the
+/// epoch the entry was computed against.
+pub(crate) type ScanStamp = Arc<[(String, u64)]>;
+
+/// Stamps a compiled plan's scan set against `epoch`. Relations the
+/// epoch doesn't store (shadowed or since-dropped names) are pinned to
+/// the current generation, so any later change still invalidates.
+pub(crate) fn stamp_scans(plan: &rd_core::exec::Plan, epoch: &DbEpoch) -> ScanStamp {
+    rd_core::exec::scan_set(plan)
+        .into_iter()
+        .map(|rel| {
+            let gen = epoch.rel_gen(&rel).unwrap_or(epoch.generation);
+            (rel, gen)
+        })
+        .collect()
+}
+
+/// `true` if every relation of an entry's recorded scan set is still at
+/// the generation the entry saw — i.e., no mutation since the entry was
+/// computed can have changed its result.
+pub(crate) fn scans_current(scans: &[(String, u64)], epoch: &DbEpoch) -> bool {
+    scans
+        .iter()
+        .all(|(rel, gen)| epoch.rel_gen(rel) == Some(*gen))
 }
 
 /// Parse-cache entry: the original text (to rule out 64-bit hash
@@ -247,42 +348,79 @@ pub(crate) struct ParseEntry {
 }
 
 /// Eval-cache entry: the canonical text (collision guard), the shared
-/// evaluated relation (resolved to the string edge representation), and
-/// its approximate weight in bytes.
+/// evaluated relation (resolved to the string edge representation), its
+/// approximate weight in bytes, and the delta-validation stamp.
 #[derive(Clone)]
 pub(crate) struct EvalEntry {
     pub canonical: Arc<str>,
     pub relation: Arc<Relation>,
     pub bytes: usize,
+    /// The plan's scan set with per-relation generations at compute
+    /// time; a lookup serves the entry only while every one matches.
+    pub scans: ScanStamp,
+    /// Global generation at insert: a hit with a newer epoch survived
+    /// at least one delta mutation.
+    pub born: u64,
 }
 
-/// Parse-cache key: database generation + language + hash of the raw
-/// query text. The generation matters even though parsing never reads
-/// the *data*: artifacts are checked against the epoch's catalog, and a
-/// stamped key makes an entry prepared by an in-flight request against
-/// an old epoch unreachable after a reload (the clear in
+/// Parse-cache key: epoch *base* + language + hash of the raw query
+/// text. The base matters even though parsing never reads the data:
+/// artifacts are checked against the epoch's catalog, and a stamped key
+/// makes an entry prepared by an in-flight request against an old epoch
+/// unreachable after a reload (the clear in
 /// [`EngineShared::replace_database`] cannot catch inserts that land
-/// after the sweep).
+/// after the sweep). Delta mutations keep the base: they never shrink
+/// the catalog (inserts and deletes preserve schemas; `create_table`
+/// only adds), so existing artifacts stay checkable.
 pub(crate) type ParseKey = (u64, Language, u64);
 
-/// Eval-cache key: database generation + language + hash of the
-/// *canonical* query text.
+/// Eval-cache key: epoch *base* + language + hash of the *canonical*
+/// query text. Within one base, entry validity across delta mutations
+/// is decided per lookup by [`scans_current`].
 pub(crate) type EvalKey = (u64, Language, u64);
 
-/// Plan-cache entry: the canonical text (collision guard) and the
-/// shared compiled plan. Plans bake in interned constants and
-/// size-driven scan orders, so the generation-stamped key scopes each
-/// entry to the epoch it was compiled against.
+/// Plan-cache entry: the canonical text (collision guard), the shared
+/// compiled plan, and the delta-validation stamp. Plans bake in
+/// interned constants and size-driven scan orders, so an entry is only
+/// served while every relation it scans is unchanged (a mutation can
+/// intern a constant the plan left as an unknown string, or shift the
+/// size statistics the scan order was chosen by).
 #[derive(Clone)]
 pub(crate) struct PlanEntry {
     pub canonical: Arc<str>,
     pub plan: Arc<rd_core::exec::Plan>,
+    /// See [`EvalEntry::scans`].
+    pub scans: ScanStamp,
+    /// See [`EvalEntry::born`].
+    pub born: u64,
 }
 
-/// Plan-cache key: database generation + language + hash of the
-/// *canonical* query text (same shape as [`EvalKey`], so a result-cache
-/// miss after a reload can never be served a stale plan either).
+/// Plan-cache key: epoch *base* + language + hash of the *canonical*
+/// query text (same shape as [`EvalKey`], so a result-cache miss after
+/// a reload can never be served a stale plan either).
 pub(crate) type PlanKey = (u64, Language, u64);
+
+/// Summary of an applied delta mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// Rows that actually changed (set semantics: duplicate inserts and
+    /// absent deletes don't count; 0 for `create_table`).
+    pub applied: u64,
+    /// Generation of the installed delta epoch.
+    pub generation: u64,
+    /// Content fingerprint of the new epoch.
+    pub fingerprint: u64,
+}
+
+impl MutationOutcome {
+    fn new(applied: u64, epoch: &DbEpoch) -> Self {
+        MutationOutcome {
+            applied,
+            generation: epoch.generation,
+            fingerprint: epoch.fingerprint,
+        }
+    }
+}
 
 /// Tuning knobs for [`EngineShared`].
 #[derive(Debug, Clone)]
@@ -377,6 +515,50 @@ impl EngineShared {
         self.eval_cache.clear();
         self.plan_cache.clear();
         next
+    }
+
+    /// Applies a *delta* mutation under the epoch write lock: builds the
+    /// next database copy-on-write from the current one, installs a
+    /// delta epoch (same base, bumped generation, `touched` relations'
+    /// generations moved forward), and — unlike
+    /// [`update_database`](EngineShared::update_database) — clears
+    /// nothing. Entries whose scan sets avoid the touched relations
+    /// stay servable; entries that read them fail their generation
+    /// check on the next lookup. If `f` errors, no epoch is installed.
+    pub fn apply_delta<T>(
+        &self,
+        touched: &[&str],
+        f: impl FnOnce(&mut Database) -> CoreResult<T>,
+    ) -> CoreResult<(T, Arc<DbEpoch>)> {
+        let mut slot = self.epoch.write().expect("epoch lock");
+        let mut db = (*slot.db).clone();
+        let out = f(&mut db)?;
+        let next = Arc::new(DbEpoch::delta(&slot, db, touched));
+        *slot = next.clone();
+        Ok((out, next))
+    }
+
+    /// Inserts `rows` (edge representation) into `table` as a delta
+    /// mutation.
+    pub fn insert_rows(&self, table: &str, rows: &[Tuple]) -> CoreResult<MutationOutcome> {
+        let (applied, epoch) = self.apply_delta(&[table], |db| db.insert_rows(table, rows))?;
+        Ok(MutationOutcome::new(applied as u64, &epoch))
+    }
+
+    /// Deletes `rows` from `table` as a delta mutation.
+    pub fn delete_rows(&self, table: &str, rows: &[Tuple]) -> CoreResult<MutationOutcome> {
+        let (applied, epoch) = self.apply_delta(&[table], |db| db.delete_rows(table, rows))?;
+        Ok(MutationOutcome::new(applied as u64, &epoch))
+    }
+
+    /// Creates an empty table as a delta mutation (errors if the name
+    /// is taken). Cached entries can't scan a table that didn't exist,
+    /// so nothing needs invalidating — and the catalog only grows, so
+    /// parse-cache artifacts stay valid too.
+    pub fn create_table(&self, schema: TableSchema) -> CoreResult<MutationOutcome> {
+        let name = schema.name().to_string();
+        let (_, epoch) = self.apply_delta(&[&name], |db| db.create_table(schema))?;
+        Ok(MutationOutcome::new(0, &epoch))
     }
 
     /// `true` if the eval/result cache is enabled.

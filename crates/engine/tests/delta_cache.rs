@@ -1,0 +1,172 @@
+//! Delta-aware cache invalidation: a mutation to one relation must
+//! evict exactly the cached entries whose scan set touches it — entries
+//! over disjoint relations keep serving from cache — and a session with
+//! caching enabled must agree answer-for-answer with an uncached one
+//! under interleaved queries and mutations.
+
+use rd_core::{Tuple, Value};
+use rd_engine::{
+    demo_database, EngineShared, Language, QueryRequest, Session, SessionStats, SharedConfig,
+};
+use std::sync::Arc;
+
+fn row(vals: &[Value]) -> Tuple {
+    Tuple(vals.to_vec())
+}
+
+/// Sorted row texts — a stable, comparable rendering of a result.
+fn rows_of(resp: &rd_engine::QueryResponse) -> Vec<String> {
+    let mut rows: Vec<String> = resp.relation.iter().map(|t| format!("{t:?}")).collect();
+    rows.sort();
+    rows
+}
+
+/// After caching queries over Boat and Sailor, an insert into Sailor
+/// must (a) leave the Boat entry serving from cache — counted as a
+/// delta survival — and (b) force the Sailor query to re-evaluate —
+/// counted as a delta invalidation — and reflect the new row.
+#[test]
+fn mutation_invalidates_touched_relations_and_spares_the_rest() {
+    let shared = Arc::new(EngineShared::new(demo_database()));
+    let mut session = Session::attach(shared.clone());
+    let boat_q = QueryRequest::new(Language::Sql, "SELECT DISTINCT Boat.color FROM Boat");
+    let sailor_q = QueryRequest::new(Language::Sql, "SELECT DISTINCT Sailor.sname FROM Sailor");
+
+    // Prime both cache entries.
+    assert_eq!(session.run(&boat_q).unwrap().relation.len(), 2);
+    assert_eq!(session.run(&sailor_q).unwrap().relation.len(), 2);
+    assert_eq!(session.stats().eval_misses, 2);
+
+    // Mutate Sailor only.
+    let outcome = shared
+        .insert_rows("Sailor", &[row(&[Value::int(3), Value::str("Horatio")])])
+        .unwrap();
+    assert_eq!(outcome.applied, 1);
+
+    // Boat's entry survives the delta: a cache hit, no re-evaluation.
+    let boat_resp = session.run(&boat_q).unwrap();
+    assert!(boat_resp.eval_cache_hit, "Boat does not read Sailor");
+    let stats = session.stats().clone();
+    assert_eq!(stats.delta_survivals, 1, "{stats:?}");
+    assert_eq!(stats.eval_misses, 2, "{stats:?}");
+
+    // Sailor's entry is stale: re-evaluated, and the new row shows up.
+    let sailor_resp = session.run(&sailor_q).unwrap();
+    assert!(!sailor_resp.eval_cache_hit);
+    assert_eq!(sailor_resp.relation.len(), 3, "sees the inserted sailor");
+    let stats = session.stats().clone();
+    assert!(stats.delta_invalidations >= 1, "{stats:?}");
+    assert_eq!(stats.eval_misses, 3, "{stats:?}");
+
+    // The refreshed entry is good again: next lookup is a plain hit.
+    assert!(session.run(&sailor_q).unwrap().eval_cache_hit);
+}
+
+/// A delete is just as much a delta as an insert: cached entries over
+/// the touched relation must not serve the removed row.
+#[test]
+fn delete_invalidates_cached_results_over_the_touched_relation() {
+    let shared = Arc::new(EngineShared::new(demo_database()));
+    let mut session = Session::attach(shared.clone());
+    let q = QueryRequest::new(Language::Sql, "SELECT DISTINCT Boat.color FROM Boat");
+    assert_eq!(session.run(&q).unwrap().relation.len(), 2);
+
+    let outcome = shared
+        .delete_rows("Boat", &[row(&[Value::int(102), Value::str("green")])])
+        .unwrap();
+    assert_eq!(outcome.applied, 1);
+
+    let resp = session.run(&q).unwrap();
+    assert!(!resp.eval_cache_hit);
+    assert_eq!(resp.relation.len(), 1, "green boat is gone");
+}
+
+/// Differential check: run the same interleaved query/mutation script
+/// against a cached session and an uncached one; every answer must
+/// agree. This is the end-to-end soundness guard for base-keyed cache
+/// entries validated by scan-set generations.
+#[test]
+fn cached_and_uncached_sessions_agree_under_interleaved_mutations() {
+    let cached = Arc::new(EngineShared::new(demo_database()));
+    let uncached = Arc::new(EngineShared::with_config(
+        demo_database(),
+        SharedConfig {
+            eval_cache_capacity: 0,
+            plan_cache_capacity: 0,
+            ..SharedConfig::default()
+        },
+    ));
+    let mut cached_session = Session::attach(cached.clone());
+    let mut uncached_session = Session::attach(uncached.clone());
+
+    let queries = [
+        "SELECT DISTINCT Boat.color FROM Boat",
+        "SELECT DISTINCT Sailor.sname FROM Sailor, Reserves \
+         WHERE Sailor.sid = Reserves.sid",
+        "SELECT DISTINCT Reserves.bid FROM Reserves",
+    ];
+    // (table, row, is_insert) — interleaved between full query sweeps.
+    let script: Vec<(&str, Tuple, bool)> = vec![
+        ("Sailor", row(&[Value::int(3), Value::str("Horatio")]), true),
+        ("Reserves", row(&[Value::int(3), Value::int(102)]), true),
+        ("Boat", row(&[Value::int(103), Value::str("blue")]), true),
+        ("Reserves", row(&[Value::int(1), Value::int(101)]), false),
+        ("Sailor", row(&[Value::int(2), Value::str("Lubber")]), false),
+    ];
+
+    let sweep = |cached_session: &mut Session, uncached_session: &mut Session| {
+        for q in &queries {
+            let req = QueryRequest::new(Language::Sql, *q);
+            let a = cached_session.run(&req).unwrap();
+            let b = uncached_session.run(&req).unwrap();
+            assert_eq!(rows_of(&a), rows_of(&b), "query {q:?} diverged");
+        }
+    };
+
+    sweep(&mut cached_session, &mut uncached_session);
+    for (table, tuple, is_insert) in script {
+        for shared in [&cached, &uncached] {
+            let rows = std::slice::from_ref(&tuple);
+            if is_insert {
+                shared.insert_rows(table, rows).unwrap();
+            } else {
+                shared.delete_rows(table, rows).unwrap();
+            }
+        }
+        sweep(&mut cached_session, &mut uncached_session);
+    }
+
+    // The cached session actually exercised the delta paths.
+    let stats: &SessionStats = cached_session.stats();
+    assert!(stats.delta_invalidations > 0, "{stats:?}");
+    assert!(stats.delta_survivals > 0, "{stats:?}");
+    assert!(stats.eval_hits > 0, "{stats:?}");
+}
+
+/// The epoch fingerprint is maintained incrementally across deltas
+/// (only touched relations are rehashed); it must nevertheless equal
+/// exactly what a fresh load of the same content computes — and the
+/// delta path must also skip rebuilding the catalog when no table was
+/// added.
+#[test]
+fn incremental_fingerprint_matches_a_fresh_load() {
+    let mutated = Arc::new(EngineShared::new(demo_database()));
+    let horatio = [row(&[Value::int(3), Value::str("Horatio")])];
+    let green = [row(&[Value::int(102), Value::str("green")])];
+    mutated.insert_rows("Sailor", &horatio).unwrap();
+    mutated.delete_rows("Boat", &green).unwrap();
+
+    // The same end state, built directly and loaded fresh.
+    let mut db = demo_database();
+    db.insert_rows("Sailor", &horatio).unwrap();
+    db.delete_rows("Boat", &green).unwrap();
+    let fresh = Arc::new(EngineShared::new(db));
+
+    let a = mutated.epoch();
+    let b = fresh.epoch();
+    assert_eq!(a.fingerprint, b.fingerprint, "delta fingerprint drifted");
+    assert_eq!(a.generation, 2);
+    assert_eq!(b.generation, 0);
+    // Insert/delete deltas reuse the previous epoch's catalog Arc.
+    assert_eq!(a.catalog.len(), 3);
+}

@@ -231,8 +231,10 @@ fn session_stats_accumulate_and_since_are_inverses() {
         plan_hits: 10,
         plan_misses: 11,
         plan_evictions: 12,
-        rows_returned: 13,
-        rows_streamed: 14,
+        delta_invalidations: 13,
+        delta_survivals: 14,
+        rows_returned: 15,
+        rows_streamed: 16,
     };
     let growth = SessionStats {
         queries: 101,
@@ -247,8 +249,10 @@ fn session_stats_accumulate_and_since_are_inverses() {
         plan_hits: 110,
         plan_misses: 111,
         plan_evictions: 112,
-        rows_returned: 113,
-        rows_streamed: 114,
+        delta_invalidations: 113,
+        delta_survivals: 114,
+        rows_returned: 115,
+        rows_streamed: 116,
     };
     let mut now = earlier.clone();
     now.accumulate(&growth);

@@ -82,6 +82,10 @@ SERVE OPTIONS (rd serve):
     --drain-timeout <SECS>
                       How long shutdown waits for in-flight connections
                       to drain before force-closing (default 5)
+    --data-dir <DIR>  Durable storage: recover the database from DIR on
+                      boot (newest snapshot + WAL tail) and log every
+                      mutation — fsynced — before acknowledging it.
+                      --db/--demo only seed a fresh (empty) DIR.
     --port-file <F>   Write the bound address to F once listening (for
                       scripts wrapping ephemeral ports)
 
@@ -98,6 +102,10 @@ BENCH OPTIONS (rd bench-client):
                       four-language demo mix)
     --sweep <LIST>    Sweep thread counts, e.g. --sweep 1,2,4,8 (one run
                       per width; --threads is ignored)
+    --mutate-pct <N>  Replace N% of requests (0-100) with insert
+                      mutations into the demo Reserves table; the report
+                      adds mutation throughput alongside the latency
+                      percentiles
     --csv             Emit one CSV row per run (throughput + latency
                       percentiles) instead of the human-readable report
     --stats           Print the server's aggregated stats after the run
@@ -294,6 +302,11 @@ Commands:
     :load <file>          replace the database (fixture, or single-table .csv)
     :load csv <file>      bulk-import one CSV table into the database
     :save <file>          write the database as a fixture file
+    :insert <table> (v1, v2) ...   insert rows (a delta: caches over other
+                          tables survive; duplicates apply 0)
+    :delete <table> (v1, v2) ...   delete rows (absent rows are no-ops)
+    :checkpoint <dir>     write a durable snapshot of the database into a
+                          data directory (the `rd serve --data-dir` layout)
     :quit                 exit
 ";
 
@@ -396,6 +409,32 @@ fn repl(session: &mut Session, cfg: &Config) -> Result<(), String> {
                     }
                 }
                 ("save", None) => eprintln!("usage: :save <file>"),
+                (op @ ("insert" | "delete"), Some(table)) => {
+                    let rows_text: String = parts.collect::<Vec<_>>().join(" ");
+                    match repl_mutate(session, op == "insert", table, &rows_text) {
+                        Ok(outcome) => eprintln!(
+                            "{} {} row(s) in {table} — generation {}",
+                            if op == "insert" {
+                                "inserted"
+                            } else {
+                                "deleted"
+                            },
+                            outcome.applied,
+                            outcome.generation,
+                        ),
+                        Err(e) => eprintln!("error: {e}"),
+                    }
+                }
+                ("insert" | "delete", None) => {
+                    eprintln!(
+                        "usage: :insert <table> (v1, v2) ...  /  :delete <table> (v1, v2) ..."
+                    )
+                }
+                ("checkpoint", Some(dir)) => match repl_checkpoint(session, dir) {
+                    Ok(seq) => eprintln!("checkpoint {seq} written to '{dir}'"),
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                ("checkpoint", None) => eprintln!("usage: :checkpoint <dir>"),
                 ("quit" | "q" | "exit", _) => break,
                 (other, _) => eprintln!("unknown command ':{other}' (try :help)"),
             }
@@ -410,6 +449,50 @@ fn repl(session: &mut Session, cfg: &Config) -> Result<(), String> {
         prompt(&buffer);
     }
     Ok(())
+}
+
+/// Applies one REPL insert/delete: the row text is parsed by wrapping
+/// it in a one-table fixture under the table's real schema, so values
+/// use the familiar `(1, 'red')` row syntax.
+fn repl_mutate(
+    session: &Session,
+    insert: bool,
+    table: &str,
+    rows_text: &str,
+) -> Result<rd_engine::MutationOutcome, String> {
+    let catalog = session.catalog();
+    let schema = catalog
+        .table(table)
+        .ok_or_else(|| format!("unknown table '{table}'"))?;
+    if rows_text.trim().is_empty() {
+        return Err("no rows given — expected (v1, v2) ...".into());
+    }
+    let fixture = format!(
+        "{}({}):\n {}\n",
+        table,
+        schema.attrs().join(", "),
+        rows_text
+    );
+    let db = parse_fixture(&fixture).map_err(|e| format!("cannot parse rows: {e}"))?;
+    let rel = db.require(table).map_err(|e| e.to_string())?;
+    // Resolve interned symbols back to strings before crossing into the
+    // session's database (its symbol table is a different one).
+    let rows: Vec<rd_core::Tuple> = db.resolve_relation(rel).iter().cloned().collect();
+    let result = if insert {
+        session.shared().insert_rows(table, &rows)
+    } else {
+        session.shared().delete_rows(table, &rows)
+    };
+    result.map_err(|e| e.to_string())
+}
+
+/// Writes a durable snapshot of the session's database into `dir`
+/// (creating or reusing an `rd serve --data-dir` layout).
+fn repl_checkpoint(session: &Session, dir: &str) -> Result<u64, String> {
+    let (_, mut store) = rd_store::Store::open(dir).map_err(|e| e.to_string())?;
+    store
+        .checkpoint(&session.database())
+        .map_err(|e| e.to_string())
 }
 
 fn prompt(buffer: &str) {
@@ -474,6 +557,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 let secs = parse_count(it.next(), "--drain-timeout")?;
                 server_cfg.drain_timeout = std::time::Duration::from_secs(secs as u64);
             }
+            "--data-dir" => {
+                let dir = it.next().ok_or("--data-dir requires a directory")?;
+                server_cfg.data_dir = Some(std::path::PathBuf::from(dir));
+            }
             "--port-file" => {
                 port_file = Some(it.next().ok_or("--port-file requires a path")?.clone());
             }
@@ -492,9 +579,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write port file '{path}': {e}"))?;
     }
     eprintln!(
-        "rd-server listening on {addr} — poll(2) event loop, {} compute workers, eval cache {}",
+        "rd-server listening on {addr} — poll(2) event loop, {} compute workers, eval cache {}{}",
         server_cfg.workers,
         if server_cfg.eval_cache { "on" } else { "off" },
+        server_cfg
+            .data_dir
+            .as_ref()
+            .map_or(String::new(), |d| format!(", durable at {}", d.display())),
     );
     eprintln!("protocol: JSON lines; try  echo '{{\"op\":\"ping\"}}' | nc {addr}");
     server.serve().map_err(|e| format!("server error: {e}"))?;
@@ -523,6 +614,7 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
     let mut shutdown = false;
     let mut sweep: Option<Vec<usize>> = None;
     let mut csv = false;
+    let mut mutate_pct = 0usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -548,6 +640,12 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
                 sweep = Some(widths);
             }
             "--csv" => csv = true,
+            "--mutate-pct" => {
+                mutate_pct = parse_count(it.next(), "--mutate-pct")?;
+                if mutate_pct > 100 {
+                    return Err("--mutate-pct takes a percentage (0-100)".into());
+                }
+            }
             "--stats" => show_stats = true,
             "--shutdown" => shutdown = true,
             other => {
@@ -562,7 +660,7 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
     if csv {
         println!(
             "threads,requests_per_thread,ok,errors,elapsed_s,throughput_rps,\
-             p50_us,p95_us,p99_us,max_us,parse_hits,eval_hits"
+             p50_us,p95_us,p99_us,max_us,parse_hits,eval_hits,mutations,mutations_per_s"
         );
     }
     let mut total_errors = 0u64;
@@ -572,12 +670,13 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
         cfg.requests = requests;
         cfg.pipeline = pipeline;
         cfg.idle_conns = idle_conns;
+        cfg.mutate_pct = mutate_pct;
         if !queries.is_empty() {
             cfg.mix = queries.clone();
         }
         eprintln!(
             "rd bench-client — {} threads x {} requests against {addr}\
-             {}{}",
+             {}{}{}",
             cfg.threads,
             cfg.requests,
             if cfg.pipeline > 1 {
@@ -590,13 +689,18 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
             } else {
                 String::new()
             },
+            if cfg.mutate_pct > 0 {
+                format!(", {}% mutations", cfg.mutate_pct)
+            } else {
+                String::new()
+            },
         );
         let report = run_bench(&cfg).map_err(|e| format!("bench failed: {e}"))?;
         total_errors += report.errors;
         if csv {
             let us = |p: f64| report.percentile(p).map_or(0, |d| d.as_micros());
             println!(
-                "{width},{requests},{},{},{:.3},{:.1},{},{},{},{},{},{}",
+                "{width},{requests},{},{},{:.3},{:.1},{},{},{},{},{},{},{},{:.1}",
                 report.completed,
                 report.errors,
                 report.elapsed.as_secs_f64(),
@@ -607,6 +711,8 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
                 us(1.0),
                 report.cache_hits,
                 report.eval_cache_hits,
+                report.mutations,
+                report.mutation_throughput(),
             );
         } else {
             println!("{}", report.render());

@@ -3,6 +3,7 @@
 //! bench-client`.
 
 use crate::protocol::{self, LoadSource, Reassembler, Request, RequestId, Response, StatsResult};
+use rd_core::Value;
 use rd_engine::{DiagramFormat, Language};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -139,6 +140,29 @@ impl Client {
         }))
     }
 
+    /// Inserts a batch of tuples into one table (durable before the
+    /// reply when the server runs with `--data-dir`).
+    pub fn insert(&mut self, table: &str, rows: Vec<Vec<Value>>) -> std::io::Result<Response> {
+        self.request(&Request::Insert {
+            table: table.to_string(),
+            rows,
+        })
+    }
+
+    /// Deletes a batch of tuples from one table (absent rows are
+    /// no-ops; same durability contract as [`Client::insert`]).
+    pub fn delete(&mut self, table: &str, rows: Vec<Vec<Value>>) -> std::io::Result<Response> {
+        self.request(&Request::Delete {
+            table: table.to_string(),
+            rows,
+        })
+    }
+
+    /// Forces a point-in-time snapshot and a fresh WAL segment.
+    pub fn checkpoint(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Checkpoint)
+    }
+
     /// Fetches aggregated statistics.
     pub fn stats(&mut self) -> std::io::Result<StatsResult> {
         match self.request(&Request::Stats)? {
@@ -184,6 +208,10 @@ pub struct BenchConfig {
     pub idle_conns: usize,
     /// The query mix, fired round-robin. `None` language auto-detects.
     pub mix: Vec<(Option<Language>, String)>,
+    /// Percentage of requests (0–100) replaced by insert mutations into
+    /// the demo `Reserves` table, spread deterministically through the
+    /// run. Exercises the delta-aware invalidation path under load.
+    pub mutate_pct: usize,
 }
 
 impl BenchConfig {
@@ -197,6 +225,7 @@ impl BenchConfig {
             pipeline: 1,
             idle_conns: 0,
             mix: default_mix(),
+            mutate_pct: 0,
         }
     }
 }
@@ -232,6 +261,8 @@ pub struct BenchReport {
     pub completed: u64,
     /// Requests that returned an error response.
     pub errors: u64,
+    /// Mutations among the completed requests (`mutate_pct` > 0).
+    pub mutations: u64,
     /// Wall-clock time for the whole run.
     pub elapsed: Duration,
     /// Parse-cache hits observed in responses.
@@ -262,13 +293,23 @@ impl BenchReport {
         Some(self.latencies[rank])
     }
 
+    /// Mutations per second over the whole run (0 with no mutations).
+    pub fn mutation_throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.mutations as f64 / secs
+        }
+    }
+
     /// A one-screen human-readable rendering.
     pub fn render(&self) -> String {
         let pct = |p: f64| {
             self.percentile(p)
                 .map_or("-".to_string(), |d| format!("{:.2?}", d))
         };
-        format!(
+        let mut out = format!(
             "requests: {} ok, {} errors in {:.2?} ({:.0} req/s)\n\
              latency:  p50 {} / p95 {} / p99 {} / max {}\n\
              caches:   {} parse hits, {} eval hits",
@@ -282,7 +323,15 @@ impl BenchReport {
             pct(1.0),
             self.cache_hits,
             self.eval_cache_hits,
-        )
+        );
+        if self.mutations > 0 {
+            out.push_str(&format!(
+                "\nmutations: {} applied ({:.0} mut/s) interleaved with queries",
+                self.mutations,
+                self.mutation_throughput(),
+            ));
+        }
+        out
     }
 }
 
@@ -290,6 +339,7 @@ impl BenchReport {
 struct ThreadReport {
     completed: u64,
     errors: u64,
+    mutations: u64,
     cache_hits: u64,
     eval_cache_hits: u64,
     latencies: Vec<Duration>,
@@ -304,25 +354,60 @@ impl ThreadReport {
                 self.cache_hits += q.cache_hit as u64;
                 self.eval_cache_hits += q.eval_cache_hit as u64;
             }
+            Response::Mutation(_) => {
+                self.completed += 1;
+                self.mutations += 1;
+            }
             _ => self.errors += 1,
         }
     }
 }
 
-/// One bench connection firing `requests` queries lock-step.
+/// The `i`-th request of bench thread `thread`: an insert of a fresh
+/// `Reserves` row when the deterministic spread picks a mutation slot,
+/// the next mix query otherwise. Sids are unique per (thread, i) so
+/// every insert actually applies.
+fn bench_request(
+    thread: usize,
+    i: usize,
+    mix: &[(Option<Language>, String)],
+    mutate_pct: usize,
+) -> Request {
+    if mutate_pct > 0 && (i * 37 + thread * 11) % 100 < mutate_pct {
+        Request::Insert {
+            table: "Reserves".into(),
+            rows: vec![vec![
+                Value::Int(((thread as i64) << 32) | i as i64),
+                Value::Int(101),
+            ]],
+        }
+    } else {
+        let (language, text) = &mix[(thread + i) % mix.len()];
+        Request::Query {
+            language: *language,
+            text: text.clone(),
+            translations: false,
+            diagram: DiagramFormat::None,
+        }
+    }
+}
+
+/// One bench connection firing `requests` queries (and mutations, with
+/// `mutate_pct` > 0) lock-step.
 fn drive_lockstep(
     client: &mut Client,
     thread: usize,
     requests: usize,
     mix: &[(Option<Language>, String)],
+    mutate_pct: usize,
 ) -> std::io::Result<ThreadReport> {
     let mut report = ThreadReport::default();
     for i in 0..requests {
         // Offset by thread id so threads collide on the same queries at
         // different times.
-        let (language, text) = &mix[(thread + i) % mix.len()];
+        let request = bench_request(thread, i, mix, mutate_pct);
         let sent = Instant::now();
-        let response = client.query(*language, text)?;
+        let response = client.request(&request)?;
         report.record(&response, sent.elapsed());
     }
     Ok(report)
@@ -338,24 +423,17 @@ fn drive_pipelined(
     requests: usize,
     depth: usize,
     mix: &[(Option<Language>, String)],
+    mutate_pct: usize,
 ) -> std::io::Result<ThreadReport> {
     let mut report = ThreadReport::default();
     let mut sent_at: HashMap<i64, Instant> = HashMap::new();
     let mut next = 0usize;
     let build = |next: &mut usize, sent_at: &mut HashMap<i64, Instant>| {
-        let (language, text) = &mix[(thread + *next) % mix.len()];
         let id = RequestId::Int(*next as i64);
         sent_at.insert(*next as i64, Instant::now());
+        let request = bench_request(thread, *next, mix, mutate_pct);
         *next += 1;
-        (
-            Request::Query {
-                language: *language,
-                text: text.clone(),
-                translations: false,
-                diagram: DiagramFormat::None,
-            },
-            Some(id),
-        )
+        (request, Some(id))
     };
     let window: Vec<_> = (0..requests.min(depth))
         .map(|_| build(&mut next, &mut sent_at))
@@ -412,14 +490,15 @@ pub fn run_bench(config: &BenchConfig) -> std::io::Result<BenchReport> {
             let mix = config.mix.clone();
             let requests = config.requests;
             let depth = config.pipeline.max(1);
+            let mutate_pct = config.mutate_pct.min(100);
             std::thread::Builder::new()
                 .name(format!("rd-bench-{t}"))
                 .spawn(move || -> std::io::Result<ThreadReport> {
                     let mut client = Client::connect(&addr)?;
                     if depth > 1 {
-                        drive_pipelined(&mut client, t, requests, depth, &mix)
+                        drive_pipelined(&mut client, t, requests, depth, &mix, mutate_pct)
                     } else {
-                        drive_lockstep(&mut client, t, requests, &mix)
+                        drive_lockstep(&mut client, t, requests, &mix, mutate_pct)
                     }
                 })
                 .expect("spawn bench thread")
@@ -427,6 +506,7 @@ pub fn run_bench(config: &BenchConfig) -> std::io::Result<BenchReport> {
         .collect();
     let mut completed = 0;
     let mut errors = 0;
+    let mut mutations = 0;
     let mut cache_hits = 0;
     let mut eval_cache_hits = 0;
     let mut latencies = Vec::new();
@@ -436,6 +516,7 @@ pub fn run_bench(config: &BenchConfig) -> std::io::Result<BenchReport> {
             .map_err(|_| std::io::Error::other("bench thread panicked"))??;
         completed += report.completed;
         errors += report.errors;
+        mutations += report.mutations;
         cache_hits += report.cache_hits;
         eval_cache_hits += report.eval_cache_hits;
         latencies.extend(report.latencies);
@@ -450,6 +531,7 @@ pub fn run_bench(config: &BenchConfig) -> std::io::Result<BenchReport> {
     Ok(BenchReport {
         completed,
         errors,
+        mutations,
         elapsed,
         cache_hits,
         eval_cache_hits,

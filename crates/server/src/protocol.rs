@@ -18,6 +18,27 @@
 //! ← {"ok":true,"kind":"load","tables":1,"tuples":1,
 //!    "generation":1,"fingerprint":"4f9a..."}
 //!
+//! → {"op":"insert","table":"Boat","rows":[[103,"blue"]]}     # batched tuples
+//! ← {"ok":true,"kind":"mutation","op":"insert","table":"Boat",
+//!    "applied":1,"generation":2,"fingerprint":"91c0..."}
+//! → {"op":"delete","table":"Boat","rows":[[103,"blue"]]}     # absent rows are no-ops
+//! ← {"ok":true,"kind":"mutation","op":"delete","table":"Boat",
+//!    "applied":1,"generation":3,"fingerprint":"4f9a..."}
+//! → {"op":"checkpoint"}                  # snapshot now, start a fresh WAL segment
+//! ← {"ok":true,"kind":"checkpoint","seq":2,"generation":3,
+//!    "fingerprint":"4f9a..."}
+//!
+//! Mutations are durable before they are acknowledged: a server running
+//! with `--data-dir` appends each insert/delete to the write-ahead log
+//! (and fsyncs) before the `"kind":"mutation"` frame is sent, so an
+//! acked mutation survives a crash. `applied` counts the rows that
+//! actually changed the table (inserting a duplicate or deleting an
+//! absent row applies 0). Without `--data-dir` the ops still work —
+//! they mutate the in-memory epoch — there is just nothing to recover.
+//! `checkpoint` forces a point-in-time snapshot and answers with the
+//! new snapshot's sequence number (without a data dir it degrades to a
+//! generation/fingerprint probe with `"seq":0`).
+//!
 //! → {"op":"explain","lang":"trc","text":"{ q(A) | ... }"}    # compiled plan, no eval
 //! ← {"ok":true,"kind":"explain","language":"trc","canonical":"...",
 //!    "plan":{"kind":"query","detail":"q(A)","children":[...]},
@@ -112,6 +133,24 @@ pub enum Request {
     /// Replace or extend the database (bumps the epoch generation and
     /// invalidates the shared caches).
     Load(LoadSource),
+    /// Insert a batch of tuples into one table (a delta: caches over
+    /// other relations survive; the WAL records it before the ack).
+    Insert {
+        /// Target table.
+        table: String,
+        /// Tuples to add (wire form: arrays of int/string cells).
+        rows: Vec<Vec<Value>>,
+    },
+    /// Delete a batch of tuples from one table (same delta/durability
+    /// contract as `Insert`; absent rows are no-ops).
+    Delete {
+        /// Target table.
+        table: String,
+        /// Tuples to remove.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Force a point-in-time snapshot and start a fresh WAL segment.
+    Checkpoint,
     /// Fetch aggregated server/session/cache statistics.
     Stats,
     /// Liveness probe.
@@ -198,6 +237,10 @@ pub enum Response {
     RowsEnd(RowsEnd),
     /// A successful load.
     Load(LoadResult),
+    /// A successful insert or delete.
+    Mutation(MutationResult),
+    /// A successful checkpoint.
+    Checkpoint(CheckpointResult),
     /// A statistics snapshot.
     Stats(StatsResult),
     /// Reply to `ping`.
@@ -309,6 +352,34 @@ pub struct LoadResult {
     pub fingerprint: String,
 }
 
+/// The payload of a successful insert/delete response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutationResult {
+    /// `true` for an insert, `false` for a delete.
+    pub insert: bool,
+    /// The table that was mutated.
+    pub table: String,
+    /// Rows that actually changed the table (duplicates on insert and
+    /// absent rows on delete apply 0).
+    pub applied: u64,
+    /// The epoch generation after the mutation.
+    pub generation: u64,
+    /// The database's content fingerprint after the mutation (hex).
+    pub fingerprint: String,
+}
+
+/// The payload of a successful checkpoint response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointResult {
+    /// The new snapshot's sequence number (0 when the server runs
+    /// without a data dir — nothing was written).
+    pub seq: u64,
+    /// The epoch generation the snapshot captured.
+    pub generation: u64,
+    /// The snapshotted database's content fingerprint (hex).
+    pub fingerprint: String,
+}
+
 /// The payload of a statistics response: server counters, session
 /// counters aggregated across all workers, and both shared caches.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -373,6 +444,14 @@ fn value_to_json(v: &Value) -> Json {
         // the wire must never panic.
         Value::Sym(id) => Json::String(format!("sym#{id}")),
     }
+}
+
+fn rows_to_json(rows: &[Vec<Value>]) -> Json {
+    Json::Array(
+        rows.iter()
+            .map(|row| Json::Array(row.iter().map(value_to_json).collect()))
+            .collect(),
+    )
 }
 
 fn value_from_json(v: &Json) -> Result<Value, String> {
@@ -450,6 +529,8 @@ fn session_stats_to_json(st: &SessionStats) -> Json {
         ("plan_hits", u(st.plan_hits)),
         ("plan_misses", u(st.plan_misses)),
         ("plan_evictions", u(st.plan_evictions)),
+        ("delta_invalidations", u(st.delta_invalidations)),
+        ("delta_survivals", u(st.delta_survivals)),
     ])
 }
 
@@ -467,6 +548,8 @@ fn session_stats_from_json(v: &Json) -> Result<SessionStats, String> {
         plan_hits: opt_u64(v, "plan_hits")?,
         plan_misses: opt_u64(v, "plan_misses")?,
         plan_evictions: opt_u64(v, "plan_evictions")?,
+        delta_invalidations: opt_u64(v, "delta_invalidations")?,
+        delta_survivals: opt_u64(v, "delta_survivals")?,
         rows_returned: get_u64(v, "rows_returned")?,
         rows_streamed: opt_u64(v, "rows_streamed")?,
     })
@@ -591,6 +674,17 @@ impl serde::Serialize for Request {
                 ("csv", s(text)),
                 ("table", s(table)),
             ]),
+            Request::Insert { table, rows } => obj(vec![
+                ("op", s("insert")),
+                ("table", s(table)),
+                ("rows", rows_to_json(rows)),
+            ]),
+            Request::Delete { table, rows } => obj(vec![
+                ("op", s("delete")),
+                ("table", s(table)),
+                ("rows", rows_to_json(rows)),
+            ]),
+            Request::Checkpoint => obj(vec![("op", s("checkpoint"))]),
             Request::Stats => obj(vec![("op", s("stats"))]),
             Request::Ping => obj(vec![("op", s("ping"))]),
             Request::Shutdown => obj(vec![("op", s("shutdown"))]),
@@ -651,12 +745,21 @@ impl serde::Deserialize for Request {
                     Err("load requires a 'fixture' or 'csv' field".into())
                 }
             }
+            "insert" => Ok(Request::Insert {
+                table: get_str(v, "table")?,
+                rows: parse_rows(v)?,
+            }),
+            "delete" => Ok(Request::Delete {
+                table: get_str(v, "table")?,
+                rows: parse_rows(v)?,
+            }),
+            "checkpoint" => Ok(Request::Checkpoint),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op '{other}' (expected query, explain, translate, load, stats, \
-                 ping, or shutdown)"
+                "unknown op '{other}' (expected query, explain, translate, load, insert, \
+                 delete, checkpoint, stats, ping, or shutdown)"
             )),
         }
     }
@@ -743,6 +846,22 @@ impl serde::Serialize for Response {
                 ("tuples", u(l.tuples as u64)),
                 ("generation", u(l.generation)),
                 ("fingerprint", s(&l.fingerprint)),
+            ]),
+            Response::Mutation(m) => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("mutation")),
+                ("op", s(if m.insert { "insert" } else { "delete" })),
+                ("table", s(&m.table)),
+                ("applied", u(m.applied)),
+                ("generation", u(m.generation)),
+                ("fingerprint", s(&m.fingerprint)),
+            ]),
+            Response::Checkpoint(c) => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("checkpoint")),
+                ("seq", u(c.seq)),
+                ("generation", u(c.generation)),
+                ("fingerprint", s(&c.fingerprint)),
             ]),
             Response::Stats(st) => obj(vec![
                 ("ok", Json::Bool(true)),
@@ -895,6 +1014,22 @@ impl serde::Deserialize for Response {
             "load" => Ok(Response::Load(LoadResult {
                 tables: get_u64(v, "tables")? as usize,
                 tuples: get_u64(v, "tuples")? as usize,
+                generation: get_u64(v, "generation")?,
+                fingerprint: get_str(v, "fingerprint")?,
+            })),
+            "mutation" => Ok(Response::Mutation(MutationResult {
+                insert: match get_str(v, "op")?.as_str() {
+                    "insert" => true,
+                    "delete" => false,
+                    other => return Err(format!("unknown mutation op '{other}'")),
+                },
+                table: get_str(v, "table")?,
+                applied: get_u64(v, "applied")?,
+                generation: get_u64(v, "generation")?,
+                fingerprint: get_str(v, "fingerprint")?,
+            })),
+            "checkpoint" => Ok(Response::Checkpoint(CheckpointResult {
+                seq: get_u64(v, "seq")?,
                 generation: get_u64(v, "generation")?,
                 fingerprint: get_str(v, "fingerprint")?,
             })),
@@ -1199,9 +1334,76 @@ mod tests {
             table: "R".into(),
             text: "a,b\n1,x\n".into(),
         }));
+        roundtrip_request(Request::Insert {
+            table: "Boat".into(),
+            rows: vec![
+                vec![Value::int(103), Value::str("blue")],
+                vec![Value::int(104), Value::str("red")],
+            ],
+        });
+        roundtrip_request(Request::Delete {
+            table: "Boat".into(),
+            rows: vec![vec![Value::int(103), Value::str("blue")]],
+        });
+        roundtrip_request(Request::Checkpoint);
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Ping);
         roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn mutation_and_checkpoint_responses_roundtrip() {
+        for insert in [true, false] {
+            let resp = Response::Mutation(MutationResult {
+                insert,
+                table: "Boat".into(),
+                applied: 2,
+                generation: 7,
+                fingerprint: "ab12".into(),
+            });
+            let line = encode(&resp);
+            let expected_op = if insert { "insert" } else { "delete" };
+            assert!(line.contains(&format!(r#""op":"{expected_op}""#)), "{line}");
+            let back: Response = decode(&line).unwrap();
+            assert_eq!(back, resp);
+        }
+        let cp = Response::Checkpoint(CheckpointResult {
+            seq: 3,
+            generation: 7,
+            fingerprint: "ab12".into(),
+        });
+        let back: Response = decode(&encode(&cp)).unwrap();
+        assert_eq!(back, cp);
+        // Malformed mutation requests are rejected with the field name.
+        assert!(decode::<Request>(r#"{"op":"insert","table":"R"}"#).is_err());
+        assert!(decode::<Request>(r#"{"op":"insert","rows":[[1]]}"#).is_err());
+        assert!(decode::<Request>(r#"{"op":"delete","table":"R","rows":[[{}]]}"#).is_err());
+    }
+
+    #[test]
+    fn stats_with_delta_counters_roundtrip() {
+        let stats = Response::Stats(StatsResult {
+            sessions: SessionStats {
+                delta_invalidations: 3,
+                delta_survivals: 9,
+                ..SessionStats::default()
+            },
+            fingerprint: "abc".into(),
+            ..StatsResult::default()
+        });
+        let line = encode(&stats);
+        assert!(line.contains(r#""delta_survivals":9"#), "{line}");
+        let back: Response = decode(&line).unwrap();
+        assert_eq!(back, stats);
+        // Pre-durability frames (no delta fields) still parse to zeros.
+        let legacy = line.replace(r#","delta_invalidations":3,"delta_survivals":9"#, "");
+        match decode::<Response>(&legacy).unwrap() {
+            Response::Stats(st) => {
+                assert_eq!(st.sessions.delta_invalidations, 0);
+                assert_eq!(st.sessions.delta_survivals, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
     }
 
     #[test]

@@ -22,16 +22,21 @@
 
 use crate::conn::{Conn, ReadOutcome, WorkerSession};
 use crate::pool::ThreadPool;
-use crate::protocol::{self, LoadResult, LoadSource, QueryResult, Request, Response, StatsResult};
+use crate::protocol::{
+    self, CheckpointResult, LoadResult, LoadSource, MutationResult, QueryResult, Request, Response,
+    StatsResult,
+};
 use crate::reactor::{self, PollFd, Waker, POLLIN, POLLOUT};
-use rd_core::Database;
+use rd_core::{Database, Tuple, Value};
 use rd_engine::{
     DiagramFormat, EngineShared, Language, QueryRequest, Session, SessionStats, SharedConfig,
 };
+use rd_store::{Store, WalRecord};
 use std::collections::HashMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -81,6 +86,12 @@ pub struct ServerConfig {
     /// How long shutdown waits for in-flight connections to drain
     /// before force-closing them.
     pub drain_timeout: Duration,
+    /// Durable-storage directory. When set, the server recovers its
+    /// database from the newest snapshot plus the WAL tail on boot (the
+    /// `db` passed to [`Server::bind`] only seeds a *fresh* directory),
+    /// and every acknowledged mutation is logged — and fsynced — before
+    /// its response frame is sent. `None` runs purely in memory.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +109,7 @@ impl Default for ServerConfig {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             idle_timeout: None,
             drain_timeout: DEFAULT_DRAIN_TIMEOUT,
+            data_dir: None,
         }
     }
 }
@@ -116,6 +128,10 @@ struct ServerState {
     /// request, so a `stats` reply sees live sessions, not just closed
     /// ones.
     sessions: Mutex<SessionStats>,
+    /// The write-ahead log + snapshot store (`--data-dir`). The mutex
+    /// serializes durable mutations so WAL order equals apply order;
+    /// `None` means the server runs purely in memory.
+    store: Option<Mutex<Store>>,
 }
 
 /// One finished pool job: encoded frames ready to write, routed back to
@@ -171,8 +187,27 @@ pub struct Server {
 
 impl Server {
     /// Binds the listener and builds the shared engine state over `db`.
+    ///
+    /// With [`ServerConfig::data_dir`] set, the served database is
+    /// *recovered* from that directory (newest snapshot + WAL tail,
+    /// truncating a torn final record); `db` is used only to seed a
+    /// fresh directory, where it is immediately checkpointed so the
+    /// seed itself survives a crash.
     pub fn bind(config: ServerConfig, db: Database) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let (db, store) = match &config.data_dir {
+            Some(dir) => {
+                let (recovered, mut store) = Store::open(dir)?;
+                let db = if store.is_fresh() && !db.is_empty() {
+                    store.checkpoint(&db)?;
+                    db
+                } else {
+                    recovered
+                };
+                (db, Some(Mutex::new(store)))
+            }
+            None => (db, None),
+        };
         let engine = Arc::new(EngineShared::with_config(
             db,
             SharedConfig {
@@ -195,6 +230,7 @@ impl Server {
             evicted: AtomicU64::new(0),
             workers: config.workers.max(1) as u64,
             sessions: Mutex::new(SessionStats::default()),
+            store,
         });
         Ok(Server {
             listener,
@@ -690,7 +726,10 @@ fn handle_control(
             };
             (response, false)
         }
-        Request::Load(source) => (run_load(session, source), false),
+        Request::Load(source) => (run_load(state, session, source), false),
+        Request::Insert { table, rows } => (run_mutation(state, table, rows, true), false),
+        Request::Delete { table, rows } => (run_mutation(state, table, rows, false), false),
+        Request::Checkpoint => (run_checkpoint(state), false),
         Request::Stats => {
             // Fold in this session's own growth first so the reply is
             // exact even mid-connection.
@@ -770,21 +809,140 @@ fn run_query(
     }
 }
 
-fn run_load(session: &mut Session, source: &LoadSource) -> Response {
+/// Locks the store (when one is configured), surviving poisoning. Held
+/// across apply + log so WAL order always equals apply order.
+fn lock_store(state: &ServerState) -> Option<MutexGuard<'_, Store>> {
+    state
+        .store
+        .as_ref()
+        .map(|m| m.lock().unwrap_or_else(|p| p.into_inner()))
+}
+
+/// Applies one insert/delete batch to the live epoch and — before the
+/// response is released — appends it to the WAL. The store lock spans
+/// both steps, so the log's record order matches the epochs' apply
+/// order exactly; a failed apply logs nothing.
+fn run_mutation(
+    state: &Arc<ServerState>,
+    table: &str,
+    rows: &[Vec<Value>],
+    insert: bool,
+) -> Response {
+    let tuples: Vec<Tuple> = rows.iter().map(|r| Tuple(r.clone())).collect();
+    let store = lock_store(state);
+    let outcome = if insert {
+        state.engine.insert_rows(table, &tuples)
+    } else {
+        state.engine.delete_rows(table, &tuples)
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => return Response::Error(e.to_string()),
+    };
+    if let Some(mut store) = store {
+        let record = if insert {
+            WalRecord::Insert {
+                table: table.to_string(),
+                rows: tuples,
+            }
+        } else {
+            WalRecord::Delete {
+                table: table.to_string(),
+                rows: tuples,
+            }
+        };
+        if let Err(e) = store.log(&record) {
+            // The epoch moved but the log didn't: refuse to ack, so the
+            // client retries against a server that may have lost its
+            // disk — never the other way around.
+            return Response::Error(format!("mutation applied but not logged: {e}"));
+        }
+    }
+    Response::Mutation(MutationResult {
+        insert,
+        table: table.to_string(),
+        applied: outcome.applied,
+        generation: outcome.generation,
+        fingerprint: format!("{:016x}", outcome.fingerprint),
+    })
+}
+
+/// Snapshots the current epoch and starts a fresh WAL segment. The
+/// epoch is read *under* the store lock: any mutation logged before us
+/// was applied before us, so the snapshot can never miss a logged
+/// record that the retired WAL carried.
+fn run_checkpoint(state: &Arc<ServerState>) -> Response {
+    let store = lock_store(state);
+    let epoch = state.engine.epoch();
+    let seq = match store {
+        Some(mut store) => match store.checkpoint(&epoch.db) {
+            Ok(seq) => seq,
+            Err(e) => return Response::Error(format!("checkpoint failed: {e}")),
+        },
+        // No data dir: degrade to a generation/fingerprint probe.
+        None => 0,
+    };
+    Response::Checkpoint(CheckpointResult {
+        seq,
+        generation: epoch.generation,
+        fingerprint: format!("{:016x}", epoch.fingerprint),
+    })
+}
+
+fn run_load(state: &Arc<ServerState>, session: &mut Session, source: &LoadSource) -> Response {
+    // The store lock spans the epoch change and the durability step,
+    // like every mutation path.
+    let store = lock_store(state);
     let epoch = match source {
         LoadSource::Fixture(text) => match rd_engine::parse_fixture(text) {
-            Ok(db) => session.shared().replace_database(db),
+            Ok(db) => {
+                let epoch = session.shared().replace_database(db);
+                // A full replacement invalidates everything the old
+                // WAL+snapshot chain described: checkpoint immediately.
+                if let Some(mut store) = store {
+                    if let Err(e) = store.checkpoint(&epoch.db) {
+                        return Response::Error(format!("load applied but not persisted: {e}"));
+                    }
+                }
+                epoch
+            }
             Err(e) => return Response::Error(e.to_string()),
         },
         LoadSource::Csv { table, text } => match rd_engine::parse_csv(table, text) {
             // Bulk import merges into the current database, replacing a
             // same-named table — under the epoch write lock, so two
             // workers importing different tables at once both land.
-            Ok(rel) => session.shared().update_database(|db| {
-                let mut db = db.clone();
-                db.add_relation(rel);
-                db
-            }),
+            Ok(rel) => {
+                let is_new = session.shared().epoch().db.relation(table).is_none();
+                let schema = rel.schema().clone();
+                let tuples: Vec<Tuple> = rel.iter().cloned().collect();
+                let epoch = session.shared().update_database(|db| {
+                    let mut db = db.clone();
+                    db.add_relation(rel);
+                    db
+                });
+                if let Some(mut store) = store {
+                    // A brand-new table replays as schema + rows; a
+                    // replaced table needs the full snapshot (the WAL
+                    // has no "drop rows" form for what it overwrote).
+                    let result = if is_new {
+                        store
+                            .log(&WalRecord::CreateTable { schema })
+                            .and_then(|()| {
+                                store.log(&WalRecord::Insert {
+                                    table: table.clone(),
+                                    rows: tuples,
+                                })
+                            })
+                    } else {
+                        store.checkpoint(&epoch.db).map(|_| ())
+                    };
+                    if let Err(e) = result {
+                        return Response::Error(format!("load applied but not persisted: {e}"));
+                    }
+                }
+                epoch
+            }
             Err(e) => return Response::Error(e.to_string()),
         },
     };

@@ -358,6 +358,129 @@ fn plan_counters_aggregate_across_workers_in_stats() {
     stop(addr, handle);
 }
 
+/// A scratch data directory for durability tests (no tempfile dep).
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rd-server-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn mutations_survive_a_server_restart() {
+    let dir = tmpdir("restart");
+    let durable = || ServerConfig {
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let (addr, handle) = start_server(durable());
+    let mut client = Client::connect(addr).unwrap();
+    // Mutate through every durable path: plain inserts, a delete, a
+    // checkpoint mid-stream, and more inserts that live only in the WAL
+    // tail at shutdown time.
+    let ins = client
+        .insert(
+            "Reserves",
+            vec![
+                vec![Value::int(7), Value::int(101)],
+                vec![Value::int(7), Value::int(102)],
+            ],
+        )
+        .unwrap();
+    match &ins {
+        Response::Mutation(m) => {
+            assert!(m.insert);
+            assert_eq!(m.applied, 2);
+            assert_eq!(m.generation, 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let del = client.delete("Boat", vec![vec![Value::int(102), Value::str("green")]]);
+    match &del.unwrap() {
+        Response::Mutation(m) => {
+            assert!(!m.insert);
+            assert_eq!(m.applied, 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let cp = client.checkpoint().unwrap();
+    let fingerprint = match &cp {
+        Response::Checkpoint(c) => {
+            assert!(c.seq > 0, "durable server must write a real snapshot");
+            c.fingerprint.clone()
+        }
+        other => panic!("unexpected {other:?}"),
+    };
+    client
+        .insert("Sailor", vec![vec![Value::int(3), Value::str("Horatio")]])
+        .unwrap();
+    let queries = ["pi[sname](Sailor)", "pi[color](Boat)", "pi[bid](Reserves)"];
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| tuple_set(&client.query(None, q).unwrap()))
+        .collect();
+    stop(addr, handle);
+
+    // Restart over the same directory: the seed database passed to bind
+    // must be ignored in favour of snapshot + WAL-tail recovery.
+    let (addr, handle) = start_server(durable());
+    let mut client = Client::connect(addr).unwrap();
+    let after: Vec<_> = queries
+        .iter()
+        .map(|q| tuple_set(&client.query(None, q).unwrap()))
+        .collect();
+    assert_eq!(before, after, "recovered state differs from acked state");
+    // The WAL-tail insert (after the checkpoint) made it back too.
+    assert!(after[0].contains(&vec![Value::str("Horatio")]));
+    match &client.checkpoint().unwrap() {
+        Response::Checkpoint(c) => assert_ne!(
+            c.fingerprint, fingerprint,
+            "post-restart fingerprint must reflect the WAL-tail insert"
+        ),
+        other => panic!("unexpected {other:?}"),
+    }
+    stop(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn delta_mutations_spare_unrelated_cached_results_over_the_wire() {
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    let boats = "pi[color](Boat)";
+    let sailors = "pi[sname](Sailor)";
+    // Warm both results, then mutate only Sailor.
+    client.query(None, boats).unwrap();
+    client.query(None, sailors).unwrap();
+    client
+        .insert("Sailor", vec![vec![Value::int(9), Value::str("Zissou")]])
+        .unwrap();
+    // Boat survives the delta; Sailor re-evaluates and sees the new row.
+    match &client.query(None, boats).unwrap() {
+        Response::Query(q) => assert!(q.eval_cache_hit, "unrelated delta evicted Boat"),
+        other => panic!("unexpected {other:?}"),
+    }
+    match &client.query(None, sailors).unwrap() {
+        Response::Query(q) => {
+            assert!(!q.eval_cache_hit, "stale Sailor rows served after insert");
+            assert_eq!(q.rows.len(), 3);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert!(stats.sessions.delta_survivals >= 1, "{:?}", stats.sessions);
+    assert!(
+        stats.sessions.delta_invalidations >= 1,
+        "{:?}",
+        stats.sessions
+    );
+    // Without --data-dir the checkpoint op degrades to a probe.
+    match &client.checkpoint().unwrap() {
+        Response::Checkpoint(c) => assert_eq!(c.seq, 0),
+        other => panic!("unexpected {other:?}"),
+    }
+    stop(addr, handle);
+}
+
 #[test]
 fn disabled_plan_cache_over_the_wire_recompiles_but_agrees() {
     let (addr, handle) = start_server(ServerConfig {
