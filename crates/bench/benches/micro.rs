@@ -171,6 +171,43 @@ fn bench_plan_cache(c: &mut Criterion) {
     });
 }
 
+/// Cost of the PR-7 tracing layer on the hot serving path: the same
+/// cached-division repeat with per-stage span recording on (default)
+/// vs off. Both sessions serve from the compiled-plan cache with the
+/// result cache disabled, so every iteration executes and the only
+/// delta is the clock reads + histogram records. The acceptance bar is
+/// on-minus-off ≤ 5% of the off time.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    use rd_engine::{EngineShared, Language, QueryRequest, Session, SharedConfig};
+    use std::sync::Arc;
+
+    let cat = catalog();
+    let mut gen = DbGenerator::with_int_domain(cat, 8, 30, 5);
+    let db = gen.next_db();
+    let req = QueryRequest::new(Language::Trc, DIVISION);
+    let session_for = |metrics: bool| {
+        Session::attach(Arc::new(EngineShared::with_config(
+            db.clone(),
+            SharedConfig {
+                eval_cache: false,
+                shards: 1,
+                metrics,
+                ..SharedConfig::default()
+            },
+        )))
+    };
+    let mut traced = session_for(true);
+    traced.run(&req).unwrap(); // warm: compile once
+    c.bench_function("session_division_tracing_on", |b| {
+        b.iter(|| traced.run(black_box(&req)).unwrap())
+    });
+    let mut untraced = session_for(false);
+    untraced.run(&req).unwrap();
+    c.bench_function("session_division_tracing_off", |b| {
+        b.iter(|| untraced.run(black_box(&req)).unwrap())
+    });
+}
+
 /// Delta-aware invalidation on the hot serving path: repeat a query
 /// while mutations land on (a) no table, (b) an *unrelated* table, and
 /// (c) the queried table. The delta-aware cache keeps (b) at
@@ -266,6 +303,6 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_parse, bench_translate, bench_diagram, bench_eval, bench_eval_strings,
-        bench_plan_cache, bench_delta_mutation_cache, bench_patterns
+        bench_plan_cache, bench_tracing_overhead, bench_delta_mutation_cache, bench_patterns
 }
 criterion_main!(benches);

@@ -38,7 +38,7 @@ use crate::schema::TableSchema;
 use crate::symbol::SymbolTable;
 use crate::value::Value;
 use crate::CmpOp;
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 
 // ---------------------------------------------------------------------
@@ -447,6 +447,23 @@ impl<'b> Env<'b> {
 /// Computed IDB relations (empty for languages without them).
 type IdbMap = BTreeMap<String, BTreeSet<Tuple>>;
 
+/// Per-node actual row counts collected by an analyzing execution.
+///
+/// Keys are node *addresses* (`&Scan`, `&OpNode`, `&QueryPlan`,
+/// `&RulePlan`, `&Stratum` cast to `usize`): every keyed node is alive
+/// inside the same [`Plan`] for the whole execution *and* the subsequent
+/// annotation pass, so addresses are unique — which lets the executor
+/// count rows without adding id fields to the IR (and therefore without
+/// touching any of the four language lowerings).
+type TallyMap = HashMap<usize, u64>;
+
+/// Records `rows` for `node` if an analyze tally is active.
+fn record<T>(tally: &mut Option<TallyMap>, node: &T, rows: usize) {
+    if let Some(t) = tally.as_mut() {
+        t.insert(node as *const T as usize, rows as u64);
+    }
+}
+
 /// Per-execution state: the database snapshot, the computed IDBs, and
 /// the lazily-built hash indexes (one cache slot per keyed scan, built
 /// on first probe, reused across the execution).
@@ -456,6 +473,10 @@ struct ExecCtx<'d> {
     idbs: &'d IdbMap,
     indexes: IndexCache<'d>,
     key_buf: KeyBuf,
+    /// Per-node row counters, present only during an analyzing
+    /// execution — the normal path pays one `is_some` branch per
+    /// emitted scan row and nothing else.
+    tally: Option<TallyMap>,
 }
 
 impl<'d> ExecCtx<'d> {
@@ -466,6 +487,15 @@ impl<'d> ExecCtx<'d> {
             idbs,
             indexes: IndexCache::new(n_indexes),
             key_buf: KeyBuf::default(),
+            tally: None,
+        }
+    }
+
+    /// Counts one row produced by `node` when analyzing.
+    #[inline]
+    fn bump<T>(&mut self, node: &T) {
+        if let Some(t) = self.tally.as_mut() {
+            *t.entry(node as *const T as usize).or_insert(0) += 1;
         }
     }
 
@@ -681,6 +711,7 @@ fn scan_tuple<'b, 'd: 'b>(
             return Ok(false);
         }
     }
+    ctx.bump(scan);
     run_block(block, i + 1, env, ctx, emit)
 }
 
@@ -690,80 +721,129 @@ fn scan_tuple<'b, 'd: 'b>(
 
 /// Executes a compiled query branch, returning its output relation.
 pub fn run_query(q: &QueryPlan, db: &Database) -> CoreResult<Relation> {
+    run_query_inner(q, db, &mut None)
+}
+
+/// [`run_query`] with an optional analyze tally threaded through the
+/// execution context (and handed back when done).
+fn run_query_inner(
+    q: &QueryPlan,
+    db: &Database,
+    tally: &mut Option<TallyMap>,
+) -> CoreResult<Relation> {
     let idbs = IdbMap::new();
     let mut out = db.fresh_relation(q.out.clone());
     let mut ctx = ExecCtx::new(db, &idbs, q.shape.indexes);
+    ctx.tally = tally.take();
     let mut env = Env::new(&q.shape);
+    let mut pre_ok = true;
     for pre in &q.root.pre {
         if !eval_formula(pre, &mut env, &mut ctx)? {
-            return Ok(out);
+            pre_ok = false;
+            break;
         }
     }
-    run_block(&q.root, 0, &mut env, &mut ctx, &mut |env, ctx| {
-        let mut row = Vec::with_capacity(q.defs.len());
-        for t in &q.defs {
-            row.push(term_value(t, env)?.clone());
-        }
-        let tuple = Tuple(row);
-        // Validate the deferred conjuncts with the head bound. The
-        // narrower lifetime of `tuple` forces a (cheap, word-copy)
-        // clone of the environment.
-        let mut venv: Env = env.clone();
-        venv.tuples[q.head_slot] = Some(&tuple);
-        let mut ok = true;
-        for f in &q.deferred {
-            if !eval_formula(f, &mut venv, ctx)? {
-                ok = false;
-                break;
+    if pre_ok {
+        run_block(&q.root, 0, &mut env, &mut ctx, &mut |env, ctx| {
+            let mut row = Vec::with_capacity(q.defs.len());
+            for t in &q.defs {
+                row.push(term_value(t, env)?.clone());
             }
-        }
-        if ok {
-            out.insert(tuple)?;
-        }
-        Ok(false)
-    })?;
+            let tuple = Tuple(row);
+            // Validate the deferred conjuncts with the head bound. The
+            // narrower lifetime of `tuple` forces a (cheap, word-copy)
+            // clone of the environment.
+            let mut venv: Env = env.clone();
+            venv.tuples[q.head_slot] = Some(&tuple);
+            let mut ok = true;
+            for f in &q.deferred {
+                if !eval_formula(f, &mut venv, ctx)? {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                out.insert(tuple)?;
+            }
+            Ok(false)
+        })?;
+    }
+    *tally = ctx.tally.take();
+    record(tally, q, out.len());
     Ok(out)
 }
 
 /// Executes a compiled Boolean sentence.
 pub fn run_sentence(s: &SentencePlan, db: &Database) -> CoreResult<bool> {
+    run_sentence_inner(s, db, &mut None)
+}
+
+fn run_sentence_inner(
+    s: &SentencePlan,
+    db: &Database,
+    tally: &mut Option<TallyMap>,
+) -> CoreResult<bool> {
     let idbs = IdbMap::new();
     let mut ctx = ExecCtx::new(db, &idbs, s.shape.indexes);
+    ctx.tally = tally.take();
     let mut env = Env::new(&s.shape);
-    eval_formula(&s.formula, &mut env, &mut ctx)
+    let value = eval_formula(&s.formula, &mut env, &mut ctx)?;
+    *tally = ctx.tally.take();
+    Ok(value)
 }
 
 /// Executes one compiled rule against the database plus the IDBs
 /// computed so far.
-fn run_rule(rule: &RulePlan, db: &Database, idbs: &IdbMap) -> CoreResult<Vec<Tuple>> {
+fn run_rule(
+    rule: &RulePlan,
+    db: &Database,
+    idbs: &IdbMap,
+    tally: &mut Option<TallyMap>,
+) -> CoreResult<Vec<Tuple>> {
     let mut ctx = ExecCtx::new(db, idbs, rule.shape.indexes);
+    ctx.tally = tally.take();
     let mut env = Env::new(&rule.shape);
+    let mut pre_ok = true;
     for pre in &rule.block.pre {
         if !eval_formula(pre, &mut env, &mut ctx)? {
-            return Ok(Vec::new());
+            pre_ok = false;
+            break;
         }
     }
     let mut out = Vec::new();
-    run_block(&rule.block, 0, &mut env, &mut ctx, &mut |env, _ctx| {
-        let mut row = Vec::with_capacity(rule.head.len());
-        for t in &rule.head {
-            row.push(term_value(t, env)?.clone());
-        }
-        out.push(Tuple(row));
-        Ok(false)
-    })?;
+    if pre_ok {
+        run_block(&rule.block, 0, &mut env, &mut ctx, &mut |env, _ctx| {
+            let mut row = Vec::with_capacity(rule.head.len());
+            for t in &rule.head {
+                row.push(term_value(t, env)?.clone());
+            }
+            out.push(Tuple(row));
+            Ok(false)
+        })?;
+    }
+    *tally = ctx.tally.take();
+    record(tally, rule, out.len());
     Ok(out)
 }
 
 /// Executes a compiled Datalog program: strata in order, rules of one
 /// IDB unioned under set semantics.
 pub fn run_program(p: &ProgramPlan, db: &Database) -> CoreResult<Relation> {
+    run_program_inner(p, db, &mut None)
+}
+
+fn run_program_inner(
+    p: &ProgramPlan,
+    db: &Database,
+    tally: &mut Option<TallyMap>,
+) -> CoreResult<Relation> {
     let mut computed = IdbMap::new();
     for stratum in &p.strata {
         let mut tuples: BTreeSet<Tuple> = BTreeSet::new();
         for rule in &stratum.rules {
-            tuples.extend(run_rule(rule, db, &computed)?);
+            tuples.extend(run_rule(rule, db, &computed, tally)?);
         }
+        record(tally, stratum, tuples.len());
         computed.insert(stratum.pred.clone(), tuples);
     }
     let rows = computed
@@ -848,43 +928,53 @@ fn eval_cond(cond: &Cond, tuple: &Tuple, symbols: &SymbolTable) -> bool {
 
 /// Executes a compiled RA operator tree to its tuple set.
 pub fn run_ops(op: &OpNode, db: &Database) -> CoreResult<BTreeSet<Tuple>> {
+    run_ops_inner(op, db, &mut None)
+}
+
+/// [`run_ops`] with an optional analyze tally: every node records its
+/// result cardinality on the way back up.
+fn run_ops_inner(
+    op: &OpNode,
+    db: &Database,
+    tally: &mut Option<TallyMap>,
+) -> CoreResult<BTreeSet<Tuple>> {
     let symbols = db.symbols();
-    match op {
-        OpNode::Table(name) => Ok(db.require(name)?.tuples().clone()),
+    let tuples = match op {
+        OpNode::Table(name) => db.require(name)?.tuples().clone(),
         OpNode::Project { cols, input } => {
-            let inner = run_ops(input, db)?;
-            Ok(inner.iter().map(|t| t.project(cols)).collect())
+            let inner = run_ops_inner(input, db, tally)?;
+            inner.iter().map(|t| t.project(cols)).collect()
         }
         OpNode::Select { cond, input } => {
-            let inner = run_ops(input, db)?;
-            Ok(inner
+            let inner = run_ops_inner(input, db, tally)?;
+            inner
                 .into_iter()
                 .filter(|t| eval_cond(cond, t, symbols))
-                .collect())
+                .collect()
         }
         OpNode::Product(l, r) => {
-            let lv = run_ops(l, db)?;
-            let rv = run_ops(r, db)?;
+            let lv = run_ops_inner(l, db, tally)?;
+            let rv = run_ops_inner(r, db, tally)?;
             let mut tuples = BTreeSet::new();
             for lt in &lv {
                 for rt in &rv {
                     tuples.insert(lt.concat(rt));
                 }
             }
-            Ok(tuples)
+            tuples
         }
         OpNode::Join {
             checks,
             left,
             right,
         } => {
-            let lv = run_ops(left, db)?;
-            let rv = run_ops(right, db)?;
+            let lv = run_ops_inner(left, db, tally)?;
+            let rv = run_ops_inner(right, db, tally)?;
             let mut tuples = BTreeSet::new();
             hash_join_pairs(&lv, &rv, checks, symbols, |lt, rt| {
                 tuples.insert(lt.concat(rt));
             });
-            Ok(tuples)
+            tuples
         }
         OpNode::NaturalJoin {
             checks,
@@ -892,46 +982,47 @@ pub fn run_ops(op: &OpNode, db: &Database) -> CoreResult<BTreeSet<Tuple>> {
             left,
             right,
         } => {
-            let lv = run_ops(left, db)?;
-            let rv = run_ops(right, db)?;
+            let lv = run_ops_inner(left, db, tally)?;
+            let rv = run_ops_inner(right, db, tally)?;
             let mut tuples = BTreeSet::new();
             hash_join_pairs(&lv, &rv, checks, symbols, |lt, rt| {
                 let mut row = lt.0.clone();
                 row.extend(keep_right.iter().map(|&ri| rt.get(ri).clone()));
                 tuples.insert(Tuple(row));
             });
-            Ok(tuples)
+            tuples
         }
         OpNode::Diff(l, r) => {
-            let lv = run_ops(l, db)?;
-            let rv = run_ops(r, db)?;
-            Ok(lv.difference(&rv).cloned().collect())
+            let lv = run_ops_inner(l, db, tally)?;
+            let rv = run_ops_inner(r, db, tally)?;
+            lv.difference(&rv).cloned().collect()
         }
         OpNode::Union(l, r) => {
-            let lv = run_ops(l, db)?;
-            let rv = run_ops(r, db)?;
-            Ok(lv.union(&rv).cloned().collect())
+            let lv = run_ops_inner(l, db, tally)?;
+            let rv = run_ops_inner(r, db, tally)?;
+            lv.union(&rv).cloned().collect()
         }
         OpNode::Antijoin {
             checks,
             left,
             right,
         } => {
-            let lv = run_ops(left, db)?;
-            let rv = run_ops(right, db)?;
+            let lv = run_ops_inner(left, db, tally)?;
+            let rv = run_ops_inner(right, db, tally)?;
             // The antijoin is the join's complement: collect the left
             // tuples with at least one qualifying pair, keep the rest.
             let mut matched: HashSet<&Tuple> = HashSet::new();
             hash_join_pairs(&lv, &rv, checks, symbols, |lt, _| {
                 matched.insert(lt);
             });
-            Ok(lv
-                .iter()
+            lv.iter()
                 .filter(|lt| !matched.contains(*lt))
                 .cloned()
-                .collect())
+                .collect()
         }
-    }
+    };
+    record(tally, op, tuples.len());
+    Ok(tuples)
 }
 
 /// The 0-ary encoding of a Boolean result: `{()}` for true, `{}` for
@@ -948,25 +1039,29 @@ pub fn boolean_relation(value: bool) -> Relation {
 /// Executes any compiled plan over `db`, normalizing the output to a
 /// [`Relation`] (Boolean sentences become the 0-ary encoding).
 pub fn execute(plan: &Plan, db: &Database) -> CoreResult<Relation> {
+    execute_inner(plan, db, &mut None)
+}
+
+fn execute_inner(plan: &Plan, db: &Database, tally: &mut Option<TallyMap>) -> CoreResult<Relation> {
     match plan {
         Plan::Union(branches) => {
             let mut iter = branches.iter();
             let first = iter
                 .next()
                 .ok_or_else(|| CoreError::Invalid("empty union".into()))?;
-            let mut result = run_query(first, db)?;
+            let mut result = run_query_inner(first, db, tally)?;
             for branch in iter {
-                let r = run_query(branch, db)?;
+                let r = run_query_inner(branch, db, tally)?;
                 for t in r.iter() {
                     result.insert(t.clone())?;
                 }
             }
             Ok(result)
         }
-        Plan::Sentence(s) => Ok(boolean_relation(run_sentence(s, db)?)),
-        Plan::Program(p) => run_program(p, db),
+        Plan::Sentence(s) => Ok(boolean_relation(run_sentence_inner(s, db, tally)?)),
+        Plan::Program(p) => run_program_inner(p, db, tally),
         Plan::Ops { root, out } => {
-            let tuples = run_ops(root, db)?;
+            let tuples = run_ops_inner(root, db, tally)?;
             let mut rel = db.fresh_relation(out.clone());
             for t in tuples {
                 rel.insert(t)?;
@@ -976,18 +1071,43 @@ pub fn execute(plan: &Plan, db: &Database) -> CoreResult<Relation> {
     }
 }
 
+/// Executes `plan` while counting per-operator actual rows, then renders
+/// the explain tree annotated with planner estimates and the observed
+/// counts — the engine of the `explain analyze` wire form. Returns the
+/// result relation too, so callers can cross-check the root count.
+pub fn explain_analyze(plan: &Plan, db: &Database) -> CoreResult<(Relation, ExplainNode)> {
+    let mut tally = Some(TallyMap::new());
+    let relation = execute_inner(plan, db, &mut tally)?;
+    let tally = tally.unwrap_or_default();
+    let annot = Annot {
+        db: Some(db),
+        tally: Some(&tally),
+    };
+    let mut node = explain_with(plan, &annot);
+    node.actual_rows = Some(relation.len() as u64);
+    Ok((relation, node))
+}
+
 // ---------------------------------------------------------------------
 // Explain
 // ---------------------------------------------------------------------
 
 /// One node of an explain tree: plan structure rendered for diagnosis
-/// (scan order, join strategy, bound keys).
+/// (scan order, join strategy, bound keys), optionally annotated with
+/// row counts by `explain analyze`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExplainNode {
     /// Node kind (`scan`, `exists`, `join`, `union`, …).
     pub kind: String,
     /// Human-readable detail (table, key columns, strategy).
     pub detail: String,
+    /// Planner cardinality estimate (crude size heuristics; present
+    /// only under `explain analyze`, and absent for nodes with no
+    /// meaningful estimate, e.g. IDB scans).
+    pub est_rows: Option<u64>,
+    /// Rows this node actually produced (present only under
+    /// `explain analyze`).
+    pub actual_rows: Option<u64>,
     /// Child nodes in execution order.
     pub children: Vec<ExplainNode>,
 }
@@ -997,6 +1117,8 @@ impl ExplainNode {
         ExplainNode {
             kind: kind.to_string(),
             detail: detail.into(),
+            est_rows: None,
+            actual_rows: None,
             children: Vec::new(),
         }
     }
@@ -1004,6 +1126,92 @@ impl ExplainNode {
     fn with(mut self, children: Vec<ExplainNode>) -> ExplainNode {
         self.children = children;
         self
+    }
+
+    fn rows(mut self, est: Option<u64>, actual: Option<u64>) -> ExplainNode {
+        self.est_rows = est;
+        self.actual_rows = actual;
+        self
+    }
+}
+
+/// Annotation context for explain rendering: empty for plain `explain`
+/// (every row field stays `None`, keeping legacy output byte-identical),
+/// populated by [`explain_analyze`].
+struct Annot<'a> {
+    /// Database to draw cardinality estimates from.
+    db: Option<&'a Database>,
+    /// Actual row counts from the analyzing execution.
+    tally: Option<&'a TallyMap>,
+}
+
+impl Annot<'_> {
+    const NONE: Annot<'static> = Annot {
+        db: None,
+        tally: None,
+    };
+
+    /// The tallied actual row count for `node` — `Some(0)` for nodes the
+    /// execution never reached (short-circuits), `None` outside analyze.
+    fn actual<T>(&self, node: &T) -> Option<u64> {
+        self.tally
+            .map(|t| t.get(&(node as *const T as usize)).copied().unwrap_or(0))
+    }
+
+    /// Cardinality estimate for one pipeline scan: the stored relation's
+    /// size, divided by 4 per bound key column (each equality key is
+    /// assumed ~75% selective in the absence of statistics). IDB scans
+    /// have no stored relation and get no estimate.
+    fn est_scan(&self, scan: &Scan) -> Option<u64> {
+        let n = self.db?.relation(&scan.rel)?.len() as u64;
+        Some(if scan.is_keyed() {
+            let shift = (2 * scan.key_cols.len() as u32).min(63);
+            (n >> shift).max(1)
+        } else {
+            n
+        })
+    }
+
+    /// Estimate for a whole pipeline: the product of its scans'
+    /// estimates (`None` if any scan is unestimable).
+    fn est_block(&self, block: &Block) -> Option<u64> {
+        self.db?;
+        let mut total = 1u64;
+        for scan in &block.scans {
+            total = total.saturating_mul(self.est_scan(scan)?);
+        }
+        Some(total)
+    }
+
+    /// Estimate for a bulk operator node, bottom-up.
+    fn est_ops(&self, op: &OpNode) -> Option<u64> {
+        let db = self.db?;
+        Some(match op {
+            OpNode::Table(name) => db.relation(name)?.len() as u64,
+            OpNode::Project { input, .. } => self.est_ops(input)?,
+            // A selection with no statistics: assume 1-in-3 qualify.
+            OpNode::Select { input, .. } => (self.est_ops(input)? / 3).max(1),
+            OpNode::Product(l, r) => self.est_ops(l)?.saturating_mul(self.est_ops(r)?),
+            OpNode::Join {
+                checks,
+                left,
+                right,
+            }
+            | OpNode::NaturalJoin {
+                checks,
+                left,
+                right,
+                ..
+            } => {
+                let cross = self.est_ops(left)?.saturating_mul(self.est_ops(right)?);
+                let eq = checks.iter().filter(|(_, op, _)| *op == CmpOp::Eq).count();
+                let shift = (2 * eq as u32).min(63);
+                (cross >> shift).max(1)
+            }
+            // Difference and antijoin are bounded by the left input.
+            OpNode::Diff(l, _) | OpNode::Antijoin { left: l, .. } => self.est_ops(l)?,
+            OpNode::Union(l, r) => self.est_ops(l)?.saturating_add(self.est_ops(r)?),
+        })
     }
 }
 
@@ -1022,16 +1230,16 @@ fn fmt_cols(cols: &[usize]) -> String {
     format!("[{}]", parts.join(", "))
 }
 
-fn explain_formula(f: &Formula) -> ExplainNode {
+fn explain_formula(f: &Formula, annot: &Annot<'_>) -> ExplainNode {
     match f {
         Formula::And(fs) => {
-            ExplainNode::new("and", "").with(fs.iter().map(explain_formula).collect())
+            ExplainNode::new("and", "").with(fs.iter().map(|f| explain_formula(f, annot)).collect())
         }
         Formula::Or(fs) => {
-            ExplainNode::new("or", "").with(fs.iter().map(explain_formula).collect())
+            ExplainNode::new("or", "").with(fs.iter().map(|f| explain_formula(f, annot)).collect())
         }
-        Formula::Not(sub) => ExplainNode::new("not", "").with(vec![explain_formula(sub)]),
-        Formula::Exists(block) => ExplainNode::new("exists", "").with(explain_block(block)),
+        Formula::Not(sub) => ExplainNode::new("not", "").with(vec![explain_formula(sub, annot)]),
+        Formula::Exists(block) => ExplainNode::new("exists", "").with(explain_block(block, annot)),
         Formula::Pred(p) => ExplainNode::new(
             "filter",
             format!("{} {} {}", fmt_term(&p.left), p.op, fmt_term(&p.right)),
@@ -1046,7 +1254,7 @@ fn explain_formula(f: &Formula) -> ExplainNode {
     }
 }
 
-fn explain_scan(scan: &Scan) -> ExplainNode {
+fn explain_scan(scan: &Scan, annot: &Annot<'_>) -> ExplainNode {
     let detail = if scan.is_keyed() {
         let keys: Vec<String> = scan
             .key_cols
@@ -1058,21 +1266,36 @@ fn explain_scan(scan: &Scan) -> ExplainNode {
     } else {
         format!("{} full scan", scan.rel)
     };
-    ExplainNode::new("scan", detail).with(scan.filters.iter().map(explain_formula).collect())
+    ExplainNode::new("scan", detail)
+        .with(
+            scan.filters
+                .iter()
+                .map(|f| explain_formula(f, annot))
+                .collect(),
+        )
+        .rows(annot.est_scan(scan), annot.actual(scan))
 }
 
-fn explain_block(block: &Block) -> Vec<ExplainNode> {
-    let mut nodes: Vec<ExplainNode> = block.pre.iter().map(explain_formula).collect();
-    nodes.extend(block.scans.iter().map(explain_scan));
+fn explain_block(block: &Block, annot: &Annot<'_>) -> Vec<ExplainNode> {
+    let mut nodes: Vec<ExplainNode> = block
+        .pre
+        .iter()
+        .map(|f| explain_formula(f, annot))
+        .collect();
+    nodes.extend(block.scans.iter().map(|s| explain_scan(s, annot)));
     nodes
 }
 
-fn explain_query(q: &QueryPlan) -> ExplainNode {
-    let mut children = explain_block(&q.root);
+fn explain_query(q: &QueryPlan, annot: &Annot<'_>) -> ExplainNode {
+    let mut children = explain_block(&q.root, annot);
     if !q.deferred.is_empty() {
         children.push(
-            ExplainNode::new("deferred", "validated with the output head bound")
-                .with(q.deferred.iter().map(explain_formula).collect()),
+            ExplainNode::new("deferred", "validated with the output head bound").with(
+                q.deferred
+                    .iter()
+                    .map(|f| explain_formula(f, annot))
+                    .collect(),
+            ),
         );
     }
     ExplainNode::new(
@@ -1080,9 +1303,10 @@ fn explain_query(q: &QueryPlan) -> ExplainNode {
         format!("{}({})", q.out.name(), q.out.attrs().join(", ")),
     )
     .with(children)
+    .rows(annot.est_block(&q.root), annot.actual(q))
 }
 
-fn explain_ops(op: &OpNode) -> ExplainNode {
+fn explain_ops(op: &OpNode, annot: &Annot<'_>) -> ExplainNode {
     let join_detail = |checks: &[(usize, CmpOp, usize)]| {
         let eq = checks.iter().filter(|(_, op, _)| *op == CmpOp::Eq).count();
         let residual = checks.len() - eq;
@@ -1092,83 +1316,95 @@ fn explain_ops(op: &OpNode) -> ExplainNode {
             format!("hash join on {eq} key(s), {residual} residual check(s)")
         }
     };
-    match op {
-        OpNode::Table(name) => ExplainNode::new("table", name.clone()),
-        OpNode::Project { cols, input } => {
-            ExplainNode::new("project", format!("cols {}", fmt_cols(cols)))
-                .with(vec![explain_ops(input)])
-        }
-        OpNode::Select { input, .. } => {
-            ExplainNode::new("select", "compiled condition").with(vec![explain_ops(input)])
-        }
-        OpNode::Product(l, r) => {
-            ExplainNode::new("product", "").with(vec![explain_ops(l), explain_ops(r)])
-        }
-        OpNode::Join {
-            checks,
-            left,
-            right,
-        } => ExplainNode::new("join", join_detail(checks))
-            .with(vec![explain_ops(left), explain_ops(right)]),
-        OpNode::NaturalJoin {
-            checks,
-            left,
-            right,
-            ..
-        } => ExplainNode::new("natural-join", join_detail(checks))
-            .with(vec![explain_ops(left), explain_ops(right)]),
-        OpNode::Diff(l, r) => {
-            ExplainNode::new("diff", "").with(vec![explain_ops(l), explain_ops(r)])
-        }
-        OpNode::Union(l, r) => {
-            ExplainNode::new("union", "").with(vec![explain_ops(l), explain_ops(r)])
-        }
-        OpNode::Antijoin {
-            checks,
-            left,
-            right,
-        } => ExplainNode::new("antijoin", join_detail(checks))
-            .with(vec![explain_ops(left), explain_ops(right)]),
-    }
+    let node =
+        match op {
+            OpNode::Table(name) => ExplainNode::new("table", name.clone()),
+            OpNode::Project { cols, input } => {
+                ExplainNode::new("project", format!("cols {}", fmt_cols(cols)))
+                    .with(vec![explain_ops(input, annot)])
+            }
+            OpNode::Select { input, .. } => ExplainNode::new("select", "compiled condition")
+                .with(vec![explain_ops(input, annot)]),
+            OpNode::Product(l, r) => ExplainNode::new("product", "")
+                .with(vec![explain_ops(l, annot), explain_ops(r, annot)]),
+            OpNode::Join {
+                checks,
+                left,
+                right,
+            } => ExplainNode::new("join", join_detail(checks))
+                .with(vec![explain_ops(left, annot), explain_ops(right, annot)]),
+            OpNode::NaturalJoin {
+                checks,
+                left,
+                right,
+                ..
+            } => ExplainNode::new("natural-join", join_detail(checks))
+                .with(vec![explain_ops(left, annot), explain_ops(right, annot)]),
+            OpNode::Diff(l, r) => ExplainNode::new("diff", "")
+                .with(vec![explain_ops(l, annot), explain_ops(r, annot)]),
+            OpNode::Union(l, r) => ExplainNode::new("union", "")
+                .with(vec![explain_ops(l, annot), explain_ops(r, annot)]),
+            OpNode::Antijoin {
+                checks,
+                left,
+                right,
+            } => ExplainNode::new("antijoin", join_detail(checks))
+                .with(vec![explain_ops(left, annot), explain_ops(right, annot)]),
+        };
+    node.rows(annot.est_ops(op), annot.actual(op))
 }
 
-/// Renders a compiled plan as an explain tree.
+/// Renders a compiled plan as an explain tree (no row counts — see
+/// [`explain_analyze`]).
 pub fn explain(plan: &Plan) -> ExplainNode {
+    explain_with(plan, &Annot::NONE)
+}
+
+fn explain_with(plan: &Plan, annot: &Annot<'_>) -> ExplainNode {
     match plan {
         Plan::Union(branches) => {
             if let [q] = branches.as_slice() {
-                explain_query(q)
+                explain_query(q, annot)
             } else {
+                let est = branches
+                    .iter()
+                    .map(|q| annot.est_block(&q.root))
+                    .try_fold(0u64, |acc, e| e.map(|e| acc.saturating_add(e)));
                 ExplainNode::new("union", format!("{} branches", branches.len()))
-                    .with(branches.iter().map(explain_query).collect())
+                    .with(branches.iter().map(|q| explain_query(q, annot)).collect())
+                    .rows(est, None)
             }
         }
         Plan::Sentence(s) => {
-            ExplainNode::new("sentence", "boolean").with(vec![explain_formula(&s.formula)])
+            ExplainNode::new("sentence", "boolean").with(vec![explain_formula(&s.formula, annot)])
         }
         Plan::Program(p) => ExplainNode::new("program", format!("query {}", p.query)).with(
             p.strata
                 .iter()
                 .map(|stratum| {
-                    ExplainNode::new("stratum", stratum.pred.clone()).with(
-                        stratum
-                            .rules
-                            .iter()
-                            .map(|rule| {
-                                ExplainNode::new(
-                                    "rule",
-                                    format!("{} head term(s)", rule.head.len()),
-                                )
-                                .with(explain_block(&rule.block))
-                            })
-                            .collect(),
-                    )
+                    ExplainNode::new("stratum", stratum.pred.clone())
+                        .with(
+                            stratum
+                                .rules
+                                .iter()
+                                .map(|rule| {
+                                    ExplainNode::new(
+                                        "rule",
+                                        format!("{} head term(s)", rule.head.len()),
+                                    )
+                                    .with(explain_block(&rule.block, annot))
+                                    .rows(annot.est_block(&rule.block), annot.actual(rule))
+                                })
+                                .collect(),
+                        )
+                        .rows(None, annot.actual(stratum))
                 })
                 .collect(),
         ),
         Plan::Ops { root, out } => {
             ExplainNode::new("ops", format!("{}({})", out.name(), out.attrs().join(", ")))
-                .with(vec![explain_ops(root)])
+                .with(vec![explain_ops(root, annot)])
+                .rows(annot.est_ops(root), annot.actual(root))
         }
     }
 }
@@ -1273,7 +1509,7 @@ mod tests {
             },
         };
         let idbs = IdbMap::new();
-        let out = run_rule(&rule, &db, &idbs).unwrap();
+        let out = run_rule(&rule, &db, &idbs, &mut None).unwrap();
         assert_eq!(out, vec![Tuple::new([3i64])]);
     }
 
@@ -1453,5 +1689,67 @@ mod tests {
             "{}",
             scans[1].detail
         );
+    }
+
+    #[test]
+    fn plain_explain_has_no_row_counts() {
+        let node = explain(&Plan::Union(vec![join_plan()]));
+        fn assert_unannotated(n: &ExplainNode) {
+            assert_eq!((n.est_rows, n.actual_rows), (None, None), "{}", n.kind);
+            n.children.iter().for_each(assert_unannotated);
+        }
+        assert_unannotated(&node);
+    }
+
+    #[test]
+    fn explain_analyze_counts_pipeline_rows() {
+        let db = rs_db();
+        let plan = Plan::Union(vec![join_plan()]);
+        let (rel, node) = explain_analyze(&plan, &db).unwrap();
+        // Root: actual rows == the returned relation's cardinality.
+        assert_eq!(node.actual_rows, Some(rel.len() as u64));
+        assert_eq!(rel.len(), 2);
+        // R full scan emits all 4 tuples; the S probe matches B ∈
+        // {10, 20, 10} of the four R rows, i.e. 3 rows survive.
+        let scans: Vec<&ExplainNode> = node.children.iter().filter(|n| n.kind == "scan").collect();
+        assert_eq!(scans[0].rows_pair(), (Some(4), Some(4)));
+        assert_eq!(scans[1].actual_rows, Some(3));
+        assert!(scans[1].est_rows.is_some());
+    }
+
+    #[test]
+    fn explain_analyze_counts_ops_rows() {
+        let db = rs_db();
+        // π_A(R ⋈_{B=B} S): join produces 3 pairs, projection dedups to 2.
+        let plan = Plan::Ops {
+            root: OpNode::Project {
+                cols: vec![0],
+                input: Box::new(OpNode::Join {
+                    checks: vec![(1, CmpOp::Eq, 0)],
+                    left: Box::new(OpNode::Table("R".into())),
+                    right: Box::new(OpNode::Table("S".into())),
+                }),
+            },
+            out: TableSchema::new("q", ["A"]),
+        };
+        let (rel, node) = explain_analyze(&plan, &db).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(node.actual_rows, Some(2));
+        let project = &node.children[0];
+        assert_eq!(project.kind, "project");
+        assert_eq!(project.actual_rows, Some(2));
+        let join = &project.children[0];
+        assert_eq!(join.actual_rows, Some(3));
+        // est: |R|·|S| = 8, one equality key → 8 >> 2 = 2.
+        assert_eq!(join.est_rows, Some(2));
+        let tables: Vec<(Option<u64>, Option<u64>)> =
+            join.children.iter().map(|n| n.rows_pair()).collect();
+        assert_eq!(tables, vec![(Some(4), Some(4)), (Some(2), Some(2))]);
+    }
+
+    impl ExplainNode {
+        fn rows_pair(&self) -> (Option<u64>, Option<u64>) {
+            (self.est_rows, self.actual_rows)
+        }
     }
 }

@@ -42,6 +42,7 @@ pub mod plan;
 pub mod pretty;
 pub mod schema;
 pub mod symbol;
+pub mod trace;
 pub mod value;
 
 pub use cmp::CmpOp;
@@ -51,4 +52,5 @@ pub use generate::{enumerate_databases, DbGenerator, ExhaustiveDbIter};
 pub use plan::{build_index, scan_cost, DbStats};
 pub use schema::{Catalog, TableSchema};
 pub use symbol::SymbolTable;
+pub use trace::{Histogram, Span};
 pub use value::Value;

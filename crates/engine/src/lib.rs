@@ -71,4 +71,7 @@ pub use fixture::{demo_database, parse_csv, parse_fixture, render_fixture};
 pub use language::Language;
 pub use request::{DiagramFormat, ExplainResponse, QueryRequest, QueryResponse, Translations};
 pub use session::{Session, SessionStats, DEFAULT_CACHE_CAPACITY};
-pub use shared::{CacheStats, DbEpoch, EngineShared, MutationOutcome, ShardedCache, SharedConfig};
+pub use shared::{
+    CacheStats, DbEpoch, EngineMetrics, EngineShared, MutationOutcome, ShardedCache, SharedConfig,
+    STAGE_NAMES,
+};

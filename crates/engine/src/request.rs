@@ -2,6 +2,7 @@
 
 use crate::{Artifact, Language};
 use rd_core::exec::ExplainNode;
+use rd_core::trace::Span;
 use rd_core::{Relation, Tuple};
 use std::sync::Arc;
 
@@ -120,6 +121,14 @@ pub struct QueryResponse {
     /// outside the fragment the TRC-hub translation covers). Evaluation
     /// succeeded regardless; these never accompany a failed run.
     pub notes: Vec<String>,
+    /// Per-stage spans of this request, in execution order (empty when
+    /// the shared state was built with
+    /// [`SharedConfig::metrics`](crate::SharedConfig) off). Stages that
+    /// did not run (e.g. `plan` on an eval-cache hit) have no span.
+    pub spans: Vec<Span>,
+    /// Total wall-clock time of the request in microseconds (0 with
+    /// metrics off).
+    pub micros: u64,
 }
 
 impl QueryResponse {

@@ -7,10 +7,17 @@ use crate::shared::{
 };
 use crate::{Artifact, Language};
 use rd_core::exec::{self, Plan};
+use rd_core::trace::Span;
 use rd_core::{Catalog, CoreError, CoreResult, Database, Relation};
 use rd_trc::TrcUnion;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Microseconds elapsed since `start` (monotonic clock).
+fn micros_since(start: Instant) -> u64 {
+    start.elapsed().as_micros() as u64
+}
 
 /// Default parse-cache capacity (re-exported for compatibility; see
 /// [`crate::shared::DEFAULT_PARSE_CACHE_CAPACITY`]).
@@ -228,18 +235,43 @@ impl Session {
     }
 
     /// Runs one request: prepare (parse cache), evaluate (eval cache),
-    /// and produce the requested optional artifacts.
+    /// and produce the requested optional artifacts. With metrics
+    /// enabled, per-stage spans are recorded into the shared histogram
+    /// registry and returned on the response.
     pub fn run(&mut self, req: &QueryRequest) -> CoreResult<QueryResponse> {
         // One epoch snapshot per request: a concurrent reload must not
         // switch databases between prepare and eval.
         let epoch = self.shared.epoch();
         self.stats.queries += 1;
+        // `start` doubles as the tracing switch: `None` skips every
+        // clock read and histogram record on the path below.
+        let start = self.shared.metrics_enabled().then(Instant::now);
+        let mut spans: Vec<Span> = Vec::new();
         let (artifact, cache_hit) = self.prepare(&epoch, req.language, &req.text)?;
         // Render the canonical text exactly once per request: it keys
         // the eval and plan caches and rides back in the response.
         let canonical = artifact.canonical_text();
-        let (relation, eval_cache_hit) = self.evaluate(&epoch, &artifact, &canonical)?;
+        if let Some(t) = start {
+            spans.push(Span::new("parse", micros_since(t)));
+        }
+        let eval_start = start.map(|_| Instant::now());
+        let (relation, eval_cache_hit) =
+            self.evaluate(&epoch, &artifact, &canonical, &mut spans, start.is_some())?;
+        if let Some(t) = eval_start {
+            // The plan span (if any) is nested inside this interval;
+            // `execute` is the remainder: eval-cache probe, execution,
+            // and result resolution.
+            let plan_micros = spans
+                .iter()
+                .find(|s| s.stage == "plan")
+                .map_or(0, |s| s.micros);
+            spans.push(Span::new(
+                "execute",
+                micros_since(t).saturating_sub(plan_micros),
+            ));
+        }
         self.stats.rows_returned += relation.len() as u64;
+        let render_start = start.map(|_| Instant::now());
         // Both optional artifacts view the query through the TRC hub;
         // compute it once per request. A hub failure (the query is outside
         // what the Theorem 6 chain covers, e.g. an RA union) must not
@@ -272,6 +304,18 @@ impl Session {
             },
             None => None,
         };
+        if let Some(t) = render_start {
+            // Only bill a render stage when optional artifacts were
+            // actually requested; the no-op path records nothing.
+            if req.translations || req.diagram != DiagramFormat::None {
+                spans.push(Span::new("render", micros_since(t)));
+            }
+        }
+        let total = start.map_or(0, micros_since);
+        if start.is_some() {
+            self.shared
+                .record_request_metrics(artifact.language(), total, &spans);
+        }
         Ok(QueryResponse {
             language: artifact.language(),
             canonical,
@@ -282,6 +326,8 @@ impl Session {
             translations,
             diagram,
             notes,
+            spans,
+            micros: total,
         })
     }
 
@@ -358,9 +404,11 @@ impl Session {
         epoch: &DbEpoch,
         artifact: &Artifact,
         canonical: &str,
+        spans: &mut Vec<Span>,
+        trace: bool,
     ) -> CoreResult<(Arc<Relation>, bool)> {
         if !self.shared.eval_cache_enabled() {
-            let plan = self.plan(epoch, artifact, canonical)?;
+            let plan = self.timed_plan(epoch, artifact, canonical, spans, trace)?;
             let raw = exec::execute(&plan, &epoch.db)?;
             return Ok((Arc::new(epoch.db.resolve_relation(&raw)), false));
         }
@@ -382,7 +430,7 @@ impl Session {
         }
         self.stats.eval_misses += 1;
         // Result-cache miss: the plan cache can still skip the compile.
-        let plan = self.plan(epoch, artifact, canonical)?;
+        let plan = self.timed_plan(epoch, artifact, canonical, spans, trace)?;
         let raw = exec::execute(&plan, &epoch.db)?;
         let relation = Arc::new(epoch.db.resolve_relation(&raw));
         let bytes = relation.approx_bytes();
@@ -415,6 +463,24 @@ impl Session {
     /// Callers pass the already-rendered canonical text (the eval-cache
     /// key and the response use the same string), so each request
     /// renders it exactly once.
+    /// [`plan`](Session::plan), recording a `plan` span when tracing.
+    fn timed_plan(
+        &mut self,
+        epoch: &DbEpoch,
+        artifact: &Artifact,
+        canonical: &str,
+        spans: &mut Vec<Span>,
+        trace: bool,
+    ) -> CoreResult<Arc<Plan>> {
+        if !trace {
+            return self.plan(epoch, artifact, canonical);
+        }
+        let t = Instant::now();
+        let plan = self.plan(epoch, artifact, canonical)?;
+        spans.push(Span::new("plan", micros_since(t)));
+        Ok(plan)
+    }
+
     fn plan(
         &mut self,
         epoch: &DbEpoch,
@@ -466,6 +532,31 @@ impl Session {
             language: artifact.language(),
             canonical,
             plan: exec::explain(&plan),
+            cache_hit,
+        })
+    }
+
+    /// Like [`explain`](Session::explain), but *executes* the plan with
+    /// per-operator row counting and annotates every node with the
+    /// planner's cardinality estimate and the rows it actually produced
+    /// (`EXPLAIN ANALYZE`). The result relation itself is discarded —
+    /// its cardinality rides on the root node's `actual_rows` — and the
+    /// eval/result cache is deliberately bypassed so the counts always
+    /// describe a real execution.
+    pub fn explain_analyze(
+        &mut self,
+        language: Language,
+        text: &str,
+    ) -> CoreResult<ExplainResponse> {
+        let epoch = self.shared.epoch();
+        let (artifact, cache_hit) = self.prepare(&epoch, language, text)?;
+        let canonical = artifact.canonical_text();
+        let plan = self.plan(&epoch, &artifact, &canonical)?;
+        let (_, node) = exec::explain_analyze(&plan, &epoch.db)?;
+        Ok(ExplainResponse {
+            language: artifact.language(),
+            canonical,
+            plan: node,
             cache_hit,
         })
     }

@@ -26,6 +26,7 @@
 
 use crate::cache::LruCache;
 use crate::{Artifact, Language};
+use rd_core::trace::{Histogram, Span};
 use rd_core::{Catalog, CoreResult, Database, Relation, TableSchema, Tuple};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
@@ -55,6 +56,119 @@ pub const DEFAULT_EVAL_CACHE_MAX_ENTRY_BYTES: usize = 1 << 20;
 /// Shard count used by shared (multi-session) caches. Power of two so the
 /// shard index is a mask of the key hash.
 const SHARED_SHARDS: usize = 16;
+
+/// The pipeline stages sessions record spans for, in execution order.
+/// `parse` covers parse + check + canonicalization (one atomic step in
+/// [`Artifact::prepare`]), `plan` the plan-cache probe + lowering,
+/// `execute` the eval-cache probe + execution + resolution, `render`
+/// the optional translations/diagram artifacts, and `serialize` the
+/// service-edge response encoding.
+pub const STAGE_NAMES: [&str; 5] = ["parse", "plan", "execute", "render", "serialize"];
+
+/// Aggregated latency histograms (µs): one per pipeline stage
+/// (indexed like [`STAGE_NAMES`]) and one whole-request histogram per
+/// language (indexed like [`Language::ALL`]).
+///
+/// Like [`crate::SessionStats`], snapshots support
+/// [`accumulate`](EngineMetrics::accumulate) and
+/// [`since`](EngineMetrics::since), so a server can merge windows and
+/// compute interval deltas by subtraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineMetrics {
+    /// Per-stage latency histograms, parallel to [`STAGE_NAMES`].
+    pub stages: Vec<Histogram>,
+    /// Whole-request latency per language, parallel to
+    /// [`Language::ALL`].
+    pub languages: Vec<Histogram>,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        EngineMetrics {
+            stages: vec![Histogram::new(); STAGE_NAMES.len()],
+            languages: vec![Histogram::new(); Language::ALL.len()],
+        }
+    }
+}
+
+impl EngineMetrics {
+    /// Empty histograms for every stage and language.
+    pub fn new() -> Self {
+        EngineMetrics::default()
+    }
+
+    /// The histogram for a stage name (`None` for unknown stages).
+    pub fn stage(&self, name: &str) -> Option<&Histogram> {
+        let idx = STAGE_NAMES.iter().position(|s| *s == name)?;
+        self.stages.get(idx)
+    }
+
+    /// The whole-request histogram for `language`.
+    pub fn language(&self, language: Language) -> &Histogram {
+        let idx = Language::ALL
+            .iter()
+            .position(|l| *l == language)
+            .expect("every language is in ALL");
+        &self.languages[idx]
+    }
+
+    /// Records one span into its stage histogram (unknown stage names
+    /// are ignored — the registry's shape is fixed).
+    pub fn record_span(&mut self, span: &Span) {
+        if let Some(idx) = STAGE_NAMES.iter().position(|s| *s == span.stage) {
+            self.stages[idx].record(span.micros);
+        }
+    }
+
+    /// Records one whole request: its total latency under the
+    /// language's histogram plus every stage span.
+    pub fn record_request(&mut self, language: Language, total_micros: u64, spans: &[Span]) {
+        let idx = Language::ALL
+            .iter()
+            .position(|l| *l == language)
+            .expect("every language is in ALL");
+        self.languages[idx].record(total_micros);
+        for span in spans {
+            self.record_span(span);
+        }
+    }
+
+    /// Folds `other` in histogram-wise (mirrors
+    /// [`crate::SessionStats::accumulate`]).
+    pub fn accumulate(&mut self, other: &EngineMetrics) {
+        for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
+            mine.accumulate(theirs);
+        }
+        for (mine, theirs) in self.languages.iter_mut().zip(&other.languages) {
+            mine.accumulate(theirs);
+        }
+    }
+
+    /// The histogram-wise interval `self − base` (mirrors
+    /// [`crate::SessionStats::since`]; exact inverse of
+    /// [`accumulate`](EngineMetrics::accumulate)).
+    pub fn since(&self, base: &EngineMetrics) -> EngineMetrics {
+        EngineMetrics {
+            stages: self
+                .stages
+                .iter()
+                .zip(&base.stages)
+                .map(|(s, b)| s.since(b))
+                .collect(),
+            languages: self
+                .languages
+                .iter()
+                .zip(&base.languages)
+                .map(|(s, b)| s.since(b))
+                .collect(),
+        }
+    }
+
+    /// Total requests recorded (the sum over the language histograms).
+    pub fn requests(&self) -> u64 {
+        self.languages.iter().map(|h| h.count()).sum()
+    }
+}
 
 /// Aggregate counters of one sharded cache, summed over shards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -440,6 +554,11 @@ pub struct SharedConfig {
     /// `false` disables the compiled-plan cache (every evaluation
     /// re-lowers its artifact; parse and result caching are unaffected).
     pub plan_cache: bool,
+    /// `false` disables request tracing entirely: sessions skip the
+    /// monotonic-clock reads, responses carry no spans, and nothing is
+    /// recorded into the histogram registry (the knob the tracing
+    /// overhead micro-bench measures against).
+    pub metrics: bool,
     /// Lock stripes per cache (rounded up to a power of two).
     pub shards: usize,
 }
@@ -453,6 +572,7 @@ impl Default for SharedConfig {
             eval_cache_max_entry_bytes: DEFAULT_EVAL_CACHE_MAX_ENTRY_BYTES,
             plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
             plan_cache: true,
+            metrics: true,
             shards: SHARED_SHARDS,
         }
     }
@@ -468,6 +588,11 @@ pub struct EngineShared {
     eval_enabled: bool,
     eval_max_entry_bytes: usize,
     plan_enabled: bool,
+    metrics_enabled: bool,
+    /// The shared latency-histogram registry. Sessions take the lock
+    /// once per request to fold in a handful of `record` calls, so the
+    /// critical section is a few array increments.
+    metrics: Mutex<EngineMetrics>,
 }
 
 impl EngineShared {
@@ -486,6 +611,8 @@ impl EngineShared {
             eval_enabled: cfg.eval_cache,
             eval_max_entry_bytes: cfg.eval_cache_max_entry_bytes,
             plan_enabled: cfg.plan_cache,
+            metrics_enabled: cfg.metrics,
+            metrics: Mutex::new(EngineMetrics::new()),
         }
     }
 
@@ -592,6 +719,41 @@ impl EngineShared {
         self.plan_enabled
     }
 
+    /// `true` if request tracing + histogram recording are enabled.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics_enabled
+    }
+
+    /// Records one traced request into the shared histogram registry
+    /// (no-op with metrics disabled).
+    pub fn record_request_metrics(&self, language: Language, total_micros: u64, spans: &[Span]) {
+        if !self.metrics_enabled {
+            return;
+        }
+        self.metrics
+            .lock()
+            .expect("metrics registry")
+            .record_request(language, total_micros, spans);
+    }
+
+    /// Records one span into its stage histogram — the hook the service
+    /// edge uses for the `serialize` stage, which happens after the
+    /// session has returned (no-op with metrics disabled).
+    pub fn record_stage(&self, stage: &'static str, micros: u64) {
+        if !self.metrics_enabled {
+            return;
+        }
+        self.metrics
+            .lock()
+            .expect("metrics registry")
+            .record_span(&Span::new(stage, micros));
+    }
+
+    /// A snapshot of the latency-histogram registry.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.metrics.lock().expect("metrics registry").clone()
+    }
+
     /// Aggregate parse-cache counters.
     pub fn parse_cache_stats(&self) -> CacheStats {
         self.parse_cache.stats()
@@ -678,6 +840,28 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.hits + s.misses, 8 * 500);
         assert!(c.len() <= 128);
+    }
+
+    #[test]
+    fn engine_metrics_accumulate_since_roundtrip() {
+        let mut a = EngineMetrics::new();
+        a.record_request(
+            Language::Trc,
+            120,
+            &[Span::new("parse", 20), Span::new("execute", 90)],
+        );
+        let mut b = EngineMetrics::new();
+        b.record_request(Language::Sql, 45, &[Span::new("parse", 45)]);
+        let mut total = a.clone();
+        total.accumulate(&b);
+        assert_eq!(total.requests(), 2);
+        assert_eq!(total.since(&a), b);
+        assert_eq!(total.since(&b), a);
+        assert_eq!(total.stage("parse").unwrap().count(), 2);
+        assert_eq!(total.language(Language::Trc).count(), 1);
+        // Unknown stage names are ignored, not panicked on.
+        a.record_span(&Span::new("warp", 1));
+        assert_eq!(a.stage("warp"), None);
     }
 
     #[test]

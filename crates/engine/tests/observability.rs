@@ -1,0 +1,134 @@
+//! The observability surface at the engine level: per-stage spans on
+//! responses, the shared histogram registry, the metrics on/off knob,
+//! and `explain_analyze` row counts agreeing with evaluation across all
+//! four languages.
+
+use rd_engine::{
+    demo_database, parse_fixture, EngineShared, Language, QueryRequest, Session, SharedConfig,
+    STAGE_NAMES,
+};
+use std::sync::Arc;
+
+/// R(A,B) ⋈ S(B) fixture shared by the cross-language checks.
+fn rs_session() -> Session {
+    let db = parse_fixture(
+        "R(A, B):\n  (1, 10)\n  (1, 20)\n  (2, 10)\n  (3, 30)\nS(B):\n  (10)\n  (20)\n",
+    )
+    .unwrap();
+    Session::new(db)
+}
+
+#[test]
+fn run_records_spans_and_registry() {
+    let mut session = Session::new(demo_database());
+    let resp = session
+        .run(&QueryRequest::new(
+            Language::Sql,
+            "SELECT DISTINCT Boat.color FROM Boat",
+        ))
+        .unwrap();
+    // A cold run passes through parse, plan, and execute.
+    let stages: Vec<&str> = resp.spans.iter().map(|s| s.stage).collect();
+    assert!(stages.contains(&"parse"), "{stages:?}");
+    assert!(stages.contains(&"plan"), "{stages:?}");
+    assert!(stages.contains(&"execute"), "{stages:?}");
+    assert!(stages.iter().all(|s| STAGE_NAMES.contains(s)));
+    let metrics = session.shared().metrics();
+    assert_eq!(metrics.requests(), 1);
+    assert_eq!(metrics.language(Language::Sql).count(), 1);
+    assert_eq!(metrics.stage("parse").unwrap().count(), 1);
+    assert_eq!(metrics.stage("serialize").unwrap().count(), 0);
+
+    // A warm repeat skips evaluation: no plan stage, but the request
+    // still lands in the language histogram.
+    let warm = session
+        .run(&QueryRequest::new(
+            Language::Sql,
+            "SELECT DISTINCT Boat.color FROM Boat",
+        ))
+        .unwrap();
+    assert!(warm.eval_cache_hit);
+    assert!(!warm.spans.iter().any(|s| s.stage == "plan"));
+    assert_eq!(session.shared().metrics().requests(), 2);
+}
+
+#[test]
+fn metrics_off_skips_tracing_entirely() {
+    let mut session = Session::attach(Arc::new(EngineShared::with_config(
+        demo_database(),
+        SharedConfig {
+            metrics: false,
+            shards: 1,
+            ..SharedConfig::default()
+        },
+    )));
+    assert!(!session.shared().metrics_enabled());
+    let resp = session
+        .run(&QueryRequest::new(
+            Language::Sql,
+            "SELECT DISTINCT Boat.color FROM Boat",
+        ))
+        .unwrap();
+    assert!(resp.spans.is_empty());
+    assert_eq!(resp.micros, 0);
+    assert_eq!(session.shared().metrics().requests(), 0);
+}
+
+#[test]
+fn explain_analyze_root_matches_evaluation_in_all_languages() {
+    let mut session = rs_session();
+    // The same join pattern in each of the four languages.
+    let queries = [
+        (
+            Language::Trc,
+            "{ q(A) | exists r in R, s in S [ q.A = r.A and r.B = s.B ] }",
+        ),
+        (
+            Language::Sql,
+            "SELECT DISTINCT R.A FROM R, S WHERE R.B = S.B",
+        ),
+        (Language::Datalog, "Q(x) :- R(x, y), S(y)."),
+        (Language::Ra, "pi[A](R join S)"),
+    ];
+    for (language, text) in queries {
+        let resp = session.run(&QueryRequest::new(language, text)).unwrap();
+        let analyzed = session.explain_analyze(language, text).unwrap();
+        assert_eq!(
+            analyzed.plan.actual_rows,
+            Some(resp.relation.len() as u64),
+            "{language}: analyze root row count must match evaluation"
+        );
+        assert_eq!(resp.relation.len(), 2, "{language}");
+        // At least one node carries an estimate, and some scan was
+        // actually counted.
+        fn any_node(
+            n: &rd_core::exec::ExplainNode,
+            f: &dyn Fn(&rd_core::exec::ExplainNode) -> bool,
+        ) -> bool {
+            f(n) || n.children.iter().any(|c| any_node(c, f))
+        }
+        assert!(
+            any_node(&analyzed.plan, &|n| n.est_rows.is_some()),
+            "{language}: no estimates anywhere"
+        );
+        assert!(
+            any_node(&analyzed.plan, &|n| n.actual_rows.unwrap_or(0) > 0),
+            "{language}: no actual counts anywhere"
+        );
+    }
+}
+
+#[test]
+fn plain_explain_stays_unannotated() {
+    let mut session = rs_session();
+    let resp = session
+        .explain(
+            Language::Sql,
+            "SELECT DISTINCT R.A FROM R, S WHERE R.B = S.B",
+        )
+        .unwrap();
+    fn unannotated(n: &rd_core::exec::ExplainNode) -> bool {
+        n.est_rows.is_none() && n.actual_rows.is_none() && n.children.iter().all(unannotated)
+    }
+    assert!(unannotated(&resp.plan));
+}

@@ -86,6 +86,10 @@ SERVE OPTIONS (rd serve):
                       boot (newest snapshot + WAL tail) and log every
                       mutation — fsynced — before acknowledging it.
                       --db/--demo only seed a fresh (empty) DIR.
+    --slow-query-log <MICROS>
+                      Log queries taking at least MICROS µs to stderr
+                      with their per-stage breakdown, cache disposition,
+                      and canonical text (default: off)
     --port-file <F>   Write the bound address to F once listening (for
                       scripts wrapping ephemeral ports)
 
@@ -108,6 +112,10 @@ BENCH OPTIONS (rd bench-client):
                       percentiles
     --csv             Emit one CSV row per run (throughput + latency
                       percentiles) instead of the human-readable report
+    --json <FILE>     Write a machine-readable report to FILE: client
+                      throughput and latency percentiles plus the
+                      server's per-stage p50/p95/p99 breakdown (for
+                      diffing BENCH_*.json baselines across runs)
     --stats           Print the server's aggregated stats after the run
     --shutdown        Send {\"op\":\"shutdown\"} after the run
 
@@ -561,6 +569,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 let dir = it.next().ok_or("--data-dir requires a directory")?;
                 server_cfg.data_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--slow-query-log" => {
+                server_cfg.slow_query_log =
+                    Some(parse_count(it.next(), "--slow-query-log")? as u64);
+            }
             "--port-file" => {
                 port_file = Some(it.next().ok_or("--port-file requires a path")?.clone());
             }
@@ -614,6 +626,7 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
     let mut shutdown = false;
     let mut sweep: Option<Vec<usize>> = None;
     let mut csv = false;
+    let mut json_path: Option<String> = None;
     let mut mutate_pct = 0usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -640,6 +653,9 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
                 sweep = Some(widths);
             }
             "--csv" => csv = true,
+            "--json" => {
+                json_path = Some(it.next().ok_or("--json requires a file path")?.clone());
+            }
             "--mutate-pct" => {
                 mutate_pct = parse_count(it.next(), "--mutate-pct")?;
                 if mutate_pct > 100 {
@@ -664,6 +680,7 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
         );
     }
     let mut total_errors = 0u64;
+    let mut json_report: Option<rd_server::BenchReport> = None;
     for &width in &widths {
         let mut cfg = BenchConfig::new(addr.clone());
         cfg.threads = width;
@@ -717,6 +734,22 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
         } else {
             println!("{}", report.render());
         }
+        // A sweep's file keeps the last (widest) run.
+        json_report = Some(report);
+    }
+    if let Some(path) = &json_path {
+        let report = json_report.as_ref().ok_or("no bench run to report")?;
+        // The per-stage breakdown comes from the server's histogram
+        // registry; a server without it (older build) still yields a
+        // client-side-only file.
+        let stages = Client::connect(&addr)
+            .and_then(|mut c| c.stats())
+            .map(|s| s.stages)
+            .unwrap_or_default();
+        let mut text = report.render_json(&stages);
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        eprintln!("wrote {path}");
     }
     if show_stats || shutdown {
         let mut client =

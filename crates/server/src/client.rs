@@ -2,7 +2,9 @@
 //! pipelined — plus the multi-thread load driver behind `rd
 //! bench-client`.
 
-use crate::protocol::{self, LoadSource, Reassembler, Request, RequestId, Response, StatsResult};
+use crate::protocol::{
+    self, LoadSource, Reassembler, Request, RequestId, Response, StageLatency, StatsResult,
+};
 use rd_core::Value;
 use rd_engine::{DiagramFormat, Language};
 use std::collections::HashMap;
@@ -109,6 +111,22 @@ impl Client {
         self.request(&Request::Explain {
             language,
             text: text.to_string(),
+            analyze: false,
+        })
+    }
+
+    /// Executes one query and fetches its plan annotated with estimated
+    /// vs actual per-operator row counts (language auto-detected when
+    /// `None`).
+    pub fn explain_analyze(
+        &mut self,
+        language: Option<Language>,
+        text: &str,
+    ) -> std::io::Result<Response> {
+        self.request(&Request::Explain {
+            language,
+            text: text.to_string(),
+            analyze: true,
         })
     }
 
@@ -165,10 +183,29 @@ impl Client {
 
     /// Fetches aggregated statistics.
     pub fn stats(&mut self) -> std::io::Result<StatsResult> {
-        match self.request(&Request::Stats)? {
+        self.stats_request(false)
+    }
+
+    /// Fetches the counter growth since the previous reset (or boot)
+    /// and zeroes that interval window on the server.
+    pub fn stats_reset(&mut self) -> std::io::Result<StatsResult> {
+        self.stats_request(true)
+    }
+
+    fn stats_request(&mut self, reset: bool) -> std::io::Result<StatsResult> {
+        match self.request(&Request::Stats { reset })? {
             Response::Stats(stats) => Ok(stats),
             Response::Error(e) => Err(proto_err(e)),
             other => Err(proto_err(format!("expected stats reply, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the latency-histogram registry as Prometheus-style text.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m.text),
+            Response::Error(e) => Err(proto_err(e)),
+            other => Err(proto_err(format!("expected metrics reply, got {other:?}"))),
         }
     }
 
@@ -332,6 +369,61 @@ impl BenchReport {
             ));
         }
         out
+    }
+
+    /// A machine-readable rendering for `rd bench-client --json`:
+    /// client-side throughput and latency percentiles, plus the
+    /// server's per-stage breakdown when its stats were fetched.
+    /// Successive runs' files diff cleanly (stable key order, one
+    /// object).
+    pub fn render_json(&self, stages: &[StageLatency]) -> String {
+        use serde::json::Value as Json;
+        let micros = |p: f64| {
+            self.percentile(p)
+                .map_or(0, |d| d.as_micros().min(u64::MAX as u128)) as i64
+        };
+        let pairs = vec![
+            ("completed".to_string(), Json::Int(self.completed as i64)),
+            ("errors".to_string(), Json::Int(self.errors as i64)),
+            ("mutations".to_string(), Json::Int(self.mutations as i64)),
+            (
+                "elapsed_micros".to_string(),
+                Json::Int(self.elapsed.as_micros().min(i64::MAX as u128) as i64),
+            ),
+            ("throughput_rps".to_string(), Json::Float(self.throughput())),
+            (
+                "latency_micros".to_string(),
+                Json::Object(vec![
+                    ("p50".into(), Json::Int(micros(0.50))),
+                    ("p95".into(), Json::Int(micros(0.95))),
+                    ("p99".into(), Json::Int(micros(0.99))),
+                    ("max".into(), Json::Int(micros(1.0))),
+                ]),
+            ),
+            ("cache_hits".to_string(), Json::Int(self.cache_hits as i64)),
+            (
+                "eval_cache_hits".to_string(),
+                Json::Int(self.eval_cache_hits as i64),
+            ),
+            (
+                "stages".to_string(),
+                Json::Array(
+                    stages
+                        .iter()
+                        .map(|st| {
+                            Json::Object(vec![
+                                ("stage".into(), Json::String(st.stage.clone())),
+                                ("count".into(), Json::Int(st.count as i64)),
+                                ("p50".into(), Json::Int(st.p50 as i64)),
+                                ("p95".into(), Json::Int(st.p95 as i64)),
+                                ("p99".into(), Json::Int(st.p99 as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        Json::Object(pairs).to_pretty()
     }
 }
 

@@ -64,6 +64,7 @@ pub mod server;
 pub use client::{run_bench, BenchConfig, BenchReport, Client};
 pub use pool::ThreadPool;
 pub use protocol::{
-    LoadSource, QueryResult, Reassembler, Request, RequestId, Response, StatsResult,
+    LoadSource, MetricsResult, QueryResult, Reassembler, Request, RequestId, Response,
+    StageLatency, StatsResult,
 };
 pub use server::{Server, ServerConfig};

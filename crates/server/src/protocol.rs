@@ -119,6 +119,9 @@ pub enum Request {
         language: Option<Language>,
         /// Query source text.
         text: String,
+        /// `true` actually executes the plan (bypassing the eval cache)
+        /// and annotates every node with estimated vs actual row counts.
+        analyze: bool,
     },
     /// Translate one query into another language through the TRC hub
     /// (Theorem 6).
@@ -152,7 +155,16 @@ pub enum Request {
     /// Force a point-in-time snapshot and start a fresh WAL segment.
     Checkpoint,
     /// Fetch aggregated server/session/cache statistics.
-    Stats,
+    Stats {
+        /// `true` additionally zeroes the interval window: the response
+        /// reports counters since the last reset, then starts a fresh
+        /// window. Cumulative gauges (active connections, cache entries,
+        /// generation, …) are unaffected.
+        reset: bool,
+    },
+    /// Fetch the latency-histogram registry rendered as Prometheus-style
+    /// exposition text.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Stop the server (drains in-flight connections).
@@ -243,6 +255,8 @@ pub enum Response {
     Checkpoint(CheckpointResult),
     /// A statistics snapshot.
     Stats(StatsResult),
+    /// The latency-histogram registry as Prometheus-style text.
+    Metrics(MetricsResult),
     /// Reply to `ping`.
     Pong,
     /// Reply to `shutdown`.
@@ -417,6 +431,32 @@ pub struct StatsResult {
     pub tables: u64,
     /// Total tuples in the current database.
     pub tuples: u64,
+    /// Per-stage latency summaries (appended in PR 7; absent in older
+    /// frames — decodes to empty).
+    pub stages: Vec<StageLatency>,
+}
+
+/// One pipeline stage's latency summary inside a stats frame.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageLatency {
+    /// Stage name (`parse`, `plan`, `execute`, `render`, `serialize`).
+    pub stage: String,
+    /// Requests that passed through this stage.
+    pub count: u64,
+    /// Median latency in microseconds.
+    pub p50: u64,
+    /// 95th-percentile latency in microseconds.
+    pub p95: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99: u64,
+}
+
+/// The payload of a metrics response.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsResult {
+    /// Prometheus-style exposition text (`# TYPE` comments, `_bucket`
+    /// cumulative counters with `le` labels, `_sum`, `_count`).
+    pub text: String,
 }
 
 // ---------------------------------------------------------------------
@@ -503,6 +543,19 @@ fn opt_u64(v: &Json, key: &str) -> Result<u64, String> {
     }
 }
 
+/// A genuinely optional integer: absent/null stays `None` (unlike
+/// [`opt_u64`], whose 0 default suits counters but would fabricate a
+/// row count of 0 on frames that never carried one).
+fn opt_u64_field(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(other) => other
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be an integer, found {other}")),
+    }
+}
+
 fn opt_bool(v: &Json, key: &str) -> Result<bool, String> {
     match v.get(key) {
         None | Some(Json::Null) => Ok(false),
@@ -556,14 +609,23 @@ fn session_stats_from_json(v: &Json) -> Result<SessionStats, String> {
 }
 
 fn explain_node_to_json(n: &ExplainNode) -> Json {
-    obj(vec![
+    let mut pairs = vec![
         ("kind", s(&n.kind)),
         ("detail", s(&n.detail)),
         (
             "children",
             Json::Array(n.children.iter().map(explain_node_to_json).collect()),
         ),
-    ])
+    ];
+    // Appended after the PR-2 fields (and omitted entirely on plain
+    // explain) so pre-analyze frames stay byte-identical.
+    if let Some(est) = n.est_rows {
+        pairs.push(("est_rows", u(est)));
+    }
+    if let Some(actual) = n.actual_rows {
+        pairs.push(("actual_rows", u(actual)));
+    }
+    obj(pairs)
 }
 
 fn explain_node_from_json(v: &Json) -> Result<ExplainNode, String> {
@@ -583,7 +645,38 @@ fn explain_node_from_json(v: &Json) -> Result<ExplainNode, String> {
             .unwrap_or_default()
             .to_string(),
         children,
+        est_rows: opt_u64_field(v, "est_rows")?,
+        actual_rows: opt_u64_field(v, "actual_rows")?,
     })
+}
+
+fn stage_latency_to_json(st: &StageLatency) -> Json {
+    obj(vec![
+        ("stage", s(&st.stage)),
+        ("count", u(st.count)),
+        ("p50", u(st.p50)),
+        ("p95", u(st.p95)),
+        ("p99", u(st.p99)),
+    ])
+}
+
+fn stage_latencies_from_json(v: &Json) -> Result<Vec<StageLatency>, String> {
+    match v.get("stages") {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|item| {
+                Ok(StageLatency {
+                    stage: get_str(item, "stage")?,
+                    count: get_u64(item, "count")?,
+                    p50: get_u64(item, "p50")?,
+                    p95: get_u64(item, "p95")?,
+                    p99: get_u64(item, "p99")?,
+                })
+            })
+            .collect(),
+        Some(other) => Err(format!("'stages' must be an array, found {other}")),
+    }
 }
 
 fn cache_stats_to_json(st: &CacheStats) -> Json {
@@ -650,12 +743,19 @@ impl serde::Serialize for Request {
                 }
                 obj(pairs)
             }
-            Request::Explain { language, text } => {
+            Request::Explain {
+                language,
+                text,
+                analyze,
+            } => {
                 let mut pairs = vec![("op", s("explain"))];
                 if let Some(lang) = language {
                     pairs.push(("lang", s(lang.name())));
                 }
                 pairs.push(("text", s(text)));
+                if *analyze {
+                    pairs.push(("analyze", Json::Bool(true)));
+                }
                 obj(pairs)
             }
             Request::Translate { language, text, to } => {
@@ -685,7 +785,14 @@ impl serde::Serialize for Request {
                 ("rows", rows_to_json(rows)),
             ]),
             Request::Checkpoint => obj(vec![("op", s("checkpoint"))]),
-            Request::Stats => obj(vec![("op", s("stats"))]),
+            Request::Stats { reset } => {
+                let mut pairs = vec![("op", s("stats"))];
+                if *reset {
+                    pairs.push(("reset", Json::Bool(true)));
+                }
+                obj(pairs)
+            }
+            Request::Metrics => obj(vec![("op", s("metrics"))]),
             Request::Ping => obj(vec![("op", s("ping"))]),
             Request::Shutdown => obj(vec![("op", s("shutdown"))]),
         }
@@ -726,6 +833,7 @@ impl serde::Deserialize for Request {
             "explain" => Ok(Request::Explain {
                 language: opt_language(v)?,
                 text: get_str(v, "text")?,
+                analyze: opt_bool(v, "analyze")?,
             }),
             "translate" => Ok(Request::Translate {
                 language: opt_language(v)?,
@@ -754,12 +862,15 @@ impl serde::Deserialize for Request {
                 rows: parse_rows(v)?,
             }),
             "checkpoint" => Ok(Request::Checkpoint),
-            "stats" => Ok(Request::Stats),
+            "stats" => Ok(Request::Stats {
+                reset: opt_bool(v, "reset")?,
+            }),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
                 "unknown op '{other}' (expected query, explain, translate, load, insert, \
-                 delete, checkpoint, stats, ping, or shutdown)"
+                 delete, checkpoint, stats, metrics, ping, or shutdown)"
             )),
         }
     }
@@ -884,6 +995,16 @@ impl serde::Serialize for Response {
                 ("evicted", u(st.evicted)),
                 ("plan_cache", cache_stats_to_json(&st.plan_cache)),
                 ("plan_cache_enabled", Json::Bool(st.plan_cache_enabled)),
+                // Appended after the PR-5 fields (same compat contract).
+                (
+                    "stages",
+                    Json::Array(st.stages.iter().map(stage_latency_to_json).collect()),
+                ),
+            ]),
+            Response::Metrics(m) => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("metrics")),
+                ("text", s(&m.text)),
             ]),
             Response::Pong => obj(vec![("ok", Json::Bool(true)), ("kind", s("pong"))]),
             Response::Bye => obj(vec![("ok", Json::Bool(true)), ("kind", s("bye"))]),
@@ -1060,6 +1181,10 @@ impl serde::Deserialize for Response {
                 fingerprint: get_str(v, "fingerprint")?,
                 tables: get_u64(v, "tables")?,
                 tuples: get_u64(v, "tuples")?,
+                stages: stage_latencies_from_json(v)?,
+            })),
+            "metrics" => Ok(Response::Metrics(MetricsResult {
+                text: get_str(v, "text")?,
             })),
             "pong" => Ok(Response::Pong),
             "bye" => Ok(Response::Bye),
@@ -1319,10 +1444,12 @@ mod tests {
         roundtrip_request(Request::Explain {
             language: Some(Language::Trc),
             text: "{ q(A) | exists r in R [ q.A = r.A ] }".into(),
+            analyze: false,
         });
         roundtrip_request(Request::Explain {
             language: None,
             text: "pi[color](Boat)".into(),
+            analyze: true,
         });
         roundtrip_request(Request::Translate {
             language: Some(Language::Trc),
@@ -1346,9 +1473,55 @@ mod tests {
             rows: vec![vec![Value::int(103), Value::str("blue")]],
         });
         roundtrip_request(Request::Checkpoint);
-        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Stats { reset: false });
+        roundtrip_request(Request::Stats { reset: true });
+        roundtrip_request(Request::Metrics);
         roundtrip_request(Request::Ping);
         roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn explain_analyze_flag_is_omitted_when_false() {
+        let plain = encode(&Request::Explain {
+            language: None,
+            text: "pi[x](R)".into(),
+            analyze: false,
+        });
+        assert!(!plain.contains("analyze"), "{plain}");
+        // A PR-2 client frame (no analyze field) decodes to analyze=false.
+        let req: Request = decode(r#"{"op":"explain","text":"pi[x](R)"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Explain {
+                language: None,
+                text: "pi[x](R)".into(),
+                analyze: false,
+            }
+        );
+    }
+
+    #[test]
+    fn stats_reset_flag_is_omitted_when_false() {
+        assert_eq!(
+            encode(&Request::Stats { reset: false }),
+            r#"{"op":"stats"}"#
+        );
+        let req: Request = decode(r#"{"op":"stats","reset":true}"#).unwrap();
+        assert_eq!(req, Request::Stats { reset: true });
+    }
+
+    #[test]
+    fn metrics_roundtrip() {
+        roundtrip_request(Request::Metrics);
+        let resp = Response::Metrics(MetricsResult {
+            text: "# TYPE rd_stage_latency_micros histogram\n\
+                   rd_stage_latency_micros_bucket{stage=\"parse\",le=\"4\"} 1\n"
+                .into(),
+        });
+        let line = encode(&resp);
+        assert!(line.contains(r#""kind":"metrics""#), "{line}");
+        let back: Response = decode(&line).unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]
@@ -1472,13 +1645,20 @@ mod tests {
                     kind: "scan".into(),
                     detail: "R hash probe on c0 = t1.c0".into(),
                     children: Vec::new(),
+                    est_rows: None,
+                    actual_rows: None,
                 }],
+                est_rows: None,
+                actual_rows: None,
             },
             cache_hit: true,
         });
         let line = encode(&explain);
         assert!(line.contains(r#""kind":"explain""#), "{line}");
         assert!(line.contains("hash probe"), "{line}");
+        // Plain explain stays byte-compatible: no row-count fields.
+        assert!(!line.contains("est_rows"), "{line}");
+        assert!(!line.contains("actual_rows"), "{line}");
         let back: Response = decode(&line).unwrap();
         assert_eq!(back, explain);
 
@@ -1488,6 +1668,86 @@ mod tests {
         });
         let back: Response = decode(&encode(&translate)).unwrap();
         assert_eq!(back, translate);
+    }
+
+    #[test]
+    fn analyzed_explain_responses_roundtrip() {
+        let analyzed = Response::Explain(ExplainResult {
+            language: Language::Ra,
+            canonical: "pi[A](R join S)".into(),
+            plan: ExplainNode {
+                kind: "project".into(),
+                detail: "A".into(),
+                children: vec![ExplainNode {
+                    kind: "join".into(),
+                    detail: "natural on B".into(),
+                    children: Vec::new(),
+                    est_rows: Some(2),
+                    actual_rows: Some(3),
+                }],
+                est_rows: Some(2),
+                actual_rows: Some(2),
+            },
+            cache_hit: false,
+        });
+        let line = encode(&analyzed);
+        assert!(line.contains(r#""est_rows":2"#), "{line}");
+        assert!(line.contains(r#""actual_rows":3"#), "{line}");
+        let back: Response = decode(&line).unwrap();
+        assert_eq!(back, analyzed);
+    }
+
+    #[test]
+    fn legacy_explain_frames_still_parse() {
+        // A pre-analyze server frame: no est_rows/actual_rows anywhere.
+        let legacy = r#"{"ok":true,"kind":"explain","language":"trc","canonical":"{ q(A) | ... }","plan":{"kind":"query","detail":"q(A)","children":[{"kind":"scan","detail":"R full scan","children":[]}]},"cache_hit":false}"#;
+        match decode::<Response>(legacy).unwrap() {
+            Response::Explain(e) => {
+                assert_eq!(e.plan.est_rows, None);
+                assert_eq!(e.plan.actual_rows, None);
+                assert_eq!(e.plan.children[0].actual_rows, None);
+            }
+            other => panic!("expected explain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_with_stage_latencies_roundtrip() {
+        let stats = Response::Stats(StatsResult {
+            requests: 12,
+            stages: vec![
+                StageLatency {
+                    stage: "parse".into(),
+                    count: 12,
+                    p50: 40,
+                    p95: 90,
+                    p99: 120,
+                },
+                StageLatency {
+                    stage: "execute".into(),
+                    count: 12,
+                    p50: 200,
+                    p95: 900,
+                    p99: 1600,
+                },
+            ],
+            fingerprint: "abc".into(),
+            ..StatsResult::default()
+        });
+        let line = encode(&stats);
+        assert!(line.contains(r#""stages":["#), "{line}");
+        let back: Response = decode(&line).unwrap();
+        assert_eq!(back, stats);
+        // Pre-observability frames (no stages array) decode to empty.
+        let legacy = line.replace(
+            r#","stages":[{"stage":"parse","count":12,"p50":40,"p95":90,"p99":120},{"stage":"execute","count":12,"p50":200,"p95":900,"p99":1600}]"#,
+            "",
+        );
+        assert_ne!(legacy, line, "replacement must hit");
+        match decode::<Response>(&legacy).unwrap() {
+            Response::Stats(st) => assert!(st.stages.is_empty()),
+            other => panic!("expected stats, got {other:?}"),
+        }
     }
 
     #[test]

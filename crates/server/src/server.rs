@@ -23,13 +23,15 @@
 use crate::conn::{Conn, ReadOutcome, WorkerSession};
 use crate::pool::ThreadPool;
 use crate::protocol::{
-    self, CheckpointResult, LoadResult, LoadSource, MutationResult, QueryResult, Request, Response,
-    StatsResult,
+    self, CheckpointResult, LoadResult, LoadSource, MetricsResult, MutationResult, QueryResult,
+    Request, Response, StageLatency, StatsResult,
 };
 use crate::reactor::{self, PollFd, Waker, POLLIN, POLLOUT};
+use rd_core::trace::Histogram;
 use rd_core::{Database, Tuple, Value};
 use rd_engine::{
-    DiagramFormat, EngineShared, Language, QueryRequest, Session, SessionStats, SharedConfig,
+    CacheStats, DiagramFormat, EngineMetrics, EngineShared, Language, QueryRequest, Session,
+    SessionStats, SharedConfig, STAGE_NAMES,
 };
 use rd_store::{Store, WalRecord};
 use std::collections::HashMap;
@@ -92,6 +94,10 @@ pub struct ServerConfig {
     /// and every acknowledged mutation is logged — and fsynced — before
     /// its response frame is sent. `None` runs purely in memory.
     pub data_dir: Option<PathBuf>,
+    /// Queries whose total latency meets this threshold (microseconds)
+    /// are logged to stderr with their stage breakdown, cache
+    /// disposition, and canonical text. `None` disables the log.
+    pub slow_query_log: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -110,6 +116,7 @@ impl Default for ServerConfig {
             idle_timeout: None,
             drain_timeout: DEFAULT_DRAIN_TIMEOUT,
             data_dir: None,
+            slow_query_log: None,
         }
     }
 }
@@ -132,6 +139,57 @@ struct ServerState {
     /// serializes durable mutations so WAL order equals apply order;
     /// `None` means the server runs purely in memory.
     store: Option<Mutex<Store>>,
+    /// Slow-query threshold in microseconds (`None` = log nothing).
+    slow_query_log: Option<u64>,
+    /// Non-query-path latency histograms, recorded by the reactor loop
+    /// and the pool handoff.
+    reactor_metrics: Mutex<ReactorMetrics>,
+    /// Counter snapshot taken at the last `stats reset`; the next reset
+    /// reply reports growth since here.
+    stats_baseline: Mutex<StatsBaseline>,
+}
+
+/// Latency/occupancy histograms for everything *around* query
+/// evaluation: the event loop itself, per-connection request queues,
+/// and the loop→pool handoff.
+#[derive(Default)]
+struct ReactorMetrics {
+    /// Time one loop iteration spends processing (post-`poll` to
+    /// re-`poll`), microseconds.
+    loop_micros: Histogram,
+    /// Pending request-lines on a connection at dispatch time.
+    queue_depth: Histogram,
+    /// Time a batch waited between dispatch and a pool worker picking
+    /// it up, microseconds.
+    pool_wait: Histogram,
+}
+
+/// The resettable portion of a stats reply: monotone counters only.
+/// Gauges (active connections, cache entries, generation, table/tuple
+/// counts) always report current values and are not windowed.
+#[derive(Default)]
+struct StatsBaseline {
+    connections: u64,
+    requests: u64,
+    errors: u64,
+    evicted: u64,
+    sessions: SessionStats,
+    parse_cache: CacheStats,
+    eval_cache: CacheStats,
+    plan_cache: CacheStats,
+    metrics: EngineMetrics,
+}
+
+impl ServerState {
+    fn lock_reactor_metrics(&self) -> MutexGuard<'_, ReactorMetrics> {
+        self.reactor_metrics
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+fn elapsed_micros(start: Instant) -> u64 {
+    start.elapsed().as_micros().min(u64::MAX as u128) as u64
 }
 
 /// One finished pool job: encoded frames ready to write, routed back to
@@ -231,6 +289,9 @@ impl Server {
             workers: config.workers.max(1) as u64,
             sessions: Mutex::new(SessionStats::default()),
             store,
+            slow_query_log: config.slow_query_log,
+            reactor_metrics: Mutex::new(ReactorMetrics::default()),
+            stats_baseline: Mutex::new(StatsBaseline::default()),
         });
         Ok(Server {
             listener,
@@ -315,6 +376,7 @@ impl Reactor {
             }
 
             reactor::poll(&mut pfds, self.poll_timeout())?;
+            let iter_start = self.state.engine.metrics_enabled().then(Instant::now);
 
             // 2. Worker completions (drain the pipe first so a wake
             //    arriving mid-drain re-reports on the next poll).
@@ -344,6 +406,16 @@ impl Reactor {
             //    sweep: opportunistic flushes, idle eviction, closes.
             self.dispatch_ready();
             self.sweep();
+
+            // Time spent working this iteration (poll's sleep excluded):
+            // a growing tail here means the loop itself is the
+            // bottleneck, not the compute pool.
+            if let Some(t) = iter_start {
+                self.state
+                    .lock_reactor_metrics()
+                    .loop_micros
+                    .record(elapsed_micros(t));
+            }
 
             if let Some(deadline) = self.drain_deadline {
                 if self.conns.is_empty() {
@@ -503,9 +575,16 @@ impl Reactor {
     fn dispatch_ready(&mut self) {
         /// Requests one job may carry (bounds worker occupancy per conn).
         const MAX_BATCH: usize = 64;
+        let trace = self.state.engine.metrics_enabled();
         for conn in self.conns.values_mut() {
             if conn.in_flight != 0 || conn.fatal || conn.pending.is_empty() {
                 continue;
+            }
+            if trace {
+                self.state
+                    .lock_reactor_metrics()
+                    .queue_depth
+                    .record(conn.pending.len() as u64);
             }
             let take = conn.pending.len().min(MAX_BATCH);
             let lines: Vec<String> = conn.pending.drain(..take).collect();
@@ -515,7 +594,14 @@ impl Reactor {
             let state = self.state.clone();
             let completions = self.completions.clone();
             let stream_threshold = self.config.stream_threshold;
+            let enqueued = trace.then(Instant::now);
             self.pool.execute(move || {
+                if let Some(t) = enqueued {
+                    state
+                        .lock_reactor_metrics()
+                        .pool_wait
+                        .record(elapsed_micros(t));
+                }
                 // A panicking handler must still complete the batch:
                 // the connection would otherwise wait forever with
                 // `in_flight` stuck at 1. (Per-request panics are
@@ -651,6 +737,7 @@ fn run_line(
             },
         )) => {
             let frames = run_query(
+                state,
                 &mut cell.session,
                 language,
                 &text,
@@ -670,10 +757,14 @@ fn run_line(
     if frames.iter().any(|f| matches!(f, Response::Error(_))) {
         state.errors.fetch_add(1, Ordering::Relaxed);
     }
+    let serialize_start = state.engine.metrics_enabled().then(Instant::now);
     let mut bytes = Vec::new();
     for frame in &frames {
         bytes.extend_from_slice(protocol::encode_frame(frame, id.as_ref()).as_bytes());
         bytes.push(b'\n');
+    }
+    if let Some(t) = serialize_start {
+        state.engine.record_stage("serialize", elapsed_micros(t));
     }
     (bytes, shutdown)
 }
@@ -702,9 +793,18 @@ fn handle_control(
 ) -> (Response, bool) {
     match request {
         Request::Query { .. } => unreachable!("queries take the framing path"),
-        Request::Explain { language, text } => {
+        Request::Explain {
+            language,
+            text,
+            analyze,
+        } => {
             let language = language.unwrap_or_else(|| Language::detect(text));
-            let response = match session.explain(language, text) {
+            let explained = if *analyze {
+                session.explain_analyze(language, text)
+            } else {
+                session.explain(language, text)
+            };
+            let response = match explained {
                 Ok(e) => Response::Explain(protocol::ExplainResult {
                     language: e.language,
                     canonical: e.canonical,
@@ -730,12 +830,18 @@ fn handle_control(
         Request::Insert { table, rows } => (run_mutation(state, table, rows, true), false),
         Request::Delete { table, rows } => (run_mutation(state, table, rows, false), false),
         Request::Checkpoint => (run_checkpoint(state), false),
-        Request::Stats => {
+        Request::Stats { reset } => {
             // Fold in this session's own growth first so the reply is
             // exact even mid-connection.
             merge_stats(session, state, merged);
-            (Response::Stats(collect_stats(state)), false)
+            (Response::Stats(collect_stats(state, *reset)), false)
         }
+        Request::Metrics => (
+            Response::Metrics(MetricsResult {
+                text: render_metrics(state),
+            }),
+            false,
+        ),
         Request::Ping => (Response::Pong, false),
         Request::Shutdown => (Response::Bye, true),
     }
@@ -745,6 +851,7 @@ fn handle_control(
 /// fits, or `rows-chunk` frames + `rows-end` when the row count exceeds
 /// the stream threshold (0 = never stream).
 fn run_query(
+    state: &Arc<ServerState>,
     session: &mut Session,
     language: Option<Language>,
     text: &str,
@@ -762,6 +869,30 @@ fn run_query(
         Ok(resp) => resp,
         Err(e) => return vec![Response::Error(e.to_string())],
     };
+    if let Some(threshold) = state.slow_query_log {
+        if resp.micros >= threshold {
+            let breakdown: Vec<String> = resp
+                .spans
+                .iter()
+                .map(|s| format!("{}={}µs", s.stage, s.micros))
+                .collect();
+            let cache = if resp.eval_cache_hit {
+                "eval-hit"
+            } else if resp.cache_hit {
+                "parse-hit"
+            } else {
+                "cold"
+            };
+            eprintln!(
+                "slow-query lang={} total={}µs stages=[{}] cache={} query={}",
+                resp.language.name(),
+                resp.micros,
+                breakdown.join(" "),
+                cache,
+                resp.canonical.replace('\n', " "),
+            );
+        }
+    }
     let translations = resp.translations.as_ref().map(|t| {
         let mut pairs = vec![("trc".to_string(), t.trc.clone())];
         if let Some(sql) = &t.sql {
@@ -954,9 +1085,43 @@ fn run_load(state: &Arc<ServerState>, session: &mut Session, source: &LoadSource
     })
 }
 
-fn collect_stats(state: &Arc<ServerState>) -> StatsResult {
+/// Per-stage latency summaries for a stats frame (all five stages, in
+/// pipeline order, including ones nothing passed through yet).
+fn stage_latencies(metrics: &EngineMetrics) -> Vec<StageLatency> {
+    STAGE_NAMES
+        .iter()
+        .map(|name| {
+            let h = metrics.stage(name).expect("every stage has a histogram");
+            StageLatency {
+                stage: name.to_string(),
+                count: h.count(),
+                p50: h.percentile(50.0),
+                p95: h.percentile(95.0),
+                p99: h.percentile(99.0),
+            }
+        })
+        .collect()
+}
+
+/// Counter deltas of two cache snapshots; the gauge fields (entries,
+/// capacity, bytes) keep their current values.
+fn cache_window(now: &CacheStats, base: &CacheStats) -> CacheStats {
+    CacheStats {
+        hits: now.hits.saturating_sub(base.hits),
+        misses: now.misses.saturating_sub(base.misses),
+        evictions: now.evictions.saturating_sub(base.evictions),
+        ..*now
+    }
+}
+
+/// Builds a stats reply. Plain `stats` reports cumulative-since-boot
+/// counters (the PR-2 contract). `reset` reports the window since the
+/// previous reset (or boot) and then zeroes that window; gauges are
+/// never windowed.
+fn collect_stats(state: &Arc<ServerState>, reset: bool) -> StatsResult {
     let epoch = state.engine.epoch();
-    StatsResult {
+    let metrics = state.engine.metrics();
+    let mut st = StatsResult {
         connections: state.connections.load(Ordering::Relaxed),
         active_connections: state.active.load(Ordering::Relaxed),
         requests: state.requests.load(Ordering::Relaxed),
@@ -973,5 +1138,143 @@ fn collect_stats(state: &Arc<ServerState>) -> StatsResult {
         fingerprint: format!("{:016x}", epoch.fingerprint),
         tables: epoch.db.len() as u64,
         tuples: epoch.db.total_tuples() as u64,
+        stages: stage_latencies(&metrics),
+    };
+    if reset {
+        let mut base = state
+            .stats_baseline
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let windowed = StatsResult {
+            connections: st.connections.saturating_sub(base.connections),
+            requests: st.requests.saturating_sub(base.requests),
+            errors: st.errors.saturating_sub(base.errors),
+            evicted: st.evicted.saturating_sub(base.evicted),
+            sessions: st.sessions.since(&base.sessions),
+            parse_cache: cache_window(&st.parse_cache, &base.parse_cache),
+            eval_cache: cache_window(&st.eval_cache, &base.eval_cache),
+            plan_cache: cache_window(&st.plan_cache, &base.plan_cache),
+            stages: stage_latencies(&metrics.since(&base.metrics)),
+            ..st.clone()
+        };
+        // The values just reported become the next window's floor.
+        *base = StatsBaseline {
+            connections: st.connections,
+            requests: st.requests,
+            errors: st.errors,
+            evicted: st.evicted,
+            sessions: std::mem::take(&mut st.sessions),
+            parse_cache: st.parse_cache,
+            eval_cache: st.eval_cache,
+            plan_cache: st.plan_cache,
+            metrics,
+        };
+        return windowed;
     }
+    st
+}
+
+/// Appends one Prometheus histogram series: cumulative `_bucket{le=…}`
+/// counters (implicit `+Inf` last), `_sum`, and `_count`. `labels` is
+/// the rendered label prefix, e.g. `stage="parse"` (empty for none).
+fn render_histogram_series(out: &mut String, family: &str, labels: &str, h: &Histogram) {
+    use std::fmt::Write;
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for (le, count) in h.nonzero_buckets() {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{family}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{family}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+        h.count()
+    );
+    if labels.is_empty() {
+        let _ = writeln!(out, "{family}_sum {}", h.sum());
+        let _ = writeln!(out, "{family}_count {}", h.count());
+    } else {
+        let _ = writeln!(out, "{family}_sum{{{labels}}} {}", h.sum());
+        let _ = writeln!(out, "{family}_count{{{labels}}} {}", h.count());
+    }
+}
+
+/// Renders the whole latency registry — engine stages and languages,
+/// reactor-loop internals, and (with a data dir) the WAL — as
+/// Prometheus-style exposition text.
+fn render_metrics(state: &Arc<ServerState>) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let metrics = state.engine.metrics();
+
+    let _ = writeln!(out, "# TYPE rd_requests_total counter");
+    let _ = writeln!(
+        out,
+        "rd_requests_total {}",
+        state.requests.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(out, "# TYPE rd_errors_total counter");
+    let _ = writeln!(
+        out,
+        "rd_errors_total {}",
+        state.errors.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(out, "# TYPE rd_connections_active gauge");
+    let _ = writeln!(
+        out,
+        "rd_connections_active {}",
+        state.active.load(Ordering::Relaxed)
+    );
+
+    let _ = writeln!(out, "# TYPE rd_stage_latency_micros histogram");
+    for name in STAGE_NAMES {
+        let h = metrics.stage(name).expect("every stage has a histogram");
+        render_histogram_series(
+            &mut out,
+            "rd_stage_latency_micros",
+            &format!("stage=\"{name}\""),
+            h,
+        );
+    }
+
+    let _ = writeln!(out, "# TYPE rd_query_latency_micros histogram");
+    for language in Language::ALL {
+        render_histogram_series(
+            &mut out,
+            "rd_query_latency_micros",
+            &format!("lang=\"{}\"", language.name()),
+            metrics.language(language),
+        );
+    }
+
+    {
+        let reactor = state.lock_reactor_metrics();
+        let _ = writeln!(out, "# TYPE rd_reactor_loop_micros histogram");
+        render_histogram_series(&mut out, "rd_reactor_loop_micros", "", &reactor.loop_micros);
+        let _ = writeln!(out, "# TYPE rd_conn_queue_depth histogram");
+        render_histogram_series(&mut out, "rd_conn_queue_depth", "", &reactor.queue_depth);
+        let _ = writeln!(out, "# TYPE rd_pool_wait_micros histogram");
+        render_histogram_series(&mut out, "rd_pool_wait_micros", "", &reactor.pool_wait);
+    }
+
+    if let Some(store) = lock_store(state) {
+        let _ = writeln!(out, "# TYPE rd_wal_append_micros histogram");
+        render_histogram_series(
+            &mut out,
+            "rd_wal_append_micros",
+            "",
+            store.wal_append_histogram(),
+        );
+        let _ = writeln!(out, "# TYPE rd_wal_fsync_micros histogram");
+        render_histogram_series(
+            &mut out,
+            "rd_wal_fsync_micros",
+            "",
+            store.wal_fsync_histogram(),
+        );
+    }
+    out
 }

@@ -26,11 +26,13 @@
 //! Values in WAL records use the edge (`Int`/`Str`) representation, so
 //! the log is self-contained: symbol-table ids never reach disk.
 
+use rd_core::trace::Histogram;
 use rd_core::{CoreError, CoreResult, Database, TableSchema, Tuple, Value};
 use rd_engine::{parse_fixture, render_fixture};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Bytes of a frame header: `u32` payload length + `u64` checksum.
 const FRAME_HEADER: usize = 12;
@@ -202,6 +204,11 @@ pub struct Store {
     wal: File,
     wal_records: u64,
     sync: bool,
+    /// WAL append (buffered write) latency, microseconds per record.
+    wal_append: Histogram,
+    /// WAL fsync latency, microseconds per record (empty with
+    /// [`Store::set_sync`] off).
+    wal_fsync: Histogram,
 }
 
 impl Store {
@@ -262,6 +269,8 @@ impl Store {
                 wal,
                 wal_records,
                 sync: true,
+                wal_append: Histogram::new(),
+                wal_fsync: Histogram::new(),
             },
         ))
     }
@@ -301,12 +310,28 @@ impl Store {
         let frame = rec
             .encode_frame()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let start = Instant::now();
         self.wal.write_all(&frame)?;
+        self.wal_append
+            .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
         if self.sync {
+            let start = Instant::now();
             self.wal.sync_data()?;
+            self.wal_fsync
+                .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
         }
         self.wal_records += 1;
         Ok(())
+    }
+
+    /// WAL append (buffered write) latency histogram.
+    pub fn wal_append_histogram(&self) -> &Histogram {
+        &self.wal_append
+    }
+
+    /// WAL fsync latency histogram (one entry per synced record).
+    pub fn wal_fsync_histogram(&self) -> &Histogram {
+        &self.wal_fsync
     }
 
     /// Writes a point-in-time snapshot of `db` (fsync, then atomic
