@@ -113,6 +113,19 @@ fn bench_eval(c: &mut Criterion) {
     c.bench_function("eval_datalog_division_200rows", |b| {
         b.iter(|| rd_datalog::eval_program(black_box(&p), &big).unwrap())
     });
+    // The vectorized-executor micro pair: the same compiled division
+    // plan, executed batched vs tuple-at-a-time over the 200-row
+    // instance. The chunked path's speedup reads off this pair directly
+    // (same plan, same database — only the executor differs).
+    use rd_core::exec::{execute_with, ExecOptions};
+    let trc_u = rd_trc::TrcUnion::new(vec![q.clone()]).unwrap();
+    let plan = rd_trc::lower_union(&trc_u, &big).unwrap();
+    c.bench_function("exec_trc_division_200rows_batched", |b| {
+        b.iter(|| execute_with(black_box(&plan), &big, ExecOptions { batch: true }).unwrap())
+    });
+    c.bench_function("exec_trc_division_200rows_scalar", |b| {
+        b.iter(|| execute_with(black_box(&plan), &big, ExecOptions { batch: false }).unwrap())
+    });
 }
 
 /// A string-valued equi-join: what interning buys when the data is text
@@ -123,7 +136,7 @@ fn bench_eval_strings(c: &mut Criterion) {
     let domain: Vec<Value> = (0..24)
         .map(|i| Value::str(format!("name-{i:04}")))
         .collect();
-    let mut gen = DbGenerator::new(cat.clone(), domain, 200, 9);
+    let mut gen = DbGenerator::new(cat.clone(), domain.clone(), 200, 9);
     let db = gen.next_db();
     let q = rd_trc::parse_query(
         "{ q(A) | exists r in R, s in S [ q.A = r.A and r.B = s.B ] }",
@@ -132,6 +145,30 @@ fn bench_eval_strings(c: &mut Criterion) {
     .unwrap();
     c.bench_function("eval_trc_string_join_200rows", |b| {
         b.iter(|| rd_trc::eval_query(black_box(&q), &db).unwrap())
+    });
+    // Batched vs scalar over the same compiled join plan: interned
+    // symbol keys take the dense-key join table on the batched path.
+    // `DbGenerator` draws a *random* tuple count per relation, so the
+    // instance is regenerated until R really holds 400+ rows — the pair
+    // measures executor throughput, not generator luck.
+    use rd_core::exec::{execute_with, ExecOptions};
+    let mut gen = DbGenerator::new(cat.clone(), domain, 800, 9);
+    let big = loop {
+        let db = gen.next_db();
+        if db
+            .iter()
+            .any(|r| r.schema().name() == "R" && r.len() >= 400)
+        {
+            break db;
+        }
+    };
+    let trc_u = rd_trc::TrcUnion::new(vec![q.clone()]).unwrap();
+    let plan = rd_trc::lower_union(&trc_u, &big).unwrap();
+    c.bench_function("exec_trc_string_join_400rows_batched", |b| {
+        b.iter(|| execute_with(black_box(&plan), &big, ExecOptions { batch: true }).unwrap())
+    });
+    c.bench_function("exec_trc_string_join_400rows_scalar", |b| {
+        b.iter(|| execute_with(black_box(&plan), &big, ExecOptions { batch: false }).unwrap())
     });
 }
 

@@ -279,6 +279,29 @@ impl Relation {
         &self.tuples
     }
 
+    /// Iterates the relation as fixed-size *column chunks*: each item
+    /// covers up to `chunk_rows` consecutive tuples (in deterministic
+    /// set order), transposed into one `Vec<Value>` per attribute. This
+    /// is the scan feed of the vectorized executor — columnar layout
+    /// with bounded working-set size — but is public API usable by any
+    /// column-at-a-time consumer.
+    pub fn column_chunks(&self, chunk_rows: usize) -> impl Iterator<Item = Vec<Vec<Value>>> + '_ {
+        let chunk_rows = chunk_rows.max(1);
+        let arity = self.schema.arity();
+        let mut iter = self.tuples.iter().peekable();
+        std::iter::from_fn(move || {
+            iter.peek()?;
+            let mut cols: Vec<Vec<Value>> =
+                (0..arity).map(|_| Vec::with_capacity(chunk_rows)).collect();
+            for t in iter.by_ref().take(chunk_rows) {
+                for (c, v) in t.iter().enumerate() {
+                    cols[c].push(v.clone());
+                }
+            }
+            Some(cols)
+        })
+    }
+
     /// This relation with interned symbols resolved back to strings
     /// (through the attached table), re-sorted under the plain string
     /// order. Free-standing relations are returned as-is.

@@ -31,6 +31,7 @@
 //! and bound keys — the diagnosability hook the service's `explain` op
 //! serves.
 
+pub use crate::batch::CHUNK_ROWS;
 use crate::database::{Database, Relation, Tuple};
 use crate::error::{CoreError, CoreResult};
 use crate::plan::{self, IndexCache, KeyBuf};
@@ -427,6 +428,81 @@ fn scans_in_ops(op: &OpNode, set: &mut BTreeSet<String>) {
 // Execution: environment and context
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// Execution options and the batch/tuple decision
+// ---------------------------------------------------------------------
+
+/// Knobs for [`execute_with`] and friends. The default enables the
+/// vectorized batch path wherever the plan shape supports it; `batch:
+/// false` forces the original tuple-at-a-time executor everywhere (the
+/// differential-testing and benchmarking baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Use the batched (columnar, chunk-at-a-time) path for plan shapes
+    /// that support it.
+    pub batch: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { batch: true }
+    }
+}
+
+/// `true` if `t` can appear on the batched path. `Unbound`/`Wildcard`
+/// carry lazy, data-dependent error semantics (they fail only when a
+/// full assignment forces them), which the row-at-a-time executor pins
+/// exactly — plans containing them fall back wholesale.
+fn term_batchable(t: &Term) -> bool {
+    !matches!(t, Term::Unbound(_) | Term::Wildcard)
+}
+
+fn formula_batchable(f: &Formula) -> bool {
+    match f {
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(formula_batchable),
+        Formula::Not(sub) => formula_batchable(sub),
+        Formula::Exists(block) => block_batchable(block),
+        Formula::Pred(p) => term_batchable(&p.left) && term_batchable(&p.right),
+        Formula::NegProbe { terms, .. } => terms.iter().all(term_batchable),
+    }
+}
+
+fn block_batchable(block: &Block) -> bool {
+    block.pre.iter().all(formula_batchable)
+        && block.scans.iter().all(|s| {
+            s.key_terms.iter().all(term_batchable) && s.filters.iter().all(formula_batchable)
+        })
+}
+
+/// `true` if this query branch runs on the batched path: no lazy-error
+/// terms anywhere. Deferred head-validation conjuncts batch too — the
+/// chunked driver binds the head slot to a synthetic step of candidate
+/// tuples and filters the whole batch at once.
+pub(crate) fn query_batchable(q: &QueryPlan) -> bool {
+    q.deferred.iter().all(formula_batchable)
+        && q.defs.iter().all(term_batchable)
+        && block_batchable(&q.root)
+}
+
+/// `true` if this Datalog rule runs on the batched path.
+pub(crate) fn rule_batchable(r: &RulePlan) -> bool {
+    r.head.iter().all(term_batchable) && block_batchable(&r.block)
+}
+
+/// `true` if [`execute`] runs `plan` entirely on the batched path —
+/// every union branch / every rule batchable, or a bulk operator tree
+/// (always batchable). Boolean sentences are quantifier-heavy by
+/// construction and stay tuple-at-a-time. This is the decision
+/// `explain` renders per operator and the engine counts per execution.
+pub fn plan_batched(plan: &Plan) -> bool {
+    match plan {
+        Plan::Union(branches) => branches.iter().all(query_batchable),
+        Plan::Sentence(_) => false,
+        Plan::Program(p) => p.strata.iter().all(|s| s.rules.iter().all(rule_batchable)),
+        Plan::Ops { .. } => true,
+    }
+}
+
 /// The flat runtime environment: tuple slots (borrowed bindings) and
 /// value slots (owned bindings).
 #[derive(Debug, Clone)]
@@ -445,22 +521,50 @@ impl<'b> Env<'b> {
 }
 
 /// Computed IDB relations (empty for languages without them).
-type IdbMap = BTreeMap<String, BTreeSet<Tuple>>;
+pub(crate) type IdbMap = BTreeMap<String, BTreeSet<Tuple>>;
 
-/// Per-node actual row counts collected by an analyzing execution.
+/// What an analyzing execution observed at one plan node: the rows it
+/// produced and — for keyed probes and join builds on the batched path —
+/// which build strategy the executor actually chose.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NodeTally {
+    /// Rows the node produced.
+    pub(crate) rows: u64,
+    /// Join/probe build strategy (`"dense-key"` or `"hash"`), recorded
+    /// only by the batched executor.
+    pub(crate) build: Option<&'static str>,
+}
+
+/// Per-node observations collected by an analyzing execution.
 ///
 /// Keys are node *addresses* (`&Scan`, `&OpNode`, `&QueryPlan`,
-/// `&RulePlan`, `&Stratum` cast to `usize`): every keyed node is alive
-/// inside the same [`Plan`] for the whole execution *and* the subsequent
-/// annotation pass, so addresses are unique — which lets the executor
-/// count rows without adding id fields to the IR (and therefore without
-/// touching any of the four language lowerings).
-type TallyMap = HashMap<usize, u64>;
+/// `&RulePlan`, `&Stratum`, `&Formula` cast to `usize`): every keyed
+/// node is alive inside the same [`Plan`] for the whole execution *and*
+/// the subsequent annotation pass, so addresses are unique — which lets
+/// the executor count rows without adding id fields to the IR (and
+/// therefore without touching any of the four language lowerings).
+pub(crate) type TallyMap = HashMap<usize, NodeTally>;
 
 /// Records `rows` for `node` if an analyze tally is active.
-fn record<T>(tally: &mut Option<TallyMap>, node: &T, rows: usize) {
+pub(crate) fn record<T>(tally: &mut Option<TallyMap>, node: &T, rows: usize) {
     if let Some(t) = tally.as_mut() {
-        t.insert(node as *const T as usize, rows as u64);
+        t.entry(node as *const T as usize).or_default().rows = rows as u64;
+    }
+}
+
+/// Adds `rows` to `node`'s count if an analyze tally is active (the
+/// batched executor's chunk-at-a-time analogue of [`ExecCtx::bump`]).
+pub(crate) fn bump_n<T>(tally: &mut Option<TallyMap>, node: &T, rows: usize) {
+    if let Some(t) = tally.as_mut() {
+        t.entry(node as *const T as usize).or_default().rows += rows as u64;
+    }
+}
+
+/// Records the join/probe build strategy chosen for `node` if an
+/// analyze tally is active.
+pub(crate) fn record_build<T>(tally: &mut Option<TallyMap>, node: &T, kind: &'static str) {
+    if let Some(t) = tally.as_mut() {
+        t.entry(node as *const T as usize).or_default().build = Some(kind);
     }
 }
 
@@ -495,7 +599,7 @@ impl<'d> ExecCtx<'d> {
     #[inline]
     fn bump<T>(&mut self, node: &T) {
         if let Some(t) = self.tally.as_mut() {
-            *t.entry(node as *const T as usize).or_insert(0) += 1;
+            t.entry(node as *const T as usize).or_default().rows += 1;
         }
     }
 
@@ -515,7 +619,11 @@ impl<'d> ExecCtx<'d> {
 
 /// The tuples of `rel`: a computed IDB if one exists, else the EDB
 /// table (unknown tables error).
-fn tuples_of<'d>(db: &'d Database, idbs: &'d IdbMap, rel: &str) -> CoreResult<Vec<&'d Tuple>> {
+pub(crate) fn tuples_of<'d>(
+    db: &'d Database,
+    idbs: &'d IdbMap,
+    rel: &str,
+) -> CoreResult<Vec<&'d Tuple>> {
     if let Some(rows) = idbs.get(rel) {
         return Ok(rows.iter().collect());
     }
@@ -719,9 +827,15 @@ fn scan_tuple<'b, 'd: 'b>(
 // Execution: top-level plans
 // ---------------------------------------------------------------------
 
-/// Executes a compiled query branch, returning its output relation.
+/// Executes a compiled query branch, returning its output relation
+/// (batched where the shape allows, per [`ExecOptions::default`]).
 pub fn run_query(q: &QueryPlan, db: &Database) -> CoreResult<Relation> {
-    run_query_inner(q, db, &mut None)
+    run_query_with(q, db, ExecOptions::default())
+}
+
+/// [`run_query`] with explicit execution options.
+pub fn run_query_with(q: &QueryPlan, db: &Database, opts: ExecOptions) -> CoreResult<Relation> {
+    run_query_inner(q, db, &mut None, opts)
 }
 
 /// [`run_query`] with an optional analyze tally threaded through the
@@ -730,7 +844,11 @@ fn run_query_inner(
     q: &QueryPlan,
     db: &Database,
     tally: &mut Option<TallyMap>,
+    opts: ExecOptions,
 ) -> CoreResult<Relation> {
+    if opts.batch && query_batchable(q) {
+        return crate::batch::run_query(q, db, tally);
+    }
     let idbs = IdbMap::new();
     let mut out = db.fresh_relation(q.out.clone());
     let mut ctx = ExecCtx::new(db, &idbs, q.shape.indexes);
@@ -827,21 +945,38 @@ fn run_rule(
 }
 
 /// Executes a compiled Datalog program: strata in order, rules of one
-/// IDB unioned under set semantics.
+/// IDB unioned under set semantics (batched rules where the shape
+/// allows, per [`ExecOptions::default`]).
 pub fn run_program(p: &ProgramPlan, db: &Database) -> CoreResult<Relation> {
-    run_program_inner(p, db, &mut None)
+    run_program_with(p, db, ExecOptions::default())
+}
+
+/// [`run_program`] with explicit execution options.
+pub fn run_program_with(p: &ProgramPlan, db: &Database, opts: ExecOptions) -> CoreResult<Relation> {
+    run_program_inner(p, db, &mut None, opts)
 }
 
 fn run_program_inner(
     p: &ProgramPlan,
     db: &Database,
     tally: &mut Option<TallyMap>,
+    opts: ExecOptions,
 ) -> CoreResult<Relation> {
     let mut computed = IdbMap::new();
+    // Columnar EDB/IDB materializations shared across the program's
+    // batched rules (sound because a computed IDB never changes once
+    // its stratum completes, and no rule reads its own stratum).
+    let mut cache = crate::batch::RelCache::default();
     for stratum in &p.strata {
         let mut tuples: BTreeSet<Tuple> = BTreeSet::new();
         for rule in &stratum.rules {
-            tuples.extend(run_rule(rule, db, &computed, tally)?);
+            if opts.batch && rule_batchable(rule) {
+                tuples.extend(crate::batch::run_rule(
+                    rule, db, &computed, tally, &mut cache,
+                )?);
+            } else {
+                tuples.extend(run_rule(rule, db, &computed, tally)?);
+            }
         }
         record(tally, stratum, tuples.len());
         computed.insert(stratum.pred.clone(), tuples);
@@ -908,7 +1043,7 @@ pub fn hash_join_pairs<'t>(
     }
 }
 
-fn eval_cond(cond: &Cond, tuple: &Tuple, symbols: &SymbolTable) -> bool {
+pub(crate) fn eval_cond(cond: &Cond, tuple: &Tuple, symbols: &SymbolTable) -> bool {
     match cond {
         Cond::Cmp(l, op, r) => {
             let lv = match l {
@@ -926,9 +1061,19 @@ fn eval_cond(cond: &Cond, tuple: &Tuple, symbols: &SymbolTable) -> bool {
     }
 }
 
-/// Executes a compiled RA operator tree to its tuple set.
+/// Executes a compiled RA operator tree to its tuple set (batched per
+/// [`ExecOptions::default`]).
 pub fn run_ops(op: &OpNode, db: &Database) -> CoreResult<BTreeSet<Tuple>> {
-    run_ops_inner(op, db, &mut None)
+    run_ops_with(op, db, ExecOptions::default())
+}
+
+/// [`run_ops`] with explicit execution options.
+pub fn run_ops_with(op: &OpNode, db: &Database, opts: ExecOptions) -> CoreResult<BTreeSet<Tuple>> {
+    if opts.batch {
+        crate::batch::run_ops(op, db, &mut None)
+    } else {
+        run_ops_inner(op, db, &mut None)
+    }
 }
 
 /// [`run_ops`] with an optional analyze tally: every node records its
@@ -1037,21 +1182,33 @@ pub fn boolean_relation(value: bool) -> Relation {
 }
 
 /// Executes any compiled plan over `db`, normalizing the output to a
-/// [`Relation`] (Boolean sentences become the 0-ary encoding).
+/// [`Relation`] (Boolean sentences become the 0-ary encoding). Uses the
+/// batched path where the plan shape supports it; see [`execute_with`]
+/// to force tuple-at-a-time execution.
 pub fn execute(plan: &Plan, db: &Database) -> CoreResult<Relation> {
-    execute_inner(plan, db, &mut None)
+    execute_with(plan, db, ExecOptions::default())
 }
 
-fn execute_inner(plan: &Plan, db: &Database, tally: &mut Option<TallyMap>) -> CoreResult<Relation> {
+/// [`execute`] with explicit execution options.
+pub fn execute_with(plan: &Plan, db: &Database, opts: ExecOptions) -> CoreResult<Relation> {
+    execute_inner(plan, db, &mut None, opts)
+}
+
+fn execute_inner(
+    plan: &Plan,
+    db: &Database,
+    tally: &mut Option<TallyMap>,
+    opts: ExecOptions,
+) -> CoreResult<Relation> {
     match plan {
         Plan::Union(branches) => {
             let mut iter = branches.iter();
             let first = iter
                 .next()
                 .ok_or_else(|| CoreError::Invalid("empty union".into()))?;
-            let mut result = run_query_inner(first, db, tally)?;
+            let mut result = run_query_inner(first, db, tally, opts)?;
             for branch in iter {
-                let r = run_query_inner(branch, db, tally)?;
+                let r = run_query_inner(branch, db, tally, opts)?;
                 for t in r.iter() {
                     result.insert(t.clone())?;
                 }
@@ -1059,9 +1216,13 @@ fn execute_inner(plan: &Plan, db: &Database, tally: &mut Option<TallyMap>) -> Co
             Ok(result)
         }
         Plan::Sentence(s) => Ok(boolean_relation(run_sentence_inner(s, db, tally)?)),
-        Plan::Program(p) => run_program_inner(p, db, tally),
+        Plan::Program(p) => run_program_inner(p, db, tally, opts),
         Plan::Ops { root, out } => {
-            let tuples = run_ops_inner(root, db, tally)?;
+            let tuples = if opts.batch {
+                crate::batch::run_ops(root, db, tally)?
+            } else {
+                run_ops_inner(root, db, tally)?
+            };
             let mut rel = db.fresh_relation(out.clone());
             for t in tuples {
                 rel.insert(t)?;
@@ -1076,14 +1237,23 @@ fn execute_inner(plan: &Plan, db: &Database, tally: &mut Option<TallyMap>) -> Co
 /// counts — the engine of the `explain analyze` wire form. Returns the
 /// result relation too, so callers can cross-check the root count.
 pub fn explain_analyze(plan: &Plan, db: &Database) -> CoreResult<(Relation, ExplainNode)> {
+    explain_analyze_with(plan, db, ExecOptions::default())
+}
+
+/// [`explain_analyze`] with explicit execution options.
+pub fn explain_analyze_with(
+    plan: &Plan,
+    db: &Database,
+    opts: ExecOptions,
+) -> CoreResult<(Relation, ExplainNode)> {
     let mut tally = Some(TallyMap::new());
-    let relation = execute_inner(plan, db, &mut tally)?;
+    let relation = execute_inner(plan, db, &mut tally, opts)?;
     let tally = tally.unwrap_or_default();
     let annot = Annot {
         db: Some(db),
         tally: Some(&tally),
     };
-    let mut node = explain_with(plan, &annot);
+    let mut node = explain_with_opts(plan, &annot, opts);
     node.actual_rows = Some(relation.len() as u64);
     Ok((relation, node))
 }
@@ -1108,6 +1278,15 @@ pub struct ExplainNode {
     /// Rows this node actually produced (present only under
     /// `explain analyze`).
     pub actual_rows: Option<u64>,
+    /// Execution mode this subtree runs under: `"batched"` for the
+    /// chunked columnar path, `"tuple"` for the row-at-a-time fallback.
+    /// Set on executable roots (query branches, rules, sentences, ops
+    /// roots); `None` on purely structural nodes and in legacy frames.
+    pub mode: Option<String>,
+    /// Join-build strategy actually used (`"dense-key"` or `"hash"`),
+    /// recorded during `explain analyze` on keyed scans, joins, and
+    /// negation probes. `None` outside analyze and in legacy frames.
+    pub build: Option<String>,
     /// Child nodes in execution order.
     pub children: Vec<ExplainNode>,
 }
@@ -1119,6 +1298,8 @@ impl ExplainNode {
             detail: detail.into(),
             est_rows: None,
             actual_rows: None,
+            mode: None,
+            build: None,
             children: Vec::new(),
         }
     }
@@ -1131,6 +1312,11 @@ impl ExplainNode {
     fn rows(mut self, est: Option<u64>, actual: Option<u64>) -> ExplainNode {
         self.est_rows = est;
         self.actual_rows = actual;
+        self
+    }
+
+    fn mode(mut self, batched: bool) -> ExplainNode {
+        self.mode = Some(if batched { "batched" } else { "tuple" }.to_string());
         self
     }
 }
@@ -1154,8 +1340,20 @@ impl Annot<'_> {
     /// The tallied actual row count for `node` — `Some(0)` for nodes the
     /// execution never reached (short-circuits), `None` outside analyze.
     fn actual<T>(&self, node: &T) -> Option<u64> {
+        self.tally.map(|t| {
+            t.get(&(node as *const T as usize))
+                .map(|nt| nt.rows)
+                .unwrap_or(0)
+        })
+    }
+
+    /// The join-build strategy recorded for `node` during the analyzing
+    /// execution (`"dense-key"` or `"hash"`), if any.
+    fn build<T>(&self, node: &T) -> Option<String> {
         self.tally
-            .map(|t| t.get(&(node as *const T as usize)).copied().unwrap_or(0))
+            .and_then(|t| t.get(&(node as *const T as usize)))
+            .and_then(|nt| nt.build)
+            .map(str::to_string)
     }
 
     /// Cardinality estimate for one pipeline scan: the stored relation's
@@ -1245,11 +1443,13 @@ fn explain_formula(f: &Formula, annot: &Annot<'_>) -> ExplainNode {
             format!("{} {} {}", fmt_term(&p.left), p.op, fmt_term(&p.right)),
         ),
         Formula::NegProbe { rel, cols, .. } => {
-            if cols.is_empty() {
+            let mut node = if cols.is_empty() {
                 ExplainNode::new("neg-probe", format!("{rel} empty?"))
             } else {
                 ExplainNode::new("neg-probe", format!("{rel} on cols {}", fmt_cols(cols)))
-            }
+            };
+            node.build = annot.build(f);
+            node
         }
     }
 }
@@ -1266,14 +1466,16 @@ fn explain_scan(scan: &Scan, annot: &Annot<'_>) -> ExplainNode {
     } else {
         format!("{} full scan", scan.rel)
     };
-    ExplainNode::new("scan", detail)
+    let mut node = ExplainNode::new("scan", detail)
         .with(
             scan.filters
                 .iter()
                 .map(|f| explain_formula(f, annot))
                 .collect(),
         )
-        .rows(annot.est_scan(scan), annot.actual(scan))
+        .rows(annot.est_scan(scan), annot.actual(scan));
+    node.build = annot.build(scan);
+    node
 }
 
 fn explain_block(block: &Block, annot: &Annot<'_>) -> Vec<ExplainNode> {
@@ -1286,7 +1488,7 @@ fn explain_block(block: &Block, annot: &Annot<'_>) -> Vec<ExplainNode> {
     nodes
 }
 
-fn explain_query(q: &QueryPlan, annot: &Annot<'_>) -> ExplainNode {
+fn explain_query(q: &QueryPlan, annot: &Annot<'_>, opts: ExecOptions) -> ExplainNode {
     let mut children = explain_block(&q.root, annot);
     if !q.deferred.is_empty() {
         children.push(
@@ -1304,6 +1506,7 @@ fn explain_query(q: &QueryPlan, annot: &Annot<'_>) -> ExplainNode {
     )
     .with(children)
     .rows(annot.est_block(&q.root), annot.actual(q))
+    .mode(opts.batch && query_batchable(q))
 }
 
 fn explain_ops(op: &OpNode, annot: &Annot<'_>) -> ExplainNode {
@@ -1351,33 +1554,41 @@ fn explain_ops(op: &OpNode, annot: &Annot<'_>) -> ExplainNode {
             } => ExplainNode::new("antijoin", join_detail(checks))
                 .with(vec![explain_ops(left, annot), explain_ops(right, annot)]),
         };
-    node.rows(annot.est_ops(op), annot.actual(op))
+    let mut node = node.rows(annot.est_ops(op), annot.actual(op));
+    node.build = annot.build(op);
+    node
 }
 
 /// Renders a compiled plan as an explain tree (no row counts — see
-/// [`explain_analyze`]).
+/// [`explain_analyze`]). Executable roots carry the execution `mode`
+/// the default options would pick (`batched` / `tuple`).
 pub fn explain(plan: &Plan) -> ExplainNode {
-    explain_with(plan, &Annot::NONE)
+    explain_with_opts(plan, &Annot::NONE, ExecOptions::default())
 }
 
-fn explain_with(plan: &Plan, annot: &Annot<'_>) -> ExplainNode {
+fn explain_with_opts(plan: &Plan, annot: &Annot<'_>, opts: ExecOptions) -> ExplainNode {
     match plan {
         Plan::Union(branches) => {
             if let [q] = branches.as_slice() {
-                explain_query(q, annot)
+                explain_query(q, annot, opts)
             } else {
                 let est = branches
                     .iter()
                     .map(|q| annot.est_block(&q.root))
                     .try_fold(0u64, |acc, e| e.map(|e| acc.saturating_add(e)));
                 ExplainNode::new("union", format!("{} branches", branches.len()))
-                    .with(branches.iter().map(|q| explain_query(q, annot)).collect())
+                    .with(
+                        branches
+                            .iter()
+                            .map(|q| explain_query(q, annot, opts))
+                            .collect(),
+                    )
                     .rows(est, None)
             }
         }
-        Plan::Sentence(s) => {
-            ExplainNode::new("sentence", "boolean").with(vec![explain_formula(&s.formula, annot)])
-        }
+        Plan::Sentence(s) => ExplainNode::new("sentence", "boolean")
+            .with(vec![explain_formula(&s.formula, annot)])
+            .mode(false),
         Plan::Program(p) => ExplainNode::new("program", format!("query {}", p.query)).with(
             p.strata
                 .iter()
@@ -1394,6 +1605,7 @@ fn explain_with(plan: &Plan, annot: &Annot<'_>) -> ExplainNode {
                                     )
                                     .with(explain_block(&rule.block, annot))
                                     .rows(annot.est_block(&rule.block), annot.actual(rule))
+                                    .mode(opts.batch && rule_batchable(rule))
                                 })
                                 .collect(),
                         )
@@ -1405,6 +1617,7 @@ fn explain_with(plan: &Plan, annot: &Annot<'_>) -> ExplainNode {
             ExplainNode::new("ops", format!("{}({})", out.name(), out.attrs().join(", ")))
                 .with(vec![explain_ops(root, annot)])
                 .rows(annot.est_ops(root), annot.actual(root))
+                .mode(opts.batch)
         }
     }
 }

@@ -33,6 +33,7 @@
 //! assert_eq!(db.relation("R").unwrap().len(), 1);
 //! ```
 
+pub(crate) mod batch;
 pub mod cmp;
 pub mod database;
 pub mod error;

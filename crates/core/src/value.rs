@@ -77,6 +77,18 @@ impl Value {
         }
     }
 
+    /// The `(kind, code)` encoding dense join tables index by: `Int`
+    /// and `Sym` map to distinct integer kinds (so an `Int` can never
+    /// collide with a `Sym` of the same numeric code); raw strings have
+    /// no dense encoding and force a hash table.
+    pub fn as_dense_key(&self) -> Option<(u8, i64)> {
+        match self {
+            Value::Int(i) => Some((0, *i)),
+            Value::Sym(s) => Some((1, *s as i64)),
+            Value::Str(_) => None,
+        }
+    }
+
     /// Bytes this value occupies beyond its enum slot (heap payload).
     /// Used by size-aware cache admission.
     pub fn heap_bytes(&self) -> usize {

@@ -132,3 +132,126 @@ fn plain_explain_stays_unannotated() {
     }
     assert!(unannotated(&resp.plan));
 }
+
+fn any_node(
+    n: &rd_core::exec::ExplainNode,
+    f: &dyn Fn(&rd_core::exec::ExplainNode) -> bool,
+) -> bool {
+    f(n) || n.children.iter().any(|c| any_node(c, f))
+}
+
+/// Every span stage a request reports must also land in the shared
+/// histogram registry — a span that never records is invisible to
+/// `stats`/`metrics`, which is exactly how the `render` stage shipped
+/// with `count: 0` for a whole release.
+#[test]
+fn every_reported_span_stage_lands_in_the_registry() {
+    let mut session = Session::new(demo_database());
+    // Translations + diagram force the render stage to do real work.
+    let req = QueryRequest::new(Language::Sql, "SELECT DISTINCT Boat.color FROM Boat")
+        .with_translations();
+    let resp = session.run(&req).unwrap();
+    let stages: Vec<&str> = resp.spans.iter().map(|s| s.stage).collect();
+    assert!(
+        stages.contains(&"render"),
+        "translations request must pass through render: {stages:?}"
+    );
+    let metrics = session.shared().metrics();
+    for stage in &stages {
+        let hist = metrics
+            .stage(stage)
+            .unwrap_or_else(|| panic!("span stage {stage:?} missing from registry"));
+        assert!(
+            hist.count() > 0,
+            "stage {stage:?} reported a span but recorded nothing"
+        );
+    }
+}
+
+/// Static explain carries the chosen execution mode per plan node: the
+/// join lowers to a batchable plan in every language, so the root must
+/// say `batched` without running anything.
+#[test]
+fn explain_reports_batched_mode_in_all_languages() {
+    let mut session = rs_session();
+    let queries = [
+        (
+            Language::Trc,
+            "{ q(A) | exists r in R, s in S [ q.A = r.A and r.B = s.B ] }",
+        ),
+        (
+            Language::Sql,
+            "SELECT DISTINCT R.A FROM R, S WHERE R.B = S.B",
+        ),
+        (Language::Datalog, "Q(x) :- R(x, y), S(y)."),
+        (Language::Ra, "pi[A](R join S)"),
+    ];
+    for (language, text) in queries {
+        let resp = session.explain(language, text).unwrap();
+        assert!(
+            any_node(&resp.plan, &|n| n.mode.as_deref() == Some("batched")),
+            "{language}: no node reports batched mode: {resp:?}"
+        );
+        assert!(
+            !any_node(&resp.plan, &|n| n.mode.as_deref() == Some("tuple")),
+            "{language}: a batchable plan must not fall back: {resp:?}"
+        );
+    }
+    // Sentences (closed formulas) always take the tuple interpreter.
+    let sentence = session
+        .explain(Language::Trc, "exists r in R [ r.A = 1 ]")
+        .unwrap();
+    assert!(
+        any_node(&sentence.plan, &|n| n.mode.as_deref() == Some("tuple")),
+        "sentence plans must report tuple mode: {sentence:?}"
+    );
+}
+
+/// `explain analyze` additionally reports which join-table build the
+/// batched executor picked. The S(B) probe keys are small dense ints,
+/// so this fixture must show a `dense-key` build somewhere.
+#[test]
+fn explain_analyze_reports_join_build_kind() {
+    let mut session = rs_session();
+    let analyzed = session
+        .explain_analyze(
+            Language::Sql,
+            "SELECT DISTINCT R.A FROM R, S WHERE R.B = S.B",
+        )
+        .unwrap();
+    assert!(
+        any_node(&analyzed.plan, &|n| n.build.as_deref() == Some("dense-key")),
+        "dense int keys must build a dense-key table: {analyzed:?}"
+    );
+    assert!(
+        any_node(&analyzed.plan, &|n| {
+            n.build
+                .as_deref()
+                .is_none_or(|b| b == "dense-key" || b == "hash")
+        }),
+        "build kinds are only dense-key or hash: {analyzed:?}"
+    );
+}
+
+/// Session stats count which executor ran: batchable plans bump
+/// `batched_execs`, sentence plans fall back and bump `tuple_fallbacks`.
+#[test]
+fn session_stats_count_executor_modes() {
+    let mut session = rs_session();
+    session
+        .run(&QueryRequest::new(
+            Language::Sql,
+            "SELECT DISTINCT R.A FROM R, S WHERE R.B = S.B",
+        ))
+        .unwrap();
+    assert_eq!(session.stats().batched_execs, 1);
+    assert_eq!(session.stats().tuple_fallbacks, 0);
+    session
+        .run(&QueryRequest::new(
+            Language::Trc,
+            "exists r in R [ r.A = 1 ]",
+        ))
+        .unwrap();
+    assert_eq!(session.stats().batched_execs, 1);
+    assert_eq!(session.stats().tuple_fallbacks, 1);
+}

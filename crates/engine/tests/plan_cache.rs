@@ -235,6 +235,8 @@ fn session_stats_accumulate_and_since_are_inverses() {
         delta_survivals: 14,
         rows_returned: 15,
         rows_streamed: 16,
+        batched_execs: 17,
+        tuple_fallbacks: 18,
     };
     let growth = SessionStats {
         queries: 101,
@@ -253,6 +255,8 @@ fn session_stats_accumulate_and_since_are_inverses() {
         delta_survivals: 114,
         rows_returned: 115,
         rows_streamed: 116,
+        batched_execs: 117,
+        tuple_fallbacks: 118,
     };
     let mut now = earlier.clone();
     now.accumulate(&growth);

@@ -584,6 +584,8 @@ fn session_stats_to_json(st: &SessionStats) -> Json {
         ("plan_evictions", u(st.plan_evictions)),
         ("delta_invalidations", u(st.delta_invalidations)),
         ("delta_survivals", u(st.delta_survivals)),
+        ("batched_execs", u(st.batched_execs)),
+        ("tuple_fallbacks", u(st.tuple_fallbacks)),
     ])
 }
 
@@ -605,6 +607,8 @@ fn session_stats_from_json(v: &Json) -> Result<SessionStats, String> {
         delta_survivals: opt_u64(v, "delta_survivals")?,
         rows_returned: get_u64(v, "rows_returned")?,
         rows_streamed: opt_u64(v, "rows_streamed")?,
+        batched_execs: opt_u64(v, "batched_execs")?,
+        tuple_fallbacks: opt_u64(v, "tuple_fallbacks")?,
     })
 }
 
@@ -625,7 +629,25 @@ fn explain_node_to_json(n: &ExplainNode) -> Json {
     if let Some(actual) = n.actual_rows {
         pairs.push(("actual_rows", u(actual)));
     }
+    // PR-8 executor fields, same append-only discipline: absent on
+    // structural nodes and on legacy frames.
+    if let Some(mode) = &n.mode {
+        pairs.push(("mode", s(mode)));
+    }
+    if let Some(build) = &n.build {
+        pairs.push(("build", s(build)));
+    }
     obj(pairs)
+}
+
+/// A genuinely optional string field: absent/null stays `None` (legacy
+/// explain frames carry no `mode`/`build`).
+fn opt_str_field(v: &Json, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::String(t)) => Ok(Some(t.clone())),
+        Some(other) => Err(format!("field '{key}' must be a string, found {other}")),
+    }
 }
 
 fn explain_node_from_json(v: &Json) -> Result<ExplainNode, String> {
@@ -647,6 +669,8 @@ fn explain_node_from_json(v: &Json) -> Result<ExplainNode, String> {
         children,
         est_rows: opt_u64_field(v, "est_rows")?,
         actual_rows: opt_u64_field(v, "actual_rows")?,
+        mode: opt_str_field(v, "mode")?,
+        build: opt_str_field(v, "build")?,
     })
 }
 
@@ -1647,9 +1671,13 @@ mod tests {
                     children: Vec::new(),
                     est_rows: None,
                     actual_rows: None,
+                    mode: None,
+                    build: None,
                 }],
                 est_rows: None,
                 actual_rows: None,
+                mode: None,
+                build: None,
             },
             cache_hit: true,
         });
@@ -1684,9 +1712,13 @@ mod tests {
                     children: Vec::new(),
                     est_rows: Some(2),
                     actual_rows: Some(3),
+                    mode: None,
+                    build: Some("hash".into()),
                 }],
                 est_rows: Some(2),
                 actual_rows: Some(2),
+                mode: Some("batched".into()),
+                build: None,
             },
             cache_hit: false,
         });

@@ -893,6 +893,12 @@ fn run_query(
             );
         }
     }
+    // Everything below is the *render* stage: shaping the evaluated
+    // relation into wire-ready result frames (row materialization,
+    // translation pairs, stream chunking). It used to go unbilled —
+    // BENCH_7 showed `render` with count 0 while every other stage
+    // recorded per request — so time it like `serialize` in `run_line`.
+    let render_start = state.engine.metrics_enabled().then(Instant::now);
     let translations = resp.translations.as_ref().map(|t| {
         let mut pairs = vec![("trc".to_string(), t.trc.clone())];
         if let Some(sql) = &t.sql {
@@ -921,7 +927,7 @@ fn run_query(
         diagram: resp.diagram.clone(),
         notes,
     };
-    if stream_threshold > 0 && resp.relation.len() > stream_threshold {
+    let frames = if stream_threshold > 0 && resp.relation.len() > stream_threshold {
         session.record_streamed(resp.relation.len() as u64);
         // Chunks are built straight off the shared relation — the full
         // result is never materialized a second time.
@@ -937,7 +943,11 @@ fn run_query(
             .map(|t| t.iter().cloned().collect())
             .collect();
         vec![Response::Query(result)]
+    };
+    if let Some(t) = render_start {
+        state.engine.record_stage("render", elapsed_micros(t));
     }
+    frames
 }
 
 /// Locks the store (when one is configured), surviving poisoning. Held

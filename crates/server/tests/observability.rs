@@ -169,7 +169,9 @@ fn metrics_text_reconciles_with_stats_totals() {
 
     // The stage registry saw real work, and every per-stage `+Inf`
     // bucket agrees with its `_count` line (cumulative rendering).
-    for stage in ["execute", "serialize"] {
+    // `render` is in this list on purpose: it silently recorded nothing
+    // for a whole release because result materialization was unbilled.
+    for stage in ["execute", "render", "serialize"] {
         let label = format!("stage=\"{stage}\"");
         let count: u64 = text
             .lines()
@@ -268,5 +270,17 @@ fn stage_latencies_expose_percentiles_via_stats() {
         execute.p50 <= execute.p95 && execute.p95 <= execute.p99,
         "percentiles must be monotone: {execute:?}"
     );
+    // Every pipeline stage did work for these queries, so every stage
+    // histogram must have recorded samples. Regression guard: `render`
+    // used to show `count: 0` while parse/execute/serialize all billed
+    // per request, because shaping the result relation into wire frames
+    // happened outside any timed span.
+    for stage in &stats.stages {
+        assert!(
+            stage.count > 0,
+            "stage {:?} recorded no samples despite queries doing work: {stats:?}",
+            stage.stage
+        );
+    }
     stop(addr, handle);
 }

@@ -5,7 +5,8 @@
 //! four languages must still agree with each other post-refactor.
 
 use proptest::prelude::*;
-use rd_core::{Catalog, Database, DbGenerator, TableSchema, Value};
+use rd_core::exec::{execute_with, ExecOptions};
+use rd_core::{Catalog, Database, DbGenerator, Relation, TableSchema, Tuple, Value};
 use rd_trc::random::{GenConfig, QueryGenerator};
 
 fn catalog() -> Catalog {
@@ -42,6 +43,113 @@ fn uninterned_copy(db: &Database) -> Database {
         raw.add_relation(rel.resolved());
     }
     raw
+}
+
+/// A wider mixed domain for the at-scale runs: enough distinct values
+/// that generated relations actually reach hundreds of distinct rows
+/// (set semantics collapses duplicates on the 6-value domain above).
+fn wide_domain() -> Vec<Value> {
+    let mut d: Vec<Value> = (0..48).map(Value::int).collect();
+    d.extend((0..16).map(|i| Value::str(format!("w{i:02}"))));
+    d
+}
+
+/// Lowers the same TRC* query into all four languages against `db`.
+fn four_plans(q: &rd_trc::TrcQuery, cat: &Catalog, db: &Database) -> [rd_core::exec::Plan; 4] {
+    let p = rd_translate::trc_to_datalog(q, cat).unwrap();
+    let e = rd_translate::datalog_to_ra(&p, cat).unwrap();
+    let sql = rd_sql::ast::SqlUnion::single(rd_sql::trc_to_sql(q).unwrap());
+    let trc_u = rd_trc::TrcUnion::new(vec![q.clone()]).unwrap();
+    [
+        rd_trc::lower_union(&trc_u, db).unwrap(),
+        rd_core::exec::Plan::Program(rd_datalog::lower_program(&p, db).unwrap()),
+        rd_ra::lower(&e, db).unwrap(),
+        rd_sql::lower_sql(&sql, db).unwrap(),
+    ]
+}
+
+/// Runs `plan` batched and scalar over `db`, and batched over the
+/// string-resolved reference, asserting all three agree.
+fn assert_batched_scalar_reference_agree(
+    plan: &rd_core::exec::Plan,
+    reference_plan: &rd_core::exec::Plan,
+    db: &Database,
+    raw: &Database,
+    label: &str,
+) {
+    let fast = execute_with(plan, db, ExecOptions { batch: true }).unwrap();
+    let slow = execute_with(plan, db, ExecOptions { batch: false }).unwrap();
+    assert_eq!(fast.tuples(), slow.tuples(), "{label}: batched vs scalar");
+    let reference = execute_with(reference_plan, raw, ExecOptions { batch: true }).unwrap();
+    assert_eq!(
+        db.resolve_relation(&fast).tuples(),
+        raw.resolve_relation(&reference).tuples(),
+        "{label}: interned vs uninterned"
+    );
+}
+
+/// Relation sizes straddling the batch chunk size
+/// ([`rd_core::exec::CHUNK_ROWS`] = 1024): the last chunk of a scan is
+/// short (1023), exactly full (1024), or forces one extra chunk (1025).
+/// Results must be identical between the batched and scalar executors,
+/// in every language, interned or not.
+#[test]
+fn chunk_boundary_sizes_agree_across_languages() {
+    assert_eq!(
+        rd_core::exec::CHUNK_ROWS,
+        1024,
+        "test sizes track the chunk size"
+    );
+    let cat = catalog();
+    let q = rd_trc::parse_query(
+        "{ q(A) | exists r in R [ q.A = r.A and \
+           (exists s in S [ s.B = r.B ]) and not (exists t in T [ t.A = r.A ]) ] }",
+        &cat,
+    )
+    .unwrap();
+    for n in [1023usize, 1024, 1025] {
+        let mut db = Database::new();
+        let mut r = Relation::empty(TableSchema::new("R", ["A", "B"]));
+        for i in 0..n {
+            // (A, B) pairs are distinct by construction (i = 41*(i/41) +
+            // i%41), so the relation holds exactly `n` rows.
+            let a = if i % 7 == 0 {
+                Value::str(format!("a{}", i % 41))
+            } else {
+                Value::int((i % 41) as i64)
+            };
+            r.insert(Tuple(vec![a, Value::int((i / 41) as i64)]))
+                .unwrap();
+        }
+        assert_eq!(r.len(), n, "row count must land exactly on the boundary");
+        db.add_relation(r);
+        let mut s = Relation::empty(TableSchema::new("S", ["B"]));
+        for j in 0..26 {
+            s.insert(Tuple(vec![Value::int(j)])).unwrap();
+        }
+        db.add_relation(s);
+        let mut t = Relation::empty(TableSchema::new("T", ["A"]));
+        for k in 0..12 {
+            t.insert(Tuple(vec![Value::int(k)])).unwrap();
+        }
+        for k in [0usize, 7, 14, 21, 28, 35] {
+            t.insert(Tuple(vec![Value::str(format!("a{k}"))])).unwrap();
+        }
+        db.add_relation(t);
+
+        let raw = uninterned_copy(&db);
+        let plans = four_plans(&q, &cat, &db);
+        let reference_plans = four_plans(&q, &cat, &raw);
+        for (lang, (plan, reference)) in plans.iter().zip(&reference_plans).enumerate() {
+            assert_batched_scalar_reference_agree(
+                plan,
+                reference,
+                &db,
+                &raw,
+                &format!("n={n} lang={lang}"),
+            );
+        }
+    }
 }
 
 proptest! {
@@ -136,6 +244,29 @@ proptest! {
                     Some(first) => prop_assert_eq!(first, &resolved, "cross-language"),
                 }
             }
+        }
+    }
+
+    /// The batched executor agrees with the tuple-at-a-time executor and
+    /// with the `Database::uninterned()` reference on databases of at
+    /// least 256 rows — enough volume that keyed probes, dense-key
+    /// tables, and quantifier pruning all do real work — across all four
+    /// languages.
+    #[test]
+    fn batched_matches_scalar_and_uninterned_at_scale(seed in 0u64..20_000) {
+        let q = random_query(seed);
+        let cat = catalog();
+        let mut gen = DbGenerator::new(cat.clone(), wide_domain(), 300, seed ^ 0xBA7C);
+        let mut db = gen.next_db();
+        while db.iter().map(|r| r.len()).sum::<usize>() < 256 {
+            db = gen.next_db();
+        }
+        let raw = uninterned_copy(&db);
+        let plans = four_plans(&q, &cat, &db);
+        let reference_plans = four_plans(&q, &cat, &raw);
+        for (lang, (plan, reference)) in plans.iter().zip(&reference_plans).enumerate() {
+            assert_batched_scalar_reference_agree(plan, reference, &db, &raw,
+                                                  &format!("seed={seed} lang={lang}"));
         }
     }
 
