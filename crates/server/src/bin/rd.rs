@@ -59,7 +59,12 @@ SERVE OPTIONS (rd serve):
                       ephemeral port)
     --workers <N>     Compute-pool threads = concurrent query evaluations
                       (default 8). Connections are multiplexed by the
-                      poll(2) event loop and are not bounded by this.
+                      epoll event loops and are not bounded by this; the
+                      pool is sliced across shards.
+    --shards <N>      Event-loop shards, each a dedicated thread with its
+                      own epoll instance, connection table, and compute-
+                      pool slice (default: one per available core;
+                      1 reproduces the single-loop topology)
     --parse-cache <N> Shared parse-cache capacity in entries (default 256)
     --eval-cache <N>  Shared result-cache capacity in entries (default 256)
     --no-eval-cache   Disable the result cache (every query re-evaluates)
@@ -101,7 +106,10 @@ BENCH OPTIONS (rd bench-client):
                       pipeline ids (default 1 = lock-step round trips)
     --idle-conns <N>  Open N extra idle connections before the run and
                       hold them open throughout (flood mode: proves idle
-                      clients don't consume workers)
+                      clients don't consume workers). Connects are ramped
+                      in chunks so tens of thousands of sockets open
+                      without an accept storm; the report adds
+                      connect-latency percentiles.
     --query <Q>       Add a query to the mix (repeatable; default: a
                       four-language demo mix)
     --sweep <LIST>    Sweep thread counts, e.g. --sweep 1,2,4,8 (one run
@@ -113,9 +121,11 @@ BENCH OPTIONS (rd bench-client):
     --csv             Emit one CSV row per run (throughput + latency
                       percentiles) instead of the human-readable report
     --json <FILE>     Write a machine-readable report to FILE: client
-                      throughput and latency percentiles plus the
-                      server's per-stage p50/p95/p99 breakdown (for
-                      diffing BENCH_*.json baselines across runs)
+                      throughput, latency and connect-latency
+                      percentiles, plus the server's per-stage
+                      p50/p95/p99 breakdown and per-shard connection
+                      distribution (for diffing BENCH_*.json baselines
+                      across runs)
     --stats           Print the server's aggregated stats after the run
     --shutdown        Send {\"op\":\"shutdown\"} after the run
 
@@ -532,6 +542,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--workers" => {
                 server_cfg.workers = parse_count(it.next(), "--workers")?;
             }
+            "--shards" => {
+                server_cfg.shards = parse_count(it.next(), "--shards")?;
+            }
             "--parse-cache" => {
                 server_cfg.parse_cache_capacity = parse_count(it.next(), "--parse-cache")?;
             }
@@ -591,7 +604,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write port file '{path}': {e}"))?;
     }
     eprintln!(
-        "rd-server listening on {addr} — poll(2) event loop, {} compute workers, eval cache {}{}",
+        "rd-server listening on {addr} — {} epoll shard{}, {} compute workers, eval cache {}{}",
+        server.shard_count(),
+        if server.shard_count() == 1 { "" } else { "s" },
         server_cfg.workers,
         if server_cfg.eval_cache { "on" } else { "off" },
         server_cfg
@@ -739,14 +754,14 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
     }
     if let Some(path) = &json_path {
         let report = json_report.as_ref().ok_or("no bench run to report")?;
-        // The per-stage breakdown comes from the server's histogram
-        // registry; a server without it (older build) still yields a
-        // client-side-only file.
-        let stages = Client::connect(&addr)
+        // The per-stage breakdown and per-shard distribution come from
+        // the server's stats; a server without them (older build) still
+        // yields a client-side-only file.
+        let (stages, shards) = Client::connect(&addr)
             .and_then(|mut c| c.stats())
-            .map(|s| s.stages)
+            .map(|s| (s.stages, s.shards))
             .unwrap_or_default();
-        let mut text = report.render_json(&stages);
+        let mut text = report.render_json(&stages, &shards);
         text.push('\n');
         std::fs::write(path, text).map_err(|e| format!("cannot write '{path}': {e}"))?;
         eprintln!("wrote {path}");
@@ -760,6 +775,19 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
                 "server:   {} connections ({} active, {} evicted), {} requests, {} errors, {} workers",
                 s.connections, s.active_connections, s.evicted, s.requests, s.errors, s.workers
             );
+            if !s.shards.is_empty() {
+                let spread: Vec<String> = s
+                    .shards
+                    .iter()
+                    .map(|sh| {
+                        format!(
+                            "s{}: {} ({} active, {} evicted)",
+                            sh.shard, sh.connections, sh.active, sh.evicted
+                        )
+                    })
+                    .collect();
+                println!("shards:   {}", spread.join(", "));
+            }
             println!(
                 "sessions: {} queries; parse {} hits / {} misses; eval {} hits / {} misses (cache {})",
                 s.sessions.queries,

@@ -3,7 +3,8 @@
 //! bench-client`.
 
 use crate::protocol::{
-    self, LoadSource, Reassembler, Request, RequestId, Response, StageLatency, StatsResult,
+    self, LoadSource, Reassembler, Request, RequestId, Response, ShardBreakdown, StageLatency,
+    StatsResult,
 };
 use rd_core::Value;
 use rd_engine::{DiagramFormat, Language};
@@ -308,6 +309,9 @@ pub struct BenchReport {
     pub eval_cache_hits: u64,
     /// Per-request latencies, sorted ascending.
     pub latencies: Vec<Duration>,
+    /// Per-socket connect latencies for the idle flood (one entry per
+    /// `idle_conns` socket), sorted ascending. Empty without a flood.
+    pub connect_latencies: Vec<Duration>,
 }
 
 impl BenchReport {
@@ -328,6 +332,16 @@ impl BenchReport {
         }
         let rank = ((self.latencies.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
         Some(self.latencies[rank])
+    }
+
+    /// The `p`-th connect-latency percentile (0.0..=1.0), if an idle
+    /// flood ran.
+    pub fn connect_percentile(&self, p: f64) -> Option<Duration> {
+        if self.connect_latencies.is_empty() {
+            return None;
+        }
+        let rank = ((self.connect_latencies.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        Some(self.connect_latencies[rank])
     }
 
     /// Mutations per second over the whole run (0 with no mutations).
@@ -368,18 +382,36 @@ impl BenchReport {
                 self.mutation_throughput(),
             ));
         }
+        if !self.connect_latencies.is_empty() {
+            let cpct = |p: f64| {
+                self.connect_percentile(p)
+                    .map_or("-".to_string(), |d| format!("{:.2?}", d))
+            };
+            out.push_str(&format!(
+                "\nconnect:  {} sockets, p50 {} / p95 {} / p99 {} / max {}",
+                self.connect_latencies.len(),
+                cpct(0.50),
+                cpct(0.95),
+                cpct(0.99),
+                cpct(1.0),
+            ));
+        }
         out
     }
 
     /// A machine-readable rendering for `rd bench-client --json`:
-    /// client-side throughput and latency percentiles, plus the
-    /// server's per-stage breakdown when its stats were fetched.
-    /// Successive runs' files diff cleanly (stable key order, one
-    /// object).
-    pub fn render_json(&self, stages: &[StageLatency]) -> String {
+    /// client-side throughput, latency and connect-latency percentiles,
+    /// plus the server's per-stage breakdown and per-shard connection
+    /// distribution when its stats were fetched. Successive runs' files
+    /// diff cleanly (stable key order, one object).
+    pub fn render_json(&self, stages: &[StageLatency], shards: &[ShardBreakdown]) -> String {
         use serde::json::Value as Json;
         let micros = |p: f64| {
             self.percentile(p)
+                .map_or(0, |d| d.as_micros().min(u64::MAX as u128)) as i64
+        };
+        let cmicros = |p: f64| {
+            self.connect_percentile(p)
                 .map_or(0, |d| d.as_micros().min(u64::MAX as u128)) as i64
         };
         let pairs = vec![
@@ -406,6 +438,19 @@ impl BenchReport {
                 Json::Int(self.eval_cache_hits as i64),
             ),
             (
+                "connect_latency_micros".to_string(),
+                Json::Object(vec![
+                    (
+                        "count".into(),
+                        Json::Int(self.connect_latencies.len() as i64),
+                    ),
+                    ("p50".into(), Json::Int(cmicros(0.50))),
+                    ("p95".into(), Json::Int(cmicros(0.95))),
+                    ("p99".into(), Json::Int(cmicros(0.99))),
+                    ("max".into(), Json::Int(cmicros(1.0))),
+                ]),
+            ),
+            (
                 "stages".to_string(),
                 Json::Array(
                     stages
@@ -417,6 +462,22 @@ impl BenchReport {
                                 ("p50".into(), Json::Int(st.p50 as i64)),
                                 ("p95".into(), Json::Int(st.p95 as i64)),
                                 ("p99".into(), Json::Int(st.p99 as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "shards".to_string(),
+                Json::Array(
+                    shards
+                        .iter()
+                        .map(|sh| {
+                            Json::Object(vec![
+                                ("shard".into(), Json::Int(sh.shard as i64)),
+                                ("connections".into(), Json::Int(sh.connections as i64)),
+                                ("active".into(), Json::Int(sh.active as i64)),
+                                ("evicted".into(), Json::Int(sh.evicted as i64)),
                             ])
                         })
                         .collect(),
@@ -567,13 +628,26 @@ fn drive_pipelined(
 /// `pipeline` deep), optionally alongside `idle_conns` idle
 /// connections, measuring per-request latency.
 pub fn run_bench(config: &BenchConfig) -> std::io::Result<BenchReport> {
-    // The idle flood connects (and proves liveness with one ping) up
-    // front, then just sits there for the whole run.
+    // The idle flood connects up front in ramped chunks — one ping
+    // round-trip per chunk paces the SYN stream against the acceptor's
+    // drain rate, so tens of thousands of sockets connect without an
+    // accept storm (or a listen-backlog overflow). Per-socket connect
+    // latency is measured on the raw `connect`, and every chunk proves
+    // liveness end-to-end through one of its members.
+    const RAMP_CHUNK: usize = 512;
     let mut idle = Vec::with_capacity(config.idle_conns);
-    for _ in 0..config.idle_conns {
-        let mut client = Client::connect(&config.addr)?;
-        client.ping()?;
-        idle.push(client);
+    let mut connect_latencies = Vec::with_capacity(config.idle_conns);
+    while idle.len() < config.idle_conns {
+        let chunk = RAMP_CHUNK.min(config.idle_conns - idle.len());
+        for _ in 0..chunk {
+            let connect_start = Instant::now();
+            let client = Client::connect(&config.addr)?;
+            connect_latencies.push(connect_start.elapsed());
+            idle.push(client);
+        }
+        if let Some(probe) = idle.last_mut() {
+            probe.ping()?;
+        }
     }
     let start = Instant::now();
     let threads: Vec<_> = (0..config.threads.max(1))
@@ -620,6 +694,7 @@ pub fn run_bench(config: &BenchConfig) -> std::io::Result<BenchReport> {
     }
     drop(idle);
     latencies.sort_unstable();
+    connect_latencies.sort_unstable();
     Ok(BenchReport {
         completed,
         errors,
@@ -628,5 +703,6 @@ pub fn run_bench(config: &BenchConfig) -> std::io::Result<BenchReport> {
         cache_hits,
         eval_cache_hits,
         latencies,
+        connect_latencies,
     })
 }

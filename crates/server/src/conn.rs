@@ -93,6 +93,10 @@ pub struct Conn<S> {
     pub fatal: bool,
     /// Last moment bytes moved in either direction (idle eviction).
     pub last_activity: Instant,
+    /// The event mask currently registered with the shard's epoll
+    /// instance; the loop issues `EPOLL_CTL_MOD` only when the desired
+    /// mask diverges from this.
+    pub interest: u32,
 }
 
 impl<S: Read + Write> Conn<S> {
@@ -112,6 +116,7 @@ impl<S: Read + Write> Conn<S> {
             read_closed: false,
             fatal: false,
             last_activity: Instant::now(),
+            interest: 0,
         }
     }
 

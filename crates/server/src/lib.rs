@@ -8,12 +8,12 @@
 //!
 //! ```text
 //!                 ┌──────────────────── rd-server ───────────────────┐
-//! client ── TCP ─▶│ reactor: poll(2) event loop, nonblocking sockets │
-//! client ── TCP ─▶│   read_buf → lines → pending ─▶ compute pool     │
-//!    ...          │   write_buf ◀─ frames ◀─ completions + waker     │
+//! client ── TCP ─▶│ acceptor ─▶ shard 0: epoll loop + pool slice     │
+//! client ── TCP ─▶│     │   └─▶ shard 1: epoll loop + pool slice     │
+//!    ...          │     └─────▶ ...       (one loop thread per core) │
 //! client ── TCP ─▶│                  │                               │
-//!  (thousands)    │        ┌─ EngineShared (Arc) ────────────┐       │
-//!                 │        │ DbEpoch (generation-stamped db) │       │
+//! (tens of        │        ┌─ EngineShared (Arc) ────────────┐       │
+//!  thousands)     │        │ DbEpoch (generation-stamped db) │       │
 //!                 │        │ sharded parse cache             │       │
 //!                 │        │ sharded eval/result cache       │       │
 //!                 │        └─────────────────────────────────┘       │
@@ -27,15 +27,20 @@
 //!   may carry an `"id"` for pipelining (many in flight per
 //!   connection), and large results stream as `rows-chunk` /
 //!   `rows-end` frames above a configurable row threshold.
-//! * **Reactor** ([`reactor`], [`server`], [`conn`]): a readiness-based
-//!   event loop — the build is offline, so no async runtime; `poll(2)`
-//!   is reached through a thin `extern "C"` binding and everything else
-//!   is nonblocking `std::net`. One loop thread multiplexes every
-//!   connection's state machine ([`conn::Conn`]); the fixed thread pool
-//!   ([`pool`]) is purely a compute pool that evaluates requests and
-//!   posts framed responses back through a wakeup pipe. Idle
-//!   connections cost one `pollfd`, not a worker, so pool width bounds
-//!   concurrent *evaluations*, not clients. All sessions share one
+//! * **Reactor** ([`reactor`], [`server`], [`conn`]): a thread-per-core
+//!   sharded event loop — the build is offline, so no async runtime;
+//!   `epoll` and `poll(2)` are reached through thin `extern "C"`
+//!   bindings and everything else is nonblocking `std::net`. An
+//!   acceptor thread routes each socket to the least-loaded shard; each
+//!   shard thread runs its own `epoll` loop with persistent
+//!   registrations, owns its connections' state machines
+//!   ([`conn::Conn`]) outright, and drives its own slice of the fixed
+//!   thread pool ([`pool`]) — purely a compute pool that evaluates
+//!   requests and posts framed responses back through a wakeup pipe.
+//!   Idle connections cost one epoll registration, not a worker, so
+//!   pool width bounds concurrent *evaluations*, not clients, and
+//!   per-wakeup work scales with readiness, not with the connection
+//!   count. All sessions share one
 //!   [`EngineShared`](rd_engine::EngineShared): repeated identical
 //!   queries across *different* connections are served from the shared
 //!   result cache without re-evaluating; reloading the database bumps
@@ -65,6 +70,6 @@ pub use client::{run_bench, BenchConfig, BenchReport, Client};
 pub use pool::ThreadPool;
 pub use protocol::{
     LoadSource, MetricsResult, QueryResult, Reassembler, Request, RequestId, Response,
-    StageLatency, StatsResult,
+    ShardBreakdown, StageLatency, StatsResult,
 };
 pub use server::{Server, ServerConfig};

@@ -434,6 +434,11 @@ pub struct StatsResult {
     /// Per-stage latency summaries (appended in PR 7; absent in older
     /// frames — decodes to empty).
     pub stages: Vec<StageLatency>,
+    /// Per-shard connection breakdown (appended in PR 9; absent in
+    /// older frames — decodes to empty). Counters here are cumulative
+    /// since boot even in `reset` frames: the breakdown identifies
+    /// shards, it is not a windowed rate.
+    pub shards: Vec<ShardBreakdown>,
 }
 
 /// One pipeline stage's latency summary inside a stats frame.
@@ -449,6 +454,19 @@ pub struct StageLatency {
     pub p95: u64,
     /// 99th-percentile latency in microseconds.
     pub p99: u64,
+}
+
+/// One event-loop shard's connection counters inside a stats frame.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardBreakdown {
+    /// Shard index (`0..shards`).
+    pub shard: u64,
+    /// Connections routed to this shard since boot.
+    pub connections: u64,
+    /// Connections currently open on this shard.
+    pub active: u64,
+    /// Connections this shard closed by idle-timeout eviction.
+    pub evicted: u64,
 }
 
 /// The payload of a metrics response.
@@ -700,6 +718,33 @@ fn stage_latencies_from_json(v: &Json) -> Result<Vec<StageLatency>, String> {
             })
             .collect(),
         Some(other) => Err(format!("'stages' must be an array, found {other}")),
+    }
+}
+
+fn shard_breakdown_to_json(sb: &ShardBreakdown) -> Json {
+    obj(vec![
+        ("shard", u(sb.shard)),
+        ("connections", u(sb.connections)),
+        ("active", u(sb.active)),
+        ("evicted", u(sb.evicted)),
+    ])
+}
+
+fn shard_breakdowns_from_json(v: &Json) -> Result<Vec<ShardBreakdown>, String> {
+    match v.get("shards") {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|item| {
+                Ok(ShardBreakdown {
+                    shard: get_u64(item, "shard")?,
+                    connections: get_u64(item, "connections")?,
+                    active: get_u64(item, "active")?,
+                    evicted: get_u64(item, "evicted")?,
+                })
+            })
+            .collect(),
+        Some(other) => Err(format!("'shards' must be an array, found {other}")),
     }
 }
 
@@ -1024,6 +1069,11 @@ impl serde::Serialize for Response {
                     "stages",
                     Json::Array(st.stages.iter().map(stage_latency_to_json).collect()),
                 ),
+                // Appended after the PR-7 fields (same compat contract).
+                (
+                    "shards",
+                    Json::Array(st.shards.iter().map(shard_breakdown_to_json).collect()),
+                ),
             ]),
             Response::Metrics(m) => obj(vec![
                 ("ok", Json::Bool(true)),
@@ -1206,6 +1256,7 @@ impl serde::Deserialize for Response {
                 tables: get_u64(v, "tables")?,
                 tuples: get_u64(v, "tuples")?,
                 stages: stage_latencies_from_json(v)?,
+                shards: shard_breakdowns_from_json(v)?,
             })),
             "metrics" => Ok(Response::Metrics(MetricsResult {
                 text: get_str(v, "text")?,
@@ -1778,6 +1829,48 @@ mod tests {
         assert_ne!(legacy, line, "replacement must hit");
         match decode::<Response>(&legacy).unwrap() {
             Response::Stats(st) => assert!(st.stages.is_empty()),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_with_shard_breakdown_roundtrip() {
+        let stats = Response::Stats(StatsResult {
+            connections: 9,
+            active_connections: 3,
+            evicted: 1,
+            shards: vec![
+                ShardBreakdown {
+                    shard: 0,
+                    connections: 5,
+                    active: 2,
+                    evicted: 0,
+                },
+                ShardBreakdown {
+                    shard: 1,
+                    connections: 4,
+                    active: 1,
+                    evicted: 1,
+                },
+            ],
+            fingerprint: "abc".into(),
+            ..StatsResult::default()
+        });
+        let line = encode(&stats);
+        assert!(line.contains(r#""shards":["#), "{line}");
+        let back: Response = decode(&line).unwrap();
+        assert_eq!(back, stats);
+        // Pre-sharding frames (no shards array) decode to empty.
+        let legacy = line.replace(
+            r#","shards":[{"shard":0,"connections":5,"active":2,"evicted":0},{"shard":1,"connections":4,"active":1,"evicted":1}]"#,
+            "",
+        );
+        assert_ne!(legacy, line, "replacement must hit");
+        match decode::<Response>(&legacy).unwrap() {
+            Response::Stats(st) => {
+                assert!(st.shards.is_empty());
+                assert_eq!(st.connections, 9, "totals survive without the breakdown");
+            }
             other => panic!("expected stats, got {other:?}"),
         }
     }

@@ -1,32 +1,44 @@
-//! The TCP query service: a readiness-based reactor (one event-loop
-//! thread multiplexing every connection over `poll(2)`) in front of a
-//! fixed compute pool that evaluates requests off the loop.
+//! The TCP query service: a thread-per-core sharded reactor — one
+//! acceptor thread routing sockets to N per-shard `epoll` event loops,
+//! each owning its connections end-to-end with its own slice of the
+//! compute pool.
 //!
 //! ```text
-//!            ┌────────────────── event loop ──────────────────┐
-//! accept ───▶│ nonblocking sockets ── poll(2) ── wakeup pipe  │
-//! conns  ───▶│ read_buf → lines → pending ─┐   ┌─▶ write_buf  │
-//!            └─────────────────────────────┼───┼──────────────┘
-//!                                          ▼   │ completions
-//!                              ┌─── compute pool (N workers) ──┐
-//!                              │ decode → Session::run → frames│
-//!                              └───────────────────────────────┘
+//!             ┌─ acceptor: poll(2) on {listener, waker} ─┐
+//!   accept ──▶│  route least-loaded ──▶ shard inboxes    │
+//!             └───────────┬──────────────────┬───────────┘
+//!             ┌─ shard 0 ─▼────────┐ ┌─ shard 1 ─▼───────┐
+//!             │ epoll loop + waker │ │ epoll loop + waker│  × N
+//!             │ conn table (local) │ │ conn table (local)│
+//!             │ pool slice (w/N)   │ │ pool slice (w/N)  │
+//!             └────────────────────┘ └───────────────────┘
 //! ```
 //!
-//! The loop never blocks on a socket and never evaluates a query;
-//! workers never touch a socket. Idle connections therefore cost one
-//! `pollfd` each — not a pinned worker — so the pool width bounds
-//! *concurrent evaluations*, not concurrent clients. Completed
-//! responses are posted back through a mutex-protected queue plus a
-//! self-pipe wake ([`crate::reactor::Waker`]).
+//! A shard's loop never blocks on a socket and never evaluates a
+//! query; its pool workers never touch a socket. Registrations are
+//! persistent (`epoll_ctl` once per connection, `MOD` only when
+//! interest changes) and per-wakeup work is event-driven — only the
+//! connections actually touched this iteration are serviced, and the
+//! idle-eviction scan runs only when its computed deadline fires — so
+//! per-wakeup cost scales with readiness, not with the total
+//! connection count. Everything per-connection (read/write buffers,
+//! pending pipeline, epoll registration) is shard-local and needs no
+//! locking; shared state (the engine, the durable store, request
+//! counters, the session aggregate) stays global. Completed responses
+//! are posted back to the owning shard through a mutex-protected queue
+//! plus a self-pipe wake ([`crate::reactor::Waker`]); shutdown
+//! broadcasts to the acceptor and every shard, with one global drain
+//! deadline. `--shards 1` reproduces the old single-loop topology.
 
 use crate::conn::{Conn, ReadOutcome, WorkerSession};
 use crate::pool::ThreadPool;
 use crate::protocol::{
     self, CheckpointResult, LoadResult, LoadSource, MetricsResult, MutationResult, QueryResult,
-    Request, Response, StageLatency, StatsResult,
+    Request, Response, ShardBreakdown, StageLatency, StatsResult,
 };
-use crate::reactor::{self, PollFd, Waker, POLLIN, POLLOUT};
+use crate::reactor::{
+    self, Epoll, EpollEvent, PollFd, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, POLLIN,
+};
 use rd_core::trace::Histogram;
 use rd_core::{Database, Tuple, Value};
 use rd_engine::{
@@ -60,9 +72,15 @@ pub struct ServerConfig {
     /// real one back with [`Server::local_addr`]).
     pub addr: String,
     /// Compute-pool threads: the number of requests evaluating at once.
-    /// Connections are multiplexed by the event loop and are *not*
-    /// bounded by this.
+    /// Connections are multiplexed by the event loops and are *not*
+    /// bounded by this. The pool is sliced across shards (each shard
+    /// gets at least one worker).
     pub workers: usize,
+    /// Event-loop shards: each runs its own epoll loop, connection
+    /// table, and compute-pool slice on a dedicated thread. `0` means
+    /// one shard per available core; `1` reproduces the single-loop
+    /// topology.
+    pub shards: usize,
     /// Shared parse-cache capacity (entries).
     pub parse_cache_capacity: usize,
     /// Shared eval/result-cache capacity (entries).
@@ -105,6 +123,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 8,
+            shards: 0,
             parse_cache_capacity: rd_engine::shared::DEFAULT_PARSE_CACHE_CAPACITY,
             eval_cache_capacity: rd_engine::shared::DEFAULT_EVAL_CACHE_CAPACITY,
             eval_cache: true,
@@ -121,15 +140,13 @@ impl Default for ServerConfig {
     }
 }
 
-/// Server-level counters plus the cross-worker session aggregate.
+/// Server-level shared state: the engine, the global counters, the
+/// cross-worker session aggregate, and one handle per shard.
 struct ServerState {
     engine: Arc<EngineShared>,
     shutdown: AtomicBool,
-    connections: AtomicU64,
-    active: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
-    evicted: AtomicU64,
     workers: u64,
     /// Session counters merged in from every connection after each
     /// request, so a `stats` reply sees live sessions, not just closed
@@ -141,9 +158,16 @@ struct ServerState {
     store: Option<Mutex<Store>>,
     /// Slow-query threshold in microseconds (`None` = log nothing).
     slow_query_log: Option<u64>,
-    /// Non-query-path latency histograms, recorded by the reactor loop
-    /// and the pool handoff.
-    reactor_metrics: Mutex<ReactorMetrics>,
+    /// One handle per event-loop shard: its waker, inbox, connection
+    /// counters, and reactor histograms. Stats and metrics replies
+    /// aggregate across these.
+    shards: Vec<Arc<ShardHandle>>,
+    /// Interrupts the acceptor's `poll` (shutdown broadcast).
+    accept_waker: Waker,
+    /// Set once by [`ServerState::begin_shutdown`]; every shard drains
+    /// against this one global deadline.
+    drain_deadline: Mutex<Option<Instant>>,
+    drain_timeout: Duration,
     /// Counter snapshot taken at the last `stats reset`; the next reset
     /// reply reports growth since here.
     stats_baseline: Mutex<StatsBaseline>,
@@ -181,8 +205,25 @@ struct StatsBaseline {
 }
 
 impl ServerState {
-    fn lock_reactor_metrics(&self) -> MutexGuard<'_, ReactorMetrics> {
-        self.reactor_metrics
+    /// Idempotent shutdown broadcast: arms the one global drain
+    /// deadline, then wakes the acceptor and every shard so all loops
+    /// observe the flag promptly.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            *self
+                .drain_deadline
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()) = Some(Instant::now() + self.drain_timeout);
+            self.accept_waker.wake();
+            for shard in &self.shards {
+                shard.waker.wake();
+            }
+        }
+    }
+
+    fn drain_deadline(&self) -> Option<Instant> {
+        *self
+            .drain_deadline
             .lock()
             .unwrap_or_else(|p| p.into_inner())
     }
@@ -200,31 +241,81 @@ struct Completion {
     shutdown: bool,
 }
 
-/// The worker→loop channel: a queue plus the self-pipe that interrupts
-/// `poll`.
-struct Completions {
+/// The acceptor/worker side of one shard: everything another thread
+/// may touch. The shard's own loop state (epoll instance, connection
+/// table, pool slice) lives in [`ShardLoop`] and is never shared.
+struct ShardHandle {
+    id: usize,
+    /// Interrupts the shard's `epoll_wait` (new sockets, completions,
+    /// shutdown).
     waker: Waker,
-    queue: Mutex<Vec<Completion>>,
+    /// Sockets routed here by the acceptor, adopted on the next wakeup.
+    inbox: Mutex<Vec<TcpStream>>,
+    /// Finished pool jobs waiting for the loop to queue their frames.
+    completions: Mutex<Vec<Completion>>,
+    /// Lifetime connections routed to this shard.
+    connections: AtomicU64,
+    /// Currently-open connections (incremented at routing time, so a
+    /// socket is never unaccounted while it sits in the inbox).
+    active: AtomicU64,
+    /// Connections closed by idle eviction.
+    evicted: AtomicU64,
+    /// This shard's loop-time / queue-depth / pool-wait histograms.
+    metrics: Mutex<ReactorMetrics>,
 }
 
-impl Completions {
-    fn new() -> std::io::Result<Completions> {
-        Ok(Completions {
+impl ShardHandle {
+    fn new(id: usize) -> std::io::Result<ShardHandle> {
+        Ok(ShardHandle {
+            id,
             waker: Waker::new()?,
-            queue: Mutex::new(Vec::new()),
+            inbox: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+            connections: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            metrics: Mutex::new(ReactorMetrics::default()),
         })
     }
 
-    fn push(&self, completion: Completion) {
-        self.queue
+    fn push_completion(&self, completion: Completion) {
+        self.completions
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .push(completion);
         self.waker.wake();
     }
 
-    fn take(&self) -> Vec<Completion> {
-        std::mem::take(&mut *self.queue.lock().unwrap_or_else(|p| p.into_inner()))
+    fn take_completions(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.completions.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    fn push_stream(&self, stream: TcpStream) {
+        self.inbox
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(stream);
+        self.waker.wake();
+    }
+
+    fn take_inbox(&self) -> Vec<TcpStream> {
+        std::mem::take(&mut *self.inbox.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    fn lock_metrics(&self) -> MutexGuard<'_, ReactorMetrics> {
+        self.metrics.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Resolves the configured shard count: `0` means one shard per
+/// available core.
+fn resolve_shards(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -278,19 +369,22 @@ impl Server {
                 ..SharedConfig::default()
             },
         ));
+        let shards = (0..resolve_shards(config.shards))
+            .map(|id| ShardHandle::new(id).map(Arc::new))
+            .collect::<std::io::Result<Vec<_>>>()?;
         let state = Arc::new(ServerState {
             engine,
             shutdown: AtomicBool::new(false),
-            connections: AtomicU64::new(0),
-            active: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
-            evicted: AtomicU64::new(0),
             workers: config.workers.max(1) as u64,
             sessions: Mutex::new(SessionStats::default()),
             store,
             slow_query_log: config.slow_query_log,
-            reactor_metrics: Mutex::new(ReactorMetrics::default()),
+            shards,
+            accept_waker: Waker::new()?,
+            drain_deadline: Mutex::new(None),
+            drain_timeout: config.drain_timeout,
             stats_baseline: Mutex::new(StatsBaseline::default()),
         });
         Ok(Server {
@@ -310,124 +404,282 @@ impl Server {
         self.state.engine.clone()
     }
 
+    /// The number of event-loop shards this server runs (resolved from
+    /// [`ServerConfig::shards`]; `0` meant one per available core).
+    pub fn shard_count(&self) -> usize {
+        self.state.shards.len()
+    }
+
     /// Serves until a client sends `{"op":"shutdown"}`. Blocking; run it
-    /// on its own thread if the caller needs to keep working. Shutdown
-    /// stops accepting, drains in-flight connections up to
-    /// [`ServerConfig::drain_timeout`], then returns.
+    /// on its own thread if the caller needs to keep working. The
+    /// calling thread becomes the acceptor; one thread per shard runs
+    /// an epoll event loop. Shutdown stops accepting, drains in-flight
+    /// connections on every shard up to [`ServerConfig::drain_timeout`],
+    /// then returns.
     pub fn serve(self) -> std::io::Result<()> {
-        Reactor::new(self)?.run()
+        let Server {
+            listener,
+            state,
+            config,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let nshards = state.shards.len();
+        let workers = config.workers.max(1);
+        let mut threads: Vec<std::thread::JoinHandle<std::io::Result<()>>> =
+            Vec::with_capacity(nshards);
+        for handle in &state.shards {
+            // Slice the pool: workers/n each, the remainder spread over
+            // the first shards, never below one thread.
+            let width = (workers / nshards + usize::from(handle.id < workers % nshards)).max(1);
+            let shard = match ShardLoop::new(state.clone(), config.clone(), handle.clone(), width) {
+                Ok(shard) => shard,
+                Err(e) => {
+                    // Already-spawned shards must not outlive a failed
+                    // boot: broadcast shutdown and collect them.
+                    state.begin_shutdown();
+                    for t in threads {
+                        let _ = t.join();
+                    }
+                    return Err(e);
+                }
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("rd-shard-{}", handle.id))
+                .spawn(move || shard.run())
+                .expect("spawn shard loop thread");
+            threads.push(thread);
+        }
+        let result = accept_loop(&listener, &state);
+        drop(listener); // closes the fd: no new connections during drain
+        if result.is_err() {
+            // The acceptor died on a poll error; the shards still need
+            // the shutdown broadcast to drain and exit.
+            state.begin_shutdown();
+        }
+        let mut shard_result = Ok(());
+        for thread in threads {
+            match thread.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => shard_result = Err(e),
+                Err(_) => shard_result = Err(std::io::Error::other("shard loop panicked")),
+            }
+        }
+        result.and(shard_result)
     }
 }
 
-/// The event loop: owns the listener, the connection table, the compute
-/// pool, and the completion channel.
-struct Reactor {
-    listener: Option<TcpListener>,
-    state: Arc<ServerState>,
-    config: ServerConfig,
-    pool: ThreadPool,
-    completions: Arc<Completions>,
-    conns: HashMap<u64, Conn<TcpStream>>,
-    next_token: u64,
-    drain_deadline: Option<Instant>,
+/// The acceptor: a two-fd `poll` loop (shutdown waker + listener) that
+/// routes each accepted socket to the least-loaded shard's inbox. This
+/// is the only cross-shard decision on the connection path, and it
+/// happens once per connection — never per request.
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) -> std::io::Result<()> {
+    let mut rotate = 0usize;
+    loop {
+        let mut pfds = [
+            PollFd::new(state.accept_waker.read_fd(), POLLIN),
+            PollFd::new(listener.as_raw_fd(), POLLIN),
+        ];
+        reactor::poll(&mut pfds, -1)?;
+        state.accept_waker.drain();
+        if state.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if pfds[1].ready(POLLIN) {
+            accept_all(listener, state, &mut rotate)?;
+        }
+    }
 }
 
-impl Reactor {
-    fn new(server: Server) -> std::io::Result<Reactor> {
-        server.listener.set_nonblocking(true)?;
-        Ok(Reactor {
-            listener: Some(server.listener),
-            pool: ThreadPool::new(server.config.workers, "rd-worker"),
-            completions: Arc::new(Completions::new()?),
-            state: server.state,
-            config: server.config,
+fn accept_all(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    rotate: &mut usize,
+) -> std::io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nonblocking(true)?;
+                stream.set_nodelay(true).ok();
+                let shard = route(&state.shards, rotate);
+                // Count at routing time so the socket is never
+                // unaccounted while it sits in the inbox.
+                shard.connections.fetch_add(1, Ordering::Relaxed);
+                shard.active.fetch_add(1, Ordering::Relaxed);
+                shard.push_stream(stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::Interrupted | ErrorKind::ConnectionAborted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Least-loaded routing with a rotating tiebreak: under a uniform load
+/// the rotation degrades to round-robin; under a skewed one (a few
+/// pipelining clients among thousands of idle ones) new sockets avoid
+/// the busy shards.
+fn route<'a>(shards: &'a [Arc<ShardHandle>], rotate: &mut usize) -> &'a Arc<ShardHandle> {
+    let start = *rotate % shards.len();
+    *rotate = rotate.wrapping_add(1);
+    let mut best = start;
+    let mut best_load = shards[start].active.load(Ordering::Relaxed);
+    for offset in 1..shards.len() {
+        let i = (start + offset) % shards.len();
+        let load = shards[i].active.load(Ordering::Relaxed);
+        if load < best_load {
+            best = i;
+            best_load = load;
+        }
+    }
+    &shards[best]
+}
+
+/// The epoll token reserved for the shard's own waker pipe.
+const WAKER_TOKEN: u64 = u64::MAX;
+
+/// One shard's event loop: an epoll instance with persistent
+/// registrations, a private connection table, and a private slice of
+/// the compute pool. Nothing here is shared — the acceptor and the pool
+/// workers reach the shard only through its [`ShardHandle`].
+struct ShardLoop {
+    state: Arc<ServerState>,
+    config: ServerConfig,
+    handle: Arc<ShardHandle>,
+    epoll: Epoll,
+    pool: ThreadPool,
+    conns: HashMap<u64, Conn<TcpStream>>,
+    next_token: u64,
+    /// Set on the iteration that first observes the shutdown flag; the
+    /// one O(n) mark-read-closed pass runs exactly once, there.
+    draining: bool,
+    /// The earliest instant any currently-quiet connection could become
+    /// evictable. The O(n) idle scan runs only when this fires, not on
+    /// every wakeup.
+    next_idle_scan: Option<Instant>,
+}
+
+impl ShardLoop {
+    fn new(
+        state: Arc<ServerState>,
+        config: ServerConfig,
+        handle: Arc<ShardHandle>,
+        pool_width: usize,
+    ) -> std::io::Result<ShardLoop> {
+        let epoll = Epoll::new()?;
+        epoll.add(handle.waker.read_fd(), EPOLLIN, WAKER_TOKEN)?;
+        let pool = ThreadPool::new(pool_width, &format!("rd-worker-s{}", handle.id));
+        Ok(ShardLoop {
+            state,
+            config,
+            handle,
+            epoll,
+            pool,
             conns: HashMap::new(),
             next_token: 0,
-            drain_deadline: None,
+            draining: false,
+            next_idle_scan: None,
         })
     }
 
     fn run(mut self) -> std::io::Result<()> {
-        let mut pfds: Vec<PollFd> = Vec::new();
-        let mut tokens: Vec<u64> = Vec::new();
+        let mut events = vec![EpollEvent::zeroed(); 1024];
+        let mut touched: Vec<u64> = Vec::new();
         loop {
-            // 1. Build this iteration's interest set: the waker, the
-            //    listener (while accepting), and every connection with
-            //    read or write interest.
-            pfds.clear();
-            tokens.clear();
-            pfds.push(PollFd::new(self.completions.waker.read_fd(), POLLIN));
-            if let Some(listener) = &self.listener {
-                pfds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
-            }
-            let conns_at = pfds.len();
-            for (token, conn) in &self.conns {
-                let mut events = 0i16;
-                if conn.wants_read() {
-                    events |= POLLIN;
-                }
-                if conn.has_backlog() {
-                    events |= POLLOUT;
-                }
-                if events != 0 {
-                    tokens.push(*token);
-                    pfds.push(PollFd::new(conn.stream().as_raw_fd(), events));
-                }
-            }
-
-            reactor::poll(&mut pfds, self.poll_timeout())?;
+            let ready = self.epoll.wait(&mut events, self.wait_timeout())?;
             let iter_start = self.state.engine.metrics_enabled().then(Instant::now);
+            touched.clear();
+
+            // 1. Socket readiness: writes first (frees backpressure),
+            //    then reads → framing. Only these connections — plus
+            //    the ones completions and adoptions touch below — get
+            //    serviced this iteration.
+            for event in &events[..ready] {
+                let token = event.token();
+                if token == WAKER_TOKEN {
+                    continue;
+                }
+                touched.push(token);
+                let bits = event.events();
+                if bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0 {
+                    self.flush_conn(token);
+                }
+                if bits & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0 {
+                    self.read_conn(token);
+                }
+            }
 
             // 2. Worker completions (drain the pipe first so a wake
-            //    arriving mid-drain re-reports on the next poll).
-            self.completions.waker.drain();
-            for completion in self.completions.take() {
-                self.finish(completion);
-            }
-
-            // 3. New connections.
-            if self.listener.is_some() && pfds[conns_at - 1].ready(POLLIN) {
-                self.accept_all()?;
-            }
-
-            // 4. Connection I/O: writes first (frees backpressure),
-            //    then reads → framing → dispatch.
-            for (i, token) in tokens.iter().enumerate() {
-                let pfd = pfds[conns_at + i];
-                if pfd.ready(POLLOUT) {
-                    self.flush_conn(*token);
+            //    arriving mid-drain re-reports on the next wait).
+            self.handle.waker.drain();
+            for completion in self.handle.take_completions() {
+                if completion.shutdown {
+                    self.state.begin_shutdown();
                 }
-                if pfd.ready(POLLIN) {
-                    self.read_conn(*token);
+                if let Some(conn) = self.conns.get_mut(&completion.token) {
+                    conn.in_flight = conn.in_flight.saturating_sub(1);
+                    conn.queue(&completion.bytes);
+                    touched.push(completion.token);
                 }
             }
 
-            // 5. Dispatch queued requests freed up by completions, then
-            //    sweep: opportunistic flushes, idle eviction, closes.
-            self.dispatch_ready();
-            self.sweep();
+            // 3. Adopt sockets the acceptor routed here.
+            for stream in self.handle.take_inbox() {
+                if let Some(token) = self.adopt(stream) {
+                    touched.push(token);
+                }
+            }
 
-            // Time spent working this iteration (poll's sleep excluded):
-            // a growing tail here means the loop itself is the
-            // bottleneck, not the compute pool.
+            // 4. Shutdown broadcast: on the iteration that first
+            //    observes the flag, mark every connection read-closed
+            //    (finish what was already sent, read nothing new). This
+            //    is the only full pass outside the idle scan, and it
+            //    runs once.
+            if !self.draining && self.state.shutdown.load(Ordering::SeqCst) {
+                self.draining = true;
+                for (token, conn) in self.conns.iter_mut() {
+                    conn.read_closed = true;
+                    touched.push(*token);
+                }
+            }
+
+            // 5. Service each touched connection once: opportunistic
+            //    flush, dispatch, close, and interest reconciliation.
+            touched.sort_unstable();
+            touched.dedup();
+            for &token in &touched {
+                self.service(token);
+            }
+
+            // 6. The idle-eviction scan, only when its deadline fired.
+            self.maybe_evict_idle();
+
+            // Time spent working this iteration (the wait's sleep
+            // excluded): a growing tail here means this shard's loop is
+            // the bottleneck, not its compute slice.
             if let Some(t) = iter_start {
-                self.state
-                    .lock_reactor_metrics()
+                self.handle
+                    .lock_metrics()
                     .loop_micros
                     .record(elapsed_micros(t));
             }
 
-            if let Some(deadline) = self.drain_deadline {
+            if self.draining {
                 if self.conns.is_empty() {
                     break;
                 }
-                if Instant::now() >= deadline {
-                    // Drain deadline passed: force-close stragglers.
-                    for (_, conn) in self.conns.drain() {
-                        self.state.active.fetch_sub(1, Ordering::Relaxed);
-                        drop(conn);
+                if let Some(deadline) = self.state.drain_deadline() {
+                    if Instant::now() >= deadline {
+                        // Drain deadline passed: force-close stragglers.
+                        for (_, conn) in self.conns.drain() {
+                            self.handle.active.fetch_sub(1, Ordering::Relaxed);
+                            drop(conn);
+                        }
+                        break;
                     }
-                    break;
                 }
             }
         }
@@ -438,17 +690,21 @@ impl Reactor {
         Ok(())
     }
 
-    /// How long `poll` may sleep: forever unless an idle-eviction or
-    /// drain deadline needs a timed wakeup.
-    fn poll_timeout(&self) -> i32 {
-        let mut deadline = self.drain_deadline;
-        if let Some(idle) = self.config.idle_timeout {
-            for conn in self.conns.values() {
-                if conn.is_quiet() {
-                    let evict_at = conn.last_activity + idle;
-                    deadline = Some(deadline.map_or(evict_at, |d| d.min(evict_at)));
-                }
+    /// How long `epoll_wait` may sleep: forever unless an idle-eviction
+    /// or drain deadline needs a timed wakeup.
+    fn wait_timeout(&self) -> i32 {
+        let mut deadline = if self.draining {
+            match self.state.drain_deadline() {
+                Some(d) => Some(d),
+                // Shutdown flag seen before the deadline store landed:
+                // poll again shortly rather than sleeping forever.
+                None => return 10,
             }
+        } else {
+            None
+        };
+        if let Some(scan_at) = self.next_idle_scan {
+            deadline = Some(deadline.map_or(scan_at, |d| d.min(scan_at)));
         }
         match deadline {
             None => -1,
@@ -459,54 +715,36 @@ impl Reactor {
         }
     }
 
-    fn accept_all(&mut self) -> std::io::Result<()> {
-        while let Some(listener) = &self.listener {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    stream.set_nonblocking(true)?;
-                    stream.set_nodelay(true).ok();
-                    self.state.connections.fetch_add(1, Ordering::Relaxed);
-                    self.state.active.fetch_add(1, Ordering::Relaxed);
-                    let token = self.next_token;
-                    self.next_token += 1;
-                    let session = Arc::new(Mutex::new(WorkerSession {
-                        session: Session::attach(self.state.engine.clone()),
-                        merged: SessionStats::default(),
-                    }));
-                    self.conns.insert(token, Conn::new(token, stream, session));
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        ErrorKind::Interrupted | ErrorKind::ConnectionAborted
-                    ) => {}
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(())
-    }
-
-    /// Routes one finished job back to its connection (which may have
-    /// closed underneath it — then the bytes are simply dropped).
-    fn finish(&mut self, completion: Completion) {
-        if completion.shutdown && self.drain_deadline.is_none() {
-            self.initiate_shutdown();
-        }
-        if let Some(conn) = self.conns.get_mut(&completion.token) {
-            conn.in_flight = conn.in_flight.saturating_sub(1);
-            conn.queue(&completion.bytes);
-        }
-    }
-
-    /// Stops accepting and starts the drain clock; connections finish
-    /// what they already sent but no new requests are read.
-    fn initiate_shutdown(&mut self) {
-        self.state.shutdown.store(true, Ordering::SeqCst);
-        self.listener = None; // closes the fd: no new connections
-        self.drain_deadline = Some(Instant::now() + self.config.drain_timeout);
-        for conn in self.conns.values_mut() {
+    /// Registers one routed socket with this shard's epoll instance and
+    /// connection table. Returns `None` (closing the socket) if the
+    /// kernel refused the registration.
+    fn adopt(&mut self, stream: TcpStream) -> Option<u64> {
+        let token = self.next_token;
+        self.next_token += 1;
+        let session = Arc::new(Mutex::new(WorkerSession {
+            session: Session::attach(self.state.engine.clone()),
+            merged: SessionStats::default(),
+        }));
+        let mut conn = Conn::new(token, stream, session);
+        conn.interest = EPOLLIN;
+        if self.draining {
+            // Accepted before shutdown, adopted after: nothing was ever
+            // read, so it closes as soon as it is serviced.
             conn.read_closed = true;
+            conn.interest = 0;
+        }
+        match self
+            .epoll
+            .add(conn.stream().as_raw_fd(), conn.interest, token)
+        {
+            Ok(()) => {
+                self.conns.insert(token, conn);
+                Some(token)
+            }
+            Err(_) => {
+                self.handle.active.fetch_sub(1, Ordering::Relaxed);
+                None
+            }
         }
     }
 
@@ -514,7 +752,7 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        if conn.flush().is_err() {
+        if conn.has_backlog() && conn.flush().is_err() {
             self.close(token);
         }
     }
@@ -525,6 +763,11 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
+        if conn.read_closed {
+            // Draining (or already saw EOF): an EPOLLHUP must not grow
+            // the pipeline with requests we promised not to read.
+            return;
+        }
         let outcome = conn.fill();
         if outcome == ReadOutcome::Dead {
             self.close(token);
@@ -566,101 +809,154 @@ impl Reactor {
         }
     }
 
-    /// Hands each connection's queued requests to the pool — one job
-    /// per connection at a time, so responses stay in request order and
-    /// one deep pipeline cannot monopolize the workers. A job takes the
-    /// connection's whole queue (up to a fairness cap): this is where
-    /// pipelining pays, amortizing the loop↔pool handoff and the write
-    /// syscalls across every request the client kept in flight.
-    fn dispatch_ready(&mut self) {
-        /// Requests one job may carry (bounds worker occupancy per conn).
-        const MAX_BATCH: usize = 64;
-        let trace = self.state.engine.metrics_enabled();
-        for conn in self.conns.values_mut() {
-            if conn.in_flight != 0 || conn.fatal || conn.pending.is_empty() {
-                continue;
+    /// One post-I/O pass over a touched connection: opportunistic
+    /// flush, dispatch, close-if-finished, epoll interest
+    /// reconciliation, and idle-deadline bookkeeping.
+    fn service(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        // Try to write without waiting for the next EPOLLOUT round;
+        // most responses fit the socket buffer immediately.
+        if conn.has_backlog() && conn.flush().is_err() {
+            self.close(token);
+            return;
+        }
+        if conn.in_flight == 0 && !conn.fatal && !conn.pending.is_empty() {
+            self.dispatch(token);
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let finished = conn.read_closed && conn.is_quiet();
+        let aborted = conn.fatal && !conn.has_backlog();
+        if finished || aborted {
+            self.close(token);
+            return;
+        }
+        // Reconcile the kernel's interest set with what the connection
+        // wants now; MOD only on change, so steady-state pipelining
+        // does zero epoll_ctl calls.
+        let mut want = 0u32;
+        if conn.wants_read() && !conn.read_closed {
+            want |= EPOLLIN;
+        }
+        if conn.has_backlog() {
+            want |= EPOLLOUT;
+        }
+        if want != conn.interest
+            && self
+                .epoll
+                .modify(conn.stream().as_raw_fd(), want, token)
+                .is_ok()
+        {
+            // A failed MOD leaves the old registration; level-triggered
+            // readiness keeps the connection serviced (worst case:
+            // spurious wakeups), so no close is needed.
+            conn.interest = want;
+        }
+        if let Some(idle) = self.config.idle_timeout {
+            if conn.is_quiet() && !conn.read_closed {
+                let evict_at = conn.last_activity + idle;
+                self.next_idle_scan =
+                    Some(self.next_idle_scan.map_or(evict_at, |d| d.min(evict_at)));
             }
-            if trace {
-                self.state
-                    .lock_reactor_metrics()
-                    .queue_depth
-                    .record(conn.pending.len() as u64);
-            }
-            let take = conn.pending.len().min(MAX_BATCH);
-            let lines: Vec<String> = conn.pending.drain(..take).collect();
-            conn.in_flight = 1;
-            let token = conn.token;
-            let session = conn.session.clone();
-            let state = self.state.clone();
-            let completions = self.completions.clone();
-            let stream_threshold = self.config.stream_threshold;
-            let enqueued = trace.then(Instant::now);
-            self.pool.execute(move || {
-                if let Some(t) = enqueued {
-                    state
-                        .lock_reactor_metrics()
-                        .pool_wait
-                        .record(elapsed_micros(t));
-                }
-                // A panicking handler must still complete the batch:
-                // the connection would otherwise wait forever with
-                // `in_flight` stuck at 1. (Per-request panics are
-                // already contained inside `run_batch`.)
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_batch(&state, &session, &lines, stream_threshold)
-                }));
-                let (bytes, shutdown) = result.unwrap_or_else(|_| {
-                    (
-                        error_line("internal error: request handler panicked".into()),
-                        false,
-                    )
-                });
-                completions.push(Completion {
-                    token,
-                    bytes,
-                    shutdown,
-                });
-            });
         }
     }
 
-    /// Opportunistic flushes, idle eviction, and closing finished
-    /// connections.
-    fn sweep(&mut self) {
+    /// Hands one connection's queued requests to the pool — one job per
+    /// connection at a time, so responses stay in request order and one
+    /// deep pipeline cannot monopolize the workers. A job takes the
+    /// connection's whole queue (up to a fairness cap): this is where
+    /// pipelining pays, amortizing the loop↔pool handoff and the write
+    /// syscalls across every request the client kept in flight.
+    fn dispatch(&mut self, token: u64) {
+        /// Requests one job may carry (bounds worker occupancy per conn).
+        const MAX_BATCH: usize = 64;
+        let trace = self.state.engine.metrics_enabled();
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if trace {
+            self.handle
+                .lock_metrics()
+                .queue_depth
+                .record(conn.pending.len() as u64);
+        }
+        let take = conn.pending.len().min(MAX_BATCH);
+        let lines: Vec<String> = conn.pending.drain(..take).collect();
+        conn.in_flight = 1;
+        let session = conn.session.clone();
+        let state = self.state.clone();
+        let handle = self.handle.clone();
+        let stream_threshold = self.config.stream_threshold;
+        let enqueued = trace.then(Instant::now);
+        self.pool.execute(move || {
+            if let Some(t) = enqueued {
+                handle.lock_metrics().pool_wait.record(elapsed_micros(t));
+            }
+            // A panicking handler must still complete the batch:
+            // the connection would otherwise wait forever with
+            // `in_flight` stuck at 1. (Per-request panics are
+            // already contained inside `run_batch`.)
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_batch(&state, &session, &lines, stream_threshold)
+            }));
+            let (bytes, shutdown) = result.unwrap_or_else(|_| {
+                (
+                    error_line("internal error: request handler panicked".into()),
+                    false,
+                )
+            });
+            handle.push_completion(Completion {
+                token,
+                bytes,
+                shutdown,
+            });
+        });
+    }
+
+    /// Runs the O(n) idle scan — but only when the precomputed deadline
+    /// has actually fired. Evicts everything overdue and recomputes the
+    /// next deadline from the survivors.
+    fn maybe_evict_idle(&mut self) {
+        let Some(idle) = self.config.idle_timeout else {
+            return;
+        };
+        let Some(scan_at) = self.next_idle_scan else {
+            return;
+        };
         let now = Instant::now();
-        let mut closing: Vec<u64> = Vec::new();
+        if now < scan_at {
+            return;
+        }
         let mut evicting: Vec<u64> = Vec::new();
-        for (token, conn) in self.conns.iter_mut() {
-            // Try to write without waiting for the next POLLOUT round;
-            // most responses fit the socket buffer immediately.
-            if conn.has_backlog() && conn.flush().is_err() {
-                closing.push(*token);
+        let mut next: Option<Instant> = None;
+        for (token, conn) in self.conns.iter() {
+            if !conn.is_quiet() || conn.read_closed {
                 continue;
             }
-            let finished = conn.read_closed && conn.is_quiet();
-            let aborted = conn.fatal && !conn.has_backlog();
-            if finished || aborted {
-                closing.push(*token);
-                continue;
-            }
-            if let Some(idle) = self.config.idle_timeout {
-                if conn.is_quiet() && !conn.read_closed && now >= conn.last_activity + idle {
-                    evicting.push(*token);
-                }
+            let evict_at = conn.last_activity + idle;
+            if now >= evict_at {
+                evicting.push(*token);
+            } else {
+                next = Some(next.map_or(evict_at, |d| d.min(evict_at)));
             }
         }
-        for token in closing {
-            self.close(token);
-        }
+        self.next_idle_scan = next;
         for token in evicting {
-            self.state.evicted.fetch_add(1, Ordering::Relaxed);
+            self.handle.evicted.fetch_add(1, Ordering::Relaxed);
             self.close(token);
         }
     }
 
     fn close(&mut self, token: u64) {
-        if self.conns.remove(&token).is_some() {
-            self.state.active.fetch_sub(1, Ordering::Relaxed);
+        if let Some(conn) = self.conns.remove(&token) {
+            // Deregister before the fd closes; a failure is harmless
+            // (closing the fd removes the registration anyway).
+            let _ = self.epoll.delete(conn.stream().as_raw_fd());
+            self.handle.active.fetch_sub(1, Ordering::Relaxed);
+            drop(conn);
         }
     }
 }
@@ -1131,12 +1427,36 @@ fn cache_window(now: &CacheStats, base: &CacheStats) -> CacheStats {
 fn collect_stats(state: &Arc<ServerState>, reset: bool) -> StatsResult {
     let epoch = state.engine.epoch();
     let metrics = state.engine.metrics();
+    // Totals are the sum of the per-shard counters; the breakdown
+    // itself is always cumulative-since-boot (it identifies shards, so
+    // windowing it would be misleading).
+    let mut connections = 0u64;
+    let mut active = 0u64;
+    let mut evicted = 0u64;
+    let shards: Vec<ShardBreakdown> = state
+        .shards
+        .iter()
+        .map(|shard| {
+            let c = shard.connections.load(Ordering::Relaxed);
+            let a = shard.active.load(Ordering::Relaxed);
+            let e = shard.evicted.load(Ordering::Relaxed);
+            connections += c;
+            active += a;
+            evicted += e;
+            ShardBreakdown {
+                shard: shard.id as u64,
+                connections: c,
+                active: a,
+                evicted: e,
+            }
+        })
+        .collect();
     let mut st = StatsResult {
-        connections: state.connections.load(Ordering::Relaxed),
-        active_connections: state.active.load(Ordering::Relaxed),
+        connections,
+        active_connections: active,
         requests: state.requests.load(Ordering::Relaxed),
         errors: state.errors.load(Ordering::Relaxed),
-        evicted: state.evicted.load(Ordering::Relaxed),
+        evicted,
         workers: state.workers,
         sessions: state.sessions.lock().expect("session aggregate").clone(),
         parse_cache: state.engine.parse_cache_stats(),
@@ -1149,6 +1469,7 @@ fn collect_stats(state: &Arc<ServerState>, reset: bool) -> StatsResult {
         tables: epoch.db.len() as u64,
         tuples: epoch.db.total_tuples() as u64,
         stages: stage_latencies(&metrics),
+        shards,
     };
     if reset {
         let mut base = state
@@ -1233,11 +1554,12 @@ fn render_metrics(state: &Arc<ServerState>) -> String {
         state.errors.load(Ordering::Relaxed)
     );
     let _ = writeln!(out, "# TYPE rd_connections_active gauge");
-    let _ = writeln!(
-        out,
-        "rd_connections_active {}",
-        state.active.load(Ordering::Relaxed)
-    );
+    let active: u64 = state
+        .shards
+        .iter()
+        .map(|s| s.active.load(Ordering::Relaxed))
+        .sum();
+    let _ = writeln!(out, "rd_connections_active {active}");
 
     let _ = writeln!(out, "# TYPE rd_stage_latency_micros histogram");
     for name in STAGE_NAMES {
@@ -1260,14 +1582,35 @@ fn render_metrics(state: &Arc<ServerState>) -> String {
         );
     }
 
-    {
-        let reactor = state.lock_reactor_metrics();
-        let _ = writeln!(out, "# TYPE rd_reactor_loop_micros histogram");
-        render_histogram_series(&mut out, "rd_reactor_loop_micros", "", &reactor.loop_micros);
-        let _ = writeln!(out, "# TYPE rd_conn_queue_depth histogram");
-        render_histogram_series(&mut out, "rd_conn_queue_depth", "", &reactor.queue_depth);
-        let _ = writeln!(out, "# TYPE rd_pool_wait_micros histogram");
-        render_histogram_series(&mut out, "rd_pool_wait_micros", "", &reactor.pool_wait);
+    // Reactor internals, one series per shard: a hot shard shows up as
+    // its own loop-time tail instead of vanishing into a global merge.
+    let _ = writeln!(out, "# TYPE rd_reactor_loop_micros histogram");
+    for shard in &state.shards {
+        let labels = format!("shard=\"{}\"", shard.id);
+        let reactor = shard.lock_metrics();
+        render_histogram_series(
+            &mut out,
+            "rd_reactor_loop_micros",
+            &labels,
+            &reactor.loop_micros,
+        );
+    }
+    let _ = writeln!(out, "# TYPE rd_conn_queue_depth histogram");
+    for shard in &state.shards {
+        let labels = format!("shard=\"{}\"", shard.id);
+        let reactor = shard.lock_metrics();
+        render_histogram_series(
+            &mut out,
+            "rd_conn_queue_depth",
+            &labels,
+            &reactor.queue_depth,
+        );
+    }
+    let _ = writeln!(out, "# TYPE rd_pool_wait_micros histogram");
+    for shard in &state.shards {
+        let labels = format!("shard=\"{}\"", shard.id);
+        let reactor = shard.lock_metrics();
+        render_histogram_series(&mut out, "rd_pool_wait_micros", &labels, &reactor.pool_wait);
     }
 
     if let Some(store) = lock_store(state) {
