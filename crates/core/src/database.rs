@@ -9,12 +9,13 @@
 
 use crate::error::{CoreError, CoreResult};
 use crate::schema::{Catalog, TableSchema};
+use crate::stats::TableStats;
 use crate::symbol::SymbolTable;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A tuple: an ordered list of values. Attribute names live in the schema
 /// (the "set-of-mappings" view of §3.1 is recovered by pairing a tuple with
@@ -89,7 +90,7 @@ impl fmt::Display for Tuple {
 /// [`Relation::resolved`] maps them back. Free-standing relations (query
 /// results, literals under construction) have no handle and keep their
 /// values as given.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Relation {
     schema: TableSchema,
     tuples: BTreeSet<Tuple>,
@@ -100,6 +101,24 @@ pub struct Relation {
     /// only map strings already interned (an unknown query literal in an
     /// output head must not grow the shared table).
     intern_on_insert: bool,
+    /// Lazily-built per-column statistics ([`Relation::stats`]): `None`
+    /// until first read or after an invalidating mutation. Interior
+    /// mutability lets planners materialize stats through the shared
+    /// `&Database` snapshot; inserts keep a live cache current
+    /// incrementally, deletes and re-interning invalidate it.
+    stats: Mutex<Option<Arc<TableStats>>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            schema: self.schema.clone(),
+            tuples: self.tuples.clone(),
+            symbols: self.symbols.clone(),
+            intern_on_insert: self.intern_on_insert,
+            stats: Mutex::new(self.stats.lock().expect("stats lock").clone()),
+        }
+    }
 }
 
 impl Relation {
@@ -110,6 +129,7 @@ impl Relation {
             tuples: BTreeSet::new(),
             symbols: None,
             intern_on_insert: false,
+            stats: Mutex::new(None),
         }
     }
 
@@ -147,6 +167,9 @@ impl Relation {
     /// databases is resolved out of its old table first, so ids never
     /// leak across tables.
     pub(crate) fn attach_symbols(&mut self, symbols: Arc<SymbolTable>) {
+        // Re-interning may change the stored representation (`Str` ↔
+        // `Sym`), which changes sketch hashes — rebuild lazily.
+        *self.stats.get_mut().expect("stats lock") = None;
         if let Some(old) = &self.symbols {
             if Arc::ptr_eq(old, &symbols) {
                 // Same table (e.g. a result materialized back into its
@@ -195,6 +218,7 @@ impl Relation {
     /// detaches it, leaving raw `Str` values — the representation of
     /// [`Database::uninterned`].
     pub(crate) fn detach_resolved(&mut self) {
+        *self.stats.get_mut().expect("stats lock") = None;
         if let Some(symbols) = self.symbols.take() {
             self.tuples = self
                 .tuples
@@ -235,6 +259,18 @@ impl Relation {
             }
             _ => tuple,
         };
+        {
+            // Keep a live stats cache current: observe fresh tuples
+            // incrementally. When no cache is materialized (bulk load,
+            // result relations) this is one uncontended lock + a `None`
+            // check — the first planner read builds stats in one scan.
+            let mut cached = self.stats.lock().expect("stats lock");
+            if let Some(st) = cached.as_mut() {
+                if !self.tuples.contains(&tuple) {
+                    Arc::make_mut(st).observe(&tuple);
+                }
+            }
+        }
         Ok(self.tuples.insert(tuple))
     }
 
@@ -317,6 +353,7 @@ impl Relation {
                     .collect(),
                 symbols: None,
                 intern_on_insert: false,
+                stats: Mutex::new(None),
             },
         }
     }
@@ -326,12 +363,36 @@ impl Relation {
     /// an unknown string answers `false` without growing the shared
     /// table. Returns `true` if the tuple was present.
     pub fn remove(&mut self, tuple: &Tuple) -> bool {
-        match &self.symbols {
+        let removed = match &self.symbols {
             Some(symbols) if tuple.iter().any(|v| matches!(v, Value::Str(_))) => {
                 self.tuples.remove(&lookup_tuple_with(tuple, symbols))
             }
             _ => self.tuples.remove(tuple),
+        };
+        if removed {
+            // Sketches and ranges cannot unobserve — invalidate and let
+            // the next planner read rebuild in one scan.
+            *self.stats.get_mut().expect("stats lock") = None;
         }
+        removed
+    }
+
+    /// Per-column statistics over the current tuple set: row count,
+    /// distinct-value sketches, and `Int` min/max per attribute.
+    ///
+    /// Built lazily on first call (one scan) and cached; inserts through
+    /// [`Relation::insert`] keep the cache current incrementally, while
+    /// deletes and symbol re-attachment invalidate it. The returned
+    /// `Arc` is a consistent snapshot — later mutations don't alter it.
+    pub fn stats(&self) -> Arc<TableStats> {
+        let mut cached = self.stats.lock().expect("stats lock");
+        if cached.is_none() {
+            *cached = Some(Arc::new(TableStats::of(
+                self.schema.arity(),
+                self.tuples.iter(),
+            )));
+        }
+        cached.as_ref().expect("just built").clone()
     }
 
     /// Approximate in-memory size of the tuple set — the weight used by
@@ -354,6 +415,8 @@ impl Relation {
             tuples: self.tuples.clone(),
             symbols: self.symbols.clone(),
             intern_on_insert: self.intern_on_insert,
+            // Same tuple set, so the cached stats stay valid.
+            stats: Mutex::new(self.stats.lock().expect("stats lock").clone()),
         })
     }
 }
@@ -625,6 +688,7 @@ impl Database {
             tuples: rel.tuples.iter().map(|t| self.resolve_tuple(t)).collect(),
             symbols: None,
             intern_on_insert: false,
+            stats: Mutex::new(None),
         }
     }
 

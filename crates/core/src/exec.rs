@@ -188,6 +188,11 @@ pub struct QueryPlan {
     pub deferred: Vec<Formula>,
     /// Environment requirements.
     pub shape: EnvShape,
+    /// The planner's output-cardinality estimate (pre-projection upper
+    /// bound), recorded at compile time under the cost-based strategy.
+    /// Execution feedback compares it against the actual row count to
+    /// decide whether re-planning is worthwhile.
+    pub est_rows: Option<u64>,
 }
 
 /// A compiled Boolean sentence.
@@ -217,6 +222,9 @@ pub struct Stratum {
     pub pred: String,
     /// Its rules (results union under set semantics).
     pub rules: Vec<RulePlan>,
+    /// The planner's estimate of this IDB's size — EDB-derived bounds
+    /// on first compile, refined from observed actuals on re-plans.
+    pub est_rows: Option<u64>,
 }
 
 /// A compiled non-recursive Datalog¬ program: strata in topological
@@ -962,6 +970,19 @@ fn run_program_inner(
     tally: &mut Option<TallyMap>,
     opts: ExecOptions,
 ) -> CoreResult<Relation> {
+    run_program_collect(p, db, tally, opts, None)
+}
+
+/// [`run_program_inner`] that additionally reports each computed IDB's
+/// actual size into `sizes` — the raw material of planner feedback
+/// (re-plans replace the EDB-derived stratum bounds with these).
+fn run_program_collect(
+    p: &ProgramPlan,
+    db: &Database,
+    tally: &mut Option<TallyMap>,
+    opts: ExecOptions,
+    mut sizes: Option<&mut Vec<(String, u64)>>,
+) -> CoreResult<Relation> {
     let mut computed = IdbMap::new();
     // Columnar EDB/IDB materializations shared across the program's
     // batched rules (sound because a computed IDB never changes once
@@ -979,6 +1000,9 @@ fn run_program_inner(
             }
         }
         record(tally, stratum, tuples.len());
+        if let Some(sizes) = sizes.as_deref_mut() {
+            sizes.push((stratum.pred.clone(), tuples.len() as u64));
+        }
         computed.insert(stratum.pred.clone(), tuples);
     }
     let rows = computed
@@ -1194,6 +1218,56 @@ pub fn execute_with(plan: &Plan, db: &Database, opts: ExecOptions) -> CoreResult
     execute_inner(plan, db, &mut None, opts)
 }
 
+/// What one execution observed, for the planner's feedback loop.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecFeedback {
+    /// Rows in the final result.
+    pub out_rows: u64,
+    /// Actual size of each computed Datalog IDB, in stratum order
+    /// (empty for non-program plans). Re-plans feed these back as
+    /// [`plan::PlanHints`], replacing the EDB-derived bounds.
+    pub idb_rows: Vec<(String, u64)>,
+}
+
+/// The planner's recorded estimate for the plan's final output, if the
+/// plan was compiled under the cost-based strategy: per-branch sums for
+/// unions, the query stratum's bound for programs.
+pub fn plan_est(plan: &Plan) -> Option<u64> {
+    match plan {
+        Plan::Union(branches) => branches
+            .iter()
+            .map(|q| q.est_rows)
+            .try_fold(0u64, |acc, e| e.map(|e| acc.saturating_add(e))),
+        Plan::Program(p) => p
+            .strata
+            .iter()
+            .find(|s| s.pred == p.query)
+            .and_then(|s| s.est_rows),
+        Plan::Sentence(_) | Plan::Ops { .. } => None,
+    }
+}
+
+/// [`execute_with`], additionally harvesting the actual row counts the
+/// planner's feedback loop consumes. Costs nothing beyond normal
+/// execution: program IDB sizes are observed as each stratum completes,
+/// and the output count reads the result relation's length.
+pub fn execute_feedback(
+    plan: &Plan,
+    db: &Database,
+    opts: ExecOptions,
+) -> CoreResult<(Relation, ExecFeedback)> {
+    let mut idb_rows = Vec::new();
+    let relation = match plan {
+        Plan::Program(p) => run_program_collect(p, db, &mut None, opts, Some(&mut idb_rows))?,
+        other => execute_inner(other, db, &mut None, opts)?,
+    };
+    let feedback = ExecFeedback {
+        out_rows: relation.len() as u64,
+        idb_rows,
+    };
+    Ok((relation, feedback))
+}
+
 fn execute_inner(
     plan: &Plan,
     db: &Database,
@@ -1255,6 +1329,9 @@ pub fn explain_analyze_with(
     };
     let mut node = explain_with_opts(plan, &annot, opts);
     node.actual_rows = Some(relation.len() as u64);
+    if let Some(est) = node.est_rows {
+        node.q_error = Some(q_error(est, relation.len() as u64));
+    }
     Ok((relation, node))
 }
 
@@ -1265,19 +1342,24 @@ pub fn explain_analyze_with(
 /// One node of an explain tree: plan structure rendered for diagnosis
 /// (scan order, join strategy, bound keys), optionally annotated with
 /// row counts by `explain analyze`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExplainNode {
     /// Node kind (`scan`, `exists`, `join`, `union`, …).
     pub kind: String,
     /// Human-readable detail (table, key columns, strategy).
     pub detail: String,
-    /// Planner cardinality estimate (crude size heuristics; present
-    /// only under `explain analyze`, and absent for nodes with no
-    /// meaningful estimate, e.g. IDB scans).
+    /// Planner cardinality estimate (sketch-backed statistics where the
+    /// node maps to stored relations; present only under
+    /// `explain analyze`, and absent for nodes with no meaningful
+    /// estimate).
     pub est_rows: Option<u64>,
     /// Rows this node actually produced (present only under
     /// `explain analyze`).
     pub actual_rows: Option<u64>,
+    /// Estimation quality: `max(est/actual, actual/est)` with +1
+    /// smoothing so empty results stay finite. `1.0` is a perfect
+    /// estimate; present only when both row fields are.
+    pub q_error: Option<f64>,
     /// Execution mode this subtree runs under: `"batched"` for the
     /// chunked columnar path, `"tuple"` for the row-at-a-time fallback.
     /// Set on executable roots (query branches, rules, sentences, ops
@@ -1298,6 +1380,7 @@ impl ExplainNode {
             detail: detail.into(),
             est_rows: None,
             actual_rows: None,
+            q_error: None,
             mode: None,
             build: None,
             children: Vec::new(),
@@ -1312,6 +1395,10 @@ impl ExplainNode {
     fn rows(mut self, est: Option<u64>, actual: Option<u64>) -> ExplainNode {
         self.est_rows = est;
         self.actual_rows = actual;
+        self.q_error = match (est, actual) {
+            (Some(e), Some(a)) => Some(q_error(e, a)),
+            _ => None,
+        };
         self
     }
 
@@ -1319,6 +1406,15 @@ impl ExplainNode {
         self.mode = Some(if batched { "batched" } else { "tuple" }.to_string());
         self
     }
+}
+
+/// The q-error of a cardinality estimate: `max(est/actual, actual/est)`
+/// with +1 smoothing on both sides so zero rows stay finite. `1.0` means
+/// a perfect estimate; the engine re-plans queries whose root q-error
+/// crosses its threshold.
+pub fn q_error(est: u64, actual: u64) -> f64 {
+    let (e, a) = (est as f64 + 1.0, actual as f64 + 1.0);
+    (e / a).max(a / e)
 }
 
 /// Annotation context for explain rendering: empty for plain `explain`
@@ -1357,17 +1453,22 @@ impl Annot<'_> {
     }
 
     /// Cardinality estimate for one pipeline scan: the stored relation's
-    /// size, divided by 4 per bound key column (each equality key is
-    /// assumed ~75% selective in the absence of statistics). IDB scans
-    /// have no stored relation and get no estimate.
+    /// size, divided by the sketch-estimated distinct count of each
+    /// bound key column (each equality key retains `1/V` of the rows —
+    /// the System R uniform assumption, now over real statistics). IDB
+    /// scans have no stored relation and get no estimate.
     fn est_scan(&self, scan: &Scan) -> Option<u64> {
-        let n = self.db?.relation(&scan.rel)?.len() as u64;
-        Some(if scan.is_keyed() {
-            let shift = (2 * scan.key_cols.len() as u32).min(63);
-            (n >> shift).max(1)
-        } else {
-            n
-        })
+        let rel = self.db?.relation(&scan.rel)?;
+        let n = rel.len() as f64;
+        if !scan.is_keyed() {
+            return Some(n as u64);
+        }
+        let stats = rel.stats();
+        let mut est = n;
+        for &c in &scan.key_cols {
+            est /= (stats.distinct(c) as f64).max(1.0);
+        }
+        Some((est.round() as u64).max(1))
     }
 
     /// Estimate for a whole pipeline: the product of its scans'
@@ -1505,7 +1606,12 @@ fn explain_query(q: &QueryPlan, annot: &Annot<'_>, opts: ExecOptions) -> Explain
         format!("{}({})", q.out.name(), q.out.attrs().join(", ")),
     )
     .with(children)
-    .rows(annot.est_block(&q.root), annot.actual(q))
+    // Prefer the cost-based planner's recorded estimate; fall back to
+    // the per-scan product for plans compiled under the legacy strategy.
+    .rows(
+        q.est_rows.or_else(|| annot.est_block(&q.root)),
+        annot.actual(q),
+    )
     .mode(opts.batch && query_batchable(q))
 }
 
@@ -1574,7 +1680,7 @@ fn explain_with_opts(plan: &Plan, annot: &Annot<'_>, opts: ExecOptions) -> Expla
             } else {
                 let est = branches
                     .iter()
-                    .map(|q| annot.est_block(&q.root))
+                    .map(|q| q.est_rows.or_else(|| annot.est_block(&q.root)))
                     .try_fold(0u64, |acc, e| e.map(|e| acc.saturating_add(e)));
                 ExplainNode::new("union", format!("{} branches", branches.len()))
                     .with(
@@ -1609,7 +1715,7 @@ fn explain_with_opts(plan: &Plan, annot: &Annot<'_>, opts: ExecOptions) -> Expla
                                 })
                                 .collect(),
                         )
-                        .rows(None, annot.actual(stratum))
+                        .rows(stratum.est_rows, annot.actual(stratum))
                 })
                 .collect(),
         ),
@@ -1680,6 +1786,7 @@ mod tests {
                 value_slots: 0,
                 indexes: 1,
             },
+            est_rows: None,
         }
     }
 
@@ -1876,10 +1983,12 @@ mod tests {
                 Stratum {
                     pred: "P".into(),
                     rules: vec![rule_p],
+                    est_rows: None,
                 },
                 Stratum {
                     pred: "Q".into(),
                     rules: vec![rule_q],
+                    est_rows: None,
                 },
             ],
             query: "Q".into(),

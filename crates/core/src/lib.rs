@@ -42,6 +42,7 @@ pub mod generate;
 pub mod plan;
 pub mod pretty;
 pub mod schema;
+pub mod stats;
 pub mod symbol;
 pub mod trace;
 pub mod value;
@@ -50,8 +51,9 @@ pub use cmp::CmpOp;
 pub use database::{combine_fingerprints, Database, Relation, Tuple};
 pub use error::{CoreError, CoreResult};
 pub use generate::{enumerate_databases, DbGenerator, ExhaustiveDbIter};
-pub use plan::{build_index, scan_cost, DbStats};
+pub use plan::{build_index, scan_cost, DbStats, OrderStrategy, PlanHints, PlannerOpts};
 pub use schema::{Catalog, TableSchema};
+pub use stats::{ColumnStats, KmvSketch, TableStats};
 pub use symbol::SymbolTable;
 pub use trace::{Histogram, Span};
 pub use value::Value;

@@ -152,19 +152,32 @@ impl Histogram {
         }
     }
 
-    /// Upper-bound estimate of the `p`-th percentile (0.0–1.0): the
-    /// inclusive upper edge of the bucket holding the rank-`⌈p·count⌉`
-    /// observation. 0 when empty.
+    /// Estimate of the `p`-th percentile (`p` is a fraction, 0.0–1.0;
+    /// out-of-range values are clamped). The rank-`⌈p·count⌉`
+    /// observation's bucket is located, then the estimate interpolates
+    /// linearly between the bucket's edges by the rank's position
+    /// inside it — without interpolation every rank in a bucket reports
+    /// the same upper edge, which collapses p50/p95/p99 onto one value
+    /// whenever a histogram holds only a handful of samples. Never
+    /// exceeds the observation sum (so a single sample is reported
+    /// exactly). 0 when empty.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_ceil(i).min(self.sum);
+                // Ranks (seen−c, seen] live here; rank's position is
+                // `pos` of `c`. 128-bit keeps the top bucket's span
+                // (≈ 2^62) from overflowing the multiply.
+                let pos = rank - (seen - c);
+                let floor = bucket_floor(i);
+                let span = (bucket_ceil(i) - floor) as u128;
+                let interp = floor + (span * pos as u128 / c as u128) as u64;
+                return interp.min(self.sum);
             }
         }
         bucket_ceil(self.buckets.len().saturating_sub(1))
@@ -233,6 +246,30 @@ mod tests {
         let p99 = h.percentile(0.99);
         assert!((99..=127).contains(&p99), "p99 = {p99}");
         assert_eq!(h.percentile(1.0), h.percentile(0.999));
+    }
+
+    /// Satellite: a handful of identical samples must not collapse
+    /// p50 onto p99 — percentile interpolates within the bucket instead
+    /// of reporting its ceiling for every rank it contains.
+    #[test]
+    fn percentiles_interpolate_within_a_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..3 {
+            h.record(1000);
+        }
+        let (p50, p99) = (h.percentile(0.50), h.percentile(0.99));
+        assert!(p50 < p99, "p50 {p50} must not collapse onto p99 {p99}");
+        // Both estimates stay inside the recording bucket [896, 1023].
+        assert!((896..=1023).contains(&p50), "p50 = {p50}");
+        assert!((896..=1023).contains(&p99), "p99 = {p99}");
+        // A single observation is reported exactly: the interpolated
+        // edge is clamped by the observation sum.
+        let mut one = Histogram::new();
+        one.record(1000);
+        assert_eq!(one.percentile(0.5), 1000);
+        // A caller passing percent points instead of a fraction gets
+        // the clamped maximum, not an arbitrary rank.
+        assert_eq!(h.percentile(99.0), h.percentile(1.0));
     }
 
     #[test]

@@ -22,7 +22,8 @@
 use crate::ast::{Atom, DlProgram, DlTerm, Literal, Rule};
 use crate::check::topo_order;
 use rd_core::exec::{self, Block, EnvShape, ProgramPlan, RulePlan, Scan, Stratum};
-use rd_core::{plan, CoreResult, Database, Relation, TableSchema};
+use rd_core::plan::{OrderStrategy, PlanHints, PlannerOpts, ScanCand};
+use rd_core::{plan, CmpOp, CoreResult, Database, Relation, TableSchema};
 use std::collections::{BTreeSet, HashMap};
 
 /// Evaluates the program's query predicate over `db`, returning a relation
@@ -31,23 +32,73 @@ pub fn eval_program(p: &DlProgram, db: &Database) -> CoreResult<Relation> {
     exec::run_program(&lower_program(p, db)?, db)
 }
 
-/// Lowers a program to a compiled plan: interned constants, strata in
-/// topological order, one pipeline per rule.
+/// Lowers a program to a compiled plan under the default planner
+/// configuration: interned constants, strata in topological order, one
+/// pipeline per rule.
 pub fn lower_program(p: &DlProgram, db: &Database) -> CoreResult<ProgramPlan> {
+    lower_program_with(p, db, &PlannerOpts::default(), &PlanHints::default())
+}
+
+/// [`lower_program`] with explicit planner configuration and
+/// execution-feedback hints.
+///
+/// IDB sizes are unknown at compile time (they exist only during
+/// execution), so each stratum's cardinality is *estimated from its
+/// rule bodies* as it is lowered — EDB statistics propagate bottom-up
+/// through the topological order, so later strata plan against derived
+/// bounds instead of a flat "total rows in the database" guess. When
+/// `hints` carry a predicate's actual size from a prior execution, the
+/// actual outranks the derived bound. The legacy greedy strategy keeps
+/// its historical "IDBs could be as large as the database" assumption —
+/// it is the differential baseline.
+pub fn lower_program_with(
+    p: &DlProgram,
+    db: &Database,
+    opts: &PlannerOpts,
+    hints: &PlanHints,
+) -> CoreResult<ProgramPlan> {
     let p = intern_program(p, db);
-    // Size statistics for scan ordering. EDB sizes are exact; IDB sizes
-    // are unknown at compile time (they exist only during execution),
-    // so they get the database total as a conservative "could be large"
-    // estimate — correctness is order-independent either way.
-    let total = db.total_tuples();
-    let size_of = |pred: &str| -> usize { db.relation(pred).map_or(total, Relation::len) };
-    let mut strata = Vec::new();
-    for idb in topo_order(&p) {
-        let mut rules = Vec::new();
-        for rule in p.rules.iter().filter(|r| r.head.pred == idb) {
-            rules.push(compile_rule(rule, &size_of)?);
+    let mut stats = plan::DbStats::of(db);
+    let order = topo_order(&p);
+    if opts.strategy == OrderStrategy::Greedy {
+        let total = db.total_tuples();
+        for idb in &order {
+            if db.relation(idb).is_none() {
+                stats.set_override(idb, total as u64);
+            }
         }
-        strata.push(Stratum { pred: idb, rules });
+    }
+    stats.apply_hints(hints);
+    let mut strata = Vec::new();
+    for idb in order {
+        let mut rules = Vec::new();
+        let mut est_sum: Option<f64> = None;
+        for rule in p.rules.iter().filter(|r| r.head.pred == idb) {
+            let (compiled, est) = compile_rule(rule, &stats, opts)?;
+            rules.push(compiled);
+            if let Some(e) = est {
+                est_sum = Some(est_sum.unwrap_or(0.0) + e);
+            }
+        }
+        // A feedback actual outranks the derived bound — both for later
+        // strata (already applied to `stats`) and as this stratum's
+        // recorded estimate.
+        let est_rows = match hints.rel_rows.get(&idb) {
+            Some(&actual) => Some(actual),
+            None => {
+                let est = est_sum.map(|e| e.round().clamp(0.0, u64::MAX as f64) as u64);
+                if let Some(est) = est {
+                    // Propagate: later strata plan against this bound.
+                    stats.set_override(&idb, est);
+                }
+                est
+            }
+        };
+        strata.push(Stratum {
+            pred: idb,
+            rules,
+            est_rows,
+        });
     }
     let arity = p
         .rules
@@ -95,7 +146,81 @@ fn intern_program(p: &DlProgram, db: &Database) -> DlProgram {
 // Rule lowering
 // ---------------------------------------------------------------------
 
-fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<RulePlan> {
+/// Reduces a rule's positive atoms to the numeric [`ScanCand`]s the
+/// cost-based orderer consumes: constants and built-in comparisons
+/// shrink each atom's row estimate, repeated variables inside one atom
+/// self-filter, and variables shared across atoms form join classes.
+fn scan_cands(rule: &Rule, positives: &[&Atom], stats: &plan::DbStats) -> Vec<ScanCand> {
+    // Class per variable name; a variable's distinct estimate comes
+    // from each column it binds.
+    let mut class_of: HashMap<&str, usize> = HashMap::new();
+    let mut uses: Vec<usize> = Vec::new(); // class → number of atoms using it
+    let mut cands = Vec::with_capacity(positives.len());
+    for atom in positives {
+        let mut rows = stats.size(&atom.pred) as f64;
+        let mut join_cols: Vec<(usize, f64)> = Vec::new();
+        let mut first_col: HashMap<&str, usize> = HashMap::new();
+        for (i, t) in atom.terms.iter().enumerate() {
+            match t {
+                DlTerm::Wildcard => {}
+                DlTerm::Const(c) => {
+                    rows *= stats.cmp_selectivity(&atom.pred, i, CmpOp::Eq, c);
+                }
+                DlTerm::Var(v) => match first_col.get(v.as_str()) {
+                    Some(&c0) => {
+                        // Repeated in this atom: self-join filter.
+                        let v1 = stats.distinct(&atom.pred, c0);
+                        let v2 = stats.distinct(&atom.pred, i);
+                        rows /= v1.max(v2).max(1.0);
+                    }
+                    None => {
+                        first_col.insert(v, i);
+                        let next = class_of.len();
+                        let class = *class_of.entry(v).or_insert(next);
+                        if class == uses.len() {
+                            uses.push(0);
+                        }
+                        uses[class] += 1;
+                        join_cols.push((class, stats.distinct(&atom.pred, i)));
+                    }
+                },
+            }
+        }
+        cands.push(ScanCand { rows, join_cols });
+    }
+    // Built-ins against a constant filter the atoms binding their
+    // variable; apply to the first binder.
+    for lit in &rule.body {
+        if let Literal::Cmp(b) = lit {
+            let (var, op, c) = match (&b.left, &b.right) {
+                (DlTerm::Var(v), DlTerm::Const(c)) => (v, b.op, c),
+                (DlTerm::Const(c), DlTerm::Var(v)) => (v, b.op.flipped(), c),
+                _ => continue,
+            };
+            for (cand, atom) in cands.iter_mut().zip(positives) {
+                if let Some(col) = atom
+                    .terms
+                    .iter()
+                    .position(|t| matches!(t, DlTerm::Var(v2) if v2 == var))
+                {
+                    cand.rows *= stats.cmp_selectivity(&atom.pred, col, op, c);
+                    break;
+                }
+            }
+        }
+    }
+    // Variables used by a single atom don't join anything.
+    for cand in &mut cands {
+        cand.join_cols.retain(|&(class, _)| uses[class] >= 2);
+    }
+    cands
+}
+
+fn compile_rule(
+    rule: &Rule,
+    stats: &plan::DbStats,
+    opts: &PlannerOpts,
+) -> CoreResult<(RulePlan, Option<f64>)> {
     let mut n_slots = 0usize;
     let mut slots_by_name: HashMap<String, usize> = HashMap::new();
     let mut bound: BTreeSet<String> = BTreeSet::new();
@@ -206,28 +331,49 @@ fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<Rule
         }
     }
 
-    while !remaining.is_empty() {
-        // Greedy: cheapest atom next (bound key columns, then size).
-        let mut best = 0usize;
-        let mut best_cost = f64::INFINITY;
-        for (k, &ai) in remaining.iter().enumerate() {
-            let atom = positives[ai];
-            let keys = atom
-                .terms
-                .iter()
-                .filter(|t| match t {
-                    DlTerm::Const(_) => true,
-                    DlTerm::Var(v) => bound.contains(v),
-                    DlTerm::Wildcard => false,
-                })
-                .count();
-            let cost = plan::scan_cost(size_of(&atom.pred), keys);
-            if cost < best_cost {
-                best_cost = cost;
-                best = k;
-            }
+    // Under the cost-based strategy the atom order is decided up front
+    // by the dynamic program; the legacy greedy re-ranks at every step.
+    let (forced, rule_est): (Vec<usize>, Option<f64>) = match opts.strategy {
+        OrderStrategy::CostDp => {
+            let cands = scan_cands(rule, &positives, stats);
+            let (order, est) = plan::order_scans(&cands, opts);
+            (order, Some(est))
         }
-        let ai = remaining.remove(best);
+        OrderStrategy::Greedy => (Vec::new(), None),
+    };
+    let mut forced = forced.into_iter();
+    while !remaining.is_empty() {
+        let ai = match opts.strategy {
+            OrderStrategy::CostDp => {
+                let next = forced.next().expect("order covers every atom");
+                remaining.retain(|&x| x != next);
+                next
+            }
+            OrderStrategy::Greedy => {
+                // Greedy: cheapest atom next (bound key columns, then
+                // size).
+                let mut best = 0usize;
+                let mut best_cost = f64::INFINITY;
+                for (k, &ai) in remaining.iter().enumerate() {
+                    let atom = positives[ai];
+                    let keys = atom
+                        .terms
+                        .iter()
+                        .filter(|t| match t {
+                            DlTerm::Const(_) => true,
+                            DlTerm::Var(v) => bound.contains(v),
+                            DlTerm::Wildcard => false,
+                        })
+                        .count();
+                    let cost = plan::scan_cost(stats.size(&atom.pred), keys);
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = k;
+                    }
+                }
+                remaining.remove(best)
+            }
+        };
         let atom = positives[ai];
         let mut key_cols = Vec::new();
         let mut key_terms = Vec::new();
@@ -322,15 +468,18 @@ fn compile_rule(rule: &Rule, size_of: &dyn Fn(&str) -> usize) -> CoreResult<Rule
         })
         .collect();
 
-    Ok(RulePlan {
-        head,
-        block: Block { pre, scans },
-        shape: EnvShape {
-            tuple_slots: 0,
-            value_slots: n_slots,
-            indexes: n_indexes,
+    Ok((
+        RulePlan {
+            head,
+            block: Block { pre, scans },
+            shape: EnvShape {
+                tuple_slots: 0,
+                value_slots: n_slots,
+                indexes: n_indexes,
+            },
         },
-    })
+        rule_est,
+    ))
 }
 
 #[cfg(test)]

@@ -37,5 +37,5 @@ pub mod parser;
 
 pub use ast::{Atom, BuiltIn, DlProgram, DlTerm, Rule};
 pub use check::{is_datalog_star, is_nonrecursive, is_safe};
-pub use eval::{eval_program, lower_program};
+pub use eval::{eval_program, lower_program, lower_program_with};
 pub use parser::{parse_program, parse_program_unchecked};

@@ -3,7 +3,7 @@
 
 use crate::Language;
 use rd_core::exec::{self, Plan};
-use rd_core::{Catalog, CoreResult, Database, Relation};
+use rd_core::{Catalog, CoreResult, Database, PlanHints, PlannerOpts, Relation};
 use rd_datalog::DlProgram;
 use rd_ra::RaExpr;
 use rd_sql::SqlUnion;
@@ -84,11 +84,27 @@ impl Artifact {
     /// lifetime of the database epoch, so the engine caches it and
     /// skips this step on repeat traffic.
     pub fn compile(&self, db: &Database) -> CoreResult<Plan> {
+        self.compile_with(db, &PlannerOpts::default(), &PlanHints::default())
+    }
+
+    /// Like [`compile`](Artifact::compile), but with explicit planner
+    /// options and cardinality hints. The engine threads execution
+    /// feedback (observed result and per-stratum IDB sizes) back through
+    /// `hints` when it re-plans a query whose estimates proved badly
+    /// wrong.
+    pub fn compile_with(
+        &self,
+        db: &Database,
+        opts: &PlannerOpts,
+        hints: &PlanHints,
+    ) -> CoreResult<Plan> {
         match self {
-            Artifact::Trc(u) => rd_trc::lower_union(u, db),
-            Artifact::Sql(u) => rd_sql::lower_sql(u, db),
-            Artifact::Datalog(p) => Ok(Plan::Program(rd_datalog::lower_program(p, db)?)),
-            Artifact::Ra(e) => rd_ra::lower(e, db),
+            Artifact::Trc(u) => rd_trc::eval::lower_union_with(u, db, opts, hints),
+            Artifact::Sql(u) => rd_sql::lower_sql_with(u, db, opts, hints),
+            Artifact::Datalog(p) => Ok(Plan::Program(rd_datalog::lower_program_with(
+                p, db, opts, hints,
+            )?)),
+            Artifact::Ra(e) => rd_ra::lower_with(e, db, opts, hints),
         }
     }
 

@@ -3,12 +3,12 @@
 use crate::request::{DiagramFormat, ExplainResponse, QueryRequest, QueryResponse, Translations};
 use crate::shared::{
     hash_text, scans_current, stamp_scans, DbEpoch, EngineShared, EvalEntry, ParseEntry, PlanEntry,
-    SharedConfig,
+    PlanKey, SharedConfig, REPLAN_Q_ERROR,
 };
 use crate::{Artifact, Language};
 use rd_core::exec::{self, Plan};
 use rd_core::trace::Span;
-use rd_core::{Catalog, CoreError, CoreResult, Database, Relation};
+use rd_core::{Catalog, CoreError, CoreResult, Database, PlannerOpts, Relation};
 use rd_trc::TrcUnion;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -80,6 +80,14 @@ pub struct SessionStats {
     /// tuple-at-a-time executor — sentence plans, deferred head
     /// validation, lazy-error terms.
     pub tuple_fallbacks: u64,
+    /// Plans recompiled because an execution's observed cardinalities
+    /// crossed the re-plan q-error threshold
+    /// ([`crate::shared::REPLAN_Q_ERROR`]) with feedback the cached plan
+    /// hadn't seen.
+    pub planner_replans: u64,
+    /// Compiles that consumed non-empty execution-feedback hints
+    /// (observed actual cardinalities replacing planner estimates).
+    pub planner_feedback_hits: u64,
 }
 
 impl SessionStats {
@@ -114,6 +122,8 @@ impl SessionStats {
         self.rows_streamed += other.rows_streamed;
         self.batched_execs += other.batched_execs;
         self.tuple_fallbacks += other.tuple_fallbacks;
+        self.planner_replans += other.planner_replans;
+        self.planner_feedback_hits += other.planner_feedback_hits;
     }
 
     /// The counter-wise difference `self - earlier` (for merging periodic
@@ -138,6 +148,8 @@ impl SessionStats {
             rows_streamed: self.rows_streamed - earlier.rows_streamed,
             batched_execs: self.batched_execs - earlier.batched_execs,
             tuple_fallbacks: self.tuple_fallbacks - earlier.tuple_fallbacks,
+            planner_replans: self.planner_replans - earlier.planner_replans,
+            planner_feedback_hits: self.planner_feedback_hits - earlier.planner_feedback_hits,
         }
     }
 }
@@ -430,7 +442,9 @@ impl Session {
         if !self.shared.eval_cache_enabled() {
             let plan = self.timed_plan(epoch, artifact, canonical, spans, trace)?;
             self.count_exec_mode(&plan);
-            let raw = exec::execute(&plan, &epoch.db)?;
+            let (raw, feedback) =
+                exec::execute_feedback(&plan, &epoch.db, exec::ExecOptions::default())?;
+            self.observe_execution(epoch, artifact, canonical, &plan, &feedback);
             return Ok((Arc::new(epoch.db.resolve_relation(&raw)), false));
         }
         let key = (epoch.base, artifact.language(), hash_text(canonical));
@@ -453,7 +467,9 @@ impl Session {
         // Result-cache miss: the plan cache can still skip the compile.
         let plan = self.timed_plan(epoch, artifact, canonical, spans, trace)?;
         self.count_exec_mode(&plan);
-        let raw = exec::execute(&plan, &epoch.db)?;
+        let (raw, feedback) =
+            exec::execute_feedback(&plan, &epoch.db, exec::ExecOptions::default())?;
+        self.observe_execution(epoch, artifact, canonical, &plan, &feedback);
         let relation = Arc::new(epoch.db.resolve_relation(&raw));
         let bytes = relation.approx_bytes();
         if !self.shared.eval_cache_admits(bytes) {
@@ -509,10 +525,10 @@ impl Session {
         artifact: &Artifact,
         canonical: &str,
     ) -> CoreResult<Arc<Plan>> {
-        if !self.shared.plan_cache_enabled() {
-            return Ok(Arc::new(artifact.compile(&epoch.db)?));
-        }
         let key = (epoch.base, artifact.language(), hash_text(canonical));
+        if !self.shared.plan_cache_enabled() {
+            return Ok(Arc::new(self.compile_hinted(epoch, artifact, &key)?));
+        }
         if let Some(entry) = self.shared.plan_cache.get(&key) {
             if *entry.canonical == *canonical {
                 if scans_current(&entry.scans, epoch) {
@@ -529,7 +545,30 @@ impl Session {
             }
         }
         self.stats.plan_misses += 1;
-        let plan = Arc::new(artifact.compile(&epoch.db)?);
+        let plan = Arc::new(self.compile_hinted(epoch, artifact, &key)?);
+        self.cache_plan(epoch, canonical, key, plan.clone());
+        Ok(plan)
+    }
+
+    /// Compiles `artifact`, feeding back any stored execution feedback
+    /// for `key` as planner hints (observed actual cardinalities replace
+    /// estimates — see [`crate::shared::FeedbackEntry`]).
+    fn compile_hinted(
+        &mut self,
+        epoch: &DbEpoch,
+        artifact: &Artifact,
+        key: &PlanKey,
+    ) -> CoreResult<Plan> {
+        let hints = self.shared.feedback_hints(key);
+        if !hints.is_empty() {
+            self.stats.planner_feedback_hits += 1;
+        }
+        artifact.compile_with(&epoch.db, &PlannerOpts::default(), &hints)
+    }
+
+    /// Inserts a compiled plan into the shared plan cache (same-key
+    /// inserts replace — how re-plans overwrite a stale entry).
+    fn cache_plan(&mut self, epoch: &DbEpoch, canonical: &str, key: PlanKey, plan: Arc<Plan>) {
         let entry = PlanEntry {
             canonical: canonical.into(),
             plan: plan.clone(),
@@ -539,7 +578,65 @@ impl Session {
         if self.shared.plan_cache.insert(key, entry).1.is_some() {
             self.stats.plan_evictions += 1;
         }
-        Ok(plan)
+    }
+
+    /// The planner feedback loop's observation point, called after every
+    /// real execution: records the root q-error into the shared planner
+    /// histogram and — when the estimate was off by at least
+    /// [`REPLAN_Q_ERROR`] *and* the observation is news — stores the
+    /// observed cardinalities and eagerly recompiles, overwriting the
+    /// cached plan so the next run uses actual sizes.
+    fn observe_execution(
+        &mut self,
+        epoch: &DbEpoch,
+        artifact: &Artifact,
+        canonical: &str,
+        plan: &Plan,
+        feedback: &exec::ExecFeedback,
+    ) {
+        let Some(est) = exec::plan_est(plan) else {
+            return; // compiled under the legacy strategy, or no estimate
+        };
+        let root_q = exec::q_error(est, feedback.out_rows);
+        self.shared.record_q_error(root_q);
+        // Per-stratum errors count too: a program can nail the final
+        // count while wildly mis-sizing an intermediate IDB.
+        let mut worst_q = root_q;
+        if let Plan::Program(p) = plan {
+            for stratum in &p.strata {
+                let actual = feedback
+                    .idb_rows
+                    .iter()
+                    .find(|(pred, _)| *pred == stratum.pred)
+                    .map(|&(_, rows)| rows);
+                if let (Some(est), Some(actual)) = (stratum.est_rows, actual) {
+                    worst_q = worst_q.max(exec::q_error(est, actual));
+                }
+            }
+        }
+        if worst_q < REPLAN_Q_ERROR {
+            return;
+        }
+        // Only IDB actuals are expressible as hints; without them a
+        // recompile would see the same statistics and produce the same
+        // plan.
+        if feedback.idb_rows.is_empty() {
+            return;
+        }
+        let key = (epoch.base, artifact.language(), hash_text(canonical));
+        let entry = crate::shared::FeedbackEntry {
+            out_rows: feedback.out_rows,
+            idb_rows: feedback.idb_rows.clone(),
+        };
+        if !self.shared.feedback_record(key, entry) {
+            return; // already incorporated — re-planning would thrash
+        }
+        if let Ok(new_plan) = self.compile_hinted(epoch, artifact, &key) {
+            self.stats.planner_replans += 1;
+            if self.shared.plan_cache_enabled() {
+                self.cache_plan(epoch, canonical, key, Arc::new(new_plan));
+            }
+        }
     }
 
     /// Compiles (or fetches from the plan cache) the query's executable

@@ -118,8 +118,12 @@ fn explain_analyze_root_matches_evaluation_in_all_languages() {
     }
 }
 
+/// Plain `explain` now carries the cost-based planner's estimate on the
+/// query root (it's recorded at compile time, no execution needed) but
+/// must NOT claim actual counts or q-errors — those exist only under
+/// `explain analyze`.
 #[test]
-fn plain_explain_stays_unannotated() {
+fn plain_explain_estimates_but_never_actuals() {
     let mut session = rs_session();
     let resp = session
         .explain(
@@ -127,10 +131,14 @@ fn plain_explain_stays_unannotated() {
             "SELECT DISTINCT R.A FROM R, S WHERE R.B = S.B",
         )
         .unwrap();
-    fn unannotated(n: &rd_core::exec::ExplainNode) -> bool {
-        n.est_rows.is_none() && n.actual_rows.is_none() && n.children.iter().all(unannotated)
+    fn no_actuals(n: &rd_core::exec::ExplainNode) -> bool {
+        n.actual_rows.is_none() && n.q_error.is_none() && n.children.iter().all(no_actuals)
     }
-    assert!(unannotated(&resp.plan));
+    assert!(no_actuals(&resp.plan));
+    assert!(
+        resp.plan.est_rows.is_some(),
+        "cost-based plans record their estimate at compile time"
+    );
 }
 
 fn any_node(

@@ -237,6 +237,8 @@ fn session_stats_accumulate_and_since_are_inverses() {
         rows_streamed: 16,
         batched_execs: 17,
         tuple_fallbacks: 18,
+        planner_replans: 19,
+        planner_feedback_hits: 20,
     };
     let growth = SessionStats {
         queries: 101,
@@ -257,6 +259,8 @@ fn session_stats_accumulate_and_since_are_inverses() {
         rows_streamed: 116,
         batched_execs: 117,
         tuple_fallbacks: 118,
+        planner_replans: 119,
+        planner_feedback_hits: 120,
     };
     let mut now = earlier.clone();
     now.accumulate(&growth);
@@ -264,6 +268,56 @@ fn session_stats_accumulate_and_since_are_inverses() {
     let mut rebuilt = earlier.clone();
     rebuilt.accumulate(&now.since(&earlier));
     assert_eq!(rebuilt, now, "accumulate(since(x)) == x");
+}
+
+/// The feedback loop end to end: a Datalog program whose IDB estimate
+/// is badly wrong (pre-projection bound 100, actual distinct count 2)
+/// must trigger exactly one re-plan — the observed actuals are stored,
+/// the plan is recompiled with them as hints, and the refreshed cache
+/// entry carries the corrected per-stratum estimate. Repeats must NOT
+/// re-plan again (the feedback is already incorporated).
+#[test]
+fn misestimated_program_replans_once_with_observed_actuals() {
+    use rd_core::{Database, Relation, TableSchema};
+    let mut db = Database::new();
+    db.add_relation(
+        Relation::from_rows(
+            TableSchema::new("R", ["A", "B"]),
+            (0..100i64).map(|i| [i % 2, i]).collect::<Vec<_>>(),
+        )
+        .unwrap(),
+    );
+    let mut session = Session::new(db);
+    let req = QueryRequest::new(Language::Datalog, "I(x) :- R(x, y). Q(x) :- I(x).");
+    let first = session.run(&req).unwrap();
+    assert_eq!(first.relation.len(), 2);
+    let stats = session.stats();
+    assert_eq!(
+        stats.planner_replans,
+        1,
+        "q-error {} should have crossed the threshold",
+        100.0 / 2.0
+    );
+    assert!(
+        stats.planner_feedback_hits >= 1,
+        "the re-plan compile consumes the observed actuals"
+    );
+    // The corrected plan is what explain now serves: the I stratum's
+    // estimate is the observed size, not the EDB-derived bound.
+    let explain = session
+        .explain(Language::Datalog, "I(x) :- R(x, y). Q(x) :- I(x).")
+        .unwrap();
+    let i_stratum = explain
+        .plan
+        .children
+        .iter()
+        .find(|n| n.kind == "stratum" && n.detail == "I")
+        .expect("stratum node for I");
+    assert_eq!(i_stratum.est_rows, Some(2), "feedback replaced the bound");
+    // Re-running is cache-served and stable: no further re-plans.
+    session.run(&req).unwrap();
+    session.run(&req).unwrap();
+    assert_eq!(session.stats().planner_replans, 1, "no thrash");
 }
 
 /// Plan counters observed by a live session reach the same totals the

@@ -29,6 +29,6 @@ pub mod printer;
 
 pub use ast::{Condition, JoinCond, RaExpr, RaTerm};
 pub use check::{is_ra_star, is_ra_star_antijoin};
-pub use eval::{eval, lower};
+pub use eval::{eval, lower, lower_with};
 pub use parser::parse;
 pub use printer::{to_ascii, to_unicode};

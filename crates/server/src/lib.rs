@@ -69,7 +69,7 @@ pub mod server;
 pub use client::{run_bench, BenchConfig, BenchReport, Client};
 pub use pool::ThreadPool;
 pub use protocol::{
-    LoadSource, MetricsResult, QueryResult, Reassembler, Request, RequestId, Response,
-    ShardBreakdown, StageLatency, StatsResult,
+    LoadSource, MetricsResult, PlannerStats, QueryResult, Reassembler, Request, RequestId,
+    Response, ShardBreakdown, StageLatency, StatsResult,
 };
 pub use server::{Server, ServerConfig};

@@ -439,6 +439,9 @@ pub struct StatsResult {
     /// since boot even in `reset` frames: the breakdown identifies
     /// shards, it is not a windowed rate.
     pub shards: Vec<ShardBreakdown>,
+    /// Cost-based-planner summary (appended in PR 10; absent in older
+    /// frames — decodes to all-zero).
+    pub planner: PlannerStats,
 }
 
 /// One pipeline stage's latency summary inside a stats frame.
@@ -454,6 +457,28 @@ pub struct StageLatency {
     pub p95: u64,
     /// 99th-percentile latency in microseconds.
     pub p99: u64,
+}
+
+/// The cost-based planner's summary inside a stats frame: the feedback
+/// loop's counters plus the estimation-error distribution. Quantiles
+/// are centi-q (q-error × 100, so `100` is a perfect estimate and
+/// `400` is the re-plan threshold) — integers survive the wire's
+/// counter-shaped fields without float rounding drama.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlannerStats {
+    /// Plans recompiled because observed row counts contradicted the
+    /// estimate past the q-error threshold.
+    pub replans: u64,
+    /// Compiles that consumed stored execution feedback as hints.
+    pub feedback_hits: u64,
+    /// Executions that recorded a root-estimate q-error.
+    pub q_count: u64,
+    /// Median q-error, centi (100 = perfect).
+    pub q_p50: u64,
+    /// 95th-percentile q-error, centi.
+    pub q_p95: u64,
+    /// 99th-percentile q-error, centi.
+    pub q_p99: u64,
 }
 
 /// One event-loop shard's connection counters inside a stats frame.
@@ -604,6 +629,9 @@ fn session_stats_to_json(st: &SessionStats) -> Json {
         ("delta_survivals", u(st.delta_survivals)),
         ("batched_execs", u(st.batched_execs)),
         ("tuple_fallbacks", u(st.tuple_fallbacks)),
+        // Appended after the PR-8 fields (same compat contract).
+        ("planner_replans", u(st.planner_replans)),
+        ("planner_feedback_hits", u(st.planner_feedback_hits)),
     ])
 }
 
@@ -627,6 +655,8 @@ fn session_stats_from_json(v: &Json) -> Result<SessionStats, String> {
         rows_streamed: opt_u64(v, "rows_streamed")?,
         batched_execs: opt_u64(v, "batched_execs")?,
         tuple_fallbacks: opt_u64(v, "tuple_fallbacks")?,
+        planner_replans: opt_u64(v, "planner_replans")?,
+        planner_feedback_hits: opt_u64(v, "planner_feedback_hits")?,
     })
 }
 
@@ -647,6 +677,11 @@ fn explain_node_to_json(n: &ExplainNode) -> Json {
     if let Some(actual) = n.actual_rows {
         pairs.push(("actual_rows", u(actual)));
     }
+    // PR-10 planner field: the estimation q-error, present only under
+    // `explain analyze` (both est and actual rows are needed).
+    if let Some(q) = n.q_error {
+        pairs.push(("q_error", Json::Float(q)));
+    }
     // PR-8 executor fields, same append-only discipline: absent on
     // structural nodes and on legacy frames.
     if let Some(mode) = &n.mode {
@@ -656,6 +691,19 @@ fn explain_node_to_json(n: &ExplainNode) -> Json {
         pairs.push(("build", s(build)));
     }
     obj(pairs)
+}
+
+/// A genuinely optional float field: absent/null stays `None` (plain
+/// explain frames carry no `q_error`). Integers are accepted too —
+/// a writer may normalize `2.0` to `2`.
+fn opt_f64_field(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(other) => other
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a number, found {other}")),
+    }
 }
 
 /// A genuinely optional string field: absent/null stays `None` (legacy
@@ -687,6 +735,7 @@ fn explain_node_from_json(v: &Json) -> Result<ExplainNode, String> {
         children,
         est_rows: opt_u64_field(v, "est_rows")?,
         actual_rows: opt_u64_field(v, "actual_rows")?,
+        q_error: opt_f64_field(v, "q_error")?,
         mode: opt_str_field(v, "mode")?,
         build: opt_str_field(v, "build")?,
     })
@@ -718,6 +767,32 @@ fn stage_latencies_from_json(v: &Json) -> Result<Vec<StageLatency>, String> {
             })
             .collect(),
         Some(other) => Err(format!("'stages' must be an array, found {other}")),
+    }
+}
+
+fn planner_stats_to_json(p: &PlannerStats) -> Json {
+    obj(vec![
+        ("replans", u(p.replans)),
+        ("feedback_hits", u(p.feedback_hits)),
+        ("q_count", u(p.q_count)),
+        ("q_p50", u(p.q_p50)),
+        ("q_p95", u(p.q_p95)),
+        ("q_p99", u(p.q_p99)),
+    ])
+}
+
+fn planner_stats_from_json(v: &Json) -> Result<PlannerStats, String> {
+    match v.get("planner") {
+        // Pre-PR-10 frames carry no planner block: all-zero summary.
+        None | Some(Json::Null) => Ok(PlannerStats::default()),
+        Some(p) => Ok(PlannerStats {
+            replans: opt_u64(p, "replans")?,
+            feedback_hits: opt_u64(p, "feedback_hits")?,
+            q_count: opt_u64(p, "q_count")?,
+            q_p50: opt_u64(p, "q_p50")?,
+            q_p95: opt_u64(p, "q_p95")?,
+            q_p99: opt_u64(p, "q_p99")?,
+        }),
     }
 }
 
@@ -1074,6 +1149,8 @@ impl serde::Serialize for Response {
                     "shards",
                     Json::Array(st.shards.iter().map(shard_breakdown_to_json).collect()),
                 ),
+                // Appended after the PR-9 fields (same compat contract).
+                ("planner", planner_stats_to_json(&st.planner)),
             ]),
             Response::Metrics(m) => obj(vec![
                 ("ok", Json::Bool(true)),
@@ -1257,6 +1334,7 @@ impl serde::Deserialize for Response {
                 tuples: get_u64(v, "tuples")?,
                 stages: stage_latencies_from_json(v)?,
                 shards: shard_breakdowns_from_json(v)?,
+                planner: planner_stats_from_json(v)?,
             })),
             "metrics" => Ok(Response::Metrics(MetricsResult {
                 text: get_str(v, "text")?,
@@ -1655,6 +1733,49 @@ mod tests {
     }
 
     #[test]
+    fn stats_with_planner_summary_roundtrip() {
+        let stats = Response::Stats(StatsResult {
+            sessions: SessionStats {
+                planner_replans: 2,
+                planner_feedback_hits: 5,
+                ..SessionStats::default()
+            },
+            planner: PlannerStats {
+                replans: 2,
+                feedback_hits: 5,
+                q_count: 40,
+                q_p50: 110,
+                q_p95: 480,
+                q_p99: 5000,
+            },
+            fingerprint: "abc".into(),
+            ..StatsResult::default()
+        });
+        let line = encode(&stats);
+        assert!(line.contains(r#""planner_replans":2"#), "{line}");
+        assert!(line.contains(r#""q_p95":480"#), "{line}");
+        let back: Response = decode(&line).unwrap();
+        assert_eq!(back, stats);
+        // Pre-planner frames carry neither the session counters nor the
+        // summary block: both decode to zeros.
+        let legacy = line
+            .replace(r#","planner_replans":2,"planner_feedback_hits":5"#, "")
+            .replace(
+                r#","planner":{"replans":2,"feedback_hits":5,"q_count":40,"q_p50":110,"q_p95":480,"q_p99":5000}"#,
+                "",
+            );
+        assert_ne!(legacy, line, "replacements must hit");
+        match decode::<Response>(&legacy).unwrap() {
+            Response::Stats(st) => {
+                assert_eq!(st.sessions.planner_replans, 0);
+                assert_eq!(st.sessions.planner_feedback_hits, 0);
+                assert_eq!(st.planner, PlannerStats::default());
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn responses_roundtrip() {
         let resp = Response::Query(QueryResult {
             language: Language::Ra,
@@ -1722,11 +1843,13 @@ mod tests {
                     children: Vec::new(),
                     est_rows: None,
                     actual_rows: None,
+                    q_error: None,
                     mode: None,
                     build: None,
                 }],
                 est_rows: None,
                 actual_rows: None,
+                q_error: None,
                 mode: None,
                 build: None,
             },
@@ -1763,11 +1886,13 @@ mod tests {
                     children: Vec::new(),
                     est_rows: Some(2),
                     actual_rows: Some(3),
+                    q_error: Some(1.5),
                     mode: None,
                     build: Some("hash".into()),
                 }],
                 est_rows: Some(2),
                 actual_rows: Some(2),
+                q_error: Some(1.0),
                 mode: Some("batched".into()),
                 build: None,
             },
@@ -1776,6 +1901,7 @@ mod tests {
         let line = encode(&analyzed);
         assert!(line.contains(r#""est_rows":2"#), "{line}");
         assert!(line.contains(r#""actual_rows":3"#), "{line}");
+        assert!(line.contains(r#""q_error":1.5"#), "{line}");
         let back: Response = decode(&line).unwrap();
         assert_eq!(back, analyzed);
     }

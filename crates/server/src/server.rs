@@ -33,8 +33,8 @@
 use crate::conn::{Conn, ReadOutcome, WorkerSession};
 use crate::pool::ThreadPool;
 use crate::protocol::{
-    self, CheckpointResult, LoadResult, LoadSource, MetricsResult, MutationResult, QueryResult,
-    Request, Response, ShardBreakdown, StageLatency, StatsResult,
+    self, CheckpointResult, LoadResult, LoadSource, MetricsResult, MutationResult, PlannerStats,
+    QueryResult, Request, Response, ShardBreakdown, StageLatency, StatsResult,
 };
 use crate::reactor::{
     self, Epoll, EpollEvent, PollFd, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, POLLIN,
@@ -1401,12 +1401,27 @@ fn stage_latencies(metrics: &EngineMetrics) -> Vec<StageLatency> {
             StageLatency {
                 stage: name.to_string(),
                 count: h.count(),
-                p50: h.percentile(50.0),
-                p95: h.percentile(95.0),
-                p99: h.percentile(99.0),
+                p50: h.percentile(0.50),
+                p95: h.percentile(0.95),
+                p99: h.percentile(0.99),
             }
         })
         .collect()
+}
+
+/// The planner summary for a stats frame: feedback-loop counters from
+/// the aggregated sessions, q-error quantiles (centi-q) from the
+/// shared estimation-error histogram.
+fn planner_summary(sessions: &SessionStats, metrics: &EngineMetrics) -> PlannerStats {
+    let q = &metrics.planner_q;
+    PlannerStats {
+        replans: sessions.planner_replans,
+        feedback_hits: sessions.planner_feedback_hits,
+        q_count: q.count(),
+        q_p50: q.percentile(0.50),
+        q_p95: q.percentile(0.95),
+        q_p99: q.percentile(0.99),
+    }
 }
 
 /// Counter deltas of two cache snapshots; the gauge fields (entries,
@@ -1470,22 +1485,27 @@ fn collect_stats(state: &Arc<ServerState>, reset: bool) -> StatsResult {
         tuples: epoch.db.total_tuples() as u64,
         stages: stage_latencies(&metrics),
         shards,
+        planner: PlannerStats::default(),
     };
+    st.planner = planner_summary(&st.sessions, &metrics);
     if reset {
         let mut base = state
             .stats_baseline
             .lock()
             .unwrap_or_else(|p| p.into_inner());
+        let window_sessions = st.sessions.since(&base.sessions);
+        let window_metrics = metrics.since(&base.metrics);
         let windowed = StatsResult {
             connections: st.connections.saturating_sub(base.connections),
             requests: st.requests.saturating_sub(base.requests),
             errors: st.errors.saturating_sub(base.errors),
             evicted: st.evicted.saturating_sub(base.evicted),
-            sessions: st.sessions.since(&base.sessions),
+            planner: planner_summary(&window_sessions, &window_metrics),
+            sessions: window_sessions,
             parse_cache: cache_window(&st.parse_cache, &base.parse_cache),
             eval_cache: cache_window(&st.eval_cache, &base.eval_cache),
             plan_cache: cache_window(&st.plan_cache, &base.plan_cache),
-            stages: stage_latencies(&metrics.since(&base.metrics)),
+            stages: stage_latencies(&window_metrics),
             ..st.clone()
         };
         // The values just reported become the next window's floor.
@@ -1581,6 +1601,11 @@ fn render_metrics(state: &Arc<ServerState>) -> String {
             metrics.language(language),
         );
     }
+
+    // Estimation quality: q-error × 100 per executed query root, so
+    // le="100" is the perfect-estimate bucket.
+    let _ = writeln!(out, "# TYPE rd_planner_q_error_centi histogram");
+    render_histogram_series(&mut out, "rd_planner_q_error_centi", "", &metrics.planner_q);
 
     // Reactor internals, one series per shard: a hot shard shows up as
     // its own loop-time tail instead of vanishing into a global merge.

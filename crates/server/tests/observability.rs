@@ -113,8 +113,8 @@ fn explain_analyze_matches_query_results_in_all_languages() {
         }
     }
 
-    // Plain explain over the same wire stays unannotated: legacy frames
-    // carry no row counts.
+    // Plain explain over the same wire carries the cost-based planner's
+    // compile-time estimate but never execution annotations.
     let (lang, text) = join_in_all_languages()[0];
     let plain = match client.explain(Some(lang), text).expect("explain") {
         Response::Explain(e) => e,
@@ -125,8 +125,12 @@ fn explain_analyze_matches_query_results_in_all_languages() {
     assert!(
         nodes
             .iter()
-            .all(|n| n.est_rows.is_none() && n.actual_rows.is_none()),
-        "plain explain must not be annotated"
+            .all(|n| n.actual_rows.is_none() && n.q_error.is_none()),
+        "plain explain must not carry execution annotations"
+    );
+    assert!(
+        plain.plan.est_rows.is_some(),
+        "cost-based plans record their root estimate at compile time"
     );
     stop(addr, handle);
 }

@@ -30,8 +30,9 @@
 use crate::ast::{Binding, Formula, Predicate, Term, TrcQuery, TrcUnion};
 use crate::canon::canonicalize;
 use rd_core::exec::{self, Block, EnvShape, Plan, QueryPlan, Scan, SentencePlan};
+use rd_core::plan::{OrderStrategy, PlanHints, PlannerOpts, ScanCand};
 use rd_core::{plan, CmpOp, CoreError, CoreResult, Database, Relation, TableSchema};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 // ---------------------------------------------------------------------
 // Lowering
@@ -39,8 +40,11 @@ use std::collections::BTreeSet;
 
 struct Compiler<'d> {
     db: &'d Database,
-    /// Relation-size statistics driving the greedy scan ordering.
+    /// Table statistics (sizes, distinct sketches, `Int` ranges, plus
+    /// any feedback overrides) driving scan ordering.
     stats: plan::DbStats,
+    /// Planner configuration (strategy, DP threshold).
+    opts: PlannerOpts,
     /// Lexical scope: (variable, slot), innermost last.
     scope: Vec<(String, usize)>,
     /// Slot → schema of the table (or output head) it ranges over.
@@ -51,17 +55,25 @@ struct Compiler<'d> {
     bound: BTreeSet<String>,
     /// Number of hash-index cache slots handed out.
     n_indexes: usize,
+    /// Estimated output cardinality of the most recently planned block.
+    /// Nested blocks finish before their parent, so after lowering this
+    /// holds the *root* block's estimate.
+    block_est: Option<f64>,
 }
 
 impl<'d> Compiler<'d> {
-    fn new(db: &'d Database) -> Self {
+    fn new(db: &'d Database, opts: &PlannerOpts, hints: &PlanHints) -> Self {
+        let mut stats = plan::DbStats::of(db);
+        stats.apply_hints(hints);
         Compiler {
             db,
-            stats: plan::DbStats::of(db),
+            stats,
+            opts: *opts,
             scope: Vec::new(),
             slot_schemas: Vec::new(),
             bound: BTreeSet::new(),
             n_indexes: 0,
+            block_est: None,
         }
     }
 
@@ -180,26 +192,49 @@ impl<'d> Compiler<'d> {
             }
         }
         let pre = self.attach_ready(&mut preds, &mut subs)?;
+        // Under the cost-based strategy the whole block order is decided
+        // up front by the dynamic program; the legacy greedy re-ranks
+        // the remaining scans at every step instead.
+        let forced: Vec<usize> = match self.opts.strategy {
+            OrderStrategy::CostDp => {
+                let cands = self.scan_cands(bindings, slots, &preds);
+                let (order, est) = plan::order_scans(&cands, &self.opts);
+                self.block_est = Some(est);
+                order
+            }
+            OrderStrategy::Greedy => Vec::new(),
+        };
+        let mut forced = forced.into_iter();
         let mut scans = Vec::new();
         let mut remaining: Vec<usize> = (0..bindings.len()).collect();
         while !remaining.is_empty() {
-            // Greedy choice: cheapest next scan under the cost model.
-            let mut best = 0usize;
-            let mut best_cost = f64::INFINITY;
-            for (k, &bi) in remaining.iter().enumerate() {
-                let b = &bindings[bi];
-                let keys = preds
-                    .iter()
-                    .flatten()
-                    .filter(|(p, _)| self.key_side(p, &b.var).is_some())
-                    .count();
-                let cost = plan::scan_cost(self.stats.size(&b.table), keys);
-                if cost < best_cost {
-                    best_cost = cost;
-                    best = k;
+            let bi = match self.opts.strategy {
+                OrderStrategy::CostDp => {
+                    let next = forced.next().expect("order covers every binding");
+                    remaining.retain(|&x| x != next);
+                    next
                 }
-            }
-            let bi = remaining.remove(best);
+                OrderStrategy::Greedy => {
+                    // Greedy choice: cheapest next scan under the
+                    // legacy cost model.
+                    let mut best = 0usize;
+                    let mut best_cost = f64::INFINITY;
+                    for (k, &bi) in remaining.iter().enumerate() {
+                        let b = &bindings[bi];
+                        let keys = preds
+                            .iter()
+                            .flatten()
+                            .filter(|(p, _)| self.key_side(p, &b.var).is_some())
+                            .count();
+                        let cost = plan::scan_cost(self.stats.size(&b.table), keys);
+                        if cost < best_cost {
+                            best_cost = cost;
+                            best = k;
+                        }
+                    }
+                    remaining.remove(best)
+                }
+            };
             let b = &bindings[bi];
             let schema = self.slot_schemas[slots[bi]].clone();
             // Extract the equality predicates usable as hash-join keys.
@@ -269,6 +304,144 @@ impl<'d> Compiler<'d> {
         Ok(block)
     }
 
+    /// Reduces one block's bindings and pending predicates to the
+    /// numeric [`ScanCand`]s the cost-based orderer consumes: local
+    /// predicate selectivities shrink each candidate's row estimate,
+    /// and equalities between two block variables are merged into
+    /// cross-scan join classes (union-find, so `x.A = y.B ∧ y.B = z.C`
+    /// forms one class).
+    fn scan_cands(
+        &self,
+        bindings: &[Binding],
+        slots: &[usize],
+        preds: &[Option<(Predicate, BTreeSet<String>)>],
+    ) -> Vec<ScanCand> {
+        // Innermost binding wins a name, matching `lookup` resolution.
+        let mut var_of: HashMap<&str, usize> = HashMap::new();
+        for (i, b) in bindings.iter().enumerate() {
+            var_of.insert(b.var.as_str(), i);
+        }
+        let col_of = |bi: usize, attr: &str| self.slot_schemas[slots[bi]].attr_index(attr);
+        let mut rows: Vec<f64> = bindings
+            .iter()
+            .map(|b| self.stats.size(&b.table) as f64)
+            .collect();
+
+        // Union-find over (binding, column) endpoints of local-local
+        // equalities.
+        let mut nodes: Vec<(usize, usize)> = Vec::new();
+        let mut parent: Vec<usize> = Vec::new();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let node_id =
+            |nodes: &mut Vec<(usize, usize)>, parent: &mut Vec<usize>, e: (usize, usize)| {
+                match nodes.iter().position(|&n| n == e) {
+                    Some(i) => i,
+                    None => {
+                        nodes.push(e);
+                        parent.push(parent.len());
+                        parent.len() - 1
+                    }
+                }
+            };
+
+        /// One side of a predicate, from the block's point of view.
+        enum Side {
+            /// An attribute of a block variable: `(binding, column)`.
+            Local(usize, usize),
+            /// Already bound when the block runs: a literal constant.
+            Lit(rd_core::Value),
+            /// Already bound: an outer variable's attribute (value
+            /// unknown at compile time).
+            Outer,
+            /// References the head or a not-yet-scoped name — carries
+            /// no selectivity information here.
+            Opaque,
+        }
+        let classify = |t: &Term| -> Side {
+            match t {
+                Term::Const(v) => Side::Lit(v.clone()),
+                Term::Attr(a) => match var_of.get(a.var.as_str()) {
+                    Some(&bi) => match col_of(bi, &a.attr) {
+                        Some(col) => Side::Local(bi, col),
+                        None => Side::Opaque,
+                    },
+                    None if self.bound.contains(&a.var) => Side::Outer,
+                    None => Side::Opaque,
+                },
+            }
+        };
+
+        for (p, _) in preds.iter().flatten() {
+            let table = |bi: usize| bindings[bi].table.as_str();
+            match (classify(&p.left), classify(&p.right)) {
+                (Side::Local(bi, c), Side::Lit(v)) => {
+                    rows[bi] *= self.stats.cmp_selectivity(table(bi), c, p.op, &v);
+                }
+                (Side::Lit(v), Side::Local(bi, c)) => {
+                    // `lit < x.A` constrains the column as `x.A > lit`.
+                    rows[bi] *= self.stats.cmp_selectivity(table(bi), c, p.op.flipped(), &v);
+                }
+                (Side::Local(bi, c), Side::Outer) | (Side::Outer, Side::Local(bi, c)) => {
+                    // Equality with an outer binding filters like a
+                    // constant of unknown value; other comparisons get
+                    // the default fraction.
+                    rows[bi] *= match p.op {
+                        CmpOp::Eq => 1.0 / self.stats.distinct(table(bi), c),
+                        CmpOp::Ne => 1.0,
+                        _ => 1.0 / 3.0,
+                    };
+                }
+                (Side::Local(bi, c1), Side::Local(bj, c2)) if bi == bj => {
+                    if p.op == CmpOp::Eq && c1 != c2 {
+                        // σ_{A=B}(R): |R| / max(V_A, V_B).
+                        let v = self
+                            .stats
+                            .distinct(table(bi), c1)
+                            .max(self.stats.distinct(table(bi), c2));
+                        rows[bi] /= v.max(1.0);
+                    } else if p.op != CmpOp::Eq && p.op != CmpOp::Ne {
+                        rows[bi] *= 1.0 / 3.0;
+                    }
+                }
+                (Side::Local(bi, c1), Side::Local(bj, c2)) if p.op == CmpOp::Eq => {
+                    let a = node_id(&mut nodes, &mut parent, (bi, c1));
+                    let b = node_id(&mut nodes, &mut parent, (bj, c2));
+                    let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                    parent[ra] = rb;
+                }
+                _ => {}
+            }
+        }
+
+        // Emit join columns for every class spanning more than one scan.
+        let mut cands: Vec<ScanCand> = rows
+            .iter()
+            .map(|&r| ScanCand {
+                rows: r,
+                join_cols: Vec::new(),
+            })
+            .collect();
+        let roots: Vec<usize> = (0..nodes.len()).map(|i| find(&mut parent, i)).collect();
+        for (i, &(bi, col)) in nodes.iter().enumerate() {
+            let root = roots[i];
+            let spans_scans = roots
+                .iter()
+                .enumerate()
+                .any(|(j, &rj)| rj == root && nodes[j].0 != bi);
+            if spans_scans {
+                let v = self.stats.distinct(&bindings[bi].table, col);
+                cands[bi].join_cols.push((root, v));
+            }
+        }
+        cands
+    }
+
     /// Drains and compiles every pending conjunct whose variables are all
     /// bound at the current point.
     #[allow(clippy::type_complexity)]
@@ -323,8 +496,20 @@ impl<'d> Compiler<'d> {
 // Public lowering entry points
 // ---------------------------------------------------------------------
 
-/// Lowers a non-Boolean query to a compiled plan branch.
+/// Lowers a non-Boolean query to a compiled plan branch under the
+/// default planner configuration.
 pub fn lower_query(q: &TrcQuery, db: &Database) -> CoreResult<QueryPlan> {
+    lower_query_with(q, db, &PlannerOpts::default(), &PlanHints::default())
+}
+
+/// Lowers a non-Boolean query with explicit planner configuration and
+/// execution-feedback hints.
+pub fn lower_query_with(
+    q: &TrcQuery,
+    db: &Database,
+    opts: &PlannerOpts,
+    hints: &PlanHints,
+) -> CoreResult<QueryPlan> {
     let head = q.output.clone().ok_or_else(|| {
         CoreError::Invalid(
             "eval_query requires an output head; use eval_sentence for Boolean queries".into(),
@@ -380,7 +565,7 @@ pub fn lower_query(q: &TrcQuery, db: &Database) -> CoreResult<QueryPlan> {
         }
     }
 
-    let mut c = Compiler::new(db);
+    let mut c = Compiler::new(db, opts, hints);
     let head_slot = c.push_schema_var(&head.name, out_schema.clone());
     let mut slots_of = Vec::with_capacity(bindings.len());
     for b in &bindings {
@@ -404,18 +589,32 @@ pub fn lower_query(q: &TrcQuery, db: &Database) -> CoreResult<QueryPlan> {
         defs: cdefs,
         deferred,
         shape: c.shape(),
+        est_rows: c
+            .block_est
+            .map(|e| e.round().clamp(0.0, u64::MAX as f64) as u64),
     })
 }
 
-/// Lowers a Boolean sentence to a compiled plan.
+/// Lowers a Boolean sentence to a compiled plan under the default
+/// planner configuration.
 pub fn lower_sentence(q: &TrcQuery, db: &Database) -> CoreResult<SentencePlan> {
+    lower_sentence_with(q, db, &PlannerOpts::default(), &PlanHints::default())
+}
+
+/// Lowers a Boolean sentence with explicit planner configuration.
+pub fn lower_sentence_with(
+    q: &TrcQuery,
+    db: &Database,
+    opts: &PlannerOpts,
+    hints: &PlanHints,
+) -> CoreResult<SentencePlan> {
     if q.output.is_some() {
         return Err(CoreError::Invalid(
             "eval_sentence requires a Boolean query; use eval_query".into(),
         ));
     }
     let canon = canonicalize(q);
-    let mut c = Compiler::new(db);
+    let mut c = Compiler::new(db, opts, hints);
     let formula = c.compile_formula(&canon.formula)?;
     Ok(SentencePlan {
         formula,
@@ -427,15 +626,26 @@ pub fn lower_sentence(q: &TrcQuery, db: &Database) -> CoreResult<SentencePlan> {
 /// without an output head becomes a Boolean sentence plan, anything
 /// else a union of query branches.
 pub fn lower_union(u: &TrcUnion, db: &Database) -> CoreResult<Plan> {
+    lower_union_with(u, db, &PlannerOpts::default(), &PlanHints::default())
+}
+
+/// [`lower_union`] with explicit planner configuration and
+/// execution-feedback hints — the engine's re-planning entry point.
+pub fn lower_union_with(
+    u: &TrcUnion,
+    db: &Database,
+    opts: &PlannerOpts,
+    hints: &PlanHints,
+) -> CoreResult<Plan> {
     match u.branches.as_slice() {
         [] => Err(CoreError::Invalid("empty union".into())),
-        [sentence] if sentence.output.is_none() => {
-            Ok(Plan::Sentence(lower_sentence(sentence, db)?))
-        }
+        [sentence] if sentence.output.is_none() => Ok(Plan::Sentence(lower_sentence_with(
+            sentence, db, opts, hints,
+        )?)),
         branches => Ok(Plan::Union(
             branches
                 .iter()
-                .map(|q| lower_query(q, db))
+                .map(|q| lower_query_with(q, db, opts, hints))
                 .collect::<CoreResult<_>>()?,
         )),
     }
